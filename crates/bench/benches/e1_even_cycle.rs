@@ -1,0 +1,28 @@
+//! E1 — Theorem 1.1: wall-clock of one repetition of the even-cycle
+//! detector across `n`, and of the gather baseline, so the sweep's shape is
+//! also visible in simulator time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subgraph_detection as detection;
+
+fn bench_even_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_even_cycle_k2");
+    group.sample_size(10);
+    for n in [128usize, 256, 512] {
+        let g = bench::experiments::bench_graph(n, 42);
+        group.bench_with_input(BenchmarkId::new("detector_one_rep", n), &g, |b, g| {
+            b.iter(|| {
+                let cfg = detection::EvenCycleConfig::new(2).repetitions(1).seed(1);
+                detection::detect_even_cycle(g, cfg).unwrap()
+            })
+        });
+        let c4 = graphlib::generators::cycle(4);
+        group.bench_with_input(BenchmarkId::new("gather_baseline", n), &g, |b, g| {
+            b.iter(|| detection::detect_gather(g, &c4).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_even_cycle);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E2 — Theorem 1.2: cost of building `G_{k,n}` and of the two-party
+//! simulation of a real detection run over it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::FamilyLayout;
+
+fn bench_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_family");
+    group.sample_size(10);
+    for nc in [36usize, 100] {
+        group.bench_with_input(BenchmarkId::new("build_gxy_k2", nc), &nc, |b, &nc| {
+            let lay = FamilyLayout::new(2, nc);
+            b.iter(|| lay.build(&[(0, 1), (2, 3)], &[(1, 1)]))
+        });
+    }
+    group.bench_function("simulate_gather_k2_n36", |b| {
+        b.iter(|| bench::experiments::e2_superlinear(2, &[36], 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_family);
+criterion_main!(benches);

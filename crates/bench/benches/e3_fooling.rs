@@ -1,0 +1,19 @@
+//! E3 — Theorem 4.1: cost of the full fooling adversary (enumerate n³
+//! triangles, bucket transcripts, find the K^(3)(2) block, splice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::{run_adversary, IdHashAlgo};
+
+fn bench_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_fooling");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("adversary_2bit", n), &n, |b, &n| {
+            b.iter(|| run_adversary(&IdHashAlgo { bits: 2 }, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversary);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E4 — Theorem 5.1: cost of μ-sampling plus one-round protocol
+//! evaluation, per trial, across budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subgraph_detection::triangle::OneRoundStrategy;
+
+fn bench_one_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_one_round");
+    group.sample_size(20);
+    for budget in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("error_500_trials_n16", budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    lowerbounds::detection_error(16, OneRoundStrategy::Prefix(budget), 500, 3)
+                })
+            },
+        );
+    }
+    group.bench_function("information_2000_samples_n16", |b| {
+        b.iter(|| lowerbounds::information_about_xbc(16, OneRoundStrategy::Prefix(2), 2000, 5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_round);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E5 — Lemma 1.3 / K_s listing: centralized counting vs the
+//! congested-clique listing run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+fn bench_listing(c: &mut Criterion) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+    let g = graphlib::generators::gnp(64, 0.25, &mut rng);
+    let mut group = c.benchmark_group("e5_listing");
+    group.sample_size(10);
+    for s in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("centralized_count", s), &s, |b, &s| {
+            b.iter(|| graphlib::cliques::count_ksub(&g, s))
+        });
+        group.bench_with_input(BenchmarkId::new("congested_clique_list", s), &s, |b, &s| {
+            b.iter(|| lowerbounds::list_cliques_congested(&g, s, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_listing);
+criterion_main!(benches);

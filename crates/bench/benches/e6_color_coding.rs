@@ -1,0 +1,23 @@
+//! E6 — color-coding amplification: cost of a single repetition on the
+//! bare cycle (the unit the repetition count multiplies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use subgraph_detection as detection;
+
+fn bench_repetition(c: &mut Criterion) {
+    let g = graphlib::generators::cycle(4);
+    let mut group = c.benchmark_group("e6_color_coding");
+    group.bench_function("one_rep_k2_on_c4", |b| {
+        b.iter(|| {
+            let cfg = detection::EvenCycleConfig::new(2)
+                .repetitions(1)
+                .seed(3)
+                .edge_bound(8);
+            detection::detect_even_cycle(&g, cfg).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repetition);
+criterion_main!(benches);

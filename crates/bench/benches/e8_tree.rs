@@ -1,0 +1,23 @@
+//! E8 — constant-round tree detection: one repetition across `n` (the
+//! rounds stay constant; wall time grows only with simulator size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use subgraph_detection as detection;
+
+fn bench_tree(c: &mut Criterion) {
+    let pattern = detection::TreePattern::path(4);
+    let mut group = c.benchmark_group("e8_tree");
+    group.sample_size(20);
+    for n in [64usize, 256, 1024] {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(n as u64);
+        let g = graphlib::generators::gnm(n, 2 * n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("one_rep_path4", n), &g, |b, g| {
+            b.iter(|| detection::detect_tree(g, &pattern, 1, 7).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

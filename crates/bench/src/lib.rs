@@ -1,0 +1,10 @@
+//! # bench — the experiment harness
+//!
+//! One experiment per theorem/figure of the paper (see DESIGN.md §4 and
+//! EXPERIMENTS.md). Each experiment is a pure function returning printable
+//! rows; the `report` binary prints them and the criterion benches time the
+//! underlying kernels.
+
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,19 @@
+//! # commlb — two-party communication complexity substrate
+//!
+//! The superlinear lower bound of Theorem 1.2 is a reduction from set
+//! disjointness over `[n]²` (§3.3): a fast `H_k`-detection algorithm would
+//! yield a too-cheap disjointness protocol. This crate provides the pieces:
+//! protocol/bit accounting ([`protocol`]), disjointness instances and the
+//! `Ω(n²)` bound formula ([`disjointness`]), and the executable simulation
+//! argument that charges exactly the cut-crossing CONGEST traffic to the
+//! two players ([`reduction`]).
+
+#![warn(missing_docs)]
+
+pub mod disjointness;
+pub mod protocol;
+pub mod reduction;
+
+pub use disjointness::{disjointness_lower_bound_bits, DisjointnessInstance};
+pub use protocol::{Party, ProtocolResult, ShipInput, TwoPartyProtocol};
+pub use reduction::{simulate_two_party, simulation_cost, SimulationReport};

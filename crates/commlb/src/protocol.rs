@@ -1,0 +1,66 @@
+//! Two-party communication protocols with bit accounting.
+
+/// Which party a network node is simulated by in the §3.3 reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Party {
+    /// Simulated only by Alice (her input edges are internal to this part).
+    Alice,
+    /// Simulated only by Bob.
+    Bob,
+    /// Simulated by both players (no private input touches this part).
+    Shared,
+}
+
+/// A (deterministic or randomized) two-party protocol over boolean-vector
+/// inputs; returns the output bit and the number of bits exchanged.
+pub trait TwoPartyProtocol {
+    /// Runs the protocol on inputs `x` (Alice) and `y` (Bob).
+    fn run(&mut self, x: &[bool], y: &[bool]) -> ProtocolResult;
+}
+
+/// Outcome of a protocol execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolResult {
+    /// The computed output.
+    pub output: bool,
+    /// Total bits exchanged between the players.
+    pub bits_exchanged: u64,
+}
+
+/// The trivial protocol: Alice ships her whole input to Bob, who computes
+/// the function locally. Always correct; costs `|x|` bits (plus one output
+/// bit back).
+pub struct ShipInput<F: Fn(&[bool], &[bool]) -> bool> {
+    f: F,
+}
+
+impl<F: Fn(&[bool], &[bool]) -> bool> ShipInput<F> {
+    /// A ship-everything protocol for the function `f`.
+    pub fn new(f: F) -> Self {
+        ShipInput { f }
+    }
+}
+
+impl<F: Fn(&[bool], &[bool]) -> bool> TwoPartyProtocol for ShipInput<F> {
+    fn run(&mut self, x: &[bool], y: &[bool]) -> ProtocolResult {
+        ProtocolResult {
+            output: (self.f)(x, y),
+            bits_exchanged: x.len() as u64 + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ship_input_cost_and_output() {
+        let mut p = ShipInput::new(|x, y| x.iter().zip(y).any(|(&a, &b)| a && b));
+        let r = p.run(&[true, false, true], &[false, false, true]);
+        assert!(r.output);
+        assert_eq!(r.bits_exchanged, 4);
+        let r2 = p.run(&[true, false], &[false, true]);
+        assert!(!r2.output);
+    }
+}

@@ -1,0 +1,195 @@
+//! The §3.3 simulation argument, made executable.
+//!
+//! Alice simulates her part `V_A` and the shared part `U`; Bob simulates
+//! `V_B` and `U`. Each player knows every edge except those internal to the
+//! other player's exclusive part, so the only messages that must actually
+//! be communicated are those *leaving an exclusive part*: traffic from a
+//! `V_A` node to any node Bob simulates (`V_B ∪ U`) must be shipped to Bob,
+//! and symmetrically for `V_B`. Shared-part nodes are stepped identically
+//! by both players (public randomness), so their outgoing messages cost
+//! nothing.
+//!
+//! [`simulate_two_party`] runs a CONGEST algorithm once on the full graph
+//! and charges exactly those directed edges, yielding the bits a faithful
+//! two-party simulation would exchange — the left-hand side of the
+//! Theorem 1.2 inequality `R · (cut) · B >= Ω(n²)`.
+
+use crate::protocol::Party;
+use congest::{CongestError, Engine, NodeAlgorithm, RunOutcome};
+use graphlib::Graph;
+
+/// Cost report of a two-party simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulationReport {
+    /// Rounds of the simulated CONGEST algorithm.
+    pub rounds: usize,
+    /// Bits Alice must send Bob plus bits Bob must send Alice.
+    pub bits_exchanged: u64,
+    /// Directed edges out of Alice's exclusive part into Bob's simulation
+    /// domain (`V_A -> V_B ∪ U`).
+    pub cut_out_of_alice: usize,
+    /// Directed edges out of Bob's exclusive part (`V_B -> V_A ∪ U`).
+    pub cut_out_of_bob: usize,
+}
+
+impl SimulationReport {
+    /// Total directed cut size — the `O(k n^{1/k})` quantity of §3.2.
+    pub fn cut_size(&self) -> usize {
+        self.cut_out_of_alice + self.cut_out_of_bob
+    }
+}
+
+/// Computes, from a finished run, the bits a two-party simulation with the
+/// given node partition would have exchanged.
+pub fn simulation_cost(
+    g: &Graph,
+    outcome: &RunOutcome,
+    parts: &[Party],
+) -> SimulationReport {
+    assert_eq!(parts.len(), g.n());
+    let mut bits = 0u64;
+    let mut cut_a = 0usize;
+    let mut cut_b = 0usize;
+    for u in 0..g.n() {
+        for (p, &v) in g.neighbors(u).iter().enumerate() {
+            let v = v as usize;
+            let charged = match (parts[u], parts[v]) {
+                // Out of an exclusive part into the other player's domain.
+                (Party::Alice, Party::Bob) | (Party::Alice, Party::Shared) => {
+                    cut_a += 1;
+                    true
+                }
+                (Party::Bob, Party::Alice) | (Party::Bob, Party::Shared) => {
+                    cut_b += 1;
+                    true
+                }
+                _ => false,
+            };
+            if charged {
+                bits += outcome.stats.edge_bits(u, p);
+            }
+        }
+    }
+    SimulationReport {
+        rounds: outcome.stats.rounds,
+        bits_exchanged: bits,
+        cut_out_of_alice: cut_a,
+        cut_out_of_bob: cut_b,
+    }
+}
+
+/// Runs `make`-constructed nodes on `g` under the given engine settings and
+/// returns both the CONGEST outcome and the two-party simulation cost for
+/// the partition `parts`.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_two_party<A, F>(
+    g: &Graph,
+    parts: &[Party],
+    bandwidth: congest::Bandwidth,
+    max_rounds: usize,
+    seed: u64,
+    make: F,
+) -> Result<(RunOutcome, SimulationReport), CongestError>
+where
+    A: NodeAlgorithm,
+    F: Fn(usize) -> A + Sync,
+{
+    let outcome = Engine::new(g)
+        .bandwidth(bandwidth)
+        .max_rounds(max_rounds)
+        .seed(seed)
+        .run(make)?;
+    let report = simulation_cost(g, &outcome, parts);
+    Ok((outcome, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest::{Bandwidth, Decision, Inbox, NodeContext, Outbox, Outgoing};
+    use graphlib::generators;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Every node broadcasts 8 bits once and halts.
+    struct OneShot {
+        done: bool,
+    }
+
+    impl NodeAlgorithm for OneShot {
+        type Msg = u8;
+        fn init(&mut self, _ctx: &NodeContext, _rng: &mut ChaCha8Rng) -> Outbox<u8> {
+            vec![Outgoing::Broadcast(0xAB)]
+        }
+        fn on_round(
+            &mut self,
+            _ctx: &NodeContext,
+            _inbox: &Inbox<u8>,
+            _rng: &mut ChaCha8Rng,
+        ) -> Outbox<u8> {
+            self.done = true;
+            Vec::new()
+        }
+        fn halted(&self) -> bool {
+            self.done
+        }
+        fn decision(&self) -> Decision {
+            Decision::Accept
+        }
+    }
+
+    #[test]
+    fn charges_only_exclusive_outflow() {
+        // Path 0-1-2 with parts [Alice, Shared, Bob].
+        let g = generators::path(3);
+        let parts = [Party::Alice, Party::Shared, Party::Bob];
+        let (_, rep) = simulate_two_party(
+            &g,
+            &parts,
+            Bandwidth::Bits(8),
+            10,
+            0,
+            |_| OneShot { done: false },
+        )
+        .unwrap();
+        // Directed charged edges: 0->1 (Alice->Shared), 2->1 (Bob->Shared).
+        assert_eq!(rep.cut_out_of_alice, 1);
+        assert_eq!(rep.cut_out_of_bob, 1);
+        // Each node broadcast 8 bits once on each port; two charged edges.
+        assert_eq!(rep.bits_exchanged, 16);
+    }
+
+    #[test]
+    fn shared_traffic_is_free() {
+        let g = generators::path(2);
+        let parts = [Party::Shared, Party::Shared];
+        let (_, rep) = simulate_two_party(
+            &g,
+            &parts,
+            Bandwidth::Bits(8),
+            10,
+            0,
+            |_| OneShot { done: false },
+        )
+        .unwrap();
+        assert_eq!(rep.bits_exchanged, 0);
+        assert_eq!(rep.cut_size(), 0);
+    }
+
+    #[test]
+    fn alice_bob_edge_charged_both_ways() {
+        let g = generators::path(2);
+        let parts = [Party::Alice, Party::Bob];
+        let (_, rep) = simulate_two_party(
+            &g,
+            &parts,
+            Bandwidth::Bits(8),
+            10,
+            0,
+            |_| OneShot { done: false },
+        )
+        .unwrap();
+        assert_eq!(rep.cut_out_of_alice, 1);
+        assert_eq!(rep.cut_out_of_bob, 1);
+        assert_eq!(rep.bits_exchanged, 16);
+    }
+}

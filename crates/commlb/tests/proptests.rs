@@ -1,0 +1,95 @@
+//! Property-based tests of the communication-complexity substrate.
+
+use commlb::{DisjointnessInstance, Party, ShipInput, TwoPartyProtocol};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ship_input_always_correct_for_disjointness(
+        x in proptest::collection::vec(any::<bool>(), 1..64),
+        y in proptest::collection::vec(any::<bool>(), 1..64)
+    ) {
+        let n = x.len().min(y.len());
+        let mut p = ShipInput::new(|a: &[bool], b: &[bool]| {
+            !a.iter().zip(b).any(|(&u, &v)| u && v)
+        });
+        let r = p.run(&x[..n], &y[..n]);
+        let expected = !x[..n].iter().zip(&y[..n]).any(|(&u, &v)| u && v);
+        prop_assert_eq!(r.output, expected);
+        prop_assert_eq!(r.bits_exchanged, n as u64 + 1);
+    }
+
+    #[test]
+    fn disjointness_instance_ground_truth(
+        n in 2usize..10,
+        pairs in proptest::collection::vec((0usize..10, 0usize..10, any::<bool>()), 0..30)
+    ) {
+        let mut inst = DisjointnessInstance::new(n);
+        for &(i, j, to_x) in &pairs {
+            let (i, j) = (i % n, j % n);
+            if to_x {
+                inst.add_x(i, j);
+            } else {
+                inst.add_y(i, j);
+            }
+        }
+        let xs: std::collections::HashSet<_> = inst.x_pairs().into_iter().collect();
+        let ys: std::collections::HashSet<_> = inst.y_pairs().into_iter().collect();
+        prop_assert_eq!(inst.disjoint(), xs.intersection(&ys).count() == 0);
+    }
+
+    #[test]
+    fn simulation_charges_are_subset_of_total(
+        mask in proptest::collection::vec(0u8..3, 3..12)
+    ) {
+        use congest::{Bandwidth, Decision, Inbox, NodeContext, Outbox, Outgoing};
+        use rand_chacha::ChaCha8Rng;
+
+        struct OneShot {
+            done: bool,
+        }
+        impl congest::NodeAlgorithm for OneShot {
+            type Msg = u8;
+            fn init(&mut self, _c: &NodeContext, _r: &mut ChaCha8Rng) -> Outbox<u8> {
+                vec![Outgoing::Broadcast(7)]
+            }
+            fn on_round(&mut self, _c: &NodeContext, _i: &Inbox<u8>, _r: &mut ChaCha8Rng) -> Outbox<u8> {
+                self.done = true;
+                Vec::new()
+            }
+            fn halted(&self) -> bool {
+                self.done
+            }
+            fn decision(&self) -> Decision {
+                Decision::Accept
+            }
+        }
+
+        let n = mask.len();
+        let g = graphlib::generators::cycle(n);
+        let parts: Vec<Party> = mask
+            .iter()
+            .map(|&m| match m {
+                0 => Party::Alice,
+                1 => Party::Bob,
+                _ => Party::Shared,
+            })
+            .collect();
+        let (outcome, rep) = commlb::simulate_two_party(
+            &g,
+            &parts,
+            Bandwidth::Bits(8),
+            5,
+            0,
+            |_| OneShot { done: false },
+        )
+        .unwrap();
+        prop_assert!(rep.bits_exchanged <= outcome.stats.total_bits);
+        // Cut edge counts are bounded by the directed edge count.
+        prop_assert!(rep.cut_size() <= 2 * g.m());
+        // All-shared partitions cost nothing.
+        if parts.iter().all(|&p| p == Party::Shared) {
+            prop_assert_eq!(rep.bits_exchanged, 0);
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The congested-clique model.
+//!
+//! `n` nodes with an all-to-all communication topology; each ordered pair
+//! may exchange `B` bits per round (classically `B = O(log n)`). The input
+//! graph is separate from the communication topology: node `v` initially
+//! knows its own adjacency row of the input graph. This is the model of the
+//! paper's `K_s`-listing bound (§1.1, Lemma 1.3).
+
+use crate::message::BitSize;
+use graphlib::Graph;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::fmt;
+
+/// What a congested-clique node knows.
+#[derive(Debug, Clone)]
+pub struct CliqueContext {
+    /// This node's index in `0..n` (indices are public in this model).
+    pub index: usize,
+    /// Number of nodes.
+    pub n: usize,
+    /// This node's adjacency row in the *input* graph.
+    pub input_neighbors: Vec<u32>,
+    /// Current round (0 during init).
+    pub round: usize,
+}
+
+/// A congested-clique per-node algorithm.
+pub trait CliqueAlgorithm: Send {
+    /// Message type.
+    type Msg: Clone + Send + Sync + BitSize;
+    /// Per-node output when the algorithm halts.
+    type Output: Send;
+
+    /// Messages to deliver in round 1, as `(destination, payload)` pairs.
+    fn init(&mut self, ctx: &CliqueContext, rng: &mut ChaCha8Rng) -> Vec<(usize, Self::Msg)>;
+
+    /// Step with this round's received `(source, payload)` messages.
+    fn on_round(
+        &mut self,
+        ctx: &CliqueContext,
+        inbox: &[(usize, Self::Msg)],
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<(usize, Self::Msg)>;
+
+    /// Whether this node has halted.
+    fn halted(&self) -> bool;
+
+    /// Final output.
+    fn output(&self) -> Self::Output;
+}
+
+/// Errors from the clique engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliqueError {
+    /// A node exceeded the per-pair bandwidth in one round.
+    BandwidthExceeded {
+        /// Sender.
+        from: usize,
+        /// Receiver.
+        to: usize,
+        /// Bits attempted this round on that pair.
+        attempted: usize,
+        /// Configured limit.
+        limit: usize,
+        /// Round of the violation.
+        round: usize,
+    },
+    /// Message addressed outside `0..n` or to the sender itself.
+    InvalidDestination {
+        /// Sender.
+        from: usize,
+        /// Receiver.
+        to: usize,
+    },
+}
+
+impl fmt::Display for CliqueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliqueError::BandwidthExceeded {
+                from,
+                to,
+                attempted,
+                limit,
+                round,
+            } => write!(
+                f,
+                "clique bandwidth exceeded: {from}->{to} sent {attempted} bits \
+                 (limit {limit}) in round {round}"
+            ),
+            CliqueError::InvalidDestination { from, to } => {
+                write!(f, "invalid destination {to} from node {from}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliqueError {}
+
+/// Statistics for a congested-clique run.
+#[derive(Debug, Clone)]
+pub struct CliqueStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total bits over all ordered pairs and rounds.
+    pub total_bits: u64,
+    /// Total messages.
+    pub total_messages: u64,
+    /// Maximum bits on one ordered pair in one round.
+    pub max_pair_round_bits: usize,
+}
+
+/// Result of a congested-clique run.
+#[derive(Debug)]
+pub struct CliqueOutcome<O> {
+    /// Per-node outputs.
+    pub outputs: Vec<O>,
+    /// Traffic statistics.
+    pub stats: CliqueStats,
+    /// Whether all nodes halted within the round limit.
+    pub completed: bool,
+}
+
+/// Congested-clique engine over an input graph.
+pub struct CliqueEngine<'g> {
+    input: &'g Graph,
+    bandwidth_bits: usize,
+    max_rounds: usize,
+    seed: u64,
+}
+
+impl<'g> CliqueEngine<'g> {
+    /// Engine with `B = ceil(log2 n)` bits per ordered pair per round.
+    pub fn new(input: &'g Graph) -> Self {
+        CliqueEngine {
+            bandwidth_bits: crate::message::bits_for_domain(input.n().max(2)),
+            max_rounds: 4 * (input.n() + 2) * (input.n() + 2),
+            seed: 0,
+            input,
+        }
+    }
+
+    /// Sets the per-pair bandwidth in bits.
+    pub fn bandwidth_bits(mut self, b: usize) -> Self {
+        self.bandwidth_bits = b;
+        self
+    }
+
+    /// Caps the number of rounds.
+    pub fn max_rounds(mut self, r: usize) -> Self {
+        self.max_rounds = r;
+        self
+    }
+
+    /// Seeds per-node RNG streams.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Runs the algorithm.
+    pub fn run<A, F>(&self, make: F) -> Result<CliqueOutcome<A::Output>, CliqueError>
+    where
+        A: CliqueAlgorithm,
+        F: Fn(usize) -> A + Sync,
+    {
+        let n = self.input.n();
+        let contexts: Vec<CliqueContext> = (0..n)
+            .map(|v| CliqueContext {
+                index: v,
+                n,
+                input_neighbors: self.input.neighbors(v).to_vec(),
+                round: 0,
+            })
+            .collect();
+        let mut rngs: Vec<ChaCha8Rng> = (0..n)
+            .map(|v| {
+                let mut seeder = ChaCha8Rng::seed_from_u64(self.seed);
+                let salt: u64 = seeder.gen::<u64>() ^ (v as u64).wrapping_mul(0xD1B54A32D192ED03);
+                ChaCha8Rng::seed_from_u64(salt)
+            })
+            .collect();
+        let mut nodes: Vec<A> = (0..n).map(&make).collect();
+        let mut stats = CliqueStats {
+            rounds: 0,
+            total_bits: 0,
+            total_messages: 0,
+            max_pair_round_bits: 0,
+        };
+
+        let mut outboxes: Vec<Vec<(usize, A::Msg)>> = nodes
+            .par_iter_mut()
+            .zip(contexts.par_iter())
+            .zip(rngs.par_iter_mut())
+            .map(|((node, ctx), rng)| node.init(ctx, rng))
+            .collect();
+
+        let mut completed = nodes.iter().all(|nd| nd.halted());
+
+        for round in 1..=self.max_rounds {
+            if completed && outboxes.iter().all(|o| o.is_empty()) {
+                break;
+            }
+            // Bandwidth accounting per ordered pair.
+            for (from, outbox) in outboxes.iter().enumerate() {
+                if outbox.is_empty() {
+                    continue;
+                }
+                let mut per_dest: graphlib::FxHashMap<usize, usize> =
+                    graphlib::FxHashMap::default();
+                for (to, m) in outbox {
+                    if *to >= n || *to == from {
+                        return Err(CliqueError::InvalidDestination { from, to: *to });
+                    }
+                    *per_dest.entry(*to).or_default() += m.bit_size();
+                    stats.total_messages += 1;
+                }
+                for (&to, &bits) in &per_dest {
+                    if bits > self.bandwidth_bits {
+                        return Err(CliqueError::BandwidthExceeded {
+                            from,
+                            to,
+                            attempted: bits,
+                            limit: self.bandwidth_bits,
+                            round,
+                        });
+                    }
+                    stats.total_bits += bits as u64;
+                    stats.max_pair_round_bits = stats.max_pair_round_bits.max(bits);
+                }
+            }
+            stats.rounds = round;
+
+            // Deliver: bucket messages by destination.
+            let mut inboxes: Vec<Vec<(usize, A::Msg)>> = vec![Vec::new(); n];
+            for (from, outbox) in outboxes.iter().enumerate() {
+                for (to, m) in outbox {
+                    inboxes[*to].push((from, m.clone()));
+                }
+            }
+
+            outboxes = nodes
+                .par_iter_mut()
+                .zip(contexts.par_iter())
+                .zip(rngs.par_iter_mut())
+                .zip(inboxes.into_par_iter())
+                .map(|(((node, ctx), rng), inbox)| {
+                    if node.halted() {
+                        Vec::new()
+                    } else {
+                        let ctx = CliqueContext {
+                            round,
+                            ..ctx.clone()
+                        };
+                        node.on_round(&ctx, &inbox, rng)
+                    }
+                })
+                .collect();
+
+            completed = nodes.iter().all(|nd| nd.halted());
+        }
+
+        Ok(CliqueOutcome {
+            outputs: nodes.iter().map(|nd| nd.output()).collect(),
+            stats,
+            completed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators;
+
+    /// Each node sends its degree to node 0, which sums them up.
+    struct DegreeSum {
+        acc: u64,
+        done: bool,
+    }
+
+    impl CliqueAlgorithm for DegreeSum {
+        type Msg = u32;
+        type Output = u64;
+
+        fn init(&mut self, ctx: &CliqueContext, _rng: &mut ChaCha8Rng) -> Vec<(usize, u32)> {
+            if ctx.index == 0 {
+                self.acc = ctx.input_neighbors.len() as u64;
+                Vec::new()
+            } else {
+                vec![(0, ctx.input_neighbors.len() as u32)]
+            }
+        }
+
+        fn on_round(
+            &mut self,
+            ctx: &CliqueContext,
+            inbox: &[(usize, u32)],
+            _rng: &mut ChaCha8Rng,
+        ) -> Vec<(usize, u32)> {
+            if ctx.index == 0 {
+                self.acc += inbox.iter().map(|&(_, d)| d as u64).sum::<u64>();
+            }
+            self.done = true;
+            Vec::new()
+        }
+
+        fn halted(&self) -> bool {
+            self.done
+        }
+
+        fn output(&self) -> u64 {
+            self.acc
+        }
+    }
+
+    #[test]
+    fn degree_sum_counts_edges_twice() {
+        let g = generators::cycle(6);
+        let out = CliqueEngine::new(&g)
+            .bandwidth_bits(32)
+            .run(|_| DegreeSum {
+                acc: 0,
+                done: false,
+            })
+            .unwrap();
+        assert!(out.completed);
+        assert_eq!(out.outputs[0], 2 * g.m() as u64);
+        // 5 nodes each sent one 32-bit message to node 0.
+        assert_eq!(out.stats.total_bits, 5 * 32);
+    }
+
+    #[test]
+    fn clique_bandwidth_enforced() {
+        let g = generators::cycle(4);
+        let err = CliqueEngine::new(&g)
+            .bandwidth_bits(8)
+            .run(|_| DegreeSum {
+                acc: 0,
+                done: false,
+            })
+            .unwrap_err();
+        assert!(matches!(err, CliqueError::BandwidthExceeded { .. }));
+    }
+
+    #[test]
+    fn self_message_rejected() {
+        struct SelfSender;
+        impl CliqueAlgorithm for SelfSender {
+            type Msg = u32;
+            type Output = ();
+            fn init(&mut self, ctx: &CliqueContext, _r: &mut ChaCha8Rng) -> Vec<(usize, u32)> {
+                vec![(ctx.index, 1)]
+            }
+            fn on_round(
+                &mut self,
+                _c: &CliqueContext,
+                _i: &[(usize, u32)],
+                _r: &mut ChaCha8Rng,
+            ) -> Vec<(usize, u32)> {
+                Vec::new()
+            }
+            fn halted(&self) -> bool {
+                false
+            }
+            fn output(&self) {}
+        }
+        let g = generators::cycle(3);
+        let err = CliqueEngine::new(&g).run(|_| SelfSender).unwrap_err();
+        assert!(matches!(err, CliqueError::InvalidDestination { .. }));
+    }
+}

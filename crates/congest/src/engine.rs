@@ -1,0 +1,762 @@
+//! The synchronous round engine.
+//!
+//! Drives a [`NodeAlgorithm`] over a topology, enforcing the CONGEST
+//! bandwidth bound per directed edge per round and recording exact traffic
+//! statistics. Node steps within a round are independent, so the engine
+//! evaluates them with rayon (data-parallel, race-free — the pattern the
+//! hpc guides recommend).
+
+use crate::message::BitSize;
+use crate::node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
+use crate::stats::RunStats;
+use graphlib::Graph;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::fmt;
+
+/// Per-edge-per-round bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bandwidth {
+    /// CONGEST with `B` bits per directed edge per round.
+    Bits(usize),
+    /// The LOCAL model: unbounded messages (traffic is still counted).
+    Unbounded,
+}
+
+impl Bandwidth {
+    /// The standard `B = Θ(log n)` setting (exactly `ceil(log2 n)`, min 1).
+    pub fn log_of(n: usize) -> Bandwidth {
+        Bandwidth::Bits(crate::message::bits_for_domain(n.max(2)))
+    }
+}
+
+/// Errors the engine can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CongestError {
+    /// A node tried to push more bits through an edge than the bandwidth
+    /// allows in one round.
+    BandwidthExceeded {
+        /// Sending node index.
+        node: usize,
+        /// Port the violation happened on.
+        port: usize,
+        /// Bits the node attempted to send this round on that port.
+        attempted: usize,
+        /// The configured limit.
+        limit: usize,
+        /// The round of the violation.
+        round: usize,
+    },
+    /// A node addressed a port it does not have.
+    InvalidPort {
+        /// Sending node index.
+        node: usize,
+        /// The bad port.
+        port: usize,
+        /// The node's degree.
+        degree: usize,
+    },
+    /// A node unicast a message while the engine runs in broadcast-CONGEST
+    /// mode (the model variant of \[DKO14\] where every node must send the
+    /// same message on all of its edges).
+    UnicastForbidden {
+        /// Sending node index.
+        node: usize,
+        /// The round of the violation.
+        round: usize,
+    },
+}
+
+impl fmt::Display for CongestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestError::BandwidthExceeded {
+                node,
+                port,
+                attempted,
+                limit,
+                round,
+            } => write!(
+                f,
+                "bandwidth exceeded: node {node} port {port} sent {attempted} bits \
+                 (limit {limit}) in round {round}"
+            ),
+            CongestError::InvalidPort { node, port, degree } => {
+                write!(f, "invalid port {port} on node {node} (degree {degree})")
+            }
+            CongestError::UnicastForbidden { node, round } => {
+                write!(
+                    f,
+                    "node {node} unicast in round {round} under broadcast-CONGEST"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CongestError {}
+
+/// Result of a completed (or round-limited) run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-node decisions at the end of the run.
+    pub decisions: Vec<Decision>,
+    /// Traffic and round statistics.
+    pub stats: RunStats,
+    /// Whether every node halted before the round limit.
+    pub completed: bool,
+}
+
+impl RunOutcome {
+    /// Definition 1 semantics: the network "detects H" iff some node rejects.
+    pub fn network_rejects(&self) -> bool {
+        self.decisions.contains(&Decision::Reject)
+    }
+
+    /// Convenience inverse of [`Self::network_rejects`].
+    pub fn network_accepts(&self) -> bool {
+        !self.network_rejects()
+    }
+}
+
+/// Simulator configuration for one topology.
+pub struct Engine<'g> {
+    topology: &'g Graph,
+    ids: Vec<u64>,
+    bandwidth: Bandwidth,
+    max_rounds: usize,
+    seed: u64,
+    broadcast_only: bool,
+    trace: Option<crate::trace::TraceBuffer>,
+    /// Independent per-delivery message-loss probability (failure
+    /// injection). Bits are still charged for lost messages (they were
+    /// sent); only delivery fails.
+    loss_rate: f64,
+}
+
+impl<'g> Engine<'g> {
+    /// An engine over `topology` with identifiers `id(v) = v`, bandwidth
+    /// `Θ(log n)`, and a generous default round limit.
+    pub fn new(topology: &'g Graph) -> Self {
+        Engine {
+            ids: (0..topology.n() as u64).collect(),
+            bandwidth: Bandwidth::log_of(topology.n()),
+            max_rounds: 16 * (topology.n() + 2) * (topology.n() + 2),
+            seed: 0,
+            broadcast_only: false,
+            trace: None,
+            loss_rate: 0.0,
+            topology,
+        }
+    }
+
+    /// Injects failures: each message delivery is independently lost with
+    /// probability `p` (deterministic given the engine seed). Senders are
+    /// still charged for the bits. Randomized detectors must stay *sound*
+    /// under loss (they can only miss, never hallucinate, a subgraph).
+    pub fn loss_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss rate must be a probability");
+        self.loss_rate = p;
+        self
+    }
+
+    /// Attaches a bounded message trace (see [`crate::trace`]).
+    pub fn trace(mut self, buf: crate::trace::TraceBuffer) -> Self {
+        self.trace = Some(buf);
+        self
+    }
+
+    /// Switches to broadcast-CONGEST (the \[DKO14\] variant the paper's
+    /// related-work section discusses): nodes must send the same message on
+    /// all edges, so any `Outgoing::Unicast` is rejected.
+    pub fn broadcast_only(mut self, on: bool) -> Self {
+        self.broadcast_only = on;
+        self
+    }
+
+    /// Sets the per-edge bandwidth.
+    pub fn bandwidth(mut self, b: Bandwidth) -> Self {
+        self.bandwidth = b;
+        self
+    }
+
+    /// Sets the identifier assignment (must be `n` values).
+    pub fn with_ids(mut self, ids: Vec<u64>) -> Self {
+        assert_eq!(ids.len(), self.topology.n());
+        self.ids = ids;
+        self
+    }
+
+    /// Caps the number of communication rounds.
+    pub fn max_rounds(mut self, r: usize) -> Self {
+        self.max_rounds = r;
+        self
+    }
+
+    /// Seeds all node RNGs (each node gets an independent stream derived
+    /// from this seed and its index).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Runs `make(v)`-constructed nodes to completion.
+    pub fn run<A, F>(&self, make: F) -> Result<RunOutcome, CongestError>
+    where
+        A: NodeAlgorithm,
+        F: Fn(usize) -> A + Sync,
+    {
+        self.run_nodes(make).map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`Self::run`], but also hands back the final node states — for
+    /// algorithms whose output is richer than accept/reject (e.g. listing
+    /// witnesses).
+    pub fn run_nodes<A, F>(&self, make: F) -> Result<(RunOutcome, Vec<A>), CongestError>
+    where
+        A: NodeAlgorithm,
+        F: Fn(usize) -> A + Sync,
+    {
+        let g = self.topology;
+        let n = g.n();
+        let mut stats = RunStats::new(g);
+
+        // Reverse-port table: rev_port[slot(v, p)] is the port of v in the
+        // adjacency list of v's p-th neighbor. Needed to route unicasts.
+        let offsets = stats.offsets.clone();
+        let rev_port: Vec<u32> = (0..n)
+            .into_par_iter()
+            .flat_map_iter(|v| {
+                g.neighbors(v).iter().map(move |&u| {
+                    g.neighbors(u as usize)
+                        .binary_search(&(v as u32))
+                        .expect("undirected adjacency must be symmetric")
+                        as u32
+                })
+            })
+            .collect();
+
+        let contexts: Vec<NodeContext> = (0..n)
+            .map(|v| NodeContext {
+                index: v,
+                id: self.ids[v],
+                neighbor_ids: g
+                    .neighbors(v)
+                    .iter()
+                    .map(|&u| self.ids[u as usize])
+                    .collect(),
+                n,
+                round: 0,
+            })
+            .collect();
+
+        let mut rngs: Vec<ChaCha8Rng> = (0..n)
+            .map(|v| {
+                let mut seeder = ChaCha8Rng::seed_from_u64(self.seed);
+                let salt: u64 = seeder.gen::<u64>() ^ (v as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                ChaCha8Rng::seed_from_u64(salt)
+            })
+            .collect();
+
+        let mut nodes: Vec<A> = (0..n).map(&make).collect();
+
+        // Round 0: init.
+        let mut outboxes: Vec<Outbox<A::Msg>> = nodes
+            .par_iter_mut()
+            .zip(contexts.par_iter())
+            .zip(rngs.par_iter_mut())
+            .map(|((node, ctx), rng)| node.init(ctx, rng))
+            .collect();
+
+        let mut completed = nodes.iter().all(|nd| nd.halted());
+
+        for round in 1..=self.max_rounds {
+            if completed && outboxes.iter().all(|o| o.is_empty()) {
+                break;
+            }
+
+            // Account traffic + enforce bandwidth for this round's sends.
+            let before = stats.total_bits;
+            self.account_round(&mut stats, &outboxes, &offsets, round)?;
+            stats.per_round_bits.push(stats.total_bits - before);
+            stats.rounds = round;
+
+            // Build inboxes: node v collects, from each neighbor u, the
+            // messages u addressed at (the port leading to) v. With failure
+            // injection, each delivery is dropped independently with
+            // probability `loss_rate` (decided by a deterministic hash of
+            // (seed, round, receiver, port, message index) so the run stays
+            // reproducible and thread-safe).
+            let drop_this = |v: usize, p: usize, idx: usize| -> bool {
+                if self.loss_rate <= 0.0 {
+                    return false;
+                }
+                use std::hash::{Hash, Hasher};
+                let mut h = graphlib::hash::FxHasher::default();
+                (self.seed, round, v, p, idx).hash(&mut h);
+                // Map the hash to [0, 1).
+                let x = (h.finish() >> 11) as f64 / (1u64 << 53) as f64;
+                x < self.loss_rate
+            };
+            let inboxes: Vec<Inbox<A::Msg>> = (0..n)
+                .into_par_iter()
+                .map(|v| {
+                    let mut inbox = Vec::new();
+                    for (p, &u) in g.neighbors(v).iter().enumerate() {
+                        let u = u as usize;
+                        let their_port = rev_port[offsets[v] + p] as usize;
+                        for (idx, out) in outboxes[u].iter().enumerate() {
+                            match out {
+                                Outgoing::Unicast(q, m) if *q == their_port => {
+                                    if !drop_this(v, p, idx) {
+                                        inbox.push((p, m.clone()));
+                                    }
+                                }
+                                Outgoing::Broadcast(m) => {
+                                    if !drop_this(v, p, idx) {
+                                        inbox.push((p, m.clone()));
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    inbox
+                })
+                .collect();
+
+            // Step all live nodes.
+            outboxes = nodes
+                .par_iter_mut()
+                .zip(contexts.par_iter())
+                .zip(rngs.par_iter_mut())
+                .zip(inboxes.into_par_iter())
+                .map(|(((node, ctx), rng), inbox)| {
+                    if node.halted() {
+                        Vec::new()
+                    } else {
+                        let ctx = NodeContext {
+                            round,
+                            ..ctx.clone()
+                        };
+                        node.on_round(&ctx, &inbox, rng)
+                    }
+                })
+                .collect();
+
+            completed = nodes.iter().all(|nd| nd.halted());
+        }
+
+        let outcome = RunOutcome {
+            decisions: nodes.iter().map(|nd| nd.decision()).collect(),
+            stats,
+            completed,
+        };
+        Ok((outcome, nodes))
+    }
+
+    /// Sums per-port bits for the round, updates stats, enforces the limit.
+    fn account_round<M: BitSize>(
+        &self,
+        stats: &mut RunStats,
+        outboxes: &[Outbox<M>],
+        offsets: &[usize],
+        round: usize,
+    ) -> Result<(), CongestError> {
+        let g = self.topology;
+        for (v, outbox) in outboxes.iter().enumerate() {
+            if outbox.is_empty() {
+                continue;
+            }
+            let deg = g.degree(v);
+            let mut port_bits = vec![0usize; deg];
+            let mut msgs = 0u64;
+            for out in outbox {
+                match out {
+                    Outgoing::Unicast(p, m) => {
+                        if self.broadcast_only {
+                            return Err(CongestError::UnicastForbidden { node: v, round });
+                        }
+                        if *p >= deg {
+                            return Err(CongestError::InvalidPort {
+                                node: v,
+                                port: *p,
+                                degree: deg,
+                            });
+                        }
+                        port_bits[*p] += m.bit_size();
+                        msgs += 1;
+                        if let Some(t) = &self.trace {
+                            t.record(crate::trace::TraceEvent {
+                                round,
+                                from: v,
+                                port: *p,
+                                bits: m.bit_size(),
+                            });
+                        }
+                    }
+                    Outgoing::Broadcast(m) => {
+                        let sz = m.bit_size();
+                        for pb in port_bits.iter_mut() {
+                            *pb += sz;
+                        }
+                        msgs += deg as u64;
+                        if let Some(t) = &self.trace {
+                            t.record(crate::trace::TraceEvent {
+                                round,
+                                from: v,
+                                port: usize::MAX,
+                                bits: sz,
+                            });
+                        }
+                    }
+                }
+            }
+            for (p, &bits) in port_bits.iter().enumerate() {
+                if let Bandwidth::Bits(limit) = self.bandwidth {
+                    if bits > limit {
+                        return Err(CongestError::BandwidthExceeded {
+                            node: v,
+                            port: p,
+                            attempted: bits,
+                            limit,
+                            round,
+                        });
+                    }
+                }
+                stats.directed_edge_bits[offsets[v] + p] += bits as u64;
+                stats.total_bits += bits as u64;
+                stats.max_edge_round_bits = stats.max_edge_round_bits.max(bits);
+            }
+            stats.total_messages += msgs;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators;
+
+    /// Flood: every node broadcasts its id once; after one round, each node
+    /// has heard all neighbor ids and halts, rejecting iff some neighbor id
+    /// is larger than its own.
+    struct Flood {
+        sent: bool,
+        done: bool,
+        reject: bool,
+    }
+
+    impl NodeAlgorithm for Flood {
+        type Msg = u64;
+
+        fn init(&mut self, ctx: &NodeContext, _rng: &mut ChaCha8Rng) -> Outbox<u64> {
+            self.sent = true;
+            if ctx.degree() == 0 {
+                self.done = true;
+                return Vec::new();
+            }
+            vec![Outgoing::Broadcast(ctx.id)]
+        }
+
+        fn on_round(
+            &mut self,
+            ctx: &NodeContext,
+            inbox: &Inbox<u64>,
+            _rng: &mut ChaCha8Rng,
+        ) -> Outbox<u64> {
+            self.reject = inbox.iter().any(|&(_, id)| id > ctx.id);
+            self.done = true;
+            Vec::new()
+        }
+
+        fn halted(&self) -> bool {
+            self.done
+        }
+
+        fn decision(&self) -> Decision {
+            if self.reject {
+                Decision::Reject
+            } else {
+                Decision::Accept
+            }
+        }
+    }
+
+    fn flood() -> Flood {
+        Flood {
+            sent: false,
+            done: false,
+            reject: false,
+        }
+    }
+
+    #[test]
+    fn flood_on_cycle() {
+        let g = generators::cycle(5);
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .run(|_| flood())
+            .unwrap();
+        assert!(out.completed);
+        assert_eq!(out.stats.rounds, 1);
+        // Every node except the max-id one rejects.
+        let rejects = out
+            .decisions
+            .iter()
+            .filter(|d| **d == Decision::Reject)
+            .count();
+        assert_eq!(rejects, 4);
+        // 5 nodes broadcast 64 bits over 2 ports each.
+        assert_eq!(out.stats.total_bits, 5 * 2 * 64);
+        assert_eq!(out.stats.total_messages, 10);
+    }
+
+    #[test]
+    fn bandwidth_enforced() {
+        let g = generators::cycle(4);
+        let err = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(8))
+            .run(|_| flood())
+            .unwrap_err();
+        match err {
+            CongestError::BandwidthExceeded {
+                attempted, limit, ..
+            } => {
+                assert_eq!(attempted, 64);
+                assert_eq!(limit, 8);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_model_unbounded() {
+        let g = generators::star(50);
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Unbounded)
+            .run(|_| flood())
+            .unwrap();
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn custom_ids_visible() {
+        // With descending ids, the first node holds the max id and accepts.
+        let g = generators::path(3);
+        let ids = vec![100, 50, 10];
+        let out = Engine::new(&g)
+            .with_ids(ids)
+            .bandwidth(Bandwidth::Bits(64))
+            .run(|_| flood())
+            .unwrap();
+        assert_eq!(out.decisions[0], Decision::Accept);
+        assert_eq!(out.decisions[1], Decision::Reject);
+        assert_eq!(out.decisions[2], Decision::Reject);
+    }
+
+    /// Ping-pong along one edge: checks unicast routing + round counting.
+    struct PingPong {
+        hops_left: usize,
+        done: bool,
+    }
+
+    impl NodeAlgorithm for PingPong {
+        type Msg = u32;
+
+        fn init(&mut self, ctx: &NodeContext, _rng: &mut ChaCha8Rng) -> Outbox<u32> {
+            if ctx.index == 0 {
+                vec![Outgoing::Unicast(0, self.hops_left as u32)]
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn on_round(
+            &mut self,
+            _ctx: &NodeContext,
+            inbox: &Inbox<u32>,
+            _rng: &mut ChaCha8Rng,
+        ) -> Outbox<u32> {
+            if let Some(&(port, hops)) = inbox.first() {
+                if hops == 0 {
+                    self.done = true;
+                    return Vec::new();
+                }
+                return vec![Outgoing::Unicast(port, hops - 1)];
+            }
+            // A node with nothing to do halts once the token passed it.
+            Vec::new()
+        }
+
+        fn halted(&self) -> bool {
+            self.done
+        }
+
+        fn decision(&self) -> Decision {
+            Decision::Accept
+        }
+    }
+
+    #[test]
+    fn ping_pong_rounds() {
+        let g = generators::path(2);
+        let hops = 6;
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(32))
+            .max_rounds(100)
+            .run(|_| PingPong {
+                hops_left: hops,
+                done: false,
+            })
+            .unwrap();
+        // Token makes `hops + 1` trips (counting down 6..=0).
+        assert_eq!(out.stats.total_messages, hops as u64 + 1);
+    }
+
+    #[test]
+    fn round_limit_reported() {
+        // PingPong on a path never sets `done` for node 1... give it a huge
+        // hop count and a tiny round limit instead.
+        let g = generators::path(2);
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(32))
+            .max_rounds(3)
+            .run(|_| PingPong {
+                hops_left: 1000,
+                done: false,
+            })
+            .unwrap();
+        assert!(!out.completed);
+        assert_eq!(out.stats.rounds, 3);
+    }
+
+    #[test]
+    fn per_round_series_sums_to_total() {
+        let g = generators::cycle(5);
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .run(|_| flood())
+            .unwrap();
+        assert_eq!(
+            out.stats.per_round_bits.iter().sum::<u64>(),
+            out.stats.total_bits
+        );
+        assert_eq!(out.stats.per_round_bits.len(), out.stats.rounds);
+        assert_eq!(out.stats.per_round_bits[0], 5 * 2 * 64);
+    }
+
+    #[test]
+    fn full_loss_delivers_nothing() {
+        let g = generators::cycle(5);
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .loss_rate(1.0)
+            .run(|_| flood())
+            .unwrap();
+        // Bits were still charged...
+        assert_eq!(out.stats.total_bits, 5 * 2 * 64);
+        // ...but nobody heard a larger id, so everyone accepts.
+        assert!(out
+            .decisions
+            .iter()
+            .all(|d| *d == Decision::Accept));
+    }
+
+    #[test]
+    fn partial_loss_is_deterministic_and_partial() {
+        let g = generators::clique(8);
+        let run = || {
+            Engine::new(&g)
+                .bandwidth(Bandwidth::Bits(64))
+                .seed(9)
+                .loss_rate(0.5)
+                .run(|_| flood())
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.decisions, b.decisions, "loss is seeded");
+        // With 56 deliveries at 50% loss, some but not all rejections of
+        // the loss-free run should survive.
+        let rejects = a
+            .decisions
+            .iter()
+            .filter(|d| **d == Decision::Reject)
+            .count();
+        assert!(rejects > 0 && rejects <= 7, "rejects = {rejects}");
+    }
+
+    #[test]
+    fn zero_loss_matches_default() {
+        let g = generators::cycle(6);
+        let a = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .run(|_| flood())
+            .unwrap();
+        let b = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .loss_rate(0.0)
+            .run(|_| flood())
+            .unwrap();
+        assert_eq!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn trace_captures_sends() {
+        let g = generators::cycle(3);
+        let buf = crate::trace::TraceBuffer::new(100);
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .trace(buf.clone())
+            .run(|_| flood())
+            .unwrap();
+        assert!(out.completed);
+        // Three broadcasts, one trace event each.
+        let evs = buf.events();
+        assert_eq!(evs.len(), 3);
+        assert!(evs.iter().all(|e| e.port == usize::MAX && e.bits == 64));
+        assert!(buf.summary().contains("3 sends"));
+    }
+
+    #[test]
+    fn broadcast_only_rejects_unicast() {
+        let g = generators::path(2);
+        let err = Engine::new(&g)
+            .broadcast_only(true)
+            .bandwidth(Bandwidth::Bits(32))
+            .run(|_| PingPong {
+                hops_left: 3,
+                done: false,
+            })
+            .unwrap_err();
+        assert!(matches!(err, CongestError::UnicastForbidden { .. }));
+    }
+
+    #[test]
+    fn broadcast_only_allows_broadcasts() {
+        let g = generators::cycle(4);
+        let out = Engine::new(&g)
+            .broadcast_only(true)
+            .bandwidth(Bandwidth::Bits(64))
+            .run(|_| flood())
+            .unwrap();
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let g = generators::cycle(7);
+        let run = || {
+            Engine::new(&g)
+                .seed(42)
+                .bandwidth(Bandwidth::Bits(64))
+                .run(|_| flood())
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.stats.total_bits, b.stats.total_bits);
+    }
+}

@@ -1,0 +1,97 @@
+//! Identifier namespaces.
+//!
+//! §4 and §5 of the paper treat a node and its identifier as separate
+//! entities: the adversary (or the input distribution) assigns identifiers
+//! from a namespace, and an algorithm's behavior may depend only on the ids
+//! it sees. These helpers produce the assignments those sections need.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Identity assignment: `id(v) = v`.
+pub fn identity(n: usize) -> Vec<u64> {
+    (0..n as u64).collect()
+}
+
+/// Distinct identifiers drawn uniformly at random from `[0, namespace)`.
+///
+/// # Panics
+/// Panics if `namespace < n`.
+pub fn random_distinct<R: Rng>(n: usize, namespace: u64, rng: &mut R) -> Vec<u64> {
+    assert!(namespace >= n as u64, "namespace too small");
+    let mut chosen = std::collections::HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let id = rng.gen_range(0..namespace);
+        if chosen.insert(id) {
+            out.push(id);
+        }
+    }
+    out
+}
+
+/// Identifiers drawn uniformly *with replacement* from `[0, namespace)` —
+/// the §5 distribution (duplicates possible, with probability `O(n²/N)`).
+pub fn random_iid<R: Rng>(n: usize, namespace: u64, rng: &mut R) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(0..namespace)).collect()
+}
+
+/// A random permutation of `0..n` as the id space (distinct, dense).
+pub fn random_permutation<R: Rng>(n: usize, rng: &mut R) -> Vec<u64> {
+    let mut ids: Vec<u64> = (0..n as u64).collect();
+    ids.shuffle(rng);
+    ids
+}
+
+/// Splits the namespace `[0, 3n)` into the three §4 parts
+/// `N_0 = [0, n)`, `N_1 = [n, 2n)`, `N_2 = [2n, 3n)`.
+pub fn tripartite_namespace(n: u64) -> [std::ops::Range<u64>; 3] {
+    [0..n, n..2 * n, 2 * n..3 * n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn identity_ids() {
+        assert_eq!(identity(3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn distinct_ids_are_distinct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ids = random_distinct(100, 150, &mut rng);
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), 100);
+        assert!(ids.iter().all(|&x| x < 150));
+    }
+
+    #[test]
+    fn permutation_is_permutation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut ids = random_permutation(50, &mut rng);
+        ids.sort_unstable();
+        assert_eq!(ids, (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn iid_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ids = random_iid(1000, 10, &mut rng);
+        assert!(ids.iter().all(|&x| x < 10));
+        // With namespace 10 and 1000 draws, duplicates are certain.
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert!(set.len() < 1000);
+    }
+
+    #[test]
+    fn namespace_parts_disjoint() {
+        let [a, b, c] = tripartite_namespace(5);
+        assert_eq!(a, 0..5);
+        assert_eq!(b, 5..10);
+        assert_eq!(c, 10..15);
+    }
+}

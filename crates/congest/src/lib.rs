@@ -1,0 +1,33 @@
+//! # congest — instrumented CONGEST and congested-clique simulators
+//!
+//! The paper's results are statements about rounds × bandwidth in the
+//! CONGEST model (§2). This crate substitutes the abstract network with a
+//! deterministic simulator that *enforces* the `B`-bit bandwidth bound per
+//! edge per round and records exact traffic statistics (total bits, per-edge
+//! bits, cut traffic), so every bound in the paper becomes a measurable
+//! quantity.
+//!
+//! * [`engine::Engine`] — the CONGEST round engine over a
+//!   [`graphlib::Graph`] topology (set [`engine::Bandwidth::Unbounded`] for
+//!   the LOCAL model).
+//! * [`cliquemodel::CliqueEngine`] — the congested-clique engine (all-to-all
+//!   topology, separate input graph).
+//! * [`message::BitSize`] — exact on-the-wire bit accounting.
+//! * [`identifiers`] — namespace/id assignments (§4, §5 separate nodes from
+//!   identifiers).
+
+#![warn(missing_docs)]
+
+pub mod cliquemodel;
+pub mod engine;
+pub mod identifiers;
+pub mod message;
+pub mod node;
+pub mod stats;
+pub mod trace;
+
+pub use engine::{Bandwidth, CongestError, Engine, RunOutcome};
+pub use message::{bits_for_domain, BitSize, BitString};
+pub use node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
+pub use stats::RunStats;
+pub use trace::{TraceBuffer, TraceEvent};

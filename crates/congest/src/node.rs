@@ -1,0 +1,110 @@
+//! The node-algorithm interface of the simulator.
+//!
+//! A distributed algorithm is a per-node state machine. Each node sees only
+//! its own identifier, its degree, the identifiers of its neighbors (indexed
+//! by *port*), and the messages arriving on its ports.
+
+use crate::message::BitSize;
+use rand_chacha::ChaCha8Rng;
+
+/// What a node knows about itself and its surroundings.
+///
+/// Ports number a node's incident edges `0..degree`; port `p` of node `v`
+/// leads to `v`'s `p`-th neighbor in the topology's (sorted) adjacency list.
+#[derive(Debug, Clone)]
+pub struct NodeContext {
+    /// Index of this node in the topology (simulation-internal; algorithms
+    /// that follow the paper's §4/§5 setting should not base decisions on
+    /// it, only on `id`).
+    pub index: usize,
+    /// The identifier assigned to this node.
+    pub id: u64,
+    /// Identifiers of the neighbors, `neighbor_ids[p]` = id across port `p`.
+    pub neighbor_ids: Vec<u64>,
+    /// Number of nodes in the network (`n` is commonly known in CONGEST).
+    pub n: usize,
+    /// Current round, starting at 1 for the first communication round
+    /// (0 during `init`).
+    pub round: usize,
+}
+
+impl NodeContext {
+    /// Degree of this node.
+    pub fn degree(&self) -> usize {
+        self.neighbor_ids.len()
+    }
+}
+
+/// A message handed to the engine for delivery next round.
+#[derive(Debug, Clone)]
+pub enum Outgoing<M> {
+    /// Send to a single port.
+    Unicast(usize, M),
+    /// Send the same message on every port. In CONGEST this still costs the
+    /// message size on *each* edge.
+    Broadcast(M),
+}
+
+/// The messages a node emits in one round.
+pub type Outbox<M> = Vec<Outgoing<M>>;
+
+/// A message received this round: `(port, payload)`.
+pub type Inbox<M> = Vec<(usize, M)>;
+
+/// Accept/reject output of a node (Definition 1 semantics: the network
+/// rejects — "H found" — iff some node rejects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The node believes the graph is H-free.
+    Accept,
+    /// The node has detected (evidence of) a copy of H.
+    Reject,
+}
+
+/// A per-node distributed algorithm.
+///
+/// The engine drives each node through `init` (round 0, no messages yet)
+/// and then `on_round` once per communication round until every node has
+/// halted or the round limit is reached.
+pub trait NodeAlgorithm: Send {
+    /// Message type exchanged by this algorithm.
+    type Msg: Clone + Send + Sync + BitSize;
+
+    /// Called once before communication starts; returns the messages to be
+    /// delivered in round 1.
+    fn init(&mut self, ctx: &NodeContext, rng: &mut ChaCha8Rng) -> Outbox<Self::Msg>;
+
+    /// Called once per round with the messages received in this round;
+    /// returns messages to be delivered next round.
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        inbox: &Inbox<Self::Msg>,
+        rng: &mut ChaCha8Rng,
+    ) -> Outbox<Self::Msg>;
+
+    /// Whether this node has halted (it will not be stepped again, and its
+    /// pending outbox still gets delivered). The engine stops when all nodes
+    /// have halted.
+    fn halted(&self) -> bool;
+
+    /// The node's current output.
+    fn decision(&self) -> Decision;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_degree() {
+        let ctx = NodeContext {
+            index: 0,
+            id: 7,
+            neighbor_ids: vec![1, 2, 3],
+            n: 4,
+            round: 0,
+        };
+        assert_eq!(ctx.degree(), 3);
+    }
+}

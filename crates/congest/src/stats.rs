@@ -1,0 +1,114 @@
+//! Traffic and round accounting for simulator runs.
+
+use graphlib::Graph;
+
+/// Cumulative traffic statistics for one run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Number of communication rounds executed.
+    pub rounds: usize,
+    /// Total bits sent over all edges and rounds.
+    pub total_bits: u64,
+    /// Total number of messages sent.
+    pub total_messages: u64,
+    /// Maximum bits sent over a single directed edge in a single round.
+    pub max_edge_round_bits: usize,
+    /// Cumulative bits per *directed* edge slot, aligned with the CSR
+    /// adjacency order of the topology: slot `offset(u) + p` holds the bits
+    /// node `u` sent on its port `p` over the whole run.
+    pub directed_edge_bits: Vec<u64>,
+    /// CSR offsets (`offset(u)` = start of `u`'s slots), kept so the stats
+    /// are interpretable without the topology.
+    pub offsets: Vec<usize>,
+    /// Bits sent in each round (`per_round_bits[r-1]` for round `r`) — the
+    /// traffic time-series, useful for spotting a protocol's phases.
+    pub per_round_bits: Vec<u64>,
+}
+
+impl RunStats {
+    pub(crate) fn new(g: &Graph) -> Self {
+        let mut offsets = Vec::with_capacity(g.n() + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for v in 0..g.n() {
+            acc += g.degree(v);
+            offsets.push(acc);
+        }
+        RunStats {
+            rounds: 0,
+            total_bits: 0,
+            total_messages: 0,
+            max_edge_round_bits: 0,
+            directed_edge_bits: vec![0; acc],
+            offsets,
+            per_round_bits: Vec::new(),
+        }
+    }
+
+    /// Bits sent by node `u` over port `p`, cumulative over the run.
+    pub fn edge_bits(&self, u: usize, port: usize) -> u64 {
+        self.directed_edge_bits[self.offsets[u] + port]
+    }
+
+    /// Total bits sent by node `u` over all its ports.
+    pub fn node_bits(&self, u: usize) -> u64 {
+        self.directed_edge_bits[self.offsets[u]..self.offsets[u + 1]]
+            .iter()
+            .sum()
+    }
+
+    /// Bits crossing the vertex cut `side` (both directions): the total
+    /// traffic on edges `{u, v}` with `side[u] != side[v]`. This is the
+    /// quantity the §3.3 simulation argument charges to Alice and Bob.
+    pub fn bits_across_cut(&self, g: &Graph, side: &[bool]) -> u64 {
+        assert_eq!(side.len(), g.n());
+        let mut total = 0;
+        for u in 0..g.n() {
+            for (p, &v) in g.neighbors(u).iter().enumerate() {
+                if side[u] != side[v as usize] {
+                    total += self.edge_bits(u, p);
+                }
+            }
+        }
+        total
+    }
+
+    /// Average bits per round across all directed edges.
+    pub fn avg_bits_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_bits as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators;
+
+    #[test]
+    fn fresh_stats_are_zero() {
+        let g = generators::cycle(4);
+        let s = RunStats::new(&g);
+        assert_eq!(s.total_bits, 0);
+        assert_eq!(s.directed_edge_bits.len(), 8);
+        assert_eq!(s.node_bits(0), 0);
+    }
+
+    #[test]
+    fn cut_accounting() {
+        let g = generators::path(3); // 0 - 1 - 2
+        let mut s = RunStats::new(&g);
+        // Node 1 sends 5 bits to node 0 (its port 0) and 7 bits to node 2.
+        s.directed_edge_bits[s.offsets[1]] = 5;
+        s.directed_edge_bits[s.offsets[1] + 1] = 7;
+        s.total_bits = 12;
+        // Cut {0} vs {1,2}: only the 1->0 traffic crosses.
+        assert_eq!(s.bits_across_cut(&g, &[true, false, false]), 5);
+        // Cut {0,1} vs {2}: only 1->2 crosses.
+        assert_eq!(s.bits_across_cut(&g, &[true, true, false]), 7);
+        assert_eq!(s.node_bits(1), 12);
+    }
+}

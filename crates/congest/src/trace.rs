@@ -1,0 +1,152 @@
+//! Bounded message tracing for debugging distributed algorithms.
+//!
+//! The engine is deterministic, so a trace of "who sent how many bits to
+//! whom in which round" usually pinpoints a protocol bug immediately. To
+//! keep traces cheap they are *bounded*: a [`TraceBuffer`] keeps the first
+//! `capacity` events and counts the rest.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One traced send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Round of the send (messages are delivered in this round).
+    pub round: usize,
+    /// Sending node index.
+    pub from: usize,
+    /// Port the message left on (`usize::MAX` for broadcast).
+    pub port: usize,
+    /// Message size in bits.
+    pub bits: usize,
+}
+
+/// A bounded, thread-safe event buffer (node steps run on rayon workers).
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    inner: Arc<Mutex<TraceInner>>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer keeping at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            inner: Arc::new(Mutex::new(TraceInner::default())),
+            capacity,
+        }
+    }
+
+    /// Records an event (drops and counts once full).
+    pub fn record(&self, ev: TraceEvent) {
+        let mut inner = self.inner.lock();
+        if inner.events.len() < self.capacity {
+            inner.events.push(ev);
+        } else {
+            inner.dropped += 1;
+        }
+    }
+
+    /// Snapshot of the recorded events (sorted by round, then sender).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut evs = self.inner.lock().events.clone();
+        evs.sort_by_key(|e| (e.round, e.from, e.port));
+        evs
+    }
+
+    /// How many events were dropped after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Renders a compact per-round summary (`round: sends / bits`).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let evs = self.events();
+        let mut out = String::new();
+        let mut round = usize::MAX;
+        let mut count = 0usize;
+        let mut bits = 0usize;
+        let flush = |out: &mut String, round: usize, count: usize, bits: usize| {
+            if round != usize::MAX {
+                let _ = writeln!(out, "round {round}: {count} sends, {bits} bits");
+            }
+        };
+        for e in &evs {
+            if e.round != round {
+                flush(&mut out, round, count, bits);
+                round = e.round;
+                count = 0;
+                bits = 0;
+            }
+            count += 1;
+            bits += e.bits;
+        }
+        flush(&mut out, round, count, bits);
+        if self.dropped() > 0 {
+            let _ = writeln!(out, "(+{} dropped events)", self.dropped());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_until_capacity() {
+        let t = TraceBuffer::new(2);
+        for round in 1..=3 {
+            t.record(TraceEvent {
+                round,
+                from: 0,
+                port: 0,
+                bits: 8,
+            });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn events_sorted_by_round() {
+        let t = TraceBuffer::new(10);
+        t.record(TraceEvent {
+            round: 2,
+            from: 1,
+            port: 0,
+            bits: 4,
+        });
+        t.record(TraceEvent {
+            round: 1,
+            from: 0,
+            port: usize::MAX,
+            bits: 8,
+        });
+        let evs = t.events();
+        assert_eq!(evs[0].round, 1);
+        assert_eq!(evs[1].round, 2);
+    }
+
+    #[test]
+    fn summary_aggregates_per_round() {
+        let t = TraceBuffer::new(10);
+        for from in 0..3 {
+            t.record(TraceEvent {
+                round: 1,
+                from,
+                port: 0,
+                bits: 8,
+            });
+        }
+        let s = t.summary();
+        assert!(s.contains("round 1: 3 sends, 24 bits"), "{s}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the simulators' accounting invariants.
+
+use congest::{
+    bits_for_domain, Bandwidth, BitString, Decision, Engine, Inbox, NodeAlgorithm, NodeContext,
+    Outbox, Outgoing,
+};
+use graphlib::{generators, Graph};
+use proptest::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Broadcasts `payload_bits` of zeros for `rounds` rounds, then halts.
+struct Chatter {
+    rounds: usize,
+    payload_bits: usize,
+    done: bool,
+}
+
+impl NodeAlgorithm for Chatter {
+    type Msg = BitString;
+
+    fn init(&mut self, ctx: &NodeContext, _rng: &mut ChaCha8Rng) -> Outbox<BitString> {
+        if ctx.degree() == 0 || self.rounds == 0 {
+            self.done = true;
+            return Vec::new();
+        }
+        vec![Outgoing::Broadcast(BitString::from_uint(
+            0,
+            self.payload_bits,
+        ))]
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        _inbox: &Inbox<BitString>,
+        _rng: &mut ChaCha8Rng,
+    ) -> Outbox<BitString> {
+        if ctx.round >= self.rounds {
+            self.done = true;
+            return Vec::new();
+        }
+        vec![Outgoing::Broadcast(BitString::from_uint(
+            0,
+            self.payload_bits,
+        ))]
+    }
+
+    fn halted(&self) -> bool {
+        self.done
+    }
+
+    fn decision(&self) -> Decision {
+        Decision::Accept
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..16).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..40)
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn total_bits_equals_directed_sum(g in arb_graph(), rounds in 1usize..5, bits in 1usize..16) {
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(bits))
+            .run(|_| Chatter { rounds, payload_bits: bits, done: false })
+            .unwrap();
+        let directed: u64 = out.stats.directed_edge_bits.iter().sum();
+        prop_assert_eq!(directed, out.stats.total_bits);
+        // Every live node broadcast `bits` on each port, `rounds` times.
+        prop_assert_eq!(out.stats.total_bits, (2 * g.m() * bits * rounds) as u64);
+        prop_assert!(out.stats.max_edge_round_bits <= bits);
+    }
+
+    #[test]
+    fn engine_is_deterministic(g in arb_graph(), seed in any::<u64>()) {
+        let run = || Engine::new(&g)
+            .seed(seed)
+            .bandwidth(Bandwidth::Bits(8))
+            .run(|_| Chatter { rounds: 2, payload_bits: 8, done: false })
+            .unwrap();
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.stats.total_bits, b.stats.total_bits);
+        prop_assert_eq!(a.stats.rounds, b.stats.rounds);
+        prop_assert_eq!(a.decisions.len(), b.decisions.len());
+    }
+
+    #[test]
+    fn bandwidth_violations_always_caught(bits in 9usize..64) {
+        let g = generators::cycle(4);
+        let res = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(8))
+            .run(|_| Chatter { rounds: 1, payload_bits: bits, done: false });
+        prop_assert!(res.is_err());
+    }
+
+    #[test]
+    fn cut_traffic_never_exceeds_total(g in arb_graph(), mask in any::<u16>()) {
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(8))
+            .run(|_| Chatter { rounds: 1, payload_bits: 8, done: false })
+            .unwrap();
+        let side: Vec<bool> = (0..g.n()).map(|v| mask >> (v % 16) & 1 == 1).collect();
+        prop_assert!(out.stats.bits_across_cut(&g, &side) <= out.stats.total_bits);
+    }
+
+    #[test]
+    fn bitstring_uint_roundtrip(value in any::<u64>(), width in 1usize..64) {
+        let masked = value & ((1u64 << width) - 1);
+        let b = BitString::from_uint(masked, width);
+        prop_assert_eq!(b.len(), width);
+        prop_assert_eq!(b.to_uint(), masked);
+    }
+
+    #[test]
+    fn bits_for_domain_is_minimal(domain in 2usize..1_000_000) {
+        let b = bits_for_domain(domain);
+        prop_assert!(1usize << b >= domain, "2^{b} must cover {domain}");
+        if b > 1 {
+            prop_assert!(1usize << (b - 1) < domain, "b is minimal");
+        }
+    }
+
+    #[test]
+    fn prefix_code_of_fixed_width_strings(a in any::<u32>(), b in any::<u32>(), w in 1usize..32) {
+        let mask = (1u64 << w) - 1;
+        let x = BitString::from_uint(a as u64 & mask, w);
+        let y = BitString::from_uint(b as u64 & mask, w);
+        // Fixed-width strings form a prefix code: prefix implies equality.
+        if x.is_prefix_of(&y) {
+            prop_assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Linear-round detection of *any* fixed cycle `C_k` — the upper bound the
+//! paper pairs with its odd-cycle lower bound (§1.1: for odd `C_k`
+//! detection takes `Ω̃(n)` rounds, "it is easy to see that `O(n)` rounds
+//! suffice, so this bound is nearly tight").
+//!
+//! The algorithm is the color-coded pipelined BFS of Phase I, started from
+//! *every* color-0 node instead of only high-degree ones, with a round
+//! budget of `n + k`: at most `n` BFS tokens exist (one per color-0 node)
+//! and each node forwards any given token at most once, so every token
+//! completes its `k` hops within the budget — no Turán bound needed, and
+//! rejection happens only on an explicit properly-colored closed `k`-walk,
+//! which (distinct colors ⇒ distinct vertices) is a genuine `C_k`.
+
+use congest::{
+    bits_for_domain, Bandwidth, BitSize, CongestError, Decision, Engine, Inbox, NodeAlgorithm,
+    NodeContext, Outbox, Outgoing,
+};
+use graphlib::Graph;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// The BFS token: origin identifier plus hop counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Color-0 node that started the walk.
+    pub origin: u64,
+    /// Hops taken (equals the color of the last holder).
+    pub hops: u16,
+    bits: u32,
+}
+
+impl BitSize for Token {
+    fn bit_size(&self) -> usize {
+        self.bits as usize
+    }
+}
+
+/// One repetition of the linear-round `C_k` detector.
+pub struct AnyCycleNode {
+    k: usize,
+    budget: usize,
+    color: u16,
+    queue: VecDeque<Token>,
+    seen: graphlib::FxHashSet<(u64, u16)>,
+    reject: bool,
+    done: bool,
+}
+
+impl AnyCycleNode {
+    /// A node searching for `C_k` (`k >= 3`) with the given round budget
+    /// (`n + k` guarantees completion).
+    pub fn new(k: usize, budget: usize) -> Self {
+        assert!(k >= 3);
+        AnyCycleNode {
+            k,
+            budget,
+            color: 0,
+            queue: VecDeque::new(),
+            seen: graphlib::FxHashSet::default(),
+            reject: false,
+            done: false,
+        }
+    }
+
+    fn token(&self, ctx: &NodeContext, origin: u64, hops: u16) -> Token {
+        Token {
+            origin,
+            hops,
+            bits: (bits_for_domain(ctx.n.max(2)) + bits_for_domain(self.k.max(2))) as u32,
+        }
+    }
+
+    fn pop(&mut self) -> Outbox<Token> {
+        match self.queue.pop_front() {
+            Some(t) => vec![Outgoing::Broadcast(t)],
+            None => Vec::new(),
+        }
+    }
+}
+
+impl NodeAlgorithm for AnyCycleNode {
+    type Msg = Token;
+
+    fn init(&mut self, ctx: &NodeContext, rng: &mut ChaCha8Rng) -> Outbox<Token> {
+        self.color = rng.gen_range(0..self.k as u16);
+        if self.color == 0 && ctx.degree() >= 2 {
+            let t = self.token(ctx, ctx.id, 0);
+            self.seen.insert((t.origin, t.hops));
+            self.queue.push_back(t);
+        }
+        self.pop()
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        inbox: &Inbox<Token>,
+        _rng: &mut ChaCha8Rng,
+    ) -> Outbox<Token> {
+        let k = self.k as u16;
+        for (_, t) in inbox {
+            if t.origin == ctx.id && t.hops == k - 1 {
+                self.reject = true;
+            } else if t.hops + 1 < k && self.color == t.hops + 1 {
+                let fwd = self.token(ctx, t.origin, t.hops + 1);
+                if self.seen.insert((fwd.origin, fwd.hops)) {
+                    self.queue.push_back(fwd);
+                }
+            }
+        }
+        if ctx.round >= self.budget {
+            // The budget provably drains every queue (at most n tokens,
+            // each enqueued at most once per node), so unlike Phase I of
+            // the even-cycle algorithm there is no overflow-reject case.
+            debug_assert!(self.queue.is_empty(), "n + k budget must drain queues");
+            self.done = true;
+            return Vec::new();
+        }
+        self.pop()
+    }
+
+    fn halted(&self) -> bool {
+        self.done
+    }
+
+    fn decision(&self) -> Decision {
+        if self.reject {
+            Decision::Reject
+        } else {
+            Decision::Accept
+        }
+    }
+}
+
+/// Report of the linear detector.
+#[derive(Debug, Clone)]
+pub struct AnyCycleReport {
+    /// Whether a `C_k` was found.
+    pub detected: bool,
+    /// Repetitions executed.
+    pub repetitions_run: usize,
+    /// Rounds per repetition (`n + k` — linear, for every `k`).
+    pub rounds_per_repetition: usize,
+    /// Total rounds.
+    pub total_rounds: usize,
+    /// Total bits.
+    pub total_bits: u64,
+}
+
+/// Amplification count `4 k^k` (a fixed copy is properly colored with
+/// probability `k^{-k}` up to rotations), capped.
+pub fn any_cycle_reps(k: usize) -> usize {
+    let mut acc: u64 = 1;
+    for _ in 0..k {
+        acc = acc.saturating_mul(k as u64);
+        if acc > 1 << 22 {
+            return 1 << 22;
+        }
+    }
+    (4 * acc) as usize
+}
+
+/// Detects `C_k` (any `k >= 3`, odd or even) in `O(n)` rounds per
+/// repetition.
+pub fn detect_cycle_linear(
+    g: &Graph,
+    k: usize,
+    reps: usize,
+    seed: u64,
+) -> Result<AnyCycleReport, CongestError> {
+    let budget = g.n() + k;
+    let bw = Bandwidth::Bits(bits_for_domain(g.n().max(2)) + bits_for_domain(k.max(2)));
+    let mut total_rounds = 0;
+    let mut total_bits = 0;
+    let mut detected = false;
+    let mut executed = 0;
+    for rep in 0..reps {
+        executed += 1;
+        let out = Engine::new(g)
+            .bandwidth(bw)
+            .seed(seed ^ (rep as u64).wrapping_mul(0x6C62272E07BB0142))
+            .max_rounds(budget + 2)
+            .run(|_| AnyCycleNode::new(k, budget))?;
+        total_rounds += out.stats.rounds;
+        total_bits += out.stats.total_bits;
+        if out.network_rejects() {
+            detected = true;
+            break;
+        }
+    }
+    Ok(AnyCycleReport {
+        detected,
+        repetitions_run: executed,
+        rounds_per_repetition: budget,
+        total_rounds,
+        total_bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators;
+
+    #[test]
+    fn detects_odd_cycles() {
+        // The C5 case: the paper's odd-cycle lower bound is Ω̃(n), and this
+        // is the matching O(n) upper bound.
+        let g = generators::cycle(5);
+        let r = detect_cycle_linear(&g, 5, 30_000, 1).unwrap();
+        assert!(r.detected);
+        assert_eq!(r.rounds_per_repetition, 5 + 5);
+    }
+
+    #[test]
+    fn detects_triangles() {
+        let g = generators::clique(4);
+        assert!(detect_cycle_linear(&g, 3, 2000, 2).unwrap().detected);
+    }
+
+    #[test]
+    fn sound_on_cycle_free_graphs() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        let t = generators::random_tree(40, &mut rng);
+        for k in [3usize, 5, 6] {
+            let r = detect_cycle_linear(&t, k, 40, k as u64).unwrap();
+            assert!(!r.detected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sound_on_wrong_length() {
+        // C8 contains no C6 (as a subgraph).
+        let g = generators::cycle(8);
+        let r = detect_cycle_linear(&g, 6, 200, 5).unwrap();
+        assert!(!r.detected);
+    }
+
+    #[test]
+    fn rounds_are_linear_in_n() {
+        let small = detect_cycle_linear(&generators::cycle(20), 5, 1, 6).unwrap();
+        let large = detect_cycle_linear(&generators::cycle(200), 5, 1, 6).unwrap();
+        assert_eq!(small.rounds_per_repetition, 25);
+        assert_eq!(large.rounds_per_repetition, 205);
+    }
+
+    #[test]
+    fn agreement_with_ground_truth() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
+        for trial in 0..4 {
+            let g = generators::gnm(18, 20, &mut rng);
+            let truth = graphlib::cycles::has_cycle(&g, 5);
+            let r = detect_cycle_linear(&g, 5, 60_000, trial).unwrap();
+            assert_eq!(r.detected, truth, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn reps_formula() {
+        assert_eq!(any_cycle_reps(3), 4 * 27);
+        assert!(any_cycle_reps(20) == 1 << 22);
+    }
+}

@@ -1,0 +1,225 @@
+//! A unified façade over every detection algorithm in this crate.
+//!
+//! Downstream users pick a [`Detector`] and call [`Detector::detect`]; the
+//! façade routes to the right algorithm and normalizes the result into a
+//! [`DetectionOutcome`] (found / rounds / bits), so algorithms can be
+//! compared or swapped without touching call sites.
+
+use crate::even_cycle::{detect_even_cycle, EvenCycleConfig};
+use crate::tree::TreePattern;
+use crate::triangle::OneRoundStrategy;
+use congest::CongestError;
+use graphlib::Graph;
+
+/// Which algorithm to run.
+#[derive(Debug, Clone)]
+pub enum Detector {
+    /// Theorem 1.1: randomized sublinear `C_{2k}` detection.
+    EvenCycle {
+        /// Cycle half-length (`k >= 2`).
+        k: usize,
+        /// Amplification repetitions.
+        repetitions: usize,
+    },
+    /// `O(Δ)`-round `K_s` detection by neighbor exchange.
+    Clique {
+        /// Clique size (`s >= 3`).
+        s: usize,
+    },
+    /// One-round triangle detection with a bounded message budget.
+    TriangleOneRound {
+        /// Message strategy/budget.
+        strategy: OneRoundStrategy,
+    },
+    /// Constant-round color-coded tree detection.
+    Tree {
+        /// The rooted tree pattern.
+        pattern: TreePattern,
+        /// Amplification repetitions.
+        repetitions: usize,
+    },
+    /// LOCAL-model ball collection for an arbitrary connected pattern.
+    Local {
+        /// The pattern graph (must be connected).
+        pattern: Graph,
+    },
+    /// CONGEST gather-at-leader for an arbitrary pattern (connected host).
+    Gather {
+        /// The pattern graph.
+        pattern: Graph,
+    },
+}
+
+/// Normalized detection result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionOutcome {
+    /// Whether a copy of the target subgraph was reported.
+    pub detected: bool,
+    /// Total rounds across the run (all repetitions).
+    pub rounds: usize,
+    /// Total bits sent.
+    pub total_bits: u64,
+}
+
+impl Detector {
+    /// A reasonable default for detecting the fixed subgraph `h`:
+    /// even-cycle detector for even cycles, clique detector for cliques,
+    /// tree detector for trees, and gather for everything else.
+    pub fn auto_for(h: &Graph) -> Detector {
+        let n = h.n();
+        // Even cycle C_{2k}?
+        if n >= 4
+            && n.is_multiple_of(2)
+            && h.m() == n
+            && (0..n).all(|v| h.degree(v) == 2)
+            && graphlib::components::is_connected(h)
+        {
+            return Detector::EvenCycle {
+                k: n / 2,
+                repetitions: crate::even_cycle::amplification_reps(n / 2),
+            };
+        }
+        // Clique K_s?
+        if n >= 3 && h.m() == n * (n - 1) / 2 {
+            return Detector::Clique { s: n };
+        }
+        // Tree?
+        if (1..=64).contains(&n)
+            && h.m() == n - 1
+            && graphlib::components::is_connected(h)
+        {
+            return Detector::Tree {
+                pattern: TreePattern::from_graph(h, 0),
+                repetitions: crate::tree::tree_reps(n),
+            };
+        }
+        Detector::Gather { pattern: h.clone() }
+    }
+
+    /// Runs the detector on `g` with the given seed.
+    pub fn detect(&self, g: &Graph, seed: u64) -> Result<DetectionOutcome, CongestError> {
+        match self {
+            Detector::EvenCycle { k, repetitions } => {
+                let rep = detect_even_cycle(
+                    g,
+                    EvenCycleConfig::new(*k)
+                        .repetitions(*repetitions)
+                        .seed(seed),
+                )?;
+                Ok(DetectionOutcome {
+                    detected: rep.detected,
+                    rounds: rep.total_rounds,
+                    total_bits: rep.total_bits,
+                })
+            }
+            Detector::Clique { s } => {
+                let rep = crate::clique_detect::detect_clique(g, *s)?;
+                Ok(DetectionOutcome {
+                    detected: rep.detected,
+                    rounds: rep.rounds,
+                    total_bits: rep.total_bits,
+                })
+            }
+            Detector::TriangleOneRound { strategy } => {
+                let rep = crate::triangle::detect_triangle_one_round(g, *strategy, seed)?;
+                Ok(DetectionOutcome {
+                    detected: rep.detected,
+                    rounds: 1,
+                    total_bits: rep.total_bits,
+                })
+            }
+            Detector::Tree {
+                pattern,
+                repetitions,
+            } => {
+                let rep = crate::tree::detect_tree(g, pattern, *repetitions, seed)?;
+                Ok(DetectionOutcome {
+                    detected: rep.detected,
+                    rounds: rep.total_rounds,
+                    total_bits: rep.total_bits,
+                })
+            }
+            Detector::Local { pattern } => {
+                let rep = crate::generic::detect_local(g, pattern)?;
+                Ok(DetectionOutcome {
+                    detected: rep.detected,
+                    rounds: rep.rounds,
+                    total_bits: rep.total_bits,
+                })
+            }
+            Detector::Gather { pattern } => {
+                let rep = crate::generic::detect_gather(g, pattern)?;
+                Ok(DetectionOutcome {
+                    detected: rep.detected,
+                    rounds: rep.rounds,
+                    total_bits: rep.total_bits,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators;
+
+    #[test]
+    fn auto_routing() {
+        assert!(matches!(
+            Detector::auto_for(&generators::cycle(4)),
+            Detector::EvenCycle { k: 2, .. }
+        ));
+        assert!(matches!(
+            Detector::auto_for(&generators::cycle(6)),
+            Detector::EvenCycle { k: 3, .. }
+        ));
+        assert!(matches!(
+            Detector::auto_for(&generators::clique(5)),
+            Detector::Clique { s: 5 }
+        ));
+        assert!(matches!(
+            Detector::auto_for(&generators::star(4)),
+            Detector::Tree { .. }
+        ));
+        // Odd cycle: neither even cycle, clique, nor tree.
+        assert!(matches!(
+            Detector::auto_for(&generators::cycle(5)),
+            Detector::Gather { .. }
+        ));
+    }
+
+    #[test]
+    fn facade_detects_across_algorithms() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        let base = generators::random_tree(24, &mut rng);
+        let (g, _) = generators::plant_cycle(&base, 4, &mut rng);
+
+        let even = Detector::EvenCycle {
+            k: 2,
+            repetitions: 3000,
+        };
+        assert!(even.detect(&g, 1).unwrap().detected);
+
+        let gather = Detector::Gather {
+            pattern: generators::cycle(4),
+        };
+        assert!(gather.detect(&g, 1).unwrap().detected);
+
+        let tri = Detector::Clique { s: 3 };
+        assert_eq!(
+            tri.detect(&g, 1).unwrap().detected,
+            graphlib::cliques::count_triangles(&g) > 0
+        );
+    }
+
+    #[test]
+    fn outcome_carries_accounting() {
+        let g = generators::clique(5);
+        let out = Detector::Clique { s: 3 }.detect(&g, 0).unwrap();
+        assert!(out.detected);
+        assert!(out.rounds > 0);
+        assert!(out.total_bits > 0);
+    }
+}

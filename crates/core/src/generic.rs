@@ -1,0 +1,476 @@
+//! Generic subgraph-detection baselines.
+//!
+//! * [`detect_local`] — the LOCAL-model algorithm from the introduction:
+//!   every node collects its `O(|H|)`-ball with unbounded messages and
+//!   checks for `H` locally. `O(|H|)` rounds, but the per-edge traffic is
+//!   what the CONGEST bounds forbid — measuring it exhibits the
+//!   CONGEST/LOCAL separation of Theorem 1.2.
+//! * [`detect_gather`] — the trivial CONGEST algorithm: build a BFS tree,
+//!   convergecast every edge to the leader (pipelined, one edge per round
+//!   per tree edge), decide centrally. `O(n + m)` rounds at `B = Θ(log n)`.
+
+use congest::{
+    bits_for_domain, Bandwidth, BitSize, CongestError, Decision, Engine, Inbox, NodeAlgorithm,
+    NodeContext, Outbox, Outgoing,
+};
+use graphlib::{FxHashSet, Graph, GraphBuilder};
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// Builds a compact graph from a set of id-labeled edges.
+fn graph_from_id_edges(edges: &FxHashSet<(u64, u64)>) -> Graph {
+    let mut ids: Vec<u64> = edges
+        .iter()
+        .flat_map(|&(a, b)| [a, b])
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let index = |x: u64| ids.binary_search(&x).unwrap();
+    let mut b = GraphBuilder::new(ids.len());
+    for &(u, v) in edges {
+        b.add_edge(index(u), index(v));
+    }
+    b.build()
+}
+
+// ---------------------------------------------------------------------------
+// LOCAL-model ball collection
+// ---------------------------------------------------------------------------
+
+/// An edge-set gossip message.
+#[derive(Debug, Clone)]
+pub struct EdgeSet {
+    /// Canonical `(min_id, max_id)` edges.
+    pub edges: Vec<(u64, u64)>,
+    bits: u32,
+}
+
+impl BitSize for EdgeSet {
+    fn bit_size(&self) -> usize {
+        self.bits as usize
+    }
+}
+
+/// LOCAL-model node: gossip edges for `radius` rounds, then check for the
+/// pattern in the collected ball.
+pub struct LocalCollectNode {
+    pattern: Graph,
+    radius: usize,
+    known: FxHashSet<(u64, u64)>,
+    fresh: Vec<(u64, u64)>,
+    reject: bool,
+    done: bool,
+}
+
+impl LocalCollectNode {
+    /// A node searching for (connected) `pattern` by collecting its
+    /// `radius`-ball. `radius = |V(pattern)|` always suffices.
+    pub fn new(pattern: Graph, radius: usize) -> Self {
+        LocalCollectNode {
+            pattern,
+            radius,
+            known: FxHashSet::default(),
+            fresh: Vec::new(),
+            reject: false,
+            done: false,
+        }
+    }
+
+    fn emit(&mut self, ctx: &NodeContext) -> Outbox<EdgeSet> {
+        if self.fresh.is_empty() {
+            return Vec::new();
+        }
+        let idb = bits_for_domain(ctx.n.max(2)) as u32;
+        let msg = EdgeSet {
+            edges: std::mem::take(&mut self.fresh),
+            bits: 0,
+        };
+        let bits = 2 * idb * msg.edges.len() as u32;
+        vec![Outgoing::Broadcast(EdgeSet { bits, ..msg })]
+    }
+}
+
+impl NodeAlgorithm for LocalCollectNode {
+    type Msg = EdgeSet;
+
+    fn init(&mut self, ctx: &NodeContext, _rng: &mut ChaCha8Rng) -> Outbox<EdgeSet> {
+        for &nb in &ctx.neighbor_ids {
+            let e = (ctx.id.min(nb), ctx.id.max(nb));
+            if self.known.insert(e) {
+                self.fresh.push(e);
+            }
+        }
+        self.emit(ctx)
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        inbox: &Inbox<EdgeSet>,
+        _rng: &mut ChaCha8Rng,
+    ) -> Outbox<EdgeSet> {
+        for (_, m) in inbox {
+            for &e in &m.edges {
+                if self.known.insert(e) {
+                    self.fresh.push(e);
+                }
+            }
+        }
+        if ctx.round >= self.radius {
+            let ball = graph_from_id_edges(&self.known);
+            self.reject = graphlib::iso::contains_subgraph(&self.pattern, &ball);
+            self.done = true;
+            return Vec::new();
+        }
+        self.emit(ctx)
+    }
+
+    fn halted(&self) -> bool {
+        self.done
+    }
+
+    fn decision(&self) -> Decision {
+        if self.reject {
+            Decision::Reject
+        } else {
+            Decision::Accept
+        }
+    }
+}
+
+/// Report from a generic detection run.
+#[derive(Debug, Clone)]
+pub struct GenericReport {
+    /// Whether a copy of the pattern was found.
+    pub detected: bool,
+    /// Rounds used.
+    pub rounds: usize,
+    /// Total bits over all edges and rounds.
+    pub total_bits: u64,
+    /// Maximum bits through one edge in one round (the "bandwidth" the
+    /// LOCAL algorithm implicitly demands).
+    pub max_edge_round_bits: usize,
+}
+
+/// Runs LOCAL-model detection of a connected `pattern` in `g`.
+///
+/// # Panics
+/// Panics if the pattern is disconnected (ball collection only certifies
+/// connected patterns) or empty.
+pub fn detect_local(g: &Graph, pattern: &Graph) -> Result<GenericReport, CongestError> {
+    assert!(pattern.n() > 0, "pattern must be non-empty");
+    assert!(
+        graphlib::components::is_connected(pattern),
+        "LOCAL ball collection requires a connected pattern"
+    );
+    let radius = pattern.n();
+    let p = pattern.clone();
+    let out = Engine::new(g)
+        .bandwidth(Bandwidth::Unbounded)
+        .max_rounds(radius + 2)
+        .run(move |_| LocalCollectNode::new(p.clone(), radius))?;
+    Ok(GenericReport {
+        detected: out.network_rejects(),
+        rounds: out.stats.rounds,
+        total_bits: out.stats.total_bits,
+        max_edge_round_bits: out.stats.max_edge_round_bits,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// CONGEST gather-at-leader
+// ---------------------------------------------------------------------------
+
+/// Messages of the gather algorithm.
+#[derive(Debug, Clone)]
+pub enum GatherMsg {
+    /// BFS-tree construction token.
+    Bfs,
+    /// "You are my parent."
+    Child,
+    /// One edge, convergecast toward the root.
+    Edge {
+        /// Smaller endpoint id.
+        a: u64,
+        /// Larger endpoint id.
+        b: u64,
+        /// Wire bits.
+        bits: u32,
+    },
+    /// "My whole subtree has been forwarded."
+    Done,
+}
+
+impl BitSize for GatherMsg {
+    fn bit_size(&self) -> usize {
+        match self {
+            GatherMsg::Bfs | GatherMsg::Child | GatherMsg::Done => 2,
+            GatherMsg::Edge { bits, .. } => *bits as usize,
+        }
+    }
+}
+
+/// Gather-at-leader node. Node index 0 acts as the (pre-elected) leader.
+pub struct GatherNode {
+    pattern: Graph,
+    parent_port: Option<usize>,
+    is_root: bool,
+    bfs_round: usize,
+    announced: bool,
+    children: FxHashSet<usize>,
+    done_children: usize,
+    queue: VecDeque<(u64, u64)>,
+    collected: FxHashSet<(u64, u64)>,
+    sent_done: bool,
+    reject: bool,
+    done: bool,
+}
+
+impl GatherNode {
+    /// A gather node searching for `pattern`.
+    pub fn new(pattern: Graph) -> Self {
+        GatherNode {
+            pattern,
+            parent_port: None,
+            is_root: false,
+            bfs_round: usize::MAX,
+            announced: false,
+            children: FxHashSet::default(),
+            done_children: 0,
+            queue: VecDeque::new(),
+            collected: FxHashSet::default(),
+            sent_done: false,
+            reject: false,
+            done: false,
+        }
+    }
+
+    fn enqueue_own_edges(&mut self, ctx: &NodeContext) {
+        for &nb in &ctx.neighbor_ids {
+            let e = (ctx.id.min(nb), ctx.id.max(nb));
+            if self.is_root {
+                self.collected.insert(e);
+            } else {
+                self.queue.push_back(e);
+            }
+        }
+    }
+}
+
+impl NodeAlgorithm for GatherNode {
+    type Msg = GatherMsg;
+
+    fn init(&mut self, ctx: &NodeContext, _rng: &mut ChaCha8Rng) -> Outbox<GatherMsg> {
+        if ctx.index == 0 {
+            self.is_root = true;
+            self.bfs_round = 0;
+            self.enqueue_own_edges(ctx);
+            if ctx.degree() > 0 {
+                return vec![Outgoing::Broadcast(GatherMsg::Bfs)];
+            }
+        }
+        Vec::new()
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        inbox: &Inbox<GatherMsg>,
+        _rng: &mut ChaCha8Rng,
+    ) -> Outbox<GatherMsg> {
+        let mut out: Outbox<GatherMsg> = Vec::new();
+        let mut just_adopted = false;
+        for (port, msg) in inbox {
+            match msg {
+                GatherMsg::Bfs => {
+                    if !self.is_root && self.parent_port.is_none() {
+                        self.parent_port = Some(*port);
+                        self.bfs_round = ctx.round;
+                        self.enqueue_own_edges(ctx);
+                        just_adopted = true;
+                    }
+                }
+                GatherMsg::Child => {
+                    self.children.insert(*port);
+                }
+                GatherMsg::Edge { a, b, .. } => {
+                    if self.is_root {
+                        self.collected.insert((*a, *b));
+                    } else {
+                        self.queue.push_back((*a, *b));
+                    }
+                }
+                GatherMsg::Done => {
+                    self.done_children += 1;
+                }
+            }
+        }
+        if just_adopted {
+            out.push(Outgoing::Broadcast(GatherMsg::Bfs));
+            out.push(Outgoing::Unicast(
+                self.parent_port.unwrap(),
+                GatherMsg::Child,
+            ));
+            self.announced = true;
+        }
+        if self.sent_done || self.done || just_adopted {
+            // In the adoption round the parent port already carries the
+            // Child announcement; edge forwarding starts next round.
+            return out;
+        }
+        // Children are fully known two rounds after our BFS broadcast.
+        let children_known = self.bfs_round != usize::MAX && ctx.round >= self.bfs_round + 2;
+
+        if let Some(parent) = self.parent_port {
+            if let Some((a, b)) = self.queue.pop_front() {
+                let bits = 2 * bits_for_domain(ctx.n.max(2)) as u32 + 2;
+                out.push(Outgoing::Unicast(parent, GatherMsg::Edge { a, b, bits }));
+            } else if children_known && self.done_children == self.children.len() {
+                out.push(Outgoing::Unicast(parent, GatherMsg::Done));
+                self.sent_done = true;
+                self.done = true;
+            }
+        } else if self.is_root
+            && children_known
+            && self.done_children == self.children.len()
+        {
+            let whole = graph_from_id_edges(&self.collected);
+            self.reject = graphlib::iso::contains_subgraph(&self.pattern, &whole);
+            self.done = true;
+        }
+        out
+    }
+
+    fn halted(&self) -> bool {
+        self.done
+    }
+
+    fn decision(&self) -> Decision {
+        if self.reject {
+            Decision::Reject
+        } else {
+            Decision::Accept
+        }
+    }
+}
+
+/// Runs the CONGEST gather-at-leader detector on a *connected* graph `g`.
+pub fn detect_gather(g: &Graph, pattern: &Graph) -> Result<GenericReport, CongestError> {
+    assert!(
+        graphlib::components::is_connected(g),
+        "gather-at-leader requires a connected network"
+    );
+    assert!(pattern.n() > 0, "pattern must be non-empty");
+    let idb = bits_for_domain(g.n().max(2));
+    let p = pattern.clone();
+    let out = Engine::new(g)
+        .bandwidth(Bandwidth::Bits(2 * idb + 2))
+        .max_rounds(8 * (g.n() + g.m() + 4))
+        .run(move |_| GatherNode::new(p.clone()))?;
+    Ok(GenericReport {
+        detected: out.network_rejects(),
+        rounds: out.stats.rounds,
+        total_bits: out.stats.total_bits,
+        max_edge_round_bits: out.stats.max_edge_round_bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators;
+
+    #[test]
+    fn local_finds_triangle() {
+        let g = generators::clique(4);
+        let r = detect_local(&g, &generators::cycle(3)).unwrap();
+        assert!(r.detected);
+        assert_eq!(r.rounds, 3);
+    }
+
+    #[test]
+    fn local_rejects_absent_pattern() {
+        let g = generators::cycle(8);
+        let r = detect_local(&g, &generators::cycle(5)).unwrap();
+        assert!(!r.detected);
+    }
+
+    #[test]
+    fn local_rounds_depend_on_pattern_not_graph() {
+        let small = detect_local(&generators::cycle(10), &generators::cycle(4)).unwrap();
+        let large = detect_local(&generators::cycle(60), &generators::cycle(4)).unwrap();
+        assert_eq!(small.rounds, large.rounds);
+    }
+
+    #[test]
+    fn local_bandwidth_blows_up_on_dense_graphs() {
+        // The LOCAL algorithm pushes whole edge sets over single edges.
+        let g = generators::clique(12);
+        let r = detect_local(&g, &generators::cycle(4)).unwrap();
+        assert!(r.detected);
+        assert!(
+            r.max_edge_round_bits > 100,
+            "ball gossip must exceed any log-size bandwidth"
+        );
+    }
+
+    #[test]
+    fn gather_finds_pattern() {
+        let mut rng = {
+            use rand::SeedableRng;
+            rand_chacha::ChaCha8Rng::seed_from_u64(3)
+        };
+        let base = generators::random_tree(20, &mut rng);
+        let (g, _) = generators::plant_cycle(&base, 5, &mut rng);
+        let r = detect_gather(&g, &generators::cycle(5)).unwrap();
+        assert!(r.detected);
+    }
+
+    #[test]
+    fn gather_rejects_absent_pattern() {
+        let g = generators::cycle(12);
+        let r = detect_gather(&g, &generators::cycle(3)).unwrap();
+        assert!(!r.detected);
+    }
+
+    #[test]
+    fn gather_respects_log_bandwidth() {
+        let g = generators::cycle(16);
+        let r = detect_gather(&g, &generators::cycle(4)).unwrap();
+        let idb = bits_for_domain(16);
+        assert!(r.max_edge_round_bits <= 2 * idb + 2);
+    }
+
+    #[test]
+    fn gather_rounds_scale_with_m_plus_n() {
+        let g = generators::cycle(30);
+        let r = detect_gather(&g, &generators::cycle(3)).unwrap();
+        // Convergecast of 30 edges on a path-like tree: linear rounds.
+        assert!(r.rounds >= 30, "rounds = {}", r.rounds);
+        assert!(r.rounds <= 8 * (30 + 30 + 4));
+    }
+
+    #[test]
+    fn gather_on_single_node() {
+        let g = Graph::empty(1);
+        let r = detect_gather(&g, &generators::path(2)).unwrap();
+        assert!(!r.detected);
+    }
+
+    #[test]
+    fn graph_from_id_edges_compacts() {
+        let mut set = FxHashSet::default();
+        set.insert((100u64, 900u64));
+        set.insert((900u64, 4000u64));
+        let g = graph_from_id_edges(&set);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected pattern")]
+    fn local_rejects_disconnected_pattern() {
+        let pat = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let _ = detect_local(&generators::cycle(5), &pat);
+    }
+}

@@ -1,0 +1,40 @@
+//! # subgraph-detection — the paper's algorithms
+//!
+//! Distributed subgraph-detection algorithms from *"Possibilities and
+//! Impossibilities for Distributed Subgraph Detection"* (SPAA 2018), plus
+//! the baselines its bounds are measured against:
+//!
+//! * [`even_cycle`] — **Theorem 1.1**: `C_2k` detection in
+//!   `O(n^{1-1/(k(k-1))})` rounds (color coding + pipelining + layer
+//!   decomposition).
+//! * [`clique_detect`] — `K_s` (and triangle) detection in `O(Δ)` rounds by
+//!   neighbor exchange (the linear bound of §1.1).
+//! * [`triangle`] — one-round bounded-bandwidth triangle protocols (the
+//!   §5 setting).
+//! * [`tree`] — constant-round color-coded tree detection (ref.\[12\] in the
+//!   paper).
+//! * [`generic`] — LOCAL-model ball collection and CONGEST
+//!   gather-at-leader: the generic baselines that make the CONGEST/LOCAL
+//!   separation measurable.
+
+#![warn(missing_docs)]
+
+pub mod any_cycle;
+pub mod clique_detect;
+pub mod detector;
+pub mod even_cycle;
+pub mod generic;
+pub mod property_testing;
+pub mod tree;
+pub mod triangle;
+
+pub use any_cycle::{detect_cycle_linear, AnyCycleReport};
+pub use clique_detect::{
+    detect_clique, detect_triangle, list_cliques_congest, CliqueDetectReport, CliqueListReport,
+};
+pub use detector::{DetectionOutcome, Detector};
+pub use even_cycle::{detect_even_cycle, EvenCycleConfig, EvenCycleReport, Schedule};
+pub use generic::{detect_gather, detect_local, GenericReport};
+pub use property_testing::{test_triangle_freeness, TesterReport};
+pub use tree::{detect_tree, TreeDetectReport, TreePattern};
+pub use triangle::{detect_triangle_one_round, OneRoundReport, OneRoundStrategy};

@@ -1,0 +1,245 @@
+//! The *property-testing relaxation* of triangle-freeness.
+//!
+//! §1.2 of the paper contrasts its exact setting with distributed property
+//! testing ([4, 6, 14] there): a tester only distinguishes triangle-free
+//! graphs from graphs that are *ε-far* from triangle-free (more than
+//! `ε·m` edge deletions needed to kill all triangles), and in exchange
+//! runs in `O(1)`-ish rounds. This module implements the standard
+//! sample-an-edge tester so the trade-off is measurable next to the exact
+//! detectors:
+//!
+//! * each probe round, every vertex with degree ≥ 2 samples two random
+//!   neighbors `u, w` and asks `u` whether `{u, w}` is an edge (one
+//!   `O(log n)`-bit query + one bit back);
+//! * any confirmed edge closes a triangle → reject.
+//!
+//! Soundness is unconditional (a confirmation exhibits a real triangle);
+//! completeness holds only in the far regime, with probability growing in
+//! the number of probe rounds — exactly the relaxation the paper declines.
+
+use congest::{
+    bits_for_domain, BitSize, Bandwidth, CongestError, Decision, Engine, Inbox, NodeAlgorithm,
+    NodeContext, Outbox, Outgoing,
+};
+use graphlib::Graph;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Tester messages.
+#[derive(Debug, Clone)]
+pub enum TestMsg {
+    /// "Is this id one of your neighbors?" (carries `log N` bits).
+    Query {
+        /// Identifier being asked about.
+        about: u64,
+        /// Declared wire bits.
+        bits: u32,
+    },
+    /// "Yes — and so the asker, you and I close a triangle."
+    Confirm,
+}
+
+impl BitSize for TestMsg {
+    fn bit_size(&self) -> usize {
+        match self {
+            TestMsg::Query { bits, .. } => *bits as usize,
+            TestMsg::Confirm => 2,
+        }
+    }
+}
+
+/// Triangle-freeness tester node.
+pub struct TriangleTesterNode {
+    probes: usize,
+    reject: bool,
+    done: bool,
+}
+
+impl TriangleTesterNode {
+    /// A tester that runs `probes` probe rounds (`Θ(1/ε²)` for the far
+    /// regime guarantee).
+    pub fn new(probes: usize) -> Self {
+        TriangleTesterNode {
+            probes,
+            reject: false,
+            done: false,
+        }
+    }
+
+    fn probe(&self, ctx: &NodeContext, rng: &mut ChaCha8Rng) -> Outbox<TestMsg> {
+        if ctx.degree() < 2 {
+            return Vec::new();
+        }
+        let a = rng.gen_range(0..ctx.degree());
+        let mut b = rng.gen_range(0..ctx.degree() - 1);
+        if b >= a {
+            b += 1;
+        }
+        let bits = bits_for_domain(ctx.n.max(2)) as u32 + 2;
+        vec![Outgoing::Unicast(
+            a,
+            TestMsg::Query {
+                about: ctx.neighbor_ids[b],
+                bits,
+            },
+        )]
+    }
+}
+
+impl NodeAlgorithm for TriangleTesterNode {
+    type Msg = TestMsg;
+
+    fn init(&mut self, ctx: &NodeContext, rng: &mut ChaCha8Rng) -> Outbox<TestMsg> {
+        if self.probes == 0 {
+            self.done = true;
+            return Vec::new();
+        }
+        self.probe(ctx, rng)
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        inbox: &Inbox<TestMsg>,
+        rng: &mut ChaCha8Rng,
+    ) -> Outbox<TestMsg> {
+        let mut out: Outbox<TestMsg> = Vec::new();
+        for (port, msg) in inbox {
+            match msg {
+                TestMsg::Query { about, .. } => {
+                    if ctx.neighbor_ids.contains(about) {
+                        // The asker, `about`, and we form a triangle.
+                        self.reject = true;
+                        out.push(Outgoing::Unicast(*port, TestMsg::Confirm));
+                    }
+                }
+                TestMsg::Confirm => {
+                    self.reject = true;
+                }
+            }
+        }
+        // Each probe takes two rounds (query, answer); fire a new probe on
+        // odd rounds until the budget is used.
+        if ctx.round / 2 >= self.probes {
+            self.done = true;
+            return out;
+        }
+        if ctx.round % 2 == 0 {
+            out.extend(self.probe(ctx, rng));
+        }
+        out
+    }
+
+    fn halted(&self) -> bool {
+        self.done
+    }
+
+    fn decision(&self) -> Decision {
+        if self.reject {
+            Decision::Reject
+        } else {
+            Decision::Accept
+        }
+    }
+}
+
+/// Tester report.
+#[derive(Debug, Clone)]
+pub struct TesterReport {
+    /// Whether some node confirmed a triangle.
+    pub detected: bool,
+    /// Rounds used (`2 * probes + O(1)`).
+    pub rounds: usize,
+    /// Total bits.
+    pub total_bits: u64,
+}
+
+/// Runs the triangle-freeness tester with the given probe budget.
+pub fn test_triangle_freeness(
+    g: &Graph,
+    probes: usize,
+    seed: u64,
+) -> Result<TesterReport, CongestError> {
+    let out = Engine::new(g)
+        .bandwidth(Bandwidth::Bits(bits_for_domain(g.n().max(2)) + 2))
+        .max_rounds(2 * probes + 3)
+        .seed(seed)
+        .run(|_| TriangleTesterNode::new(probes))?;
+    Ok(TesterReport {
+        detected: out.network_rejects(),
+        rounds: out.stats.rounds,
+        total_bits: out.stats.total_bits,
+    })
+}
+
+/// Empirical detection probability over `trials` independent seeds.
+pub fn detection_probability(g: &Graph, probes: usize, trials: usize, seed: u64) -> f64 {
+    let hits = (0..trials)
+        .filter(|&t| {
+            test_triangle_freeness(g, probes, seed ^ (t as u64).wrapping_mul(0x9E37))
+                .map(|r| r.detected)
+                .unwrap_or(false)
+        })
+        .count();
+    hits as f64 / trials.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators;
+
+    #[test]
+    fn sound_on_triangle_free_graphs() {
+        // Unconditional: a tester can never reject a triangle-free graph.
+        for seed in 0..5 {
+            let r =
+                test_triangle_freeness(&generators::complete_bipartite(6, 6), 10, seed).unwrap();
+            assert!(!r.detected, "seed {seed}");
+            let r = test_triangle_freeness(&generators::cycle(12), 10, seed).unwrap();
+            assert!(!r.detected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn far_graphs_detected_quickly() {
+        // A clique is as far from triangle-free as it gets: every probe of
+        // every vertex confirms.
+        let g = generators::clique(12);
+        let r = test_triangle_freeness(&g, 1, 3).unwrap();
+        assert!(r.detected);
+        assert!(r.rounds <= 5, "constant rounds, got {}", r.rounds);
+    }
+
+    #[test]
+    fn detection_probability_grows_with_probes() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        // Sparse triangles: a tree plus a handful of planted triangles.
+        let base = generators::random_tree(60, &mut rng);
+        let (mut g, _) = generators::plant_cycle(&base, 3, &mut rng);
+        for _ in 0..2 {
+            let (g2, _) = generators::plant_cycle(&g, 3, &mut rng);
+            g = g2;
+        }
+        let p1 = detection_probability(&g, 1, 60, 5);
+        let p8 = detection_probability(&g, 8, 60, 5);
+        assert!(p8 >= p1, "more probes can't hurt: {p8} < {p1}");
+        assert!(p8 > 0.15, "8 probes should find planted triangles: {p8}");
+    }
+
+    #[test]
+    fn rounds_independent_of_n() {
+        let small = test_triangle_freeness(&generators::clique(8), 4, 1).unwrap();
+        let large = test_triangle_freeness(&generators::clique(40), 4, 1).unwrap();
+        // Both a constant number of rounds (probes * 2 + O(1)); the clique
+        // rejects early so rounds may be even smaller.
+        assert!(small.rounds <= 11 && large.rounds <= 11);
+    }
+
+    #[test]
+    fn zero_probe_budget_accepts() {
+        let r = test_triangle_freeness(&generators::clique(5), 0, 0).unwrap();
+        assert!(!r.detected);
+    }
+}

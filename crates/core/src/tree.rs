@@ -1,0 +1,373 @@
+//! Constant-round tree detection via color coding (the `O(1)` bound of
+//! [Even et al., DISC'17] cited in §1/§1.2 of the paper).
+//!
+//! Fix a tree pattern `T` on `h` vertices, rooted arbitrarily. Color every
+//! graph node uniformly from `{0, ..., h-1}` and identify color `t` with the
+//! `t`-th vertex of `T`. A node `v` *hosts* a pattern vertex `t` if
+//! `c(v) = t` and, for every child `t_i` of `t`, some neighbor of `v` hosts
+//! `t_i`. Because pattern vertices have pairwise-distinct colors, the union
+//! of witness subtrees is automatically vertex-disjoint, so a host of the
+//! root certifies a properly-colored copy of `T`. The DP needs one round per
+//! pattern height level — `O(depth(T)) = O(1)` rounds — with `h`-bit
+//! messages; a fixed copy is properly colored with probability `h^{-h}`,
+//! amplified by repetition.
+
+use congest::{
+    Bandwidth, BitSize, CongestError, Decision, Engine, Inbox, NodeAlgorithm, NodeContext,
+    Outbox, Outgoing,
+};
+use graphlib::Graph;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A rooted tree pattern: vertex 0 is the root.
+#[derive(Debug, Clone)]
+pub struct TreePattern {
+    /// `parent[v]` for `v > 0`; `parent[0]` is unused.
+    parent: Vec<usize>,
+    children: Vec<Vec<usize>>,
+    /// Height of each vertex (leaves are 0).
+    height: Vec<usize>,
+    depth: usize,
+}
+
+impl TreePattern {
+    /// Builds a rooted pattern from a tree graph and a chosen root.
+    ///
+    /// # Panics
+    /// Panics if `tree` is not a connected acyclic graph, is empty, or has
+    /// more than 64 vertices (hosts are tracked in a `u64` bitmask).
+    pub fn from_graph(tree: &Graph, root: usize) -> Self {
+        let h = tree.n();
+        assert!((1..=64).contains(&h), "pattern must have 1..=64 vertices");
+        assert_eq!(tree.m(), h - 1, "pattern must be a tree");
+        assert!(
+            graphlib::components::is_connected(tree),
+            "pattern must be connected"
+        );
+        // BFS from root, reindexing so the root becomes vertex 0.
+        let (dist, par) = graphlib::bfs::distances_with_parents(tree, root);
+        let mut order: Vec<usize> = (0..h).collect();
+        order.sort_by_key(|&v| dist[v]);
+        let mut new_index = vec![0usize; h];
+        for (i, &v) in order.iter().enumerate() {
+            new_index[v] = i;
+        }
+        let mut parent = vec![0usize; h];
+        let mut children = vec![Vec::new(); h];
+        for &v in &order {
+            if v != root {
+                let p = new_index[par[v]];
+                parent[new_index[v]] = p;
+                children[p].push(new_index[v]);
+            }
+        }
+        // Heights bottom-up (order is by depth, so reverse order works).
+        let mut height = vec![0usize; h];
+        for &v in order.iter().rev() {
+            let nv = new_index[v];
+            height[nv] = children[nv]
+                .iter()
+                .map(|&c| height[c] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        let depth = height[0];
+        TreePattern {
+            parent,
+            children,
+            height,
+            depth,
+        }
+    }
+
+    /// A path pattern on `h` vertices rooted at one end.
+    pub fn path(h: usize) -> Self {
+        Self::from_graph(&graphlib::generators::path(h), 0)
+    }
+
+    /// A star pattern with `leaves` leaves, rooted at the center.
+    pub fn star(leaves: usize) -> Self {
+        Self::from_graph(&graphlib::generators::star(leaves), 0)
+    }
+
+    /// Number of pattern vertices.
+    pub fn size(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Height of the root.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Children of pattern vertex `t`.
+    pub fn children(&self, t: usize) -> &[usize] {
+        &self.children[t]
+    }
+
+    /// Pattern vertices at the given height.
+    fn at_height(&self, h: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.size()).filter(move |&t| self.height[t] == h)
+    }
+}
+
+/// The host bitmap broadcast each round.
+#[derive(Debug, Clone, Copy)]
+pub struct HostMask {
+    /// Bit `t` set = sender hosts pattern vertex `t`.
+    pub mask: u64,
+    bits: u32,
+}
+
+impl BitSize for HostMask {
+    fn bit_size(&self) -> usize {
+        self.bits as usize
+    }
+}
+
+/// Tree-detection node.
+pub struct TreeDetectNode {
+    pattern: TreePattern,
+    color: usize,
+    my_hosts: u64,
+    /// OR of everything every neighbor ever claimed.
+    nbr_hosts: u64,
+    reject: bool,
+    done: bool,
+}
+
+impl TreeDetectNode {
+    /// A node searching for `pattern`.
+    pub fn new(pattern: TreePattern) -> Self {
+        TreeDetectNode {
+            pattern,
+            color: 0,
+            my_hosts: 0,
+            nbr_hosts: 0,
+            reject: false,
+            done: false,
+        }
+    }
+
+    fn compute_height(&mut self, h: usize) -> bool {
+        let mut changed = false;
+        let ts: Vec<usize> = self.pattern.at_height(h).collect();
+        for t in ts {
+            if t != self.color {
+                continue;
+            }
+            let ok = self
+                .pattern
+                .children(t)
+                .iter()
+                .all(|&c| self.nbr_hosts >> c & 1 == 1);
+            if ok && self.my_hosts >> t & 1 == 0 {
+                self.my_hosts |= 1 << t;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn broadcast(&self) -> Outbox<HostMask> {
+        vec![Outgoing::Broadcast(HostMask {
+            mask: self.my_hosts,
+            bits: self.pattern.size() as u32,
+        })]
+    }
+}
+
+impl NodeAlgorithm for TreeDetectNode {
+    type Msg = HostMask;
+
+    fn init(&mut self, _ctx: &NodeContext, rng: &mut ChaCha8Rng) -> Outbox<HostMask> {
+        self.color = rng.gen_range(0..self.pattern.size());
+        self.compute_height(0);
+        if self.pattern.depth() == 0 {
+            // Single-vertex pattern: every node is a copy.
+            self.reject = self.my_hosts & 1 == 1 || self.pattern.size() == 1;
+            self.done = true;
+            return Vec::new();
+        }
+        self.broadcast()
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        inbox: &Inbox<HostMask>,
+        _rng: &mut ChaCha8Rng,
+    ) -> Outbox<HostMask> {
+        for (_, m) in inbox {
+            self.nbr_hosts |= m.mask;
+        }
+        self.compute_height(ctx.round);
+        if ctx.round >= self.pattern.depth() {
+            self.reject = self.my_hosts & 1 == 1;
+            self.done = true;
+            return Vec::new();
+        }
+        self.broadcast()
+    }
+
+    fn halted(&self) -> bool {
+        self.done
+    }
+
+    fn decision(&self) -> Decision {
+        if self.reject {
+            Decision::Reject
+        } else {
+            Decision::Accept
+        }
+    }
+}
+
+/// Report from tree detection.
+#[derive(Debug, Clone)]
+pub struct TreeDetectReport {
+    /// Whether a copy of the tree pattern was found.
+    pub detected: bool,
+    /// Repetitions executed.
+    pub repetitions_run: usize,
+    /// Rounds per repetition (`depth(T)`, constant in `n`).
+    pub rounds_per_repetition: usize,
+    /// Total rounds.
+    pub total_rounds: usize,
+    /// Total bits.
+    pub total_bits: u64,
+}
+
+/// Amplification count for tree size `h`: `4 h^h`, capped.
+pub fn tree_reps(h: usize) -> usize {
+    let mut acc: u64 = 1;
+    for _ in 0..h {
+        acc = acc.saturating_mul(h as u64);
+        if acc > 1 << 22 {
+            return 1 << 22;
+        }
+    }
+    (4 * acc) as usize
+}
+
+/// Runs color-coded tree detection with `reps` repetitions.
+pub fn detect_tree(
+    g: &Graph,
+    pattern: &TreePattern,
+    reps: usize,
+    seed: u64,
+) -> Result<TreeDetectReport, CongestError> {
+    let mut total_rounds = 0;
+    let mut total_bits = 0;
+    let mut detected = false;
+    let mut executed = 0;
+    for rep in 0..reps {
+        executed += 1;
+        let p = pattern.clone();
+        let out = Engine::new(g)
+            .bandwidth(Bandwidth::Bits(pattern.size().max(8)))
+            .seed(seed ^ (rep as u64).wrapping_mul(0xA24BAED4963EE407))
+            .max_rounds(pattern.depth() + 2)
+            .run(move |_| TreeDetectNode::new(p.clone()))?;
+        total_rounds += out.stats.rounds;
+        total_bits += out.stats.total_bits;
+        if out.network_rejects() {
+            detected = true;
+            break;
+        }
+    }
+    Ok(TreeDetectReport {
+        detected,
+        repetitions_run: executed,
+        rounds_per_repetition: pattern.depth().max(1),
+        total_rounds,
+        total_bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators;
+
+    #[test]
+    fn pattern_construction() {
+        let p = TreePattern::path(4);
+        assert_eq!(p.size(), 4);
+        assert_eq!(p.depth(), 3);
+        let s = TreePattern::star(5);
+        assert_eq!(s.size(), 6);
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.children(0).len(), 5);
+    }
+
+    #[test]
+    fn detects_path_in_cycle() {
+        let g = generators::cycle(12);
+        let p = TreePattern::path(3);
+        let r = detect_tree(&g, &p, 2000, 1).unwrap();
+        assert!(r.detected);
+        assert_eq!(r.rounds_per_repetition, 2);
+    }
+
+    #[test]
+    fn rejects_star_in_path() {
+        // A path has max degree 2; no K_{1,3} star.
+        let g = generators::path(20);
+        let p = TreePattern::star(3);
+        let r = detect_tree(&g, &p, 300, 2).unwrap();
+        assert!(!r.detected);
+    }
+
+    #[test]
+    fn detects_star_in_star() {
+        let g = generators::star(6);
+        let p = TreePattern::star(3);
+        let r = detect_tree(&g, &p, 3000, 3).unwrap();
+        assert!(r.detected);
+    }
+
+    #[test]
+    fn detects_spider_in_random_tree() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(10);
+        // Any 2-vertex tree (an edge) exists in every non-empty tree.
+        let g = generators::random_tree(30, &mut rng);
+        let p = TreePattern::path(2);
+        let r = detect_tree(&g, &p, 200, 4).unwrap();
+        assert!(r.detected);
+    }
+
+    #[test]
+    fn rounds_constant_in_n() {
+        let p = TreePattern::path(4);
+        let small = detect_tree(&generators::path(10), &p, 1, 5).unwrap();
+        let large = detect_tree(&generators::path(200), &p, 1, 5).unwrap();
+        assert_eq!(small.rounds_per_repetition, large.rounds_per_repetition);
+    }
+
+    #[test]
+    fn ground_truth_agreement() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(20);
+        let g = generators::gnp(15, 0.15, &mut rng);
+        let pat_graph = generators::path(4);
+        let truth = graphlib::iso::contains_subgraph(&pat_graph, &g);
+        let p = TreePattern::path(4);
+        let r = detect_tree(&g, &p, 30_000, 6).unwrap();
+        assert_eq!(r.detected, truth);
+    }
+
+    #[test]
+    fn tree_reps_growth() {
+        assert_eq!(tree_reps(2), 16);
+        assert_eq!(tree_reps(3), 4 * 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a tree")]
+    fn non_tree_pattern_rejected() {
+        let _ = TreePattern::from_graph(&generators::cycle(4), 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! One-round triangle detection protocols (§5 setting).
+//!
+//! In the §5 lower bound each node holds, as input, a *scrambled* list of
+//! potential-neighbor identifiers together with a bit per entry saying
+//! whether that edge is actually present; the node then sends a single
+//! `B`-bit message to each of its (actual) neighbors and must decide.
+//!
+//! We implement the natural family of one-round protocols the bound is
+//! about: each node forwards a budget-limited portion of its
+//! `(identifier, present)` list; a receiver rejects iff two of its own
+//! neighbors are attested adjacent by one of the received messages. With
+//! the full list this is exact (`B = Θ(n log n)`); with a `B`-bit budget it
+//! degrades — experiment E4 measures exactly how, against the paper's
+//! `Ω(Δ)` bound.
+
+use congest::{
+    bits_for_domain, BitSize, Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing,
+};
+use graphlib::{FxHashSet, Graph};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A node's §5-style input: potential neighbors with presence bits, in a
+/// (possibly scrambled) fixed order. Actual neighbors are exactly the
+/// entries with `present = true`.
+#[derive(Debug, Clone, Default)]
+pub struct AdjacencyInput {
+    /// `(identifier, present)` pairs.
+    pub entries: Vec<(u64, bool)>,
+}
+
+impl AdjacencyInput {
+    /// The trivial input for a node of a plain graph: all actual neighbors,
+    /// all bits set.
+    pub fn from_neighbors(neighbor_ids: &[u64]) -> Self {
+        AdjacencyInput {
+            entries: neighbor_ids.iter().map(|&id| (id, true)).collect(),
+        }
+    }
+}
+
+/// What portion of the input a node forwards in its single message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OneRoundStrategy {
+    /// The entire `(id, present)` list — exact detection,
+    /// `B = (deg_T)(log N + 1)` bits.
+    Full,
+    /// The first `p` entries of the (scrambled) list. Since the order is
+    /// scrambled, this is equivalent to a random subset of size `p` — the
+    /// regime the §5 bound lower-bounds.
+    Prefix(usize),
+}
+
+/// The message: a list of attested `(id, present)` pairs.
+#[derive(Debug, Clone)]
+pub struct PairList {
+    /// The forwarded entries.
+    pub pairs: Vec<(u64, bool)>,
+    bits: u32,
+}
+
+impl BitSize for PairList {
+    fn bit_size(&self) -> usize {
+        self.bits as usize
+    }
+}
+
+/// The pure message function: what a node with `input` sends under
+/// `strategy`. Exposed separately so the E4 information estimator can
+/// evaluate it outside the engine.
+pub fn one_round_message(input: &AdjacencyInput, strategy: OneRoundStrategy) -> Vec<(u64, bool)> {
+    match strategy {
+        OneRoundStrategy::Full => input.entries.clone(),
+        OneRoundStrategy::Prefix(p) => input.entries.iter().take(p).copied().collect(),
+    }
+}
+
+/// The bit cost of a message of `pairs` entries with identifiers from a
+/// namespace of size `namespace`.
+pub fn message_bits(pairs: usize, namespace: u64) -> usize {
+    pairs * (bits_for_domain(namespace.max(2) as usize) + 1)
+}
+
+/// The receiver-side decision rule: given my actual neighbor ids and the
+/// received messages (one per neighbor port), do two of my neighbors appear
+/// adjacent?
+pub fn one_round_decide(my_neighbors: &[u64], received: &[(u64, Vec<(u64, bool)>)]) -> bool {
+    let nbr_set: FxHashSet<u64> = my_neighbors.iter().copied().collect();
+    for (sender, pairs) in received {
+        for &(id, present) in pairs {
+            if present && id != *sender && nbr_set.contains(&id) && nbr_set.contains(sender) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// One-round triangle-detection node.
+pub struct OneRoundTriangleNode {
+    input: Option<AdjacencyInput>,
+    strategy: OneRoundStrategy,
+    namespace: u64,
+    reject: bool,
+    done: bool,
+}
+
+impl OneRoundTriangleNode {
+    /// A node with an explicit §5-style input (pass `None` to derive the
+    /// trivial input from the context at init).
+    pub fn new(
+        input: Option<AdjacencyInput>,
+        strategy: OneRoundStrategy,
+        namespace: u64,
+    ) -> Self {
+        OneRoundTriangleNode {
+            input,
+            strategy,
+            namespace,
+            reject: false,
+            done: false,
+        }
+    }
+}
+
+impl NodeAlgorithm for OneRoundTriangleNode {
+    type Msg = PairList;
+
+    fn init(&mut self, ctx: &NodeContext, _rng: &mut ChaCha8Rng) -> Outbox<PairList> {
+        let input = self
+            .input
+            .get_or_insert_with(|| AdjacencyInput::from_neighbors(&ctx.neighbor_ids));
+        let pairs = one_round_message(input, self.strategy);
+        let bits = message_bits(pairs.len(), self.namespace) as u32;
+        if ctx.degree() == 0 {
+            self.done = true;
+            return Vec::new();
+        }
+        vec![Outgoing::Broadcast(PairList { pairs, bits })]
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        inbox: &Inbox<PairList>,
+        _rng: &mut ChaCha8Rng,
+    ) -> Outbox<PairList> {
+        let received: Vec<(u64, Vec<(u64, bool)>)> = inbox
+            .iter()
+            .map(|(port, m)| (ctx.neighbor_ids[*port], m.pairs.clone()))
+            .collect();
+        self.reject = one_round_decide(&ctx.neighbor_ids, &received);
+        self.done = true;
+        Vec::new()
+    }
+
+    fn halted(&self) -> bool {
+        self.done
+    }
+
+    fn decision(&self) -> Decision {
+        if self.reject {
+            Decision::Reject
+        } else {
+            Decision::Accept
+        }
+    }
+}
+
+/// Result of a one-round triangle run.
+#[derive(Debug, Clone)]
+pub struct OneRoundReport {
+    /// Whether any node rejected.
+    pub detected: bool,
+    /// Maximum bits any node pushed through one edge (the protocol's `B`).
+    pub bandwidth_used: usize,
+    /// Total bits.
+    pub total_bits: u64,
+}
+
+/// Runs a one-round protocol on a plain graph (trivial inputs). For the §5
+/// template distribution use `lowerbounds::template`, which supplies
+/// scrambled inputs.
+pub fn detect_triangle_one_round(
+    g: &Graph,
+    strategy: OneRoundStrategy,
+    seed: u64,
+) -> Result<OneRoundReport, congest::CongestError> {
+    let namespace = g.n().max(2) as u64;
+    let out = congest::Engine::new(g)
+        .bandwidth(congest::Bandwidth::Unbounded)
+        .max_rounds(2)
+        .seed(seed)
+        .run(|_| OneRoundTriangleNode::new(None, strategy, namespace))?;
+    Ok(OneRoundReport {
+        detected: out.network_rejects(),
+        bandwidth_used: out.stats.max_edge_round_bits,
+        total_bits: out.stats.total_bits,
+    })
+}
+
+/// Scrambles an adjacency input with the given RNG (the §5 permutation
+/// `π_s` that hides which entry is which).
+pub fn scramble_input<R: Rng>(input: &mut AdjacencyInput, rng: &mut R) {
+    use rand::seq::SliceRandom;
+    input.entries.shuffle(rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators;
+
+    #[test]
+    fn full_strategy_is_exact() {
+        let tri = generators::clique(3);
+        let r = detect_triangle_one_round(&tri, OneRoundStrategy::Full, 0).unwrap();
+        assert!(r.detected);
+
+        let c6 = generators::cycle(6);
+        let r = detect_triangle_one_round(&c6, OneRoundStrategy::Full, 0).unwrap();
+        assert!(!r.detected);
+    }
+
+    #[test]
+    fn full_matches_ground_truth_on_random_graphs() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        for t in 0..5 {
+            let g = generators::gnp(20, 0.2, &mut rng);
+            let truth = graphlib::cliques::count_triangles(&g) > 0;
+            let r = detect_triangle_one_round(&g, OneRoundStrategy::Full, t).unwrap();
+            assert_eq!(r.detected, truth, "trial {t}");
+        }
+    }
+
+    #[test]
+    fn prefix_zero_detects_nothing() {
+        let tri = generators::clique(3);
+        let r = detect_triangle_one_round(&tri, OneRoundStrategy::Prefix(0), 0).unwrap();
+        assert!(!r.detected);
+        assert_eq!(r.bandwidth_used, 0);
+    }
+
+    #[test]
+    fn prefix_is_sound_never_false_positive() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..5 {
+            let g = generators::random_bipartite(8, 8, 0.4, &mut rng);
+            let r = detect_triangle_one_round(&g, OneRoundStrategy::Prefix(3), 1).unwrap();
+            assert!(!r.detected, "bipartite graphs have no triangles");
+        }
+    }
+
+    #[test]
+    fn decision_rule_requires_attested_edge() {
+        // My neighbors are 5 and 9; sender 5 attests (9, true) => triangle.
+        assert!(one_round_decide(&[5, 9], &[(5, vec![(9, true)])]));
+        // Attestation with bit = false is not an edge.
+        assert!(!one_round_decide(&[5, 9], &[(5, vec![(9, false)])]));
+        // Attested id that is not my neighbor: no triangle through me.
+        assert!(!one_round_decide(&[5, 9], &[(5, vec![(7, true)])]));
+    }
+
+    #[test]
+    fn message_bit_accounting() {
+        // 4 pairs over a namespace of 1024: 4 * (10 + 1).
+        assert_eq!(message_bits(4, 1024), 44);
+        assert_eq!(message_bits(0, 1024), 0);
+    }
+
+    #[test]
+    fn bandwidth_grows_with_degree_under_full() {
+        let g = generators::clique(8);
+        let r = detect_triangle_one_round(&g, OneRoundStrategy::Full, 0).unwrap();
+        // Each node sends 7 pairs of (log2(8)=3 + 1) bits = 28 bits per edge.
+        assert_eq!(r.bandwidth_used, 7 * 4);
+        assert!(r.detected);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the detection algorithms: soundness (never
+//! reject an H-free graph) is the invariant randomized detectors must hold
+//! unconditionally; completeness is probabilistic and covered by unit and
+//! integration tests.
+
+use graphlib::{generators, Graph};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use subgraph_detection as detection;
+
+proptest! {
+    // Trees are C_2k-free for every k: the even-cycle detector must accept.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn even_cycle_detector_sound_on_trees(n in 4usize..40, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = generators::random_tree(n, &mut rng);
+        let cfg = detection::EvenCycleConfig::new(2).repetitions(3).seed(seed);
+        let rep = detection::detect_even_cycle(&t, cfg).unwrap();
+        prop_assert!(!rep.detected, "no C4 in a tree");
+    }
+
+    #[test]
+    fn even_cycle_detector_sound_on_odd_cycles(len in 2usize..14, seed in any::<u64>()) {
+        let g = generators::cycle(2 * len + 3);
+        let cfg = detection::EvenCycleConfig::new(2).repetitions(3).seed(seed);
+        let rep = detection::detect_even_cycle(&g, cfg).unwrap();
+        prop_assert!(!rep.detected, "odd cycles contain no C4");
+    }
+
+    #[test]
+    fn triangle_detectors_sound_on_bipartite(a in 2usize..8, b in 2usize..8, p in 0.1f64..0.9, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::random_bipartite(a, b, p, &mut rng);
+        prop_assert!(!detection::detect_triangle(&g).unwrap().detected);
+        prop_assert!(
+            !detection::detect_triangle_one_round(&g, detection::OneRoundStrategy::Full, seed)
+                .unwrap()
+                .detected
+        );
+    }
+
+    #[test]
+    fn neighbor_exchange_complete_and_sound(n in 4usize..16, m in 0usize..40, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let max = n * (n - 1) / 2;
+        let g = generators::gnm(n, m.min(max), &mut rng);
+        let truth = graphlib::cliques::count_triangles(&g) > 0;
+        prop_assert_eq!(detection::detect_triangle(&g).unwrap().detected, truth);
+    }
+
+    #[test]
+    fn one_round_decision_is_sound(
+        nbrs in proptest::collection::vec(0u64..50, 1..6),
+        attested in proptest::collection::vec((0u64..50, 0u64..50, any::<bool>()), 0..10)
+    ) {
+        // If the rule fires, there must exist a sender in my neighborhood
+        // attesting (with bit = 1) another of my neighbors.
+        let received: Vec<(u64, Vec<(u64, bool)>)> = attested
+            .iter()
+            .map(|&(s, id, b)| (s, vec![(id, b)]))
+            .collect();
+        let fired = detection::triangle::one_round_decide(&nbrs, &received);
+        let witness = attested.iter().any(|&(s, id, b)| {
+            b && id != s && nbrs.contains(&s) && nbrs.contains(&id)
+        });
+        prop_assert_eq!(fired, witness);
+    }
+
+    #[test]
+    fn local_and_gather_agree(n in 5usize..18, m in 4usize..30, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let max = n * (n - 1) / 2;
+        let mut g = generators::gnm(n, m.min(max), &mut rng);
+        if !graphlib::components::is_connected(&g) {
+            // Connect it with a spanning path overlay for the gather run.
+            let mut edges: Vec<(u32, u32)> = g.edges().collect();
+            for v in 1..n {
+                edges.push((v as u32 - 1, v as u32));
+            }
+            g = Graph::from_edges(n, &edges);
+        }
+        let pat = generators::cycle(3);
+        let a = detection::detect_local(&g, &pat).unwrap().detected;
+        let b = detection::detect_gather(&g, &pat).unwrap().detected;
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tree_detector_sound_when_pattern_absent(n in 6usize..24, seed in any::<u64>()) {
+        // A path host contains no K_{1,3} star, ever.
+        let g = generators::path(n);
+        let pattern = detection::TreePattern::star(3);
+        let rep = detection::detect_tree(&g, &pattern, 5, seed).unwrap();
+        prop_assert!(!rep.detected);
+    }
+
+    #[test]
+    fn schedule_monotone_in_n(n1 in 8usize..200, delta in 1usize..200) {
+        let n2 = n1 + delta;
+        let s1 = detection::Schedule::derive(n1, 2, None);
+        let s2 = detection::Schedule::derive(n2, 2, None);
+        prop_assert!(s2.r1_rounds >= s1.r1_rounds);
+        prop_assert!(s2.edge_bound >= s1.edge_bound);
+    }
+}

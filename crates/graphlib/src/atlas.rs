@@ -1,0 +1,191 @@
+//! The atlas of small connected graphs, and subgraph censuses over it.
+//!
+//! Subgraph detection is parameterized by a fixed small `H`; downstream
+//! users often want "detect/count *every* small shape". This module
+//! enumerates all connected graphs up to isomorphism (5 vertices and
+//! below: 1, 1, 2, 6, 21 graphs) and counts the copies of each in a host
+//! graph — the centralized census the distributed detectors are compared
+//! against.
+
+use crate::graph::Graph;
+use crate::iso;
+use rayon::prelude::*;
+
+/// An atlas entry: a connected graph plus its automorphism count (cached
+/// because censuses divide by it).
+#[derive(Debug, Clone)]
+pub struct AtlasEntry {
+    /// The graph, with vertices `0..n`.
+    pub graph: Graph,
+    /// `|Aut(graph)|`.
+    pub automorphisms: usize,
+    /// A short human-readable name (`n-m-index` form).
+    pub name: String,
+}
+
+/// Enumerates all connected graphs on exactly `n` vertices (`1 <= n <= 6`),
+/// up to isomorphism, ordered by edge count.
+pub fn connected_graphs(n: usize) -> Vec<AtlasEntry> {
+    assert!((1..=6).contains(&n), "atlas supports 1..=6 vertices");
+    let pairs: Vec<(u32, u32)> = (0..n as u32)
+        .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+        .collect();
+    let mut found: Vec<Graph> = Vec::new();
+    for mask in 0u32..(1 << pairs.len()) {
+        let edges: Vec<(u32, u32)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
+        let g = Graph::from_edges(n, &edges);
+        if !crate::components::is_connected(&g) {
+            continue;
+        }
+        // Dedup up to isomorphism: same n and m plus mutual containment.
+        let duplicate = found
+            .iter()
+            .any(|h| h.m() == g.m() && iso::contains_subgraph(&g, h));
+        if !duplicate {
+            found.push(g);
+        }
+    }
+    found.sort_by_key(|g| g.m());
+    found
+        .into_iter()
+        .enumerate()
+        .map(|(i, graph)| {
+            let automorphisms = iso::automorphism_count(&graph).max(1);
+            let name = format!("G{}_{}m_{}", n, graph.m(), i);
+            AtlasEntry {
+                graph,
+                automorphisms,
+                name,
+            }
+        })
+        .collect()
+}
+
+/// All connected graphs with between 1 and `max_n` vertices.
+pub fn atlas_up_to(max_n: usize) -> Vec<AtlasEntry> {
+    (1..=max_n).flat_map(connected_graphs).collect()
+}
+
+/// One census row: an atlas entry and its copy count in the host.
+#[derive(Debug, Clone)]
+pub struct CensusRow {
+    /// The pattern.
+    pub entry: AtlasEntry,
+    /// Number of copies in the host (`None` if counting hit the cap).
+    pub copies: Option<usize>,
+}
+
+/// Counts the copies of every connected graph on up to `max_n` vertices in
+/// `host`. `cap` bounds the embedding count per pattern (to keep dense
+/// hosts tractable); patterns that exceed it report `None`.
+pub fn census(host: &Graph, max_n: usize, cap: usize) -> Vec<CensusRow> {
+    let entries = atlas_up_to(max_n);
+    entries
+        .into_par_iter()
+        .map(|entry| {
+            let copies = iso::count_embeddings(&entry.graph, host, cap);
+            let copies = if copies >= cap {
+                None
+            } else {
+                Some(copies / entry.automorphisms)
+            };
+            CensusRow { entry, copies }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn connected_graph_counts_match_oeis() {
+        // OEIS A001349: connected graphs on n nodes: 1, 1, 2, 6, 21, 112.
+        assert_eq!(connected_graphs(1).len(), 1);
+        assert_eq!(connected_graphs(2).len(), 1);
+        assert_eq!(connected_graphs(3).len(), 2);
+        assert_eq!(connected_graphs(4).len(), 6);
+        assert_eq!(connected_graphs(5).len(), 21);
+    }
+
+    #[test]
+    fn entries_are_pairwise_non_isomorphic() {
+        for n in 1..=4 {
+            let entries = connected_graphs(n);
+            for i in 0..entries.len() {
+                for j in (i + 1)..entries.len() {
+                    let (a, b) = (&entries[i].graph, &entries[j].graph);
+                    let isomorphic = a.n() == b.n()
+                        && a.m() == b.m()
+                        && iso::contains_subgraph(a, b)
+                        && iso::contains_subgraph(b, a);
+                    assert!(!isomorphic, "n={n}: entries {i} and {j} coincide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_three_atlas_is_path_and_triangle() {
+        let entries = connected_graphs(3);
+        assert_eq!(entries[0].graph.m(), 2); // path
+        assert_eq!(entries[1].graph.m(), 3); // triangle
+        assert_eq!(entries[0].automorphisms, 2);
+        assert_eq!(entries[1].automorphisms, 6);
+    }
+
+    #[test]
+    fn census_of_k4() {
+        let host = generators::clique(4);
+        let rows = census(&host, 3, usize::MAX);
+        // Patterns: K1, K2, P3, K3.
+        let by_name: Vec<(usize, usize, usize)> = rows
+            .iter()
+            .map(|r| (r.entry.graph.n(), r.entry.graph.m(), r.copies.unwrap()))
+            .collect();
+        assert_eq!(by_name[0], (1, 0, 4)); // vertices
+        assert_eq!(by_name[1], (2, 1, 6)); // edges
+        assert_eq!(by_name[2], (3, 2, 12)); // paths of 3: 4 * C(3,2) = 12
+        assert_eq!(by_name[3], (3, 3, 4)); // triangles
+    }
+
+    #[test]
+    fn census_matches_dedicated_counters() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        let host = generators::gnp(12, 0.35, &mut rng);
+        let rows = census(&host, 4, usize::MAX);
+        for r in &rows {
+            let g = &r.entry.graph;
+            if g.n() == 3 && g.m() == 3 {
+                assert_eq!(
+                    r.copies.unwrap() as u64,
+                    crate::cliques::count_triangles(&host)
+                );
+            }
+            if g.n() == 4 && g.m() == 6 {
+                assert_eq!(r.copies.unwrap() as u64, crate::cliques::count_ksub(&host, 4));
+            }
+            if g.n() == 4 && g.m() == 4 && g.max_degree() == 2 {
+                assert_eq!(
+                    r.copies.unwrap() as u64,
+                    crate::cycles::count_cycles(&host, 4)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn census_cap_reports_none() {
+        let host = generators::clique(9);
+        let rows = census(&host, 3, 10);
+        // Edge count of K9 is 36 > 10 embeddings-cap.
+        assert!(rows.iter().any(|r| r.copies.is_none()));
+    }
+}

@@ -1,0 +1,128 @@
+//! Breadth-first search primitives: distance vectors, balls, and parents.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// Distance `usize::MAX` marks an unreachable vertex.
+pub const UNREACHABLE: usize = usize::MAX;
+
+/// Single-source BFS distances from `src`.
+pub fn distances(g: &Graph, src: usize) -> Vec<usize> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for &v in g.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == UNREACHABLE {
+                dist[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS distances and parent pointers (parent of the source is itself).
+pub fn distances_with_parents(g: &Graph, src: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut parent = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    dist[src] = 0;
+    parent[src] = src;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for &v in g.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == UNREACHABLE {
+                dist[v] = du + 1;
+                parent[v] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// The vertices within distance `radius` of `src` (the closed ball),
+/// in BFS order.
+pub fn ball(g: &Graph, src: usize, radius: usize) -> Vec<usize> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    let mut out = vec![src];
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        if du == radius {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == UNREACHABLE {
+                dist[v] = du + 1;
+                out.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+/// Eccentricity of `src`: the maximum distance to any *reachable* vertex.
+pub fn eccentricity(g: &Graph, src: usize) -> usize {
+    distances(g, src)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_distances() {
+        let g = generators::path(5);
+        let d = distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let d = distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn parents_form_tree() {
+        let g = generators::cycle(6);
+        let (dist, parent) = distances_with_parents(&g, 0);
+        for v in 1..6 {
+            assert_eq!(dist[parent[v]] + 1, dist[v]);
+        }
+        assert_eq!(parent[0], 0);
+    }
+
+    #[test]
+    fn ball_radius() {
+        let g = generators::path(10);
+        let b = ball(&g, 5, 2);
+        let mut sorted = b.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn cycle_eccentricity() {
+        let g = generators::cycle(8);
+        assert_eq!(eccentricity(&g, 0), 4);
+    }
+}

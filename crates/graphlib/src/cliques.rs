@@ -1,0 +1,298 @@
+//! Clique enumeration and counting.
+//!
+//! `K_s` copies are enumerated over a degeneracy ordering: each clique is
+//! produced exactly once, rooted at its ordering-minimal vertex whose later
+//! neighborhood contains the rest. This is the machinery behind the
+//! Lemma 1.3 experiments (`#K_s <= O(m^{s/2})`).
+
+use crate::graph::Graph;
+
+/// Degeneracy ordering: repeatedly removes a minimum-degree vertex.
+/// Returns `(order, degeneracy)`.
+pub fn degeneracy_ordering(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.n();
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let maxd = g.max_degree();
+    // Bucket queue over current degrees.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); maxd + 1];
+    for v in 0..n {
+        buckets[deg[v]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0;
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        // Find the lowest non-empty bucket with a live vertex.
+        cursor = cursor.min(maxd);
+        let v = loop {
+            // Entries can be stale (vertex removed or degree changed); skip them.
+            if let Some(&cand) = buckets[cursor].last() {
+                if removed[cand] || deg[cand] != cursor {
+                    buckets[cursor].pop();
+                    continue;
+                }
+                buckets[cursor].pop();
+                break cand;
+            }
+            cursor += 1;
+        };
+        removed[v] = true;
+        degeneracy = degeneracy.max(cursor);
+        order.push(v);
+        for &w in g.neighbors(v) {
+            let w = w as usize;
+            if !removed[w] {
+                deg[w] -= 1;
+                buckets[deg[w]].push(w);
+                if deg[w] < cursor {
+                    cursor = deg[w];
+                }
+            }
+        }
+    }
+    (order, degeneracy)
+}
+
+/// Counts copies of `K_s` (unordered vertex sets forming a clique).
+///
+/// Runs in `O(m * d^{s-2})` where `d` is the degeneracy.
+pub fn count_ksub(g: &Graph, s: usize) -> u64 {
+    if s == 0 {
+        return 1;
+    }
+    if s == 1 {
+        return g.n() as u64;
+    }
+    if s == 2 {
+        return g.m() as u64;
+    }
+    let (order, _) = degeneracy_ordering(g);
+    let mut rank = vec![0usize; g.n()];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v] = i;
+    }
+    let mut total = 0u64;
+    let mut later: Vec<u32> = Vec::new();
+    for &v in &order {
+        later.clear();
+        later.extend(
+            g.neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| rank[w as usize] > rank[v]),
+        );
+        total += count_cliques_within(g, &later, s - 1);
+    }
+    total
+}
+
+/// Counts cliques of size `s` inside the candidate set `cands`
+/// (all of which are assumed adjacent to an implicit root).
+fn count_cliques_within(g: &Graph, cands: &[u32], s: usize) -> u64 {
+    if s == 0 {
+        return 1;
+    }
+    if s == 1 {
+        return cands.len() as u64;
+    }
+    let mut total = 0u64;
+    for (i, &v) in cands.iter().enumerate() {
+        let rest: Vec<u32> = cands[i + 1..]
+            .iter()
+            .copied()
+            .filter(|&w| g.has_edge(v as usize, w as usize))
+            .collect();
+        if rest.len() + 1 >= s {
+            total += count_cliques_within(g, &rest, s - 1);
+        }
+    }
+    total
+}
+
+/// Lists all copies of `K_s`, each as a sorted vertex set, up to `cap` copies.
+pub fn list_ksub(g: &Graph, s: usize, cap: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    if s == 0 || cap == 0 {
+        return out;
+    }
+    if s == 1 {
+        for v in 0..g.n().min(cap) {
+            out.push(vec![v as u32]);
+        }
+        return out;
+    }
+    let (order, _) = degeneracy_ordering(g);
+    let mut rank = vec![0usize; g.n()];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v] = i;
+    }
+    let mut prefix = Vec::with_capacity(s);
+    for &v in &order {
+        let later: Vec<u32> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| rank[w as usize] > rank[v])
+            .collect();
+        prefix.clear();
+        prefix.push(v as u32);
+        list_rec(g, &later, s - 1, &mut prefix, &mut out, cap);
+        if out.len() >= cap {
+            break;
+        }
+    }
+    out
+}
+
+fn list_rec(
+    g: &Graph,
+    cands: &[u32],
+    s: usize,
+    prefix: &mut Vec<u32>,
+    out: &mut Vec<Vec<u32>>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    if s == 0 {
+        let mut clique = prefix.clone();
+        clique.sort_unstable();
+        out.push(clique);
+        return;
+    }
+    for (i, &v) in cands.iter().enumerate() {
+        if cands.len() - i < s {
+            break;
+        }
+        let rest: Vec<u32> = cands[i + 1..]
+            .iter()
+            .copied()
+            .filter(|&w| g.has_edge(v as usize, w as usize))
+            .collect();
+        prefix.push(v);
+        list_rec(g, &rest, s - 1, prefix, out, cap);
+        prefix.pop();
+        if out.len() >= cap {
+            return;
+        }
+    }
+}
+
+/// Counts triangles (`K_3`) — a fast special case used everywhere.
+pub fn count_triangles(g: &Graph) -> u64 {
+    count_ksub(g, 3)
+}
+
+/// The maximum clique size (clique number), by trying sizes upward.
+pub fn clique_number(g: &Graph) -> usize {
+    let (_, d) = degeneracy_ordering(g);
+    let mut best = if g.n() == 0 { 0 } else { 1 };
+    // Clique number is at most degeneracy + 1.
+    for s in 2..=(d + 1) {
+        if count_ksub_exists(g, s) {
+            best = s;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+fn count_ksub_exists(g: &Graph, s: usize) -> bool {
+    !list_ksub(g, s, 1).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// n choose k as u64.
+    fn binom(n: u64, k: u64) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1u64;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn triangles_in_cliques() {
+        for n in 3..8 {
+            let g = generators::clique(n);
+            assert_eq!(count_triangles(&g), binom(n as u64, 3), "n={n}");
+        }
+    }
+
+    #[test]
+    fn k4_counts() {
+        assert_eq!(count_ksub(&generators::clique(6), 4), binom(6, 4));
+        assert_eq!(count_ksub(&generators::cycle(6), 4), 0);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let g = generators::cycle(5);
+        assert_eq!(count_ksub(&g, 0), 1);
+        assert_eq!(count_ksub(&g, 1), 5);
+        assert_eq!(count_ksub(&g, 2), 5);
+    }
+
+    #[test]
+    fn bipartite_is_triangle_free() {
+        let g = generators::complete_bipartite(5, 5);
+        assert_eq!(count_triangles(&g), 0);
+    }
+
+    #[test]
+    fn listing_matches_counting() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let g = generators::gnp(30, 0.4, &mut rng);
+        for s in 3..6 {
+            let listed = list_ksub(&g, s, usize::MAX);
+            assert_eq!(listed.len() as u64, count_ksub(&g, s), "s={s}");
+            // Each listed set is a genuine clique, and all are distinct.
+            let mut seen = std::collections::HashSet::new();
+            for c in &listed {
+                assert_eq!(c.len(), s);
+                for i in 0..s {
+                    for j in (i + 1)..s {
+                        assert!(g.has_edge(c[i] as usize, c[j] as usize));
+                    }
+                }
+                assert!(seen.insert(c.clone()), "duplicate clique listed");
+            }
+        }
+    }
+
+    #[test]
+    fn listing_cap() {
+        let g = generators::clique(10);
+        assert_eq!(list_ksub(&g, 3, 7).len(), 7);
+    }
+
+    #[test]
+    fn degeneracy_values() {
+        assert_eq!(degeneracy_ordering(&generators::clique(5)).1, 4);
+        assert_eq!(degeneracy_ordering(&generators::cycle(9)).1, 2);
+        assert_eq!(degeneracy_ordering(&generators::path(9)).1, 1);
+        assert_eq!(degeneracy_ordering(&generators::star(5)).1, 1);
+    }
+
+    #[test]
+    fn clique_number_values() {
+        assert_eq!(clique_number(&generators::clique(6)), 6);
+        assert_eq!(clique_number(&generators::cycle(5)), 2);
+        assert_eq!(clique_number(&generators::complete_bipartite(3, 3)), 2);
+        assert_eq!(clique_number(&Graph::empty(3)), 1);
+        assert_eq!(clique_number(&Graph::empty(0)), 0);
+    }
+
+    use crate::graph::Graph;
+}

@@ -1,0 +1,167 @@
+//! Combinatorial helpers: binomial coefficients and k-subset (un)ranking.
+//!
+//! §3.2 of the paper encodes each index `i in [n]` as a distinct k-subset
+//! `Q_i` of `[m]` with `m = k * ceil(n^{1/k})` (possible because
+//! `C(m, k) >= n`). We implement the standard combinatorial number system
+//! (colex order) to make that encoding concrete and invertible.
+
+/// Binomial coefficient `C(n, k)`, saturating at `u64::MAX`.
+pub fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut r: u64 = 1;
+    for i in 0..k {
+        // r * (n - i) / (i + 1) stays integral at every step.
+        match r.checked_mul(n - i) {
+            Some(x) => r = x / (i + 1),
+            None => return u64::MAX,
+        }
+    }
+    r
+}
+
+/// The `rank`-th k-subset of `{0, 1, 2, ...}` in colexicographic order,
+/// returned as a strictly increasing vector of length `k`.
+///
+/// Colex rank of `{c_1 < c_2 < ... < c_k}` is `sum_i C(c_i, i)`.
+pub fn unrank_ksubset(mut rank: u64, k: usize) -> Vec<u64> {
+    let mut out = vec![0u64; k];
+    for i in (1..=k).rev() {
+        // Largest c with C(c, i) <= rank.
+        let mut c = i as u64 - 1; // C(i-1, i) = 0 <= rank always
+        loop {
+            let next = binomial(c + 1, i as u64);
+            if next <= rank {
+                c += 1;
+            } else {
+                break;
+            }
+        }
+        out[i - 1] = c;
+        rank -= binomial(c, i as u64);
+    }
+    out
+}
+
+/// Colex rank of a strictly increasing k-subset.
+pub fn rank_ksubset(subset: &[u64]) -> u64 {
+    subset
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| binomial(c, i as u64 + 1))
+        .sum()
+}
+
+/// `ceil(n^{1/k})` computed exactly with integer arithmetic.
+pub fn ceil_root(n: u64, k: u32) -> u64 {
+    if n <= 1 {
+        return n;
+    }
+    let mut lo = 1u64;
+    let mut hi = n;
+    // Smallest r with r^k >= n.
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pow_at_least(mid, k, n) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Whether `base^exp >= target`, without overflow.
+fn pow_at_least(base: u64, exp: u32, target: u64) -> bool {
+    let mut acc: u64 = 1;
+    for _ in 0..exp {
+        acc = match acc.checked_mul(base) {
+            Some(x) => x,
+            None => return true,
+        };
+        if acc >= target {
+            return true;
+        }
+    }
+    acc >= target
+}
+
+/// The universe size `m = k * ceil(n^{1/k})` of §3.2, guaranteeing
+/// `C(m, k) >= n` distinct k-subset encodings.
+pub fn subset_universe(n: usize, k: usize) -> usize {
+    k * ceil_root(n as u64, k as u32) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_table() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(4, 5), 0);
+        assert_eq!(binomial(60, 30), 118264581564861424);
+    }
+
+    #[test]
+    fn unrank_enumerates_all_subsets_in_order() {
+        let k = 3;
+        let total = binomial(6, 3);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..total {
+            let s = unrank_ksubset(r, k);
+            assert_eq!(s.len(), k);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+            assert!(*s.last().unwrap() < 6, "within universe for this count");
+            assert_eq!(rank_ksubset(&s), r, "rank roundtrip");
+            assert!(seen.insert(s));
+        }
+        assert_eq!(seen.len() as u64, total);
+    }
+
+    #[test]
+    fn unrank_first_and_step() {
+        assert_eq!(unrank_ksubset(0, 3), vec![0, 1, 2]);
+        assert_eq!(unrank_ksubset(1, 3), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn ceil_root_values() {
+        assert_eq!(ceil_root(8, 3), 2);
+        assert_eq!(ceil_root(9, 3), 3); // 2^3 = 8 < 9
+        assert_eq!(ceil_root(27, 3), 3);
+        assert_eq!(ceil_root(1, 5), 1);
+        assert_eq!(ceil_root(100, 2), 10);
+        assert_eq!(ceil_root(101, 2), 11);
+    }
+
+    #[test]
+    fn universe_admits_n_encodings() {
+        for k in 2..5usize {
+            for n in [1usize, 10, 100, 1000] {
+                let m = subset_universe(n, k);
+                assert!(
+                    binomial(m as u64, k as u64) >= n as u64,
+                    "C({m},{k}) < {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encodings_are_distinct_within_universe() {
+        let n = 50;
+        let k = 3;
+        let m = subset_universe(n, k) as u64;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n as u64 {
+            let s = unrank_ksubset(i, k);
+            assert!(s.iter().all(|&x| x < m), "subset fits universe");
+            assert!(seen.insert(s));
+        }
+    }
+}

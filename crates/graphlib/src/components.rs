@@ -1,0 +1,177 @@
+//! Connected components via union-find.
+
+use crate::graph::Graph;
+
+/// Result of a connected-components computation.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component label per vertex, in `0..count`.
+    pub label: Vec<usize>,
+    /// Number of components.
+    pub count: usize,
+}
+
+/// Disjoint-set union with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.sets -= 1;
+        true
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Labels every vertex with its connected component.
+pub fn connected_components(g: &Graph) -> Components {
+    let mut uf = UnionFind::new(g.n());
+    for (u, v) in g.edges() {
+        uf.union(u as usize, v as usize);
+    }
+    let mut label = vec![usize::MAX; g.n()];
+    let mut next = 0;
+    for v in 0..g.n() {
+        let r = uf.find(v);
+        if label[r] == usize::MAX {
+            label[r] = next;
+            next += 1;
+        }
+        label[v] = label[r];
+    }
+    Components {
+        label,
+        count: next,
+    }
+}
+
+/// Whether the graph is connected (vacuously true for `n <= 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    g.n() <= 1 || connected_components(g).count == 1
+}
+
+/// Two-colors the graph if it is bipartite, returning the side of each
+/// vertex, or `None` if an odd cycle exists.
+pub fn bipartition(g: &Graph) -> Option<Vec<bool>> {
+    let mut color: Vec<Option<bool>> = vec![None; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..g.n() {
+        if color[start].is_some() {
+            continue;
+        }
+        color[start] = Some(false);
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            let cu = color[u].unwrap();
+            for &v in g.neighbors(u) {
+                let v = v as usize;
+                match color[v] {
+                    None => {
+                        color[v] = Some(!cu);
+                        queue.push_back(v);
+                    }
+                    Some(cv) if cv == cu => return None,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some(color.into_iter().map(|c| c.unwrap()).collect())
+}
+
+/// Whether the graph is bipartite.
+pub fn is_bipartite(g: &Graph) -> bool {
+    bipartition(g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn single_component() {
+        let g = generators::cycle(5);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn multiple_components() {
+        let g = generators::disjoint_copies(&generators::cycle(3), 3);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert!(!is_connected(&g));
+        assert_eq!(c.label[0], c.label[1]);
+        assert_ne!(c.label[0], c.label[3]);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = Graph::empty(4);
+        assert_eq!(connected_components(&g).count, 4);
+    }
+
+    #[test]
+    fn bipartite_checks() {
+        assert!(is_bipartite(&generators::cycle(6)));
+        assert!(!is_bipartite(&generators::cycle(5)));
+        assert!(is_bipartite(&generators::complete_bipartite(3, 4)));
+        assert!(!is_bipartite(&generators::clique(3)));
+        assert!(is_bipartite(&Graph::empty(4)));
+        let side = bipartition(&generators::path(4)).unwrap();
+        assert_eq!(side, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn union_find_counts() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.same(0, 1));
+        assert_eq!(uf.set_count(), 4);
+    }
+}

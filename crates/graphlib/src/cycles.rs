@@ -1,0 +1,225 @@
+//! Exact cycle detection and counting (centralized ground truth for the
+//! distributed detectors).
+
+use crate::graph::Graph;
+use rayon::prelude::*;
+
+/// Whether `g` contains a simple cycle of length exactly `k` as a subgraph.
+///
+/// Enumerates simple paths rooted at their minimal vertex (canonical form),
+/// so the work is `O(n * Δ^{k-1})` — intended for ground-truth checks on
+/// experiment-sized graphs, not as the distributed algorithm.
+pub fn has_cycle(g: &Graph, k: usize) -> bool {
+    assert!(k >= 3, "cycles have length >= 3");
+    (0..g.n())
+        .into_par_iter()
+        .any(|root| has_cycle_rooted(g, k, root))
+}
+
+fn has_cycle_rooted(g: &Graph, k: usize, root: usize) -> bool {
+    // Path state kept on an explicit stack of (vertex, neighbor cursor).
+    let mut path = vec![root];
+    let mut on_path = vec![false; g.n()];
+    on_path[root] = true;
+    let mut cursors = vec![0usize];
+    while let Some(&v) = path.last() {
+        let cur = cursors.last_mut().unwrap();
+        let nbrs = g.neighbors(v);
+        if *cur >= nbrs.len() {
+            path.pop();
+            cursors.pop();
+            on_path[v] = false;
+            continue;
+        }
+        let w = nbrs[*cur] as usize;
+        *cur += 1;
+        if path.len() == k {
+            // Path has k vertices; close the cycle back to the root.
+            if w == root {
+                return true;
+            }
+            continue;
+        }
+        // Canonical: all non-root vertices exceed the root; no revisits.
+        if w <= root || on_path[w] {
+            continue;
+        }
+        path.push(w);
+        on_path[w] = true;
+        cursors.push(0);
+    }
+    false
+}
+
+/// Counts simple cycles of length exactly `k` (each counted once as a
+/// vertex set with its cyclic structure; i.e. `C_k` subgraph copies).
+pub fn count_cycles(g: &Graph, k: usize) -> u64 {
+    assert!(k >= 3);
+    let total: u64 = (0..g.n())
+        .into_par_iter()
+        .map(|root| count_cycles_rooted(g, k, root))
+        .sum();
+    // Each cycle is rooted at its minimal vertex but traversed in both
+    // directions.
+    total / 2
+}
+
+fn count_cycles_rooted(g: &Graph, k: usize, root: usize) -> u64 {
+    let mut count = 0u64;
+    let mut path = vec![root];
+    let mut on_path = vec![false; g.n()];
+    on_path[root] = true;
+    let mut cursors = vec![0usize];
+    while let Some(&v) = path.last() {
+        let cur = cursors.last_mut().unwrap();
+        let nbrs = g.neighbors(v);
+        if *cur >= nbrs.len() {
+            path.pop();
+            cursors.pop();
+            on_path[v] = false;
+            continue;
+        }
+        let w = nbrs[*cur] as usize;
+        *cur += 1;
+        if path.len() == k {
+            if w == root {
+                count += 1;
+            }
+            continue;
+        }
+        if w <= root || on_path[w] {
+            continue;
+        }
+        path.push(w);
+        on_path[w] = true;
+        cursors.push(0);
+    }
+    count
+}
+
+/// Girth (length of a shortest cycle), or `None` for a forest.
+///
+/// Standard BFS-from-every-vertex bound; exact for the shortest cycle
+/// through each vertex.
+pub fn girth(g: &Graph) -> Option<usize> {
+    
+    (0..g.n())
+        .into_par_iter()
+        .filter_map(|src| girth_from(g, src))
+        .min()
+}
+
+fn girth_from(g: &Graph, src: usize) -> Option<usize> {
+    use std::collections::VecDeque;
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut parent = vec![usize::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    let mut best: Option<usize> = None;
+    while let Some(u) = queue.pop_front() {
+        for &w in g.neighbors(u) {
+            let w = w as usize;
+            if dist[w] == usize::MAX {
+                dist[w] = dist[u] + 1;
+                parent[w] = u;
+                queue.push_back(w);
+            } else if parent[u] != w {
+                // Non-tree edge closes a cycle through src of length
+                // dist[u] + dist[w] + 1 (an upper bound that is tight for
+                // some source, which suffices for the global minimum).
+                let len = dist[u] + dist[w] + 1;
+                if best.is_none_or(|b| len < b) {
+                    best = Some(len);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Whether `g` contains *any* even cycle `C_{2k}` for `2k <= max_len`.
+pub fn has_even_cycle_up_to(g: &Graph, max_len: usize) -> bool {
+    (4..=max_len).step_by(2).any(|k| has_cycle(g, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cycle_contains_itself_only() {
+        let g = generators::cycle(7);
+        assert!(has_cycle(&g, 7));
+        for k in 3..7 {
+            assert!(!has_cycle(&g, k), "C7 has no C{k}");
+        }
+    }
+
+    #[test]
+    fn clique_cycle_spectrum() {
+        let g = generators::clique(5);
+        for k in 3..=5 {
+            assert!(has_cycle(&g, k));
+        }
+        assert!(!has_cycle(&g, 6));
+    }
+
+    #[test]
+    fn counting_known_values() {
+        // K4: 3 four-cycles, 4 triangles.
+        let k4 = generators::clique(4);
+        assert_eq!(count_cycles(&k4, 3), 4);
+        assert_eq!(count_cycles(&k4, 4), 3);
+        // K_{2,3}: C4 count = C(2,2)*C(3,2) = 3.
+        let b = generators::complete_bipartite(2, 3);
+        assert_eq!(count_cycles(&b, 4), 3);
+        assert_eq!(count_cycles(&b, 3), 0);
+    }
+
+    #[test]
+    fn counting_matches_vf2() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let g = generators::gnp(16, 0.3, &mut rng);
+        for k in 3..6 {
+            let via_vf2 = crate::iso::count_embeddings(&generators::cycle(k), &g, usize::MAX);
+            // Each C_k subgraph has 2k automorphisms as a map.
+            assert_eq!(
+                count_cycles(&g, k),
+                via_vf2 as u64 / (2 * k as u64),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn girth_values() {
+        assert_eq!(girth(&generators::cycle(9)), Some(9));
+        assert_eq!(girth(&generators::clique(4)), Some(3));
+        assert_eq!(girth(&generators::path(5)), None);
+        assert_eq!(girth(&generators::complete_bipartite(3, 3)), Some(4));
+        assert_eq!(girth(&generators::random_tree(10, &mut seeded())), None);
+    }
+
+    fn seeded() -> rand_chacha::ChaCha8Rng {
+        use rand::SeedableRng;
+        rand_chacha::ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn even_cycle_scan() {
+        let g = generators::cycle(6);
+        assert!(has_even_cycle_up_to(&g, 6));
+        assert!(!has_even_cycle_up_to(&generators::cycle(5), 8));
+    }
+
+    #[test]
+    fn planted_cycle_is_found() {
+        let mut rng = seeded();
+        let base = generators::gnp(40, 0.02, &mut rng);
+        let (g, _) = generators::plant_cycle(&base, 6, &mut rng);
+        assert!(has_cycle(&g, 6));
+    }
+}

@@ -1,0 +1,83 @@
+//! Exact diameter (all-pairs via repeated BFS, rayon-parallel).
+
+use crate::bfs;
+use crate::graph::Graph;
+use rayon::prelude::*;
+
+/// Exact diameter of a *connected* graph: the maximum eccentricity.
+///
+/// Returns `None` when the graph is disconnected or empty (the diameter is
+/// then conventionally infinite / undefined).
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.n() == 0 {
+        return None;
+    }
+    let eccs: Vec<Option<usize>> = (0..g.n())
+        .into_par_iter()
+        .map(|v| {
+            let d = bfs::distances(g, v);
+            if d.contains(&bfs::UNREACHABLE) {
+                None
+            } else {
+                d.into_iter().max()
+            }
+        })
+        .collect();
+    eccs.into_iter().collect::<Option<Vec<_>>>()?.into_iter().max()
+}
+
+/// Radius of a connected graph: the minimum eccentricity. `None` if
+/// disconnected or empty.
+pub fn radius(g: &Graph) -> Option<usize> {
+    if g.n() == 0 {
+        return None;
+    }
+    let eccs: Vec<Option<usize>> = (0..g.n())
+        .into_par_iter()
+        .map(|v| {
+            let d = bfs::distances(g, v);
+            if d.contains(&bfs::UNREACHABLE) {
+                None
+            } else {
+                d.into_iter().max()
+            }
+        })
+        .collect();
+    eccs.into_iter().collect::<Option<Vec<_>>>()?.into_iter().min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_diameter() {
+        assert_eq!(diameter(&generators::path(6)), Some(5));
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        assert_eq!(diameter(&generators::cycle(8)), Some(4));
+        assert_eq!(diameter(&generators::cycle(9)), Some(4));
+    }
+
+    #[test]
+    fn clique_diameter() {
+        assert_eq!(diameter(&generators::clique(5)), Some(1));
+        assert_eq!(radius(&generators::clique(5)), Some(1));
+    }
+
+    #[test]
+    fn disconnected_is_none() {
+        let g = generators::disjoint_copies(&generators::cycle(3), 2);
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn star_radius() {
+        let g = generators::star(6);
+        assert_eq!(diameter(&g), Some(2));
+        assert_eq!(radius(&g), Some(1));
+    }
+}

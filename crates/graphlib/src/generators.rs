@@ -1,0 +1,386 @@
+//! Graph generators for workloads and experiments.
+//!
+//! All randomized generators take an explicit [`Rng`] so that every
+//! experiment in this workspace is reproducible from its seed.
+
+use crate::graph::{Graph, GraphBuilder};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The cycle `C_n` on `n >= 3` vertices (`0-1-2-...-(n-1)-0`).
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        b.add_edge(v, (v + 1) % n);
+    }
+    b.build()
+}
+
+/// The path `P_n` on `n` vertices (`n - 1` edges).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn clique(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// The star `K_{1,n}`: center 0 joined to leaves `1..=n`.
+pub fn star(leaves: usize) -> Graph {
+    let mut b = GraphBuilder::new(leaves + 1);
+    for v in 1..=leaves {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}`; side A is `0..a`, side B is `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            g.add_edge(u, v);
+        }
+    }
+    g.build()
+}
+
+/// The complete multipartite graph with the given part sizes.
+pub fn complete_multipartite(parts: &[usize]) -> Graph {
+    let n: usize = parts.iter().sum();
+    let mut b = GraphBuilder::new(n);
+    let mut starts = Vec::with_capacity(parts.len() + 1);
+    let mut acc = 0;
+    for &p in parts {
+        starts.push(acc);
+        acc += p;
+    }
+    starts.push(acc);
+    for i in 0..parts.len() {
+        for j in (i + 1)..parts.len() {
+            for u in starts[i]..starts[i + 1] {
+                for v in starts[j]..starts[j + 1] {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)`: each of the `C(n,2)` edges appears independently
+/// with probability `p`.
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if p >= 1.0 {
+        return clique(n);
+    }
+    if p > 0.0 {
+        // Skip-sampling (geometric jumps) keeps this O(n + m) rather than O(n^2).
+        let log1p = (1.0 - p).ln();
+        let mut u = 1usize;
+        let mut v: i64 = -1;
+        while u < n {
+            let r: f64 = rng.gen_range(0.0..1.0f64);
+            let skip = ((1.0 - r).ln() / log1p).floor() as i64;
+            v += 1 + skip.max(0);
+            while v >= u as i64 && u < n {
+                v -= u as i64;
+                u += 1;
+            }
+            if u < n {
+                b.add_edge(u, v as usize);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges chosen uniformly.
+///
+/// # Panics
+/// Panics if `m > C(n,2)`.
+pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let max = n * (n.saturating_sub(1)) / 2;
+    assert!(m <= max, "too many edges requested");
+    let mut b = GraphBuilder::new(n);
+    let mut chosen = crate::hash::FxHashSet::default();
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+/// Random bipartite graph: sides `0..a` and `a..a+b`, each cross edge with
+/// probability `p`.
+pub fn random_bipartite<R: Rng>(a: usize, b: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g.build()
+}
+
+/// Uniform random labeled tree on `n` vertices (Prüfer sequence decode).
+pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    if n <= 1 {
+        return b.build();
+    }
+    if n == 2 {
+        b.add_edge(0, 1);
+        return b.build();
+    }
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    // Standard Prüfer decoding with a pointer + leaf variable.
+    let mut ptr = 0;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &v in &prufer {
+        b.add_edge(leaf, v);
+        degree[v] -= 1;
+        if degree[v] == 1 && v < ptr {
+            leaf = v;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    b.add_edge(leaf, n - 1);
+    b.build()
+}
+
+/// Barabási–Albert-style preferential attachment: starts from a clique on
+/// `m0 = attach` vertices, then each new vertex attaches to `attach` existing
+/// vertices sampled proportionally to degree. Produces heavy-tailed degrees
+/// (a "social network"-shaped workload).
+pub fn preferential_attachment<R: Rng>(n: usize, attach: usize, rng: &mut R) -> Graph {
+    assert!(attach >= 1 && n > attach);
+    let mut b = GraphBuilder::new(n);
+    // Repeated-endpoint list: sampling uniformly from it is degree-biased.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * n * attach);
+    for u in 0..attach {
+        for v in (u + 1)..attach.max(2) {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in attach.max(2)..n {
+        let mut targets = crate::hash::FxHashSet::default();
+        while targets.len() < attach.min(v) {
+            let t = if endpoints.is_empty() || rng.gen_bool(0.1) {
+                rng.gen_range(0..v)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            targets.insert(t);
+        }
+        for &t in &targets {
+            b.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Plants a (vertex-disjoint-from-nothing) copy of `C_len` on `len` random
+/// distinct vertices of `g`, returning the new graph and the planted cycle's
+/// vertices in cycle order.
+pub fn plant_cycle<R: Rng>(g: &Graph, len: usize, rng: &mut R) -> (Graph, Vec<usize>) {
+    assert!(len >= 3 && len <= g.n(), "cycle length out of range");
+    let mut verts: Vec<usize> = (0..g.n()).collect();
+    verts.shuffle(rng);
+    verts.truncate(len);
+    let mut b = GraphBuilder::new(g.n());
+    for (u, v) in g.edges() {
+        b.add_edge(u as usize, v as usize);
+    }
+    for i in 0..len {
+        b.add_edge(verts[i], verts[(i + 1) % len]);
+    }
+    (b.build(), verts)
+}
+
+/// A graph made of `copies` disjoint copies of `g`.
+pub fn disjoint_copies(g: &Graph, copies: usize) -> Graph {
+    let mut out = Graph::empty(0);
+    for _ in 0..copies {
+        out = out.disjoint_union(g);
+    }
+    out
+}
+
+/// A random `d`-regular-ish graph via the configuration model (multi-edges
+/// and loops dropped, so degrees are at most `d`).
+pub fn configuration_model<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    stubs.shuffle(rng);
+    let mut b = GraphBuilder::new(n);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            b.add_edge(pair[0], pair[1]);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0xDEADBEEF)
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 5);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn clique_edge_count() {
+        let g = clique(6);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.min_degree(), 5);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 7);
+        assert_eq!(g.m(), 7);
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.m(), 12);
+        assert!(!g.has_edge(0, 1)); // same side
+        assert!(g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn multipartite_matches_bipartite() {
+        let a = complete_multipartite(&[3, 4]);
+        let b = complete_bipartite(3, 4);
+        assert_eq!(a.m(), b.m());
+        assert_eq!(a.degree_sequence(), b.degree_sequence());
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut r = rng();
+        assert_eq!(gnp(10, 0.0, &mut r).m(), 0);
+        assert_eq!(gnp(10, 1.0, &mut r).m(), 45);
+    }
+
+    #[test]
+    fn gnp_density_is_plausible() {
+        let mut r = rng();
+        let g = gnp(200, 0.1, &mut r);
+        let expected = 0.1 * (200.0 * 199.0 / 2.0);
+        let m = g.m() as f64;
+        assert!(
+            (m - expected).abs() < 0.25 * expected,
+            "m={m} expected~{expected}"
+        );
+    }
+
+    #[test]
+    fn gnm_exact_count() {
+        let mut r = rng();
+        let g = gnm(50, 100, &mut r);
+        assert_eq!(g.m(), 100);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut r = rng();
+        for n in [1usize, 2, 3, 10, 57] {
+            let t = random_tree(n, &mut r);
+            assert_eq!(t.m(), n.saturating_sub(1), "n={n}");
+            if n > 0 {
+                assert_eq!(crate::components::connected_components(&t).count, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_degrees() {
+        let mut r = rng();
+        let g = preferential_attachment(300, 3, &mut r);
+        assert_eq!(g.n(), 300);
+        assert!(g.max_degree() > 10, "expected a hub to emerge");
+    }
+
+    #[test]
+    fn plant_cycle_plants() {
+        let mut r = rng();
+        let base = Graph::empty(20);
+        let (g, verts) = plant_cycle(&base, 6, &mut r);
+        assert_eq!(g.m(), 6);
+        for i in 0..6 {
+            assert!(g.has_edge(verts[i], verts[(i + 1) % 6]));
+        }
+    }
+
+    #[test]
+    fn disjoint_copies_count() {
+        let g = disjoint_copies(&cycle(3), 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 12);
+    }
+
+    #[test]
+    fn configuration_model_bounded_degree() {
+        let mut r = rng();
+        let g = configuration_model(100, 4, &mut r);
+        assert!(g.max_degree() <= 4);
+    }
+}

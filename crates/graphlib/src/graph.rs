@@ -1,0 +1,345 @@
+//! Compact undirected graph in CSR (compressed sparse row) form.
+//!
+//! Vertices are dense indices `0..n`. The representation is immutable once
+//! built; use [`GraphBuilder`] to construct a graph incrementally. Neighbor
+//! lists are sorted, so adjacency queries are `O(log deg)` and neighborhood
+//! intersections are linear merges.
+
+use std::fmt;
+
+/// A vertex index. Graphs in this workspace are bounded well below `u32::MAX`.
+pub type VertexId = u32;
+
+/// An immutable undirected simple graph in CSR form.
+///
+/// Self-loops and parallel edges are removed at construction time.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+    m: usize,
+}
+
+impl Graph {
+    /// Builds a graph on `n` vertices from an edge list. Duplicate edges,
+    /// reversed duplicates, and self-loops are dropped.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u as usize, v as usize);
+        }
+        b.build()
+    }
+
+    /// The empty graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+            m: 0,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[VertexId] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        if u >= self.n() || v >= self.n() {
+            return false;
+        }
+        // Search the shorter list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&(b as VertexId)).is_ok()
+    }
+
+    /// Iterates over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| (u as u32) < v)
+                .map(move |&v| (u as u32, v))
+        })
+    }
+
+    /// Maximum degree, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree, or 0 for the empty graph.
+    pub fn min_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Average degree `2m/n` (0 if there are no vertices).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            2.0 * self.m as f64 / self.n() as f64
+        }
+    }
+
+    /// Number of common neighbors of `u` and `v` (linear merge).
+    pub fn common_neighbors(&self, u: usize, v: usize) -> usize {
+        let (mut i, mut j) = (0, 0);
+        let (a, b) = (self.neighbors(u), self.neighbors(v));
+        let mut count = 0;
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// The subgraph induced by `keep[v] == true`, together with the map from
+    /// old vertex ids to new ones (`None` for dropped vertices).
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (Graph, Vec<Option<u32>>) {
+        assert_eq!(keep.len(), self.n());
+        let mut map = vec![None; self.n()];
+        let mut next = 0u32;
+        for v in 0..self.n() {
+            if keep[v] {
+                map[v] = Some(next);
+                next += 1;
+            }
+        }
+        let mut b = GraphBuilder::new(next as usize);
+        for (u, v) in self.edges() {
+            if let (Some(nu), Some(nv)) = (map[u as usize], map[v as usize]) {
+                b.add_edge(nu as usize, nv as usize);
+            }
+        }
+        (b.build(), map)
+    }
+
+    /// Disjoint union of two graphs; vertices of `other` are shifted by
+    /// `self.n()`.
+    pub fn disjoint_union(&self, other: &Graph) -> Graph {
+        let shift = self.n() as u32;
+        let mut b = GraphBuilder::new(self.n() + other.n());
+        for (u, v) in self.edges() {
+            b.add_edge(u as usize, v as usize);
+        }
+        for (u, v) in other.edges() {
+            b.add_edge((u + shift) as usize, (v + shift) as usize);
+        }
+        b.build()
+    }
+
+    /// Degree sequence sorted descending.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = (0..self.n()).map(|v| self.degree(v)).collect();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        d
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n(), self.m())
+    }
+}
+
+/// Incremental builder for [`Graph`].
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 range");
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are ignored.
+    ///
+    /// # Panics
+    /// Panics if `u >= n` or `v >= n`.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        if u != v {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            self.edges.push((a as u32, b as u32));
+        }
+        self
+    }
+
+    /// Adds a new vertex and returns its index.
+    pub fn add_vertex(&mut self) -> usize {
+        self.n += 1;
+        self.n - 1
+    }
+
+    /// Current number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Finalizes into an immutable [`Graph`], deduplicating edges.
+    pub fn build(&self) -> Graph {
+        let mut edges = self.edges.clone();
+        edges.sort_unstable();
+        edges.dedup();
+        let m = edges.len();
+
+        let mut degree = vec![0usize; self.n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0);
+        let mut acc = 0;
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; 2 * m];
+        for &(u, v) in &edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        for v in 0..self.n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph {
+            offsets,
+            neighbors,
+            m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.max_degree(), 0);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert_eq!(g.common_neighbors(0, 1), 1);
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = Graph::from_edges(4, &[(3, 1), (2, 0), (1, 0)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let keep = vec![true, false, true, true];
+        let (h, map) = g.induced_subgraph(&keep);
+        assert_eq!(h.n(), 3);
+        assert_eq!(h.m(), 2); // edges {2,3} and {3,0} survive
+        assert_eq!(map[1], None);
+        let (n0, n2, n3) = (map[0].unwrap(), map[2].unwrap(), map[3].unwrap());
+        assert!(h.has_edge(n2 as usize, n3 as usize));
+        assert!(h.has_edge(n3 as usize, n0 as usize));
+        assert!(!h.has_edge(n0 as usize, n2 as usize));
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let a = Graph::from_edges(2, &[(0, 1)]);
+        let b = Graph::from_edges(3, &[(0, 2)]);
+        let u = a.disjoint_union(&b);
+        assert_eq!(u.n(), 5);
+        assert_eq!(u.m(), 2);
+        assert!(u.has_edge(0, 1));
+        assert!(u.has_edge(2, 4));
+    }
+
+    #[test]
+    fn degree_sequence_sorted() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.degree_sequence(), vec![3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn builder_add_vertex() {
+        let mut b = GraphBuilder::new(1);
+        let v = b.add_vertex();
+        b.add_edge(0, v);
+        let g = b.build();
+        assert_eq!(g.n(), 2);
+        assert!(g.has_edge(0, 1));
+    }
+}

@@ -1,0 +1,183 @@
+//! Plain-text graph I/O.
+//!
+//! The format is the common whitespace edge-list: an optional header line
+//! `n <vertices>`, then one `u v` pair per line; `#`-prefixed lines are
+//! comments. Round-trips exactly through [`to_edge_list`] /
+//! [`from_edge_list`].
+
+use crate::graph::{Graph, GraphBuilder};
+use std::fmt;
+
+/// Errors from parsing an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line did not contain exactly two integers (or a valid header).
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// An endpoint was at least the declared vertex count.
+    VertexOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending vertex.
+        vertex: usize,
+        /// The declared vertex count.
+        n: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadLine { line, content } => {
+                write!(f, "line {line}: cannot parse '{content}'")
+            }
+            ParseError::VertexOutOfRange { line, vertex, n } => {
+                write!(f, "line {line}: vertex {vertex} out of range (n = {n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an edge-list document. Without an `n` header, the vertex count
+/// is `1 + max endpoint` (or 0 for an empty document).
+pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<(usize, usize, usize)> = Vec::new(); // (u, v, line)
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let t = raw.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let first = parts.next().unwrap();
+        if first == "n" {
+            let n = parts
+                .next()
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| ParseError::BadLine {
+                    line,
+                    content: t.to_string(),
+                })?;
+            declared_n = Some(n);
+            continue;
+        }
+        let u: usize = first.parse().map_err(|_| ParseError::BadLine {
+            line,
+            content: t.to_string(),
+        })?;
+        let v: usize = parts
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| ParseError::BadLine {
+                line,
+                content: t.to_string(),
+            })?;
+        if parts.next().is_some() {
+            return Err(ParseError::BadLine {
+                line,
+                content: t.to_string(),
+            });
+        }
+        edges.push((u, v, line));
+    }
+    let n = declared_n.unwrap_or_else(|| {
+        edges
+            .iter()
+            .map(|&(u, v, _)| u.max(v) + 1)
+            .max()
+            .unwrap_or(0)
+    });
+    let mut b = GraphBuilder::new(n);
+    for (u, v, line) in edges {
+        for x in [u, v] {
+            if x >= n {
+                return Err(ParseError::VertexOutOfRange { line, vertex: x, n });
+            }
+        }
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Serializes a graph as an edge list with an `n` header.
+pub fn to_edge_list(g: &Graph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(16 + 8 * g.m());
+    let _ = writeln!(out, "n {}", g.n());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip() {
+        let g = generators::complete_bipartite(3, 4);
+        let text = to_edge_list(&g);
+        let back = from_edge_list(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn header_preserves_isolated_vertices() {
+        let g = Graph::from_edges(5, &[(0, 1)]);
+        let back = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(back.n(), 5);
+        assert_eq!(back.m(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = from_edge_list("# a triangle\n\n0 1\n1 2\n2 0\n").unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn infers_vertex_count() {
+        let g = from_edge_list("0 7\n").unwrap();
+        assert_eq!(g.n(), 8);
+    }
+
+    #[test]
+    fn bad_lines_rejected() {
+        assert!(matches!(
+            from_edge_list("0 1 2\n"),
+            Err(ParseError::BadLine { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_edge_list("zero one\n"),
+            Err(ParseError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(matches!(
+            from_edge_list("n 3\n0 5\n"),
+            Err(ParseError::VertexOutOfRange {
+                vertex: 5,
+                n: 3,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_document() {
+        let g = from_edge_list("").unwrap();
+        assert_eq!(g.n(), 0);
+    }
+}

@@ -1,0 +1,484 @@
+//! Subgraph isomorphism (monomorphism) in the sense of the paper's
+//! Definition 1: `H` is contained in `G` if there is an injective map
+//! `V(H) -> V(G)` carrying every edge of `H` to an edge of `G`
+//! (non-induced — extra edges in `G` are allowed).
+//!
+//! The search is a VF2-style backtracking with:
+//! * a connectivity-driven vertex ordering of the pattern (each vertex is
+//!   matched after at least one neighbor, when the pattern is connected),
+//! * degree pruning (`deg_H(u) <= deg_G(phi(u))`),
+//! * candidate generation from already-mapped neighbors instead of scanning
+//!   all of `G`.
+
+use crate::graph::Graph;
+
+const UNMAPPED: u32 = u32::MAX;
+
+/// Partitions pattern vertices into *twin classes*: maximal groups that are
+/// pairwise interchangeable (all pairs adjacent with equal closed
+/// neighborhoods — "true twins", e.g. the interior of a clique — or all
+/// pairs non-adjacent with equal neighborhoods — "false twins"). Permuting
+/// a class is an automorphism of the pattern, so an existence search may
+/// insist on ascending images within each class; this collapses the
+/// factorial blowup on patterns with large cliques (such as the paper's
+/// `H_k` anchors).
+#[allow(clippy::needless_range_loop)] // `v` indexes two parallel arrays
+fn twin_classes(pattern: &Graph) -> Vec<Vec<usize>> {
+    let n = pattern.n();
+    let nbrs: Vec<Vec<u32>> = (0..n).map(|v| pattern.neighbors(v).to_vec()).collect();
+    let twins = |u: usize, v: usize| -> bool {
+        let strip = |list: &[u32], x: usize| -> Vec<u32> {
+            list.iter().copied().filter(|&w| w as usize != x).collect()
+        };
+        strip(&nbrs[u], v) == strip(&nbrs[v], u)
+    };
+    let mut assigned = vec![false; n];
+    let mut classes = Vec::new();
+    for u in 0..n {
+        if assigned[u] {
+            continue;
+        }
+        let mut class = vec![u];
+        let u_adj: std::collections::HashSet<u32> = nbrs[u].iter().copied().collect();
+        for v in (u + 1)..n {
+            if assigned[v] || !twins(u, v) {
+                continue;
+            }
+            // Same adjacency type with *all* current members.
+            let v_ok = class.iter().all(|&w| {
+                let adj_uv = u_adj.contains(&(v as u32));
+                let adj_wv = pattern.has_edge(w, v);
+                adj_uv == adj_wv && twins(w, v)
+            });
+            if v_ok {
+                class.push(v);
+            }
+        }
+        for &v in &class {
+            assigned[v] = true;
+        }
+        if class.len() > 1 {
+            classes.push(class);
+        }
+    }
+    classes
+}
+
+/// Search state for one subgraph-isomorphism query.
+struct Matcher<'a> {
+    pattern: &'a Graph,
+    target: &'a Graph,
+    /// Pattern vertices in matching order.
+    order: Vec<usize>,
+    /// For order position i: (pattern vertex, Some(mapped-neighbor position))
+    /// — a previously-matched pattern neighbor used to generate candidates.
+    anchor: Vec<Option<usize>>,
+    /// phi: pattern -> target (UNMAPPED if not set).
+    phi: Vec<u32>,
+    /// used[t] = target vertex t is already an image.
+    used: Vec<bool>,
+    /// Count embeddings up to this cap (1 for existence queries).
+    limit: usize,
+    found: usize,
+    witness: Option<Vec<u32>>,
+    /// For each pattern vertex: `(classmate, must_precede)` constraints —
+    /// if `must_precede`, the classmate's image (when mapped) must be below
+    /// ours; otherwise above. Only populated for existence queries.
+    twin_order: Vec<Vec<(usize, bool)>>,
+}
+
+impl<'a> Matcher<'a> {
+    fn new(pattern: &'a Graph, target: &'a Graph, limit: usize) -> Self {
+        let (order, anchor) = matching_order(pattern);
+        let mut twin_order = vec![Vec::new(); pattern.n()];
+        if limit == 1 {
+            // Symmetry breaking is only sound for existence queries
+            // (counting must see every map).
+            for class in twin_classes(pattern) {
+                for (i, &u) in class.iter().enumerate() {
+                    for &v in &class[..i] {
+                        twin_order[u].push((v, true));
+                        twin_order[v].push((u, false));
+                    }
+                }
+            }
+        }
+        Matcher {
+            pattern,
+            target,
+            order,
+            anchor,
+            phi: vec![UNMAPPED; pattern.n()],
+            used: vec![false; target.n()],
+            limit,
+            found: 0,
+            witness: None,
+            twin_order,
+        }
+    }
+
+    fn run(&mut self) {
+        self.extend(0);
+    }
+
+    fn extend(&mut self, pos: usize) {
+        if self.found >= self.limit {
+            return;
+        }
+        if pos == self.order.len() {
+            self.found += 1;
+            if self.witness.is_none() {
+                self.witness = Some(self.phi.clone());
+            }
+            return;
+        }
+        let u = self.order[pos];
+        let du = self.pattern.degree(u);
+
+        match self.anchor[pos] {
+            Some(w) => {
+                // Candidates: unmapped target neighbors of phi(w).
+                let tw = self.phi[w] as usize;
+                let cands: Vec<u32> = self.target.neighbors(tw).to_vec();
+                for t in cands {
+                    self.try_assign(pos, u, du, t as usize);
+                    if self.found >= self.limit {
+                        return;
+                    }
+                }
+            }
+            None => {
+                // Pattern component root: any target vertex is a candidate.
+                for t in 0..self.target.n() {
+                    self.try_assign(pos, u, du, t);
+                    if self.found >= self.limit {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_assign(&mut self, pos: usize, u: usize, du: usize, t: usize) {
+        if self.used[t] || self.target.degree(t) < du {
+            return;
+        }
+        // Twin symmetry breaking: ascending images within each twin class.
+        for &(v, must_precede) in &self.twin_order[u] {
+            let img = self.phi[v];
+            if img != UNMAPPED {
+                let ok = if must_precede {
+                    (img as usize) < t
+                } else {
+                    t < img as usize
+                };
+                if !ok {
+                    return;
+                }
+            }
+        }
+        // Every already-mapped pattern neighbor of u must be adjacent to t.
+        for &pu in self.pattern.neighbors(u) {
+            let img = self.phi[pu as usize];
+            if img != UNMAPPED && !self.target.has_edge(img as usize, t) {
+                return;
+            }
+        }
+        self.phi[u] = t as u32;
+        self.used[t] = true;
+        self.extend(pos + 1);
+        self.phi[u] = UNMAPPED;
+        self.used[t] = false;
+    }
+}
+
+/// Computes a connectivity-driven matching order: vertices sorted so that
+/// each (after the first of its component) has an already-ordered neighbor;
+/// ties broken by descending degree. Returns `(order, anchor)` where
+/// `anchor[i]` is an already-ordered pattern neighbor of `order[i]`, if any.
+fn matching_order(pattern: &Graph) -> (Vec<usize>, Vec<Option<usize>>) {
+    let n = pattern.n();
+    let mut order = Vec::with_capacity(n);
+    let mut anchor = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+
+    let mut by_degree: Vec<usize> = (0..n).collect();
+    by_degree.sort_unstable_by_key(|&v| std::cmp::Reverse(pattern.degree(v)));
+
+    while order.len() < n {
+        // Start a new component at the highest-degree unplaced vertex.
+        let root = *by_degree.iter().find(|&&v| !placed[v]).unwrap();
+        placed[root] = true;
+        order.push(root);
+        anchor.push(None);
+        // Greedy: repeatedly add the unplaced vertex with the most placed
+        // neighbors (most-constrained-first), restricted to this component.
+        loop {
+            let mut best: Option<(usize, usize, usize)> = None; // (v, placed_nbrs, deg)
+            for &v in &by_degree {
+                if placed[v] {
+                    continue;
+                }
+                let pn = pattern
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&w| placed[w as usize])
+                    .count();
+                if pn == 0 {
+                    continue;
+                }
+                let deg = pattern.degree(v);
+                if best.is_none_or(|(_, bpn, bdeg)| (pn, deg) > (bpn, bdeg)) {
+                    best = Some((v, pn, deg));
+                }
+            }
+            match best {
+                Some((v, _, _)) => {
+                    placed[v] = true;
+                    let a = pattern
+                        .neighbors(v)
+                        .iter()
+                        .map(|&w| w as usize)
+                        .find(|&w| placed[w] && order.contains(&w))
+                        .expect("anchored vertex must have a placed neighbor");
+                    order.push(v);
+                    anchor.push(Some(a));
+                }
+                None => break, // component exhausted
+            }
+        }
+    }
+    (order, anchor)
+}
+
+/// Whether `target` contains `pattern` as a (not necessarily induced)
+/// subgraph.
+pub fn contains_subgraph(pattern: &Graph, target: &Graph) -> bool {
+    find_subgraph(pattern, target).is_some()
+}
+
+/// Finds one embedding of `pattern` into `target`, as a map from pattern
+/// vertex to target vertex.
+pub fn find_subgraph(pattern: &Graph, target: &Graph) -> Option<Vec<u32>> {
+    if pattern.n() == 0 {
+        return Some(Vec::new());
+    }
+    if pattern.n() > target.n() || pattern.m() > target.m() {
+        return None;
+    }
+    let mut m = Matcher::new(pattern, target, 1);
+    m.run();
+    m.witness
+}
+
+/// Counts embeddings of `pattern` into `target` (as vertex maps, i.e. each
+/// subgraph copy is counted `|Aut(pattern)|` times), up to `cap`.
+pub fn count_embeddings(pattern: &Graph, target: &Graph, cap: usize) -> usize {
+    if pattern.n() == 0 {
+        return 1.min(cap);
+    }
+    if pattern.n() > target.n() {
+        return 0;
+    }
+    let mut m = Matcher::new(pattern, target, cap);
+    m.run();
+    m.found
+}
+
+/// Number of automorphisms of `g` (embeddings of `g` into itself).
+pub fn automorphism_count(g: &Graph) -> usize {
+    count_embeddings(g, g, usize::MAX)
+}
+
+/// Counts distinct *copies* of `pattern` in `target` (vertex-set +
+/// edge-set copies): embeddings divided by the pattern's automorphism
+/// count. Returns `None` if the embedding count hit `cap` (the quotient
+/// would be a lower bound only).
+pub fn count_copies(pattern: &Graph, target: &Graph, cap: usize) -> Option<usize> {
+    let embeddings = count_embeddings(pattern, target, cap);
+    if embeddings >= cap {
+        return None;
+    }
+    let aut = automorphism_count(pattern).max(1);
+    debug_assert_eq!(embeddings % aut, 0, "embeddings divide by |Aut|");
+    Some(embeddings / aut)
+}
+
+/// Validates that `phi` is an embedding of `pattern` into `target`.
+pub fn verify_embedding(pattern: &Graph, target: &Graph, phi: &[u32]) -> bool {
+    if phi.len() != pattern.n() {
+        return false;
+    }
+    let mut seen = vec![false; target.n()];
+    for &t in phi {
+        let t = t as usize;
+        if t >= target.n() || seen[t] {
+            return false;
+        }
+        seen[t] = true;
+    }
+    pattern
+        .edges()
+        .all(|(u, v)| target.has_edge(phi[u as usize] as usize, phi[v as usize] as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn triangle_in_clique() {
+        let t = generators::cycle(3);
+        let k = generators::clique(5);
+        let phi = find_subgraph(&t, &k).expect("triangle must embed in K5");
+        assert!(verify_embedding(&t, &k, &phi));
+    }
+
+    #[test]
+    fn triangle_not_in_bipartite() {
+        let t = generators::cycle(3);
+        let b = generators::complete_bipartite(4, 4);
+        assert!(!contains_subgraph(&t, &b));
+    }
+
+    #[test]
+    fn c4_in_bipartite() {
+        let c4 = generators::cycle(4);
+        let b = generators::complete_bipartite(2, 2);
+        assert!(contains_subgraph(&c4, &b));
+    }
+
+    #[test]
+    fn c5_not_in_c6() {
+        // Subgraph (non-induced) containment: C6 has no 5-cycle.
+        assert!(!contains_subgraph(
+            &generators::cycle(5),
+            &generators::cycle(6)
+        ));
+    }
+
+    #[test]
+    fn path_in_cycle() {
+        assert!(contains_subgraph(
+            &generators::path(4),
+            &generators::cycle(6)
+        ));
+    }
+
+    #[test]
+    fn larger_pattern_rejected_fast() {
+        assert!(!contains_subgraph(
+            &generators::clique(5),
+            &generators::clique(4)
+        ));
+    }
+
+    #[test]
+    fn count_triangles_in_k4() {
+        // K4 has 4 triangles, each counted 3! = 6 times as a map.
+        let t = generators::cycle(3);
+        let k4 = generators::clique(4);
+        assert_eq!(count_embeddings(&t, &k4, usize::MAX), 24);
+    }
+
+    #[test]
+    fn count_respects_cap() {
+        let t = generators::cycle(3);
+        let k = generators::clique(6);
+        assert_eq!(count_embeddings(&t, &k, 5), 5);
+    }
+
+    #[test]
+    fn disconnected_pattern() {
+        // Two disjoint edges embed in a path of 4 vertices.
+        let p = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let target = generators::path(4);
+        assert!(contains_subgraph(&p, &target));
+        // ... but not in a single edge plus isolated vertices.
+        let tiny = Graph::from_edges(4, &[(0, 1)]);
+        assert!(!contains_subgraph(&p, &tiny));
+    }
+
+    #[test]
+    fn empty_pattern_always_embeds() {
+        assert!(contains_subgraph(&Graph::empty(0), &generators::cycle(3)));
+    }
+
+    #[test]
+    fn clique_in_dense_gnp() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let g = generators::gnp(40, 0.8, &mut rng);
+        // K4 almost surely present at p=0.8, n=40.
+        assert!(contains_subgraph(&generators::clique(4), &g));
+    }
+
+    #[test]
+    fn automorphism_counts() {
+        assert_eq!(automorphism_count(&generators::cycle(4)), 8); // dihedral
+        assert_eq!(automorphism_count(&generators::clique(4)), 24);
+        assert_eq!(automorphism_count(&generators::path(3)), 2);
+        assert_eq!(automorphism_count(&generators::star(3)), 6);
+    }
+
+    #[test]
+    fn copy_counts_match_dedicated_counters() {
+        let k5 = generators::clique(5);
+        // Triangles in K5: C(5,3) = 10.
+        assert_eq!(count_copies(&generators::cycle(3), &k5, usize::MAX), Some(10));
+        // C4 copies in K4: 3.
+        assert_eq!(
+            count_copies(&generators::cycle(4), &generators::clique(4), usize::MAX),
+            Some(3)
+        );
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(12);
+        let g = generators::gnp(14, 0.35, &mut rng);
+        assert_eq!(
+            count_copies(&generators::cycle(3), &g, usize::MAX).unwrap() as u64,
+            crate::cliques::count_triangles(&g)
+        );
+        assert_eq!(
+            count_copies(&generators::cycle(5), &g, usize::MAX).unwrap() as u64,
+            crate::cycles::count_cycles(&g, 5)
+        );
+    }
+
+    #[test]
+    fn twin_classes_of_clique_and_star() {
+        // In K5 all vertices are mutually true twins: one class of 5.
+        let classes = twin_classes(&generators::clique(5));
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].len(), 5);
+        // In a star the leaves are false twins.
+        let classes = twin_classes(&generators::star(4));
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0], vec![1, 2, 3, 4]);
+        // A path of 4 has no twin pair... except none: endpoints have
+        // different neighborhoods.
+        assert!(twin_classes(&generators::path(4)).is_empty());
+    }
+
+    #[test]
+    fn symmetry_breaking_preserves_existence() {
+        // Clique-heavy pattern into a larger host: existence must agree
+        // with counting (which does not use symmetry breaking).
+        let pattern = generators::clique(4).disjoint_union(&generators::star(3));
+        let mut host = generators::clique(6).disjoint_union(&generators::star(5));
+        assert!(contains_subgraph(&pattern, &host));
+        assert!(count_embeddings(&pattern, &host, 1) >= 1);
+        host = generators::clique(3).disjoint_union(&generators::star(5));
+        assert!(!contains_subgraph(&pattern, &host));
+    }
+
+    #[test]
+    fn embedding_verifier_rejects_bad_maps() {
+        let t = generators::cycle(3);
+        let k = generators::clique(4);
+        assert!(!verify_embedding(&t, &k, &[0, 0, 1])); // not injective
+        assert!(!verify_embedding(&t, &k, &[0, 1])); // wrong length
+        let b = generators::complete_bipartite(2, 2);
+        assert!(!verify_embedding(&t, &b, &[0, 1, 2])); // non-edge 0-1
+    }
+}

@@ -1,0 +1,296 @@
+//! Ullmann's subgraph-isomorphism algorithm (J. ACM 1976) — reference \[24\]
+//! of the paper, implemented as an independent cross-check for the VF2
+//! matcher in [`crate::iso`].
+//!
+//! The algorithm maintains, for every pattern vertex, a bitset of candidate
+//! target vertices, and interleaves backtracking with Ullmann's
+//! *refinement*: a candidate `t` for pattern vertex `u` survives only if
+//! every pattern-neighbor of `u` still has a candidate among the target
+//! neighbors of `t`. Candidate sets are stored as packed `u64` words, so
+//! refinement is a handful of AND/OR word operations per check.
+
+use crate::graph::Graph;
+
+/// Packed bitset over target vertices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct BitRow {
+    words: Vec<u64>,
+}
+
+impl BitRow {
+    fn zeros(n: usize) -> Self {
+        BitRow {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    fn intersects(&self, other: &BitRow) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn iter_ones<'a>(&'a self) -> impl Iterator<Item = usize> + 'a {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+struct Ullmann<'a> {
+    pattern: &'a Graph,
+    target: &'a Graph,
+    /// Adjacency bitsets of the target.
+    target_adj: Vec<BitRow>,
+    used: BitRow,
+    assignment: Vec<usize>,
+    found: Option<Vec<u32>>,
+}
+
+impl<'a> Ullmann<'a> {
+    fn new(pattern: &'a Graph, target: &'a Graph) -> Self {
+        let target_adj = (0..target.n())
+            .map(|t| {
+                let mut row = BitRow::zeros(target.n());
+                for &w in target.neighbors(t) {
+                    row.set(w as usize);
+                }
+                row
+            })
+            .collect();
+        Ullmann {
+            pattern,
+            target,
+            target_adj,
+            used: BitRow::zeros(target.n()),
+            assignment: vec![usize::MAX; pattern.n()],
+            found: None,
+        }
+    }
+
+    /// Initial candidate rows from the degree condition.
+    fn initial_candidates(&self) -> Option<Vec<BitRow>> {
+        let mut rows = Vec::with_capacity(self.pattern.n());
+        for u in 0..self.pattern.n() {
+            let mut row = BitRow::zeros(self.target.n());
+            let du = self.pattern.degree(u);
+            for t in 0..self.target.n() {
+                if self.target.degree(t) >= du {
+                    row.set(t);
+                }
+            }
+            if row.is_empty() {
+                return None;
+            }
+            rows.push(row);
+        }
+        Some(rows)
+    }
+
+    /// Ullmann refinement to a fixed point. Returns false if some pattern
+    /// vertex lost all candidates.
+    fn refine(&self, rows: &mut [BitRow]) -> bool {
+        loop {
+            let mut changed = false;
+            for u in 0..self.pattern.n() {
+                let candidates: Vec<usize> = rows[u].iter_ones().collect();
+                for t in candidates {
+                    // Every pattern neighbor of u must have a candidate in
+                    // N(t).
+                    let ok = self.pattern.neighbors(u).iter().all(|&v| {
+                        rows[v as usize].intersects(&self.target_adj[t])
+                    });
+                    if !ok {
+                        rows[u].clear(t);
+                        changed = true;
+                    }
+                }
+                if rows[u].is_empty() {
+                    return false;
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn search(&mut self, rows: &[BitRow], depth_order: &[usize], pos: usize) -> bool {
+        if self.found.is_some() {
+            return true;
+        }
+        if pos == depth_order.len() {
+            self.found = Some(self.assignment.iter().map(|&a| a as u32).collect());
+            return true;
+        }
+        let u = depth_order[pos];
+        let candidates: Vec<usize> = rows[u].iter_ones().collect();
+        for t in candidates {
+            if self.used.get(t) {
+                continue;
+            }
+            // Consistency with already-assigned pattern neighbors.
+            let ok = self.pattern.neighbors(u).iter().all(|&v| {
+                let a = self.assignment[v as usize];
+                a == usize::MAX || self.target_adj[t].get(a)
+            });
+            if !ok {
+                continue;
+            }
+            // Fix u -> t, restrict, refine, recurse.
+            let mut next: Vec<BitRow> = rows.to_vec();
+            next[u] = BitRow::zeros(self.target.n());
+            next[u].set(t);
+            for (v, row) in next.iter_mut().enumerate() {
+                if v != u && self.assignment[v] == usize::MAX {
+                    row.clear(t);
+                }
+            }
+            if self.refine(&mut next) {
+                self.assignment[u] = t;
+                self.used.set(t);
+                if self.search(&next, depth_order, pos + 1) {
+                    return true;
+                }
+                self.used.clear(t);
+                self.assignment[u] = usize::MAX;
+            }
+        }
+        false
+    }
+}
+
+/// Finds one embedding of `pattern` into `target` with Ullmann's algorithm,
+/// as a pattern→target vertex map.
+pub fn find_subgraph_ullmann(pattern: &Graph, target: &Graph) -> Option<Vec<u32>> {
+    if pattern.n() == 0 {
+        return Some(Vec::new());
+    }
+    if pattern.n() > target.n() || pattern.m() > target.m() {
+        return None;
+    }
+    let mut state = Ullmann::new(pattern, target);
+    let mut rows = state.initial_candidates()?;
+    if !state.refine(&mut rows) {
+        return None;
+    }
+    // Most-constrained-first search order.
+    let mut order: Vec<usize> = (0..pattern.n()).collect();
+    order.sort_by_key(|&u| rows[u].count());
+    state.search(&rows, &order, 0);
+    state.found
+}
+
+/// Whether `target` contains `pattern` (Ullmann variant of
+/// [`crate::iso::contains_subgraph`]).
+pub fn contains_subgraph_ullmann(pattern: &Graph, target: &Graph) -> bool {
+    find_subgraph_ullmann(pattern, target).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::iso;
+
+    #[test]
+    fn agrees_with_vf2_on_basics() {
+        let cases = [
+            (generators::cycle(3), generators::clique(5), true),
+            (generators::cycle(3), generators::complete_bipartite(4, 4), false),
+            (generators::cycle(4), generators::complete_bipartite(2, 2), true),
+            (generators::cycle(5), generators::cycle(6), false),
+            (generators::path(4), generators::cycle(6), true),
+            (generators::clique(5), generators::clique(4), false),
+        ];
+        for (pat, tgt, expect) in cases {
+            assert_eq!(contains_subgraph_ullmann(&pat, &tgt), expect);
+            assert_eq!(iso::contains_subgraph(&pat, &tgt), expect);
+        }
+    }
+
+    #[test]
+    fn witness_is_valid() {
+        let pat = generators::cycle(4);
+        let tgt = generators::clique(6);
+        let phi = find_subgraph_ullmann(&pat, &tgt).unwrap();
+        assert!(iso::verify_embedding(&pat, &tgt, &phi));
+    }
+
+    #[test]
+    fn agrees_with_vf2_on_random_graphs() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+        for trial in 0..10 {
+            let pat = generators::gnp(5, 0.5, &mut rng);
+            let tgt = generators::gnp(12, 0.3, &mut rng);
+            assert_eq!(
+                contains_subgraph_ullmann(&pat, &tgt),
+                iso::contains_subgraph(&pat, &tgt),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_prunes_impossible_candidates() {
+        // A star center needs a degree-3 image: no candidate in a path.
+        let pat = generators::star(3);
+        let tgt = generators::path(6);
+        assert!(!contains_subgraph_ullmann(&pat, &tgt));
+    }
+
+    #[test]
+    fn empty_and_oversized_patterns() {
+        let g = generators::cycle(4);
+        assert!(contains_subgraph_ullmann(&crate::graph::Graph::empty(0), &g));
+        assert!(!contains_subgraph_ullmann(&generators::clique(6), &g));
+    }
+
+    #[test]
+    fn bitrow_operations() {
+        let mut r = BitRow::zeros(130);
+        r.set(0);
+        r.set(64);
+        r.set(129);
+        assert!(r.get(64) && !r.get(65));
+        assert_eq!(r.count(), 3);
+        assert_eq!(r.iter_ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+        r.clear(64);
+        assert_eq!(r.count(), 2);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Shannon entropy over discrete distributions (bits, i.e. log base 2).
+
+/// Binary entropy `H(p) = -p log p - (1-p) log (1-p)` in bits.
+pub fn binary_entropy(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let term = |x: f64| if x <= 0.0 { 0.0 } else { -x * x.log2() };
+    term(p) + term(1.0 - p)
+}
+
+/// Shannon entropy of a probability vector (entries must be non-negative
+/// and sum to ~1; zero entries contribute nothing).
+pub fn entropy(probs: &[f64]) -> f64 {
+    let sum: f64 = probs.iter().sum();
+    debug_assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "probabilities must sum to 1 (got {sum})"
+    );
+    probs
+        .iter()
+        .map(|&p| if p <= 0.0 { 0.0 } else { -p * p.log2() })
+        .sum()
+}
+
+/// Entropy of an empirical distribution given by counts.
+pub fn entropy_from_counts(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / t;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// KL divergence `D(p || q)` in bits; `inf` if `p` puts mass where `q` does
+/// not.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len());
+    p.iter()
+        .zip(q)
+        .map(|(&pi, &qi)| {
+            if pi <= 0.0 {
+                0.0
+            } else if qi <= 0.0 {
+                f64::INFINITY
+            } else {
+                pi * (pi / qi).log2()
+            }
+        })
+        .sum()
+}
+
+/// Fano's inequality rearranged: a lower bound on the error probability of
+/// guessing a uniform `X` over `k` values from side information `Y`, given
+/// `I(X;Y) <= info` bits: `P_err >= (H(X) - info - 1) / log2(k)`.
+pub fn fano_error_lower_bound(k: usize, info: f64) -> f64 {
+    if k <= 1 {
+        return 0.0;
+    }
+    let hk = (k as f64).log2();
+    ((hk - info - 1.0) / hk).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn binary_entropy_values() {
+        assert!(close(binary_entropy(0.5), 1.0));
+        assert!(close(binary_entropy(0.0), 0.0));
+        assert!(close(binary_entropy(1.0), 0.0));
+        assert!(binary_entropy(0.11) < 0.51);
+        assert!(binary_entropy(0.11) > 0.49);
+    }
+
+    #[test]
+    fn uniform_entropy() {
+        assert!(close(entropy(&[0.25; 4]), 2.0));
+        assert!(close(entropy(&[1.0]), 0.0));
+    }
+
+    #[test]
+    fn counts_entropy() {
+        assert!(close(entropy_from_counts(&[1, 1, 1, 1]), 2.0));
+        assert!(close(entropy_from_counts(&[5, 0, 0]), 0.0));
+        assert!(close(entropy_from_counts(&[]), 0.0));
+    }
+
+    #[test]
+    fn kl_properties() {
+        let p = [0.5, 0.5];
+        let q = [0.9, 0.1];
+        assert!(close(kl_divergence(&p, &p), 0.0));
+        assert!(kl_divergence(&p, &q) > 0.0);
+        assert_eq!(kl_divergence(&[1.0, 0.0], &[0.0, 1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn fano_bound_sane() {
+        // No information about a uniform bit over 1024 values: error ~ 1.
+        assert!(fano_error_lower_bound(1024, 0.0) > 0.85);
+        // Full information: bound collapses to 0.
+        assert_eq!(fano_error_lower_bound(1024, 10.0), 0.0);
+        assert_eq!(fano_error_lower_bound(1, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! # infotheory — entropy and mutual-information toolkit
+//!
+//! §5 of the paper proves its one-round triangle-detection bound with
+//! mutual-information arguments (Lemmas 5.3/5.4). This crate provides the
+//! measurement side: exact entropy formulas and plug-in estimators of
+//! (conditional) mutual information over empirical joint distributions,
+//! used by experiment E4 to measure how much information one-round messages
+//! carry about the hidden triangle edge.
+
+#![warn(missing_docs)]
+
+pub mod entropy;
+pub mod mutual;
+
+pub use entropy::{binary_entropy, entropy, entropy_from_counts, fano_error_lower_bound};
+pub use mutual::{Joint2, Joint3};

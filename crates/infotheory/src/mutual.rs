@@ -1,0 +1,195 @@
+//! Plug-in (empirical) mutual-information estimators.
+//!
+//! §5 of the paper bounds `I(X_bc; M_ba, M_ca | N_a, X_ab = 1, X_ac = 1)`.
+//! Experiment E4 estimates such quantities from samples: accumulate joint
+//! observations into [`Joint2`] / [`Joint3`] tables and read off the
+//! plug-in estimate. Symbols are arbitrary `u64` codes (hash or pack your
+//! variables into codes before accumulating).
+
+use std::collections::HashMap;
+
+/// Empirical joint distribution of a pair `(X, Y)`.
+#[derive(Debug, Clone, Default)]
+pub struct Joint2 {
+    counts: HashMap<(u64, u64), u64>,
+    total: u64,
+}
+
+impl Joint2 {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: u64, y: u64) {
+        *self.counts.entry((x, y)).or_default() += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Plug-in estimate of `I(X; Y)` in bits.
+    pub fn mutual_information(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let t = self.total as f64;
+        let mut px: HashMap<u64, u64> = HashMap::new();
+        let mut py: HashMap<u64, u64> = HashMap::new();
+        for (&(x, y), &c) in &self.counts {
+            *px.entry(x).or_default() += c;
+            *py.entry(y).or_default() += c;
+        }
+        let mut info = 0.0;
+        for (&(x, y), &c) in &self.counts {
+            let pxy = c as f64 / t;
+            let pxm = px[&x] as f64 / t;
+            let pym = py[&y] as f64 / t;
+            info += pxy * (pxy / (pxm * pym)).log2();
+        }
+        info.max(0.0)
+    }
+
+    /// Plug-in estimate of `H(X)` in bits.
+    pub fn entropy_x(&self) -> f64 {
+        let mut px: HashMap<u64, u64> = HashMap::new();
+        for (&(x, _), &c) in &self.counts {
+            *px.entry(x).or_default() += c;
+        }
+        let counts: Vec<u64> = px.values().copied().collect();
+        crate::entropy::entropy_from_counts(&counts)
+    }
+}
+
+/// Empirical joint distribution of a triple `(X, Y, Z)`, supporting the
+/// conditional mutual information `I(X; Y | Z)`.
+#[derive(Debug, Clone, Default)]
+pub struct Joint3 {
+    counts: HashMap<(u64, u64, u64), u64>,
+    total: u64,
+}
+
+impl Joint3 {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: u64, y: u64, z: u64) {
+        *self.counts.entry((x, y, z)).or_default() += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Plug-in estimate of `I(X; Y | Z) = E_z[ I(X; Y | Z = z) ]` in bits.
+    pub fn conditional_mutual_information(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        // Group observations by z and average the per-slice estimates.
+        let mut slices: HashMap<u64, Joint2> = HashMap::new();
+        for (&(x, y, z), &c) in &self.counts {
+            let slice = slices.entry(z).or_default();
+            // Re-add with multiplicity.
+            *slice.counts.entry((x, y)).or_default() += c;
+            slice.total += c;
+        }
+        let t = self.total as f64;
+        slices
+            .values()
+            .map(|s| (s.total as f64 / t) * s.mutual_information())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_variables_have_full_information() {
+        let mut j = Joint2::new();
+        for x in 0..4u64 {
+            for _ in 0..100 {
+                j.add(x, x);
+            }
+        }
+        let i = j.mutual_information();
+        assert!((i - 2.0).abs() < 1e-9, "I={i}");
+        assert!((j.entropy_x() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_variables_have_zero_information() {
+        let mut j = Joint2::new();
+        for x in 0..4u64 {
+            for y in 0..4u64 {
+                for _ in 0..25 {
+                    j.add(x, y);
+                }
+            }
+        }
+        assert!(j.mutual_information().abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_channel_information_between_extremes() {
+        // Y = X with prob 0.9, flipped with prob 0.1 — built deterministically.
+        let mut j = Joint2::new();
+        for x in 0..2u64 {
+            for _ in 0..90 {
+                j.add(x, x);
+            }
+            for _ in 0..10 {
+                j.add(x, 1 - x);
+            }
+        }
+        let i = j.mutual_information();
+        let expected = 1.0 - crate::entropy::binary_entropy(0.1);
+        assert!((i - expected).abs() < 1e-9, "I={i} expected={expected}");
+    }
+
+    #[test]
+    fn empty_tables_are_zero() {
+        assert_eq!(Joint2::new().mutual_information(), 0.0);
+        assert_eq!(Joint3::new().conditional_mutual_information(), 0.0);
+    }
+
+    #[test]
+    fn conditioning_removes_shared_dependence() {
+        // X = Z, Y = Z: I(X;Y) = 1 but I(X;Y|Z) = 0.
+        let mut j3 = Joint3::new();
+        let mut j2 = Joint2::new();
+        for z in 0..2u64 {
+            for _ in 0..100 {
+                j3.add(z, z, z);
+                j2.add(z, z);
+            }
+        }
+        assert!(j2.mutual_information() > 0.99);
+        assert!(j3.conditional_mutual_information().abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditioning_can_reveal_dependence() {
+        // X, Y iid uniform bits; Z = X xor Y. I(X;Y) = 0, I(X;Y|Z) = 1.
+        let mut j3 = Joint3::new();
+        for x in 0..2u64 {
+            for y in 0..2u64 {
+                for _ in 0..100 {
+                    j3.add(x, y, x ^ y);
+                }
+            }
+        }
+        assert!((j3.conditional_mutual_information() - 1.0).abs() < 1e-9);
+    }
+}

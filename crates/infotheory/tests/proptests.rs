@@ -1,0 +1,67 @@
+//! Property-based tests: information-theoretic sanity laws the estimators
+//! must obey on every input.
+
+use infotheory::{binary_entropy, entropy_from_counts, Joint2, Joint3};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn binary_entropy_bounds(p in 0.0f64..=1.0) {
+        let h = binary_entropy(p);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+        // Symmetry.
+        prop_assert!((h - binary_entropy(1.0 - p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_bounded_by_log_support(counts in proptest::collection::vec(0u64..50, 1..20)) {
+        let h = entropy_from_counts(&counts);
+        let support = counts.iter().filter(|&&c| c > 0).count().max(1);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (support as f64).log2() + 1e-9);
+    }
+
+    #[test]
+    fn mutual_information_bounds(obs in proptest::collection::vec((0u64..4, 0u64..4), 1..200)) {
+        let mut j = Joint2::new();
+        let mut xs = Joint2::new();
+        let mut ys = Joint2::new();
+        for &(x, y) in &obs {
+            j.add(x, y);
+            xs.add(x, 0);
+            ys.add(y, 0);
+        }
+        let i = j.mutual_information();
+        prop_assert!(i >= -1e-12, "MI is non-negative");
+        prop_assert!(i <= xs.entropy_x() + 1e-9, "MI <= H(X)");
+        prop_assert!(i <= ys.entropy_x() + 1e-9, "MI <= H(Y)");
+    }
+
+    #[test]
+    fn deterministic_function_gives_full_information(obs in proptest::collection::vec(0u64..8, 1..200)) {
+        // Y = X: I(X;Y) = H(X).
+        let mut j = Joint2::new();
+        for &x in &obs {
+            j.add(x, x);
+        }
+        prop_assert!((j.mutual_information() - j.entropy_x()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditional_mi_nonnegative(obs in proptest::collection::vec((0u64..3, 0u64..3, 0u64..3), 1..200)) {
+        let mut j = Joint3::new();
+        for &(x, y, z) in &obs {
+            j.add(x, y, z);
+        }
+        prop_assert!(j.conditional_mutual_information() >= -1e-12);
+    }
+
+    #[test]
+    fn constant_y_carries_no_information(obs in proptest::collection::vec(0u64..6, 1..100)) {
+        let mut j = Joint2::new();
+        for &x in &obs {
+            j.add(x, 42);
+        }
+        prop_assert!(j.mutual_information().abs() < 1e-12);
+    }
+}

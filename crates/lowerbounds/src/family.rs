@@ -1,0 +1,463 @@
+//! The lower-bound family `G_{k,n}` of **Figure 2 / Definition 2**, and the
+//! executable Theorem 1.2 reduction.
+//!
+//! The graph echoes `H_k`, but with only `2m` triangles
+//! (`m = k⌈n^{1/k}⌉`) shared among `n` endpoint copies per direction:
+//! endpoint copy `i` attaches to the `k` triangles in its unique k-subset
+//! encoding `Q_i` (§3.2). Alice's input decides the
+//! `End'_{⊤,A} × End'_{⊥,A}` edges, Bob's the B-side ones; by Lemma 3.1 a
+//! copy of `H_k` appears **iff** the inputs intersect. The cut between the
+//! players is `Θ(k n^{1/k})` — every triangle is "cut through" — which is
+//! what makes the simulation cheap and the round bound
+//! `Ω(n^{2-1/k}/(Bk))` follow.
+
+use crate::hk::{clique_for, Role, Side};
+use commlb::Party;
+use graphlib::combinatorics::{subset_universe, unrank_ksubset};
+use graphlib::{Graph, GraphBuilder};
+
+/// Vertex labels of a family graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FamilyLabel {
+    /// Member of anchor clique `which` (sizes 6..=10), index `idx`.
+    Clique {
+        /// Which clique.
+        which: usize,
+        /// Index within (0 = special).
+        idx: usize,
+    },
+    /// Endpoint copy `(side, role, i)` with `i ∈ [n]`.
+    Endpoint {
+        /// Top/bottom.
+        side: Side,
+        /// A or B.
+        role: Role,
+        /// Copy index in `[n]`.
+        copy: usize,
+    },
+    /// Triangle vertex `(side, j, role)` with `j ∈ [m]`.
+    Triangle {
+        /// Top/bottom.
+        side: Side,
+        /// Triangle index in `[m]`.
+        tri: usize,
+        /// A, B, or Mid.
+        role: Role,
+    },
+}
+
+/// Precomputed layout of `G_{k,n}` (everything except the input edges).
+#[derive(Debug, Clone)]
+pub struct FamilyLayout {
+    /// The `k` parameter.
+    pub k: usize,
+    /// Number of endpoint copies per direction (the `[n]` of the
+    /// disjointness universe `[n]²`).
+    pub n_copies: usize,
+    /// Triangle count per side, `m = k * ceil(n^{1/k})`.
+    pub m_triangles: usize,
+    /// Vertex labels.
+    pub labels: Vec<FamilyLabel>,
+    /// k-subset encodings `Q_i` for `i in [n]`.
+    pub encodings: Vec<Vec<u64>>,
+    clique_start: [usize; 5],
+    endpoint_base: std::collections::HashMap<(Side, Role), usize>,
+    tri_base: std::collections::HashMap<(Side, Role), usize>,
+}
+
+impl FamilyLayout {
+    /// Lays out `G_{k,n}` for the given parameters.
+    #[allow(clippy::needless_range_loop)] // clique index addresses a fixed array
+    pub fn new(k: usize, n_copies: usize) -> Self {
+        assert!(k >= 1 && n_copies >= 1);
+        let m = subset_universe(n_copies, k);
+        let mut labels = Vec::new();
+        let mut clique_start = [0usize; 5];
+        for c in 0..5 {
+            clique_start[c] = labels.len();
+            for idx in 0..(6 + c) {
+                labels.push(FamilyLabel::Clique { which: c, idx });
+            }
+        }
+        let mut endpoint_base = std::collections::HashMap::new();
+        let mut tri_base = std::collections::HashMap::new();
+        for &side in &[Side::Top, Side::Bottom] {
+            for &role in &[Role::A, Role::B] {
+                endpoint_base.insert((side, role), labels.len());
+                for copy in 0..n_copies {
+                    labels.push(FamilyLabel::Endpoint { side, role, copy });
+                }
+            }
+            for &role in &[Role::A, Role::B, Role::Mid] {
+                tri_base.insert((side, role), labels.len());
+                for tri in 0..m {
+                    labels.push(FamilyLabel::Triangle { side, tri, role });
+                }
+            }
+        }
+        let encodings = (0..n_copies)
+            .map(|i| unrank_ksubset(i as u64, k))
+            .collect();
+        FamilyLayout {
+            k,
+            n_copies,
+            m_triangles: m,
+            labels,
+            encodings,
+            clique_start,
+            endpoint_base,
+            tri_base,
+        }
+    }
+
+    /// Total vertex count (`Θ(n)`).
+    pub fn n_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Index of an endpoint copy.
+    pub fn endpoint(&self, side: Side, role: Role, copy: usize) -> usize {
+        assert!(copy < self.n_copies);
+        self.endpoint_base[&(side, role)] + copy
+    }
+
+    /// Index of a triangle vertex.
+    pub fn triangle(&self, side: Side, tri: usize, role: Role) -> usize {
+        assert!(tri < self.m_triangles);
+        self.tri_base[&(side, role)] + tri
+    }
+
+    /// Special vertex of anchor clique `c`.
+    pub fn special(&self, c: usize) -> usize {
+        self.clique_start[c]
+    }
+
+    /// Builds `G_{X,Y}` from the players' pair sets.
+    pub fn build(&self, x_pairs: &[(usize, usize)], y_pairs: &[(usize, usize)]) -> Graph {
+        let mut b = GraphBuilder::new(self.n_vertices());
+        // Clique interiors + special spine.
+        for c in 0..5 {
+            for i in 0..(6 + c) {
+                for j in (i + 1)..(6 + c) {
+                    b.add_edge(self.clique_start[c] + i, self.clique_start[c] + j);
+                }
+            }
+        }
+        for c in 0..5 {
+            for d in (c + 1)..5 {
+                b.add_edge(self.special(c), self.special(d));
+            }
+        }
+        for &side in &[Side::Top, Side::Bottom] {
+            // Marker attachments.
+            for &role in &[Role::A, Role::B] {
+                let s = self.special(clique_for(side, role));
+                for copy in 0..self.n_copies {
+                    b.add_edge(self.endpoint(side, role, copy), s);
+                }
+            }
+            for &role in &[Role::A, Role::B, Role::Mid] {
+                let s = self.special(clique_for(side, role));
+                for t in 0..self.m_triangles {
+                    b.add_edge(self.triangle(side, t, role), s);
+                }
+            }
+            // Triangles.
+            for t in 0..self.m_triangles {
+                let a = self.triangle(side, t, Role::A);
+                let bb = self.triangle(side, t, Role::B);
+                let m = self.triangle(side, t, Role::Mid);
+                b.add_edge(a, bb);
+                b.add_edge(bb, m);
+                b.add_edge(m, a);
+            }
+            // Endpoint-to-triangle wiring via the k-subset encodings.
+            for &role in &[Role::A, Role::B] {
+                for copy in 0..self.n_copies {
+                    for &j in &self.encodings[copy] {
+                        b.add_edge(
+                            self.endpoint(side, role, copy),
+                            self.triangle(side, j as usize, role),
+                        );
+                    }
+                }
+            }
+        }
+        // Input edges.
+        for &(i, j) in x_pairs {
+            b.add_edge(
+                self.endpoint(Side::Top, Role::A, i),
+                self.endpoint(Side::Bottom, Role::A, j),
+            );
+        }
+        for &(i, j) in y_pairs {
+            b.add_edge(
+                self.endpoint(Side::Top, Role::B, i),
+                self.endpoint(Side::Bottom, Role::B, j),
+            );
+        }
+        b.build()
+    }
+
+    /// The §3.3 vertex partition: Alice owns the A-side endpoints and
+    /// triangle A-vertices plus cliques 6 and 8; Bob the B-side plus
+    /// cliques 7 and 9; the triangle middles and clique 10 are shared.
+    pub fn partition(&self) -> Vec<Party> {
+        self.labels
+            .iter()
+            .map(|l| match l {
+                FamilyLabel::Clique { which: 0, .. } | FamilyLabel::Clique { which: 2, .. } => {
+                    Party::Alice
+                }
+                FamilyLabel::Clique { which: 1, .. } | FamilyLabel::Clique { which: 3, .. } => {
+                    Party::Bob
+                }
+                FamilyLabel::Clique { which: 4, .. } => Party::Shared,
+                FamilyLabel::Endpoint { role: Role::A, .. }
+                | FamilyLabel::Triangle { role: Role::A, .. } => Party::Alice,
+                FamilyLabel::Endpoint { role: Role::B, .. }
+                | FamilyLabel::Triangle { role: Role::B, .. } => Party::Bob,
+                FamilyLabel::Triangle { role: Role::Mid, .. } => Party::Shared,
+                FamilyLabel::Endpoint { role: Role::Mid, .. } => Party::Shared,
+                FamilyLabel::Clique { .. } => Party::Shared,
+            })
+            .collect()
+    }
+
+    /// Lemma 3.1: `G_{X,Y}` contains `H_k` **iff** the pair sets intersect.
+    /// This is the structural characterization; `verify_lemma_3_1` checks
+    /// it against generic subgraph isomorphism on small instances.
+    pub fn contains_hk(x_pairs: &[(usize, usize)], y_pairs: &[(usize, usize)]) -> bool {
+        let xs: std::collections::HashSet<_> = x_pairs.iter().collect();
+        y_pairs.iter().any(|p| xs.contains(p))
+    }
+
+    /// The theoretical cut bound `Θ(k n^{1/k})` — `3` directed charged
+    /// edges per triangle pair of sides plus the `O(1)` clique spine.
+    pub fn cut_bound(&self) -> usize {
+        // Per triangle: A->B, A->Mid (Alice out), B->A, B->Mid (Bob out).
+        4 * 2 * self.m_triangles + 24
+    }
+}
+
+/// Theorem 1.2's round lower bound formula `n² / (cut · B)` given the
+/// disjointness bound in bits.
+pub fn implied_round_lower_bound(n_copies: usize, cut_edges: usize, bandwidth_bits: usize) -> f64 {
+    let disj_bits = commlb::disjointness_lower_bound_bits(n_copies * n_copies);
+    disj_bits / ((cut_edges.max(1) * bandwidth_bits.max(1)) as f64)
+}
+
+/// The §3.3 reduction packaged as an actual two-party protocol: Alice and
+/// Bob turn their `[n]²` disjointness inputs into `G_{X,Y}` and simulate a
+/// CONGEST `H_k`-detection algorithm, exchanging only cut-crossing traffic.
+/// The protocol's output is "disjoint?" and its cost is exactly the
+/// simulation cost — the inequality chain of Theorem 1.2, executable.
+pub struct HkDisjointnessProtocol {
+    layout: FamilyLayout,
+    seed: u64,
+}
+
+impl HkDisjointnessProtocol {
+    /// A protocol for the universe `[n_copies]²` using `H_k`.
+    pub fn new(k: usize, n_copies: usize, seed: u64) -> Self {
+        HkDisjointnessProtocol {
+            layout: FamilyLayout::new(k, n_copies),
+            seed,
+        }
+    }
+
+    fn pairs_from_bits(&self, bits: &[bool]) -> Vec<(usize, usize)> {
+        let n = self.layout.n_copies;
+        assert_eq!(bits.len(), n * n, "input must cover the [n]² universe");
+        bits.iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| (i / n, i % n))
+            .collect()
+    }
+}
+
+impl commlb::TwoPartyProtocol for HkDisjointnessProtocol {
+    fn run(&mut self, x: &[bool], y: &[bool]) -> commlb::ProtocolResult {
+        let x_pairs = self.pairs_from_bits(x);
+        let y_pairs = self.pairs_from_bits(y);
+        let g = self.layout.build(&x_pairs, &y_pairs);
+        let parts = self.layout.partition();
+        let hk = crate::hk::HkGraph::build(self.layout.k).graph;
+        let bw = congest::Bandwidth::Bits(2 * congest::bits_for_domain(g.n()) + 2);
+        let (outcome, sim) = commlb::simulate_two_party(
+            &g,
+            &parts,
+            bw,
+            16 * (g.n() + g.m() + 4),
+            self.seed,
+            move |_| subgraph_detection::generic::GatherNode::new(hk.clone()),
+        )
+        .expect("simulation engine");
+        commlb::ProtocolResult {
+            // DISJ(X, Y) = 1 iff no H_k appears (Lemma 3.1).
+            output: !outcome.network_rejects(),
+            bits_exchanged: sim.bits_exchanged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hk::HkGraph;
+    use graphlib::iso;
+
+    #[test]
+    fn layout_size_is_linear() {
+        let lay = FamilyLayout::new(2, 9);
+        // 40 clique + 4n endpoints + 6m triangles.
+        let m = lay.m_triangles;
+        assert_eq!(m, 2 * 3); // k * ceil(sqrt(9))
+        assert_eq!(lay.n_vertices(), 40 + 4 * 9 + 6 * m);
+    }
+
+    #[test]
+    fn encodings_are_distinct_k_subsets() {
+        let lay = FamilyLayout::new(3, 20);
+        let mut seen = std::collections::HashSet::new();
+        for e in &lay.encodings {
+            assert_eq!(e.len(), 3);
+            assert!(e.iter().all(|&x| (x as usize) < lay.m_triangles));
+            assert!(seen.insert(e.clone()));
+        }
+    }
+
+    #[test]
+    fn property_1_diameter_3() {
+        let lay = FamilyLayout::new(2, 6);
+        let g = lay.build(&[], &[]);
+        assert_eq!(graphlib::diameter::diameter(&g), Some(3));
+        let g2 = lay.build(&[(0, 3), (2, 2)], &[(1, 1)]);
+        assert_eq!(graphlib::diameter::diameter(&g2), Some(3));
+    }
+
+    #[test]
+    fn lemma_3_1_characterization() {
+        assert!(!FamilyLayout::contains_hk(&[(0, 1)], &[(1, 0)]));
+        assert!(FamilyLayout::contains_hk(&[(0, 1), (2, 2)], &[(2, 2)]));
+        assert!(!FamilyLayout::contains_hk(&[], &[(0, 0)]));
+    }
+
+    /// Lemma 3.1 against generic VF2 on the smallest instances: the
+    /// characterization and true subgraph containment must agree.
+    #[test]
+    fn lemma_3_1_matches_vf2_small() {
+        let k = 1;
+        let lay = FamilyLayout::new(k, 2);
+        let hk = HkGraph::build(k);
+        let cases: Vec<(Vec<(usize, usize)>, Vec<(usize, usize)>)> = vec![
+            (vec![], vec![]),
+            (vec![(0, 0)], vec![]),
+            (vec![(0, 0)], vec![(0, 0)]),
+            (vec![(0, 1)], vec![(1, 0)]),
+            (vec![(0, 1), (1, 0)], vec![(0, 1)]),
+        ];
+        for (x, y) in cases {
+            let g = lay.build(&x, &y);
+            let expected = FamilyLayout::contains_hk(&x, &y);
+            let actual = iso::contains_subgraph(&hk.graph, &g);
+            assert_eq!(actual, expected, "x={x:?} y={y:?}");
+        }
+    }
+
+    #[test]
+    fn partition_separates_inputs() {
+        // Alice's input edges must be internal to Alice's part, Bob's to
+        // Bob's — that is what makes the simulation sound.
+        let lay = FamilyLayout::new(2, 5);
+        let parts = lay.partition();
+        for copy in 0..5 {
+            for &side in &[Side::Top, Side::Bottom] {
+                assert_eq!(parts[lay.endpoint(side, Role::A, copy)], Party::Alice);
+                assert_eq!(parts[lay.endpoint(side, Role::B, copy)], Party::Bob);
+            }
+        }
+    }
+
+    #[test]
+    fn cut_grows_like_k_n_to_1_over_k() {
+        // Doubling n for k=2 should grow the cut like sqrt: compare m.
+        let small = FamilyLayout::new(2, 25);
+        let large = FamilyLayout::new(2, 100);
+        assert_eq!(small.m_triangles, 2 * 5);
+        assert_eq!(large.m_triangles, 2 * 10);
+        assert!(large.cut_bound() < 2 * small.cut_bound() + 48);
+    }
+
+    #[test]
+    fn measured_cut_matches_bound() {
+        use congest::{Bandwidth, Decision, Inbox, NodeContext, Outbox, Outgoing};
+        use rand_chacha::ChaCha8Rng;
+
+        struct OneShot {
+            done: bool,
+        }
+        impl congest::NodeAlgorithm for OneShot {
+            type Msg = u8;
+            fn init(&mut self, _c: &NodeContext, _r: &mut ChaCha8Rng) -> Outbox<u8> {
+                vec![Outgoing::Broadcast(1)]
+            }
+            fn on_round(
+                &mut self,
+                _c: &NodeContext,
+                _i: &Inbox<u8>,
+                _r: &mut ChaCha8Rng,
+            ) -> Outbox<u8> {
+                self.done = true;
+                Vec::new()
+            }
+            fn halted(&self) -> bool {
+                self.done
+            }
+            fn decision(&self) -> Decision {
+                Decision::Accept
+            }
+        }
+
+        let lay = FamilyLayout::new(2, 9);
+        let g = lay.build(&[(0, 1)], &[(2, 2)]);
+        let parts = lay.partition();
+        let (_, rep) = commlb::simulate_two_party(
+            &g,
+            &parts,
+            Bandwidth::Bits(8),
+            4,
+            0,
+            |_| OneShot { done: false },
+        )
+        .unwrap();
+        // The actual directed cut must be within the Θ(k n^{1/k}) bound.
+        assert!(rep.cut_size() <= lay.cut_bound(), "{} > {}", rep.cut_size(), lay.cut_bound());
+        assert!(rep.cut_size() >= 6 * lay.m_triangles);
+    }
+
+    #[test]
+    fn hk_protocol_solves_disjointness() {
+        use commlb::TwoPartyProtocol;
+        let nc = 6;
+        let mut proto = HkDisjointnessProtocol::new(2, nc, 1);
+        let mut inst = commlb::DisjointnessInstance::new(nc);
+        inst.add_x(1, 2);
+        inst.add_y(2, 1);
+        let r = proto.run(&inst.x, &inst.y);
+        assert!(r.output, "disjoint inputs must output 1");
+        assert!(r.bits_exchanged > 0);
+
+        inst.add_y(1, 2); // now intersecting
+        let r2 = proto.run(&inst.x, &inst.y);
+        assert!(!r2.output, "intersecting inputs must output 0");
+    }
+
+    #[test]
+    fn implied_bound_shrinks_with_bandwidth() {
+        let a = implied_round_lower_bound(100, 50, 8);
+        let b = implied_round_lower_bound(100, 50, 16);
+        assert!((a / b - 2.0).abs() < 1e-9);
+    }
+}

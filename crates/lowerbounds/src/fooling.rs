@@ -1,0 +1,502 @@
+//! The **Theorem 4.1** fooling adversary, executable: deterministic
+//! triangle-vs-hexagon indistinguishability under low communication.
+//!
+//! A deterministic algorithm runs on cycles whose nodes come from the
+//! tripartite namespace `N_0, N_1, N_2`; each node sees only its own
+//! identifier and its two neighbors' identifiers and exchanges prefix-free
+//! bit-string messages. The adversary:
+//!
+//! 1. runs the algorithm (wrapped with the §4 decision-broadcast round, so
+//!    Claim 4.3 holds) on **every** triangle `(u_0, u_1, u_2) ∈ N_0×N_1×N_2`;
+//! 2. buckets the triangles by their *complete transcript* (the canonical
+//!    ordering of §4, which is uniquely parseable because messages form a
+//!    prefix code);
+//! 3. takes the biggest bucket — at least `n³ / 2^{6(C+1)}` triangles — and
+//!    views it as a 3-uniform tripartite hypergraph;
+//! 4. finds a complete tripartite block `K^(3)(2)` (Erdős, Theorem 4.2
+//!    guarantees one once the bucket is dense enough);
+//! 5. splices the block's six identifiers into a hexagon and runs the
+//!    algorithm on it: every node's view is consistent with some triangle
+//!    in the bucket, so the algorithm *rejects the triangle-free hexagon* —
+//!    a correctness violation.
+//!
+//! Concrete algorithm families are provided: an `IdHashAlgo` with a `c`-bit
+//! neighbor digest (fooled whenever `c < log n`, by pigeonhole) and the
+//! `c = log N` full-identifier algorithm (never fooled — the bound is
+//! tight).
+
+use congest::BitString;
+use graphlib::FxHashMap;
+use rayon::prelude::*;
+
+/// A node's local view on a 2-regular topology, oriented by namespace
+/// part: `succ` is the neighbor in the next part (mod 3), `pred` in the
+/// previous.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView {
+    /// Own identifier.
+    pub id: u64,
+    /// Identifier across the successor port.
+    pub succ_id: u64,
+    /// Identifier across the predecessor port.
+    pub pred_id: u64,
+    /// Which namespace part (0, 1, 2) this node's id belongs to.
+    pub part: usize,
+}
+
+/// Messages received so far, round-indexed.
+#[derive(Debug, Clone, Default)]
+pub struct Received {
+    /// Per round, the message that arrived from the successor.
+    pub from_succ: Vec<BitString>,
+    /// Per round, the message that arrived from the predecessor.
+    pub from_pred: Vec<BitString>,
+}
+
+/// A deterministic algorithm in the §4 setting. Message functions must be
+/// deterministic in the view + history, emit at least one bit, and form a
+/// prefix code per (view, history) family.
+pub trait FoolableAlgo: Sync {
+    /// Number of communication rounds.
+    fn rounds(&self) -> usize;
+    /// The message sent in `round` (1-based) towards the successor
+    /// (`to_succ = true`) or predecessor.
+    fn message(&self, view: &NodeView, round: usize, to_succ: bool, received: &Received)
+        -> BitString;
+    /// Final decision: `true` = reject ("I am in a triangle").
+    fn decide(&self, view: &NodeView, received: &Received) -> bool;
+}
+
+/// Outcome of running an algorithm (with the §4 `A'` wrapper) on a cycle.
+#[derive(Debug, Clone)]
+pub struct CycleRun {
+    /// Per-node §4 transcripts: messages to successor (in round order),
+    /// then messages to predecessor.
+    pub node_transcripts: Vec<BitString>,
+    /// Per-node `A'` decisions (reject iff the node or a neighbor rejected
+    /// under `A`).
+    pub rejects: Vec<bool>,
+}
+
+impl CycleRun {
+    /// The §4 complete transcript: node transcripts concatenated in
+    /// namespace-part order (uniquely parseable given the prefix-code
+    /// property).
+    pub fn complete_transcript(&self) -> BitString {
+        let mut t = BitString::new();
+        for nt in &self.node_transcripts {
+            t.extend(nt);
+        }
+        t
+    }
+}
+
+/// Runs `algo` (wrapped with the decision-broadcast round of §4) on the
+/// cycle with the given identifiers; `ids[i]` must belong to part
+/// `i mod 3`, and the cycle length must be a positive multiple of 3.
+pub fn run_on_cycle<A: FoolableAlgo>(algo: &A, ids: &[u64]) -> CycleRun {
+    let l = ids.len();
+    assert!(l >= 3 && l.is_multiple_of(3), "cycle length must be a multiple of 3");
+    let views: Vec<NodeView> = (0..l)
+        .map(|i| NodeView {
+            id: ids[i],
+            succ_id: ids[(i + 1) % l],
+            pred_id: ids[(i + l - 1) % l],
+            part: i % 3,
+        })
+        .collect();
+    let mut received: Vec<Received> = vec![Received::default(); l];
+    let mut to_succ_log: Vec<Vec<BitString>> = vec![Vec::new(); l];
+    let mut to_pred_log: Vec<Vec<BitString>> = vec![Vec::new(); l];
+
+    for round in 1..=algo.rounds() {
+        let outgoing: Vec<(BitString, BitString)> = (0..l)
+            .map(|i| {
+                (
+                    algo.message(&views[i], round, true, &received[i]),
+                    algo.message(&views[i], round, false, &received[i]),
+                )
+            })
+            .collect();
+        for (i, (succ_msg, pred_msg)) in outgoing.into_iter().enumerate() {
+            assert!(
+                !succ_msg.is_empty() && !pred_msg.is_empty(),
+                "§4 requires at least one bit per edge per round"
+            );
+            // i's succ message arrives at (i+1)'s pred port, and vice versa.
+            received[(i + 1) % l].from_pred.push(succ_msg.clone());
+            received[(i + l - 1) % l].from_succ.push(pred_msg.clone());
+            to_succ_log[i].push(succ_msg);
+            to_pred_log[i].push(pred_msg);
+        }
+    }
+
+    // Base decisions, then the A' wrapper: one extra round broadcasting the
+    // decision; a node accepts iff it and both neighbors accepted.
+    let base: Vec<bool> = (0..l).map(|i| algo.decide(&views[i], &received[i])).collect();
+    let rejects: Vec<bool> = (0..l)
+        .map(|i| base[i] || base[(i + 1) % l] || base[(i + l - 1) % l])
+        .collect();
+
+    let node_transcripts = (0..l)
+        .map(|i| {
+            let mut t = BitString::new();
+            for m in &to_succ_log[i] {
+                t.extend(m);
+            }
+            for m in &to_pred_log[i] {
+                t.extend(m);
+            }
+            t
+        })
+        .collect();
+    CycleRun {
+        node_transcripts,
+        rejects,
+    }
+}
+
+/// Result of a successful fooling attack.
+#[derive(Debug, Clone)]
+pub struct FoolingWitness {
+    /// The `K^(3)(2)` block: two ids per part.
+    pub block: [[u64; 2]; 3],
+    /// The hexagon identifiers in cycle order `u0 u1 u2 u0' u1' u2'`.
+    pub hexagon: Vec<u64>,
+    /// The shared transcript of the bucket.
+    pub transcript: BitString,
+    /// Size of the transcript bucket the block was found in.
+    pub bucket_size: usize,
+    /// The hexagon run (some node must reject for the attack to count).
+    pub hexagon_rejects: Vec<bool>,
+}
+
+/// Statistics of the adversary's search (reported even when no attack is
+/// found, e.g. against the full-identifier algorithm).
+#[derive(Debug, Clone)]
+pub struct AdversaryReport {
+    /// Number of triangles enumerated (`n³`).
+    pub triangles: usize,
+    /// Number of distinct complete transcripts observed.
+    pub transcript_classes: usize,
+    /// Size of the largest transcript bucket.
+    pub largest_bucket: usize,
+    /// Whether every triangle was (correctly) rejected — Claim 4.3.
+    pub all_triangles_rejected: bool,
+    /// The successful attack, if one was found.
+    pub witness: Option<FoolingWitness>,
+}
+
+/// Runs the full Theorem 4.1 adversary against `algo` with `n` identifiers
+/// per namespace part (`N_i = { 3j + i }`, disjoint by residue).
+///
+/// `n` must be at most 64 (the block search uses 64-bit row sets).
+pub fn run_adversary<A: FoolableAlgo>(algo: &A, n: usize) -> AdversaryReport {
+    assert!((2..=64).contains(&n), "adversary supports 2..=64 ids per part");
+    let part_id = |part: usize, idx: usize| (3 * idx + part) as u64;
+
+    // 1-2. Enumerate all triangles, bucket by transcript.
+    let runs: Vec<((usize, usize, usize), BitString, bool)> = (0..n * n * n)
+        .into_par_iter()
+        .map(|code| {
+            let (a, rest) = (code / (n * n), code % (n * n));
+            let (b, c) = (rest / n, rest % n);
+            let ids = [part_id(0, a), part_id(1, b), part_id(2, c)];
+            let run = run_on_cycle(algo, &ids);
+            let rejected = run.rejects.iter().any(|&r| r);
+            ((a, b, c), run.complete_transcript(), rejected)
+        })
+        .collect();
+
+    let all_triangles_rejected = runs.iter().all(|&(_, _, r)| r);
+    let mut buckets: FxHashMap<BitString, Vec<(usize, usize, usize)>> = FxHashMap::default();
+    for (triple, t, _) in &runs {
+        buckets.entry(t.clone()).or_default().push(*triple);
+    }
+    let transcript_classes = buckets.len();
+    let (best_t, best_bucket) = buckets
+        .iter()
+        .max_by_key(|(_, v)| v.len())
+        .map(|(t, v)| (t.clone(), v.clone()))
+        .expect("at least one transcript");
+    let largest_bucket = best_bucket.len();
+
+    // 3-4. Find a K^(3)(2) inside the biggest bucket.
+    let witness = find_tripartite_block(&best_bucket, n).map(|block_idx| {
+        let block = [
+            [part_id(0, block_idx[0][0]), part_id(0, block_idx[0][1])],
+            [part_id(1, block_idx[1][0]), part_id(1, block_idx[1][1])],
+            [part_id(2, block_idx[2][0]), part_id(2, block_idx[2][1])],
+        ];
+        // 5. Splice the hexagon u0 u1 u2 u0' u1' u2' and run on it.
+        let hexagon = vec![
+            block[0][0], block[1][0], block[2][0], block[0][1], block[1][1], block[2][1],
+        ];
+        let hex_run = run_on_cycle(algo, &hexagon);
+        FoolingWitness {
+            block,
+            hexagon,
+            transcript: best_t.clone(),
+            bucket_size: largest_bucket,
+            hexagon_rejects: hex_run.rejects,
+        }
+    });
+
+    AdversaryReport {
+        triangles: runs.len(),
+        transcript_classes,
+        largest_bucket,
+        all_triangles_rejected,
+        witness,
+    }
+}
+
+/// Finds `{a,a'} × {b,b'} × {c,c'}` with all 8 triples present in `edges`
+/// (a `K^(3)(2)` in the tripartite 3-uniform hypergraph), if one exists.
+/// Indices must be `< n <= 64`.
+pub fn find_tripartite_block(
+    edges: &[(usize, usize, usize)],
+    n: usize,
+) -> Option<[[usize; 2]; 3]> {
+    assert!(n <= 64);
+    // rows[b][c] = bitset over a of present triples.
+    let mut rows = vec![vec![0u64; n]; n];
+    for &(a, b, c) in edges {
+        rows[b][c] |= 1u64 << a;
+    }
+    for b0 in 0..n {
+        for b1 in (b0 + 1)..n {
+            for c0 in 0..n {
+                for c1 in (c0 + 1)..n {
+                    let common = rows[b0][c0] & rows[b0][c1] & rows[b1][c0] & rows[b1][c1];
+                    if common.count_ones() >= 2 {
+                        let a0 = common.trailing_zeros() as usize;
+                        let a1 = (common & !(1u64 << a0)).trailing_zeros() as usize;
+                        return Some([[a0, a1], [b0, b1], [c0, c1]]);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Concrete algorithm families
+// ---------------------------------------------------------------------------
+
+/// The natural `c`-bit digest algorithm: in one round, every node sends a
+/// `c`-bit digest of its *predecessor's* identifier to its successor (and a
+/// digest of its successor's id to its predecessor). In a triangle, the
+/// digest a node receives from its predecessor equals the digest of its own
+/// successor; the node rejects iff the check passes. Complete on triangles
+/// (Claim 4.3 holds); on a hexagon it errs exactly when the adversary finds
+/// digest collisions — which pigeonhole guarantees once `c < log2(n)`.
+#[derive(Debug, Clone)]
+pub struct IdHashAlgo {
+    /// Digest width in bits (`c`).
+    pub bits: usize,
+}
+
+impl IdHashAlgo {
+    fn digest(&self, id: u64) -> u64 {
+        // Part-stripped index (ids are 3*idx + part), then truncate: this
+        // makes collisions depend only on the index, as in the paper's
+        // pigeonhole step.
+        (id / 3) & ((1u64 << self.bits) - 1).max(1)
+    }
+}
+
+impl FoolableAlgo for IdHashAlgo {
+    fn rounds(&self) -> usize {
+        1
+    }
+
+    fn message(
+        &self,
+        view: &NodeView,
+        _round: usize,
+        to_succ: bool,
+        _received: &Received,
+    ) -> BitString {
+        let id = if to_succ { view.pred_id } else { view.succ_id };
+        BitString::from_uint(self.digest(id), self.bits.max(1))
+    }
+
+    fn decide(&self, view: &NodeView, received: &Received) -> bool {
+        // From my predecessor I got digest(pred.pred_id); in a triangle
+        // pred.pred == my succ.
+        let got = received.from_pred[0].to_uint();
+        got == self.digest(view.succ_id)
+    }
+}
+
+/// The full-identifier algorithm (`c = log N` bits): never fooled — the
+/// digest is the identity, so a hexagon never passes the triangle check.
+pub fn full_id_algo(n: usize) -> IdHashAlgo {
+    IdHashAlgo {
+        bits: congest::bits_for_domain(n.max(2)),
+    }
+}
+
+/// The always-reject algorithm: correct on the all-triangles class, sends
+/// one dummy bit, and is fooled by *any* hexagon. The degenerate end of the
+/// spectrum (`C = 1`).
+#[derive(Debug, Clone)]
+pub struct AlwaysReject;
+
+impl FoolableAlgo for AlwaysReject {
+    fn rounds(&self) -> usize {
+        1
+    }
+
+    fn message(
+        &self,
+        _view: &NodeView,
+        _round: usize,
+        _to_succ: bool,
+        _received: &Received,
+    ) -> BitString {
+        BitString::from_uint(0, 1)
+    }
+
+    fn decide(&self, _view: &NodeView, _received: &Received) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_run_is_symmetric() {
+        let algo = IdHashAlgo { bits: 2 };
+        let run = run_on_cycle(&algo, &[0, 1, 2]);
+        assert_eq!(run.node_transcripts.len(), 3);
+        assert!(run.rejects.iter().all(|&r| r), "triangles must reject");
+    }
+
+    #[test]
+    fn hexagon_with_distinct_ids_accepted_by_full_algo() {
+        let algo = full_id_algo(64 * 3);
+        // Hexagon u0 u1 u2 u0' u1' u2' with distinct indices per part.
+        let hex = [0, 1, 2, 3, 4, 5];
+        let run = run_on_cycle(&algo, &hex);
+        assert!(
+            run.rejects.iter().all(|&r| !r),
+            "full-id algorithm must accept a proper hexagon"
+        );
+    }
+
+    #[test]
+    fn always_reject_is_fooled_immediately() {
+        let rep = run_adversary(&AlwaysReject, 4);
+        assert!(rep.all_triangles_rejected);
+        assert_eq!(rep.transcript_classes, 1);
+        assert_eq!(rep.largest_bucket, 64);
+        let w = rep.witness.expect("trivial algorithm must be fooled");
+        assert!(w.hexagon_rejects.iter().any(|&r| r));
+    }
+
+    #[test]
+    fn low_bit_digest_is_fooled() {
+        // 16 ids per part, 2-bit digests: collisions are forced.
+        let rep = run_adversary(&IdHashAlgo { bits: 2 }, 16);
+        assert!(rep.all_triangles_rejected, "Claim 4.3 must hold");
+        let w = rep.witness.expect("2-bit digests must be foolable at n=16");
+        assert!(
+            w.hexagon_rejects.iter().any(|&r| r),
+            "the spliced hexagon must be (wrongly) rejected"
+        );
+        // The fooling hexagon is a genuine hexagon: 6 distinct ids.
+        let set: std::collections::HashSet<_> = w.hexagon.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn full_id_algo_is_not_fooled() {
+        let rep = run_adversary(&full_id_algo(3 * 8), 8);
+        assert!(rep.all_triangles_rejected);
+        assert!(
+            rep.witness.is_none(),
+            "log-n-bit digests are injective: no fooling block exists"
+        );
+    }
+
+    #[test]
+    fn bucket_lower_bound_holds() {
+        // |largest bucket| >= n^3 / 2^{6(C+1)} with C = total bits per node
+        // (here each node sends 2 messages of `bits` bits).
+        let bits = 2;
+        let n = 8;
+        let rep = run_adversary(&IdHashAlgo { bits }, n);
+        let c = 2 * bits; // bits per node per run
+        let floor = (n * n * n) as f64 / 2f64.powi((6 * (c + 1)) as i32);
+        assert!(
+            rep.largest_bucket as f64 >= floor,
+            "{} < {}",
+            rep.largest_bucket,
+            floor
+        );
+    }
+
+    #[test]
+    fn block_finder_exact() {
+        // Hand-built K^(3)(2) plus noise.
+        let mut edges = vec![];
+        for &a in &[1usize, 3] {
+            for &b in &[0usize, 2] {
+                for &c in &[1usize, 2] {
+                    edges.push((a, b, c));
+                }
+            }
+        }
+        edges.push((0, 0, 0));
+        let block = find_tripartite_block(&edges, 4).expect("block present");
+        assert_eq!(block[0], [1, 3]);
+        assert_eq!(block[1], [0, 2]);
+        assert_eq!(block[2], [1, 2]);
+        // Remove one triple: no block remains.
+        let broken: Vec<_> = edges.iter().copied().skip(1).collect();
+        assert!(find_tripartite_block(&broken, 4).is_none());
+    }
+
+    #[test]
+    fn erdos_density_threshold_empirical() {
+        // Theorem 4.2 (r=3, l=2): dense 3-partite hypergraphs contain
+        // K^(3)(2). Random dense instance must contain a block w.h.p.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(6);
+        let n = 12;
+        let mut edges = vec![];
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    if rng.gen_bool(0.5) {
+                        edges.push((a, b, c));
+                    }
+                }
+            }
+        }
+        assert!(find_tripartite_block(&edges, n).is_some());
+    }
+
+    #[test]
+    fn hexagon_views_match_bucket_triangles() {
+        // Claim 4.4: each hexagon node's transcript equals its part's piece
+        // of the bucket transcript.
+        let algo = IdHashAlgo { bits: 1 };
+        let rep = run_adversary(&algo, 8);
+        let w = rep.witness.expect("1-bit digest is foolable");
+        let hex_run = run_on_cycle(&algo, &w.hexagon);
+        // Node i of the hexagon behaves like the corresponding triangle
+        // node: transcripts of i and i+3 agree (same part).
+        for i in 0..3 {
+            assert_eq!(
+                hex_run.node_transcripts[i], hex_run.node_transcripts[i + 3],
+                "part {i} transcripts must agree across the two block rows"
+            );
+        }
+    }
+}

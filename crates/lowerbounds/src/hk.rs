@@ -1,0 +1,272 @@
+//! The graph `H_k` of **Figure 1** — the subgraph whose detection requires
+//! near-quadratic time (Theorem 1.2).
+//!
+//! `H_k` consists of:
+//! * five *anchor cliques*, one of each size `6..=10`, whose special
+//!   vertices form a `K_5` spine (this pins any isomorphism and brings the
+//!   diameter down to 3);
+//! * a *top* and a *bottom* copy of the body `H`: `k` triangles
+//!   `Tri_1..Tri_k` plus two endpoints `A` and `B`, with `A` joined to every
+//!   triangle's A-vertex and `B` to every B-vertex;
+//! * the two top↔bottom edges `A_top–A_bot` and `B_top–B_bot` — exactly the
+//!   edges Alice and Bob control in the reduction;
+//! * every non-clique vertex attached to the special vertex of the clique
+//!   that "marks" its direction.
+
+use graphlib::{Graph, GraphBuilder};
+
+/// Top or bottom copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The top copy (`⊤`).
+    Top,
+    /// The bottom copy (`⊥`).
+    Bottom,
+}
+
+/// The A/B/Mid role of a triangle vertex or endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Alice's side.
+    A,
+    /// Bob's side.
+    B,
+    /// The shared middle vertex of a triangle.
+    Mid,
+}
+
+/// Semantic label of each `H_k` vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HkLabel {
+    /// Member `idx` of the clique of size `6 + which`.
+    Clique {
+        /// Which clique (0..5, sizes 6..=10).
+        which: usize,
+        /// Index within the clique; 0 is the special vertex.
+        idx: usize,
+    },
+    /// The endpoint of a side/role (`role` is `A` or `B`).
+    Endpoint {
+        /// Top or bottom.
+        side: Side,
+        /// A or B.
+        role: Role,
+    },
+    /// Vertex `role` of triangle `tri` in copy `side`.
+    Triangle {
+        /// Top or bottom.
+        side: Side,
+        /// Triangle index in `0..k`.
+        tri: usize,
+        /// A, B, or Mid.
+        role: Role,
+    },
+}
+
+/// Which anchor clique (0..5, i.e. size `6 + which`) marks a direction.
+/// Alice's parts use cliques 0 and 2 (sizes 6 and 8), Bob's use 1 and 3
+/// (sizes 7 and 9), the shared middles use 4 (size 10) — matching the
+/// `V_A / V_B / U` partition of §3.3.
+pub fn clique_for(side: Side, role: Role) -> usize {
+    match (side, role) {
+        (Side::Top, Role::A) => 0,
+        (Side::Bottom, Role::A) => 2,
+        (Side::Top, Role::B) => 1,
+        (Side::Bottom, Role::B) => 3,
+        (_, Role::Mid) => 4,
+    }
+}
+
+/// The constructed `H_k` with its vertex labels.
+#[derive(Debug, Clone)]
+pub struct HkGraph {
+    /// The graph.
+    pub graph: Graph,
+    /// Label per vertex.
+    pub labels: Vec<HkLabel>,
+    /// The `k` parameter.
+    pub k: usize,
+}
+
+impl HkGraph {
+    /// Builds `H_k` for `k >= 1`.
+    #[allow(clippy::needless_range_loop)] // clique index addresses a fixed array
+    pub fn build(k: usize) -> Self {
+        assert!(k >= 1);
+        let mut labels = Vec::new();
+        // Cliques first: clique `c` has size 6 + c; vertex 0 is special.
+        let mut clique_start = [0usize; 5];
+        for c in 0..5 {
+            clique_start[c] = labels.len();
+            for idx in 0..(6 + c) {
+                labels.push(HkLabel::Clique { which: c, idx });
+            }
+        }
+        let special = |c: usize| clique_start[c];
+
+        let mut endpoint = std::collections::HashMap::new();
+        let mut tri = std::collections::HashMap::new();
+        for &side in &[Side::Top, Side::Bottom] {
+            for &role in &[Role::A, Role::B] {
+                endpoint.insert((side, role), labels.len());
+                labels.push(HkLabel::Endpoint { side, role });
+            }
+            for t in 0..k {
+                for &role in &[Role::A, Role::B, Role::Mid] {
+                    tri.insert((side, t, role), labels.len());
+                    labels.push(HkLabel::Triangle { side, tri: t, role });
+                }
+            }
+        }
+
+        let n = labels.len();
+        let mut b = GraphBuilder::new(n);
+        // Clique interiors.
+        for c in 0..5 {
+            for i in 0..(6 + c) {
+                for j in (i + 1)..(6 + c) {
+                    b.add_edge(clique_start[c] + i, clique_start[c] + j);
+                }
+            }
+        }
+        // Special-vertex K5 spine.
+        for c in 0..5 {
+            for d in (c + 1)..5 {
+                b.add_edge(special(c), special(d));
+            }
+        }
+        for &side in &[Side::Top, Side::Bottom] {
+            // Endpoints attach to their marker clique.
+            for &role in &[Role::A, Role::B] {
+                b.add_edge(endpoint[&(side, role)], special(clique_for(side, role)));
+            }
+            for t in 0..k {
+                // Triangle edges.
+                b.add_edge(tri[&(side, t, Role::A)], tri[&(side, t, Role::B)]);
+                b.add_edge(tri[&(side, t, Role::B)], tri[&(side, t, Role::Mid)]);
+                b.add_edge(tri[&(side, t, Role::Mid)], tri[&(side, t, Role::A)]);
+                // Endpoint-to-triangle wiring.
+                b.add_edge(endpoint[&(side, Role::A)], tri[&(side, t, Role::A)]);
+                b.add_edge(endpoint[&(side, Role::B)], tri[&(side, t, Role::B)]);
+                // Marker attachments.
+                for &role in &[Role::A, Role::B, Role::Mid] {
+                    b.add_edge(tri[&(side, t, role)], special(clique_for(side, role)));
+                }
+            }
+        }
+        // The two cross edges Alice and Bob control.
+        b.add_edge(
+            endpoint[&(Side::Top, Role::A)],
+            endpoint[&(Side::Bottom, Role::A)],
+        );
+        b.add_edge(
+            endpoint[&(Side::Top, Role::B)],
+            endpoint[&(Side::Bottom, Role::B)],
+        );
+
+        HkGraph {
+            graph: b.build(),
+            labels,
+            k,
+        }
+    }
+
+    /// Number of vertices: `40` clique vertices plus `2(2 + 3k)`.
+    pub fn expected_size(k: usize) -> usize {
+        40 + 2 * (2 + 3 * k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_linear_in_k() {
+        for k in 1..5 {
+            let h = HkGraph::build(k);
+            assert_eq!(h.graph.n(), HkGraph::expected_size(k), "k={k}");
+            assert_eq!(h.labels.len(), h.graph.n());
+        }
+    }
+
+    #[test]
+    fn diameter_is_three() {
+        for k in [1usize, 2, 3] {
+            let h = HkGraph::build(k);
+            assert_eq!(
+                graphlib::diameter::diameter(&h.graph),
+                Some(3),
+                "k={k}: H_k has diameter 3 (Property 1 analogue)"
+            );
+        }
+    }
+
+    #[test]
+    fn contains_exactly_one_clique_of_each_anchor_size() {
+        let h = HkGraph::build(2);
+        // K10 copies: exactly C(10,10)=1; K9 copies include subsets of K10.
+        assert_eq!(graphlib::cliques::count_ksub(&h.graph, 10), 1);
+        // K9s: one full K9 clique + 10 inside K10.
+        assert_eq!(graphlib::cliques::count_ksub(&h.graph, 9), 1 + 10);
+        assert_eq!(graphlib::cliques::clique_number(&h.graph), 10);
+    }
+
+    #[test]
+    fn endpoints_have_degree_k_plus_constant() {
+        let h = HkGraph::build(3);
+        for (v, l) in h.labels.iter().enumerate() {
+            if let HkLabel::Endpoint { .. } = l {
+                // k triangle edges + 1 clique marker + 1 cross edge.
+                assert_eq!(h.graph.degree(v), 3 + 2, "endpoint degree");
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_vertices_form_triangles() {
+        let h = HkGraph::build(2);
+        let find = |side, t, role| {
+            h.labels
+                .iter()
+                .position(|&l| l == HkLabel::Triangle { side, tri: t, role })
+                .unwrap()
+        };
+        for &side in &[Side::Top, Side::Bottom] {
+            for t in 0..2 {
+                let a = find(side, t, Role::A);
+                let b = find(side, t, Role::B);
+                let m = find(side, t, Role::Mid);
+                assert!(h.graph.has_edge(a, b));
+                assert!(h.graph.has_edge(b, m));
+                assert!(h.graph.has_edge(m, a));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_edges_present() {
+        let h = HkGraph::build(2);
+        let find = |side, role| {
+            h.labels
+                .iter()
+                .position(|&l| l == HkLabel::Endpoint { side, role })
+                .unwrap()
+        };
+        assert!(h
+            .graph
+            .has_edge(find(Side::Top, Role::A), find(Side::Bottom, Role::A)));
+        assert!(h
+            .graph
+            .has_edge(find(Side::Top, Role::B), find(Side::Bottom, Role::B)));
+        // No diagonal cross edges.
+        assert!(!h
+            .graph
+            .has_edge(find(Side::Top, Role::A), find(Side::Bottom, Role::B)));
+    }
+
+    #[test]
+    fn connected() {
+        assert!(graphlib::components::is_connected(&HkGraph::build(4).graph));
+    }
+}

@@ -1,0 +1,32 @@
+//! # lowerbounds — the paper's impossibility results, executable
+//!
+//! Each lower bound of *"Possibilities and Impossibilities for Distributed
+//! Subgraph Detection"* (SPAA 2018) is built as a runnable construction:
+//!
+//! * [`hk`] + [`family`] — **Theorem 1.2** (Figures 1–2): the graph `H_k`,
+//!   the family `G_{k,n}`, Lemma 3.1, the player partition, and the
+//!   disjointness-reduction cost accounting.
+//! * [`bipartite`] — the §3.4 bipartite variant (skeleton + bound; see the
+//!   module docs for the substitution note).
+//! * [`fooling`] — **Theorem 4.1**: transcripts, the Erdős `K^(3)(2)`
+//!   block finder, and the triangle→hexagon splicing adversary that fools
+//!   any concrete deterministic algorithm with `C = o(log n)` bits.
+//! * [`template`] — **Theorem 5.1** (Figure 3): the μ distribution over the
+//!   template graph, detection-error and mutual-information measurements.
+//! * [`listing`] — **Lemma 1.3** and the congested-clique `K_s` listing
+//!   algorithm matching the `Ω̃(n^{1-2/s})` bound.
+
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod family;
+pub mod fooling;
+pub mod hk;
+pub mod listing;
+pub mod template;
+
+pub use family::{implied_round_lower_bound, FamilyLabel, FamilyLayout};
+pub use fooling::{run_adversary, AdversaryReport, FoolableAlgo, IdHashAlgo};
+pub use hk::{HkGraph, HkLabel, Role, Side};
+pub use listing::{clique_count_ratio, list_cliques_congested, ListingReport};
+pub use template::{detection_error, information_about_xbc, sample, TemplateSample};

@@ -1,0 +1,326 @@
+//! The **Theorem 5.1 / Figure 3** input distribution μ and its
+//! measurements.
+//!
+//! The template graph `G_T`: three special nodes `v_a, v_b, v_c` joined in
+//! a triangle, plus `n` private pendant neighbors per special node. A
+//! sample `G ~ μ` keeps every `G_T` edge independently with probability
+//! 1/2 and assigns every node an iid identifier from `[n³]`; each special
+//! node's input is its *scrambled* list of potential neighbors with
+//! presence bits — so it cannot tell, a priori, which of its `n + 2`
+//! potential edges are the triangle edges.
+//!
+//! Experiment E4 measures, for the one-round protocols of
+//! `subgraph_detection::triangle`:
+//! * the detection error versus the message budget (stays `Ω(1)` until the
+//!   budget is `Θ(n)` entries — Theorem 5.1's shape), and
+//! * the empirical information the messages reaching `v_a` carry about
+//!   `X_bc` given `X_ab = X_ac = 1`, against the Lemma 5.4 leakage bound
+//!   `4(|M_ba}| + |M_ca|)/(n+1) + 2/n` and the Lemma 5.3 requirement
+//!   (≥ 0.3 for any correct protocol).
+
+use graphlib::{Graph, GraphBuilder};
+use infotheory::Joint2;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use subgraph_detection::triangle::{
+    one_round_decide, one_round_message, AdjacencyInput, OneRoundStrategy,
+};
+
+/// One sample from μ.
+#[derive(Debug, Clone)]
+pub struct TemplateSample {
+    /// The realized graph (vertex indices shuffled so position leaks
+    /// nothing).
+    pub graph: Graph,
+    /// Identifier per vertex (iid from `[n³]`, duplicates possible as in
+    /// the paper).
+    pub ids: Vec<u64>,
+    /// Scrambled `(id, present)` input per vertex.
+    pub inputs: Vec<AdjacencyInput>,
+    /// Vertex indices of the special nodes `(v_a, v_b, v_c)`.
+    pub specials: [usize; 3],
+    /// The three potential triangle edges `(X_ab, X_bc, X_ac)`.
+    pub x: [bool; 3],
+    /// Pendant-set size `n`.
+    pub n: usize,
+}
+
+impl TemplateSample {
+    /// Ground truth (Observation 5.2): the triangle is present iff all
+    /// three special edges are.
+    pub fn has_triangle(&self) -> bool {
+        self.x[0] && self.x[1] && self.x[2]
+    }
+}
+
+/// Draws one sample of μ with pendant-set size `n`.
+pub fn sample(n: usize, rng: &mut ChaCha8Rng) -> TemplateSample {
+    let total = 3 * n + 3;
+    // Random vertex placement: shuffle which index plays which role.
+    let mut placement: Vec<usize> = (0..total).collect();
+    placement.shuffle(rng);
+    let specials = [placement[0], placement[1], placement[2]];
+    // Pendants of special s: placement[3 + s*n .. 3 + (s+1)*n].
+    let pendant = |s: usize, i: usize| placement[3 + s * n + i];
+
+    let namespace = (total as u64).pow(3).max(8);
+    let ids: Vec<u64> = (0..total).map(|_| rng.gen_range(0..namespace)).collect();
+
+    let x = [rng.gen_bool(0.5), rng.gen_bool(0.5), rng.gen_bool(0.5)];
+    let pair_of = |s: usize, t: usize| -> usize {
+        // (a,b) -> 0, (b,c) -> 1, (a,c) -> 2
+        match (s.min(t), s.max(t)) {
+            (0, 1) => 0,
+            (1, 2) => 1,
+            (0, 2) => 2,
+            _ => unreachable!(),
+        }
+    };
+
+    let mut b = GraphBuilder::new(total);
+    let mut inputs: Vec<AdjacencyInput> = vec![AdjacencyInput::default(); total];
+    // Special-special potential edges.
+    for s in 0..3 {
+        for t in (s + 1)..3 {
+            let present = x[pair_of(s, t)];
+            if present {
+                b.add_edge(specials[s], specials[t]);
+            }
+            inputs[specials[s]].entries.push((ids[specials[t]], present));
+            inputs[specials[t]].entries.push((ids[specials[s]], present));
+        }
+    }
+    // Pendant potential edges.
+    for s in 0..3 {
+        for i in 0..n {
+            let p = pendant(s, i);
+            let present = rng.gen_bool(0.5);
+            if present {
+                b.add_edge(specials[s], p);
+            }
+            inputs[specials[s]].entries.push((ids[p], present));
+            inputs[p].entries.push((ids[specials[s]], present));
+        }
+    }
+    // Scramble every input (the permutations π_s of §5).
+    for inp in &mut inputs {
+        inp.entries.shuffle(rng);
+    }
+
+    TemplateSample {
+        graph: b.build(),
+        ids,
+        inputs,
+        specials,
+        x,
+        n,
+    }
+}
+
+/// Runs a one-round protocol on a μ-sample *by direct evaluation* (the
+/// message and decision rules are pure functions; no engine needed for one
+/// round) and reports whether any node rejects.
+pub fn evaluate_protocol(sample: &TemplateSample, strategy: OneRoundStrategy) -> bool {
+    let g = &sample.graph;
+    // Precompute every node's message.
+    let messages: Vec<Vec<(u64, bool)>> = (0..g.n())
+        .map(|v| one_round_message(&sample.inputs[v], strategy))
+        .collect();
+    (0..g.n()).any(|v| {
+        let my_nbrs: Vec<u64> = g
+            .neighbors(v)
+            .iter()
+            .map(|&u| sample.ids[u as usize])
+            .collect();
+        let received: Vec<(u64, Vec<(u64, bool)>)> = g
+            .neighbors(v)
+            .iter()
+            .map(|&u| (sample.ids[u as usize], messages[u as usize].clone()))
+            .collect();
+        one_round_decide(&my_nbrs, &received)
+    })
+}
+
+/// Detection-error measurement: fraction of μ-samples where the protocol's
+/// output differs from the ground truth.
+pub fn detection_error(
+    n: usize,
+    strategy: OneRoundStrategy,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    use rand::SeedableRng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut errors = 0usize;
+    for _ in 0..trials {
+        let s = sample(n, &mut rng);
+        let rejected = evaluate_protocol(&s, strategy);
+        if rejected != s.has_triangle() {
+            errors += 1;
+        }
+    }
+    errors as f64 / trials.max(1) as f64
+}
+
+/// Empirical estimate of `I(X_bc ; M_ba, M_ca | X_ab = 1, X_ac = 1)` for a
+/// prefix protocol: we encode, of the messages that reach `v_a`, exactly
+/// the part that concerns the edge `{v_b, v_c}` — whether each endpoint's
+/// message *reveals* that edge's bit, and the value revealed. (Everything
+/// else in the messages is independent of `X_bc`, so this captures the full
+/// mutual information while keeping the support small enough for a plug-in
+/// estimate.)
+pub fn information_about_xbc(
+    n: usize,
+    strategy: OneRoundStrategy,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    use rand::SeedableRng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut joint = Joint2::new();
+    let mut taken = 0usize;
+    while taken < samples {
+        let s = sample(n, &mut rng);
+        // Condition on X_ab = 1 and X_ac = 1.
+        if !(s.x[0] && s.x[2]) {
+            continue;
+        }
+        taken += 1;
+        let xbc = s.x[1];
+        let (vb, vc) = (s.specials[1], s.specials[2]);
+        let id_b = s.ids[vb];
+        let id_c = s.ids[vc];
+        // What v_b's and v_c's messages say about the b-c edge.
+        let msg_b = one_round_message(&s.inputs[vb], strategy);
+        let msg_c = one_round_message(&s.inputs[vc], strategy);
+        let reveal = |msg: &[(u64, bool)], other: u64| -> u64 {
+            match msg.iter().find(|&&(id, _)| id == other) {
+                Some(&(_, bit)) => 1 + bit as u64,
+                None => 0,
+            }
+        };
+        let y = reveal(&msg_b, id_c) * 3 + reveal(&msg_c, id_b);
+        joint.add(xbc as u64, y);
+    }
+    joint.mutual_information()
+}
+
+/// The Lemma 5.4 leakage bound for a prefix budget of `pairs` entries:
+/// `4(|M_ba| + |M_ca|)/(n+1) + 2/n`, with message lengths measured in
+/// entries-revealed terms of the uniform hidden index (each of the two
+/// messages reveals the hidden coordinate with probability
+/// `pairs/(n+2)`).
+pub fn lemma_5_4_bound(n: usize, pairs: usize) -> f64 {
+    let m = pairs as f64;
+    4.0 * (m + m) / (n as f64 + 1.0) + 2.0 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sample_shape() {
+        let s = sample(10, &mut rng(1));
+        assert_eq!(s.graph.n(), 33);
+        assert_eq!(s.inputs[s.specials[0]].entries.len(), 12);
+        // Pendants have exactly one potential neighbor.
+        let pendant = (0..33).find(|v| !s.specials.contains(v)).unwrap();
+        assert_eq!(s.inputs[pendant].entries.len(), 1);
+    }
+
+    #[test]
+    fn triangle_probability_one_eighth() {
+        let mut r = rng(2);
+        let trials = 4000;
+        let hits = (0..trials)
+            .filter(|_| sample(4, &mut r).has_triangle())
+            .count();
+        let p = hits as f64 / trials as f64;
+        assert!((p - 0.125).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn graph_matches_input_bits() {
+        let s = sample(6, &mut rng(3));
+        // The specials' present entries must equal their actual neighbors.
+        for &sp in &s.specials {
+            let mut present: Vec<u64> = s.inputs[sp]
+                .entries
+                .iter()
+                .filter(|&&(_, b)| b)
+                .map(|&(id, _)| id)
+                .collect();
+            let mut actual: Vec<u64> = s
+                .graph
+                .neighbors(sp)
+                .iter()
+                .map(|&u| s.ids[u as usize])
+                .collect();
+            present.sort_unstable();
+            actual.sort_unstable();
+            assert_eq!(present, actual);
+        }
+    }
+
+    #[test]
+    fn full_protocol_has_negligible_error() {
+        // Duplicated iid identifiers can in principle confuse even the full
+        // protocol, but with namespace n³ this is vanishing.
+        let err = detection_error(8, OneRoundStrategy::Full, 400, 4);
+        assert!(err < 0.02, "err = {err}");
+    }
+
+    #[test]
+    fn empty_budget_error_is_exactly_triangle_rate() {
+        // Sending nothing forces "accept": error = Pr[triangle] = 1/8.
+        let err = detection_error(8, OneRoundStrategy::Prefix(0), 2000, 5);
+        assert!((err - 0.125).abs() < 0.03, "err = {err}");
+    }
+
+    #[test]
+    fn small_budget_keeps_error_bounded_away_from_zero() {
+        let err = detection_error(16, OneRoundStrategy::Prefix(2), 1500, 6);
+        assert!(err > 0.05, "a 2-entry budget cannot solve n=16: err={err}");
+    }
+
+    #[test]
+    fn error_decreases_with_budget() {
+        let e_small = detection_error(12, OneRoundStrategy::Prefix(1), 1200, 7);
+        let e_large = detection_error(12, OneRoundStrategy::Prefix(14), 1200, 7);
+        assert!(
+            e_large < e_small,
+            "larger budget must help: {e_large} !< {e_small}"
+        );
+        assert!(e_large < 0.02);
+    }
+
+    #[test]
+    fn information_increases_with_budget_and_respects_bound() {
+        let n = 12;
+        let i_small = information_about_xbc(n, OneRoundStrategy::Prefix(1), 4000, 8);
+        let i_full = information_about_xbc(n, OneRoundStrategy::Full, 4000, 8);
+        assert!(i_small < i_full);
+        // Full reveal carries the whole bit (Lemma 5.3 side).
+        assert!(i_full > 0.9, "i_full = {i_full}");
+        // Small budgets stay under the Lemma 5.4 leakage bound.
+        assert!(
+            i_small <= lemma_5_4_bound(n, 1) + 0.05,
+            "{i_small} > bound {}",
+            lemma_5_4_bound(n, 1)
+        );
+        assert!(i_small < 0.3, "Lemma 5.3 threshold cannot be met at budget 1");
+    }
+
+    #[test]
+    fn bound_formula_shape() {
+        assert!(lemma_5_4_bound(100, 1) < lemma_5_4_bound(100, 10));
+        assert!(lemma_5_4_bound(200, 5) < lemma_5_4_bound(100, 5));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the lower-bound constructions.
+
+use lowerbounds::fooling::{find_tripartite_block, run_on_cycle, IdHashAlgo};
+use lowerbounds::{FamilyLayout, HkGraph};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lemma_3_1_characterization_is_set_intersection(
+        x in proptest::collection::vec((0usize..6, 0usize..6), 0..8),
+        y in proptest::collection::vec((0usize..6, 0usize..6), 0..8)
+    ) {
+        let expected = x.iter().any(|p| y.contains(p));
+        prop_assert_eq!(FamilyLayout::contains_hk(&x, &y), expected);
+    }
+
+    #[test]
+    fn family_graph_size_is_linear(k in 1usize..4, nc in 1usize..40) {
+        let lay = FamilyLayout::new(k, nc);
+        // 40 clique vertices + 4n endpoints + 6m triangle vertices.
+        prop_assert_eq!(lay.n_vertices(), 40 + 4 * nc + 6 * lay.m_triangles);
+        // m = k * ceil(nc^{1/k}) stays sublinear in nc for k >= 2.
+        if k >= 2 {
+            prop_assert!(lay.m_triangles <= k * (nc + 1));
+        }
+    }
+
+    #[test]
+    fn family_input_edges_present_iff_in_input(
+        x in proptest::collection::vec((0usize..5, 0usize..5), 0..6),
+        y in proptest::collection::vec((0usize..5, 0usize..5), 0..6)
+    ) {
+        use lowerbounds::{Role, Side};
+        let lay = FamilyLayout::new(2, 5);
+        let g = lay.build(&x, &y);
+        for i in 0..5 {
+            for j in 0..5 {
+                let a_edge = g.has_edge(
+                    lay.endpoint(Side::Top, Role::A, i),
+                    lay.endpoint(Side::Bottom, Role::A, j),
+                );
+                prop_assert_eq!(a_edge, x.contains(&(i, j)));
+                let b_edge = g.has_edge(
+                    lay.endpoint(Side::Top, Role::B, i),
+                    lay.endpoint(Side::Bottom, Role::B, j),
+                );
+                prop_assert_eq!(b_edge, y.contains(&(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn hk_size_formula(k in 1usize..8) {
+        let h = HkGraph::build(k);
+        prop_assert_eq!(h.graph.n(), HkGraph::expected_size(k));
+        // Every vertex within distance 3 of every other (Property 1 style).
+        prop_assert_eq!(graphlib::diameter::diameter(&h.graph), Some(3));
+    }
+
+    #[test]
+    fn block_finder_sound(edges in proptest::collection::vec((0usize..6, 0usize..6, 0usize..6), 0..60)) {
+        // Whatever the finder returns must be a genuine K^(3)(2).
+        if let Some(block) = find_tripartite_block(&edges, 6) {
+            let set: std::collections::HashSet<_> = edges.iter().collect();
+            for &a in &block[0] {
+                for &b in &block[1] {
+                    for &c in &block[2] {
+                        prop_assert!(set.contains(&(a, b, c)));
+                    }
+                }
+            }
+            prop_assert!(block[0][0] < block[0][1]);
+            prop_assert!(block[1][0] < block[1][1]);
+            prop_assert!(block[2][0] < block[2][1]);
+        }
+    }
+
+    #[test]
+    fn block_finder_complete_on_planted_blocks(
+        a0 in 0usize..5, b0 in 0usize..5, c0 in 0usize..5,
+        noise in proptest::collection::vec((0usize..6, 0usize..6, 0usize..6), 0..20)
+    ) {
+        // Plant a block at {a0, a0+1} x {b0, b0+1} x {c0, c0+1}.
+        let mut edges = noise;
+        for a in [a0, a0 + 1] {
+            for b in [b0, b0 + 1] {
+                for c in [c0, c0 + 1] {
+                    edges.push((a, b, c));
+                }
+            }
+        }
+        prop_assert!(find_tripartite_block(&edges, 6).is_some());
+    }
+
+    #[test]
+    fn transcripts_have_declared_length(u0 in 0u64..20, u1 in 0u64..20, u2 in 0u64..20, bits in 1usize..5) {
+        let algo = IdHashAlgo { bits };
+        let ids = [3 * u0, 3 * u1 + 1, 3 * u2 + 2];
+        let run = run_on_cycle(&algo, &ids);
+        // One round, two messages of `bits` bits per node.
+        for t in &run.node_transcripts {
+            prop_assert_eq!(t.len(), 2 * bits);
+        }
+        // Triangles always reject under the A' wrapper (Claim 4.3).
+        prop_assert!(run.rejects.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn template_truth_is_conjunction(n in 2usize..10, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let s = lowerbounds::sample(n, &mut rng);
+        prop_assert_eq!(s.has_triangle(), s.x[0] && s.x[1] && s.x[2]);
+        // The realized graph contains a triangle iff the flag says so
+        // (specials are the only possible triangle).
+        prop_assert_eq!(
+            graphlib::cliques::count_triangles(&s.graph) > 0,
+            s.has_triangle()
+        );
+    }
+
+    #[test]
+    fn clique_count_bound_holds_on_random_graphs(n in 4usize..20, m in 0usize..60, s in 3usize..5) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64((n * 100 + m) as u64);
+        let max = n * (n - 1) / 2;
+        let g = graphlib::generators::gnm(n, m.min(max), &mut rng);
+        let (count, bound, _) = lowerbounds::clique_count_ratio(&g, s);
+        prop_assert!(count as f64 <= bound.max(1.0) + 1e-9, "Lemma 1.3");
+    }
+}

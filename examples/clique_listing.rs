@@ -1,0 +1,36 @@
+//! Congested-clique `K_s` listing (the upper bound matching the paper's
+//! `Ω̃(n^{1-2/s})` lower bound): lists every triangle and `K_4` of a random
+//! graph with the generalized Dolev–Lenzen–Peled partition scheme, and
+//! checks the output against centralized enumeration.
+//!
+//! Run with: `cargo run --release --example clique_listing`
+
+use distributed_subgraph_detection::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    for (n, p) in [(48usize, 0.25), (64, 0.2), (96, 0.15)] {
+        let g = graphlib::generators::gnp(n, p, &mut rng);
+        println!("\nG(n={n}, p={p}): m = {}", g.m());
+        for s in [3usize, 4] {
+            let rep = lowerbounds::list_cliques_congested(&g, s, 5).expect("engine ok");
+            let truth = graphlib::cliques::count_ksub(&g, s);
+            let (count, bound, ratio) = lowerbounds::clique_count_ratio(&g, s);
+            assert_eq!(rep.cliques.len() as u64, truth, "listing must be exact");
+            println!(
+                "  K_{s}: listed {:>6} cliques (exact ✓) in {:>3} rounds \
+                 (shape bound n^(1-2/{s}) = {:>6.1}); Lemma 1.3: {count} <= m^({s}/2) = {bound:.0} \
+                 (ratio {ratio:.4})",
+                rep.cliques.len(),
+                rep.rounds,
+                rep.round_bound,
+            );
+        }
+    }
+    println!(
+        "\nEvery clique is listed exactly once; rounds track n^(1-2/s), the \
+         paper's listing bound."
+    );
+}

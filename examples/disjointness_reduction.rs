@@ -1,0 +1,78 @@
+//! The Theorem 1.2 reduction, end to end: Alice and Bob's disjointness
+//! inputs become the graph `G_{X,Y}`; a real CONGEST detection algorithm
+//! runs on it; the two-party simulation charges only the cut-crossing
+//! traffic — and the Ω(n²)-bit disjointness bound turns that into a round
+//! lower bound.
+//!
+//! Run with: `cargo run --release --example disjointness_reduction`
+
+use distributed_subgraph_detection::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let k = 2;
+    let nc = 36; // disjointness over [36]^2
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+
+    for (name, inst) in [
+        (
+            "intersecting",
+            DisjointnessInstance::random_intersecting(nc, 0.03, &mut rng),
+        ),
+        (
+            "disjoint",
+            DisjointnessInstance::random_disjoint(nc, 0.03, &mut rng),
+        ),
+    ] {
+        let lay = FamilyLayout::new(k, nc);
+        let g = lay.build(&inst.x_pairs(), &inst.y_pairs());
+        let parts = lay.partition();
+        let hk = HkGraph::build(k).graph;
+
+        println!(
+            "\n{name}: |X| = {}, |Y| = {}, G_{{X,Y}} has {} vertices, diameter {:?}",
+            inst.x_pairs().len(),
+            inst.y_pairs().len(),
+            g.n(),
+            graphlib::diameter::diameter(&g)
+        );
+
+        let b_bits = 2 * congest::bits_for_domain(g.n()) + 2;
+        let pattern = hk.clone();
+        let (outcome, sim) = commlb::simulate_two_party(
+            &g,
+            &parts,
+            Bandwidth::Bits(b_bits),
+            16 * (g.n() + g.m() + 4),
+            1,
+            move |_| {
+                distributed_subgraph_detection::detection::generic::GatherNode::new(
+                    pattern.clone(),
+                )
+            },
+        )
+        .expect("engine ok");
+
+        println!(
+            "  H_{k} detected = {:<5} (ground truth: intersect = {})",
+            outcome.network_rejects(),
+            !inst.disjoint()
+        );
+        println!(
+            "  cut = {} directed edges (bound {}), simulation cost = {} bits over {} rounds",
+            sim.cut_size(),
+            lay.cut_bound(),
+            sim.bits_exchanged,
+            outcome.stats.rounds
+        );
+        println!(
+            "  => any algorithm needs >= Ω(n²)/(cut·B) = {:.1} rounds on this family",
+            lowerbounds::implied_round_lower_bound(nc, sim.cut_size(), b_bits)
+        );
+    }
+    println!(
+        "\nAs n grows the implied bound scales like n^{{2-1/k}}/(Bk) — superlinear, \
+         while the graph itself has diameter 3 (Theorem 1.2)."
+    );
+}

@@ -1,0 +1,41 @@
+//! The Theorem 1.1 headline: even-cycle detection gets *sublinear* in `n`.
+//! Sweeps `n` and prints the per-repetition round cost of the `C_4`
+//! detector against the `O(n)` neighbor-streaming baseline and the
+//! theoretical `n^{1-1/(k(k-1))}` curve.
+//!
+//! Run with: `cargo run --release --example even_cycle_sweep`
+
+use distributed_subgraph_detection::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let k = 2;
+    println!("C_{} detection (k = {k}): rounds per repetition vs n", 2 * k);
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>12}",
+        "n", "detector", "n (linear)", "bound n^(1/2)", "detected"
+    );
+    for exp in 5..=11 {
+        let n = 1usize << exp;
+        let mut rng = ChaCha8Rng::seed_from_u64(exp as u64);
+        let base = graphlib::generators::random_tree(n, &mut rng);
+        let (g, _) = graphlib::generators::plant_cycle(&base, 2 * k, &mut rng);
+
+        let cfg = detection::EvenCycleConfig::new(k)
+            .repetitions(1) // one repetition: we are measuring its cost
+            .seed(exp as u64);
+        let rep = detection::detect_even_cycle(&g, cfg).expect("engine ok");
+        println!(
+            "{n:>8} {:>12} {:>12} {:>14.1} {:>12}",
+            rep.rounds_per_repetition,
+            n,
+            detection::even_cycle::theorem_bound(n, k),
+            rep.detected
+        );
+    }
+    println!(
+        "\nThe detector column grows like sqrt(n) (times the Turán constant), \
+         while the trivial algorithms grow like n."
+    );
+}

@@ -1,0 +1,53 @@
+//! # distributed-subgraph-detection
+//!
+//! A full reproduction of *"Possibilities and Impossibilities for
+//! Distributed Subgraph Detection"* (Fischer, Gonen, Kuhn, Oshman —
+//! SPAA 2018) as a Rust workspace:
+//!
+//! * [`graphlib`] — graph substrate (CSR graphs, generators, subgraph
+//!   isomorphism, cliques, cycles, Turán machinery, decompositions);
+//! * [`congest`] — instrumented CONGEST + congested-clique simulators with
+//!   exact per-edge bit accounting;
+//! * [`commlb`] — two-party communication complexity and the §3.3
+//!   simulation argument;
+//! * [`infotheory`] — entropy / mutual-information estimators for §5;
+//! * [`detection`] (crate `subgraph-detection`) — the paper's algorithms:
+//!   sublinear even-cycle detection (Theorem 1.1), triangle/clique/tree
+//!   detection, generic LOCAL and gather baselines;
+//! * [`lowerbounds`] — the executable impossibility constructions
+//!   (Theorems 1.2, 4.1, 5.1, Lemma 1.3).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use distributed_subgraph_detection::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // Plant a 4-cycle in a sparse random tree and detect it in sublinear
+//! // rounds with the Theorem 1.1 algorithm.
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let base = graphlib::generators::random_tree(64, &mut rng);
+//! let (g, _) = graphlib::generators::plant_cycle(&base, 4, &mut rng);
+//!
+//! let cfg = detection::EvenCycleConfig::new(2).repetitions(2000).seed(1);
+//! let report = detection::detect_even_cycle(&g, cfg).unwrap();
+//! assert!(report.detected);
+//! ```
+
+pub use commlb;
+pub use congest;
+pub use graphlib;
+pub use infotheory;
+pub use lowerbounds;
+/// The paper's detection algorithms (crate `subgraph-detection`).
+pub use subgraph_detection as detection;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use commlb::{self, DisjointnessInstance, Party};
+    pub use congest::{self, Bandwidth, Decision, Engine};
+    pub use graphlib::{self, Graph, GraphBuilder};
+    pub use infotheory;
+    pub use lowerbounds::{self, FamilyLayout, HkGraph};
+    pub use subgraph_detection as detection;
+}

@@ -1,0 +1,95 @@
+//! Integration checks of the impossibility machinery: the §4 adversary
+//! against real algorithms, the §5 distribution against the one-round
+//! protocols, and the congested-clique listing against every other
+//! enumeration path.
+
+use distributed_subgraph_detection::prelude::*;
+use lowerbounds::fooling::{full_id_algo, run_adversary, IdHashAlgo};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn fooling_threshold_is_log_n() {
+    let n = 16;
+    // Below log n bits: fooled. At log n bits: safe.
+    for c in 1..congest::bits_for_domain(n) {
+        let rep = run_adversary(&IdHashAlgo { bits: c }, n);
+        assert!(rep.all_triangles_rejected, "c={c}: Claim 4.3");
+        assert!(rep.witness.is_some(), "c={c} must be foolable at n={n}");
+        let w = rep.witness.unwrap();
+        // The fooled hexagon is triangle-free yet rejected.
+        assert!(w.hexagon_rejects.iter().any(|&r| r));
+    }
+    let rep = run_adversary(&full_id_algo(3 * n), n);
+    assert!(rep.witness.is_none());
+}
+
+#[test]
+fn template_distribution_vs_engine_protocol() {
+    // The §5 evaluation path (pure functions) and the engine path must
+    // agree on a plain graph where inputs are trivial.
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    for trial in 0..6 {
+        let g = graphlib::generators::gnp(16, 0.25, &mut rng);
+        let truth = graphlib::cliques::count_triangles(&g) > 0;
+        let via_engine = detection::detect_triangle_one_round(
+            &g,
+            detection::OneRoundStrategy::Full,
+            trial,
+        )
+        .unwrap();
+        assert_eq!(via_engine.detected, truth, "trial {trial}");
+    }
+}
+
+#[test]
+fn theorem_5_1_error_shape() {
+    // Error well above 0 at budget o(n); near 0 at budget n.
+    let n = 16;
+    let low = lowerbounds::detection_error(
+        n,
+        detection::OneRoundStrategy::Prefix(1),
+        1500,
+        10,
+    );
+    let high = lowerbounds::detection_error(
+        n,
+        detection::OneRoundStrategy::Full,
+        1500,
+        10,
+    );
+    assert!(low > 0.05, "low-budget error = {low}");
+    assert!(high < 0.02, "full-budget error = {high}");
+}
+
+#[test]
+fn listing_agreement_across_families() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let graphs: Vec<Graph> = vec![
+        graphlib::generators::clique(18),
+        graphlib::generators::complete_bipartite(9, 9),
+        graphlib::generators::gnp(30, 0.35, &mut rng),
+        graphlib::generators::cycle(20),
+    ];
+    for (i, g) in graphs.iter().enumerate() {
+        for s in [3usize, 4] {
+            let rep = lowerbounds::list_cliques_congested(g, s, i as u64).unwrap();
+            let mut truth = graphlib::cliques::list_ksub(g, s, usize::MAX);
+            truth.sort();
+            assert_eq!(rep.cliques, truth, "graph {i}, s={s}");
+            // Lemma 1.3 on the same instance.
+            let (count, bound, _) = lowerbounds::clique_count_ratio(g, s);
+            assert!(count as f64 <= bound.max(1.0), "graph {i}, s={s}");
+        }
+    }
+}
+
+#[test]
+fn hk_unique_anchor_cliques_survive_in_family_graph() {
+    // The family graph, like H_k, must contain exactly one K10 — the
+    // anchor that pins every isomorphism.
+    let lay = FamilyLayout::new(2, 5);
+    let g = lay.build(&[(0, 0)], &[(0, 0)]);
+    assert_eq!(graphlib::cliques::count_ksub(&g, 10), 1);
+    assert_eq!(graphlib::cliques::clique_number(&g), 10);
+}

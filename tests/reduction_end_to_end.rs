@@ -1,0 +1,102 @@
+//! End-to-end Theorem 1.2: disjointness instance → `G_{X,Y}` → a real
+//! CONGEST detection algorithm → two-party cost accounting.
+
+use distributed_subgraph_detection::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn run_case(k: usize, nc: usize, inst: &DisjointnessInstance, seed: u64) {
+    let lay = FamilyLayout::new(k, nc);
+    let g = lay.build(&inst.x_pairs(), &inst.y_pairs());
+    let parts = lay.partition();
+    let hk = HkGraph::build(k).graph;
+
+    // Lemma 3.1 + Property 1.
+    assert_eq!(
+        FamilyLayout::contains_hk(&inst.x_pairs(), &inst.y_pairs()),
+        !inst.disjoint()
+    );
+    assert_eq!(graphlib::diameter::diameter(&g), Some(3));
+
+    // Simulate the gather detector two-party style.
+    let bw = Bandwidth::Bits(2 * congest::bits_for_domain(g.n()) + 2);
+    let pattern = hk.clone();
+    let (outcome, sim) = commlb::simulate_two_party(
+        &g,
+        &parts,
+        bw,
+        16 * (g.n() + g.m() + 4),
+        seed,
+        move |_| detection::generic::GatherNode::new(pattern.clone()),
+    )
+    .expect("engine");
+
+    // The distributed algorithm must answer the disjointness instance.
+    assert_eq!(
+        outcome.network_rejects(),
+        !inst.disjoint(),
+        "detection must match intersection (k={k}, nc={nc})"
+    );
+
+    // The simulation cost is bounded by rounds × cut × B — the §3.3
+    // inequality our lower bound rests on.
+    let b_bits = (2 * congest::bits_for_domain(g.n()) + 2) as u64;
+    assert!(sim.cut_size() <= lay.cut_bound());
+    assert!(
+        sim.bits_exchanged <= outcome.stats.rounds as u64 * sim.cut_size() as u64 * b_bits,
+        "simulation cost exceeds R * cut * B"
+    );
+}
+
+#[test]
+fn reduction_intersecting_and_disjoint_k2() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let nc = 9;
+    run_case(
+        2,
+        nc,
+        &DisjointnessInstance::random_intersecting(nc, 0.1, &mut rng),
+        11,
+    );
+    run_case(
+        2,
+        nc,
+        &DisjointnessInstance::random_disjoint(nc, 0.1, &mut rng),
+        12,
+    );
+}
+
+#[test]
+fn reduction_intersecting_and_disjoint_k3() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let nc = 8;
+    run_case(
+        3,
+        nc,
+        &DisjointnessInstance::random_intersecting(nc, 0.08, &mut rng),
+        13,
+    );
+    run_case(
+        3,
+        nc,
+        &DisjointnessInstance::random_disjoint(nc, 0.08, &mut rng),
+        14,
+    );
+}
+
+#[test]
+fn cut_scales_sublinearly_with_universe() {
+    // For k = 2, quadrupling n must only double the cut (n^{1/2} scaling):
+    // this is the whole trick of §3.2.
+    let small = FamilyLayout::new(2, 25);
+    let large = FamilyLayout::new(2, 100);
+    assert_eq!(2 * small.m_triangles, large.m_triangles);
+}
+
+#[test]
+fn empty_instance_is_hk_free() {
+    let lay = FamilyLayout::new(2, 4);
+    let g = lay.build(&[], &[]);
+    let hk = HkGraph::build(2).graph;
+    assert!(!graphlib::iso::contains_subgraph(&hk, &g));
+}
