@@ -59,8 +59,7 @@ fn e1() {
             );
         }
         let pts: Vec<(usize, usize)> = rows.iter().map(|r| (r.n, r.detector_rounds)).collect();
-        let base_pts: Vec<(usize, usize)> =
-            rows.iter().map(|r| (r.n, r.baseline_rounds)).collect();
+        let base_pts: Vec<(usize, usize)> = rows.iter().map(|r| (r.n, r.baseline_rounds)).collect();
         println!(
             "fitted exponent: detector {:.3} (target {:.3}), baseline {:.3} (linear ~1)",
             exp::fitted_exponent(&pts),

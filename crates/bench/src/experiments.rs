@@ -103,7 +103,8 @@ pub fn e2_superlinear(k: usize, copies: &[usize], seed: u64) -> Vec<E2Row> {
             let parts = lay.partition();
             let diameter = graphlib::diameter::diameter(&g).unwrap_or(usize::MAX);
             // Lemma 3.1 on this instance: characterization vs the input.
-            let lemma31_ok = FamilyLayout::contains_hk(&inst.x_pairs(), &inst.y_pairs()) != inst.disjoint();
+            let lemma31_ok =
+                FamilyLayout::contains_hk(&inst.x_pairs(), &inst.y_pairs()) != inst.disjoint();
             // Two-party simulation of the gather detector for H_k.
             let hk = HkGraph::build(k).graph;
             let bw = congest::Bandwidth::Bits(2 * congest::bits_for_domain(g.n()) + 2);
@@ -126,11 +127,7 @@ pub fn e2_superlinear(k: usize, copies: &[usize], seed: u64) -> Vec<E2Row> {
                 cut_bound: lay.cut_bound(),
                 sim_bits: sim.bits_exchanged,
                 rounds: outcome.stats.rounds,
-                implied_round_lb: lowerbounds::implied_round_lower_bound(
-                    nc,
-                    sim.cut_size(),
-                    bbits,
-                ),
+                implied_round_lb: lowerbounds::implied_round_lower_bound(nc, sim.cut_size(), bbits),
                 lemma31_ok,
             }
         })
@@ -449,7 +446,7 @@ pub fn e1_ablation(reps: usize, seed: u64) -> Vec<AblationRow> {
     let k = 3;
     // Scenario A: cycle through hubs.
     let hub = hub_cycle_graph(14); // n = 90, threshold = ceil(sqrt(90)) = 10
-    // Scenario B: cycle among low-degree nodes.
+                                   // Scenario B: cycle among low-degree nodes.
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let base = generators::random_tree(90, &mut rng);
     let (low, _) = generators::plant_cycle(&base, 6, &mut rng);
@@ -640,7 +637,10 @@ mod tests {
         let hub = &rows[0];
         let low = &rows[1];
         assert_eq!(hub.phase2_rate, 0.0, "hub cycle invisible to Phase II");
-        assert_eq!(low.phase1_rate, 0.0, "low-degree cycle invisible to Phase I");
+        assert_eq!(
+            low.phase1_rate, 0.0,
+            "low-degree cycle invisible to Phase I"
+        );
     }
 
     #[test]
@@ -665,14 +665,23 @@ mod tests {
     #[test]
     fn e9_contrast_between_far_and_hidden() {
         let rows = e9_property_testing(60, 7);
-        let far_1probe = rows.iter().find(|r| r.scenario.starts_with("eps") && r.probes == 1).unwrap();
-        let hidden_16 = rows.iter().find(|r| r.scenario.starts_with("hidden") && r.probes == 16).unwrap();
+        let far_1probe = rows
+            .iter()
+            .find(|r| r.scenario.starts_with("eps") && r.probes == 1)
+            .unwrap();
+        let hidden_16 = rows
+            .iter()
+            .find(|r| r.scenario.starts_with("hidden") && r.probes == 16)
+            .unwrap();
         assert!(far_1probe.tester_detection > 0.9, "far graphs are easy");
         assert!(
             hidden_16.tester_detection < 0.5,
             "a single hidden triangle evades the tester"
         );
-        assert!(hidden_16.exact_detects, "the exact detector always finds it");
+        assert!(
+            hidden_16.exact_detects,
+            "the exact detector always finds it"
+        );
     }
 
     #[test]

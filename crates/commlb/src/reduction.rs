@@ -41,11 +41,7 @@ impl SimulationReport {
 
 /// Computes, from a finished run, the bits a two-party simulation with the
 /// given node partition would have exchanged.
-pub fn simulation_cost(
-    g: &Graph,
-    outcome: &RunOutcome,
-    parts: &[Party],
-) -> SimulationReport {
+pub fn simulation_cost(g: &Graph, outcome: &RunOutcome, parts: &[Party]) -> SimulationReport {
     assert_eq!(parts.len(), g.n());
     let mut bits = 0u64;
     let mut cut_a = 0usize;
@@ -142,14 +138,9 @@ mod tests {
         // Path 0-1-2 with parts [Alice, Shared, Bob].
         let g = generators::path(3);
         let parts = [Party::Alice, Party::Shared, Party::Bob];
-        let (_, rep) = simulate_two_party(
-            &g,
-            &parts,
-            Bandwidth::Bits(8),
-            10,
-            0,
-            |_| OneShot { done: false },
-        )
+        let (_, rep) = simulate_two_party(&g, &parts, Bandwidth::Bits(8), 10, 0, |_| OneShot {
+            done: false,
+        })
         .unwrap();
         // Directed charged edges: 0->1 (Alice->Shared), 2->1 (Bob->Shared).
         assert_eq!(rep.cut_out_of_alice, 1);
@@ -162,14 +153,9 @@ mod tests {
     fn shared_traffic_is_free() {
         let g = generators::path(2);
         let parts = [Party::Shared, Party::Shared];
-        let (_, rep) = simulate_two_party(
-            &g,
-            &parts,
-            Bandwidth::Bits(8),
-            10,
-            0,
-            |_| OneShot { done: false },
-        )
+        let (_, rep) = simulate_two_party(&g, &parts, Bandwidth::Bits(8), 10, 0, |_| OneShot {
+            done: false,
+        })
         .unwrap();
         assert_eq!(rep.bits_exchanged, 0);
         assert_eq!(rep.cut_size(), 0);
@@ -179,14 +165,9 @@ mod tests {
     fn alice_bob_edge_charged_both_ways() {
         let g = generators::path(2);
         let parts = [Party::Alice, Party::Bob];
-        let (_, rep) = simulate_two_party(
-            &g,
-            &parts,
-            Bandwidth::Bits(8),
-            10,
-            0,
-            |_| OneShot { done: false },
-        )
+        let (_, rep) = simulate_two_party(&g, &parts, Bandwidth::Bits(8), 10, 0, |_| OneShot {
+            done: false,
+        })
         .unwrap();
         assert_eq!(rep.cut_out_of_alice, 1);
         assert_eq!(rep.cut_out_of_bob, 1);

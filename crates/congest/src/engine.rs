@@ -6,9 +6,11 @@
 //! evaluates them with rayon (data-parallel, race-free — the pattern the
 //! hpc guides recommend).
 
+use crate::faults::{Delivery, DeliveryCtx, FaultReport, FaultSpec};
 use crate::message::BitSize;
 use crate::node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
 use crate::stats::RunStats;
+use crate::trace::{TraceEvent, TraceKind};
 use graphlib::Graph;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -104,8 +106,11 @@ pub struct RunOutcome {
     pub decisions: Vec<Decision>,
     /// Traffic and round statistics.
     pub stats: RunStats,
-    /// Whether every node halted before the round limit.
+    /// Whether every live node halted before the round limit (crashed nodes
+    /// count as halted — they can never halt voluntarily).
     pub completed: bool,
+    /// What the fault layer did to this run (all-zeros for fault-free runs).
+    pub faults: FaultReport,
 }
 
 impl RunOutcome {
@@ -118,6 +123,24 @@ impl RunOutcome {
     pub fn network_accepts(&self) -> bool {
         !self.network_rejects()
     }
+
+    /// Whether the run was cut off by the engine's round limit rather than
+    /// halting cleanly — the explicit negation of [`Self::completed`], so
+    /// callers distinguish "all nodes halted" from "the simulation gave up".
+    pub fn hit_round_limit(&self) -> bool {
+        !self.completed
+    }
+
+    /// Whether some node that never crashed rejects. Under crash faults
+    /// this is the meaningful detection signal: a crashed node's last
+    /// decision is frozen pre-crash state, not an output of the protocol.
+    pub fn surviving_node_rejects(&self) -> bool {
+        let crashed = self.faults.crashed_nodes();
+        self.decisions
+            .iter()
+            .enumerate()
+            .any(|(v, d)| *d == Decision::Reject && crashed.binary_search(&v).is_err())
+    }
 }
 
 /// Simulator configuration for one topology.
@@ -129,10 +152,10 @@ pub struct Engine<'g> {
     seed: u64,
     broadcast_only: bool,
     trace: Option<crate::trace::TraceBuffer>,
-    /// Independent per-delivery message-loss probability (failure
-    /// injection). Bits are still charged for lost messages (they were
-    /// sent); only delivery fails.
-    loss_rate: f64,
+    /// Fault configuration applied to every run (see [`crate::faults`]).
+    /// Bits are still charged for lost messages (they were sent); only
+    /// delivery fails.
+    faults: FaultSpec,
 }
 
 impl<'g> Engine<'g> {
@@ -146,7 +169,7 @@ impl<'g> Engine<'g> {
             seed: 0,
             broadcast_only: false,
             trace: None,
-            loss_rate: 0.0,
+            faults: FaultSpec::None,
             topology,
         }
     }
@@ -155,9 +178,24 @@ impl<'g> Engine<'g> {
     /// probability `p` (deterministic given the engine seed). Senders are
     /// still charged for the bits. Randomized detectors must stay *sound*
     /// under loss (they can only miss, never hallucinate, a subgraph).
-    pub fn loss_rate(mut self, p: f64) -> Self {
+    ///
+    /// Sugar for `faults(FaultSpec::IndependentLoss(p))`; existing seeded
+    /// runs replay unchanged because the loss hash is keyed identically.
+    pub fn loss_rate(self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "loss rate must be a probability");
-        self.loss_rate = p;
+        if p == 0.0 {
+            self.faults(FaultSpec::None)
+        } else {
+            self.faults(FaultSpec::IndependentLoss(p))
+        }
+    }
+
+    /// Installs a fault model (loss, bursty loss, crashes, link outages,
+    /// payload corruption, or a stack of them — see [`crate::faults`]).
+    /// Each run builds a fresh model from this spec, so repeated runs of the
+    /// same engine stay independent and seed-reproducible.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = spec;
         self
     }
 
@@ -231,8 +269,7 @@ impl<'g> Engine<'g> {
                 g.neighbors(v).iter().map(move |&u| {
                     g.neighbors(u as usize)
                         .binary_search(&(v as u32))
-                        .expect("undirected adjacency must be symmetric")
-                        as u32
+                        .expect("undirected adjacency must be symmetric") as u32
                 })
             })
             .collect();
@@ -261,6 +298,14 @@ impl<'g> Engine<'g> {
 
         let mut nodes: Vec<A> = (0..n).map(&make).collect();
 
+        // Fresh fault model per run: stateful models (Markov chains, crash
+        // schedules) re-derive everything from (topology, seed).
+        let mut model = self.faults.build();
+        model.reset(g, self.seed);
+        let mut report = FaultReport::default();
+        // crashed[v] = round v crashed at; crash-stop, so never cleared.
+        let mut crashed: Vec<Option<usize>> = vec![None; n];
+
         // Round 0: init.
         let mut outboxes: Vec<Outbox<A::Msg>> = nodes
             .par_iter_mut()
@@ -276,6 +321,29 @@ impl<'g> Engine<'g> {
                 break;
             }
 
+            // Single-threaded fault bookkeeping: advance per-round model
+            // state, then apply this round's crashes. A node crashing in
+            // round r sends nothing from round r on — its pending outbox
+            // (produced at the end of round r-1) is discarded before
+            // accounting, so crashed nodes are charged no bits.
+            model.begin_round(round);
+            for (v, slot) in crashed.iter_mut().enumerate() {
+                if slot.is_none() && model.crashed(v, round, self.seed) {
+                    *slot = Some(round);
+                    outboxes[v].clear();
+                    report.crashed.push((v, round));
+                    if let Some(t) = &self.trace {
+                        t.record(TraceEvent {
+                            round,
+                            from: v,
+                            port: 0,
+                            bits: 0,
+                            kind: TraceKind::Crash,
+                        });
+                    }
+                }
+            }
+
             // Account traffic + enforce bandwidth for this round's sends.
             let before = stats.total_bits;
             self.account_round(&mut stats, &outboxes, &offsets, round)?;
@@ -283,57 +351,107 @@ impl<'g> Engine<'g> {
             stats.rounds = round;
 
             // Build inboxes: node v collects, from each neighbor u, the
-            // messages u addressed at (the port leading to) v. With failure
-            // injection, each delivery is dropped independently with
-            // probability `loss_rate` (decided by a deterministic hash of
-            // (seed, round, receiver, port, message index) so the run stays
-            // reproducible and thread-safe).
-            let drop_this = |v: usize, p: usize, idx: usize| -> bool {
-                if self.loss_rate <= 0.0 {
-                    return false;
-                }
-                use std::hash::{Hash, Hasher};
-                let mut h = graphlib::hash::FxHasher::default();
-                (self.seed, round, v, p, idx).hash(&mut h);
-                // Map the hash to [0, 1).
-                let x = (h.finish() >> 11) as f64 / (1u64 << 53) as f64;
-                x < self.loss_rate
-            };
-            let inboxes: Vec<Inbox<A::Msg>> = (0..n)
+            // messages u addressed at (the port leading to) v, with the
+            // fault model deciding the fate of every delivery. Fault
+            // randomness is a deterministic function of the engine seed, so
+            // the run stays reproducible and thread-safe; per-receiver
+            // fault counts are reduced after the parallel section.
+            let results: Vec<(Inbox<A::Msg>, u64, u64, u64)> = (0..n)
                 .into_par_iter()
                 .map(|v| {
                     let mut inbox = Vec::new();
+                    let (mut del, mut drp, mut cor) = (0u64, 0u64, 0u64);
+                    let receiver_down = crashed[v].is_some();
                     for (p, &u) in g.neighbors(v).iter().enumerate() {
                         let u = u as usize;
                         let their_port = rev_port[offsets[v] + p] as usize;
                         for (idx, out) in outboxes[u].iter().enumerate() {
-                            match out {
-                                Outgoing::Unicast(q, m) if *q == their_port => {
-                                    if !drop_this(v, p, idx) {
-                                        inbox.push((p, m.clone()));
+                            let m = match out {
+                                Outgoing::Unicast(q, m) if *q == their_port => m,
+                                Outgoing::Broadcast(m) => m,
+                                _ => continue,
+                            };
+                            // Messages to a crashed node are lost.
+                            if receiver_down {
+                                drp += 1;
+                                continue;
+                            }
+                            let ctx = DeliveryCtx {
+                                seed: self.seed,
+                                round,
+                                from: u,
+                                to: v,
+                                to_port: p,
+                                link_slot: offsets[u] + their_port,
+                                msg_index: idx,
+                                bits: m.bit_size(),
+                            };
+                            match model.delivery(&ctx) {
+                                Delivery::Deliver => {
+                                    inbox.push((p, m.clone()));
+                                    del += 1;
+                                }
+                                Delivery::Drop => {
+                                    drp += 1;
+                                    if let Some(t) = &self.trace {
+                                        t.record(TraceEvent {
+                                            round,
+                                            from: u,
+                                            port: p,
+                                            bits: ctx.bits,
+                                            kind: TraceKind::Drop,
+                                        });
                                     }
                                 }
-                                Outgoing::Broadcast(m) => {
-                                    if !drop_this(v, p, idx) {
-                                        inbox.push((p, m.clone()));
+                                Delivery::Corrupt(bit) => {
+                                    let mut damaged = m.clone();
+                                    if damaged.corrupt_bit(bit) {
+                                        cor += 1;
+                                        if let Some(t) = &self.trace {
+                                            t.record(TraceEvent {
+                                                round,
+                                                from: u,
+                                                port: p,
+                                                bits: ctx.bits,
+                                                kind: TraceKind::Corrupt,
+                                            });
+                                        }
+                                    } else {
+                                        // Payload has no materialized wire
+                                        // bits to flip — delivered intact.
+                                        del += 1;
                                     }
+                                    inbox.push((p, damaged));
                                 }
-                                _ => {}
                             }
                         }
                     }
-                    inbox
+                    (inbox, del, drp, cor)
                 })
                 .collect();
 
-            // Step all live nodes.
+            let (mut round_dropped, mut round_corrupted) = (0u64, 0u64);
+            let mut inboxes: Vec<Inbox<A::Msg>> = Vec::with_capacity(n);
+            for (inbox, del, drp, cor) in results {
+                report.delivered += del;
+                round_dropped += drp;
+                round_corrupted += cor;
+                inboxes.push(inbox);
+            }
+            report.dropped += round_dropped;
+            report.corrupted += round_corrupted;
+            report.dropped_per_round.push(round_dropped);
+            report.corrupted_per_round.push(round_corrupted);
+
+            // Step all live (non-halted, non-crashed) nodes.
             outboxes = nodes
                 .par_iter_mut()
                 .zip(contexts.par_iter())
                 .zip(rngs.par_iter_mut())
                 .zip(inboxes.into_par_iter())
-                .map(|(((node, ctx), rng), inbox)| {
-                    if node.halted() {
+                .zip(crashed.par_iter())
+                .map(|((((node, ctx), rng), inbox), down)| {
+                    if node.halted() || down.is_some() {
                         Vec::new()
                     } else {
                         let ctx = NodeContext {
@@ -345,13 +463,17 @@ impl<'g> Engine<'g> {
                 })
                 .collect();
 
-            completed = nodes.iter().all(|nd| nd.halted());
+            completed = nodes
+                .iter()
+                .zip(crashed.iter())
+                .all(|(nd, down)| nd.halted() || down.is_some());
         }
 
         let outcome = RunOutcome {
             decisions: nodes.iter().map(|nd| nd.decision()).collect(),
             stats,
             completed,
+            faults: report,
         };
         Ok((outcome, nodes))
     }
@@ -388,11 +510,12 @@ impl<'g> Engine<'g> {
                         port_bits[*p] += m.bit_size();
                         msgs += 1;
                         if let Some(t) = &self.trace {
-                            t.record(crate::trace::TraceEvent {
+                            t.record(TraceEvent {
                                 round,
                                 from: v,
                                 port: *p,
                                 bits: m.bit_size(),
+                                kind: TraceKind::Send,
                             });
                         }
                     }
@@ -403,11 +526,12 @@ impl<'g> Engine<'g> {
                         }
                         msgs += deg as u64;
                         if let Some(t) = &self.trace {
-                            t.record(crate::trace::TraceEvent {
+                            t.record(TraceEvent {
                                 round,
                                 from: v,
                                 port: usize::MAX,
                                 bits: sz,
+                                kind: TraceKind::Send,
                             });
                         }
                     }
@@ -659,10 +783,11 @@ mod tests {
         // Bits were still charged...
         assert_eq!(out.stats.total_bits, 5 * 2 * 64);
         // ...but nobody heard a larger id, so everyone accepts.
-        assert!(out
-            .decisions
-            .iter()
-            .all(|d| *d == Decision::Accept));
+        assert!(out.decisions.iter().all(|d| *d == Decision::Accept));
+        // The fault report shows the losses instead of hiding them.
+        assert_eq!(out.faults.dropped, 10);
+        assert_eq!(out.faults.delivered, 0);
+        assert!(out.faults.any_faults());
     }
 
     #[test]
@@ -716,8 +841,47 @@ mod tests {
         // Three broadcasts, one trace event each.
         let evs = buf.events();
         assert_eq!(evs.len(), 3);
-        assert!(evs.iter().all(|e| e.port == usize::MAX && e.bits == 64));
+        assert!(evs
+            .iter()
+            .all(|e| e.port == usize::MAX && e.bits == 64 && e.kind == TraceKind::Send));
         assert!(buf.summary().contains("3 sends"));
+    }
+
+    #[test]
+    fn trace_buffer_overflows_gracefully_under_fault_load() {
+        // A 2-event buffer on a clique flood with heavy loss: the engine
+        // emits far more Send + Drop events than fit, and the buffer must
+        // cap its memory while still counting the overflow.
+        let g = generators::clique(5);
+        let buf = crate::trace::TraceBuffer::new(2);
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .faults(FaultSpec::IndependentLoss(0.5))
+            .seed(3)
+            .trace(buf.clone())
+            .run(|_| flood())
+            .unwrap();
+        assert!(out.faults.dropped > 0, "the loss model should have fired");
+        assert_eq!(buf.events().len(), 2);
+        assert!(buf.dropped() > 0);
+        assert!(buf.summary().contains("dropped events"));
+    }
+
+    #[test]
+    fn drop_events_are_traced_with_kind() {
+        let g = generators::path(2);
+        let buf = crate::trace::TraceBuffer::new(100);
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .faults(FaultSpec::IndependentLoss(1.0))
+            .trace(buf.clone())
+            .max_rounds(3)
+            .run(|_| flood())
+            .unwrap();
+        assert_eq!(out.faults.delivered, 0);
+        let drops = buf.events_of(TraceKind::Drop);
+        assert_eq!(drops.len(), out.faults.dropped as usize);
+        assert!(!drops.is_empty());
     }
 
     #[test]
@@ -758,5 +922,225 @@ mod tests {
         let (a, b) = (run(), run());
         assert_eq!(a.decisions, b.decisions);
         assert_eq!(a.stats.total_bits, b.stats.total_bits);
+    }
+
+    #[test]
+    fn hit_round_limit_distinguishes_clean_halt() {
+        let g = generators::cycle(5);
+        let clean = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .run(|_| flood())
+            .unwrap();
+        assert!(clean.completed && !clean.hit_round_limit());
+
+        let g2 = generators::path(2);
+        let cut = Engine::new(&g2)
+            .bandwidth(Bandwidth::Bits(32))
+            .max_rounds(3)
+            .run(|_| PingPong {
+                hops_left: 1000,
+                done: false,
+            })
+            .unwrap();
+        assert!(!cut.completed && cut.hit_round_limit());
+    }
+
+    #[test]
+    fn crash_stop_silences_node_and_is_reported() {
+        use crate::faults::{CrashStop, FaultSpec};
+        // Star center crashes before round 1: no message ever flows, and
+        // every leaf (degree 1, only neighbor dead) hears nothing.
+        let g = generators::star(5); // center 0 + 5 leaves
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .faults(FaultSpec::CrashStop(CrashStop::at(vec![(0, 1)])))
+            .run(|_| flood())
+            .unwrap();
+        // The center's round-0 broadcast is discarded before accounting:
+        // only the 5 leaves are charged for their (lost) broadcasts.
+        assert_eq!(out.stats.total_bits, 5 * 64);
+        assert_eq!(out.faults.crashed, vec![(0, 1)]);
+        assert_eq!(out.faults.crashed_nodes(), vec![0]);
+        // Leaves heard nothing, so all decisions are Accept; node 0 is
+        // crashed so it cannot be a "surviving" rejecter either.
+        assert!(!out.surviving_node_rejects());
+        // The leaves' sends toward the dead center count as dropped.
+        assert_eq!(out.faults.dropped, 5);
+        // Crashed nodes count as halted, so the run still completes.
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn crash_events_traced() {
+        use crate::faults::{CrashStop, FaultSpec};
+        use crate::trace::TraceBuffer;
+        let g = generators::cycle(4);
+        let buf = TraceBuffer::new(100);
+        Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .trace(buf.clone())
+            .faults(FaultSpec::CrashStop(CrashStop::at(vec![(2, 1)])))
+            .run(|_| flood())
+            .unwrap();
+        let crashes = buf.events_of(TraceKind::Crash);
+        assert_eq!(crashes.len(), 1);
+        assert_eq!((crashes[0].from, crashes[0].round), (2, 1));
+        assert!(!buf.events_of(TraceKind::Send).is_empty());
+    }
+
+    #[test]
+    fn link_failure_blocks_exactly_that_edge() {
+        use crate::faults::{FaultSpec, LinkFailure};
+        // Path 0-1-2 with ids 0 < 1 < 2. Fault-free, nodes 0 and 1 reject.
+        // Severing {1, 2} in round 1 hides id 2 from node 1, so only node 0
+        // (which still hears id 1) rejects.
+        let g = generators::path(3);
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .faults(FaultSpec::LinkFailure(LinkFailure::single(1, 2, 1, 1)))
+            .run(|_| flood())
+            .unwrap();
+        assert_eq!(out.decisions[0], Decision::Reject);
+        assert_eq!(out.decisions[1], Decision::Accept);
+        assert_eq!(out.decisions[2], Decision::Accept);
+        // Both directions of the severed edge dropped.
+        assert_eq!(out.faults.dropped, 2);
+        assert_eq!(out.faults.delivered, 2);
+    }
+
+    /// Node 0 broadcasts a fixed 16-bit pattern; every other node rejects
+    /// iff it receives something different (a corruption detector).
+    struct PatternCheck {
+        pattern: u64,
+        corrupted: bool,
+        done: bool,
+    }
+
+    impl NodeAlgorithm for PatternCheck {
+        type Msg = crate::message::BitString;
+
+        fn init(
+            &mut self,
+            ctx: &NodeContext,
+            _rng: &mut ChaCha8Rng,
+        ) -> Outbox<crate::message::BitString> {
+            if ctx.index == 0 {
+                self.done = true;
+                vec![Outgoing::Broadcast(crate::message::BitString::from_uint(
+                    self.pattern,
+                    16,
+                ))]
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn on_round(
+            &mut self,
+            _ctx: &NodeContext,
+            inbox: &Inbox<crate::message::BitString>,
+            _rng: &mut ChaCha8Rng,
+        ) -> Outbox<crate::message::BitString> {
+            for (_, m) in inbox {
+                if m.to_uint() != self.pattern {
+                    self.corrupted = true;
+                }
+            }
+            self.done = true;
+            Vec::new()
+        }
+
+        fn halted(&self) -> bool {
+            self.done
+        }
+
+        fn decision(&self) -> Decision {
+            if self.corrupted {
+                Decision::Reject
+            } else {
+                Decision::Accept
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_corrupts_bitstring_payloads() {
+        use crate::faults::FaultSpec;
+        let g = generators::star(4); // node 0 center, 4 leaves
+        let mk = || PatternCheck {
+            pattern: 0xA5A5,
+            corrupted: false,
+            done: false,
+        };
+        let clean = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .run(|_| mk())
+            .unwrap();
+        assert!(clean.network_accepts());
+        assert_eq!(clean.faults.corrupted, 0);
+
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .seed(11)
+            .faults(FaultSpec::BitFlip(1.0))
+            .run(|_| mk())
+            .unwrap();
+        // Every delivery corrupted: all four leaves see a damaged pattern.
+        assert_eq!(out.faults.corrupted, 4);
+        assert!(out.network_rejects());
+    }
+
+    #[test]
+    fn fault_runs_reproducible_from_seed() {
+        use crate::faults::{CrashStop, FaultSpec};
+        let g = generators::clique(9);
+        // Crashes land in round 1 (the flood only runs one real round).
+        let spec = FaultSpec::Stack(vec![
+            FaultSpec::GilbertElliott(0.2, 0.3, 0.05, 0.9),
+            FaultSpec::CrashStop(CrashStop::random(2, 1)),
+            FaultSpec::BitFlip(0.1),
+        ]);
+        let run = |seed: u64| {
+            Engine::new(&g)
+                .bandwidth(Bandwidth::Bits(64))
+                .seed(seed)
+                .faults(spec.clone())
+                .run(|_| flood())
+                .unwrap()
+        };
+        let (a, b) = (run(13), run(13));
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.stats.total_bits, b.stats.total_bits);
+        assert_eq!(a.faults.crashed_nodes().len(), 2);
+        // A different seed crashes (almost surely) different nodes or at
+        // least produces a different delivery history.
+        let c = run(14);
+        assert!(
+            c.faults != a.faults,
+            "distinct seeds should give distinct fault histories"
+        );
+    }
+
+    #[test]
+    fn per_round_fault_series_match_rounds() {
+        use crate::faults::FaultSpec;
+        let g = generators::clique(6);
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .seed(3)
+            .faults(FaultSpec::IndependentLoss(0.4))
+            .run(|_| flood())
+            .unwrap();
+        assert_eq!(out.faults.dropped_per_round.len(), out.stats.rounds);
+        assert_eq!(out.faults.corrupted_per_round.len(), out.stats.rounds);
+        assert_eq!(
+            out.faults.dropped_per_round.iter().sum::<u64>(),
+            out.faults.dropped
+        );
+        assert_eq!(
+            out.faults.delivered + out.faults.dropped,
+            out.stats.total_messages
+        );
     }
 }

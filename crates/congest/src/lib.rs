@@ -20,14 +20,21 @@
 
 pub mod cliquemodel;
 pub mod engine;
+pub mod faults;
 pub mod identifiers;
 pub mod message;
 pub mod node;
+pub mod reliable;
 pub mod stats;
 pub mod trace;
 
 pub use engine::{Bandwidth, CongestError, Engine, RunOutcome};
+pub use faults::{
+    BitFlip, CrashStop, Delivery, DeliveryCtx, FaultModel, FaultReport, FaultSpec, GilbertElliott,
+    IndependentLoss, LinkFailure, NoFaults, Outage,
+};
 pub use message::{bits_for_domain, BitSize, BitString};
 pub use node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
+pub use reliable::{Reliable, ReliableConfig};
 pub use stats::RunStats;
-pub use trace::{TraceBuffer, TraceEvent};
+pub use trace::{TraceBuffer, TraceEvent, TraceKind};

@@ -11,6 +11,17 @@
 pub trait BitSize {
     /// Exact size of this message in bits.
     fn bit_size(&self) -> usize;
+
+    /// Flips one on-the-wire bit in place (fault injection), returning
+    /// whether the payload actually changed. The default is a no-op
+    /// returning `false`: most message types are structured Rust values
+    /// whose wire encoding is only declared, not materialized, so the
+    /// engine delivers them intact (and counts no corruption). Types that
+    /// carry literal bits (e.g. [`BitString`]) override this.
+    fn corrupt_bit(&mut self, bit_index: usize) -> bool {
+        let _ = bit_index;
+        false
+    }
 }
 
 /// Bits needed to address a value in a domain of the given size
@@ -94,10 +105,7 @@ impl BitString {
     /// The low `width` bits of `value`, most significant first.
     pub fn from_uint(value: u64, width: usize) -> Self {
         assert!(width <= 64);
-        let bits = (0..width)
-            .rev()
-            .map(|i| (value >> i) & 1 == 1)
-            .collect();
+        let bits = (0..width).rev().map(|i| (value >> i) & 1 == 1).collect();
         BitString { bits }
     }
 
@@ -143,6 +151,15 @@ impl BitString {
 impl BitSize for BitString {
     fn bit_size(&self) -> usize {
         self.len()
+    }
+
+    fn corrupt_bit(&mut self, bit_index: usize) -> bool {
+        if self.bits.is_empty() {
+            return false;
+        }
+        let i = bit_index % self.bits.len();
+        self.bits[i] = !self.bits[i];
+        true
     }
 }
 
@@ -198,5 +215,37 @@ mod tests {
         let mut a = BitString::from_uint(0b10, 2);
         a.extend(&BitString::from_uint(0b11, 2));
         assert_eq!(a.to_uint(), 0b1011);
+    }
+
+    #[test]
+    fn corrupt_bit_flips_exactly_one_bit() {
+        let orig = BitString::from_uint(0b1010, 4);
+        let mut c = orig.clone();
+        assert!(c.corrupt_bit(1));
+        assert_ne!(c, orig);
+        let differing = orig
+            .bits()
+            .iter()
+            .zip(c.bits())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(differing, 1);
+        // Flipping the same bit again restores the original.
+        assert!(c.corrupt_bit(1));
+        assert_eq!(c, orig);
+    }
+
+    #[test]
+    fn corrupt_bit_wraps_index_and_handles_empty() {
+        let mut b = BitString::from_uint(0b1, 1);
+        assert!(b.corrupt_bit(7)); // 7 % 1 == 0
+        assert_eq!(b.to_uint(), 0);
+        let mut empty = BitString::new();
+        assert!(!empty.corrupt_bit(3));
+
+        // Structured payloads use the no-op default.
+        let mut x = 5u32;
+        assert!(!x.corrupt_bit(0));
+        assert_eq!(x, 5);
     }
 }

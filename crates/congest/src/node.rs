@@ -66,6 +66,15 @@ pub enum Decision {
 /// The engine drives each node through `init` (round 0, no messages yet)
 /// and then `on_round` once per communication round until every node has
 /// halted or the round limit is reached.
+///
+/// Under fault injection (see [`crate::faults`]) the engine may silently
+/// drop or corrupt individual deliveries, and a crash-stopped node is
+/// frozen: it stops being stepped, its pending outbox is discarded, and
+/// its last `decision()` is *not* treated as protocol output (see
+/// `RunOutcome::surviving_node_rejects`). Implementations should therefore
+/// never rely on a message having arrived to make a *reject* decision —
+/// rejection must be backed by positive evidence that survives lost
+/// messages, or wrapped in the [`crate::Reliable`] transport.
 pub trait NodeAlgorithm: Send {
     /// Message type exchanged by this algorithm.
     type Msg: Clone + Send + Sync + BitSize;

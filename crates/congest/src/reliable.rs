@@ -1,0 +1,706 @@
+//! Reliable transport over a faulty CONGEST network.
+//!
+//! [`Reliable<A>`] wraps any [`NodeAlgorithm`] in a frame-synchronized
+//! ARQ (automatic repeat request) layer: every *virtual* round of the inner
+//! algorithm is transported over `frame_rounds` *physical* engine rounds,
+//! during which each per-port message bundle is sent with a sequence number
+//! and checksum, acknowledged by the receiver, and retransmitted on timeout
+//! up to a bounded retry budget. Drops are repaired by retransmission;
+//! corrupted frames fail their checksum, go unacknowledged, and are
+//! retransmitted too.
+//!
+//! The protocol overhead is charged through the normal engine accounting —
+//! headers, acks, and retransmissions all cost real bits, so [`RunStats`]
+//! of a reliable run reflect the true price of reliability. Per-node
+//! retransmission and give-up counts surface through
+//! [`Reliable::retransmissions`] / [`Reliable::given_up`], and
+//! [`run_reliable`] folds them into the run's
+//! [`FaultReport`](crate::faults::FaultReport).
+//!
+//! Limits: the adapter converts broadcasts into per-port sends, so it
+//! cannot run under a `broadcast_only` engine; it synchronizes on the
+//! global round clock, so it assumes crash-free *clocks* (crashed nodes
+//! simply never ack, which the retry budget bounds); and reliability is
+//! best-effort — a frame whose every transmission is lost is given up, not
+//! blocked on forever (counted in [`Reliable::given_up`]).
+//!
+//! [`RunStats`]: crate::stats::RunStats
+
+use crate::engine::{CongestError, Engine, RunOutcome};
+use crate::message::BitSize;
+use crate::node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
+use rand_chacha::ChaCha8Rng;
+use std::hash::{Hash, Hasher};
+
+/// Wire envelope of the reliable layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RMsg<M> {
+    /// A data frame: every inner message the sender addressed to this port
+    /// in virtual round `vround`, plus a payload checksum.
+    Data {
+        /// Virtual round the bundle belongs to (doubles as sequence number:
+        /// stop-and-wait sends exactly one bundle per port per frame).
+        vround: u32,
+        /// 16-bit checksum over `(vround, payload)`.
+        check: u16,
+        /// The bundled inner messages.
+        payload: Vec<M>,
+    },
+    /// Acknowledges receipt of the `vround` data frame on this link.
+    Ack {
+        /// Virtual round being acknowledged.
+        vround: u32,
+    },
+}
+
+/// Header cost of a data frame in bits: 1 (tag) + 32 (vround) + 16
+/// (checksum) + 8 (bundle length).
+pub const DATA_HEADER_BITS: usize = 1 + 32 + 16 + 8;
+/// Cost of an ack in bits: 1 (tag) + 32 (vround).
+pub const ACK_BITS: usize = 1 + 32;
+
+impl<M: BitSize> BitSize for RMsg<M> {
+    fn bit_size(&self) -> usize {
+        match self {
+            RMsg::Data { payload, .. } => {
+                DATA_HEADER_BITS + payload.iter().map(BitSize::bit_size).sum::<usize>()
+            }
+            RMsg::Ack { .. } => ACK_BITS,
+        }
+    }
+
+    fn corrupt_bit(&mut self, bit_index: usize) -> bool {
+        // The envelope's header fields are literal wire bits, so the
+        // reliable layer is corruptible even when the inner payload is a
+        // structured value: flipping a checksum (or ack sequence) bit is
+        // detected by the receiver (or sender) and repaired by
+        // retransmission — exactly the failure mode ARQ exists for.
+        match self {
+            RMsg::Data { check, .. } => {
+                *check ^= 1 << (bit_index % 16);
+                true
+            }
+            RMsg::Ack { vround } => {
+                *vround ^= 1 << (bit_index % 32);
+                true
+            }
+        }
+    }
+}
+
+fn checksum<M: Hash>(vround: u32, payload: &[M]) -> u16 {
+    let mut h = graphlib::hash::FxHasher::default();
+    vround.hash(&mut h);
+    payload.len().hash(&mut h);
+    for m in payload {
+        m.hash(&mut h);
+    }
+    (h.finish() >> 48) as u16
+}
+
+/// Tuning of the reliable layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliableConfig {
+    /// Physical engine rounds per virtual round (the frame width). Larger
+    /// frames leave room for more retransmission attempts.
+    pub frame_rounds: usize,
+    /// Slots to wait for an ack before retransmitting (at least 2: one slot
+    /// for the data to arrive, one for the ack to return).
+    pub ack_timeout: usize,
+    /// Retransmissions per frame after the initial send.
+    pub max_retries: usize,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            frame_rounds: 12,
+            ack_timeout: 2,
+            max_retries: 4,
+        }
+    }
+}
+
+impl ReliableConfig {
+    /// Validated constructor.
+    pub fn new(frame_rounds: usize, ack_timeout: usize, max_retries: usize) -> Self {
+        assert!(frame_rounds >= 1, "a frame needs at least one slot");
+        assert!(ack_timeout >= 2, "acks take two slots to round-trip");
+        ReliableConfig {
+            frame_rounds,
+            ack_timeout,
+            max_retries,
+        }
+    }
+
+    /// Engine bandwidth needed to carry `inner_bits` of inner per-port
+    /// traffic per virtual round (the worst slot carries one full data
+    /// frame plus one ack).
+    pub fn required_bandwidth(&self, inner_bits: usize) -> usize {
+        DATA_HEADER_BITS + inner_bits + ACK_BITS
+    }
+
+    /// Physical engine rounds needed for `virtual_rounds` inner rounds.
+    pub fn physical_rounds(&self, virtual_rounds: usize) -> usize {
+        self.frame_rounds * (virtual_rounds + 1)
+    }
+}
+
+/// Per-port sender state for the current frame.
+#[derive(Debug, Clone)]
+struct OutFrame<M> {
+    vround: u32,
+    check: u16,
+    payload: Vec<M>,
+    /// Slot of the last transmission, or `None` before the initial send
+    /// (which happens at the previous frame boundary, slot `-1` in effect).
+    last_sent: Option<usize>,
+    retries_left: usize,
+    acked: bool,
+}
+
+/// A [`NodeAlgorithm`] adapter adding sequence numbers, acknowledgements,
+/// and bounded retransmission on top of any inner algorithm (see the
+/// module docs for the protocol).
+#[derive(Clone)]
+pub struct Reliable<A: NodeAlgorithm> {
+    inner: A,
+    cfg: ReliableConfig,
+    /// Sender state, per port.
+    out_pending: Vec<Option<OutFrame<A::Msg>>>,
+    /// Receiver state, per port: the bundle accepted for the current frame.
+    in_got: Vec<Option<Vec<A::Msg>>>,
+    retransmissions: u64,
+    given_up: u64,
+}
+
+impl<A: NodeAlgorithm> Reliable<A>
+where
+    A::Msg: Hash,
+{
+    /// Wraps `inner` with the given transport tuning.
+    pub fn new(inner: A, cfg: ReliableConfig) -> Self {
+        Reliable {
+            inner,
+            cfg,
+            out_pending: Vec::new(),
+            in_got: Vec::new(),
+            retransmissions: 0,
+            given_up: 0,
+        }
+    }
+
+    /// The wrapped algorithm.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Unwraps the inner algorithm.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+
+    /// Data frames this node retransmitted.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Frames never acknowledged by their frame boundary (delivery
+    /// unconfirmed; the data may still have arrived if only acks were
+    /// lost).
+    pub fn given_up(&self) -> u64 {
+        self.given_up
+    }
+
+    /// Splits an inner outbox into per-port bundles and emits the initial
+    /// transmissions (called at a frame boundary, so they arrive in slot 0
+    /// of the next frame).
+    fn queue_and_send(
+        &mut self,
+        inner_out: Outbox<A::Msg>,
+        vround: u32,
+        out: &mut Outbox<RMsg<A::Msg>>,
+    ) {
+        let ports = self.out_pending.len();
+        let mut bundles: Vec<Vec<A::Msg>> = vec![Vec::new(); ports];
+        for og in inner_out {
+            match og {
+                Outgoing::Unicast(p, m) => bundles[p].push(m),
+                Outgoing::Broadcast(m) => {
+                    for b in bundles.iter_mut() {
+                        b.push(m.clone());
+                    }
+                }
+            }
+        }
+        for (p, payload) in bundles.into_iter().enumerate() {
+            if payload.is_empty() {
+                self.out_pending[p] = None;
+                continue;
+            }
+            let check = checksum(vround, &payload);
+            out.push(Outgoing::Unicast(
+                p,
+                RMsg::Data {
+                    vround,
+                    check,
+                    payload: payload.clone(),
+                },
+            ));
+            self.out_pending[p] = Some(OutFrame {
+                vround,
+                check,
+                payload,
+                last_sent: None,
+                retries_left: self.cfg.max_retries,
+                acked: false,
+            });
+        }
+    }
+}
+
+impl<A: NodeAlgorithm> NodeAlgorithm for Reliable<A>
+where
+    A::Msg: Hash,
+{
+    type Msg = RMsg<A::Msg>;
+
+    fn init(&mut self, ctx: &NodeContext, rng: &mut ChaCha8Rng) -> Outbox<Self::Msg> {
+        let ports = ctx.neighbor_ids.len();
+        self.out_pending = vec![None; ports];
+        self.in_got = vec![None; ports];
+        let inner_out = self.inner.init(ctx, rng);
+        let mut out = Vec::new();
+        self.queue_and_send(inner_out, 1, &mut out);
+        out
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        inbox: &Inbox<Self::Msg>,
+        rng: &mut ChaCha8Rng,
+    ) -> Outbox<Self::Msg> {
+        let w = self.cfg.frame_rounds;
+        let slot = (ctx.round - 1) % w;
+        let vround = ((ctx.round - 1) / w + 1) as u32;
+        let last_slot = w - 1;
+        let mut out: Outbox<Self::Msg> = Vec::new();
+
+        // 1. Process arrivals: accept checksum-valid data for the current
+        //    frame (acking duplicates too — our earlier ack may have been
+        //    lost), and mark acked sender frames.
+        for (p, msg) in inbox {
+            match msg {
+                RMsg::Data {
+                    vround: vr,
+                    check,
+                    payload,
+                } => {
+                    if *vr == vround && *check == checksum(*vr, payload) {
+                        if self.in_got[*p].is_none() {
+                            self.in_got[*p] = Some(payload.clone());
+                        }
+                        // No acks in the last slot: the sender's frame is
+                        // finished either way, and a late ack would leak
+                        // into the next frame.
+                        if slot < last_slot {
+                            out.push(Outgoing::Unicast(*p, RMsg::Ack { vround: *vr }));
+                        }
+                    }
+                    // Checksum mismatch or stale frame: stay silent; the
+                    // sender's timeout handles it.
+                }
+                RMsg::Ack { vround: vr } => {
+                    if let Some(f) = &mut self.out_pending[*p] {
+                        if f.vround == *vr {
+                            f.acked = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Retransmit timed-out frames (never in the last slot — those
+        //    sends could not be acked in time anyway).
+        if slot < last_slot {
+            for (p, pending) in self.out_pending.iter_mut().enumerate() {
+                if let Some(f) = pending {
+                    if f.acked || f.retries_left == 0 {
+                        continue;
+                    }
+                    // The initial send left at the previous frame boundary
+                    // and arrived in slot 0, so its ack is due in slot
+                    // `ack_timeout - 1`; a retransmission in slot `s`
+                    // arrives in `s + 1` with the ack due `ack_timeout`
+                    // later.
+                    let due = match f.last_sent {
+                        None => self.cfg.ack_timeout - 1,
+                        Some(s) => s + self.cfg.ack_timeout,
+                    };
+                    if slot >= due {
+                        out.push(Outgoing::Unicast(
+                            p,
+                            RMsg::Data {
+                                vround: f.vround,
+                                check: f.check,
+                                payload: f.payload.clone(),
+                            },
+                        ));
+                        f.last_sent = Some(slot);
+                        f.retries_left -= 1;
+                        self.retransmissions += 1;
+                    }
+                }
+            }
+        }
+
+        // 3. Frame boundary: close out the transport state and run one
+        //    virtual round of the inner algorithm.
+        if slot == last_slot {
+            for pending in self.out_pending.iter_mut() {
+                if let Some(f) = pending.take() {
+                    if !f.acked {
+                        self.given_up += 1;
+                    }
+                }
+            }
+            let mut vinbox: Inbox<A::Msg> = Vec::new();
+            for (p, got) in self.in_got.iter_mut().enumerate() {
+                if let Some(bundle) = got.take() {
+                    for m in bundle {
+                        vinbox.push((p, m));
+                    }
+                }
+            }
+            if !self.inner.halted() {
+                let vctx = NodeContext {
+                    round: vround as usize,
+                    ..ctx.clone()
+                };
+                let inner_out = self.inner.on_round(&vctx, &vinbox, rng);
+                self.queue_and_send(inner_out, vround + 1, &mut out);
+            }
+        }
+
+        out
+    }
+
+    fn halted(&self) -> bool {
+        self.inner.halted() && self.out_pending.iter().all(Option::is_none)
+    }
+
+    fn decision(&self) -> Decision {
+        self.inner.decision()
+    }
+}
+
+/// Runs `make(v)`-constructed nodes under the reliable transport, folding
+/// the per-node retransmission / give-up counts into the outcome's
+/// [`FaultReport`](crate::faults::FaultReport) and unwrapping the final
+/// inner states.
+pub fn run_reliable<A, F>(
+    engine: &Engine<'_>,
+    cfg: ReliableConfig,
+    make: F,
+) -> Result<(RunOutcome, Vec<A>), CongestError>
+where
+    A: NodeAlgorithm,
+    A::Msg: Hash,
+    F: Fn(usize) -> A + Sync,
+{
+    let (mut outcome, nodes) = engine.run_nodes(|v| Reliable::new(make(v), cfg))?;
+    outcome.faults.retransmissions = nodes.iter().map(Reliable::retransmissions).sum();
+    outcome.faults.given_up = nodes.iter().map(Reliable::given_up).sum();
+    Ok((
+        outcome,
+        nodes.into_iter().map(Reliable::into_inner).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Bandwidth, Engine};
+    use crate::faults::FaultSpec;
+    use graphlib::generators;
+
+    /// Each node broadcasts its id for `depth` virtual rounds, collecting
+    /// the set of ids heard; rejects iff it heard every other id. On a
+    /// path, hearing everyone requires `n - 1` relay rounds to succeed
+    /// end-to-end — a protocol that is very fragile under loss.
+    #[derive(Debug, Clone)]
+    struct Gossip {
+        heard: Vec<u64>,
+        rounds_left: usize,
+        n: usize,
+        done: bool,
+    }
+
+    impl Gossip {
+        fn new(n: usize) -> Self {
+            Gossip {
+                heard: Vec::new(),
+                rounds_left: 2 * n,
+                n,
+                done: false,
+            }
+        }
+
+        fn absorb(&mut self, id: u64) {
+            if !self.heard.contains(&id) {
+                self.heard.push(id);
+            }
+        }
+    }
+
+    impl NodeAlgorithm for Gossip {
+        type Msg = Vec<u64>;
+
+        fn init(&mut self, ctx: &NodeContext, _rng: &mut ChaCha8Rng) -> Outbox<Vec<u64>> {
+            self.absorb(ctx.id);
+            vec![Outgoing::Broadcast(self.heard.clone())]
+        }
+
+        fn on_round(
+            &mut self,
+            _ctx: &NodeContext,
+            inbox: &Inbox<Vec<u64>>,
+            _rng: &mut ChaCha8Rng,
+        ) -> Outbox<Vec<u64>> {
+            for (_, ids) in inbox {
+                for &id in ids {
+                    self.absorb(id);
+                }
+            }
+            self.rounds_left -= 1;
+            if self.rounds_left == 0 {
+                self.done = true;
+                return Vec::new();
+            }
+            vec![Outgoing::Broadcast(self.heard.clone())]
+        }
+
+        fn halted(&self) -> bool {
+            self.done
+        }
+
+        fn decision(&self) -> Decision {
+            if self.heard.len() == self.n {
+                Decision::Reject // "heard everyone" is the detection event
+            } else {
+                Decision::Accept
+            }
+        }
+    }
+
+    fn gossip_engine(g: &graphlib::Graph, cfg: ReliableConfig, n: usize) -> Engine<'_> {
+        Engine::new(g)
+            .bandwidth(Bandwidth::Bits(cfg.required_bandwidth(64 * n)))
+            .max_rounds(cfg.physical_rounds(2 * n + 1))
+    }
+
+    #[test]
+    fn lossless_reliable_matches_bare_run() {
+        let n = 5;
+        let g = generators::path(n);
+        let cfg = ReliableConfig::default();
+        let bare = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64 * n))
+            .run(|_| Gossip::new(n))
+            .unwrap();
+        let (rel, nodes) =
+            run_reliable(&gossip_engine(&g, cfg, n), cfg, |_| Gossip::new(n)).unwrap();
+        assert_eq!(bare.decisions, rel.decisions);
+        assert!(nodes.iter().all(|nd| nd.heard.len() == n));
+        assert_eq!(rel.faults.retransmissions, 0);
+        assert!(rel.completed);
+    }
+
+    #[test]
+    fn reliable_charges_header_overhead() {
+        let n = 3;
+        let g = generators::path(n);
+        let cfg = ReliableConfig::default();
+        let bare = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64 * n))
+            .run(|_| Gossip::new(n))
+            .unwrap();
+        let (rel, _) = run_reliable(&gossip_engine(&g, cfg, n), cfg, |_| Gossip::new(n)).unwrap();
+        assert!(
+            rel.stats.total_bits > bare.stats.total_bits,
+            "headers and acks must cost bits: {} vs {}",
+            rel.stats.total_bits,
+            bare.stats.total_bits
+        );
+    }
+
+    /// A single-shot relay along a path: node 0 launches a token, every
+    /// inner node forwards it exactly once, the last node rejects on
+    /// receipt. One lost hop kills the whole run — the most fragile
+    /// protocol possible, and exactly what ARQ exists to repair.
+    #[derive(Debug, Clone)]
+    struct Relay {
+        forwarded: bool,
+        got: bool,
+        done: bool,
+    }
+
+    impl Relay {
+        fn new() -> Self {
+            Relay {
+                forwarded: false,
+                got: false,
+                done: false,
+            }
+        }
+    }
+
+    impl NodeAlgorithm for Relay {
+        type Msg = u8;
+
+        fn init(&mut self, ctx: &NodeContext, _rng: &mut ChaCha8Rng) -> Outbox<u8> {
+            if ctx.index == 0 {
+                self.done = true;
+                vec![Outgoing::Unicast(0, 1)]
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn on_round(
+            &mut self,
+            ctx: &NodeContext,
+            inbox: &Inbox<u8>,
+            _rng: &mut ChaCha8Rng,
+        ) -> Outbox<u8> {
+            if self.done || inbox.is_empty() {
+                return Vec::new();
+            }
+            self.done = true;
+            // Path adjacency is sorted, so the port toward the higher
+            // neighbor is the last one; a degree-1 non-zero node is the
+            // end of the line.
+            if ctx.degree() == 1 {
+                self.got = true;
+                Vec::new()
+            } else {
+                self.forwarded = true;
+                vec![Outgoing::Unicast(1, 1)]
+            }
+        }
+
+        fn halted(&self) -> bool {
+            self.done
+        }
+
+        fn decision(&self) -> Decision {
+            if self.got {
+                Decision::Reject
+            } else {
+                Decision::Accept
+            }
+        }
+    }
+
+    #[test]
+    fn reliable_recovers_relay_under_loss() {
+        let n = 6;
+        let g = generators::path(n);
+        let loss = FaultSpec::IndependentLoss(0.3);
+        // Bare run under 30% loss: the token must survive 5 independent
+        // hops (P ≈ 0.17); verify this seed actually breaks it.
+        let bare = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(8))
+            .max_rounds(4 * n)
+            .seed(5)
+            .faults(loss.clone())
+            .run(|_| Relay::new())
+            .unwrap();
+        assert!(
+            !bare.network_rejects(),
+            "seed 5 should break the bare run (got {:?})",
+            bare.decisions
+        );
+
+        let cfg = ReliableConfig::default();
+        let engine = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(cfg.required_bandwidth(8)))
+            .max_rounds(cfg.physical_rounds(2 * n))
+            .seed(5)
+            .faults(loss);
+        let (rel, _) = run_reliable(&engine, cfg, |_| Relay::new()).unwrap();
+        assert!(
+            rel.network_rejects(),
+            "reliable transport should repair the relay: {}",
+            rel.faults.summary()
+        );
+        assert!(rel.faults.retransmissions > 0);
+        assert!(rel.completed, "all nodes should halt once the token lands");
+    }
+
+    #[test]
+    fn reliable_survives_corruption() {
+        let n = 4;
+        let g = generators::path(n);
+        let cfg = ReliableConfig::default();
+        // Corrupt 30% of frames: checksums catch them, retransmits repair.
+        let engine = gossip_engine(&g, cfg, n)
+            .seed(2)
+            .faults(FaultSpec::BitFlip(0.3));
+        let (rel, nodes) = run_reliable(&engine, cfg, |_| Gossip::new(n)).unwrap();
+        assert!(rel.network_rejects(), "{}", rel.faults.summary());
+        assert!(nodes.iter().all(|nd| nd.heard.len() == n));
+        assert!(rel.faults.corrupted > 0, "{}", rel.faults.summary());
+        assert!(rel.faults.retransmissions > 0);
+    }
+
+    #[test]
+    fn reliable_run_is_seed_deterministic() {
+        let n = 5;
+        let g = generators::path(n);
+        let cfg = ReliableConfig::default();
+        let run = || {
+            let engine = gossip_engine(&g, cfg, n)
+                .seed(77)
+                .faults(FaultSpec::IndependentLoss(0.25));
+            run_reliable(&engine, cfg, |_| Gossip::new(n)).unwrap().0
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.stats.total_bits, b.stats.total_bits);
+    }
+
+    #[test]
+    fn rmsg_bit_sizes_are_exact() {
+        let data: RMsg<u64> = RMsg::Data {
+            vround: 1,
+            check: 0,
+            payload: vec![7, 8],
+        };
+        assert_eq!(data.bit_size(), DATA_HEADER_BITS + 128);
+        let ack: RMsg<u64> = RMsg::Ack { vround: 1 };
+        assert_eq!(ack.bit_size(), ACK_BITS);
+    }
+
+    #[test]
+    fn corrupted_data_fails_checksum() {
+        let payload = vec![1u64, 2, 3];
+        let check = checksum(4, &payload);
+        let mut msg: RMsg<u64> = RMsg::Data {
+            vround: 4,
+            check,
+            payload,
+        };
+        assert!(msg.corrupt_bit(9));
+        match msg {
+            RMsg::Data {
+                vround,
+                check,
+                payload,
+            } => assert_ne!(check, checksum(vround, &payload)),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,4 +1,12 @@
 //! Traffic and round accounting for simulator runs.
+//!
+//! Accounting is charged at *send* time: a message dropped or corrupted by
+//! a fault model (see [`crate::faults`]) still cost its sender the declared
+//! bits — they were put on the wire. Likewise the [`crate::Reliable`]
+//! transport's headers, acks, and retransmissions all land in these
+//! counters, so the price of recovery is measurable, not hidden. Fault
+//! outcomes themselves (drops, corruptions, crashes, retransmission
+//! counts) are tallied separately in [`crate::FaultReport`].
 
 use graphlib::Graph;
 

@@ -8,17 +8,34 @@
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// One traced send.
+/// What a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceKind {
+    /// A message was sent (and delivered unless a fault event follows).
+    #[default]
+    Send,
+    /// A message was dropped in flight by the fault model.
+    Drop,
+    /// A message was delivered with seeded bit corruption.
+    Corrupt,
+    /// A node crashed (crash-stop); `from` is the crashed node, `port` and
+    /// `bits` are zero.
+    Crash,
+}
+
+/// One traced send or fault event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Round of the send (messages are delivered in this round).
     pub round: usize,
-    /// Sending node index.
+    /// Sending node index (for [`TraceKind::Crash`], the crashed node).
     pub from: usize,
     /// Port the message left on (`usize::MAX` for broadcast).
     pub port: usize,
     /// Message size in bits.
     pub bits: usize,
+    /// What happened to the message (or node).
+    pub kind: TraceKind,
 }
 
 /// A bounded, thread-safe event buffer (node steps run on rayon workers).
@@ -65,6 +82,14 @@ impl TraceBuffer {
         self.inner.lock().dropped
     }
 
+    /// Events of one [`TraceKind`] only (e.g. every drop or crash).
+    pub fn events_of(&self, kind: TraceKind) -> Vec<TraceEvent> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.kind == kind)
+            .collect()
+    }
+
     /// Renders a compact per-round summary (`round: sends / bits`).
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
@@ -100,16 +125,21 @@ impl TraceBuffer {
 mod tests {
     use super::*;
 
+    fn send(round: usize, from: usize, port: usize, bits: usize) -> TraceEvent {
+        TraceEvent {
+            round,
+            from,
+            port,
+            bits,
+            kind: TraceKind::Send,
+        }
+    }
+
     #[test]
     fn records_until_capacity() {
         let t = TraceBuffer::new(2);
         for round in 1..=3 {
-            t.record(TraceEvent {
-                round,
-                from: 0,
-                port: 0,
-                bits: 8,
-            });
+            t.record(send(round, 0, 0, 8));
         }
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.dropped(), 1);
@@ -118,18 +148,8 @@ mod tests {
     #[test]
     fn events_sorted_by_round() {
         let t = TraceBuffer::new(10);
-        t.record(TraceEvent {
-            round: 2,
-            from: 1,
-            port: 0,
-            bits: 4,
-        });
-        t.record(TraceEvent {
-            round: 1,
-            from: 0,
-            port: usize::MAX,
-            bits: 8,
-        });
+        t.record(send(2, 1, 0, 4));
+        t.record(send(1, 0, usize::MAX, 8));
         let evs = t.events();
         assert_eq!(evs[0].round, 1);
         assert_eq!(evs[1].round, 2);
@@ -139,14 +159,39 @@ mod tests {
     fn summary_aggregates_per_round() {
         let t = TraceBuffer::new(10);
         for from in 0..3 {
-            t.record(TraceEvent {
-                round: 1,
-                from,
-                port: 0,
-                bits: 8,
-            });
+            t.record(send(1, from, 0, 8));
         }
         let s = t.summary();
         assert!(s.contains("round 1: 3 sends, 24 bits"), "{s}");
+    }
+
+    #[test]
+    fn events_of_filters_by_kind() {
+        let t = TraceBuffer::new(10);
+        t.record(send(1, 0, 0, 8));
+        t.record(TraceEvent {
+            round: 1,
+            from: 1,
+            port: 0,
+            bits: 8,
+            kind: TraceKind::Drop,
+        });
+        t.record(TraceEvent {
+            round: 2,
+            from: 2,
+            port: 0,
+            bits: 0,
+            kind: TraceKind::Crash,
+        });
+        assert_eq!(t.events_of(TraceKind::Send).len(), 1);
+        assert_eq!(t.events_of(TraceKind::Drop).len(), 1);
+        let crashes = t.events_of(TraceKind::Crash);
+        assert_eq!(crashes.len(), 1);
+        assert_eq!(crashes[0].from, 2);
+    }
+
+    #[test]
+    fn default_kind_is_send() {
+        assert_eq!(TraceKind::default(), TraceKind::Send);
     }
 }

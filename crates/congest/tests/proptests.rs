@@ -1,8 +1,8 @@
 //! Property-based tests of the simulators' accounting invariants.
 
 use congest::{
-    bits_for_domain, Bandwidth, BitString, Decision, Engine, Inbox, NodeAlgorithm, NodeContext,
-    Outbox, Outgoing,
+    bits_for_domain, Bandwidth, BitSize, BitString, CrashStop, Decision, Engine, FaultSpec, Inbox,
+    NodeAlgorithm, NodeContext, Outbox, Outgoing,
 };
 use graphlib::{generators, Graph};
 use proptest::prelude::*;
@@ -133,5 +133,62 @@ proptest! {
         if x.is_prefix_of(&y) {
             prop_assert_eq!(x, y);
         }
+    }
+
+    #[test]
+    fn bitstring_single_bit_corruption_is_detectable_and_invertible(
+        value in any::<u64>(),
+        width in 1usize..64,
+        bit in any::<usize>(),
+    ) {
+        let masked = value & ((1u64 << width) - 1);
+        let orig = BitString::from_uint(masked, width);
+        let mut c = orig.clone();
+        prop_assert!(c.corrupt_bit(bit), "non-empty strings must corrupt");
+        // Detectable: the corrupted string differs in exactly one position,
+        // so any parity bit over the payload catches it.
+        let hamming = orig.bits().iter().zip(c.bits()).filter(|(a, b)| a != b).count();
+        prop_assert_eq!(hamming, 1);
+        prop_assert_ne!(c.to_uint(), masked);
+        // Invertible: flipping the same wire bit restores the original —
+        // corruption is an involution, not data loss.
+        prop_assert!(c.corrupt_bit(bit));
+        prop_assert_eq!(c.to_uint(), masked);
+        prop_assert_eq!(c.bit_size(), width);
+    }
+
+    #[test]
+    fn fault_streams_replay_byte_for_byte_from_seed(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        which in 0usize..5,
+        p in 0.0f64..0.9,
+        q in 0.05f64..0.9,
+    ) {
+        let spec = match which {
+            0 => FaultSpec::IndependentLoss(p),
+            1 => FaultSpec::GilbertElliott(p, q, p / 2.0, q),
+            2 => FaultSpec::CrashStop(CrashStop::random(1, 2)),
+            3 => FaultSpec::BitFlip(p),
+            _ => FaultSpec::Stack(vec![
+                FaultSpec::IndependentLoss(p / 2.0),
+                FaultSpec::BitFlip(q),
+            ]),
+        };
+        let run = || Engine::new(&g)
+            .seed(seed)
+            .bandwidth(Bandwidth::Bits(8))
+            .faults(spec.clone())
+            .max_rounds(8)
+            .run(|_| Chatter { rounds: 3, payload_bits: 8, done: false })
+            .unwrap();
+        let (a, b) = (run(), run());
+        prop_assert_eq!(&a.faults, &b.faults, "fault streams must be a pure function of the seed");
+        prop_assert_eq!(a.stats.total_bits, b.stats.total_bits);
+        prop_assert_eq!(a.stats.rounds, b.stats.rounds);
+        prop_assert_eq!(a.decisions, b.decisions);
+        // Conservation: per-round series account for every counted fault.
+        prop_assert_eq!(a.faults.dropped_per_round.iter().sum::<u64>(), a.faults.dropped);
+        prop_assert_eq!(a.faults.corrupted_per_round.iter().sum::<u64>(), a.faults.corrupted);
     }
 }

@@ -100,11 +100,8 @@ impl CliqueDetectNode {
         // Build the induced known graph on my neighbors.
         let mut nbrs: Vec<u64> = self.my_nbrs.iter().copied().collect();
         nbrs.sort_unstable();
-        let index: FxHashMap<u64, usize> = nbrs
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| (id, i))
-            .collect();
+        let index: FxHashMap<u64, usize> =
+            nbrs.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         let mut b = GraphBuilder::new(nbrs.len());
         for (u, set) in &self.known {
             let Some(&iu) = index.get(u) else { continue };
@@ -118,8 +115,7 @@ impl CliqueDetectNode {
         graphlib::cliques::list_ksub(&local, self.s - 1, cap)
             .into_iter()
             .map(|c| {
-                let mut ids: Vec<u64> =
-                    c.iter().map(|&i| nbrs[i as usize]).collect();
+                let mut ids: Vec<u64> = c.iter().map(|&i| nbrs[i as usize]).collect();
                 ids.push(ctx.id);
                 ids.sort_unstable();
                 ids

@@ -84,10 +84,7 @@ impl Detector {
             return Detector::Clique { s: n };
         }
         // Tree?
-        if (1..=64).contains(&n)
-            && h.m() == n - 1
-            && graphlib::components::is_connected(h)
-        {
+        if (1..=64).contains(&n) && h.m() == n - 1 && graphlib::components::is_connected(h) {
             return Detector::Tree {
                 pattern: TreePattern::from_graph(h, 0),
                 repetitions: crate::tree::tree_reps(n),

@@ -24,9 +24,10 @@
 //! at an extra `O(log n)` factor; we implement the randomized version and
 //! expose the repetition count instead.
 
+use congest::reliable::run_reliable;
 use congest::{
-    bits_for_domain, Bandwidth, BitSize, CongestError, Decision, Engine, Inbox, NodeAlgorithm,
-    NodeContext, Outbox, Outgoing,
+    bits_for_domain, Bandwidth, BitSize, CongestError, Decision, Engine, FaultReport, FaultSpec,
+    Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing, ReliableConfig,
 };
 use graphlib::decomposition::layer_budget;
 use graphlib::turan::even_cycle_edge_bound;
@@ -314,10 +315,14 @@ impl NodeAlgorithm for ColorBfsNode {
 /// Phase II message.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum P2Msg {
-    /// "I participate in Phase II" (low-degree node), sent once at init.
+    /// "I am still unassigned" — an alive beacon active nodes rebroadcast
+    /// every peeling round until they take a layer. Counting fresh beacons
+    /// per round (instead of decrementing on retirement notices) keeps the
+    /// peel *sound under message loss*: a lost beacon can only make
+    /// neighbors retire earlier, never strand a node without a layer, so
+    /// fault injection cannot trigger the density-certificate rejection on
+    /// an `H`-free graph.
     Active,
-    /// "I was assigned a layer this round" (peeling retirement).
-    Retire,
     /// A color-0 node announcing `(id, layer)` — the paper's step (1).
     Zero {
         /// Originating node id.
@@ -348,7 +353,7 @@ pub enum P2Msg {
 impl BitSize for P2Msg {
     fn bit_size(&self) -> usize {
         match self {
-            P2Msg::Active | P2Msg::Retire => 1,
+            P2Msg::Active => 1,
             P2Msg::Zero { bits, .. } | P2Msg::Prefix { bits, .. } => *bits as usize,
         }
     }
@@ -370,7 +375,6 @@ pub struct LayerPrefixNode {
     sched: Schedule,
     color: u16,
     active: bool,
-    live_nbrs: usize,
     layer: Option<u32>,
     queue: VecDeque<HeldPrefix>,
     /// Midpoint bookkeeping: origins seen with an increasing / decreasing
@@ -388,7 +392,6 @@ impl LayerPrefixNode {
             sched,
             color: 0,
             active: false,
-            live_nbrs: 0,
             layer: None,
             queue: VecDeque::new(),
             incr_origins: graphlib::FxHashSet::default(),
@@ -420,8 +423,7 @@ impl LayerPrefixNode {
     }
 
     fn emit_prefix(&self, ctx: &NodeContext, p: &HeldPrefix) -> P2Msg {
-        let bits =
-            self.id_bits(ctx.n) * (1 + p.interior.len() as u32) + self.layer_bits() + 1 + 3;
+        let bits = self.id_bits(ctx.n) * (1 + p.interior.len() as u32) + self.layer_bits() + 1 + 3;
         P2Msg::Prefix {
             origin: p.origin,
             origin_layer: p.origin_layer,
@@ -460,15 +462,13 @@ impl NodeAlgorithm for LayerPrefixNode {
         let k = s.k as u16;
 
         // --- Ingest messages ---
+        // Beacons received this round come from neighbors still unassigned
+        // after the previous round; they are counted fresh every round.
+        let mut alive = 0usize;
         for (port, msg) in inbox {
             match msg {
                 P2Msg::Active => {
-                    if round == 1 {
-                        self.live_nbrs += 1;
-                    }
-                }
-                P2Msg::Retire => {
-                    self.live_nbrs = self.live_nbrs.saturating_sub(1);
+                    alive += 1;
                 }
                 P2Msg::Zero { origin, layer, .. } => {
                     // Step (2): colors 1 and 2k-1 pick up length-1 prefixes
@@ -539,13 +539,18 @@ impl NodeAlgorithm for LayerPrefixNode {
         // --- Layering rounds ---
         if round <= s.peel_rounds {
             let mut out: Outbox<P2Msg> = Vec::new();
-            if self.active && self.layer.is_none() && self.live_nbrs <= s.peel_threshold {
-                // Assign immediately and retire in the same round, so
-                // neighbors see the updated live-degree next step — this is
-                // exactly the synchronous peel of
-                // `graphlib::decomposition::peel_layers`.
-                self.layer = Some((round - 1) as u32);
-                out.push(Outgoing::Broadcast(P2Msg::Retire));
+            if self.active && self.layer.is_none() {
+                if alive <= s.peel_threshold {
+                    // Assign and stop beaconing in the same round, so
+                    // neighbors see the reduced live-degree next step — this
+                    // is exactly the synchronous peel of
+                    // `graphlib::decomposition::peel_layers`. Under message
+                    // loss the count can only shrink, so faults accelerate
+                    // retirement instead of blocking it.
+                    self.layer = Some((round - 1) as u32);
+                } else if round < s.peel_rounds {
+                    out.push(Outgoing::Broadcast(P2Msg::Active));
+                }
             }
             return out;
         }
@@ -704,11 +709,7 @@ pub fn theorem_bound(n: usize, k: usize) -> f64 {
 
 /// Runs *only Phase I* for one repetition — the ablation half that covers
 /// cycles through high-degree nodes and nothing else.
-pub fn run_phase1_once(
-    g: &Graph,
-    cfg: &EvenCycleConfig,
-    rep: u64,
-) -> Result<bool, CongestError> {
+pub fn run_phase1_once(g: &Graph, cfg: &EvenCycleConfig, rep: u64) -> Result<bool, CongestError> {
     let sched = Schedule::derive(g.n(), cfg.k, cfg.edge_bound_override);
     let bandwidth = Bandwidth::Bits(sched.required_bandwidth.max(8));
     let s = sched.clone();
@@ -722,11 +723,7 @@ pub fn run_phase1_once(
 
 /// Runs *only Phase II* for one repetition — the ablation half that covers
 /// cycles among low-degree nodes and nothing else.
-pub fn run_phase2_once(
-    g: &Graph,
-    cfg: &EvenCycleConfig,
-    rep: u64,
-) -> Result<bool, CongestError> {
+pub fn run_phase2_once(g: &Graph, cfg: &EvenCycleConfig, rep: u64) -> Result<bool, CongestError> {
     let sched = Schedule::derive(g.n(), cfg.k, cfg.edge_bound_override);
     let bandwidth = Bandwidth::Bits(sched.required_bandwidth.max(8));
     let s = sched.clone();
@@ -736,6 +733,144 @@ pub fn run_phase2_once(
         .max_rounds(sched.r2_rounds + 2)
         .run(move |_| LayerPrefixNode::new(s.clone()))?;
     Ok(out.network_rejects())
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injected driver
+// ---------------------------------------------------------------------------
+
+/// Result of running the even-cycle detector under injected faults.
+#[derive(Debug, Clone)]
+pub struct FaultyEvenCycleReport {
+    /// Whether any repetition ended with a *surviving* node rejecting
+    /// (crashed nodes' frozen decisions are not protocol output).
+    pub detected: bool,
+    /// Repetitions actually executed (stops early on detection).
+    pub repetitions_run: usize,
+    /// Total physical rounds across all executed phases and repetitions
+    /// (with a reliable transport this counts transport rounds, not
+    /// virtual algorithm rounds).
+    pub total_rounds: usize,
+    /// Total bits across all executed phases and repetitions, including
+    /// sequence-number/ack/checksum overhead when a transport is used.
+    pub total_bits: u64,
+    /// Fault counters aggregated over every executed engine run.
+    pub faults: FaultReport,
+    /// The derived schedule (round budgets, thresholds).
+    pub schedule: Schedule,
+}
+
+/// One phase under a fault spec, bare or behind the reliable transport.
+fn run_phase_faulty<A, F>(
+    g: &Graph,
+    inner_bandwidth: usize,
+    seed: u64,
+    inner_rounds: usize,
+    faults: &FaultSpec,
+    transport: Option<ReliableConfig>,
+    make: F,
+) -> Result<congest::RunOutcome, CongestError>
+where
+    A: NodeAlgorithm,
+    A::Msg: std::hash::Hash,
+    F: Fn(usize) -> A + Sync,
+{
+    match transport {
+        None => Engine::new(g)
+            .bandwidth(Bandwidth::Bits(inner_bandwidth))
+            .seed(seed)
+            .max_rounds(inner_rounds)
+            .faults(faults.clone())
+            .run(make),
+        Some(rcfg) => {
+            let engine = Engine::new(g)
+                .bandwidth(Bandwidth::Bits(rcfg.required_bandwidth(inner_bandwidth)))
+                .seed(seed)
+                .max_rounds(rcfg.physical_rounds(inner_rounds))
+                .faults(faults.clone());
+            run_reliable(&engine, rcfg, make).map(|(outcome, _)| outcome)
+        }
+    }
+}
+
+/// Runs the Theorem 1.1 detector on `g` with fault injection.
+///
+/// Every engine run (both phases of every repetition) is subjected to a
+/// fresh model built from `faults`, deterministically from the same
+/// per-repetition seeds the fault-free [`detect_even_cycle`] uses. With
+/// `transport: Some(..)` both phases run behind the
+/// [`congest::Reliable`] ARQ adapter, which recovers lost or corrupted
+/// messages at the cost of extra rounds and header bits.
+///
+/// Detection requires a *surviving* node to reject. Loss, crashes and
+/// link failures can only remove information from the bare algorithm
+/// (Phase I tokens vanish, Phase II beacons and prefixes vanish), so a
+/// faulty run may miss a planted `C_2k` but never falsely rejects a
+/// `C_2k`-free graph.
+pub fn detect_even_cycle_faulty(
+    g: &Graph,
+    cfg: EvenCycleConfig,
+    faults: &FaultSpec,
+    transport: Option<ReliableConfig>,
+) -> Result<FaultyEvenCycleReport, CongestError> {
+    assert!(cfg.k >= 2);
+    let sched = Schedule::derive(g.n(), cfg.k, cfg.edge_bound_override);
+    let inner_bandwidth = sched.required_bandwidth.max(8);
+    let mut total_rounds = 0usize;
+    let mut total_bits = 0u64;
+    let mut faults_seen = FaultReport::default();
+    let mut detected = false;
+    let mut reps = 0usize;
+
+    for rep in 0..cfg.repetitions {
+        reps += 1;
+        let s1 = sched.clone();
+        let out1 = run_phase_faulty(
+            g,
+            inner_bandwidth,
+            cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(1),
+            sched.r1_rounds + 2,
+            faults,
+            transport,
+            move |_| ColorBfsNode::new(s1.clone()),
+        )?;
+        total_rounds += out1.stats.rounds;
+        total_bits += out1.stats.total_bits;
+        let hit1 = out1.surviving_node_rejects();
+        faults_seen.absorb(&out1.faults);
+        if hit1 {
+            detected = true;
+            break;
+        }
+
+        let s2 = sched.clone();
+        let out2 = run_phase_faulty(
+            g,
+            inner_bandwidth,
+            cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(2),
+            sched.r2_rounds + 2,
+            faults,
+            transport,
+            move |_| LayerPrefixNode::new(s2.clone()),
+        )?;
+        total_rounds += out2.stats.rounds;
+        total_bits += out2.stats.total_bits;
+        let hit2 = out2.surviving_node_rejects();
+        faults_seen.absorb(&out2.faults);
+        if hit2 {
+            detected = true;
+            break;
+        }
+    }
+
+    Ok(FaultyEvenCycleReport {
+        detected,
+        repetitions_run: reps,
+        total_rounds,
+        total_bits,
+        faults: faults_seen,
+        schedule: sched,
+    })
 }
 
 #[cfg(test)]
@@ -762,11 +897,11 @@ mod tests {
         let s = Schedule::derive(1000, 3, None);
         assert_eq!(s.block_budgets.len(), 2);
         // Block 1 budget multiplies by the degree threshold.
+        assert_eq!(s.block_budgets[1], s.block_budgets[0] * s.degree_threshold);
         assert_eq!(
-            s.block_budgets[1],
-            s.block_budgets[0] * s.degree_threshold
+            s.block_send_start(1),
+            s.block_send_start(0) + s.block_budgets[0]
         );
-        assert_eq!(s.block_send_start(1), s.block_send_start(0) + s.block_budgets[0]);
     }
 
     #[test]
@@ -869,10 +1004,7 @@ mod tests {
         // enough; with a tiny edge-bound override the detector must reject
         // (and indeed K8 contains C4).
         let g = generators::clique(8);
-        let cfg = EvenCycleConfig::new(2)
-            .repetitions(1)
-            .seed(4)
-            .edge_bound(4);
+        let cfg = EvenCycleConfig::new(2).repetitions(1).seed(4).edge_bound(4);
         let rep = detect_even_cycle(&g, cfg).unwrap();
         assert!(rep.detected, "overflow certifies density > M");
     }

@@ -19,10 +19,7 @@ use std::collections::VecDeque;
 
 /// Builds a compact graph from a set of id-labeled edges.
 fn graph_from_id_edges(edges: &FxHashSet<(u64, u64)>) -> Graph {
-    let mut ids: Vec<u64> = edges
-        .iter()
-        .flat_map(|&(a, b)| [a, b])
-        .collect();
+    let mut ids: Vec<u64> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
     ids.sort_unstable();
     ids.dedup();
     let index = |x: u64| ids.binary_search(&x).unwrap();
@@ -330,10 +327,7 @@ impl NodeAlgorithm for GatherNode {
                 self.sent_done = true;
                 self.done = true;
             }
-        } else if self.is_root
-            && children_known
-            && self.done_children == self.children.len()
-        {
+        } else if self.is_root && children_known && self.done_children == self.children.len() {
             let whole = graph_from_id_edges(&self.collected);
             self.reject = graphlib::iso::contains_subgraph(&self.pattern, &whole);
             self.done = true;

@@ -33,7 +33,10 @@ pub use clique_detect::{
     detect_clique, detect_triangle, list_cliques_congest, CliqueDetectReport, CliqueListReport,
 };
 pub use detector::{DetectionOutcome, Detector};
-pub use even_cycle::{detect_even_cycle, EvenCycleConfig, EvenCycleReport, Schedule};
+pub use even_cycle::{
+    detect_even_cycle, detect_even_cycle_faulty, EvenCycleConfig, EvenCycleReport,
+    FaultyEvenCycleReport, Schedule,
+};
 pub use generic::{detect_gather, detect_local, GenericReport};
 pub use property_testing::{test_triangle_freeness, TesterReport};
 pub use tree::{detect_tree, TreeDetectReport, TreePattern};

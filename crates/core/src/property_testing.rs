@@ -18,7 +18,7 @@
 //! the number of probe rounds — exactly the relaxation the paper declines.
 
 use congest::{
-    bits_for_domain, BitSize, Bandwidth, CongestError, Decision, Engine, Inbox, NodeAlgorithm,
+    bits_for_domain, Bandwidth, BitSize, CongestError, Decision, Engine, Inbox, NodeAlgorithm,
     NodeContext, Outbox, Outgoing,
 };
 use graphlib::Graph;
@@ -124,7 +124,7 @@ impl NodeAlgorithm for TriangleTesterNode {
             self.done = true;
             return out;
         }
-        if ctx.round % 2 == 0 {
+        if ctx.round.is_multiple_of(2) {
             out.extend(self.probe(ctx, rng));
         }
         out

@@ -13,8 +13,8 @@
 //! amplified by repetition.
 
 use congest::{
-    Bandwidth, BitSize, CongestError, Decision, Engine, Inbox, NodeAlgorithm, NodeContext,
-    Outbox, Outgoing,
+    Bandwidth, BitSize, CongestError, Decision, Engine, Inbox, NodeAlgorithm, NodeContext, Outbox,
+    Outgoing,
 };
 use graphlib::Graph;
 use rand::Rng;

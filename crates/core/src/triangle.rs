@@ -108,11 +108,7 @@ pub struct OneRoundTriangleNode {
 impl OneRoundTriangleNode {
     /// A node with an explicit §5-style input (pass `None` to derive the
     /// trivial input from the context at init).
-    pub fn new(
-        input: Option<AdjacencyInput>,
-        strategy: OneRoundStrategy,
-        namespace: u64,
-    ) -> Self {
+    pub fn new(input: Option<AdjacencyInput>, strategy: OneRoundStrategy, namespace: u64) -> Self {
         OneRoundTriangleNode {
             input,
             strategy,

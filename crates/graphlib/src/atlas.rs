@@ -170,7 +170,10 @@ mod tests {
                 );
             }
             if g.n() == 4 && g.m() == 6 {
-                assert_eq!(r.copies.unwrap() as u64, crate::cliques::count_ksub(&host, 4));
+                assert_eq!(
+                    r.copies.unwrap() as u64,
+                    crate::cliques::count_ksub(&host, 4)
+                );
             }
             if g.n() == 4 && g.m() == 4 && g.max_degree() == 2 {
                 assert_eq!(

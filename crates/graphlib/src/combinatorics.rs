@@ -144,10 +144,7 @@ mod tests {
         for k in 2..5usize {
             for n in [1usize, 10, 100, 1000] {
                 let m = subset_universe(n, k);
-                assert!(
-                    binomial(m as u64, k as u64) >= n as u64,
-                    "C({m},{k}) < {n}"
-                );
+                assert!(binomial(m as u64, k as u64) >= n as u64, "C({m},{k}) < {n}");
             }
         }
     }

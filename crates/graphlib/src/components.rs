@@ -80,10 +80,7 @@ pub fn connected_components(g: &Graph) -> Components {
         }
         label[v] = label[r];
     }
-    Components {
-        label,
-        count: next,
-    }
+    Components { label, count: next }
 }
 
 /// Whether the graph is connected (vacuously true for `n <= 1`).

@@ -102,7 +102,6 @@ fn count_cycles_rooted(g: &Graph, k: usize, root: usize) -> u64 {
 /// Standard BFS-from-every-vertex bound; exact for the shortest cycle
 /// through each vertex.
 pub fn girth(g: &Graph) -> Option<usize> {
-    
     (0..g.n())
         .into_par_iter()
         .filter_map(|src| girth_from(g, src))

@@ -23,7 +23,10 @@ pub fn diameter(g: &Graph) -> Option<usize> {
             }
         })
         .collect();
-    eccs.into_iter().collect::<Option<Vec<_>>>()?.into_iter().max()
+    eccs.into_iter()
+        .collect::<Option<Vec<_>>>()?
+        .into_iter()
+        .max()
 }
 
 /// Radius of a connected graph: the minimum eccentricity. `None` if
@@ -43,7 +46,10 @@ pub fn radius(g: &Graph) -> Option<usize> {
             }
         })
         .collect();
-    eccs.into_iter().collect::<Option<Vec<_>>>()?.into_iter().min()
+    eccs.into_iter()
+        .collect::<Option<Vec<_>>>()?
+        .into_iter()
+        .min()
 }
 
 #[cfg(test)]

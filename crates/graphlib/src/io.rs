@@ -58,13 +58,14 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
         let mut parts = t.split_whitespace();
         let first = parts.next().unwrap();
         if first == "n" {
-            let n = parts
-                .next()
-                .and_then(|x| x.parse().ok())
-                .ok_or_else(|| ParseError::BadLine {
-                    line,
-                    content: t.to_string(),
-                })?;
+            let n =
+                parts
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| ParseError::BadLine {
+                        line,
+                        content: t.to_string(),
+                    })?;
             declared_n = Some(n);
             continue;
         }
@@ -72,13 +73,14 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
             line,
             content: t.to_string(),
         })?;
-        let v: usize = parts
-            .next()
-            .and_then(|x| x.parse().ok())
-            .ok_or_else(|| ParseError::BadLine {
-                line,
-                content: t.to_string(),
-            })?;
+        let v: usize =
+            parts
+                .next()
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| ParseError::BadLine {
+                    line,
+                    content: t.to_string(),
+                })?;
         if parts.next().is_some() {
             return Err(ParseError::BadLine {
                 line,

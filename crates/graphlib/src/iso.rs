@@ -426,7 +426,10 @@ mod tests {
     fn copy_counts_match_dedicated_counters() {
         let k5 = generators::clique(5);
         // Triangles in K5: C(5,3) = 10.
-        assert_eq!(count_copies(&generators::cycle(3), &k5, usize::MAX), Some(10));
+        assert_eq!(
+            count_copies(&generators::cycle(3), &k5, usize::MAX),
+            Some(10)
+        );
         // C4 copies in K4: 3.
         assert_eq!(
             count_copies(&generators::cycle(4), &generators::clique(4), usize::MAX),

@@ -130,9 +130,11 @@ impl<'a> Ullmann<'a> {
                 for t in candidates {
                     // Every pattern neighbor of u must have a candidate in
                     // N(t).
-                    let ok = self.pattern.neighbors(u).iter().all(|&v| {
-                        rows[v as usize].intersects(&self.target_adj[t])
-                    });
+                    let ok = self
+                        .pattern
+                        .neighbors(u)
+                        .iter()
+                        .all(|&v| rows[v as usize].intersects(&self.target_adj[t]));
                     if !ok {
                         rows[u].clear(t);
                         changed = true;
@@ -230,8 +232,16 @@ mod tests {
     fn agrees_with_vf2_on_basics() {
         let cases = [
             (generators::cycle(3), generators::clique(5), true),
-            (generators::cycle(3), generators::complete_bipartite(4, 4), false),
-            (generators::cycle(4), generators::complete_bipartite(2, 2), true),
+            (
+                generators::cycle(3),
+                generators::complete_bipartite(4, 4),
+                false,
+            ),
+            (
+                generators::cycle(4),
+                generators::complete_bipartite(2, 2),
+                true,
+            ),
             (generators::cycle(5), generators::cycle(6), false),
             (generators::path(4), generators::cycle(6), true),
             (generators::clique(5), generators::clique(4), false),
@@ -276,7 +286,10 @@ mod tests {
     #[test]
     fn empty_and_oversized_patterns() {
         let g = generators::cycle(4);
-        assert!(contains_subgraph_ullmann(&crate::graph::Graph::empty(0), &g));
+        assert!(contains_subgraph_ullmann(
+            &crate::graph::Graph::empty(0),
+            &g
+        ));
         assert!(!contains_subgraph_ullmann(&generators::clique(6), &g));
     }
 

@@ -103,9 +103,9 @@ proptest! {
     #[test]
     fn ceil_root_is_exact(n in 1u64..1_000_000, k in 1u32..6) {
         let r = ceil_root(n, k);
-        prop_assert!(r.checked_pow(k).map_or(true, |p| p >= n));
+        prop_assert!(r.checked_pow(k).is_none_or(|p| p >= n));
         if r > 1 {
-            prop_assert!((r - 1).checked_pow(k).map_or(false, |p| p < n));
+            prop_assert!((r - 1).checked_pow(k).is_some_and(|p| p < n));
         }
     }
 

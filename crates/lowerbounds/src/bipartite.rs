@@ -27,8 +27,7 @@ use graphlib::{Graph, GraphBuilder};
 
 /// The §3.4 round lower bound `n^{2-1/k-1/s} / (B k)` (shape).
 pub fn bipartite_round_bound(n: usize, s: usize, k: usize, bandwidth: usize) -> f64 {
-    (n as f64).powf(2.0 - 1.0 / k as f64 - 1.0 / s as f64)
-        / (bandwidth.max(1) as f64 * k as f64)
+    (n as f64).powf(2.0 - 1.0 / k as f64 - 1.0 / s as f64) / (bandwidth.max(1) as f64 * k as f64)
 }
 
 /// The bipartite skeleton of `H_{s,k}`: two copies (top/bottom) of a body
@@ -197,10 +196,7 @@ impl BipartiteFamily {
     /// The intended-embedding characterization (the analogue of Lemma 3.1,
     /// proved in the full version for the full gadget): present iff the
     /// inputs intersect.
-    pub fn intended_copy_present(
-        x_pairs: &[(usize, usize)],
-        y_pairs: &[(usize, usize)],
-    ) -> bool {
+    pub fn intended_copy_present(x_pairs: &[(usize, usize)], y_pairs: &[(usize, usize)]) -> bool {
         let xs: std::collections::HashSet<_> = x_pairs.iter().collect();
         y_pairs.iter().any(|p| xs.contains(p))
     }

@@ -95,9 +95,7 @@ impl FamilyLayout {
                 }
             }
         }
-        let encodings = (0..n_copies)
-            .map(|i| unrank_ksubset(i as u64, k))
-            .collect();
+        let encodings = (0..n_copies).map(|i| unrank_ksubset(i as u64, k)).collect();
         FamilyLayout {
             k,
             n_copies,
@@ -217,8 +215,12 @@ impl FamilyLayout {
                 | FamilyLabel::Triangle { role: Role::A, .. } => Party::Alice,
                 FamilyLabel::Endpoint { role: Role::B, .. }
                 | FamilyLabel::Triangle { role: Role::B, .. } => Party::Bob,
-                FamilyLabel::Triangle { role: Role::Mid, .. } => Party::Shared,
-                FamilyLabel::Endpoint { role: Role::Mid, .. } => Party::Shared,
+                FamilyLabel::Triangle {
+                    role: Role::Mid, ..
+                } => Party::Shared,
+                FamilyLabel::Endpoint {
+                    role: Role::Mid, ..
+                } => Party::Shared,
                 FamilyLabel::Clique { .. } => Party::Shared,
             })
             .collect()
@@ -351,7 +353,8 @@ mod tests {
         let k = 1;
         let lay = FamilyLayout::new(k, 2);
         let hk = HkGraph::build(k);
-        let cases: Vec<(Vec<(usize, usize)>, Vec<(usize, usize)>)> = vec![
+        type PairSet = Vec<(usize, usize)>;
+        let cases: Vec<(PairSet, PairSet)> = vec![
             (vec![], vec![]),
             (vec![(0, 0)], vec![]),
             (vec![(0, 0)], vec![(0, 0)]),
@@ -423,17 +426,17 @@ mod tests {
         let lay = FamilyLayout::new(2, 9);
         let g = lay.build(&[(0, 1)], &[(2, 2)]);
         let parts = lay.partition();
-        let (_, rep) = commlb::simulate_two_party(
-            &g,
-            &parts,
-            Bandwidth::Bits(8),
-            4,
-            0,
-            |_| OneShot { done: false },
-        )
+        let (_, rep) = commlb::simulate_two_party(&g, &parts, Bandwidth::Bits(8), 4, 0, |_| {
+            OneShot { done: false }
+        })
         .unwrap();
         // The actual directed cut must be within the Θ(k n^{1/k}) bound.
-        assert!(rep.cut_size() <= lay.cut_bound(), "{} > {}", rep.cut_size(), lay.cut_bound());
+        assert!(
+            rep.cut_size() <= lay.cut_bound(),
+            "{} > {}",
+            rep.cut_size(),
+            lay.cut_bound()
+        );
         assert!(rep.cut_size() >= 6 * lay.m_triangles);
     }
 

@@ -61,8 +61,13 @@ pub trait FoolableAlgo: Sync {
     fn rounds(&self) -> usize;
     /// The message sent in `round` (1-based) towards the successor
     /// (`to_succ = true`) or predecessor.
-    fn message(&self, view: &NodeView, round: usize, to_succ: bool, received: &Received)
-        -> BitString;
+    fn message(
+        &self,
+        view: &NodeView,
+        round: usize,
+        to_succ: bool,
+        received: &Received,
+    ) -> BitString;
     /// Final decision: `true` = reject ("I am in a triangle").
     fn decide(&self, view: &NodeView, received: &Received) -> bool;
 }
@@ -96,7 +101,10 @@ impl CycleRun {
 /// `i mod 3`, and the cycle length must be a positive multiple of 3.
 pub fn run_on_cycle<A: FoolableAlgo>(algo: &A, ids: &[u64]) -> CycleRun {
     let l = ids.len();
-    assert!(l >= 3 && l.is_multiple_of(3), "cycle length must be a multiple of 3");
+    assert!(
+        l >= 3 && l.is_multiple_of(3),
+        "cycle length must be a multiple of 3"
+    );
     let views: Vec<NodeView> = (0..l)
         .map(|i| NodeView {
             id: ids[i],
@@ -133,7 +141,9 @@ pub fn run_on_cycle<A: FoolableAlgo>(algo: &A, ids: &[u64]) -> CycleRun {
 
     // Base decisions, then the A' wrapper: one extra round broadcasting the
     // decision; a node accepts iff it and both neighbors accepted.
-    let base: Vec<bool> = (0..l).map(|i| algo.decide(&views[i], &received[i])).collect();
+    let base: Vec<bool> = (0..l)
+        .map(|i| algo.decide(&views[i], &received[i]))
+        .collect();
     let rejects: Vec<bool> = (0..l)
         .map(|i| base[i] || base[(i + 1) % l] || base[(i + l - 1) % l])
         .collect();
@@ -192,7 +202,10 @@ pub struct AdversaryReport {
 ///
 /// `n` must be at most 64 (the block search uses 64-bit row sets).
 pub fn run_adversary<A: FoolableAlgo>(algo: &A, n: usize) -> AdversaryReport {
-    assert!((2..=64).contains(&n), "adversary supports 2..=64 ids per part");
+    assert!(
+        (2..=64).contains(&n),
+        "adversary supports 2..=64 ids per part"
+    );
     let part_id = |part: usize, idx: usize| (3 * idx + part) as u64;
 
     // 1-2. Enumerate all triangles, bucket by transcript.
@@ -230,7 +243,12 @@ pub fn run_adversary<A: FoolableAlgo>(algo: &A, n: usize) -> AdversaryReport {
         ];
         // 5. Splice the hexagon u0 u1 u2 u0' u1' u2' and run on it.
         let hexagon = vec![
-            block[0][0], block[1][0], block[2][0], block[0][1], block[1][1], block[2][1],
+            block[0][0],
+            block[1][0],
+            block[2][0],
+            block[0][1],
+            block[1][1],
+            block[2][1],
         ];
         let hex_run = run_on_cycle(algo, &hexagon);
         FoolingWitness {
@@ -254,10 +272,7 @@ pub fn run_adversary<A: FoolableAlgo>(algo: &A, n: usize) -> AdversaryReport {
 /// Finds `{a,a'} × {b,b'} × {c,c'}` with all 8 triples present in `edges`
 /// (a `K^(3)(2)` in the tripartite 3-uniform hypergraph), if one exists.
 /// Indices must be `< n <= 64`.
-pub fn find_tripartite_block(
-    edges: &[(usize, usize, usize)],
-    n: usize,
-) -> Option<[[usize; 2]; 3]> {
+pub fn find_tripartite_block(edges: &[(usize, usize, usize)], n: usize) -> Option<[[usize; 2]; 3]> {
     assert!(n <= 64);
     // rows[b][c] = bitset over a of present triples.
     let mut rows = vec![vec![0u64; n]; n];
@@ -494,7 +509,8 @@ mod tests {
         // node: transcripts of i and i+3 agree (same part).
         for i in 0..3 {
             assert_eq!(
-                hex_run.node_transcripts[i], hex_run.node_transcripts[i + 3],
+                hex_run.node_transcripts[i],
+                hex_run.node_transcripts[i + 3],
                 "part {i} transcripts must agree across the two block rows"
             );
         }

@@ -217,10 +217,7 @@ impl ListingNode {
         let local = b.build();
         for clique in graphlib::cliques::list_ksub(&local, self.s, usize::MAX) {
             let global: Vec<u32> = clique.iter().map(|&c| verts[c as usize]).collect();
-            let mut groups: Vec<u8> = global
-                .iter()
-                .map(|&v| self.group_of[v as usize])
-                .collect();
+            let mut groups: Vec<u8> = global.iter().map(|&v| self.group_of[v as usize]).collect();
             groups.sort_unstable();
             if self.my_tuples.contains(&groups) {
                 self.output.push(global);
@@ -468,7 +465,10 @@ mod tests {
         // On K_n the listing runs in o(n) rounds (the whole point).
         let g = generators::clique(48);
         let rep = list_cliques_congested(&g, 3, 4).unwrap();
-        assert_eq!(rep.cliques.len() as u64, graphlib::cliques::count_ksub(&g, 3));
+        assert_eq!(
+            rep.cliques.len() as u64,
+            graphlib::cliques::count_ksub(&g, 3)
+        );
         assert!(
             (rep.rounds as f64) < 0.75 * g.n() as f64,
             "rounds {} should be well below n {}",

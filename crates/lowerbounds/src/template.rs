@@ -87,8 +87,12 @@ pub fn sample(n: usize, rng: &mut ChaCha8Rng) -> TemplateSample {
             if present {
                 b.add_edge(specials[s], specials[t]);
             }
-            inputs[specials[s]].entries.push((ids[specials[t]], present));
-            inputs[specials[t]].entries.push((ids[specials[s]], present));
+            inputs[specials[s]]
+                .entries
+                .push((ids[specials[t]], present));
+            inputs[specials[t]]
+                .entries
+                .push((ids[specials[s]], present));
         }
     }
     // Pendant potential edges.
@@ -144,12 +148,7 @@ pub fn evaluate_protocol(sample: &TemplateSample, strategy: OneRoundStrategy) ->
 
 /// Detection-error measurement: fraction of μ-samples where the protocol's
 /// output differs from the ground truth.
-pub fn detection_error(
-    n: usize,
-    strategy: OneRoundStrategy,
-    trials: usize,
-    seed: u64,
-) -> f64 {
+pub fn detection_error(n: usize, strategy: OneRoundStrategy, trials: usize, seed: u64) -> f64 {
     use rand::SeedableRng;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut errors = 0usize;
@@ -315,7 +314,10 @@ mod tests {
             "{i_small} > bound {}",
             lemma_5_4_bound(n, 1)
         );
-        assert!(i_small < 0.3, "Lemma 5.3 threshold cannot be met at budget 1");
+        assert!(
+            i_small < 0.3,
+            "Lemma 5.3 threshold cannot be met at budget 1"
+        );
     }
 
     #[test]

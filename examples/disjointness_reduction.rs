@@ -47,9 +47,7 @@ fn main() {
             16 * (g.n() + g.m() + 4),
             1,
             move |_| {
-                distributed_subgraph_detection::detection::generic::GatherNode::new(
-                    pattern.clone(),
-                )
+                distributed_subgraph_detection::detection::generic::GatherNode::new(pattern.clone())
             },
         )
         .expect("engine ok");

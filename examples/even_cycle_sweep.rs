@@ -11,7 +11,10 @@ use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let k = 2;
-    println!("C_{} detection (k = {k}): rounds per repetition vs n", 2 * k);
+    println!(
+        "C_{} detection (k = {k}): rounds per repetition vs n",
+        2 * k
+    );
     println!(
         "{:>8} {:>12} {:>12} {:>14} {:>12}",
         "n", "detector", "n (linear)", "bound n^(1/2)", "detected"

@@ -1,0 +1,67 @@
+//! Fault injection and recovery, end to end.
+//!
+//! Runs the Theorem 1.1 even-cycle detector on a lossy/faulty network:
+//! first the soundness side (no fault model may fabricate a detection on a
+//! C4-free graph), then the recovery side (at 30% message loss the bare
+//! detector misses a planted C4 that the reliable ARQ transport finds,
+//! paying real header and retransmission bits for it).
+
+use congest::{CrashStop, FaultSpec, ReliableConfig};
+use distributed_subgraph_detection::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    // --- Soundness: a C4-free graph under every fault model ---
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let clean = graphlib::generators::random_tree(32, &mut rng);
+    let cfg = detection::EvenCycleConfig::new(2).repetitions(10).seed(3);
+    println!("C4-free tree (n = {}) under fault injection:", clean.n());
+    let menu: Vec<(&str, FaultSpec)> = vec![
+        ("none", FaultSpec::None),
+        ("independent loss 25%", FaultSpec::IndependentLoss(0.25)),
+        ("bursty (Gilbert-Elliott)", FaultSpec::GilbertElliott(0.1, 0.4, 0.0, 0.9)),
+        ("crash-stop (2 nodes)", FaultSpec::CrashStop(CrashStop::random(2, 2))),
+        ("bit-flip 20%", FaultSpec::BitFlip(0.2)),
+        (
+            "everything at once",
+            FaultSpec::Stack(vec![
+                FaultSpec::IndependentLoss(0.1),
+                FaultSpec::CrashStop(CrashStop::random(1, 2)),
+                FaultSpec::BitFlip(0.1),
+            ]),
+        ),
+    ];
+    for (name, spec) in &menu {
+        let rep = detection::detect_even_cycle_faulty(&clean, cfg, spec, None).unwrap();
+        println!(
+            "  {name:<26} detected = {:<5} ({})",
+            rep.detected,
+            rep.faults.summary()
+        );
+        assert!(!rep.detected, "soundness violated under {name}");
+    }
+
+    // --- Recovery: planted C4 at 30% loss, bare vs reliable ---
+    let g = graphlib::generators::complete_bipartite(2, 3);
+    let loss = FaultSpec::IndependentLoss(0.3);
+    let cfg = detection::EvenCycleConfig::new(2).repetitions(25).seed(1);
+    let bare = detection::detect_even_cycle_faulty(&g, cfg, &loss, None).unwrap();
+    let arq =
+        detection::detect_even_cycle_faulty(&g, cfg, &loss, Some(ReliableConfig::default()))
+            .unwrap();
+    println!("\nK_2,3 (contains C4) at 30% independent loss:");
+    println!(
+        "  bare      detected = {:<5} rounds = {:>5} bits = {:>7} ({})",
+        bare.detected, bare.total_rounds, bare.total_bits, bare.faults.summary()
+    );
+    println!(
+        "  reliable  detected = {:<5} rounds = {:>5} bits = {:>7} ({})",
+        arq.detected, arq.total_rounds, arq.total_bits, arq.faults.summary()
+    );
+
+    // --- Reproducibility: the fault stream is a function of the seed ---
+    let again = detection::detect_even_cycle_faulty(&g, cfg, &loss, None).unwrap();
+    assert_eq!(bare.faults, again.faults);
+    assert_eq!(bare.total_bits, again.total_bits);
+    println!("\nre-ran the bare config: identical fault stream, bit-for-bit");
+}

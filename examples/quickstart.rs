@@ -13,7 +13,11 @@ fn main() {
     // A sparse "network" with a planted 4-cycle.
     let base = graphlib::generators::random_tree(128, &mut rng);
     let (g, planted) = graphlib::generators::plant_cycle(&base, 4, &mut rng);
-    println!("network: n = {}, m = {}, planted C4 on {planted:?}", g.n(), g.m());
+    println!(
+        "network: n = {}, m = {}, planted C4 on {planted:?}",
+        g.n(),
+        g.m()
+    );
 
     // 1. Theorem 1.1: sublinear-round randomized C4 detection.
     let cfg = detection::EvenCycleConfig::new(2).repetitions(4096).seed(7);

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example social_triangles`
 
-use distributed_subgraph_detection::prelude::*;
 use detection::triangle::OneRoundStrategy;
+use distributed_subgraph_detection::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -37,17 +37,13 @@ fn main() {
         } else {
             OneRoundStrategy::Prefix(budget)
         };
-        let rep = detection::detect_triangle_one_round(&g, strategy, 1)
-            .expect("engine ok");
+        let rep = detection::detect_triangle_one_round(&g, strategy, 1).expect("engine ok");
         let label = if budget == usize::MAX {
             "full".to_string()
         } else {
             budget.to_string()
         };
-        println!(
-            "{label:>8} {:>10} {:>14}",
-            rep.detected, rep.bandwidth_used
-        );
+        println!("{label:>8} {:>10} {:>14}", rep.detected, rep.bandwidth_used);
     }
     println!(
         "\nTheorem 5.1 says bandwidth Ω(Δ) = Ω({}) is unavoidable for \

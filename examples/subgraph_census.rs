@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example subgraph_census`
 
-use distributed_subgraph_detection::prelude::*;
 use detection::Detector;
+use distributed_subgraph_detection::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 

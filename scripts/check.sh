@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Repo health gate: formatting, lints, and the tier-1 build+test suite.
+#
+# Usage: scripts/check.sh [--quick]
+#   --quick  skip the release build (debug tests only)
+#
+# fmt and clippy are skipped with a warning when the components are not
+# installed (offline/minimal toolchains); the tier-1 suite always runs.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+status=0
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check || status=1
+else
+    echo "==> rustfmt not installed; skipping format check" >&2
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings || status=1
+else
+    echo "==> clippy not installed; skipping lints" >&2
+fi
+
+if [[ "$quick" -eq 0 ]]; then
+    echo "==> cargo build --release (tier-1)"
+    cargo build --release
+fi
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+exit "$status"

@@ -1,0 +1,182 @@
+//! Chaos suite: fault injection across every fault model.
+//!
+//! The graceful-degradation contract under faults is one-sided: a detector
+//! may *miss* a planted subgraph when messages are lost, links fail, or
+//! nodes crash (faults only remove information), but it must never falsely
+//! reject an `H`-free graph. The reliable transport then buys detection
+//! back on lossy networks at a measurable round/bit cost.
+
+use congest::{bits_for_domain, CrashStop, FaultSpec, LinkFailure, ReliableConfig};
+use distributed_subgraph_detection::detection::clique_detect::CliqueDetectNode;
+use distributed_subgraph_detection::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One representative of each fault model, at rates high enough to bite.
+/// `sever` must be an edge of the graph under test, so the link-failure
+/// model actually intercepts traffic.
+fn fault_menu(sever: (usize, usize)) -> Vec<(&'static str, FaultSpec)> {
+    vec![
+        ("independent-loss", FaultSpec::IndependentLoss(0.25)),
+        (
+            "gilbert-elliott",
+            FaultSpec::GilbertElliott(0.1, 0.4, 0.0, 0.9),
+        ),
+        ("crash-stop", FaultSpec::CrashStop(CrashStop::random(1, 2))),
+        (
+            "link-failure",
+            FaultSpec::LinkFailure(LinkFailure::single(sever.0, sever.1, 1, usize::MAX)),
+        ),
+        ("bit-flip", FaultSpec::BitFlip(0.2)),
+    ]
+}
+
+/// `C_4`-free graphs the even-cycle detector must keep accepting no matter
+/// which faults are injected.
+fn c4_free_graphs() -> Vec<(&'static str, Graph)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    vec![
+        (
+            "random-tree",
+            graphlib::generators::random_tree(18, &mut rng),
+        ),
+        ("odd-cycle", graphlib::generators::cycle(5)),
+        ("path", graphlib::generators::path(10)),
+    ]
+}
+
+#[test]
+fn even_cycle_never_falsely_rejects_under_faults() {
+    for (gname, g) in c4_free_graphs() {
+        assert!(
+            !graphlib::cycles::has_cycle(&g, 4),
+            "{gname} must be C4-free"
+        );
+        for (fname, spec) in fault_menu((0, 1)) {
+            let cfg = detection::EvenCycleConfig::new(2).repetitions(12).seed(3);
+            let rep = detection::detect_even_cycle_faulty(&g, cfg, &spec, None).unwrap();
+            assert!(
+                !rep.detected,
+                "{fname} on {gname}: faults must never fabricate a C4 \
+                 (faults seen: {:?})",
+                rep.faults
+            );
+        }
+    }
+}
+
+#[test]
+fn even_cycle_stays_sound_behind_reliable_transport() {
+    // The ARQ layer must not break soundness either: retransmitted
+    // duplicates and given-up frames still never fabricate a cycle.
+    let g = graphlib::generators::cycle(5);
+    for (fname, spec) in fault_menu((0, 1)) {
+        let cfg = detection::EvenCycleConfig::new(2).repetitions(6).seed(9);
+        let rep =
+            detection::detect_even_cycle_faulty(&g, cfg, &spec, Some(ReliableConfig::default()))
+                .unwrap();
+        assert!(
+            !rep.detected,
+            "{fname} behind ARQ: false C4 on an odd cycle"
+        );
+    }
+}
+
+#[test]
+fn clique_detector_never_falsely_rejects_under_faults() {
+    // Neighbor-exchange clique detection only ever attests edges it heard
+    // about, so every fault model can shrink but never grow the witness set.
+    let g = graphlib::generators::complete_bipartite(5, 5); // triangle-free
+    let horizon = g.max_degree() + 1;
+    for (fname, spec) in fault_menu((0, 5)) {
+        let out = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(bits_for_domain(g.n())))
+            .faults(spec)
+            .seed(21)
+            .max_rounds(horizon + 2)
+            .run(|_| CliqueDetectNode::new(3, horizon))
+            .unwrap();
+        assert!(
+            !out.surviving_node_rejects(),
+            "{fname}: faults cannot create a triangle in K_5,5"
+        );
+        if fname == "bit-flip" {
+            // Structured id payloads don't materialize wire bits, so
+            // corruption deliberately degrades to intact delivery.
+            assert_eq!(out.faults.corrupted, 0, "ids must be delivered intact");
+        } else {
+            assert!(
+                out.faults.any_faults(),
+                "{fname}: the fault model should actually have fired"
+            );
+        }
+    }
+}
+
+#[test]
+fn reliable_transport_recovers_even_cycle_detection_under_loss() {
+    // K_{2,3} contains a C4. At 30% independent loss the bare detector
+    // goes blind at this seed/repetition budget; the same budget behind
+    // the ARQ transport finds the cycle, paying for it in retransmissions.
+    let g = graphlib::generators::complete_bipartite(2, 3);
+    let faults = FaultSpec::IndependentLoss(0.3);
+    let cfg = detection::EvenCycleConfig::new(2).repetitions(25).seed(1);
+
+    let bare = detection::detect_even_cycle_faulty(&g, cfg, &faults, None).unwrap();
+    assert!(
+        !bare.detected,
+        "tuning drifted: the bare run should miss the C4 at this seed"
+    );
+    assert!(
+        bare.faults.dropped > 0,
+        "loss should have fired on the bare run"
+    );
+
+    let reliable =
+        detection::detect_even_cycle_faulty(&g, cfg, &faults, Some(ReliableConfig::default()))
+            .unwrap();
+    assert!(
+        reliable.detected,
+        "the ARQ transport should recover detection (faults: {:?})",
+        reliable.faults
+    );
+    assert!(
+        reliable.faults.retransmissions > 0,
+        "recovery should have required retransmissions"
+    );
+    // The recovery is not free: header + ack overhead shows up in the
+    // accounted traffic.
+    assert!(reliable.total_bits > 0);
+
+    // Sanity: without faults the same budget detects the C4 outright.
+    let clean = detection::detect_even_cycle(&g, cfg).unwrap();
+    assert!(clean.detected, "fault-free baseline must detect the C4");
+}
+
+#[test]
+fn faulty_runs_reproduce_from_engine_seed() {
+    let g = graphlib::generators::complete_bipartite(2, 3);
+    let spec = FaultSpec::GilbertElliott(0.2, 0.3, 0.05, 0.9);
+    let cfg = detection::EvenCycleConfig::new(2).repetitions(8).seed(17);
+    let a = detection::detect_even_cycle_faulty(&g, cfg, &spec, None).unwrap();
+    let b = detection::detect_even_cycle_faulty(&g, cfg, &spec, None).unwrap();
+    assert_eq!(a.detected, b.detected);
+    assert_eq!(a.total_bits, b.total_bits);
+    assert_eq!(a.total_rounds, b.total_rounds);
+    assert_eq!(
+        a.faults, b.faults,
+        "fault streams must replay byte-for-byte"
+    );
+    assert!(
+        a.faults.dropped > 0,
+        "the bursty channel should drop something"
+    );
+
+    let other = detection::EvenCycleConfig::new(2).repetitions(8).seed(18);
+    let c = detection::detect_even_cycle_faulty(&g, other, &spec, None).unwrap();
+    assert_ne!(
+        (a.faults.dropped, a.faults.delivered),
+        (c.faults.dropped, c.faults.delivered),
+        "a different seed should draw a different fault stream"
+    );
+}

@@ -15,12 +15,9 @@ fn triangle_detectors_agree_on_random_graphs() {
         let truth = graphlib::cliques::count_triangles(&g) > 0;
         let exch = detection::detect_triangle(&g).unwrap();
         assert_eq!(exch.detected, truth, "neighbor exchange, trial {trial}");
-        let one = detection::detect_triangle_one_round(
-            &g,
-            detection::OneRoundStrategy::Full,
-            trial,
-        )
-        .unwrap();
+        let one =
+            detection::detect_triangle_one_round(&g, detection::OneRoundStrategy::Full, trial)
+                .unwrap();
         assert_eq!(one.detected, truth, "one-round full, trial {trial}");
         let local = detection::detect_local(&g, &graphlib::generators::cycle(3)).unwrap();
         assert_eq!(local.detected, truth, "LOCAL, trial {trial}");
@@ -52,7 +49,10 @@ fn gather_detects_arbitrary_connected_patterns() {
     let (g, _) = graphlib::generators::plant_cycle(&base, 5, &mut rng);
     for (pat, expect) in [
         (graphlib::generators::cycle(5), true),
-        (graphlib::generators::clique(3), graphlib::cliques::count_triangles(&g) > 0),
+        (
+            graphlib::generators::clique(3),
+            graphlib::cliques::count_triangles(&g) > 0,
+        ),
         (graphlib::generators::star(2), true),
     ] {
         let r = detection::detect_gather(&g, &pat).unwrap();

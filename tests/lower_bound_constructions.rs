@@ -32,12 +32,9 @@ fn template_distribution_vs_engine_protocol() {
     for trial in 0..6 {
         let g = graphlib::generators::gnp(16, 0.25, &mut rng);
         let truth = graphlib::cliques::count_triangles(&g) > 0;
-        let via_engine = detection::detect_triangle_one_round(
-            &g,
-            detection::OneRoundStrategy::Full,
-            trial,
-        )
-        .unwrap();
+        let via_engine =
+            detection::detect_triangle_one_round(&g, detection::OneRoundStrategy::Full, trial)
+                .unwrap();
         assert_eq!(via_engine.detected, truth, "trial {trial}");
     }
 }
@@ -46,18 +43,8 @@ fn template_distribution_vs_engine_protocol() {
 fn theorem_5_1_error_shape() {
     // Error well above 0 at budget o(n); near 0 at budget n.
     let n = 16;
-    let low = lowerbounds::detection_error(
-        n,
-        detection::OneRoundStrategy::Prefix(1),
-        1500,
-        10,
-    );
-    let high = lowerbounds::detection_error(
-        n,
-        detection::OneRoundStrategy::Full,
-        1500,
-        10,
-    );
+    let low = lowerbounds::detection_error(n, detection::OneRoundStrategy::Prefix(1), 1500, 10);
+    let high = lowerbounds::detection_error(n, detection::OneRoundStrategy::Full, 1500, 10);
     assert!(low > 0.05, "low-budget error = {low}");
     assert!(high < 0.02, "full-budget error = {high}");
 }

@@ -21,15 +21,11 @@ fn run_case(k: usize, nc: usize, inst: &DisjointnessInstance, seed: u64) {
     // Simulate the gather detector two-party style.
     let bw = Bandwidth::Bits(2 * congest::bits_for_domain(g.n()) + 2);
     let pattern = hk.clone();
-    let (outcome, sim) = commlb::simulate_two_party(
-        &g,
-        &parts,
-        bw,
-        16 * (g.n() + g.m() + 4),
-        seed,
-        move |_| detection::generic::GatherNode::new(pattern.clone()),
-    )
-    .expect("engine");
+    let (outcome, sim) =
+        commlb::simulate_two_party(&g, &parts, bw, 16 * (g.n() + g.m() + 4), seed, move |_| {
+            detection::generic::GatherNode::new(pattern.clone())
+        })
+        .expect("engine");
 
     // The distributed algorithm must answer the disjointness instance.
     assert_eq!(

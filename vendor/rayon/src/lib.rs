@@ -1,0 +1,123 @@
+//! Offline shim of the `rayon` API surface this workspace uses.
+//!
+//! The real rayon cannot be fetched in this build environment, so the
+//! workspace vendors a **sequential** drop-in: `par_iter`, `par_iter_mut`
+//! and `into_par_iter` simply return the corresponding standard iterators,
+//! and rayon-only combinators (`flat_map_iter`, `with_min_len`) are provided
+//! as extension methods on ordinary iterators. Node steps in the simulator
+//! are pure per-node functions, so the sequential schedule is
+//! observationally identical (and deterministic by construction); swap the
+//! real rayon back in for wall-clock parallelism when registry access
+//! exists.
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude::*`.
+
+    /// `into_par_iter()` for owned collections — sequential fallback.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns the standard sequential iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter()` for collections iterable by shared reference.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The sequential iterator type.
+        type Iter: Iterator;
+        /// Returns the standard sequential iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` for collections iterable by exclusive reference.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The sequential iterator type.
+        type Iter: Iterator;
+        /// Returns the standard sequential iterator.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+    impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+    where
+        &'a mut C: IntoIterator,
+    {
+        type Iter = <&'a mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Rayon-only combinators, re-expressed over standard iterators.
+    pub trait ParallelIteratorShim: Iterator + Sized {
+        /// rayon's `flat_map_iter` == sequential `flat_map`.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        /// Work-splitting hint; meaningless sequentially.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        /// Work-splitting hint; meaningless sequentially.
+        fn with_max_len(self, _max: usize) -> Self {
+            self
+        }
+    }
+    impl<I: Iterator> ParallelIteratorShim for I {}
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_chain_matches_sequential() {
+        let xs = vec![1u64, 2, 3, 4];
+        let mut ys = vec![10u64, 20, 30, 40];
+        let zs: Vec<u64> = ys
+            .par_iter_mut()
+            .zip(xs.par_iter())
+            .map(|(y, x)| {
+                *y += x;
+                *y
+            })
+            .collect();
+        assert_eq!(zs, vec![11, 22, 33, 44]);
+    }
+
+    #[test]
+    fn into_par_iter_on_range() {
+        let total: usize = (0..10usize).into_par_iter().flat_map_iter(|v| 0..v).count();
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}
