@@ -1,0 +1,71 @@
+//! Records wall-clock perf baselines across thread counts.
+//!
+//! Usage:
+//!   perf [--threads 1,4] [--out PATH]   orchestrate and write the report
+//!   perf --emit                          (internal) time the workloads at
+//!                                        the current RAYON_NUM_THREADS and
+//!                                        print one JSON entry per line
+//!
+//! The rayon pool is process-global and reads `RAYON_NUM_THREADS` exactly
+//! once, so every requested thread count runs in its own subprocess (this
+//! same binary with `--emit`). The parent merges the entries into
+//! `BENCH_<date>.json` — committed to the repo so the perf trajectory is
+//! tracked in-tree.
+
+use bench::perf;
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--emit") {
+        for entry in perf::run_workloads() {
+            println!("{}", entry.to_json());
+        }
+        return;
+    }
+
+    let mut threads: Vec<String> = vec!["1".into(), "4".into()];
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let list = it.next().expect("--threads needs a comma-separated list");
+                threads = list.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--out" => out_path = Some(it.next().expect("--out needs a path").clone()),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let exe = std::env::current_exe().expect("cannot locate own binary");
+    let mut lines: Vec<String> = Vec::new();
+    for t in &threads {
+        eprintln!("==> timing workloads at RAYON_NUM_THREADS={t}");
+        let out = Command::new(&exe)
+            .arg("--emit")
+            .env("RAYON_NUM_THREADS", t)
+            .output()
+            .expect("failed to spawn --emit subprocess");
+        assert!(
+            out.status.success(),
+            "--emit run at {t} threads failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("entries not UTF-8");
+        lines.extend(stdout.lines().map(str::to_string));
+    }
+
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock before epoch")
+        .as_secs();
+    let date = perf::date_stamp(now);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let doc = perf::render_report(&date, host_cpus, &lines);
+    let path = out_path.unwrap_or_else(|| format!("BENCH_{date}.json"));
+    std::fs::write(&path, &doc).expect("failed to write report");
+    eprintln!("==> wrote {path}");
+    print!("{doc}");
+}

@@ -3,8 +3,11 @@
 //! One experiment per theorem/figure of the paper (see DESIGN.md §4 and
 //! EXPERIMENTS.md). Each experiment is a pure function returning printable
 //! rows; the `report` binary prints them and the criterion benches time the
-//! underlying kernels.
+//! underlying kernels. The `perf` binary (see [`perf`]) times the E1/E2
+//! experiments end-to-end across thread counts and writes the wall-clock
+//! baselines to a committed `BENCH_<date>.json`.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;

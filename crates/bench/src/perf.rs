@@ -1,0 +1,143 @@
+//! Machine-readable perf baselines.
+//!
+//! The criterion benches time micro-kernels; this module times the two
+//! *end-to-end* experiments the thread pool is supposed to speed up (E1
+//! even-cycle detection, E2 superlinear-family simulation) and renders the
+//! wall-clock numbers as a small JSON document, so the repo's perf
+//! trajectory is recorded in-tree (`BENCH_<date>.json` at the workspace
+//! root, one file per measurement day).
+//!
+//! The pool sizes itself once per process from `RAYON_NUM_THREADS`, so a
+//! multi-thread-count report needs one subprocess per count — that
+//! orchestration lives in the `perf` binary (`src/bin/perf.rs`) and
+//! `scripts/bench.sh`; this module is the in-process part: run the
+//! workloads at the *current* thread count and serialize entries.
+
+use crate::experiments as exp;
+use std::time::Instant;
+
+/// One timed workload: `experiment` at size `n` took `wall_ms` on a pool of
+/// `threads` lanes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEntry {
+    /// Experiment tag (`"e1_even_cycle"`, `"e2_superlinear"`).
+    pub experiment: String,
+    /// Instance size (nodes for E1, disjointness side length for E2).
+    pub n: usize,
+    /// Wall-clock time of the workload, milliseconds.
+    pub wall_ms: f64,
+    /// Parallelism lanes the pool used (`rayon::current_num_threads`).
+    pub threads: usize,
+}
+
+impl PerfEntry {
+    /// The entry as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"experiment":"{}","n":{},"wall_ms":{:.3},"threads":{}}}"#,
+            self.experiment, self.n, self.wall_ms, self.threads
+        )
+    }
+}
+
+/// Runs the timed workloads at the current pool size. Sizes are chosen so
+/// one pass stays under ~a minute in release mode while still being large
+/// enough for the round loop (not process startup) to dominate.
+pub fn run_workloads() -> Vec<PerfEntry> {
+    let threads = rayon::current_num_threads();
+    let mut entries = Vec::new();
+    for n in [128usize, 256, 512] {
+        let start = Instant::now();
+        let rows = exp::e1_even_cycle(2, &[n], 1, 42);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(rows.len(), 1);
+        entries.push(PerfEntry {
+            experiment: "e1_even_cycle".into(),
+            n,
+            wall_ms,
+            threads,
+        });
+    }
+    for nc in [16usize, 36, 64] {
+        let start = Instant::now();
+        let rows = exp::e2_superlinear(2, &[nc], 7);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(rows.len(), 1);
+        entries.push(PerfEntry {
+            experiment: "e2_superlinear".into(),
+            n: nc,
+            wall_ms,
+            threads,
+        });
+    }
+    entries
+}
+
+/// `YYYY-MM-DD` for a Unix timestamp (civil-from-days, proleptic
+/// Gregorian) — enough calendar for a file name, no date crate needed.
+pub fn date_stamp(secs_since_epoch: u64) -> String {
+    let z = (secs_since_epoch / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Renders the full report document from pre-rendered entry objects (one
+/// JSON object string each, as produced by [`PerfEntry::to_json`]) gathered
+/// across thread counts.
+pub fn render_report(date: &str, host_cpus: usize, entry_jsons: &[String]) -> String {
+    let body: Vec<String> = entry_jsons.iter().map(|e| format!("    {e}")).collect();
+    format!(
+        "{{\n  \"date\": \"{date}\",\n  \"host_cpus\": {host_cpus},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_stamp_is_civil() {
+        assert_eq!(date_stamp(0), "1970-01-01");
+        assert_eq!(date_stamp(86_400), "1970-01-02");
+        // 2026-08-06 00:00:00 UTC.
+        assert_eq!(date_stamp(1_785_974_400), "2026-08-06");
+        // Leap day.
+        assert_eq!(date_stamp(1_709_164_800), "2024-02-29");
+    }
+
+    #[test]
+    fn report_is_valid_json_shape() {
+        let entries = [
+            PerfEntry {
+                experiment: "e1_even_cycle".into(),
+                n: 128,
+                wall_ms: 12.5,
+                threads: 1,
+            },
+            PerfEntry {
+                experiment: "e2_superlinear".into(),
+                n: 16,
+                wall_ms: 3.25,
+                threads: 4,
+            },
+        ];
+        let jsons: Vec<String> = entries.iter().map(PerfEntry::to_json).collect();
+        let doc = render_report("2026-08-06", 4, &jsons);
+        assert!(
+            doc.contains(r#""experiment":"e1_even_cycle","n":128,"wall_ms":12.500,"threads":1"#)
+        );
+        assert!(doc.contains(r#""host_cpus": 4"#));
+        // Balanced braces/brackets, trailing newline — cheap well-formedness.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        assert!(doc.ends_with('\n'));
+    }
+}

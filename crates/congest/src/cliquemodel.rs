@@ -167,7 +167,7 @@ impl<'g> CliqueEngine<'g> {
         F: Fn(usize) -> A + Sync,
     {
         let n = self.input.n();
-        let contexts: Vec<CliqueContext> = (0..n)
+        let mut contexts: Vec<CliqueContext> = (0..n)
             .map(|v| CliqueContext {
                 index: v,
                 n,
@@ -233,28 +233,29 @@ impl<'g> CliqueEngine<'g> {
             }
             stats.rounds = round;
 
-            // Deliver: bucket messages by destination.
+            // Deliver: bucket messages by destination. Accounting already
+            // read every payload above, so delivery *moves* the messages
+            // instead of cloning them.
             let mut inboxes: Vec<Vec<(usize, A::Msg)>> = vec![Vec::new(); n];
-            for (from, outbox) in outboxes.iter().enumerate() {
-                for (to, m) in outbox {
-                    inboxes[*to].push((from, m.clone()));
+            for (from, outbox) in outboxes.iter_mut().enumerate() {
+                for (to, m) in outbox.drain(..) {
+                    inboxes[to].push((from, m));
                 }
             }
 
             outboxes = nodes
                 .par_iter_mut()
-                .zip(contexts.par_iter())
+                .zip(contexts.par_iter_mut())
                 .zip(rngs.par_iter_mut())
                 .zip(inboxes.into_par_iter())
                 .map(|(((node, ctx), rng), inbox)| {
                     if node.halted() {
                         Vec::new()
                     } else {
-                        let ctx = CliqueContext {
-                            round,
-                            ..ctx.clone()
-                        };
-                        node.on_round(&ctx, &inbox, rng)
+                        // Update the round in place; cloning the context
+                        // would copy `input_neighbors` every round.
+                        ctx.round = round;
+                        node.on_round(ctx, &inbox, rng)
                     }
                 })
                 .collect();

@@ -7,7 +7,7 @@
 //! hpc guides recommend).
 
 use crate::faults::{Delivery, DeliveryCtx, FaultReport, FaultSpec};
-use crate::message::BitSize;
+use crate::message::{BitSize, Payload};
 use crate::node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
 use crate::stats::RunStats;
 use crate::trace::{TraceEvent, TraceKind};
@@ -16,6 +16,16 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use std::fmt;
+use std::sync::Arc;
+
+/// One round's sends, staged for delivery: unicast payloads stay inline
+/// (each is consumed by exactly one receiver), broadcast payloads are
+/// materialized once behind an `Arc` so handing them to `deg(v)` receivers
+/// is allocation- and copy-free.
+enum Wire<M> {
+    Unicast(usize, M),
+    Broadcast(Arc<M>),
+}
 
 /// Per-edge-per-round bandwidth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,7 +272,6 @@ impl<'g> Engine<'g> {
 
         // Reverse-port table: rev_port[slot(v, p)] is the port of v in the
         // adjacency list of v's p-th neighbor. Needed to route unicasts.
-        let offsets = stats.offsets.clone();
         let rev_port: Vec<u32> = (0..n)
             .into_par_iter()
             .flat_map_iter(|v| {
@@ -274,7 +283,7 @@ impl<'g> Engine<'g> {
             })
             .collect();
 
-        let contexts: Vec<NodeContext> = (0..n)
+        let mut contexts: Vec<NodeContext> = (0..n)
             .map(|v| NodeContext {
                 index: v,
                 id: self.ids[v],
@@ -316,6 +325,11 @@ impl<'g> Engine<'g> {
 
         let mut completed = nodes.iter().all(|nd| nd.halted());
 
+        // Per-node inboxes, allocated once and reused (cleared in place)
+        // every round, so steady-state delivery does not allocate.
+        let mut inboxes: Vec<Inbox<A::Msg>> = (0..n).map(|_| Vec::new()).collect();
+        let tracing = self.trace.is_some();
+
         for round in 1..=self.max_rounds {
             if completed && outboxes.iter().all(|o| o.is_empty()) {
                 break;
@@ -346,29 +360,51 @@ impl<'g> Engine<'g> {
 
             // Account traffic + enforce bandwidth for this round's sends.
             let before = stats.total_bits;
-            self.account_round(&mut stats, &outboxes, &offsets, round)?;
+            self.account_round(&mut stats, &outboxes, round)?;
             stats.per_round_bits.push(stats.total_bits - before);
             stats.rounds = round;
+
+            // Stage this round's sends in wire form, draining the outboxes:
+            // unicast payloads move (no copy), each broadcast payload is
+            // materialized once behind an `Arc` instead of being cloned per
+            // receiving edge.
+            let wires: Vec<Vec<Wire<A::Msg>>> = outboxes
+                .iter_mut()
+                .map(|outbox| {
+                    outbox
+                        .drain(..)
+                        .map(|out| match out {
+                            Outgoing::Unicast(p, m) => Wire::Unicast(p, m),
+                            Outgoing::Broadcast(m) => Wire::Broadcast(Arc::new(m)),
+                        })
+                        .collect()
+                })
+                .collect();
 
             // Build inboxes: node v collects, from each neighbor u, the
             // messages u addressed at (the port leading to) v, with the
             // fault model deciding the fate of every delivery. Fault
             // randomness is a deterministic function of the engine seed, so
             // the run stays reproducible and thread-safe; per-receiver
-            // fault counts are reduced after the parallel section.
-            let results: Vec<(Inbox<A::Msg>, u64, u64, u64)> = (0..n)
-                .into_par_iter()
-                .map(|v| {
-                    let mut inbox = Vec::new();
+            // fault counts and trace events are reduced *after* the
+            // parallel section, in node order, so the (bounded) trace
+            // buffer fills identically at any thread count.
+            let offsets = &stats.offsets;
+            let results: Vec<(u64, u64, u64, Vec<TraceEvent>)> = inboxes
+                .par_iter_mut()
+                .enumerate()
+                .map(|(v, inbox)| {
+                    inbox.clear();
                     let (mut del, mut drp, mut cor) = (0u64, 0u64, 0u64);
+                    let mut events: Vec<TraceEvent> = Vec::new();
                     let receiver_down = crashed[v].is_some();
                     for (p, &u) in g.neighbors(v).iter().enumerate() {
                         let u = u as usize;
                         let their_port = rev_port[offsets[v] + p] as usize;
-                        for (idx, out) in outboxes[u].iter().enumerate() {
-                            let m = match out {
-                                Outgoing::Unicast(q, m) if *q == their_port => m,
-                                Outgoing::Broadcast(m) => m,
+                        for (idx, wire) in wires[u].iter().enumerate() {
+                            let m: &A::Msg = match wire {
+                                Wire::Unicast(q, m) if *q == their_port => m,
+                                Wire::Broadcast(m) => m.as_ref(),
                                 _ => continue,
                             };
                             // Messages to a crashed node are lost.
@@ -388,13 +424,22 @@ impl<'g> Engine<'g> {
                             };
                             match model.delivery(&ctx) {
                                 Delivery::Deliver => {
-                                    inbox.push((p, m.clone()));
+                                    // Zero-copy for broadcasts: share the
+                                    // Arc'd payload. Unicasts move... almost:
+                                    // the wire entry is borrowed here, so
+                                    // they cost the one clone they always
+                                    // did, never one per edge.
+                                    let payload = match wire {
+                                        Wire::Unicast(_, m) => Payload::Owned(m.clone()),
+                                        Wire::Broadcast(m) => Payload::Shared(Arc::clone(m)),
+                                    };
+                                    inbox.push((p, payload));
                                     del += 1;
                                 }
                                 Delivery::Drop => {
                                     drp += 1;
-                                    if let Some(t) = &self.trace {
-                                        t.record(TraceEvent {
+                                    if tracing {
+                                        events.push(TraceEvent {
                                             round,
                                             from: u,
                                             port: p,
@@ -404,11 +449,14 @@ impl<'g> Engine<'g> {
                                     }
                                 }
                                 Delivery::Corrupt(bit) => {
+                                    // The corrupt path is the one place a
+                                    // fault mutates bytes, so only here does
+                                    // a broadcast payload get deep-copied.
                                     let mut damaged = m.clone();
                                     if damaged.corrupt_bit(bit) {
                                         cor += 1;
-                                        if let Some(t) = &self.trace {
-                                            t.record(TraceEvent {
+                                        if tracing {
+                                            events.push(TraceEvent {
                                                 round,
                                                 from: u,
                                                 port: p,
@@ -421,44 +469,47 @@ impl<'g> Engine<'g> {
                                         // bits to flip — delivered intact.
                                         del += 1;
                                     }
-                                    inbox.push((p, damaged));
+                                    inbox.push((p, Payload::Owned(damaged)));
                                 }
                             }
                         }
                     }
-                    (inbox, del, drp, cor)
+                    (del, drp, cor, events)
                 })
                 .collect();
 
             let (mut round_dropped, mut round_corrupted) = (0u64, 0u64);
-            let mut inboxes: Vec<Inbox<A::Msg>> = Vec::with_capacity(n);
-            for (inbox, del, drp, cor) in results {
+            for (del, drp, cor, events) in results {
                 report.delivered += del;
                 round_dropped += drp;
                 round_corrupted += cor;
-                inboxes.push(inbox);
+                if let Some(t) = &self.trace {
+                    for ev in events {
+                        t.record(ev);
+                    }
+                }
             }
             report.dropped += round_dropped;
             report.corrupted += round_corrupted;
             report.dropped_per_round.push(round_dropped);
             report.corrupted_per_round.push(round_corrupted);
+            drop(wires);
 
-            // Step all live (non-halted, non-crashed) nodes.
+            // Step all live (non-halted, non-crashed) nodes. The shared
+            // context is updated in place (`round` is its only per-round
+            // field) instead of being cloned per node per round.
             outboxes = nodes
                 .par_iter_mut()
-                .zip(contexts.par_iter())
+                .zip(contexts.par_iter_mut())
                 .zip(rngs.par_iter_mut())
-                .zip(inboxes.into_par_iter())
+                .zip(inboxes.par_iter())
                 .zip(crashed.par_iter())
                 .map(|((((node, ctx), rng), inbox), down)| {
                     if node.halted() || down.is_some() {
                         Vec::new()
                     } else {
-                        let ctx = NodeContext {
-                            round,
-                            ..ctx.clone()
-                        };
-                        node.on_round(&ctx, &inbox, rng)
+                        ctx.round = round;
+                        node.on_round(ctx, inbox, rng)
                     }
                 })
                 .collect();
@@ -483,10 +534,19 @@ impl<'g> Engine<'g> {
         &self,
         stats: &mut RunStats,
         outboxes: &[Outbox<M>],
-        offsets: &[usize],
         round: usize,
     ) -> Result<(), CongestError> {
         let g = self.topology;
+        // Split field borrows: `offsets` is read while the counters are
+        // written, so no clone of the offset table is needed.
+        let RunStats {
+            offsets,
+            directed_edge_bits,
+            total_bits,
+            total_messages,
+            max_edge_round_bits,
+            ..
+        } = stats;
         for (v, outbox) in outboxes.iter().enumerate() {
             if outbox.is_empty() {
                 continue;
@@ -549,11 +609,11 @@ impl<'g> Engine<'g> {
                         });
                     }
                 }
-                stats.directed_edge_bits[offsets[v] + p] += bits as u64;
-                stats.total_bits += bits as u64;
-                stats.max_edge_round_bits = stats.max_edge_round_bits.max(bits);
+                directed_edge_bits[offsets[v] + p] += bits as u64;
+                *total_bits += bits as u64;
+                *max_edge_round_bits = (*max_edge_round_bits).max(bits);
             }
-            stats.total_messages += msgs;
+            *total_messages += msgs;
         }
         Ok(())
     }
@@ -591,7 +651,7 @@ mod tests {
             inbox: &Inbox<u64>,
             _rng: &mut ChaCha8Rng,
         ) -> Outbox<u64> {
-            self.reject = inbox.iter().any(|&(_, id)| id > ctx.id);
+            self.reject = inbox.iter().any(|(_, id)| **id > ctx.id);
             self.done = true;
             Vec::new()
         }
@@ -704,12 +764,12 @@ mod tests {
             inbox: &Inbox<u32>,
             _rng: &mut ChaCha8Rng,
         ) -> Outbox<u32> {
-            if let Some(&(port, hops)) = inbox.first() {
-                if hops == 0 {
+            if let Some((port, hops)) = inbox.first() {
+                if **hops == 0 {
                     self.done = true;
                     return Vec::new();
                 }
-                return vec![Outgoing::Unicast(port, hops - 1)];
+                return vec![Outgoing::Unicast(*port, **hops - 1)];
             }
             // A node with nothing to do halts once the token passed it.
             Vec::new()

@@ -33,7 +33,7 @@ pub use faults::{
     BitFlip, CrashStop, Delivery, DeliveryCtx, FaultModel, FaultReport, FaultSpec, GilbertElliott,
     IndependentLoss, LinkFailure, NoFaults, Outage,
 };
-pub use message::{bits_for_domain, BitSize, BitString};
+pub use message::{bits_for_domain, BitSize, BitString, Payload};
 pub use node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
 pub use reliable::{Reliable, ReliableConfig};
 pub use stats::RunStats;

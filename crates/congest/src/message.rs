@@ -163,6 +163,54 @@ impl BitSize for BitString {
     }
 }
 
+/// A delivered message payload: either a private copy or a reference into a
+/// shared broadcast buffer.
+///
+/// A CONGEST broadcast reaches every neighbor with the *same* bits, so the
+/// engine materializes a broadcast once and hands each receiver an `Arc`
+/// into it instead of a deep copy per edge ([`Payload::Shared`]). Unicasts,
+/// and payloads a fault actually mutated, arrive as [`Payload::Owned`].
+/// Algorithms read payloads through [`std::ops::Deref`] (field access and
+/// method calls need no change; pattern matches use `&**payload`), which
+/// keeps delivery allocation-free on the hot path without letting one
+/// receiver's view alias another's mutations.
+#[derive(Debug, Clone)]
+pub enum Payload<M> {
+    /// A payload this receiver exclusively owns (unicast or fault-mutated).
+    Owned(M),
+    /// A view into a broadcast payload shared by all its receivers.
+    Shared(std::sync::Arc<M>),
+}
+
+impl<M> std::ops::Deref for Payload<M> {
+    type Target = M;
+    fn deref(&self) -> &M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(m) => m,
+        }
+    }
+}
+
+impl<M: Clone> Payload<M> {
+    /// Extracts the message, cloning only if it is still shared with other
+    /// receivers.
+    pub fn into_owned(self) -> M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(m) => std::sync::Arc::try_unwrap(m).unwrap_or_else(|m| (*m).clone()),
+        }
+    }
+}
+
+impl<M: PartialEq> PartialEq for Payload<M> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl<M: Eq> Eq for Payload<M> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,7 +4,7 @@
 //! its own identifier, its degree, the identifiers of its neighbors (indexed
 //! by *port*), and the messages arriving on its ports.
 
-use crate::message::BitSize;
+use crate::message::{BitSize, Payload};
 use rand_chacha::ChaCha8Rng;
 
 /// What a node knows about itself and its surroundings.
@@ -48,8 +48,10 @@ pub enum Outgoing<M> {
 /// The messages a node emits in one round.
 pub type Outbox<M> = Vec<Outgoing<M>>;
 
-/// A message received this round: `(port, payload)`.
-pub type Inbox<M> = Vec<(usize, M)>;
+/// A message received this round: `(port, payload)`. Broadcast payloads are
+/// shared between their receivers rather than cloned per edge — see
+/// [`Payload`] for how algorithms read them.
+pub type Inbox<M> = Vec<(usize, Payload<M>)>;
 
 /// Accept/reject output of a node (Definition 1 semantics: the network
 /// rejects — "H found" — iff some node rejects).

@@ -27,7 +27,7 @@
 //! [`RunStats`]: crate::stats::RunStats
 
 use crate::engine::{CongestError, Engine, RunOutcome};
-use crate::message::BitSize;
+use crate::message::{BitSize, Payload};
 use crate::node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
 use rand_chacha::ChaCha8Rng;
 use std::hash::{Hash, Hasher};
@@ -291,7 +291,7 @@ where
         //    frame (acking duplicates too — our earlier ack may have been
         //    lost), and mark acked sender frames.
         for (p, msg) in inbox {
-            match msg {
+            match &**msg {
                 RMsg::Data {
                     vround: vr,
                     check,
@@ -369,7 +369,7 @@ where
             for (p, got) in self.in_got.iter_mut().enumerate() {
                 if let Some(bundle) = got.take() {
                     for m in bundle {
-                        vinbox.push((p, m));
+                        vinbox.push((p, Payload::Owned(m)));
                     }
                 }
             }
@@ -469,7 +469,7 @@ mod tests {
             _rng: &mut ChaCha8Rng,
         ) -> Outbox<Vec<u64>> {
             for (_, ids) in inbox {
-                for &id in ids {
+                for &id in ids.iter() {
                     self.absorb(id);
                 }
             }

@@ -466,7 +466,7 @@ impl NodeAlgorithm for LayerPrefixNode {
         // after the previous round; they are counted fresh every round.
         let mut alive = 0usize;
         for (port, msg) in inbox {
-            match msg {
+            match &**msg {
                 P2Msg::Active => {
                     alive += 1;
                 }

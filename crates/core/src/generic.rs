@@ -278,7 +278,7 @@ impl NodeAlgorithm for GatherNode {
         let mut out: Outbox<GatherMsg> = Vec::new();
         let mut just_adopted = false;
         for (port, msg) in inbox {
-            match msg {
+            match &**msg {
                 GatherMsg::Bfs => {
                     if !self.is_root && self.parent_port.is_none() {
                         self.parent_port = Some(*port);

@@ -105,7 +105,7 @@ impl NodeAlgorithm for TriangleTesterNode {
     ) -> Outbox<TestMsg> {
         let mut out: Outbox<TestMsg> = Vec::new();
         for (port, msg) in inbox {
-            match msg {
+            match &**msg {
                 TestMsg::Query { about, .. } => {
                     if ctx.neighbor_ids.contains(about) {
                         // The asker, `about`, and we form a triangle.

@@ -19,8 +19,14 @@ fn main() {
     let menu: Vec<(&str, FaultSpec)> = vec![
         ("none", FaultSpec::None),
         ("independent loss 25%", FaultSpec::IndependentLoss(0.25)),
-        ("bursty (Gilbert-Elliott)", FaultSpec::GilbertElliott(0.1, 0.4, 0.0, 0.9)),
-        ("crash-stop (2 nodes)", FaultSpec::CrashStop(CrashStop::random(2, 2))),
+        (
+            "bursty (Gilbert-Elliott)",
+            FaultSpec::GilbertElliott(0.1, 0.4, 0.0, 0.9),
+        ),
+        (
+            "crash-stop (2 nodes)",
+            FaultSpec::CrashStop(CrashStop::random(2, 2)),
+        ),
         ("bit-flip 20%", FaultSpec::BitFlip(0.2)),
         (
             "everything at once",
@@ -46,17 +52,22 @@ fn main() {
     let loss = FaultSpec::IndependentLoss(0.3);
     let cfg = detection::EvenCycleConfig::new(2).repetitions(25).seed(1);
     let bare = detection::detect_even_cycle_faulty(&g, cfg, &loss, None).unwrap();
-    let arq =
-        detection::detect_even_cycle_faulty(&g, cfg, &loss, Some(ReliableConfig::default()))
-            .unwrap();
+    let arq = detection::detect_even_cycle_faulty(&g, cfg, &loss, Some(ReliableConfig::default()))
+        .unwrap();
     println!("\nK_2,3 (contains C4) at 30% independent loss:");
     println!(
         "  bare      detected = {:<5} rounds = {:>5} bits = {:>7} ({})",
-        bare.detected, bare.total_rounds, bare.total_bits, bare.faults.summary()
+        bare.detected,
+        bare.total_rounds,
+        bare.total_bits,
+        bare.faults.summary()
     );
     println!(
         "  reliable  detected = {:<5} rounds = {:>5} bits = {:>7} ({})",
-        arq.detected, arq.total_rounds, arq.total_bits, arq.faults.summary()
+        arq.detected,
+        arq.total_rounds,
+        arq.total_bits,
+        arq.faults.summary()
     );
 
     // --- Reproducibility: the fault stream is a function of the seed ---

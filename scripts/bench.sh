@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Records the E1/E2 wall-clock baselines across thread counts into a
+# committed BENCH_<date>.json at the repo root.
+#
+# Usage: scripts/bench.sh [--threads LIST] [--out PATH]
+#   --threads LIST  comma-separated RAYON_NUM_THREADS values (default 1,4)
+#   --out PATH      output file (default BENCH_<date>.json)
+#
+# The rayon pool reads RAYON_NUM_THREADS once per process, so the perf
+# binary re-executes itself once per requested count; this script only
+# builds it in release mode and forwards the flags.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p bench --bin perf"
+cargo build --release -p bench --bin perf
+
+echo "==> recording perf baselines"
+./target/release/perf "$@"

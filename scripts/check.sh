@@ -40,4 +40,13 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# The pool must give byte-identical results on any thread count; gate both
+# the sequential and a genuinely parallel schedule explicitly (the runs
+# above use the host default).
+echo "==> cargo test -q --workspace (RAYON_NUM_THREADS=1)"
+RAYON_NUM_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test -q --workspace (RAYON_NUM_THREADS=4)"
+RAYON_NUM_THREADS=4 cargo test -q --workspace
+
 exit "$status"

@@ -1,0 +1,991 @@
+//! Parallel iterators: deterministic index-space chunking on the pool.
+//!
+//! Every source here (ranges, slices, `Vec`) knows its exact length and can
+//! split itself at an index, so a parallel computation is compiled to a
+//! fixed list of contiguous chunks which are executed as one fork-join
+//! batch on the [`crate::pool`]. Two properties matter for the simulator:
+//!
+//! * **Stable assignment.** The chunk boundaries depend only on the input
+//!   length and the `with_min_len`/`with_max_len` hints — never on the
+//!   thread count or on runtime timing (see [`chunk_size`]). Item `i` is
+//!   always processed inside the same chunk, in ascending index order.
+//! * **Order-preserving collection.** Consumers combine per-chunk results
+//!   in chunk order (`collect` concatenates, `sum`/`min`/`max` fold left to
+//!   right), so the observable result is byte-identical to the sequential
+//!   schedule regardless of `RAYON_NUM_THREADS`.
+
+use crate::pool;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Target number of chunks a parallel call is split into (before the
+/// `with_min_len`/`with_max_len` clamps). A fixed constant — deliberately
+/// *not* derived from the thread count — so the split, and therefore every
+/// order-sensitive result, is identical at any `RAYON_NUM_THREADS`.
+pub const TARGET_CHUNKS: usize = 64;
+
+/// The chunk length used for an input of `len` items under the given
+/// min/max hints. Exposed for tests; not part of the rayon API.
+#[doc(hidden)]
+pub fn chunk_size(len: usize, min_len: usize, max_len: usize) -> usize {
+    let min = min_len.max(1);
+    let max = max_len.max(min);
+    len.div_ceil(TARGET_CHUNKS).clamp(min, max)
+}
+
+/// Splits `iter` into deterministic contiguous chunks, runs `handler` over
+/// each chunk (in parallel when the pool has more than one lane), and
+/// returns the per-chunk results in chunk order.
+pub(crate) fn run_chunked<I, R, H>(iter: I, handler: &H) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+    H: Fn(&mut dyn Iterator<Item = I::Item>) -> R + Sync,
+{
+    let len = iter.split_len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk = chunk_size(len, iter.min_len_hint(), iter.max_len_hint());
+    let n_chunks = len.div_ceil(chunk);
+    let pool = pool::global();
+    if pool.threads() <= 1 || n_chunks <= 1 {
+        // Inline sequential execution — but over the *same* chunk
+        // boundaries as the parallel path, so even a consumer that is
+        // sensitive to grouping sees one schedule everywhere.
+        let mut out = Vec::with_capacity(n_chunks);
+        let mut rest = iter;
+        while rest.split_len() > chunk {
+            let (head, tail) = rest.split_at(chunk);
+            out.push(head.drive(|it| handler(it)));
+            rest = tail;
+        }
+        out.push(rest.drive(|it| handler(it)));
+        return out;
+    }
+    let mut pieces = Vec::with_capacity(n_chunks);
+    let mut rest = iter;
+    while rest.split_len() > chunk {
+        let (head, tail) = rest.split_at(chunk);
+        pieces.push(head);
+        rest = tail;
+    }
+    pieces.push(rest);
+    debug_assert_eq!(pieces.len(), n_chunks);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(n_chunks, || None);
+    let batch = pool::Batch::new(n_chunks);
+    for (slot, piece) in slots.iter_mut().zip(pieces) {
+        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            *slot = Some(piece.drive(|it| handler(it)));
+        });
+        // SAFETY: `wait_and_propagate` below blocks until every task has
+        // run (even if some panicked), so the borrows of `slots` and
+        // `handler` captured by the task outlive its execution.
+        pool.submit(&batch, unsafe { pool::erase_lifetime(task) });
+    }
+    pool.wait_and_propagate(&batch);
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("pool dropped a chunk without running it"))
+        .collect()
+}
+
+/// A splittable, exactly-sized parallel iterator.
+///
+/// The `split_*`/`drive` methods are the (doc-hidden) plumbing every source
+/// and adapter implements; the provided methods are the user-facing rayon
+/// API surface this workspace uses.
+pub trait ParallelIterator: Send + Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of *splittable* positions left (for `flat_map_iter` this is
+    /// the number of base items, not produced items).
+    #[doc(hidden)]
+    fn split_len(&self) -> usize;
+
+    /// Splits into `[0, mid)` and `[mid, len)`. `mid <= split_len()`.
+    #[doc(hidden)]
+    fn split_at(self, mid: usize) -> (Self, Self);
+
+    /// Runs `consume` over this piece's items as an ordinary sequential
+    /// iterator, in ascending index order.
+    #[doc(hidden)]
+    fn drive<F, R>(self, consume: F) -> R
+    where
+        F: FnOnce(&mut dyn Iterator<Item = Self::Item>) -> R;
+
+    /// Smallest chunk length this iterator wants (`with_min_len`).
+    #[doc(hidden)]
+    fn min_len_hint(&self) -> usize {
+        1
+    }
+
+    /// Largest chunk length this iterator wants (`with_max_len`).
+    #[doc(hidden)]
+    fn max_len_hint(&self) -> usize {
+        usize::MAX
+    }
+
+    /// Maps each item through `map_op`.
+    fn map<F, U>(self, map_op: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Send + Sync,
+        U: Send,
+    {
+        Map {
+            base: self,
+            f: Arc::new(map_op),
+        }
+    }
+
+    /// Keeps only items satisfying `predicate`.
+    fn filter<P>(self, predicate: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter {
+            base: self,
+            p: Arc::new(predicate),
+        }
+    }
+
+    /// Maps and filters in one pass.
+    fn filter_map<F, U>(self, map_op: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<U> + Send + Sync,
+        U: Send,
+    {
+        FilterMap {
+            base: self,
+            f: Arc::new(map_op),
+        }
+    }
+
+    /// Maps each item to a *sequential* iterator and flattens. Splitting
+    /// happens at base-item granularity, as in rayon.
+    fn flat_map_iter<F, U>(self, map_op: F) -> FlatMapIter<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Send + Sync,
+        U: IntoIterator,
+        U::Item: Send,
+    {
+        FlatMapIter {
+            base: self,
+            f: Arc::new(map_op),
+        }
+    }
+
+    /// Sets the minimum chunk length for splitting.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min }
+    }
+
+    /// Sets the maximum chunk length for splitting.
+    fn with_max_len(self, max: usize) -> MaxLen<Self> {
+        MaxLen { base: self, max }
+    }
+
+    /// Calls `op` on every item.
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        run_chunked(self, &|it: &mut dyn Iterator<Item = Self::Item>| {
+            it.for_each(&op)
+        });
+    }
+
+    /// Collects into `C`, preserving the sequential order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        run_chunked(self, &|it: &mut dyn Iterator<Item = Self::Item>| it.count())
+            .into_iter()
+            .sum()
+    }
+
+    /// Sums the items; per-chunk partial sums are folded in chunk order.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        run_chunked(self, &|it: &mut dyn Iterator<Item = Self::Item>| {
+            it.sum::<S>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Minimum item (first one on ties, like [`Iterator::min`]).
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        run_chunked(self, &|it: &mut dyn Iterator<Item = Self::Item>| it.min())
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Maximum item (last one on ties, like [`Iterator::max`]).
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        run_chunked(self, &|it: &mut dyn Iterator<Item = Self::Item>| it.max())
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// Whether any item satisfies `predicate`. Chunks already running may
+    /// finish early once a witness is found; the result is exact either
+    /// way.
+    fn any<P>(self, predicate: P) -> bool
+    where
+        P: Fn(Self::Item) -> bool + Send + Sync,
+    {
+        let found = AtomicBool::new(false);
+        run_chunked(self, &|it: &mut dyn Iterator<Item = Self::Item>| {
+            for item in it {
+                if found.load(Ordering::Relaxed) {
+                    return;
+                }
+                if predicate(item) {
+                    found.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        });
+        found.load(Ordering::Relaxed)
+    }
+
+    /// Whether every item satisfies `predicate` (early-exiting, exact).
+    fn all<P>(self, predicate: P) -> bool
+    where
+        P: Fn(Self::Item) -> bool + Send + Sync,
+    {
+        let failed = AtomicBool::new(false);
+        run_chunked(self, &|it: &mut dyn Iterator<Item = Self::Item>| {
+            for item in it {
+                if failed.load(Ordering::Relaxed) {
+                    return;
+                }
+                if !predicate(item) {
+                    failed.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        });
+        !failed.load(Ordering::Relaxed)
+    }
+}
+
+/// Parallel iterators whose items are in one-to-one positional
+/// correspondence with an index range, enabling `zip`/`enumerate`.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// Pairs items positionally with `other` (lengths should match; the
+    /// shorter side bounds the result, as with [`Iterator::zip`]).
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: IndexedParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+}
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` — parallel iteration by shared reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a shared reference).
+    type Item: Send;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    type Item = <&'a C as IntoParallelIterator>::Item;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` — parallel iteration by exclusive reference.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (an exclusive reference).
+    type Item: Send;
+    /// Exclusively borrows `self` as a parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoParallelIterator,
+{
+    type Iter = <&'a mut C as IntoParallelIterator>::Iter;
+    type Item = <&'a mut C as IntoParallelIterator>::Item;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Collections buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds `Self`, preserving the sequential item order.
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Vec<T>
+    where
+        I: ParallelIterator<Item = T>,
+    {
+        let chunks = run_chunked(iter, &|it: &mut dyn Iterator<Item = T>| {
+            it.collect::<Vec<T>>()
+        });
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    /// Short-circuits on the first error *in sequential order* (chunks past
+    /// a failing one may still have run, but their results are discarded).
+    fn from_par_iter<I>(iter: I) -> Result<Vec<T>, E>
+    where
+        I: ParallelIterator<Item = Result<T, E>>,
+    {
+        let chunks = run_chunked(iter, &|it: &mut dyn Iterator<Item = Result<T, E>>| {
+            it.collect::<Result<Vec<T>, E>>()
+        });
+        let mut out = Vec::new();
+        for chunk in chunks {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! range_impl {
+    ($t:ty) => {
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter {
+                    start: self.start,
+                    end: self.end,
+                }
+            }
+        }
+
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+
+            fn split_len(&self) -> usize {
+                if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                }
+            }
+
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                let mid = self.start + mid as $t;
+                (
+                    RangeIter {
+                        start: self.start,
+                        end: mid,
+                    },
+                    RangeIter {
+                        start: mid,
+                        end: self.end,
+                    },
+                )
+            }
+
+            fn drive<F, R>(self, consume: F) -> R
+            where
+                F: FnOnce(&mut dyn Iterator<Item = $t>) -> R,
+            {
+                consume(&mut (self.start..self.end))
+            }
+        }
+
+        impl IndexedParallelIterator for RangeIter<$t> {}
+    };
+}
+
+range_impl!(usize);
+range_impl!(u32);
+range_impl!(u64);
+range_impl!(i32);
+range_impl!(i64);
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn split_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (left, right) = self.slice.split_at(mid);
+        (SliceIter { slice: left }, SliceIter { slice: right })
+    }
+
+    fn drive<F, R>(self, consume: F) -> R
+    where
+        F: FnOnce(&mut dyn Iterator<Item = &'a T>) -> R,
+    {
+        consume(&mut self.slice.iter())
+    }
+}
+
+impl<'a, T: Sync + 'a> IndexedParallelIterator for SliceIter<'a, T> {}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter {
+            slice: self.as_slice(),
+        }
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send + 'a> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn split_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (left, right) = self.slice.split_at_mut(mid);
+        (SliceIterMut { slice: left }, SliceIterMut { slice: right })
+    }
+
+    fn drive<F, R>(self, consume: F) -> R
+    where
+        F: FnOnce(&mut dyn Iterator<Item = &'a mut T>) -> R,
+    {
+        consume(&mut self.slice.iter_mut())
+    }
+}
+
+impl<'a, T: Send + 'a> IndexedParallelIterator for SliceIterMut<'a, T> {}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut [T] {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> SliceIterMut<'a, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> SliceIterMut<'a, T> {
+        SliceIterMut {
+            slice: self.as_mut_slice(),
+        }
+    }
+}
+
+/// Parallel iterator that consumes a `Vec<T>`.
+pub struct VecIntoIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIntoIter<T> {
+    type Item = T;
+
+    fn split_len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(mid);
+        (self, VecIntoIter { vec: tail })
+    }
+
+    fn drive<F, R>(self, consume: F) -> R
+    where
+        F: FnOnce(&mut dyn Iterator<Item = T>) -> R,
+    {
+        consume(&mut self.vec.into_iter())
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for VecIntoIter<T> {}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecIntoIter<T> {
+        VecIntoIter { vec: self }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+impl<B, F, U> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> U + Send + Sync,
+    U: Send,
+{
+    type Item = U;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(mid);
+        (
+            Map {
+                base: left,
+                f: Arc::clone(&self.f),
+            },
+            Map {
+                base: right,
+                f: self.f,
+            },
+        )
+    }
+
+    fn drive<G, R>(self, consume: G) -> R
+    where
+        G: FnOnce(&mut dyn Iterator<Item = U>) -> R,
+    {
+        let f = self.f;
+        self.base.drive(move |it| consume(&mut it.map(|x| (*f)(x))))
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+}
+
+impl<B, F, U> IndexedParallelIterator for Map<B, F>
+where
+    B: IndexedParallelIterator,
+    F: Fn(B::Item) -> U + Send + Sync,
+    U: Send,
+{
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<B, P> {
+    base: B,
+    p: Arc<P>,
+}
+
+impl<B, P> ParallelIterator for Filter<B, P>
+where
+    B: ParallelIterator,
+    P: Fn(&B::Item) -> bool + Send + Sync,
+{
+    type Item = B::Item;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(mid);
+        (
+            Filter {
+                base: left,
+                p: Arc::clone(&self.p),
+            },
+            Filter {
+                base: right,
+                p: self.p,
+            },
+        )
+    }
+
+    fn drive<G, R>(self, consume: G) -> R
+    where
+        G: FnOnce(&mut dyn Iterator<Item = B::Item>) -> R,
+    {
+        let p = self.p;
+        self.base
+            .drive(move |it| consume(&mut it.filter(|x| (*p)(x))))
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+}
+
+/// See [`ParallelIterator::filter_map`].
+pub struct FilterMap<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+impl<B, F, U> ParallelIterator for FilterMap<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> Option<U> + Send + Sync,
+    U: Send,
+{
+    type Item = U;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(mid);
+        (
+            FilterMap {
+                base: left,
+                f: Arc::clone(&self.f),
+            },
+            FilterMap {
+                base: right,
+                f: self.f,
+            },
+        )
+    }
+
+    fn drive<G, R>(self, consume: G) -> R
+    where
+        G: FnOnce(&mut dyn Iterator<Item = U>) -> R,
+    {
+        let f = self.f;
+        self.base
+            .drive(move |it| consume(&mut it.filter_map(|x| (*f)(x))))
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+}
+
+/// See [`ParallelIterator::flat_map_iter`].
+pub struct FlatMapIter<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+impl<B, F, U> ParallelIterator for FlatMapIter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> U + Send + Sync,
+    U: IntoIterator,
+    U::Item: Send,
+{
+    type Item = U::Item;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(mid);
+        (
+            FlatMapIter {
+                base: left,
+                f: Arc::clone(&self.f),
+            },
+            FlatMapIter {
+                base: right,
+                f: self.f,
+            },
+        )
+    }
+
+    fn drive<G, R>(self, consume: G) -> R
+    where
+        G: FnOnce(&mut dyn Iterator<Item = U::Item>) -> R,
+    {
+        let f = self.f;
+        self.base
+            .drive(move |it| consume(&mut it.flat_map(|x| (*f)(x))))
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+}
+
+/// See [`ParallelIterator::with_min_len`].
+pub struct MinLen<B> {
+    base: B,
+    min: usize,
+}
+
+impl<B: ParallelIterator> ParallelIterator for MinLen<B> {
+    type Item = B::Item;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(mid);
+        (
+            MinLen {
+                base: left,
+                min: self.min,
+            },
+            MinLen {
+                base: right,
+                min: self.min,
+            },
+        )
+    }
+
+    fn drive<G, R>(self, consume: G) -> R
+    where
+        G: FnOnce(&mut dyn Iterator<Item = B::Item>) -> R,
+    {
+        self.base.drive(consume)
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.min.max(self.base.min_len_hint())
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+}
+
+impl<B: IndexedParallelIterator> IndexedParallelIterator for MinLen<B> {}
+
+/// See [`ParallelIterator::with_max_len`].
+pub struct MaxLen<B> {
+    base: B,
+    max: usize,
+}
+
+impl<B: ParallelIterator> ParallelIterator for MaxLen<B> {
+    type Item = B::Item;
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(mid);
+        (
+            MaxLen {
+                base: left,
+                max: self.max,
+            },
+            MaxLen {
+                base: right,
+                max: self.max,
+            },
+        )
+    }
+
+    fn drive<G, R>(self, consume: G) -> R
+    where
+        G: FnOnce(&mut dyn Iterator<Item = B::Item>) -> R,
+    {
+        self.base.drive(consume)
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.max.min(self.base.max_len_hint())
+    }
+}
+
+impl<B: IndexedParallelIterator> IndexedParallelIterator for MaxLen<B> {}
+
+/// See [`IndexedParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+
+    fn split_len(&self) -> usize {
+        self.a.split_len().min(self.b.split_len())
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(mid);
+        let (bl, br) = self.b.split_at(mid);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn drive<G, R>(self, consume: G) -> R
+    where
+        G: FnOnce(&mut dyn Iterator<Item = (A::Item, B::Item)>) -> R,
+    {
+        let Zip { a, b } = self;
+        a.drive(move |ia| b.drive(move |ib| consume(&mut ia.zip(ib))))
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.a.min_len_hint().max(self.b.min_len_hint())
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.a.max_len_hint().min(self.b.max_len_hint())
+    }
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+}
+
+/// See [`IndexedParallelIterator::enumerate`].
+pub struct Enumerate<B> {
+    base: B,
+    offset: usize,
+}
+
+impl<B: IndexedParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(mid);
+        (
+            Enumerate {
+                base: left,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: right,
+                offset: self.offset + mid,
+            },
+        )
+    }
+
+    fn drive<G, R>(self, consume: G) -> R
+    where
+        G: FnOnce(&mut dyn Iterator<Item = (usize, B::Item)>) -> R,
+    {
+        let offset = self.offset;
+        self.base.drive(move |it| consume(&mut (offset..).zip(it)))
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+}
+
+impl<B: IndexedParallelIterator> IndexedParallelIterator for Enumerate<B> {}

@@ -1,97 +1,54 @@
-//! Offline shim of the `rayon` API surface this workspace uses.
+//! Offline, vendored implementation of the `rayon` API surface this
+//! workspace uses — a real fork-join thread pool, not a sequential shim.
 //!
-//! The real rayon cannot be fetched in this build environment, so the
-//! workspace vendors a **sequential** drop-in: `par_iter`, `par_iter_mut`
-//! and `into_par_iter` simply return the corresponding standard iterators,
-//! and rayon-only combinators (`flat_map_iter`, `with_min_len`) are provided
-//! as extension methods on ordinary iterators. Node steps in the simulator
-//! are pure per-node functions, so the sequential schedule is
-//! observationally identical (and deterministic by construction); swap the
-//! real rayon back in for wall-clock parallelism when registry access
-//! exists.
+//! The real rayon cannot be fetched in this build environment, so this
+//! crate reimplements the subset the simulator needs on plain `std`:
+//!
+//! * a lazily-initialized global [pool](crate::pool) of OS threads with
+//!   lock-based work-stealing deques, sized from
+//!   [`std::thread::available_parallelism`] and overridable via the
+//!   `RAYON_NUM_THREADS` environment variable (read once, at first use;
+//!   `1` runs everything inline on the calling thread);
+//! * chunked index-space splitting for `par_iter` / `par_iter_mut` /
+//!   `into_par_iter` over slices, `Vec`s and integer ranges, plus the
+//!   `map` / `filter` / `filter_map` / `flat_map_iter` / `zip` /
+//!   `with_min_len` / `with_max_len` adapters and the `collect` / `sum` /
+//!   `min` / `max` / `count` / `any` / `all` / `for_each` consumers;
+//! * [`join`] with caller-helps scheduling and panic propagation.
+//!
+//! # Determinism
+//!
+//! The simulator's reproducibility guarantee (fixed seed ⇒ byte-identical
+//! run) must survive parallel execution, so this crate promises **stable
+//! assignment**: chunk boundaries are a pure function of input length and
+//! the `with_min_len`/`with_max_len` hints (see [`iter::chunk_size`]) —
+//! never of the thread count or of runtime timing — and every consumer
+//! combines per-chunk results in chunk order. Consequently any parallel
+//! expression here evaluates to exactly the value the sequential schedule
+//! would produce, at any `RAYON_NUM_THREADS`.
+//!
+//! Panics raised inside parallel work are caught at the task boundary and
+//! re-thrown on the calling thread once the whole batch has finished, so
+//! unwinding never leaves a worker holding borrows into a dead stack frame.
+
+pub mod iter;
+mod pool;
+
+pub use pool::{current_num_threads, join};
 
 pub mod prelude {
     //! Drop-in replacement for `rayon::prelude::*`.
-
-    /// `into_par_iter()` for owned collections — sequential fallback.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Returns the standard sequential iterator.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-    impl<I: IntoIterator> IntoParallelIterator for I {}
-
-    /// `par_iter()` for collections iterable by shared reference.
-    pub trait IntoParallelRefIterator<'a> {
-        /// The sequential iterator type.
-        type Iter: Iterator;
-        /// Returns the standard sequential iterator.
-        fn par_iter(&'a self) -> Self::Iter;
-    }
-    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
-    where
-        &'a C: IntoIterator,
-    {
-        type Iter = <&'a C as IntoIterator>::IntoIter;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `par_iter_mut()` for collections iterable by exclusive reference.
-    pub trait IntoParallelRefMutIterator<'a> {
-        /// The sequential iterator type.
-        type Iter: Iterator;
-        /// Returns the standard sequential iterator.
-        fn par_iter_mut(&'a mut self) -> Self::Iter;
-    }
-    impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
-    where
-        &'a mut C: IntoIterator,
-    {
-        type Iter = <&'a mut C as IntoIterator>::IntoIter;
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// Rayon-only combinators, re-expressed over standard iterators.
-    pub trait ParallelIteratorShim: Iterator + Sized {
-        /// rayon's `flat_map_iter` == sequential `flat_map`.
-        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-        where
-            U: IntoIterator,
-            F: FnMut(Self::Item) -> U,
-        {
-            self.flat_map(f)
-        }
-
-        /// Work-splitting hint; meaningless sequentially.
-        fn with_min_len(self, _min: usize) -> Self {
-            self
-        }
-
-        /// Work-splitting hint; meaningless sequentially.
-        fn with_max_len(self, _max: usize) -> Self {
-            self
-        }
-    }
-    impl<I: Iterator> ParallelIteratorShim for I {}
-}
-
-/// Sequential stand-in for `rayon::join`.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator,
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn par_iter_chain_matches_sequential() {
@@ -106,6 +63,7 @@ mod tests {
             })
             .collect();
         assert_eq!(zs, vec![11, 22, 33, 44]);
+        assert_eq!(ys, vec![11, 22, 33, 44]);
     }
 
     #[test]
@@ -119,5 +77,132 @@ mod tests {
         let (a, b) = super::join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn large_collect_preserves_order() {
+        let n = 10_000usize;
+        let out: Vec<usize> = (0..n).into_par_iter().map(|i| i * 3).collect();
+        let expect: Vec<usize> = (0..n).map(|i| i * 3).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let collected: Vec<u32> = empty.into_par_iter().collect();
+        assert!(collected.is_empty());
+        assert_eq!((0..0usize).into_par_iter().sum::<usize>(), 0);
+        assert_eq!((0..0usize).into_par_iter().count(), 0);
+        assert_eq!((0..0usize).into_par_iter().min(), None);
+        assert!(!(0..0usize).into_par_iter().any(|_| true));
+        assert!((0..0usize).into_par_iter().all(|_| false));
+        let nothing: Vec<String> = Vec::<String>::new().par_iter().map(String::clone).collect();
+        assert!(nothing.is_empty());
+    }
+
+    #[test]
+    fn panic_propagates_from_parallel_work() {
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            (0..1000usize).into_par_iter().for_each(|i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 617 {
+                    panic!("worker panic for test");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must cross the parallel boundary");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert!(msg.contains("worker panic"), "unexpected payload: {msg}");
+        assert!(ran.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn panic_propagates_from_join() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            super::join(|| 1u32, || -> u32 { panic!("join arm panic") })
+        }));
+        assert!(result.is_err());
+        // The pool must stay usable after a panic.
+        let sum: u64 = (0..100u64).into_par_iter().sum();
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn nested_par_iter() {
+        let grids: Vec<u64> = (0..16u64)
+            .into_par_iter()
+            .map(|row| (0..1000u64).into_par_iter().map(|c| c * row).sum::<u64>())
+            .collect();
+        for (row, &total) in grids.iter().enumerate() {
+            assert_eq!(total, (0..1000u64).sum::<u64>() * row as u64);
+        }
+    }
+
+    #[test]
+    fn with_min_len_controls_chunking() {
+        use crate::iter::{chunk_size, TARGET_CHUNKS};
+        // The default split targets TARGET_CHUNKS chunks...
+        assert_eq!(chunk_size(6400, 1, usize::MAX), 6400 / TARGET_CHUNKS);
+        // ...a min-len hint coarsens it...
+        assert_eq!(chunk_size(6400, 500, usize::MAX), 500);
+        // ...a max-len hint refines it...
+        assert_eq!(chunk_size(6400, 1, 10), 10);
+        // ...and short inputs never split below one item per chunk.
+        assert_eq!(chunk_size(5, 1, usize::MAX), 1);
+        // Results are identical whatever the hints (stable assignment).
+        let base: Vec<u32> = (0..507u32).into_par_iter().map(|x| x ^ 7).collect();
+        let coarse: Vec<u32> = (0..507u32)
+            .into_par_iter()
+            .with_min_len(100)
+            .map(|x| x ^ 7)
+            .collect();
+        let fine: Vec<u32> = (0..507u32)
+            .into_par_iter()
+            .with_max_len(3)
+            .map(|x| x ^ 7)
+            .collect();
+        assert_eq!(base, coarse);
+        assert_eq!(base, fine);
+    }
+
+    #[test]
+    fn filter_map_min_match_sequential_semantics() {
+        let vals = [5usize, 3, 9, 3, 7];
+        let par = vals
+            .par_iter()
+            .filter_map(|&v| if v > 2 { Some(v) } else { None })
+            .min();
+        assert_eq!(par, Some(3));
+        let odd_sum: usize = (0..100usize).into_par_iter().filter(|v| v % 2 == 1).sum();
+        assert_eq!(odd_sum, 2500);
+        assert!((0..100usize).into_par_iter().any(|v| v == 99));
+        assert!(!(0..100usize).into_par_iter().any(|v| v > 99));
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_in_order() {
+        let ok: Result<Vec<usize>, String> = (0..50usize)
+            .into_par_iter()
+            .map(Ok::<usize, String>)
+            .collect();
+        assert_eq!(ok.unwrap(), (0..50).collect::<Vec<_>>());
+        let err: Result<Vec<usize>, usize> = (0..50usize)
+            .into_par_iter()
+            .map(|v| if v % 10 == 7 { Err(v) } else { Ok(v) })
+            .collect();
+        assert_eq!(err.unwrap_err(), 7, "first sequential error wins");
+    }
+
+    #[test]
+    fn enumerate_offsets_survive_splitting() {
+        let pairs: Vec<(usize, u8)> = vec![7u8; 300].into_par_iter().enumerate().collect();
+        for (i, &(idx, v)) in pairs.iter().enumerate() {
+            assert_eq!((idx, v), (i, 7));
+        }
     }
 }

@@ -1,0 +1,343 @@
+//! The fork-join thread pool behind the parallel iterators.
+//!
+//! One lazily-initialized global pool serves the whole process, sized from
+//! [`std::thread::available_parallelism`] and overridable with the
+//! `RAYON_NUM_THREADS` environment variable (read once, at first use). The
+//! pool keeps `threads - 1` worker threads; the thread that enters a
+//! fork-join construct acts as the remaining lane and *helps* — it executes
+//! queued tasks while waiting for its own batch instead of blocking — so
+//! nested parallel calls cannot deadlock.
+//!
+//! Scheduling is work-stealing in the classic deque shape: every worker
+//! owns a deque (newest-first for itself, oldest-first for thieves) and
+//! external threads push into a shared injector queue. For simplicity and
+//! portability the deques live under a single pool mutex rather than being
+//! lock-free; tasks here are coarse chunks of index space (see
+//! [`crate::iter`]), so queue traffic is far too low for that lock to be a
+//! bottleneck.
+//!
+//! Panics inside a task are caught at the task boundary, carried through
+//! the owning [`Batch`], and re-thrown on the thread that waits on the
+//! batch — the same observable behavior as a sequential panic.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// A unit of queued work, lifetime-erased (see [`erase_lifetime`]).
+pub(crate) type Task = Box<dyn FnOnce() + Send>;
+
+/// Hard cap on the configured thread count, so a typo'd environment
+/// variable cannot ask for thousands of OS threads.
+const MAX_THREADS: usize = 256;
+
+/// How long a blocked fork-join waiter sleeps before re-checking for newly
+/// stealable work. (Batch *completion* is signalled promptly on the batch
+/// condvar; only new-work arrival is signalled elsewhere, so this bounds
+/// the latency of picking up freshly forked tasks while blocked.)
+const HELP_POLL: Duration = Duration::from_micros(200);
+
+thread_local! {
+    /// Which pool worker this thread is, if any (`None` on external
+    /// threads such as `main` or the test harness's threads).
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Locks a mutex, ignoring poisoning (the pool never panics while holding
+/// a lock; user panics are caught at the task boundary).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One fork-join scope: counts outstanding tasks and carries the first
+/// panic payload captured from any of them.
+pub(crate) struct Batch {
+    remaining: AtomicUsize,
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Batch {
+    /// A batch expecting exactly `tasks` submissions.
+    pub(crate) fn new(tasks: usize) -> Arc<Batch> {
+        Arc::new(Batch {
+            remaining: AtomicUsize::new(tasks),
+            state: Mutex::new(BatchState { panic: None }),
+            done: Condvar::new(),
+        })
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Records one finished task (and its panic payload, if any). The
+    /// release ordering of the final decrement publishes the task's writes
+    /// to whoever observes completion.
+    fn record(&self, result: std::thread::Result<()>) {
+        if let Err(payload) = result {
+            let mut state = lock(&self.state);
+            if state.panic.is_none() {
+                state.panic = Some(payload);
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Take the state lock so a waiter cannot check-and-sleep
+            // between our decrement and our notify.
+            let _state = lock(&self.state);
+            self.done.notify_all();
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        lock(&self.state).panic.take()
+    }
+}
+
+/// All task queues, guarded by one pool-wide mutex. `deques[w]` belongs to
+/// worker `w`; the final slot is the injector used by external threads.
+struct Queues {
+    deques: Vec<VecDeque<Task>>,
+}
+
+/// Pops the best available task for `me`: own deque first (newest-first,
+/// for fork-join locality), then the injector, then steal from the other
+/// workers (oldest-first, round-robin from `me + 1`).
+fn take_task(queues: &mut Queues, me: Option<usize>) -> Option<Task> {
+    let injector = queues.deques.len() - 1;
+    if let Some(i) = me {
+        if let Some(task) = queues.deques[i].pop_front() {
+            return Some(task);
+        }
+    }
+    if let Some(task) = queues.deques[injector].pop_front() {
+        return Some(task);
+    }
+    let workers = injector;
+    let start = me.map_or(0, |i| i + 1);
+    for k in 0..workers {
+        let j = (start + k) % workers;
+        if Some(j) == me {
+            continue;
+        }
+        if let Some(task) = queues.deques[j].pop_back() {
+            return Some(task);
+        }
+    }
+    None
+}
+
+struct Shared {
+    queues: Mutex<Queues>,
+    /// Signalled when a task is pushed; workers park here when idle.
+    work: Condvar,
+}
+
+/// The global pool: `threads` parallelism lanes, `threads - 1` of them OS
+/// worker threads (the caller of a fork-join construct is the last lane).
+pub(crate) struct Pool {
+    threads: usize,
+    shared: Arc<Shared>,
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-global pool, started on first use.
+pub(crate) fn global() -> &'static Pool {
+    GLOBAL.get_or_init(Pool::start)
+}
+
+/// Number of parallelism lanes the global pool uses (including the calling
+/// thread). `1` means all "parallel" constructs run inline, sequentially.
+pub fn current_num_threads() -> usize {
+    global().threads()
+}
+
+fn configured_threads() -> usize {
+    let default = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("RAYON_NUM_THREADS") {
+        // Like rayon, treat 0 (and garbage) as "use the default".
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(0) | Err(_) => default(),
+            Ok(t) => t.min(MAX_THREADS),
+        },
+        Err(_) => default(),
+    }
+}
+
+impl Pool {
+    fn start() -> Pool {
+        let threads = configured_threads();
+        let workers = threads.saturating_sub(1);
+        let shared = Arc::new(Shared {
+            queues: Mutex::new(Queues {
+                deques: (0..=workers).map(|_| VecDeque::new()).collect(),
+            }),
+            work: Condvar::new(),
+        });
+        for index in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{index}"))
+                .spawn(move || worker_loop(shared, index))
+                .expect("failed to spawn pool worker thread");
+        }
+        Pool { threads, shared }
+    }
+
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Queues `task` on behalf of `batch`. The task is wrapped so that its
+    /// panic (if any) is captured into the batch and its completion is
+    /// always recorded.
+    pub(crate) fn submit(&self, batch: &Arc<Batch>, task: Task) {
+        let batch = Arc::clone(batch);
+        let wrapped: Task = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(task));
+            batch.record(result);
+        });
+        {
+            let mut queues = lock(&self.shared.queues);
+            match WORKER_INDEX.with(|w| w.get()) {
+                Some(i) => queues.deques[i].push_front(wrapped),
+                None => {
+                    let injector = queues.deques.len() - 1;
+                    queues.deques[injector].push_back(wrapped);
+                }
+            }
+        }
+        self.shared.work.notify_one();
+    }
+
+    /// Blocks until every task in `batch` has finished, executing queued
+    /// tasks (from any batch) while waiting instead of going idle.
+    pub(crate) fn wait(&self, batch: &Batch) {
+        let me = WORKER_INDEX.with(|w| w.get());
+        while !batch.is_done() {
+            let task = {
+                let mut queues = lock(&self.shared.queues);
+                take_task(&mut queues, me)
+            };
+            match task {
+                Some(task) => task(),
+                None => {
+                    let state = lock(&batch.state);
+                    if batch.is_done() {
+                        break;
+                    }
+                    let (state, _) = batch
+                        .done
+                        .wait_timeout(state, HELP_POLL)
+                        .unwrap_or_else(|e| e.into_inner());
+                    drop(state);
+                }
+            }
+        }
+    }
+
+    /// [`Pool::wait`], then re-throw the first panic the batch captured.
+    pub(crate) fn wait_and_propagate(&self, batch: &Batch) {
+        self.wait(batch);
+        if let Some(payload) = batch.take_panic() {
+            resume_unwind(payload);
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
+    let mut queues = lock(&shared.queues);
+    loop {
+        match take_task(&mut queues, Some(index)) {
+            Some(task) => {
+                drop(queues);
+                task();
+                queues = lock(&shared.queues);
+            }
+            None => {
+                queues = shared.work.wait(queues).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}
+
+/// Erases the lifetime of a boxed task so it can sit in the pool queues.
+///
+/// # Safety
+///
+/// The caller must guarantee that the task has finished running before any
+/// borrow it captures expires. In this crate every submission is paired
+/// with a [`Pool::wait`] on the same [`Batch`], reached on both the normal
+/// and the panicking path, before the submitting stack frame is left.
+pub(crate) unsafe fn erase_lifetime<'a>(task: Box<dyn FnOnce() + Send + 'a>) -> Task {
+    std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Task>(task)
+}
+
+/// A raw pointer that may cross threads; safety is the sender's problem.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+/// Runs `oper_a` and `oper_b`, potentially in parallel, and returns both
+/// results. `oper_b` is queued on the global pool while the calling thread
+/// runs `oper_a`, then the caller helps execute queued work until `oper_b`
+/// is done. If either closure panics, the panic is re-thrown here (a panic
+/// from `oper_a` takes precedence); both closures are always waited for,
+/// so borrows captured by `oper_b` stay valid for exactly its execution.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = global();
+    if pool.threads() <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    let mut slot_b: Option<RB> = None;
+    let batch = Batch::new(1);
+    let slot = SendPtr(&mut slot_b as *mut Option<RB>);
+    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+        // Capture the whole `SendPtr` (edition 2021 would otherwise capture
+        // only the raw-pointer field, which is not `Send`).
+        let slot = slot;
+        // SAFETY: `slot_b` outlives this task — both exits below wait on
+        // `batch` first — and nothing else touches it until then. The final
+        // batch decrement (release) / `is_done` (acquire) pair publishes
+        // this write to the waiter.
+        unsafe { *slot.0 = Some(oper_b()) };
+    });
+    // SAFETY: both exits below wait on `batch` before this frame is left.
+    pool.submit(&batch, unsafe { erase_lifetime(task) });
+    match catch_unwind(AssertUnwindSafe(oper_a)) {
+        Ok(ra) => {
+            pool.wait_and_propagate(&batch);
+            let rb = slot_b
+                .take()
+                .expect("forked closure finished without storing a result");
+            (ra, rb)
+        }
+        Err(payload) => {
+            // `oper_a` panicked. Still wait for `oper_b` (it may borrow
+            // this frame), then prefer `oper_a`'s panic, like rayon does.
+            pool.wait(&batch);
+            resume_unwind(payload);
+        }
+    }
+}
