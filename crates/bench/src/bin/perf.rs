@@ -2,6 +2,11 @@
 //!
 //! Usage:
 //!   perf [--threads 1,4] [--out PATH]   orchestrate and write the report
+//!   perf --run-reports [--out-dir DIR]   export the canonical run reports
+//!                                        (schema-versioned JSON, one file
+//!                                        per scenario; default dir `.`)
+//!   perf --summary                       print the canonical run reports
+//!                                        as human-readable tables
 //!   perf --emit                          (internal) time the workloads at
 //!                                        the current RAYON_NUM_THREADS and
 //!                                        print one JSON entry per line
@@ -21,6 +26,30 @@ fn main() {
     if args.iter().any(|a| a == "--emit") {
         for entry in perf::run_workloads() {
             println!("{}", entry.to_json());
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--summary") {
+        for report in perf::canonical_run_reports() {
+            print!("{}", report.summary_table());
+            println!();
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--run-reports") {
+        let mut out_dir = ".".to_string();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if arg == "--out-dir" {
+                out_dir = it.next().expect("--out-dir needs a path").clone();
+            }
+        }
+        for report in perf::canonical_run_reports() {
+            let path = format!("{out_dir}/run_report_{}.json", report.label);
+            std::fs::write(&path, report.to_json()).expect("failed to write run report");
+            eprintln!("==> wrote {path}");
         }
         return;
     }

@@ -14,7 +14,16 @@
 //! workloads at the *current* thread count and serialize entries.
 
 use crate::experiments as exp;
+use congest::{FaultSpec, ReliableConfig, RunReport};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
+use subgraph_detection as detection;
+
+/// Schema tag of the perf-baseline document ([`render_report`]).
+pub const PERF_REPORT_SCHEMA: &str = "congest.perf_report";
+/// Version of the perf-baseline document layout.
+pub const PERF_REPORT_VERSION: u32 = 1;
 
 /// One timed workload: `experiment` at size `n` took `wall_ms` on a pool of
 /// `threads` lanes.
@@ -73,6 +82,42 @@ pub fn run_workloads() -> Vec<PerfEntry> {
     entries
 }
 
+/// The canonical fault-free observability scenario: the Theorem 1.1
+/// detector on a seeded planted-`C_4` instance, exported as a
+/// schema-versioned run report. Deterministic for any thread count, so
+/// the rendered JSON is byte-stable (goldens live in `tests/golden/`).
+pub fn canonical_fault_free_report() -> RunReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let base = graphlib::generators::gnp(48, 0.05, &mut rng);
+    let (g, _) = graphlib::generators::plant_cycle(&base, 4, &mut rng);
+    let cfg = detection::EvenCycleConfig::new(2).repetitions(4).seed(17);
+    let rep = detection::detect_even_cycle(&g, cfg).expect("detector run failed");
+    rep.run_report("even_cycle_fault_free")
+}
+
+/// The canonical faulty observability scenario: the same detector behind
+/// the stop-and-wait ARQ with 30 % independent message loss. The report
+/// carries the transport's retransmission tallies next to the physical
+/// traffic numbers. Deterministic for any thread count.
+pub fn canonical_arq_loss_report() -> RunReport {
+    let g = graphlib::generators::cycle(12);
+    let cfg = detection::EvenCycleConfig::new(2).repetitions(2).seed(7);
+    let rep = detection::detect_even_cycle_faulty(
+        &g,
+        cfg,
+        &FaultSpec::IndependentLoss(0.3),
+        Some(ReliableConfig::default()),
+    )
+    .expect("faulty detector run failed");
+    rep.run_report("even_cycle_arq_loss30")
+}
+
+/// Both canonical run reports, in a fixed order — the `perf` binary's
+/// `--run-reports` export and the golden-file tests share this list.
+pub fn canonical_run_reports() -> Vec<RunReport> {
+    vec![canonical_fault_free_report(), canonical_arq_loss_report()]
+}
+
 /// `YYYY-MM-DD` for a Unix timestamp (civil-from-days, proleptic
 /// Gregorian) — enough calendar for a file name, no date crate needed.
 pub fn date_stamp(secs_since_epoch: u64) -> String {
@@ -94,7 +139,7 @@ pub fn date_stamp(secs_since_epoch: u64) -> String {
 pub fn render_report(date: &str, host_cpus: usize, entry_jsons: &[String]) -> String {
     let body: Vec<String> = entry_jsons.iter().map(|e| format!("    {e}")).collect();
     format!(
-        "{{\n  \"date\": \"{date}\",\n  \"host_cpus\": {host_cpus},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"{PERF_REPORT_SCHEMA}\",\n  \"version\": {PERF_REPORT_VERSION},\n  \"date\": \"{date}\",\n  \"host_cpus\": {host_cpus},\n  \"entries\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     )
 }
@@ -135,6 +180,8 @@ mod tests {
             doc.contains(r#""experiment":"e1_even_cycle","n":128,"wall_ms":12.500,"threads":1"#)
         );
         assert!(doc.contains(r#""host_cpus": 4"#));
+        assert!(doc.contains(r#""schema": "congest.perf_report""#));
+        assert!(doc.contains(r#""version": 1"#));
         // Balanced braces/brackets, trailing newline — cheap well-formedness.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());

@@ -15,7 +15,7 @@
 //! Theorem 1.2 inequality `R · (cut) · B >= Ω(n²)`.
 
 use crate::protocol::Party;
-use congest::{CongestError, Engine, NodeAlgorithm, RunOutcome};
+use congest::{NodeAlgorithm, Outcome, SimError, Simulation};
 use graphlib::Graph;
 
 /// Cost report of a two-party simulation.
@@ -41,7 +41,7 @@ impl SimulationReport {
 
 /// Computes, from a finished run, the bits a two-party simulation with the
 /// given node partition would have exchanged.
-pub fn simulation_cost(g: &Graph, outcome: &RunOutcome, parts: &[Party]) -> SimulationReport {
+pub fn simulation_cost(g: &Graph, outcome: &Outcome, parts: &[Party]) -> SimulationReport {
     assert_eq!(parts.len(), g.n());
     let mut bits = 0u64;
     let mut cut_a = 0usize;
@@ -85,12 +85,13 @@ pub fn simulate_two_party<A, F>(
     max_rounds: usize,
     seed: u64,
     make: F,
-) -> Result<(RunOutcome, SimulationReport), CongestError>
+) -> Result<(Outcome, SimulationReport), SimError>
 where
     A: NodeAlgorithm,
+    A::Msg: std::hash::Hash,
     F: Fn(usize) -> A + Sync,
 {
-    let outcome = Engine::new(g)
+    let outcome = Simulation::on(g)
         .bandwidth(bandwidth)
         .max_rounds(max_rounds)
         .seed(seed)

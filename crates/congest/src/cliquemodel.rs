@@ -7,11 +7,17 @@
 //! paper's `K_s`-listing bound (§1.1, Lemma 1.3).
 
 use crate::message::BitSize;
+use crate::obsv::collect::{span_nanos, span_start, Collector, SimEvent};
+use crate::stats::RunStats;
 use graphlib::Graph;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use std::fmt;
+use std::sync::Arc;
+
+/// One node's outbox for a round: `(destination, message)` pairs.
+type PairOutbox<M> = Vec<(usize, M)>;
 
 /// What a congested-clique node knows.
 #[derive(Debug, Clone)]
@@ -129,6 +135,7 @@ pub struct CliqueEngine<'g> {
     bandwidth_bits: usize,
     max_rounds: usize,
     seed: u64,
+    collector: Option<Arc<dyn Collector>>,
 }
 
 impl<'g> CliqueEngine<'g> {
@@ -138,6 +145,7 @@ impl<'g> CliqueEngine<'g> {
             bandwidth_bits: crate::message::bits_for_domain(input.n().max(2)),
             max_rounds: 4 * (input.n() + 2) * (input.n() + 2),
             seed: 0,
+            collector: None,
             input,
         }
     }
@@ -160,13 +168,44 @@ impl<'g> CliqueEngine<'g> {
         self
     }
 
+    /// Installs a structured-event [`Collector`] (see [`crate::obsv`]).
+    /// Clique events carry the destination node index in the `port` field.
+    pub fn collector(mut self, c: Arc<dyn Collector>) -> Self {
+        self.collector = Some(c);
+        self
+    }
+
     /// Runs the algorithm.
+    #[deprecated(note = "use `congest::Simulation::run_clique` instead")]
     pub fn run<A, F>(&self, make: F) -> Result<CliqueOutcome<A::Output>, CliqueError>
     where
         A: CliqueAlgorithm,
         F: Fn(usize) -> A + Sync,
     {
+        self.run_impl(make).map(|(outcome, _)| outcome)
+    }
+
+    /// The round loop behind the deprecated [`Self::run`] shim and
+    /// [`Simulation::run_clique`](crate::Simulation::run_clique). Also
+    /// builds a [`RunStats`] over the complete topology (node `u`'s slot
+    /// for destination `v` skips `u` itself), so clique runs export the
+    /// same per-round series and congestion numbers CONGEST runs do.
+    pub(crate) fn run_impl<A, F>(
+        &self,
+        make: F,
+    ) -> Result<(CliqueOutcome<A::Output>, RunStats), CliqueError>
+    where
+        A: CliqueAlgorithm,
+        F: Fn(usize) -> A + Sync,
+    {
         let n = self.input.n();
+        let collector = self.collector.as_deref();
+        let timing = collector.is_some_and(Collector::wants_compute_spans);
+        let rec = |ev: SimEvent| {
+            if let Some(c) = collector {
+                c.record(&ev);
+            }
+        };
         let mut contexts: Vec<CliqueContext> = (0..n)
             .map(|v| CliqueContext {
                 index: v,
@@ -189,13 +228,28 @@ impl<'g> CliqueEngine<'g> {
             total_messages: 0,
             max_pair_round_bits: 0,
         };
+        let mut traffic = RunStats::complete(n);
 
-        let mut outboxes: Vec<Vec<(usize, A::Msg)>> = nodes
+        let init: Vec<(PairOutbox<A::Msg>, u64)> = nodes
             .par_iter_mut()
             .zip(contexts.par_iter())
             .zip(rngs.par_iter_mut())
-            .map(|((node, ctx), rng)| node.init(ctx, rng))
+            .map(|((node, ctx), rng)| {
+                let t = span_start(timing);
+                let out = node.init(ctx, rng);
+                (out, span_nanos(t))
+            })
             .collect();
+        if timing {
+            for (v, (_, nanos)) in init.iter().enumerate() {
+                rec(SimEvent::NodeCompute {
+                    round: 0,
+                    node: v,
+                    nanos: *nanos,
+                });
+            }
+        }
+        let mut outboxes: Vec<Vec<(usize, A::Msg)>> = init.into_iter().map(|(o, _)| o).collect();
 
         let mut completed = nodes.iter().all(|nd| nd.halted());
 
@@ -203,6 +257,10 @@ impl<'g> CliqueEngine<'g> {
             if completed && outboxes.iter().all(|o| o.is_empty()) {
                 break;
             }
+            rec(SimEvent::RoundStart { round });
+            let before_bits = traffic.total_bits;
+            let before_msgs = traffic.total_messages;
+
             // Bandwidth accounting per ordered pair.
             for (from, outbox) in outboxes.iter().enumerate() {
                 if outbox.is_empty() {
@@ -216,6 +274,13 @@ impl<'g> CliqueEngine<'g> {
                     }
                     *per_dest.entry(*to).or_default() += m.bit_size();
                     stats.total_messages += 1;
+                    traffic.total_messages += 1;
+                    rec(SimEvent::Send {
+                        round,
+                        from,
+                        port: *to,
+                        bits: m.bit_size(),
+                    });
                 }
                 for (&to, &bits) in &per_dest {
                     if bits > self.bandwidth_bits {
@@ -229,9 +294,20 @@ impl<'g> CliqueEngine<'g> {
                     }
                     stats.total_bits += bits as u64;
                     stats.max_pair_round_bits = stats.max_pair_round_bits.max(bits);
+                    traffic.total_bits += bits as u64;
+                    traffic.max_edge_round_bits = traffic.max_edge_round_bits.max(bits);
+                    // Node `from`'s slot row has `n - 1` entries, one per
+                    // other node, in index order with `from` itself skipped.
+                    let slot = traffic.offsets[from] + if to < from { to } else { to - 1 };
+                    traffic.directed_edge_bits[slot] += bits as u64;
                 }
             }
             stats.rounds = round;
+            traffic.rounds = round;
+            let round_bits = traffic.total_bits - before_bits;
+            let round_msgs = traffic.total_messages - before_msgs;
+            traffic.per_round_bits.push(round_bits);
+            traffic.per_round_messages.push(round_msgs);
 
             // Deliver: bucket messages by destination. Accounting already
             // read every payload above, so delivery *moves* the messages
@@ -243,31 +319,56 @@ impl<'g> CliqueEngine<'g> {
                 }
             }
 
-            outboxes = nodes
+            let step: Vec<(PairOutbox<A::Msg>, Option<u64>)> = nodes
                 .par_iter_mut()
                 .zip(contexts.par_iter_mut())
                 .zip(rngs.par_iter_mut())
                 .zip(inboxes.into_par_iter())
                 .map(|(((node, ctx), rng), inbox)| {
                     if node.halted() {
-                        Vec::new()
+                        (Vec::new(), None)
                     } else {
                         // Update the round in place; cloning the context
                         // would copy `input_neighbors` every round.
                         ctx.round = round;
-                        node.on_round(ctx, &inbox, rng)
+                        let t = span_start(timing);
+                        let out = node.on_round(ctx, &inbox, rng);
+                        (out, timing.then(|| span_nanos(t)))
                     }
                 })
                 .collect();
+            if timing {
+                for (v, (_, nanos)) in step.iter().enumerate() {
+                    if let Some(nanos) = nanos {
+                        rec(SimEvent::NodeCompute {
+                            round,
+                            node: v,
+                            nanos: *nanos,
+                        });
+                    }
+                }
+            }
+            outboxes = step.into_iter().map(|(o, _)| o).collect();
+
+            rec(SimEvent::RoundEnd {
+                round,
+                bits: round_bits,
+                messages: round_msgs,
+                dropped: 0,
+                corrupted: 0,
+            });
 
             completed = nodes.iter().all(|nd| nd.halted());
         }
 
-        Ok(CliqueOutcome {
-            outputs: nodes.iter().map(|nd| nd.output()).collect(),
-            stats,
-            completed,
-        })
+        Ok((
+            CliqueOutcome {
+                outputs: nodes.iter().map(|nd| nd.output()).collect(),
+                stats,
+                completed,
+            },
+            traffic,
+        ))
     }
 }
 
@@ -320,6 +421,47 @@ mod tests {
     #[test]
     fn degree_sum_counts_edges_twice() {
         let g = generators::cycle(6);
+        let run = crate::simulation::Simulation::on(&g)
+            .bandwidth_bits(32)
+            .run_clique(|_| DegreeSum {
+                acc: 0,
+                done: false,
+            })
+            .unwrap();
+        assert!(run.outcome.completed);
+        assert_eq!(run.outputs[0], 2 * g.m() as u64);
+        // 5 nodes each sent one 32-bit message to node 0.
+        assert_eq!(run.stats.total_bits, 5 * 32);
+        // The all-to-all traffic stats agree with the clique stats, and the
+        // per-pair slots pin exactly who talked to whom.
+        assert_eq!(run.outcome.stats.total_bits, 5 * 32);
+        assert_eq!(run.outcome.stats.per_round_bits, vec![5 * 32]);
+        // Node 1's slot toward node 0 (slot index 0 of its row).
+        assert_eq!(run.outcome.stats.edge_bits(1, 0), 32);
+        // Node 0 sent nothing.
+        assert_eq!(run.outcome.stats.node_bits(0), 0);
+    }
+
+    #[test]
+    fn clique_bandwidth_enforced() {
+        let g = generators::cycle(4);
+        let err = crate::simulation::Simulation::on(&g)
+            .bandwidth_bits(8)
+            .run_clique(|_| DegreeSum {
+                acc: 0,
+                done: false,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err.as_clique(),
+            Some(CliqueError::BandwidthExceeded { .. })
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_clique_run_still_works() {
+        let g = generators::cycle(6);
         let out = CliqueEngine::new(&g)
             .bandwidth_bits(32)
             .run(|_| DegreeSum {
@@ -327,23 +469,8 @@ mod tests {
                 done: false,
             })
             .unwrap();
-        assert!(out.completed);
         assert_eq!(out.outputs[0], 2 * g.m() as u64);
-        // 5 nodes each sent one 32-bit message to node 0.
         assert_eq!(out.stats.total_bits, 5 * 32);
-    }
-
-    #[test]
-    fn clique_bandwidth_enforced() {
-        let g = generators::cycle(4);
-        let err = CliqueEngine::new(&g)
-            .bandwidth_bits(8)
-            .run(|_| DegreeSum {
-                acc: 0,
-                done: false,
-            })
-            .unwrap_err();
-        assert!(matches!(err, CliqueError::BandwidthExceeded { .. }));
     }
 
     #[test]
@@ -369,7 +496,12 @@ mod tests {
             fn output(&self) {}
         }
         let g = generators::cycle(3);
-        let err = CliqueEngine::new(&g).run(|_| SelfSender).unwrap_err();
-        assert!(matches!(err, CliqueError::InvalidDestination { .. }));
+        let err = crate::simulation::Simulation::on(&g)
+            .run_clique(|_| SelfSender)
+            .unwrap_err();
+        assert!(matches!(
+            err.as_clique(),
+            Some(CliqueError::InvalidDestination { .. })
+        ));
     }
 }

@@ -5,12 +5,21 @@
 //! statistics. Node steps within a round are independent, so the engine
 //! evaluates them with rayon (data-parallel, race-free — the pattern the
 //! hpc guides recommend).
+//!
+//! Instrumentation flows through the [`Collector`] trait
+//! (see [`crate::obsv`]): with no collector installed, no event values are
+//! even built. All events are recorded from sequential code in node order,
+//! so a collector observes an identical stream at any thread count.
+//!
+//! The `run`/`run_nodes` entry points are deprecated in favor of the
+//! [`Simulation`](crate::Simulation) builder, which fronts this engine, the
+//! reliable transport, and the clique backend behind one API.
 
 use crate::faults::{Delivery, DeliveryCtx, FaultReport, FaultSpec};
 use crate::message::{BitSize, Payload};
 use crate::node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
+use crate::obsv::collect::{span_nanos, span_start, Collector, SimEvent};
 use crate::stats::RunStats;
-use crate::trace::{TraceEvent, TraceKind};
 use graphlib::Graph;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -161,7 +170,7 @@ pub struct Engine<'g> {
     max_rounds: usize,
     seed: u64,
     broadcast_only: bool,
-    trace: Option<crate::trace::TraceBuffer>,
+    collector: Option<Arc<dyn Collector>>,
     /// Fault configuration applied to every run (see [`crate::faults`]).
     /// Bits are still charged for lost messages (they were sent); only
     /// delivery fails.
@@ -178,7 +187,7 @@ impl<'g> Engine<'g> {
             max_rounds: 16 * (topology.n() + 2) * (topology.n() + 2),
             seed: 0,
             broadcast_only: false,
-            trace: None,
+            collector: None,
             faults: FaultSpec::None,
             topology,
         }
@@ -209,10 +218,23 @@ impl<'g> Engine<'g> {
         self
     }
 
-    /// Attaches a bounded message trace (see [`crate::trace`]).
-    pub fn trace(mut self, buf: crate::trace::TraceBuffer) -> Self {
-        self.trace = Some(buf);
+    /// Attaches a bounded message trace (see [`crate::trace`]). Sugar for
+    /// installing the buffer as the run's [`Collector`].
+    pub fn trace(self, buf: crate::trace::TraceBuffer) -> Self {
+        self.collector(Arc::new(buf))
+    }
+
+    /// Installs a structured-event [`Collector`] (see [`crate::obsv`]).
+    /// With none installed, instrumentation costs nothing.
+    pub fn collector(mut self, c: Arc<dyn Collector>) -> Self {
+        self.collector = Some(c);
         self
+    }
+
+    /// The installed collector, for sibling layers (the reliable transport
+    /// emits its end-of-run summary through it).
+    pub(crate) fn collector_handle(&self) -> Option<&dyn Collector> {
+        self.collector.as_deref()
     }
 
     /// Switches to broadcast-CONGEST (the \[DKO14\] variant the paper's
@@ -250,18 +272,30 @@ impl<'g> Engine<'g> {
     }
 
     /// Runs `make(v)`-constructed nodes to completion.
+    #[deprecated(note = "use the `congest::Simulation` builder instead")]
     pub fn run<A, F>(&self, make: F) -> Result<RunOutcome, CongestError>
     where
         A: NodeAlgorithm,
         F: Fn(usize) -> A + Sync,
     {
-        self.run_nodes(make).map(|(outcome, _)| outcome)
+        self.run_nodes_impl(make).map(|(outcome, _)| outcome)
     }
 
     /// Like [`Self::run`], but also hands back the final node states — for
     /// algorithms whose output is richer than accept/reject (e.g. listing
     /// witnesses).
+    #[deprecated(note = "use `congest::Simulation::run_with_nodes` instead")]
     pub fn run_nodes<A, F>(&self, make: F) -> Result<(RunOutcome, Vec<A>), CongestError>
+    where
+        A: NodeAlgorithm,
+        F: Fn(usize) -> A + Sync,
+    {
+        self.run_nodes_impl(make)
+    }
+
+    /// The actual round loop behind the public entry points (deprecated
+    /// shims above, [`Simulation`](crate::Simulation) for new code).
+    pub(crate) fn run_nodes_impl<A, F>(&self, make: F) -> Result<(RunOutcome, Vec<A>), CongestError>
     where
         A: NodeAlgorithm,
         F: Fn(usize) -> A + Sync,
@@ -269,6 +303,14 @@ impl<'g> Engine<'g> {
         let g = self.topology;
         let n = g.n();
         let mut stats = RunStats::new(g);
+        let collector = self.collector.as_deref();
+        let tracing = collector.is_some();
+        let timing = collector.is_some_and(Collector::wants_compute_spans);
+        let rec = |ev: SimEvent| {
+            if let Some(c) = collector {
+                c.record(&ev);
+            }
+        };
 
         // Reverse-port table: rev_port[slot(v, p)] is the port of v in the
         // adjacency list of v's p-th neighbor. Needed to route unicasts.
@@ -315,25 +357,42 @@ impl<'g> Engine<'g> {
         // crashed[v] = round v crashed at; crash-stop, so never cleared.
         let mut crashed: Vec<Option<usize>> = vec![None; n];
 
-        // Round 0: init.
-        let mut outboxes: Vec<Outbox<A::Msg>> = nodes
+        // Round 0: init. Compute spans (wall-clock, so inherently
+        // non-deterministic) are measured in the parallel section but
+        // emitted afterwards in node order, and only when a collector
+        // opted in.
+        let init: Vec<(Outbox<A::Msg>, u64)> = nodes
             .par_iter_mut()
             .zip(contexts.par_iter())
             .zip(rngs.par_iter_mut())
-            .map(|((node, ctx), rng)| node.init(ctx, rng))
+            .map(|((node, ctx), rng)| {
+                let t = span_start(timing);
+                let out = node.init(ctx, rng);
+                (out, span_nanos(t))
+            })
             .collect();
+        if timing {
+            for (v, (_, nanos)) in init.iter().enumerate() {
+                rec(SimEvent::NodeCompute {
+                    round: 0,
+                    node: v,
+                    nanos: *nanos,
+                });
+            }
+        }
+        let mut outboxes: Vec<Outbox<A::Msg>> = init.into_iter().map(|(o, _)| o).collect();
 
         let mut completed = nodes.iter().all(|nd| nd.halted());
 
         // Per-node inboxes, allocated once and reused (cleared in place)
         // every round, so steady-state delivery does not allocate.
         let mut inboxes: Vec<Inbox<A::Msg>> = (0..n).map(|_| Vec::new()).collect();
-        let tracing = self.trace.is_some();
 
         for round in 1..=self.max_rounds {
             if completed && outboxes.iter().all(|o| o.is_empty()) {
                 break;
             }
+            rec(SimEvent::RoundStart { round });
 
             // Single-threaded fault bookkeeping: advance per-round model
             // state, then apply this round's crashes. A node crashing in
@@ -346,22 +405,18 @@ impl<'g> Engine<'g> {
                     *slot = Some(round);
                     outboxes[v].clear();
                     report.crashed.push((v, round));
-                    if let Some(t) = &self.trace {
-                        t.record(TraceEvent {
-                            round,
-                            from: v,
-                            port: 0,
-                            bits: 0,
-                            kind: TraceKind::Crash,
-                        });
-                    }
+                    rec(SimEvent::Crash { round, node: v });
                 }
             }
 
             // Account traffic + enforce bandwidth for this round's sends.
-            let before = stats.total_bits;
-            self.account_round(&mut stats, &outboxes, round)?;
-            stats.per_round_bits.push(stats.total_bits - before);
+            let before_bits = stats.total_bits;
+            let before_msgs = stats.total_messages;
+            self.account_round(&mut stats, &outboxes, round, collector)?;
+            let round_bits = stats.total_bits - before_bits;
+            let round_msgs = stats.total_messages - before_msgs;
+            stats.per_round_bits.push(round_bits);
+            stats.per_round_messages.push(round_msgs);
             stats.rounds = round;
 
             // Stage this round's sends in wire form, draining the outboxes:
@@ -386,17 +441,17 @@ impl<'g> Engine<'g> {
             // fault model deciding the fate of every delivery. Fault
             // randomness is a deterministic function of the engine seed, so
             // the run stays reproducible and thread-safe; per-receiver
-            // fault counts and trace events are reduced *after* the
-            // parallel section, in node order, so the (bounded) trace
-            // buffer fills identically at any thread count.
+            // fault counts and structured events are reduced *after* the
+            // parallel section, in node order, so any collector sees the
+            // same stream at any thread count.
             let offsets = &stats.offsets;
-            let results: Vec<(u64, u64, u64, Vec<TraceEvent>)> = inboxes
+            let results: Vec<(u64, u64, u64, Vec<SimEvent>)> = inboxes
                 .par_iter_mut()
                 .enumerate()
                 .map(|(v, inbox)| {
                     inbox.clear();
                     let (mut del, mut drp, mut cor) = (0u64, 0u64, 0u64);
-                    let mut events: Vec<TraceEvent> = Vec::new();
+                    let mut events: Vec<SimEvent> = Vec::new();
                     let receiver_down = crashed[v].is_some();
                     for (p, &u) in g.neighbors(v).iter().enumerate() {
                         let u = u as usize;
@@ -439,12 +494,11 @@ impl<'g> Engine<'g> {
                                 Delivery::Drop => {
                                     drp += 1;
                                     if tracing {
-                                        events.push(TraceEvent {
+                                        events.push(SimEvent::Drop {
                                             round,
                                             from: u,
                                             port: p,
                                             bits: ctx.bits,
-                                            kind: TraceKind::Drop,
                                         });
                                     }
                                 }
@@ -456,12 +510,11 @@ impl<'g> Engine<'g> {
                                     if damaged.corrupt_bit(bit) {
                                         cor += 1;
                                         if tracing {
-                                            events.push(TraceEvent {
+                                            events.push(SimEvent::Corrupt {
                                                 round,
                                                 from: u,
                                                 port: p,
                                                 bits: ctx.bits,
-                                                kind: TraceKind::Corrupt,
                                             });
                                         }
                                     } else {
@@ -483,10 +536,8 @@ impl<'g> Engine<'g> {
                 report.delivered += del;
                 round_dropped += drp;
                 round_corrupted += cor;
-                if let Some(t) = &self.trace {
-                    for ev in events {
-                        t.record(ev);
-                    }
+                for ev in events {
+                    rec(ev);
                 }
             }
             report.dropped += round_dropped;
@@ -498,7 +549,7 @@ impl<'g> Engine<'g> {
             // Step all live (non-halted, non-crashed) nodes. The shared
             // context is updated in place (`round` is its only per-round
             // field) instead of being cloned per node per round.
-            outboxes = nodes
+            let step: Vec<(Outbox<A::Msg>, Option<u64>)> = nodes
                 .par_iter_mut()
                 .zip(contexts.par_iter_mut())
                 .zip(rngs.par_iter_mut())
@@ -506,13 +557,35 @@ impl<'g> Engine<'g> {
                 .zip(crashed.par_iter())
                 .map(|((((node, ctx), rng), inbox), down)| {
                     if node.halted() || down.is_some() {
-                        Vec::new()
+                        (Vec::new(), None)
                     } else {
                         ctx.round = round;
-                        node.on_round(ctx, inbox, rng)
+                        let t = span_start(timing);
+                        let out = node.on_round(ctx, inbox, rng);
+                        (out, timing.then(|| span_nanos(t)))
                     }
                 })
                 .collect();
+            if timing {
+                for (v, (_, nanos)) in step.iter().enumerate() {
+                    if let Some(nanos) = nanos {
+                        rec(SimEvent::NodeCompute {
+                            round,
+                            node: v,
+                            nanos: *nanos,
+                        });
+                    }
+                }
+            }
+            outboxes = step.into_iter().map(|(o, _)| o).collect();
+
+            rec(SimEvent::RoundEnd {
+                round,
+                bits: round_bits,
+                messages: round_msgs,
+                dropped: round_dropped,
+                corrupted: round_corrupted,
+            });
 
             completed = nodes
                 .iter()
@@ -535,6 +608,7 @@ impl<'g> Engine<'g> {
         stats: &mut RunStats,
         outboxes: &[Outbox<M>],
         round: usize,
+        collector: Option<&dyn Collector>,
     ) -> Result<(), CongestError> {
         let g = self.topology;
         // Split field borrows: `offsets` is read while the counters are
@@ -569,13 +643,12 @@ impl<'g> Engine<'g> {
                         }
                         port_bits[*p] += m.bit_size();
                         msgs += 1;
-                        if let Some(t) = &self.trace {
-                            t.record(TraceEvent {
+                        if let Some(c) = collector {
+                            c.record(&SimEvent::Send {
                                 round,
                                 from: v,
                                 port: *p,
                                 bits: m.bit_size(),
-                                kind: TraceKind::Send,
                             });
                         }
                     }
@@ -585,13 +658,12 @@ impl<'g> Engine<'g> {
                             *pb += sz;
                         }
                         msgs += deg as u64;
-                        if let Some(t) = &self.trace {
-                            t.record(TraceEvent {
+                        if let Some(c) = collector {
+                            c.record(&SimEvent::Send {
                                 round,
                                 from: v,
                                 port: usize::MAX,
                                 bits: sz,
-                                kind: TraceKind::Send,
                             });
                         }
                     }
@@ -622,6 +694,9 @@ impl<'g> Engine<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::SimError;
+    use crate::simulation::Simulation;
+    use crate::trace::TraceKind;
     use graphlib::generators;
 
     /// Flood: every node broadcasts its id once; after one round, each node
@@ -680,7 +755,7 @@ mod tests {
     #[test]
     fn flood_on_cycle() {
         let g = generators::cycle(5);
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
             .run(|_| flood())
             .unwrap();
@@ -701,14 +776,14 @@ mod tests {
     #[test]
     fn bandwidth_enforced() {
         let g = generators::cycle(4);
-        let err = Engine::new(&g)
+        let err = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(8))
             .run(|_| flood())
             .unwrap_err();
         match err {
-            CongestError::BandwidthExceeded {
+            SimError::Congest(CongestError::BandwidthExceeded {
                 attempted, limit, ..
-            } => {
+            }) => {
                 assert_eq!(attempted, 64);
                 assert_eq!(limit, 8);
             }
@@ -719,7 +794,7 @@ mod tests {
     #[test]
     fn local_model_unbounded() {
         let g = generators::star(50);
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Unbounded)
             .run(|_| flood())
             .unwrap();
@@ -731,7 +806,7 @@ mod tests {
         // With descending ids, the first node holds the max id and accepts.
         let g = generators::path(3);
         let ids = vec![100, 50, 10];
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .with_ids(ids)
             .bandwidth(Bandwidth::Bits(64))
             .run(|_| flood())
@@ -788,7 +863,7 @@ mod tests {
     fn ping_pong_rounds() {
         let g = generators::path(2);
         let hops = 6;
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(32))
             .max_rounds(100)
             .run(|_| PingPong {
@@ -805,7 +880,7 @@ mod tests {
         // PingPong on a path never sets `done` for node 1... give it a huge
         // hop count and a tiny round limit instead.
         let g = generators::path(2);
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(32))
             .max_rounds(3)
             .run(|_| PingPong {
@@ -820,7 +895,7 @@ mod tests {
     #[test]
     fn per_round_series_sums_to_total() {
         let g = generators::cycle(5);
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
             .run(|_| flood())
             .unwrap();
@@ -830,14 +905,20 @@ mod tests {
         );
         assert_eq!(out.stats.per_round_bits.len(), out.stats.rounds);
         assert_eq!(out.stats.per_round_bits[0], 5 * 2 * 64);
+        // The message series is aligned with the bit series.
+        assert_eq!(
+            out.stats.per_round_messages.iter().sum::<u64>(),
+            out.stats.total_messages
+        );
+        assert_eq!(out.stats.per_round_messages.len(), out.stats.rounds);
     }
 
     #[test]
     fn full_loss_delivers_nothing() {
         let g = generators::cycle(5);
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
-            .loss_rate(1.0)
+            .faults(FaultSpec::IndependentLoss(1.0))
             .run(|_| flood())
             .unwrap();
         // Bits were still charged...
@@ -854,10 +935,10 @@ mod tests {
     fn partial_loss_is_deterministic_and_partial() {
         let g = generators::clique(8);
         let run = || {
-            Engine::new(&g)
+            Simulation::on(&g)
                 .bandwidth(Bandwidth::Bits(64))
                 .seed(9)
-                .loss_rate(0.5)
+                .faults(FaultSpec::IndependentLoss(0.5))
                 .run(|_| flood())
                 .unwrap()
         };
@@ -876,13 +957,13 @@ mod tests {
     #[test]
     fn zero_loss_matches_default() {
         let g = generators::cycle(6);
-        let a = Engine::new(&g)
+        let a = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
             .run(|_| flood())
             .unwrap();
-        let b = Engine::new(&g)
+        let b = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
-            .loss_rate(0.0)
+            .faults(FaultSpec::None)
             .run(|_| flood())
             .unwrap();
         assert_eq!(a.decisions, b.decisions);
@@ -892,9 +973,9 @@ mod tests {
     fn trace_captures_sends() {
         let g = generators::cycle(3);
         let buf = crate::trace::TraceBuffer::new(100);
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
-            .trace(buf.clone())
+            .collector(buf.clone())
             .run(|_| flood())
             .unwrap();
         assert!(out.completed);
@@ -914,11 +995,11 @@ mod tests {
         // cap its memory while still counting the overflow.
         let g = generators::clique(5);
         let buf = crate::trace::TraceBuffer::new(2);
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
             .faults(FaultSpec::IndependentLoss(0.5))
             .seed(3)
-            .trace(buf.clone())
+            .collector(buf.clone())
             .run(|_| flood())
             .unwrap();
         assert!(out.faults.dropped > 0, "the loss model should have fired");
@@ -931,10 +1012,10 @@ mod tests {
     fn drop_events_are_traced_with_kind() {
         let g = generators::path(2);
         let buf = crate::trace::TraceBuffer::new(100);
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
             .faults(FaultSpec::IndependentLoss(1.0))
-            .trace(buf.clone())
+            .collector(buf.clone())
             .max_rounds(3)
             .run(|_| flood())
             .unwrap();
@@ -947,7 +1028,7 @@ mod tests {
     #[test]
     fn broadcast_only_rejects_unicast() {
         let g = generators::path(2);
-        let err = Engine::new(&g)
+        let err = Simulation::on(&g)
             .broadcast_only(true)
             .bandwidth(Bandwidth::Bits(32))
             .run(|_| PingPong {
@@ -955,13 +1036,16 @@ mod tests {
                 done: false,
             })
             .unwrap_err();
-        assert!(matches!(err, CongestError::UnicastForbidden { .. }));
+        assert!(matches!(
+            err,
+            SimError::Congest(CongestError::UnicastForbidden { .. })
+        ));
     }
 
     #[test]
     fn broadcast_only_allows_broadcasts() {
         let g = generators::cycle(4);
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .broadcast_only(true)
             .bandwidth(Bandwidth::Bits(64))
             .run(|_| flood())
@@ -973,7 +1057,7 @@ mod tests {
     fn determinism_across_runs() {
         let g = generators::cycle(7);
         let run = || {
-            Engine::new(&g)
+            Simulation::on(&g)
                 .seed(42)
                 .bandwidth(Bandwidth::Bits(64))
                 .run(|_| flood())
@@ -982,19 +1066,44 @@ mod tests {
         let (a, b) = (run(), run());
         assert_eq!(a.decisions, b.decisions);
         assert_eq!(a.stats.total_bits, b.stats.total_bits);
+        assert_eq!(a.metrics, b.metrics, "metric snapshots are deterministic");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_still_work() {
+        // The legacy `Engine::run` / `run_nodes` shims must keep producing
+        // exactly what the builder produces until they are removed.
+        let g = generators::cycle(5);
+        let old = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .run(|_| flood())
+            .unwrap();
+        let (old2, nodes) = Engine::new(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .run_nodes(|_| flood())
+            .unwrap();
+        let new = Simulation::on(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .run(|_| flood())
+            .unwrap();
+        assert_eq!(old.decisions, new.decisions);
+        assert_eq!(old2.decisions, new.decisions);
+        assert_eq!(nodes.len(), 5);
+        assert_eq!(old.stats.total_bits, new.stats.total_bits);
     }
 
     #[test]
     fn hit_round_limit_distinguishes_clean_halt() {
         let g = generators::cycle(5);
-        let clean = Engine::new(&g)
+        let clean = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
             .run(|_| flood())
             .unwrap();
         assert!(clean.completed && !clean.hit_round_limit());
 
         let g2 = generators::path(2);
-        let cut = Engine::new(&g2)
+        let cut = Simulation::on(&g2)
             .bandwidth(Bandwidth::Bits(32))
             .max_rounds(3)
             .run(|_| PingPong {
@@ -1011,7 +1120,7 @@ mod tests {
         // Star center crashes before round 1: no message ever flows, and
         // every leaf (degree 1, only neighbor dead) hears nothing.
         let g = generators::star(5); // center 0 + 5 leaves
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
             .faults(FaultSpec::CrashStop(CrashStop::at(vec![(0, 1)])))
             .run(|_| flood())
@@ -1036,9 +1145,9 @@ mod tests {
         use crate::trace::TraceBuffer;
         let g = generators::cycle(4);
         let buf = TraceBuffer::new(100);
-        Engine::new(&g)
+        Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
-            .trace(buf.clone())
+            .collector(buf.clone())
             .faults(FaultSpec::CrashStop(CrashStop::at(vec![(2, 1)])))
             .run(|_| flood())
             .unwrap();
@@ -1055,7 +1164,7 @@ mod tests {
         // Severing {1, 2} in round 1 hides id 2 from node 1, so only node 0
         // (which still hears id 1) rejects.
         let g = generators::path(3);
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
             .faults(FaultSpec::LinkFailure(LinkFailure::single(1, 2, 1, 1)))
             .run(|_| flood())
@@ -1132,14 +1241,14 @@ mod tests {
             corrupted: false,
             done: false,
         };
-        let clean = Engine::new(&g)
+        let clean = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
             .run(|_| mk())
             .unwrap();
         assert!(clean.network_accepts());
         assert_eq!(clean.faults.corrupted, 0);
 
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
             .seed(11)
             .faults(FaultSpec::BitFlip(1.0))
@@ -1161,7 +1270,7 @@ mod tests {
             FaultSpec::BitFlip(0.1),
         ]);
         let run = |seed: u64| {
-            Engine::new(&g)
+            Simulation::on(&g)
                 .bandwidth(Bandwidth::Bits(64))
                 .seed(seed)
                 .faults(spec.clone())
@@ -1186,7 +1295,7 @@ mod tests {
     fn per_round_fault_series_match_rounds() {
         use crate::faults::FaultSpec;
         let g = generators::clique(6);
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))
             .seed(3)
             .faults(FaultSpec::IndependentLoss(0.4))
@@ -1202,5 +1311,38 @@ mod tests {
             out.faults.delivered + out.faults.dropped,
             out.stats.total_messages
         );
+    }
+
+    #[test]
+    fn round_events_bracket_every_round() {
+        use crate::obsv::JsonlTrace;
+        let g = generators::cycle(4);
+        let trace = std::sync::Arc::new(JsonlTrace::new(1 << 12));
+        let out = Simulation::on(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .collector_arc(trace.clone())
+            .run(|_| flood())
+            .unwrap();
+        let dump = trace.to_jsonl();
+        let starts = dump.matches(r#""ev":"round_start""#).count();
+        let ends = dump.matches(r#""ev":"round_end""#).count();
+        assert_eq!(starts, out.stats.rounds);
+        assert_eq!(ends, out.stats.rounds);
+        // No compute spans unless someone opted in.
+        assert_eq!(dump.matches(r#""ev":"compute""#).count(), 0);
+    }
+
+    #[test]
+    fn compute_spans_emitted_when_requested() {
+        use crate::obsv::ComputeTimer;
+        let g = generators::cycle(6);
+        let timer = std::sync::Arc::new(ComputeTimer::new());
+        Simulation::on(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .collector_arc(timer.clone())
+            .run(|_| flood())
+            .unwrap();
+        // 6 init spans + 6 round-1 spans (every node computes once).
+        assert_eq!(timer.take().count(), 12);
     }
 }

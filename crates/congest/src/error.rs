@@ -1,0 +1,127 @@
+//! The unified simulator error type.
+//!
+//! [`Engine`](crate::Engine) and [`CliqueEngine`](crate::cliquemodel::CliqueEngine)
+//! historically surfaced separate error enums, which forced every driver
+//! that can route to either backend to pick one and lose the other.
+//! [`SimError`] is the shared error path: both backend errors convert in
+//! via `From` (so `?` just works), and convert back out via `TryFrom` for
+//! callers that know which backend ran.
+
+use crate::cliquemodel::CliqueError;
+use crate::engine::CongestError;
+use std::fmt;
+
+/// Any error a simulation can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An error from the CONGEST engine.
+    Congest(CongestError),
+    /// An error from the congested-clique engine.
+    Clique(CliqueError),
+    /// The builder was configured with options the selected backend does
+    /// not support (e.g. fault injection on the clique engine).
+    Unsupported(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Congest(e) => write!(f, "{e}"),
+            SimError::Clique(e) => write!(f, "{e}"),
+            SimError::Unsupported(what) => write!(f, "unsupported configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Congest(e) => Some(e),
+            SimError::Clique(e) => Some(e),
+            SimError::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<CongestError> for SimError {
+    fn from(e: CongestError) -> Self {
+        SimError::Congest(e)
+    }
+}
+
+impl From<CliqueError> for SimError {
+    fn from(e: CliqueError) -> Self {
+        SimError::Clique(e)
+    }
+}
+
+impl TryFrom<SimError> for CongestError {
+    type Error = SimError;
+
+    fn try_from(e: SimError) -> Result<Self, SimError> {
+        match e {
+            SimError::Congest(c) => Ok(c),
+            other => Err(other),
+        }
+    }
+}
+
+impl TryFrom<SimError> for CliqueError {
+    type Error = SimError;
+
+    fn try_from(e: SimError) -> Result<Self, SimError> {
+        match e {
+            SimError::Clique(c) => Ok(c),
+            other => Err(other),
+        }
+    }
+}
+
+impl SimError {
+    /// The CONGEST error inside, if that is what this is.
+    pub fn as_congest(&self) -> Option<&CongestError> {
+        match self {
+            SimError::Congest(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The clique error inside, if that is what this is.
+    pub fn as_clique(&self) -> Option<&CliqueError> {
+        match self {
+            SimError::Clique(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let c = CongestError::InvalidPort {
+            node: 1,
+            port: 9,
+            degree: 2,
+        };
+        let e: SimError = c.clone().into();
+        assert_eq!(e.as_congest(), Some(&c));
+        assert_eq!(CongestError::try_from(e.clone()), Ok(c));
+        assert!(CliqueError::try_from(e).is_err());
+
+        let q = CliqueError::InvalidDestination { from: 0, to: 7 };
+        let e: SimError = q.clone().into();
+        assert_eq!(e.as_clique(), Some(&q));
+        assert_eq!(CliqueError::try_from(e).unwrap(), q);
+    }
+
+    #[test]
+    fn display_delegates() {
+        let e = SimError::from(CongestError::UnicastForbidden { node: 3, round: 2 });
+        assert!(e.to_string().contains("node 3"));
+        let u = SimError::Unsupported("faults on clique".into());
+        assert!(u.to_string().contains("unsupported"));
+    }
+}

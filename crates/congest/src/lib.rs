@@ -7,11 +7,16 @@
 //! bits, cut traffic), so every bound in the paper becomes a measurable
 //! quantity.
 //!
+//! * [`Simulation`] — the one front door: a builder routing to the CONGEST
+//!   engine, the reliable transport, or the congested-clique engine, and
+//!   returning a unified [`Outcome`] (decisions + stats + faults + metrics).
 //! * [`engine::Engine`] — the CONGEST round engine over a
 //!   [`graphlib::Graph`] topology (set [`engine::Bandwidth::Unbounded`] for
 //!   the LOCAL model).
 //! * [`cliquemodel::CliqueEngine`] — the congested-clique engine (all-to-all
 //!   topology, separate input graph).
+//! * [`obsv`] — the observability spine: structured [`Collector`] tracing,
+//!   the [`Metrics`] registry, and the schema-versioned [`RunReport`].
 //! * [`message::BitSize`] — exact on-the-wire bit accounting.
 //! * [`identifiers`] — namespace/id assignments (§4, §5 separate nodes from
 //!   identifiers).
@@ -20,21 +25,30 @@
 
 pub mod cliquemodel;
 pub mod engine;
+pub mod error;
 pub mod faults;
 pub mod identifiers;
 pub mod message;
 pub mod node;
+pub mod obsv;
 pub mod reliable;
+pub mod simulation;
 pub mod stats;
 pub mod trace;
 
 pub use engine::{Bandwidth, CongestError, Engine, RunOutcome};
+pub use error::SimError;
 pub use faults::{
     BitFlip, CrashStop, Delivery, DeliveryCtx, FaultModel, FaultReport, FaultSpec, GilbertElliott,
     IndependentLoss, LinkFailure, NoFaults, Outage,
 };
 pub use message::{bits_for_domain, BitSize, BitString, Payload};
 pub use node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
+pub use obsv::{
+    Collector, ComputeTimer, Fanout, Histogram, JsonlTrace, MetricValue, Metrics, MetricsSnapshot,
+    PhaseStat, RunReport, SimEvent, RUN_REPORT_SCHEMA, RUN_REPORT_VERSION,
+};
 pub use reliable::{Reliable, ReliableConfig};
-pub use stats::RunStats;
+pub use simulation::{CliqueRun, Outcome, Simulation};
+pub use stats::{EdgeTraffic, RunStats};
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};

@@ -1,0 +1,387 @@
+//! The structured tracing layer: events, the [`Collector`] trait, and the
+//! stock collectors ([`Fanout`], [`JsonlTrace`], [`ComputeTimer`]).
+//!
+//! Engines call [`Collector::record`] from *sequential* sections only, in
+//! node order, so the event stream a collector sees is identical at any
+//! thread count. Implementations still must be `Send + Sync` because a
+//! collector handle may be shared with user threads.
+
+use crate::obsv::metrics::Histogram;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// One structured event from a simulator backend.
+///
+/// `port` carries the CONGEST port index (`usize::MAX` for a broadcast);
+/// the congested-clique engine has no ports, so there it carries the
+/// destination node index instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A communication round is about to execute.
+    RoundStart {
+        /// Round number (1-based).
+        round: usize,
+    },
+    /// A communication round finished, with its traffic totals.
+    RoundEnd {
+        /// Round number (1-based).
+        round: usize,
+        /// Bits charged this round.
+        bits: u64,
+        /// Messages sent this round.
+        messages: u64,
+        /// Deliveries dropped by the fault layer this round.
+        dropped: u64,
+        /// Deliveries corrupted by the fault layer this round.
+        corrupted: u64,
+    },
+    /// A message was put on the wire.
+    Send {
+        /// Round of the send.
+        round: usize,
+        /// Sending node.
+        from: usize,
+        /// Port (or clique destination); `usize::MAX` for a broadcast.
+        port: usize,
+        /// Message size in bits.
+        bits: usize,
+    },
+    /// A delivery was dropped by the fault model.
+    Drop {
+        /// Round of the (failed) delivery.
+        round: usize,
+        /// Sending node.
+        from: usize,
+        /// Receiving port on the *receiver*.
+        port: usize,
+        /// Message size in bits.
+        bits: usize,
+    },
+    /// A delivery was corrupted in flight.
+    Corrupt {
+        /// Round of the delivery.
+        round: usize,
+        /// Sending node.
+        from: usize,
+        /// Receiving port on the *receiver*.
+        port: usize,
+        /// Message size in bits.
+        bits: usize,
+    },
+    /// A node crashed (crash-stop).
+    Crash {
+        /// Round of the crash.
+        round: usize,
+        /// The crashed node.
+        node: usize,
+    },
+    /// A per-node compute span: how long one node's `init`/`on_round` call
+    /// took. Only emitted when some collector opted in via
+    /// [`Collector::wants_compute_spans`] — wall-clock values are
+    /// inherently non-deterministic, so they never feed the deterministic
+    /// run report.
+    NodeCompute {
+        /// Round of the step (`0` for `init`).
+        round: usize,
+        /// The node that computed.
+        node: usize,
+        /// Wall-clock nanoseconds the step took.
+        nanos: u64,
+    },
+    /// End-of-run tallies from the reliable transport.
+    TransportSummary {
+        /// Data frames retransmitted across all nodes.
+        retransmissions: u64,
+        /// Frames never acknowledged within their retry budget.
+        given_up: u64,
+    },
+}
+
+/// A sink for structured simulator events.
+///
+/// The engines hold an `Option<Arc<dyn Collector>>`; with no collector
+/// installed the instrumentation is skipped entirely (no event values are
+/// built), so tracing is zero-cost when disabled.
+pub trait Collector: Send + Sync {
+    /// Receives one event. Called from sequential engine code, in
+    /// deterministic order.
+    fn record(&self, ev: &SimEvent);
+
+    /// Whether this collector wants [`SimEvent::NodeCompute`] spans. Timing
+    /// costs two `Instant` reads per node per round, so engines only
+    /// measure when some installed collector asks for it.
+    fn wants_compute_spans(&self) -> bool {
+        false
+    }
+}
+
+/// Broadcasts every event to several collectors.
+pub struct Fanout(
+    /// The collectors to fan out to, in record order.
+    pub Vec<std::sync::Arc<dyn Collector>>,
+);
+
+impl Collector for Fanout {
+    fn record(&self, ev: &SimEvent) {
+        for c in &self.0 {
+            c.record(ev);
+        }
+    }
+
+    fn wants_compute_spans(&self) -> bool {
+        self.0.iter().any(|c| c.wants_compute_spans())
+    }
+}
+
+/// A bounded JSON-lines trace exporter: every event becomes one JSON
+/// object per line, in the order recorded. With compute spans disabled the
+/// dump is byte-identical at any thread count.
+#[derive(Debug, Default)]
+pub struct JsonlTrace {
+    inner: Mutex<JsonlInner>,
+    capacity: usize,
+    spans: bool,
+}
+
+#[derive(Debug, Default)]
+struct JsonlInner {
+    lines: Vec<String>,
+    dropped: u64,
+}
+
+impl JsonlTrace {
+    /// A trace keeping at most `capacity` lines (further events are
+    /// counted, not stored).
+    pub fn new(capacity: usize) -> Self {
+        JsonlTrace {
+            inner: Mutex::new(JsonlInner::default()),
+            capacity,
+            spans: false,
+        }
+    }
+
+    /// Also captures (non-deterministic) per-node compute spans.
+    pub fn with_compute_spans(mut self) -> Self {
+        self.spans = true;
+        self
+    }
+
+    /// Lines recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().lines.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events discarded after the capacity filled.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// The dump: one JSON object per line, trailing newline included when
+    /// non-empty.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = inner.lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    fn line(ev: &SimEvent) -> String {
+        match *ev {
+            SimEvent::RoundStart { round } => {
+                format!(r#"{{"ev":"round_start","round":{round}}}"#)
+            }
+            SimEvent::RoundEnd {
+                round,
+                bits,
+                messages,
+                dropped,
+                corrupted,
+            } => format!(
+                r#"{{"ev":"round_end","round":{round},"bits":{bits},"messages":{messages},"dropped":{dropped},"corrupted":{corrupted}}}"#
+            ),
+            SimEvent::Send {
+                round,
+                from,
+                port,
+                bits,
+            } => Self::msg_line("send", round, from, port, bits),
+            SimEvent::Drop {
+                round,
+                from,
+                port,
+                bits,
+            } => Self::msg_line("drop", round, from, port, bits),
+            SimEvent::Corrupt {
+                round,
+                from,
+                port,
+                bits,
+            } => Self::msg_line("corrupt", round, from, port, bits),
+            SimEvent::Crash { round, node } => {
+                format!(r#"{{"ev":"crash","round":{round},"node":{node}}}"#)
+            }
+            SimEvent::NodeCompute { round, node, nanos } => {
+                format!(r#"{{"ev":"compute","round":{round},"node":{node},"nanos":{nanos}}}"#)
+            }
+            SimEvent::TransportSummary {
+                retransmissions,
+                given_up,
+            } => format!(
+                r#"{{"ev":"transport","retransmissions":{retransmissions},"given_up":{given_up}}}"#
+            ),
+        }
+    }
+
+    fn msg_line(kind: &str, round: usize, from: usize, port: usize, bits: usize) -> String {
+        // `usize::MAX` marks a broadcast; render it as -1 so the JSON stays
+        // portable.
+        if port == usize::MAX {
+            format!(r#"{{"ev":"{kind}","round":{round},"from":{from},"port":-1,"bits":{bits}}}"#)
+        } else {
+            format!(
+                r#"{{"ev":"{kind}","round":{round},"from":{from},"port":{port},"bits":{bits}}}"#
+            )
+        }
+    }
+}
+
+impl Collector for JsonlTrace {
+    fn record(&self, ev: &SimEvent) {
+        let mut inner = self.inner.lock();
+        if inner.lines.len() < self.capacity {
+            let line = Self::line(ev);
+            inner.lines.push(line);
+        } else {
+            inner.dropped += 1;
+        }
+    }
+
+    fn wants_compute_spans(&self) -> bool {
+        self.spans
+    }
+}
+
+/// Accumulates [`SimEvent::NodeCompute`] spans into a histogram — the
+/// "node-compute-time" metric. Installed internally by
+/// [`Simulation::timed`](crate::Simulation::timed).
+#[derive(Debug, Default)]
+pub struct ComputeTimer {
+    hist: Mutex<Histogram>,
+}
+
+impl ComputeTimer {
+    /// A fresh timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the accumulated histogram, leaving an empty one.
+    pub fn take(&self) -> Histogram {
+        std::mem::take(&mut self.hist.lock())
+    }
+}
+
+impl Collector for ComputeTimer {
+    fn record(&self, ev: &SimEvent) {
+        if let SimEvent::NodeCompute { nanos, .. } = ev {
+            self.hist.lock().observe(*nanos);
+        }
+    }
+
+    fn wants_compute_spans(&self) -> bool {
+        true
+    }
+}
+
+/// Starts a compute span if `timing` is on; see [`span_nanos`].
+#[inline]
+pub(crate) fn span_start(timing: bool) -> Option<Instant> {
+    if timing {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Closes a span opened by [`span_start`] (0 when timing was off).
+#[inline]
+pub(crate) fn span_nanos(start: Option<Instant>) -> u64 {
+    start.map_or(0, |t| t.elapsed().as_nanos() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn jsonl_lines_are_objects() {
+        let t = JsonlTrace::new(16);
+        t.record(&SimEvent::RoundStart { round: 1 });
+        t.record(&SimEvent::Send {
+            round: 1,
+            from: 0,
+            port: usize::MAX,
+            bits: 64,
+        });
+        t.record(&SimEvent::Drop {
+            round: 1,
+            from: 1,
+            port: 0,
+            bits: 8,
+        });
+        t.record(&SimEvent::RoundEnd {
+            round: 1,
+            bits: 72,
+            messages: 2,
+            dropped: 1,
+            corrupted: 0,
+        });
+        let dump = t.to_jsonl();
+        assert_eq!(dump.lines().count(), 4);
+        assert!(dump.contains(r#""port":-1"#), "{dump}");
+        for line in dump.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn jsonl_bounded() {
+        let t = JsonlTrace::new(1);
+        t.record(&SimEvent::RoundStart { round: 1 });
+        t.record(&SimEvent::RoundStart { round: 2 });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn fanout_reaches_all_and_merges_span_wishes() {
+        let a = Arc::new(JsonlTrace::new(8));
+        let b = Arc::new(ComputeTimer::new());
+        let f = Fanout(vec![a.clone(), b.clone()]);
+        assert!(f.wants_compute_spans(), "ComputeTimer wants spans");
+        f.record(&SimEvent::NodeCompute {
+            round: 1,
+            node: 0,
+            nanos: 500,
+        });
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.take().count(), 1);
+    }
+
+    #[test]
+    fn plain_jsonl_declines_spans() {
+        assert!(!JsonlTrace::new(4).wants_compute_spans());
+        assert!(JsonlTrace::new(4)
+            .with_compute_spans()
+            .wants_compute_spans());
+    }
+}

@@ -1,0 +1,326 @@
+//! The metrics registry: counters, gauges, and power-of-two-bucket
+//! histograms, with deterministic snapshot ordering.
+//!
+//! Registries are plain values (no global state); the [`Simulation`]
+//! builder populates one from a finished run and snapshots it into the
+//! [`Outcome`]. Snapshots sort entries by name (`BTreeMap` iteration
+//! order), so serialized metrics are byte-identical across thread counts —
+//! the reproducibility contract the PR-2 pool established extends through
+//! the observability layer.
+//!
+//! [`Simulation`]: crate::Simulation
+//! [`Outcome`]: crate::Outcome
+
+use crate::faults::FaultReport;
+use crate::stats::RunStats;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A histogram over `u64` samples with power-of-two buckets: bucket `i`
+/// counts samples whose bit length is `i` (bucket 0 holds exact zeros, so
+/// bucket boundaries are `[2^(i-1), 2^i)`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: BTreeMap<u32, u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        *self.buckets.entry(64 - v.leading_zeros()).or_default() += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(bit_length, count)` pairs for the non-empty buckets, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.buckets.iter().map(|(&b, &c)| (b, c))
+    }
+
+    /// The histogram as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut body = String::new();
+        for (i, (b, c)) in self.buckets().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let _ = write!(body, r#""{b}":{c}"#);
+        }
+        format!(
+            r#"{{"count":{},"sum":{},"min":{},"max":{},"buckets":{{{body}}}}}"#,
+            self.count, self.sum, self.min, self.max
+        )
+    }
+}
+
+/// One metric value in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotone count.
+    Counter(u64),
+    /// A point-in-time measurement.
+    Gauge(f64),
+    /// A sample distribution.
+    Hist(Histogram),
+}
+
+impl MetricValue {
+    fn to_json(&self) -> String {
+        match self {
+            MetricValue::Counter(v) => v.to_string(),
+            // Fixed precision keeps gauge rendering platform-independent.
+            MetricValue::Gauge(v) => format!("{v:.3}"),
+            MetricValue::Hist(h) => h.to_json(),
+        }
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at 0).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_default() += by;
+    }
+
+    /// Sets gauge `name`.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records a sample into histogram `name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.hists.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Installs a pre-built histogram under `name` (merging by re-observe
+    /// is lossy for min/max, so whole histograms move in one piece).
+    pub fn install_hist(&mut self, name: &str, h: Histogram) {
+        self.hists.insert(name.to_string(), h);
+    }
+
+    /// The standard registry for a finished run: traffic, congestion,
+    /// fault, and transport series. Every backend's [`Outcome`] metrics
+    /// snapshot starts from this set, so keys are stable across backends.
+    ///
+    /// [`Outcome`]: crate::Outcome
+    pub fn from_run(stats: &RunStats, faults: &FaultReport) -> Metrics {
+        let mut m = Metrics::new();
+        m.inc("bits.total", stats.total_bits);
+        m.inc("messages.total", stats.total_messages);
+        m.inc("rounds.total", stats.rounds as u64);
+        m.inc(
+            "congestion.max_edge_round_bits",
+            stats.max_edge_round_bits as u64,
+        );
+        m.set_gauge("bits.per_round.avg", stats.avg_bits_per_round());
+        for &b in &stats.per_round_bits {
+            m.observe("bits.per_round", b);
+        }
+        for &c in &stats.per_round_messages {
+            m.observe("messages.per_round", c);
+        }
+        m.inc("faults.delivered", faults.delivered);
+        m.inc("faults.dropped", faults.dropped);
+        m.inc("faults.corrupted", faults.corrupted);
+        m.inc("faults.crashed", faults.crashed.len() as u64);
+        m.inc("transport.retransmissions", faults.retransmissions);
+        m.inc("transport.given_up", faults.given_up);
+        m
+    }
+
+    /// Freezes the registry into a deterministically ordered snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries: Vec<(String, MetricValue)> = Vec::new();
+        for (k, &v) in &self.counters {
+            entries.push((k.clone(), MetricValue::Counter(v)));
+        }
+        for (k, &v) in &self.gauges {
+            entries.push((k.clone(), MetricValue::Gauge(v)));
+        }
+        for (k, h) in &self.hists {
+            entries.push((k.clone(), MetricValue::Hist(h.clone())));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { entries }
+    }
+}
+
+/// A frozen, name-sorted view of a [`Metrics`] registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The entries, sorted by name.
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.entries
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter value by name (`None` if absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram by name (`None` if absent or not a histogram).
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        match self.get(name)? {
+            MetricValue::Hist(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Whether the snapshot has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The snapshot as one JSON object (keys in sorted order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                r#""{}":{}"#,
+                crate::obsv::report::json_escape(k),
+                v.to_json()
+            );
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1034);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1024);
+        let buckets: Vec<(u32, u64)> = h.buckets().collect();
+        // 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 4 -> 3; 1024 -> 11.
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (11, 1)]);
+        assert!((h.mean() - 1034.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_sorted_and_queryable() {
+        let mut m = Metrics::new();
+        m.inc("z.last", 3);
+        m.inc("a.first", 1);
+        m.set_gauge("m.mid", 2.5);
+        m.observe("h.hist", 7);
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.entries().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "h.hist", "m.mid", "z.last"]);
+        assert_eq!(snap.counter("z.last"), Some(3));
+        assert_eq!(snap.counter("m.mid"), None, "gauge is not a counter");
+        assert_eq!(snap.hist("h.hist").unwrap().count(), 1);
+        assert!(snap.get("missing").is_none());
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let mut m = Metrics::new();
+        m.inc("bits.total", 640);
+        m.set_gauge("avg", 1.5);
+        m.observe("per_round", 64);
+        let json = m.snapshot().to_json();
+        assert!(json.contains(r#""bits.total":640"#), "{json}");
+        assert!(json.contains(r#""avg":1.500"#), "{json}");
+        assert!(json.contains(r#""per_round":{"count":1"#), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.inc("x", 2);
+        m.inc("x", 5);
+        assert_eq!(m.snapshot().counter("x"), Some(7));
+    }
+}

@@ -1,0 +1,33 @@
+//! Observability spine shared by every simulator backend.
+//!
+//! The paper's claims are quantitative — Theorem 1.1's round bound and
+//! Theorem 5.1's bandwidth bound only mean something if rounds, bits, and
+//! per-edge congestion are *measured* and *exportable*. This module tree is
+//! the one instrumentation layer all backends feed:
+//!
+//! * [`collect`] — a zero-cost-when-disabled structured tracing layer: the
+//!   [`Collector`] trait receives span/event records (round start/end,
+//!   per-node compute spans, send/drop/corrupt/crash, transport tallies)
+//!   from the CONGEST engine, the congested-clique engine, and the reliable
+//!   transport. [`crate::TraceBuffer`] implements it, so the legacy bounded
+//!   trace is one collector among several.
+//! * [`metrics`] — a registry of counters/gauges/histograms with
+//!   *deterministic snapshot ordering* (sorted by name), so metric output is
+//!   byte-identical under the work-stealing pool at any thread count.
+//! * [`report`] — exporters: the schema-versioned run-report JSON, a
+//!   JSON-lines trace dump ([`JsonlTrace`]), and a human summary table.
+//!
+//! Determinism contract: every event the engines emit is recorded from
+//! sequential code in node order, so collectors observe an identical event
+//! stream at any `RAYON_NUM_THREADS`. The single exception is wall-clock
+//! compute-span timing ([`SimEvent::NodeCompute`]), which is only captured
+//! when a collector opts in via [`Collector::wants_compute_spans`] and is
+//! therefore excluded from the deterministic run report by default.
+
+pub mod collect;
+pub mod metrics;
+pub mod report;
+
+pub use collect::{Collector, ComputeTimer, Fanout, JsonlTrace, SimEvent};
+pub use metrics::{Histogram, MetricValue, Metrics, MetricsSnapshot};
+pub use report::{PhaseStat, RunReport, RUN_REPORT_SCHEMA, RUN_REPORT_VERSION};

@@ -1,0 +1,292 @@
+//! The machine-readable run report and the human summary table.
+//!
+//! A [`RunReport`] is the schema-versioned export of one simulation (or of
+//! a multi-phase driver like the even-cycle detector): rounds, total and
+//! per-round bits, max-edge congestion, fault tallies, a per-phase
+//! breakdown, and the full metrics snapshot. The JSON it renders is built
+//! from deterministic inputs only, so a seeded run's report is
+//! byte-identical at any `RAYON_NUM_THREADS` — the property the golden and
+//! cross-thread tests pin.
+
+use crate::faults::FaultReport;
+use crate::obsv::metrics::MetricsSnapshot;
+use crate::stats::RunStats;
+use std::fmt::Write as _;
+
+/// Schema identifier embedded in every run-report JSON document.
+pub const RUN_REPORT_SCHEMA: &str = "congest.run_report";
+/// Version of the run-report schema. Bump when the JSON shape changes.
+pub const RUN_REPORT_VERSION: u32 = 1;
+
+/// Round/bit totals of one named phase of a multi-phase driver (e.g. the
+/// even-cycle detector's Phase I / Phase II).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase name (e.g. `"phase1"`).
+    pub name: String,
+    /// Rounds the phase executed (summed over repetitions).
+    pub rounds: usize,
+    /// Bits the phase sent (summed over repetitions).
+    pub bits: u64,
+}
+
+impl PhaseStat {
+    /// A phase stat.
+    pub fn new(name: &str, rounds: usize, bits: u64) -> Self {
+        PhaseStat {
+            name: name.to_string(),
+            rounds,
+            bits,
+        }
+    }
+}
+
+/// Fault tallies of one run, flattened for export.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultTally {
+    /// Messages delivered intact.
+    pub delivered: u64,
+    /// Deliveries dropped.
+    pub dropped: u64,
+    /// Deliveries corrupted.
+    pub corrupted: u64,
+    /// Nodes crashed.
+    pub crashed: u64,
+    /// Transport retransmissions.
+    pub retransmissions: u64,
+    /// Transport frames given up on.
+    pub given_up: u64,
+}
+
+impl From<&FaultReport> for FaultTally {
+    fn from(f: &FaultReport) -> Self {
+        FaultTally {
+            delivered: f.delivered,
+            dropped: f.dropped,
+            corrupted: f.corrupted,
+            crashed: f.crashed.len() as u64,
+            retransmissions: f.retransmissions,
+            given_up: f.given_up,
+        }
+    }
+}
+
+/// The schema-versioned export of one run. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Free-form label naming the run (e.g. `"even_cycle_k2"`).
+    pub label: String,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total bits over all edges and rounds.
+    pub total_bits: u64,
+    /// Total messages.
+    pub total_messages: u64,
+    /// Maximum bits on one directed edge in one round.
+    pub max_edge_round_bits: usize,
+    /// Whether the run halted before the round limit.
+    pub completed: bool,
+    /// Bits sent in each round.
+    pub per_round_bits: Vec<u64>,
+    /// Fault tallies.
+    pub faults: FaultTally,
+    /// Per-phase breakdown (empty for single-phase runs).
+    pub phases: Vec<PhaseStat>,
+    /// Full metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// A report assembled from run products (no phase breakdown; attach one
+    /// with [`Self::with_phases`]).
+    pub fn from_stats(
+        label: &str,
+        stats: &RunStats,
+        faults: &FaultReport,
+        completed: bool,
+        metrics: MetricsSnapshot,
+    ) -> Self {
+        RunReport {
+            label: label.to_string(),
+            rounds: stats.rounds,
+            total_bits: stats.total_bits,
+            total_messages: stats.total_messages,
+            max_edge_round_bits: stats.max_edge_round_bits,
+            completed,
+            per_round_bits: stats.per_round_bits.clone(),
+            faults: FaultTally::from(faults),
+            phases: Vec::new(),
+            metrics,
+        }
+    }
+
+    /// Attaches a per-phase breakdown.
+    pub fn with_phases(mut self, phases: Vec<PhaseStat>) -> Self {
+        self.phases = phases;
+        self
+    }
+
+    /// The report as one schema-versioned JSON document (trailing newline
+    /// included). Built from deterministic inputs only — see module docs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, r#"  "schema": "{RUN_REPORT_SCHEMA}","#);
+        let _ = writeln!(out, r#"  "version": {RUN_REPORT_VERSION},"#);
+        let _ = writeln!(out, r#"  "label": "{}","#, json_escape(&self.label));
+        let _ = writeln!(out, r#"  "rounds": {},"#, self.rounds);
+        let _ = writeln!(out, r#"  "total_bits": {},"#, self.total_bits);
+        let _ = writeln!(out, r#"  "total_messages": {},"#, self.total_messages);
+        let _ = writeln!(
+            out,
+            r#"  "max_edge_round_bits": {},"#,
+            self.max_edge_round_bits
+        );
+        let _ = writeln!(out, r#"  "completed": {},"#, self.completed);
+        let series: Vec<String> = self.per_round_bits.iter().map(u64::to_string).collect();
+        let _ = writeln!(out, r#"  "per_round_bits": [{}],"#, series.join(","));
+        let f = &self.faults;
+        let _ = writeln!(
+            out,
+            r#"  "faults": {{"delivered":{},"dropped":{},"corrupted":{},"crashed":{},"retransmissions":{},"given_up":{}}},"#,
+            f.delivered, f.dropped, f.corrupted, f.crashed, f.retransmissions, f.given_up
+        );
+        let phases: Vec<String> = self
+            .phases
+            .iter()
+            .map(|p| {
+                format!(
+                    r#"{{"name":"{}","rounds":{},"bits":{}}}"#,
+                    json_escape(&p.name),
+                    p.rounds,
+                    p.bits
+                )
+            })
+            .collect();
+        let _ = writeln!(out, r#"  "phases": [{}],"#, phases.join(","));
+        let _ = writeln!(out, r#"  "metrics": {}"#, self.metrics.to_json());
+        out.push_str("}\n");
+        out
+    }
+
+    /// A compact human-readable summary table.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "run report: {}", self.label);
+        let w = 24;
+        let mut row = |k: &str, v: String| {
+            let _ = writeln!(out, "  {k:<w$} {v}");
+        };
+        row("rounds", self.rounds.to_string());
+        row("total bits", self.total_bits.to_string());
+        row("total messages", self.total_messages.to_string());
+        row(
+            "max edge congestion",
+            format!("{} bits/round", self.max_edge_round_bits),
+        );
+        row("completed", self.completed.to_string());
+        let f = &self.faults;
+        row(
+            "faults",
+            format!(
+                "{} delivered, {} dropped, {} corrupted, {} crashed",
+                f.delivered, f.dropped, f.corrupted, f.crashed
+            ),
+        );
+        if f.retransmissions > 0 || f.given_up > 0 {
+            row(
+                "transport",
+                format!(
+                    "{} retransmissions, {} given up",
+                    f.retransmissions, f.given_up
+                ),
+            );
+        }
+        for p in &self.phases {
+            row(
+                &format!("phase {}", p.name),
+                format!("{} rounds, {} bits", p.rounds, p.bits),
+            );
+        }
+        if let Some(h) = self.metrics.hist("compute.node_nanos") {
+            row(
+                "node compute",
+                format!(
+                    "{} spans, mean {:.0} ns, max {} ns",
+                    h.count(),
+                    h.mean(),
+                    h.max()
+                ),
+            );
+        }
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obsv::metrics::Metrics;
+    use graphlib::generators;
+
+    fn sample_report() -> RunReport {
+        let g = generators::cycle(4);
+        let mut stats = RunStats::new(&g);
+        stats.rounds = 2;
+        stats.total_bits = 96;
+        stats.total_messages = 8;
+        stats.max_edge_round_bits = 12;
+        stats.per_round_bits = vec![64, 32];
+        stats.per_round_messages = vec![6, 2];
+        let faults = FaultReport::default();
+        let metrics = Metrics::from_run(&stats, &faults).snapshot();
+        RunReport::from_stats("sample", &stats, &faults, true, metrics)
+            .with_phases(vec![PhaseStat::new("phase1", 2, 96)])
+    }
+
+    #[test]
+    fn json_is_schema_versioned_and_balanced() {
+        let json = sample_report().to_json();
+        assert!(json.contains(r#""schema": "congest.run_report""#), "{json}");
+        assert!(json.contains(r#""version": 1"#));
+        assert!(json.contains(r#""per_round_bits": [64,32]"#));
+        assert!(json.contains(r#""phases": [{"name":"phase1","rounds":2,"bits":96}]"#));
+        assert!(json.contains(r#""bits.total":96"#));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn summary_mentions_the_headline_numbers() {
+        let s = sample_report().summary_table();
+        assert!(s.contains("sample"));
+        assert!(s.contains("96"));
+        assert!(s.contains("phase phase1"), "{s}");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny"), r#"x\ny"#);
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

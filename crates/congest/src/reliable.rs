@@ -399,6 +399,7 @@ where
 /// the per-node retransmission / give-up counts into the outcome's
 /// [`FaultReport`](crate::faults::FaultReport) and unwrapping the final
 /// inner states.
+#[deprecated(note = "use `congest::Simulation::reliable_config(cfg).run(make)` instead")]
 pub fn run_reliable<A, F>(
     engine: &Engine<'_>,
     cfg: ReliableConfig,
@@ -409,9 +410,32 @@ where
     A::Msg: Hash,
     F: Fn(usize) -> A + Sync,
 {
-    let (mut outcome, nodes) = engine.run_nodes(|v| Reliable::new(make(v), cfg))?;
+    run_reliable_impl(engine, cfg, make)
+}
+
+/// The transport run behind [`run_reliable`] (deprecated shim) and
+/// [`Simulation`](crate::Simulation)'s reliable route. Emits a
+/// [`SimEvent::TransportSummary`](crate::obsv::SimEvent) through the
+/// engine's collector once the tallies are known.
+pub(crate) fn run_reliable_impl<A, F>(
+    engine: &Engine<'_>,
+    cfg: ReliableConfig,
+    make: F,
+) -> Result<(RunOutcome, Vec<A>), CongestError>
+where
+    A: NodeAlgorithm,
+    A::Msg: Hash,
+    F: Fn(usize) -> A + Sync,
+{
+    let (mut outcome, nodes) = engine.run_nodes_impl(|v| Reliable::new(make(v), cfg))?;
     outcome.faults.retransmissions = nodes.iter().map(Reliable::retransmissions).sum();
     outcome.faults.given_up = nodes.iter().map(Reliable::given_up).sum();
+    if let Some(c) = engine.collector_handle() {
+        c.record(&crate::obsv::SimEvent::TransportSummary {
+            retransmissions: outcome.faults.retransmissions,
+            given_up: outcome.faults.given_up,
+        });
+    }
     Ok((
         outcome,
         nodes.into_iter().map(Reliable::into_inner).collect(),
@@ -421,8 +445,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{Bandwidth, Engine};
+    use crate::engine::Bandwidth;
     use crate::faults::FaultSpec;
+    use crate::simulation::Simulation;
     use graphlib::generators;
 
     /// Each node broadcasts its id for `depth` virtual rounds, collecting
@@ -494,10 +519,11 @@ mod tests {
         }
     }
 
-    fn gossip_engine(g: &graphlib::Graph, cfg: ReliableConfig, n: usize) -> Engine<'_> {
-        Engine::new(g)
+    fn gossip_sim(g: &graphlib::Graph, cfg: ReliableConfig, n: usize) -> Simulation<'_> {
+        Simulation::on(g)
             .bandwidth(Bandwidth::Bits(cfg.required_bandwidth(64 * n)))
             .max_rounds(cfg.physical_rounds(2 * n + 1))
+            .reliable_config(cfg)
     }
 
     #[test]
@@ -505,12 +531,13 @@ mod tests {
         let n = 5;
         let g = generators::path(n);
         let cfg = ReliableConfig::default();
-        let bare = Engine::new(&g)
+        let bare = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64 * n))
             .run(|_| Gossip::new(n))
             .unwrap();
-        let (rel, nodes) =
-            run_reliable(&gossip_engine(&g, cfg, n), cfg, |_| Gossip::new(n)).unwrap();
+        let (rel, nodes) = gossip_sim(&g, cfg, n)
+            .run_with_nodes(|_| Gossip::new(n))
+            .unwrap();
         assert_eq!(bare.decisions, rel.decisions);
         assert!(nodes.iter().all(|nd| nd.heard.len() == n));
         assert_eq!(rel.faults.retransmissions, 0);
@@ -522,11 +549,11 @@ mod tests {
         let n = 3;
         let g = generators::path(n);
         let cfg = ReliableConfig::default();
-        let bare = Engine::new(&g)
+        let bare = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64 * n))
             .run(|_| Gossip::new(n))
             .unwrap();
-        let (rel, _) = run_reliable(&gossip_engine(&g, cfg, n), cfg, |_| Gossip::new(n)).unwrap();
+        let rel = gossip_sim(&g, cfg, n).run(|_| Gossip::new(n)).unwrap();
         assert!(
             rel.stats.total_bits > bare.stats.total_bits,
             "headers and acks must cost bits: {} vs {}",
@@ -610,7 +637,7 @@ mod tests {
         let loss = FaultSpec::IndependentLoss(0.3);
         // Bare run under 30% loss: the token must survive 5 independent
         // hops (P ≈ 0.17); verify this seed actually breaks it.
-        let bare = Engine::new(&g)
+        let bare = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(8))
             .max_rounds(4 * n)
             .seed(5)
@@ -624,12 +651,14 @@ mod tests {
         );
 
         let cfg = ReliableConfig::default();
-        let engine = Engine::new(&g)
+        let rel = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(cfg.required_bandwidth(8)))
             .max_rounds(cfg.physical_rounds(2 * n))
             .seed(5)
-            .faults(loss);
-        let (rel, _) = run_reliable(&engine, cfg, |_| Relay::new()).unwrap();
+            .faults(loss)
+            .reliable_config(cfg)
+            .run(|_| Relay::new())
+            .unwrap();
         assert!(
             rel.network_rejects(),
             "reliable transport should repair the relay: {}",
@@ -645,10 +674,11 @@ mod tests {
         let g = generators::path(n);
         let cfg = ReliableConfig::default();
         // Corrupt 30% of frames: checksums catch them, retransmits repair.
-        let engine = gossip_engine(&g, cfg, n)
+        let (rel, nodes) = gossip_sim(&g, cfg, n)
             .seed(2)
-            .faults(FaultSpec::BitFlip(0.3));
-        let (rel, nodes) = run_reliable(&engine, cfg, |_| Gossip::new(n)).unwrap();
+            .faults(FaultSpec::BitFlip(0.3))
+            .run_with_nodes(|_| Gossip::new(n))
+            .unwrap();
         assert!(rel.network_rejects(), "{}", rel.faults.summary());
         assert!(nodes.iter().all(|nd| nd.heard.len() == n));
         assert!(rel.faults.corrupted > 0, "{}", rel.faults.summary());
@@ -661,10 +691,11 @@ mod tests {
         let g = generators::path(n);
         let cfg = ReliableConfig::default();
         let run = || {
-            let engine = gossip_engine(&g, cfg, n)
+            gossip_sim(&g, cfg, n)
                 .seed(77)
-                .faults(FaultSpec::IndependentLoss(0.25));
-            run_reliable(&engine, cfg, |_| Gossip::new(n)).unwrap().0
+                .faults(FaultSpec::IndependentLoss(0.25))
+                .run(|_| Gossip::new(n))
+                .unwrap()
         };
         let (a, b) = (run(), run());
         assert_eq!(a.decisions, b.decisions);

@@ -1,0 +1,623 @@
+//! The one front door to every simulator backend.
+//!
+//! [`Simulation`] is a builder covering the CONGEST engine, the reliable
+//! transport, and the congested-clique engine behind a single fluent API:
+//!
+//! ```
+//! use congest::{Bandwidth, Simulation};
+//! # use congest::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
+//! # use rand_chacha::ChaCha8Rng;
+//! # struct Quiet;
+//! # impl NodeAlgorithm for Quiet {
+//! #     type Msg = u64;
+//! #     fn init(&mut self, _: &NodeContext, _: &mut ChaCha8Rng) -> Outbox<u64> { Vec::new() }
+//! #     fn on_round(&mut self, _: &NodeContext, _: &Inbox<u64>, _: &mut ChaCha8Rng) -> Outbox<u64> { Vec::new() }
+//! #     fn halted(&self) -> bool { true }
+//! #     fn decision(&self) -> Decision { Decision::Accept }
+//! # }
+//! let g = graphlib::generators::cycle(8);
+//! let outcome = Simulation::on(&g)
+//!     .bandwidth(Bandwidth::Bits(64))
+//!     .seed(7)
+//!     .run(|_| Quiet)
+//!     .unwrap();
+//! assert!(outcome.completed);
+//! ```
+//!
+//! Configuration the selected backend cannot honor (faults on the clique
+//! engine, reliable transport under broadcast-only, ...) surfaces as
+//! [`SimError::Unsupported`] instead of being silently dropped.
+//!
+//! Every run returns an [`Outcome`] carrying the per-node decisions, the
+//! exact [`RunStats`], the [`FaultReport`], and a deterministic
+//! [`MetricsSnapshot`]; [`Outcome::report`] renders all of it as one
+//! schema-versioned [`RunReport`].
+
+use crate::cliquemodel::{CliqueAlgorithm, CliqueEngine, CliqueStats};
+use crate::engine::{Bandwidth, Engine, RunOutcome};
+use crate::error::SimError;
+use crate::faults::{FaultReport, FaultSpec};
+use crate::node::{Decision, NodeAlgorithm};
+use crate::obsv::collect::{Collector, ComputeTimer, Fanout};
+use crate::obsv::metrics::{Metrics, MetricsSnapshot};
+use crate::obsv::report::RunReport;
+use crate::reliable::{run_reliable_impl, ReliableConfig};
+use crate::stats::RunStats;
+use graphlib::Graph;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Unified result of any [`Simulation`] run.
+///
+/// This is [`RunOutcome`] plus the frozen metrics snapshot; clique runs
+/// produce it too (with an empty decision vector — clique algorithms
+/// return typed outputs instead, see [`CliqueRun`]).
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Per-node decisions at the end of the run (empty for clique runs).
+    pub decisions: Vec<Decision>,
+    /// Exact traffic and round statistics.
+    pub stats: RunStats,
+    /// Whether every live node halted before the round limit.
+    pub completed: bool,
+    /// What the fault layer (and reliable transport) did to this run.
+    pub faults: FaultReport,
+    /// Deterministic, name-sorted metrics snapshot of the run.
+    pub metrics: MetricsSnapshot,
+}
+
+impl Outcome {
+    fn from_run(run: RunOutcome, metrics: MetricsSnapshot) -> Self {
+        Outcome {
+            decisions: run.decisions,
+            stats: run.stats,
+            completed: run.completed,
+            faults: run.faults,
+            metrics,
+        }
+    }
+
+    /// Definition 1 semantics: the network "detects H" iff some node rejects.
+    pub fn network_rejects(&self) -> bool {
+        self.decisions.contains(&Decision::Reject)
+    }
+
+    /// Convenience inverse of [`Self::network_rejects`].
+    pub fn network_accepts(&self) -> bool {
+        !self.network_rejects()
+    }
+
+    /// Whether the run was cut off by the round limit rather than halting
+    /// cleanly.
+    pub fn hit_round_limit(&self) -> bool {
+        !self.completed
+    }
+
+    /// Whether some node that never crashed rejects — the meaningful
+    /// detection signal under crash faults.
+    pub fn surviving_node_rejects(&self) -> bool {
+        let crashed = self.faults.crashed_nodes();
+        self.decisions
+            .iter()
+            .enumerate()
+            .any(|(v, d)| *d == Decision::Reject && crashed.binary_search(&v).is_err())
+    }
+
+    /// Exports the outcome as a schema-versioned [`RunReport`].
+    pub fn report(&self, label: &str) -> RunReport {
+        RunReport::from_stats(
+            label,
+            &self.stats,
+            &self.faults,
+            self.completed,
+            self.metrics.clone(),
+        )
+    }
+}
+
+/// Result of a congested-clique run through the builder: the typed per-node
+/// outputs and clique-specific stats, alongside the unified [`Outcome`].
+#[derive(Debug)]
+pub struct CliqueRun<O> {
+    /// Per-node outputs of the clique algorithm.
+    pub outputs: Vec<O>,
+    /// Clique-specific statistics (per-ordered-pair congestion).
+    pub stats: CliqueStats,
+    /// The unified outcome (decisions empty; traffic stats and metrics
+    /// populated from the all-to-all topology accounting).
+    pub outcome: Outcome,
+}
+
+/// Builder over every simulator backend. See the module docs.
+pub struct Simulation<'g> {
+    graph: &'g Graph,
+    bandwidth: Option<Bandwidth>,
+    bandwidth_bits: Option<usize>,
+    ids: Option<Vec<u64>>,
+    max_rounds: Option<usize>,
+    seed: u64,
+    broadcast_only: bool,
+    faults: FaultSpec,
+    reliable: Option<ReliableConfig>,
+    collector: Option<Arc<dyn Collector>>,
+    timed: bool,
+}
+
+impl<'g> Simulation<'g> {
+    /// A simulation over `graph` — the topology for CONGEST runs, the
+    /// *input* graph for clique runs (whose topology is all-to-all).
+    /// Defaults mirror [`Engine::new`]: `Θ(log n)` bandwidth, seed 0, a
+    /// generous round limit, no faults, no collector.
+    pub fn on(graph: &'g Graph) -> Self {
+        Simulation {
+            graph,
+            bandwidth: None,
+            bandwidth_bits: None,
+            ids: None,
+            max_rounds: None,
+            seed: 0,
+            broadcast_only: false,
+            faults: FaultSpec::None,
+            reliable: None,
+            collector: None,
+            timed: false,
+        }
+    }
+
+    /// Sets the per-edge bandwidth for CONGEST runs (a clique run maps
+    /// `Bandwidth::Bits(b)` to its per-ordered-pair budget).
+    pub fn bandwidth(mut self, b: Bandwidth) -> Self {
+        self.bandwidth = Some(b);
+        self
+    }
+
+    /// Sets the per-ordered-pair bandwidth of a clique run in bits
+    /// (equivalent to `bandwidth(Bandwidth::Bits(b))` there; ignored by
+    /// CONGEST runs, which use [`Self::bandwidth`]).
+    pub fn bandwidth_bits(mut self, b: usize) -> Self {
+        self.bandwidth_bits = Some(b);
+        self
+    }
+
+    /// Installs a fault model (see [`crate::faults`]).
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = spec;
+        self
+    }
+
+    /// Sugar for `faults(FaultSpec::IndependentLoss(p))` (`p = 0` clears).
+    pub fn loss_rate(self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss rate must be a probability");
+        if p == 0.0 {
+            self.faults(FaultSpec::None)
+        } else {
+            self.faults(FaultSpec::IndependentLoss(p))
+        }
+    }
+
+    /// Runs the algorithm under the reliable ARQ transport (default
+    /// tuning). Remember to budget bandwidth and rounds for the envelope:
+    /// see [`ReliableConfig::required_bandwidth`] and
+    /// [`ReliableConfig::physical_rounds`].
+    pub fn reliable(mut self, on: bool) -> Self {
+        self.reliable = if on {
+            Some(ReliableConfig::default())
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Runs under the reliable transport with explicit tuning (implies
+    /// `reliable(true)`).
+    pub fn reliable_config(mut self, cfg: ReliableConfig) -> Self {
+        self.reliable = Some(cfg);
+        self
+    }
+
+    /// Installs a structured-event [`Collector`] (see [`crate::obsv`]).
+    pub fn collector<C: Collector + 'static>(self, c: C) -> Self {
+        self.collector_arc(Arc::new(c))
+    }
+
+    /// Installs an already-shared [`Collector`] handle.
+    pub fn collector_arc(mut self, c: Arc<dyn Collector>) -> Self {
+        self.collector = Some(c);
+        self
+    }
+
+    /// Also measures per-node compute time (wall-clock). The resulting
+    /// `compute.node_nanos` histogram lands in [`Outcome::metrics`] — note
+    /// it is inherently non-deterministic, unlike every other metric.
+    pub fn timed(mut self, on: bool) -> Self {
+        self.timed = on;
+        self
+    }
+
+    /// Seeds all node RNGs (and the fault models).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Caps the number of communication rounds.
+    pub fn max_rounds(mut self, r: usize) -> Self {
+        self.max_rounds = Some(r);
+        self
+    }
+
+    /// Sets the identifier assignment for CONGEST runs (must be `n`
+    /// values). Clique node indices are public, so clique runs reject this.
+    pub fn with_ids(mut self, ids: Vec<u64>) -> Self {
+        self.ids = Some(ids);
+        self
+    }
+
+    /// Switches CONGEST runs to broadcast-CONGEST (unicasts rejected).
+    pub fn broadcast_only(mut self, on: bool) -> Self {
+        self.broadcast_only = on;
+        self
+    }
+
+    fn combined_collector(&self, timer: Option<&Arc<ComputeTimer>>) -> Option<Arc<dyn Collector>> {
+        match (self.collector.clone(), timer) {
+            (Some(c), Some(t)) => Some(Arc::new(Fanout(vec![c, t.clone()]))),
+            (Some(c), None) => Some(c),
+            (None, Some(t)) => Some(t.clone()),
+            (None, None) => None,
+        }
+    }
+
+    fn congest_engine(&self, timer: Option<&Arc<ComputeTimer>>) -> Engine<'g> {
+        let mut e = Engine::new(self.graph)
+            .seed(self.seed)
+            .faults(self.faults.clone())
+            .broadcast_only(self.broadcast_only);
+        if let Some(b) = self.bandwidth {
+            e = e.bandwidth(b);
+        }
+        if let Some(r) = self.max_rounds {
+            e = e.max_rounds(r);
+        }
+        if let Some(ids) = &self.ids {
+            e = e.with_ids(ids.clone());
+        }
+        if let Some(c) = self.combined_collector(timer) {
+            e = e.collector(c);
+        }
+        e
+    }
+
+    fn finish(run: RunOutcome, timer: Option<Arc<ComputeTimer>>) -> Outcome {
+        let mut metrics = Metrics::from_run(&run.stats, &run.faults);
+        if let Some(t) = timer {
+            metrics.install_hist("compute.node_nanos", t.take());
+        }
+        Outcome::from_run(run, metrics.snapshot())
+    }
+
+    /// Runs `make(v)`-constructed nodes on the CONGEST engine (through the
+    /// reliable transport when configured), returning the unified
+    /// [`Outcome`].
+    pub fn run<A, F>(&self, make: F) -> Result<Outcome, SimError>
+    where
+        A: NodeAlgorithm,
+        A::Msg: Hash,
+        F: Fn(usize) -> A + Sync,
+    {
+        self.run_with_nodes(make).map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`Self::run`], but also hands back the final node states — for
+    /// algorithms whose output is richer than accept/reject.
+    pub fn run_with_nodes<A, F>(&self, make: F) -> Result<(Outcome, Vec<A>), SimError>
+    where
+        A: NodeAlgorithm,
+        A::Msg: Hash,
+        F: Fn(usize) -> A + Sync,
+    {
+        let timer = if self.timed {
+            Some(Arc::new(ComputeTimer::new()))
+        } else {
+            None
+        };
+        let engine = self.congest_engine(timer.as_ref());
+        let (run, nodes) = match self.reliable {
+            Some(cfg) => {
+                if self.broadcast_only {
+                    return Err(SimError::Unsupported(
+                        "reliable transport under broadcast-only (the ARQ envelope \
+                         needs per-port unicasts)"
+                            .into(),
+                    ));
+                }
+                run_reliable_impl(&engine, cfg, make)?
+            }
+            None => engine.run_nodes_impl(make)?,
+        };
+        Ok((Self::finish(run, timer), nodes))
+    }
+
+    /// Runs a [`CliqueAlgorithm`] on the congested-clique engine, with the
+    /// builder's graph as the *input* graph. Fault injection, the reliable
+    /// transport, broadcast-only mode, and custom identifiers are CONGEST
+    /// features — configuring any of them here is [`SimError::Unsupported`].
+    pub fn run_clique<A, F>(&self, make: F) -> Result<CliqueRun<A::Output>, SimError>
+    where
+        A: CliqueAlgorithm,
+        F: Fn(usize) -> A + Sync,
+    {
+        if !matches!(self.faults, FaultSpec::None) {
+            return Err(SimError::Unsupported(
+                "fault injection on the clique engine".into(),
+            ));
+        }
+        if self.reliable.is_some() {
+            return Err(SimError::Unsupported(
+                "reliable transport on the clique engine".into(),
+            ));
+        }
+        if self.broadcast_only {
+            return Err(SimError::Unsupported(
+                "broadcast-only mode on the clique engine".into(),
+            ));
+        }
+        if self.ids.is_some() {
+            return Err(SimError::Unsupported(
+                "custom identifiers on the clique engine (indices are public)".into(),
+            ));
+        }
+        let timer = if self.timed {
+            Some(Arc::new(ComputeTimer::new()))
+        } else {
+            None
+        };
+        let mut e = CliqueEngine::new(self.graph).seed(self.seed);
+        match (self.bandwidth_bits, self.bandwidth) {
+            (Some(b), _) => e = e.bandwidth_bits(b),
+            (None, Some(Bandwidth::Bits(b))) => e = e.bandwidth_bits(b),
+            (None, Some(Bandwidth::Unbounded)) => {
+                return Err(SimError::Unsupported(
+                    "unbounded bandwidth on the clique engine".into(),
+                ));
+            }
+            (None, None) => {}
+        }
+        if let Some(r) = self.max_rounds {
+            e = e.max_rounds(r);
+        }
+        if let Some(c) = self.combined_collector(timer.as_ref()) {
+            e = e.collector(c);
+        }
+        let (clique, stats) = e.run_impl(make)?;
+        // No fault layer on the clique: everything sent was delivered.
+        let faults = FaultReport {
+            delivered: stats.total_messages,
+            ..FaultReport::default()
+        };
+        let run = RunOutcome {
+            decisions: Vec::new(),
+            stats,
+            completed: clique.completed,
+            faults,
+        };
+        Ok(CliqueRun {
+            outputs: clique.outputs,
+            stats: clique.stats,
+            outcome: Self::finish(run, timer),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cliquemodel::CliqueContext;
+    use crate::node::{Inbox, NodeContext, Outbox, Outgoing};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Broadcast once, halt; reject iff a neighbor's id is larger.
+    struct Beacon {
+        done: bool,
+        reject: bool,
+    }
+
+    impl NodeAlgorithm for Beacon {
+        type Msg = u64;
+
+        fn init(&mut self, ctx: &NodeContext, _rng: &mut ChaCha8Rng) -> Outbox<u64> {
+            vec![Outgoing::Broadcast(ctx.id)]
+        }
+
+        fn on_round(
+            &mut self,
+            ctx: &NodeContext,
+            inbox: &Inbox<u64>,
+            _rng: &mut ChaCha8Rng,
+        ) -> Outbox<u64> {
+            self.reject = inbox.iter().any(|(_, id)| **id > ctx.id);
+            self.done = true;
+            Vec::new()
+        }
+
+        fn halted(&self) -> bool {
+            self.done
+        }
+
+        fn decision(&self) -> Decision {
+            if self.reject {
+                Decision::Reject
+            } else {
+                Decision::Accept
+            }
+        }
+    }
+
+    fn beacon() -> Beacon {
+        Beacon {
+            done: false,
+            reject: false,
+        }
+    }
+
+    #[test]
+    fn outcome_carries_metrics_and_report() {
+        let g = graphlib::generators::cycle(5);
+        let out = Simulation::on(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .run(|_| beacon())
+            .unwrap();
+        assert_eq!(
+            out.metrics.counter("bits.total"),
+            Some(out.stats.total_bits)
+        );
+        assert_eq!(out.metrics.counter("rounds.total"), Some(1));
+        let report = out.report("beacon");
+        assert_eq!(report.rounds, 1);
+        assert!(report.to_json().contains(r#""label": "beacon""#));
+        assert!(report.summary_table().contains("total bits"));
+    }
+
+    #[test]
+    fn reliable_route_folds_transport_tallies() {
+        let g = graphlib::generators::path(4);
+        let cfg = ReliableConfig::default();
+        let out = Simulation::on(&g)
+            .bandwidth(Bandwidth::Bits(cfg.required_bandwidth(64)))
+            .max_rounds(cfg.physical_rounds(6))
+            .reliable_config(cfg)
+            .seed(3)
+            .faults(FaultSpec::IndependentLoss(0.3))
+            .run(|_| beacon())
+            .unwrap();
+        assert!(out.faults.retransmissions > 0, "loss should force resends");
+        assert_eq!(
+            out.metrics.counter("transport.retransmissions"),
+            Some(out.faults.retransmissions)
+        );
+    }
+
+    #[test]
+    fn timed_runs_collect_compute_histogram() {
+        let g = graphlib::generators::cycle(4);
+        let out = Simulation::on(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .timed(true)
+            .run(|_| beacon())
+            .unwrap();
+        let h = out.metrics.hist("compute.node_nanos").expect("timed hist");
+        // 4 init spans + 4 round-1 spans.
+        assert_eq!(h.count(), 8);
+        // Untimed runs must not carry the non-deterministic histogram.
+        let plain = Simulation::on(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .run(|_| beacon())
+            .unwrap();
+        assert!(plain.metrics.hist("compute.node_nanos").is_none());
+    }
+
+    /// Every node reports its input-degree to node 0.
+    struct DegreeReport {
+        acc: u64,
+        done: bool,
+    }
+
+    impl CliqueAlgorithm for DegreeReport {
+        type Msg = u32;
+        type Output = u64;
+
+        fn init(&mut self, ctx: &CliqueContext, _rng: &mut ChaCha8Rng) -> Vec<(usize, u32)> {
+            if ctx.index == 0 {
+                self.acc = ctx.input_neighbors.len() as u64;
+                Vec::new()
+            } else {
+                vec![(0, ctx.input_neighbors.len() as u32)]
+            }
+        }
+
+        fn on_round(
+            &mut self,
+            ctx: &CliqueContext,
+            inbox: &[(usize, u32)],
+            _rng: &mut ChaCha8Rng,
+        ) -> Vec<(usize, u32)> {
+            if ctx.index == 0 {
+                self.acc += inbox.iter().map(|&(_, d)| d as u64).sum::<u64>();
+            }
+            self.done = true;
+            Vec::new()
+        }
+
+        fn halted(&self) -> bool {
+            self.done
+        }
+
+        fn output(&self) -> u64 {
+            self.acc
+        }
+    }
+
+    #[test]
+    fn clique_route_returns_unified_outcome() {
+        let g = graphlib::generators::cycle(6);
+        let run = Simulation::on(&g)
+            .bandwidth_bits(32)
+            .run_clique(|_| DegreeReport {
+                acc: 0,
+                done: false,
+            })
+            .unwrap();
+        assert_eq!(run.outputs[0], 2 * g.m() as u64);
+        assert_eq!(run.stats.total_bits, 5 * 32);
+        // The unified outcome mirrors the clique stats.
+        assert_eq!(run.outcome.stats.total_bits, 5 * 32);
+        assert!(run.outcome.decisions.is_empty());
+        assert_eq!(run.outcome.faults.delivered, 5);
+        assert_eq!(run.outcome.metrics.counter("bits.total"), Some(5 * 32));
+        assert!(run
+            .outcome
+            .report("clique")
+            .to_json()
+            .contains("bits.total"));
+    }
+
+    #[test]
+    fn unsupported_clique_configs_are_rejected() {
+        let g = graphlib::generators::cycle(4);
+        let mk = || DegreeReport {
+            acc: 0,
+            done: false,
+        };
+        let err = Simulation::on(&g)
+            .faults(FaultSpec::IndependentLoss(0.5))
+            .run_clique(|_| mk())
+            .unwrap_err();
+        assert!(matches!(err, SimError::Unsupported(_)), "{err}");
+        let err = Simulation::on(&g)
+            .reliable(true)
+            .run_clique(|_| mk())
+            .unwrap_err();
+        assert!(matches!(err, SimError::Unsupported(_)));
+        let err = Simulation::on(&g)
+            .with_ids(vec![9, 8, 7, 6])
+            .run_clique(|_| mk())
+            .unwrap_err();
+        assert!(matches!(err, SimError::Unsupported(_)));
+        let err = Simulation::on(&g)
+            .bandwidth(Bandwidth::Unbounded)
+            .run_clique(|_| mk())
+            .unwrap_err();
+        assert!(matches!(err, SimError::Unsupported(_)));
+    }
+
+    #[test]
+    fn reliable_under_broadcast_only_is_unsupported() {
+        let g = graphlib::generators::path(3);
+        let err = Simulation::on(&g)
+            .broadcast_only(true)
+            .reliable(true)
+            .run(|_| beacon())
+            .unwrap_err();
+        assert!(matches!(err, SimError::Unsupported(_)));
+    }
+}

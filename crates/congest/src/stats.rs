@@ -9,6 +9,7 @@
 //! counts) are tallied separately in [`crate::FaultReport`].
 
 use graphlib::Graph;
+use std::sync::Arc;
 
 /// Cumulative traffic statistics for one run.
 #[derive(Debug, Clone)]
@@ -26,11 +27,28 @@ pub struct RunStats {
     /// node `u` sent on its port `p` over the whole run.
     pub directed_edge_bits: Vec<u64>,
     /// CSR offsets (`offset(u)` = start of `u`'s slots), kept so the stats
-    /// are interpretable without the topology.
-    pub offsets: Vec<usize>,
+    /// are interpretable without the topology. Shared behind an `Arc`:
+    /// cloning a `RunStats` no longer duplicates the topology CSR, and
+    /// exporters should prefer [`Self::edges`] over manual offset math.
+    pub offsets: Arc<[usize]>,
     /// Bits sent in each round (`per_round_bits[r-1]` for round `r`) — the
     /// traffic time-series, useful for spotting a protocol's phases.
     pub per_round_bits: Vec<u64>,
+    /// Messages sent in each round, aligned with [`Self::per_round_bits`].
+    pub per_round_messages: Vec<u64>,
+}
+
+/// One directed edge's cumulative traffic, as yielded by
+/// [`RunStats::edges`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeTraffic {
+    /// Sending node.
+    pub node: usize,
+    /// Port index on the sender (for the clique backend: the destination
+    /// slot in `0..n-1`, skipping the sender itself).
+    pub port: usize,
+    /// Bits sent over the whole run.
+    pub bits: u64,
 }
 
 impl RunStats {
@@ -42,14 +60,28 @@ impl RunStats {
             acc += g.degree(v);
             offsets.push(acc);
         }
+        Self::with_offsets(offsets)
+    }
+
+    /// Stats over the complete all-to-all topology on `n` nodes (the
+    /// congested clique): node `u` has `n - 1` slots, one per other node.
+    pub(crate) fn complete(n: usize) -> Self {
+        let per = n.saturating_sub(1);
+        let offsets: Vec<usize> = (0..=n).map(|v| v * per).collect();
+        Self::with_offsets(offsets)
+    }
+
+    fn with_offsets(offsets: Vec<usize>) -> Self {
+        let slots = offsets.last().copied().unwrap_or(0);
         RunStats {
             rounds: 0,
             total_bits: 0,
             total_messages: 0,
             max_edge_round_bits: 0,
-            directed_edge_bits: vec![0; acc],
-            offsets,
+            directed_edge_bits: vec![0; slots],
+            offsets: offsets.into(),
             per_round_bits: Vec::new(),
+            per_round_messages: Vec::new(),
         }
     }
 
@@ -63,6 +95,21 @@ impl RunStats {
         self.directed_edge_bits[self.offsets[u]..self.offsets[u + 1]]
             .iter()
             .sum()
+    }
+
+    /// Iterates over every directed edge slot with its cumulative bits —
+    /// the exporter-friendly view of [`Self::directed_edge_bits`], so no
+    /// caller needs to reimplement the CSR offset arithmetic.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeTraffic> + '_ {
+        (0..self.offsets.len().saturating_sub(1)).flat_map(move |v| {
+            let start = self.offsets[v];
+            let end = self.offsets[v + 1];
+            (start..end).map(move |slot| EdgeTraffic {
+                node: v,
+                port: slot - start,
+                bits: self.directed_edge_bits[slot],
+            })
+        })
     }
 
     /// Bits crossing the vertex cut `side` (both directions): the total
@@ -118,5 +165,39 @@ mod tests {
         // Cut {0,1} vs {2}: only 1->2 crosses.
         assert_eq!(s.bits_across_cut(&g, &[true, true, false]), 7);
         assert_eq!(s.node_bits(1), 12);
+    }
+
+    #[test]
+    fn edges_iterator_matches_offset_math() {
+        let g = generators::path(3);
+        let mut s = RunStats::new(&g);
+        s.directed_edge_bits[s.offsets[1]] = 5;
+        s.directed_edge_bits[s.offsets[1] + 1] = 7;
+        let all: Vec<EdgeTraffic> = s.edges().collect();
+        assert_eq!(all.len(), s.directed_edge_bits.len());
+        for e in &all {
+            assert_eq!(e.bits, s.edge_bits(e.node, e.port));
+        }
+        assert!(all.contains(&EdgeTraffic {
+            node: 1,
+            port: 1,
+            bits: 7
+        }));
+    }
+
+    #[test]
+    fn clone_shares_the_offset_table() {
+        let g = generators::clique(6);
+        let s = RunStats::new(&g);
+        let t = s.clone();
+        assert!(Arc::ptr_eq(&s.offsets, &t.offsets));
+    }
+
+    #[test]
+    fn complete_topology_offsets() {
+        let s = RunStats::complete(4);
+        assert_eq!(&s.offsets[..], &[0, 3, 6, 9, 12]);
+        assert_eq!(s.directed_edge_bits.len(), 12);
+        assert_eq!(s.edges().count(), 12);
     }
 }

@@ -121,6 +121,63 @@ impl TraceBuffer {
     }
 }
 
+/// A `TraceBuffer` is a [`Collector`](crate::obsv::Collector): install it
+/// on a [`Simulation`](crate::Simulation) and it keeps recording the same
+/// `TraceEvent`s it always did. Round markers, compute spans, and transport
+/// summaries have no `TraceEvent` shape and are ignored.
+impl crate::obsv::Collector for TraceBuffer {
+    fn record(&self, ev: &crate::obsv::SimEvent) {
+        use crate::obsv::SimEvent;
+        let mapped = match *ev {
+            SimEvent::Send {
+                round,
+                from,
+                port,
+                bits,
+            } => TraceEvent {
+                round,
+                from,
+                port,
+                bits,
+                kind: TraceKind::Send,
+            },
+            SimEvent::Drop {
+                round,
+                from,
+                port,
+                bits,
+            } => TraceEvent {
+                round,
+                from,
+                port,
+                bits,
+                kind: TraceKind::Drop,
+            },
+            SimEvent::Corrupt {
+                round,
+                from,
+                port,
+                bits,
+            } => TraceEvent {
+                round,
+                from,
+                port,
+                bits,
+                kind: TraceKind::Corrupt,
+            },
+            SimEvent::Crash { round, node } => TraceEvent {
+                round,
+                from: node,
+                port: 0,
+                bits: 0,
+                kind: TraceKind::Crash,
+            },
+            _ => return,
+        };
+        self.record(mapped);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,8 +1,8 @@
 //! Property-based tests of the simulators' accounting invariants.
 
 use congest::{
-    bits_for_domain, Bandwidth, BitSize, BitString, CrashStop, Decision, Engine, FaultSpec, Inbox,
-    NodeAlgorithm, NodeContext, Outbox, Outgoing,
+    bits_for_domain, Bandwidth, BitSize, BitString, CrashStop, Decision, FaultSpec, Inbox,
+    NodeAlgorithm, NodeContext, Outbox, Outgoing, Simulation,
 };
 use graphlib::{generators, Graph};
 use proptest::prelude::*;
@@ -64,7 +64,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 proptest! {
     #[test]
     fn total_bits_equals_directed_sum(g in arb_graph(), rounds in 1usize..5, bits in 1usize..16) {
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(bits))
             .run(|_| Chatter { rounds, payload_bits: bits, done: false })
             .unwrap();
@@ -77,7 +77,7 @@ proptest! {
 
     #[test]
     fn engine_is_deterministic(g in arb_graph(), seed in any::<u64>()) {
-        let run = || Engine::new(&g)
+        let run = || Simulation::on(&g)
             .seed(seed)
             .bandwidth(Bandwidth::Bits(8))
             .run(|_| Chatter { rounds: 2, payload_bits: 8, done: false })
@@ -91,7 +91,7 @@ proptest! {
     #[test]
     fn bandwidth_violations_always_caught(bits in 9usize..64) {
         let g = generators::cycle(4);
-        let res = Engine::new(&g)
+        let res = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(8))
             .run(|_| Chatter { rounds: 1, payload_bits: bits, done: false });
         prop_assert!(res.is_err());
@@ -99,7 +99,7 @@ proptest! {
 
     #[test]
     fn cut_traffic_never_exceeds_total(g in arb_graph(), mask in any::<u16>()) {
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(8))
             .run(|_| Chatter { rounds: 1, payload_bits: 8, done: false })
             .unwrap();
@@ -175,7 +175,7 @@ proptest! {
                 FaultSpec::BitFlip(q),
             ]),
         };
-        let run = || Engine::new(&g)
+        let run = || Simulation::on(&g)
             .seed(seed)
             .bandwidth(Bandwidth::Bits(8))
             .faults(spec.clone())

@@ -12,8 +12,8 @@
 //! which (distinct colors ⇒ distinct vertices) is a genuine `C_k`.
 
 use congest::{
-    bits_for_domain, Bandwidth, BitSize, CongestError, Decision, Engine, Inbox, NodeAlgorithm,
-    NodeContext, Outbox, Outgoing,
+    bits_for_domain, Bandwidth, BitSize, Decision, Inbox, NodeAlgorithm, NodeContext, Outbox,
+    Outgoing, SimError, Simulation,
 };
 use graphlib::Graph;
 use rand::Rng;
@@ -168,7 +168,7 @@ pub fn detect_cycle_linear(
     k: usize,
     reps: usize,
     seed: u64,
-) -> Result<AnyCycleReport, CongestError> {
+) -> Result<AnyCycleReport, SimError> {
     let budget = g.n() + k;
     let bw = Bandwidth::Bits(bits_for_domain(g.n().max(2)) + bits_for_domain(k.max(2)));
     let mut total_rounds = 0;
@@ -177,7 +177,7 @@ pub fn detect_cycle_linear(
     let mut executed = 0;
     for rep in 0..reps {
         executed += 1;
-        let out = Engine::new(g)
+        let out = Simulation::on(g)
             .bandwidth(bw)
             .seed(seed ^ (rep as u64).wrapping_mul(0x6C62272E07BB0142))
             .max_rounds(budget + 2)

@@ -15,7 +15,7 @@ use graphlib::{FxHashMap, FxHashSet, Graph, GraphBuilder};
 use rand_chacha::ChaCha8Rng;
 
 /// One streamed neighbor identifier.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct IdMsg {
     /// The neighbor id being announced.
     pub id: u64,
@@ -178,9 +178,9 @@ pub struct CliqueDetectReport {
 }
 
 /// Runs neighbor-exchange `K_s` detection on `g`.
-pub fn detect_clique(g: &Graph, s: usize) -> Result<CliqueDetectReport, congest::CongestError> {
+pub fn detect_clique(g: &Graph, s: usize) -> Result<CliqueDetectReport, congest::SimError> {
     let horizon = g.max_degree() + 1;
-    let out = congest::Engine::new(g)
+    let out = congest::Simulation::on(g)
         .bandwidth(congest::Bandwidth::Bits(bits_for_domain(g.n().max(2))))
         .max_rounds(horizon + 2)
         .run(|_| CliqueDetectNode::new(s, horizon))?;
@@ -192,7 +192,7 @@ pub fn detect_clique(g: &Graph, s: usize) -> Result<CliqueDetectReport, congest:
 }
 
 /// Triangle detection (`K_3`) via neighbor exchange — `O(Δ)` rounds.
-pub fn detect_triangle(g: &Graph) -> Result<CliqueDetectReport, congest::CongestError> {
+pub fn detect_triangle(g: &Graph) -> Result<CliqueDetectReport, congest::SimError> {
     detect_clique(g, 3)
 }
 
@@ -212,15 +212,12 @@ pub struct CliqueListReport {
 /// (and output) by each of its members; the driver deduplicates. This is
 /// the CONGEST counterpart of the congested-clique listing in
 /// `lowerbounds::listing`.
-pub fn list_cliques_congest(
-    g: &Graph,
-    s: usize,
-) -> Result<CliqueListReport, congest::CongestError> {
+pub fn list_cliques_congest(g: &Graph, s: usize) -> Result<CliqueListReport, congest::SimError> {
     let horizon = g.max_degree() + 1;
-    let (out, nodes) = congest::Engine::new(g)
+    let (out, nodes) = congest::Simulation::on(g)
         .bandwidth(congest::Bandwidth::Bits(bits_for_domain(g.n().max(2))))
         .max_rounds(horizon + 2)
-        .run_nodes(|_| CliqueDetectNode::with_witness_cap(s, horizon, usize::MAX))?;
+        .run_with_nodes(|_| CliqueDetectNode::with_witness_cap(s, horizon, usize::MAX))?;
     let mut cliques: Vec<Vec<u64>> = nodes
         .iter()
         .flat_map(|n| n.witnesses().iter().cloned())

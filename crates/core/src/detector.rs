@@ -8,7 +8,7 @@
 use crate::even_cycle::{detect_even_cycle, EvenCycleConfig};
 use crate::tree::TreePattern;
 use crate::triangle::OneRoundStrategy;
-use congest::CongestError;
+use congest::SimError;
 use graphlib::Graph;
 
 /// Which algorithm to run.
@@ -94,7 +94,7 @@ impl Detector {
     }
 
     /// Runs the detector on `g` with the given seed.
-    pub fn detect(&self, g: &Graph, seed: u64) -> Result<DetectionOutcome, CongestError> {
+    pub fn detect(&self, g: &Graph, seed: u64) -> Result<DetectionOutcome, SimError> {
         match self {
             Detector::EvenCycle { k, repetitions } => {
                 let rep = detect_even_cycle(

@@ -24,10 +24,10 @@
 //! at an extra `O(log n)` factor; we implement the randomized version and
 //! expose the repetition count instead.
 
-use congest::reliable::run_reliable;
 use congest::{
-    bits_for_domain, Bandwidth, BitSize, CongestError, Decision, Engine, FaultReport, FaultSpec,
-    Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing, ReliableConfig,
+    bits_for_domain, Bandwidth, BitSize, Decision, FaultReport, FaultSpec, Inbox, Metrics,
+    NodeAlgorithm, NodeContext, Outbox, Outgoing, PhaseStat, ReliableConfig, RunReport, RunStats,
+    SimError, Simulation,
 };
 use graphlib::decomposition::layer_budget;
 use graphlib::turan::even_cycle_edge_bound;
@@ -633,6 +633,53 @@ impl NodeAlgorithm for LayerPrefixNode {
 // Driver
 // ---------------------------------------------------------------------------
 
+/// Merges one phase run's traffic statistics into the detector-wide
+/// aggregate: scalar tallies add, the congestion peak takes the max, and
+/// the per-round series concatenate (the aggregate time-series walks
+/// through every executed phase in order). Both runs share the same
+/// topology, so the directed-edge slots line up.
+fn absorb_stats(acc: &mut RunStats, s: &RunStats) {
+    acc.rounds += s.rounds;
+    acc.total_bits += s.total_bits;
+    acc.total_messages += s.total_messages;
+    acc.max_edge_round_bits = acc.max_edge_round_bits.max(s.max_edge_round_bits);
+    for (d, x) in acc.directed_edge_bits.iter_mut().zip(&s.directed_edge_bits) {
+        *d += x;
+    }
+    acc.per_round_bits.extend_from_slice(&s.per_round_bits);
+    acc.per_round_messages
+        .extend_from_slice(&s.per_round_messages);
+}
+
+/// Tracks per-phase round/bit tallies across repetitions and renders them
+/// as the `phases` section of a run report.
+#[derive(Default)]
+struct PhaseTally {
+    p1_rounds: u64,
+    p1_bits: u64,
+    p2_rounds: u64,
+    p2_bits: u64,
+}
+
+impl PhaseTally {
+    fn phase1(&mut self, stats: &RunStats) {
+        self.p1_rounds += stats.rounds as u64;
+        self.p1_bits += stats.total_bits;
+    }
+
+    fn phase2(&mut self, stats: &RunStats) {
+        self.p2_rounds += stats.rounds as u64;
+        self.p2_bits += stats.total_bits;
+    }
+
+    fn render(&self) -> Vec<PhaseStat> {
+        vec![
+            PhaseStat::new("phase1", self.p1_rounds as usize, self.p1_bits),
+            PhaseStat::new("phase2", self.p2_rounds as usize, self.p2_bits),
+        ]
+    }
+}
+
 /// Result of running the even-cycle detector.
 #[derive(Debug, Clone)]
 pub struct EvenCycleReport {
@@ -650,54 +697,86 @@ pub struct EvenCycleReport {
     /// Rounds of a single repetition (`R1 + R2`) — the quantity
     /// Theorem 1.1 bounds by `O(n^{1-1/(k(k-1))})`.
     pub rounds_per_repetition: usize,
+    /// Traffic statistics aggregated over every executed phase run:
+    /// scalar totals add up, `max_edge_round_bits` is the peak over all
+    /// runs, and the per-round series are concatenated in execution
+    /// order (Phase I of rep 0, Phase II of rep 0, Phase I of rep 1, …).
+    pub stats: RunStats,
+    /// Per-phase round/bit breakdown (`"phase1"` then `"phase2"`),
+    /// aggregated over repetitions.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl EvenCycleReport {
+    /// Renders the whole detector run as a schema-versioned
+    /// [`RunReport`], with the Phase I / Phase II breakdown attached.
+    /// Fault-free runs carry an all-zero fault tally.
+    pub fn run_report(&self, label: &str) -> RunReport {
+        let faults = FaultReport::default();
+        let metrics = Metrics::from_run(&self.stats, &faults).snapshot();
+        RunReport::from_stats(label, &self.stats, &faults, true, metrics)
+            .with_phases(self.phases.clone())
+    }
 }
 
 /// Runs the Theorem 1.1 detector on `g`.
-pub fn detect_even_cycle(g: &Graph, cfg: EvenCycleConfig) -> Result<EvenCycleReport, CongestError> {
+pub fn detect_even_cycle(g: &Graph, cfg: EvenCycleConfig) -> Result<EvenCycleReport, SimError> {
     assert!(cfg.k >= 2);
+    assert!(
+        cfg.repetitions >= 1,
+        "detector needs at least one repetition"
+    );
     let sched = Schedule::derive(g.n(), cfg.k, cfg.edge_bound_override);
     let bandwidth = Bandwidth::Bits(sched.required_bandwidth.max(8));
-    let mut total_rounds = 0usize;
-    let mut total_bits = 0u64;
+    let mut agg: Option<RunStats> = None;
+    let mut tally = PhaseTally::default();
     let mut detected = false;
     let mut reps = 0usize;
 
     for rep in 0..cfg.repetitions {
         reps += 1;
         let s1 = sched.clone();
-        let out1 = Engine::new(g)
+        let out1 = Simulation::on(g)
             .bandwidth(bandwidth)
             .seed(cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(1))
             .max_rounds(sched.r1_rounds + 2)
             .run(move |_| ColorBfsNode::new(s1.clone()))?;
-        total_rounds += out1.stats.rounds;
-        total_bits += out1.stats.total_bits;
+        tally.phase1(&out1.stats);
+        match &mut agg {
+            None => agg = Some(out1.stats.clone()),
+            Some(a) => absorb_stats(a, &out1.stats),
+        }
         if out1.network_rejects() {
             detected = true;
             break;
         }
 
         let s2 = sched.clone();
-        let out2 = Engine::new(g)
+        let out2 = Simulation::on(g)
             .bandwidth(bandwidth)
             .seed(cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(2))
             .max_rounds(sched.r2_rounds + 2)
             .run(move |_| LayerPrefixNode::new(s2.clone()))?;
-        total_rounds += out2.stats.rounds;
-        total_bits += out2.stats.total_bits;
+        tally.phase2(&out2.stats);
+        if let Some(a) = &mut agg {
+            absorb_stats(a, &out2.stats);
+        }
         if out2.network_rejects() {
             detected = true;
             break;
         }
     }
 
+    let stats = agg.expect("at least one repetition ran");
     Ok(EvenCycleReport {
         detected,
         repetitions_run: reps,
-        total_rounds,
-        total_bits,
+        total_rounds: stats.rounds,
+        total_bits: stats.total_bits,
         rounds_per_repetition: sched.r1_rounds + sched.r2_rounds,
         schedule: sched,
+        phases: tally.render(),
+        stats,
     })
 }
 
@@ -709,11 +788,11 @@ pub fn theorem_bound(n: usize, k: usize) -> f64 {
 
 /// Runs *only Phase I* for one repetition — the ablation half that covers
 /// cycles through high-degree nodes and nothing else.
-pub fn run_phase1_once(g: &Graph, cfg: &EvenCycleConfig, rep: u64) -> Result<bool, CongestError> {
+pub fn run_phase1_once(g: &Graph, cfg: &EvenCycleConfig, rep: u64) -> Result<bool, SimError> {
     let sched = Schedule::derive(g.n(), cfg.k, cfg.edge_bound_override);
     let bandwidth = Bandwidth::Bits(sched.required_bandwidth.max(8));
     let s = sched.clone();
-    let out = Engine::new(g)
+    let out = Simulation::on(g)
         .bandwidth(bandwidth)
         .seed(cfg.seed ^ rep.wrapping_mul(2).wrapping_add(1))
         .max_rounds(sched.r1_rounds + 2)
@@ -723,11 +802,11 @@ pub fn run_phase1_once(g: &Graph, cfg: &EvenCycleConfig, rep: u64) -> Result<boo
 
 /// Runs *only Phase II* for one repetition — the ablation half that covers
 /// cycles among low-degree nodes and nothing else.
-pub fn run_phase2_once(g: &Graph, cfg: &EvenCycleConfig, rep: u64) -> Result<bool, CongestError> {
+pub fn run_phase2_once(g: &Graph, cfg: &EvenCycleConfig, rep: u64) -> Result<bool, SimError> {
     let sched = Schedule::derive(g.n(), cfg.k, cfg.edge_bound_override);
     let bandwidth = Bandwidth::Bits(sched.required_bandwidth.max(8));
     let s = sched.clone();
-    let out = Engine::new(g)
+    let out = Simulation::on(g)
         .bandwidth(bandwidth)
         .seed(cfg.seed ^ rep.wrapping_mul(2).wrapping_add(2))
         .max_rounds(sched.r2_rounds + 2)
@@ -758,6 +837,25 @@ pub struct FaultyEvenCycleReport {
     pub faults: FaultReport,
     /// The derived schedule (round budgets, thresholds).
     pub schedule: Schedule,
+    /// Traffic statistics aggregated over every executed phase run, same
+    /// conventions as [`EvenCycleReport::stats`]. With a reliable
+    /// transport these count physical traffic — headers, acks, and
+    /// retransmissions included.
+    pub stats: RunStats,
+    /// Per-phase round/bit breakdown (`"phase1"` then `"phase2"`),
+    /// aggregated over repetitions.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl FaultyEvenCycleReport {
+    /// Renders the whole faulty detector run as a schema-versioned
+    /// [`RunReport`] carrying the aggregated fault tallies (including
+    /// transport retransmission counters when an ARQ was used).
+    pub fn run_report(&self, label: &str) -> RunReport {
+        let metrics = Metrics::from_run(&self.stats, &self.faults).snapshot();
+        RunReport::from_stats(label, &self.stats, &self.faults, true, metrics)
+            .with_phases(self.phases.clone())
+    }
 }
 
 /// One phase under a fault spec, bare or behind the reliable transport.
@@ -769,27 +867,26 @@ fn run_phase_faulty<A, F>(
     faults: &FaultSpec,
     transport: Option<ReliableConfig>,
     make: F,
-) -> Result<congest::RunOutcome, CongestError>
+) -> Result<congest::Outcome, SimError>
 where
     A: NodeAlgorithm,
     A::Msg: std::hash::Hash,
     F: Fn(usize) -> A + Sync,
 {
     match transport {
-        None => Engine::new(g)
+        None => Simulation::on(g)
             .bandwidth(Bandwidth::Bits(inner_bandwidth))
             .seed(seed)
             .max_rounds(inner_rounds)
             .faults(faults.clone())
             .run(make),
-        Some(rcfg) => {
-            let engine = Engine::new(g)
-                .bandwidth(Bandwidth::Bits(rcfg.required_bandwidth(inner_bandwidth)))
-                .seed(seed)
-                .max_rounds(rcfg.physical_rounds(inner_rounds))
-                .faults(faults.clone());
-            run_reliable(&engine, rcfg, make).map(|(outcome, _)| outcome)
-        }
+        Some(rcfg) => Simulation::on(g)
+            .bandwidth(Bandwidth::Bits(rcfg.required_bandwidth(inner_bandwidth)))
+            .seed(seed)
+            .max_rounds(rcfg.physical_rounds(inner_rounds))
+            .faults(faults.clone())
+            .reliable_config(rcfg)
+            .run(make),
     }
 }
 
@@ -812,12 +909,16 @@ pub fn detect_even_cycle_faulty(
     cfg: EvenCycleConfig,
     faults: &FaultSpec,
     transport: Option<ReliableConfig>,
-) -> Result<FaultyEvenCycleReport, CongestError> {
+) -> Result<FaultyEvenCycleReport, SimError> {
     assert!(cfg.k >= 2);
+    assert!(
+        cfg.repetitions >= 1,
+        "detector needs at least one repetition"
+    );
     let sched = Schedule::derive(g.n(), cfg.k, cfg.edge_bound_override);
     let inner_bandwidth = sched.required_bandwidth.max(8);
-    let mut total_rounds = 0usize;
-    let mut total_bits = 0u64;
+    let mut agg: Option<RunStats> = None;
+    let mut tally = PhaseTally::default();
     let mut faults_seen = FaultReport::default();
     let mut detected = false;
     let mut reps = 0usize;
@@ -834,8 +935,11 @@ pub fn detect_even_cycle_faulty(
             transport,
             move |_| ColorBfsNode::new(s1.clone()),
         )?;
-        total_rounds += out1.stats.rounds;
-        total_bits += out1.stats.total_bits;
+        tally.phase1(&out1.stats);
+        match &mut agg {
+            None => agg = Some(out1.stats.clone()),
+            Some(a) => absorb_stats(a, &out1.stats),
+        }
         let hit1 = out1.surviving_node_rejects();
         faults_seen.absorb(&out1.faults);
         if hit1 {
@@ -853,8 +957,10 @@ pub fn detect_even_cycle_faulty(
             transport,
             move |_| LayerPrefixNode::new(s2.clone()),
         )?;
-        total_rounds += out2.stats.rounds;
-        total_bits += out2.stats.total_bits;
+        tally.phase2(&out2.stats);
+        if let Some(a) = &mut agg {
+            absorb_stats(a, &out2.stats);
+        }
         let hit2 = out2.surviving_node_rejects();
         faults_seen.absorb(&out2.faults);
         if hit2 {
@@ -863,13 +969,16 @@ pub fn detect_even_cycle_faulty(
         }
     }
 
+    let stats = agg.expect("at least one repetition ran");
     Ok(FaultyEvenCycleReport {
         detected,
         repetitions_run: reps,
-        total_rounds,
-        total_bits,
+        total_rounds: stats.rounds,
+        total_bits: stats.total_bits,
         faults: faults_seen,
         schedule: sched,
+        phases: tally.render(),
+        stats,
     })
 }
 
@@ -1037,7 +1146,7 @@ mod tests {
         let g = generators::complete_bipartite(4, 4);
         let sched = Schedule::derive(g.n(), 2, Some(2 * g.m()));
         let s = sched.clone();
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .broadcast_only(true)
             .bandwidth(Bandwidth::Bits(sched.required_bandwidth.max(8)))
             .max_rounds(sched.r1_rounds + 2)
@@ -1052,7 +1161,7 @@ mod tests {
         let g = generators::cycle(12);
         let sched = Schedule::derive(g.n(), 2, Some(2 * g.m()));
         let s = sched.clone();
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .broadcast_only(true)
             .bandwidth(Bandwidth::Bits(sched.required_bandwidth.max(8)))
             .max_rounds(sched.r2_rounds + 2)

@@ -10,8 +10,8 @@
 //!   per tree edge), decide centrally. `O(n + m)` rounds at `B = Θ(log n)`.
 
 use congest::{
-    bits_for_domain, Bandwidth, BitSize, CongestError, Decision, Engine, Inbox, NodeAlgorithm,
-    NodeContext, Outbox, Outgoing,
+    bits_for_domain, Bandwidth, BitSize, Decision, Inbox, NodeAlgorithm, NodeContext, Outbox,
+    Outgoing, SimError, Simulation,
 };
 use graphlib::{FxHashSet, Graph, GraphBuilder};
 use rand_chacha::ChaCha8Rng;
@@ -35,7 +35,7 @@ fn graph_from_id_edges(edges: &FxHashSet<(u64, u64)>) -> Graph {
 // ---------------------------------------------------------------------------
 
 /// An edge-set gossip message.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct EdgeSet {
     /// Canonical `(min_id, max_id)` edges.
     pub edges: Vec<(u64, u64)>,
@@ -154,7 +154,7 @@ pub struct GenericReport {
 /// # Panics
 /// Panics if the pattern is disconnected (ball collection only certifies
 /// connected patterns) or empty.
-pub fn detect_local(g: &Graph, pattern: &Graph) -> Result<GenericReport, CongestError> {
+pub fn detect_local(g: &Graph, pattern: &Graph) -> Result<GenericReport, SimError> {
     assert!(pattern.n() > 0, "pattern must be non-empty");
     assert!(
         graphlib::components::is_connected(pattern),
@@ -162,7 +162,7 @@ pub fn detect_local(g: &Graph, pattern: &Graph) -> Result<GenericReport, Congest
     );
     let radius = pattern.n();
     let p = pattern.clone();
-    let out = Engine::new(g)
+    let out = Simulation::on(g)
         .bandwidth(Bandwidth::Unbounded)
         .max_rounds(radius + 2)
         .run(move |_| LocalCollectNode::new(p.clone(), radius))?;
@@ -179,7 +179,7 @@ pub fn detect_local(g: &Graph, pattern: &Graph) -> Result<GenericReport, Congest
 // ---------------------------------------------------------------------------
 
 /// Messages of the gather algorithm.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub enum GatherMsg {
     /// BFS-tree construction token.
     Bfs,
@@ -349,7 +349,7 @@ impl NodeAlgorithm for GatherNode {
 }
 
 /// Runs the CONGEST gather-at-leader detector on a *connected* graph `g`.
-pub fn detect_gather(g: &Graph, pattern: &Graph) -> Result<GenericReport, CongestError> {
+pub fn detect_gather(g: &Graph, pattern: &Graph) -> Result<GenericReport, SimError> {
     assert!(
         graphlib::components::is_connected(g),
         "gather-at-leader requires a connected network"
@@ -357,7 +357,7 @@ pub fn detect_gather(g: &Graph, pattern: &Graph) -> Result<GenericReport, Conges
     assert!(pattern.n() > 0, "pattern must be non-empty");
     let idb = bits_for_domain(g.n().max(2));
     let p = pattern.clone();
-    let out = Engine::new(g)
+    let out = Simulation::on(g)
         .bandwidth(Bandwidth::Bits(2 * idb + 2))
         .max_rounds(8 * (g.n() + g.m() + 4))
         .run(move |_| GatherNode::new(p.clone()))?;

@@ -18,15 +18,15 @@
 //! the number of probe rounds — exactly the relaxation the paper declines.
 
 use congest::{
-    bits_for_domain, Bandwidth, BitSize, CongestError, Decision, Engine, Inbox, NodeAlgorithm,
-    NodeContext, Outbox, Outgoing,
+    bits_for_domain, Bandwidth, BitSize, Decision, Inbox, NodeAlgorithm, NodeContext, Outbox,
+    Outgoing, SimError, Simulation,
 };
 use graphlib::Graph;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
 /// Tester messages.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub enum TestMsg {
     /// "Is this id one of your neighbors?" (carries `log N` bits).
     Query {
@@ -159,8 +159,8 @@ pub fn test_triangle_freeness(
     g: &Graph,
     probes: usize,
     seed: u64,
-) -> Result<TesterReport, CongestError> {
-    let out = Engine::new(g)
+) -> Result<TesterReport, SimError> {
+    let out = Simulation::on(g)
         .bandwidth(Bandwidth::Bits(bits_for_domain(g.n().max(2)) + 2))
         .max_rounds(2 * probes + 3)
         .seed(seed)

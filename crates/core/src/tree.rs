@@ -13,8 +13,8 @@
 //! amplified by repetition.
 
 use congest::{
-    Bandwidth, BitSize, CongestError, Decision, Engine, Inbox, NodeAlgorithm, NodeContext, Outbox,
-    Outgoing,
+    Bandwidth, BitSize, Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing, SimError,
+    Simulation,
 };
 use graphlib::Graph;
 use rand::Rng;
@@ -113,7 +113,7 @@ impl TreePattern {
 }
 
 /// The host bitmap broadcast each round.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Hash)]
 pub struct HostMask {
     /// Bit `t` set = sender hosts pattern vertex `t`.
     pub mask: u64,
@@ -257,7 +257,7 @@ pub fn detect_tree(
     pattern: &TreePattern,
     reps: usize,
     seed: u64,
-) -> Result<TreeDetectReport, CongestError> {
+) -> Result<TreeDetectReport, SimError> {
     let mut total_rounds = 0;
     let mut total_bits = 0;
     let mut detected = false;
@@ -265,7 +265,7 @@ pub fn detect_tree(
     for rep in 0..reps {
         executed += 1;
         let p = pattern.clone();
-        let out = Engine::new(g)
+        let out = Simulation::on(g)
             .bandwidth(Bandwidth::Bits(pattern.size().max(8)))
             .seed(seed ^ (rep as u64).wrapping_mul(0xA24BAED4963EE407))
             .max_rounds(pattern.depth() + 2)

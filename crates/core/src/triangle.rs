@@ -52,7 +52,7 @@ pub enum OneRoundStrategy {
 }
 
 /// The message: a list of attested `(id, present)` pairs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct PairList {
     /// The forwarded entries.
     pub pairs: Vec<(u64, bool)>,
@@ -181,9 +181,9 @@ pub fn detect_triangle_one_round(
     g: &Graph,
     strategy: OneRoundStrategy,
     seed: u64,
-) -> Result<OneRoundReport, congest::CongestError> {
+) -> Result<OneRoundReport, congest::SimError> {
     let namespace = g.n().max(2) as u64;
-    let out = congest::Engine::new(g)
+    let out = congest::Simulation::on(g)
         .bandwidth(congest::Bandwidth::Unbounded)
         .max_rounds(2)
         .seed(seed)

@@ -13,8 +13,9 @@
 //!   own. With `B = Θ(log n)` this takes `Θ(n^{1-2/s})` rounds — the
 //!   measured counterpart of the paper's lower bound.
 
-use congest::cliquemodel::{CliqueAlgorithm, CliqueContext, CliqueEngine, CliqueError};
+use congest::cliquemodel::{CliqueAlgorithm, CliqueContext};
 use congest::{bits_for_domain, BitSize};
+use congest::{SimError, Simulation};
 use graphlib::combinatorics::ceil_root;
 use graphlib::{FxHashMap, Graph, GraphBuilder};
 use rand::{Rng, SeedableRng};
@@ -242,11 +243,7 @@ pub struct ListingReport {
 }
 
 /// Lists all `K_s` in `g` over the congested clique.
-pub fn list_cliques_congested(
-    g: &Graph,
-    s: usize,
-    seed: u64,
-) -> Result<ListingReport, CliqueError> {
+pub fn list_cliques_congested(g: &Graph, s: usize, seed: u64) -> Result<ListingReport, SimError> {
     assert!(s >= 3, "listing is for s >= 3");
     let n = g.n();
     assert!(n >= 2);
@@ -313,11 +310,11 @@ pub fn list_cliques_congested(
     let plans = std::sync::Arc::new(plans);
     let tuples_of_node = std::sync::Arc::new(tuples_of_node);
     let group_arc = group_of.clone();
-    let out = CliqueEngine::new(g)
+    let out = Simulation::on(g)
         .bandwidth_bits(msg_bits as usize)
         .max_rounds(p1_rounds + p2_rounds + 3)
         .seed(seed)
-        .run(|v| ListingNode {
+        .run_clique(|v| ListingNode {
             s,
             my_tuples: tuples_of_node[v].clone(),
             group_of: group_arc.clone(),
@@ -378,7 +375,7 @@ pub fn detect_clique_congested(
     g: &Graph,
     s: usize,
     seed: u64,
-) -> Result<(bool, ListingReport), CliqueError> {
+) -> Result<(bool, ListingReport), SimError> {
     let rep = list_cliques_congested(g, s, seed)?;
     Ok((!rep.cliques.is_empty(), rep))
 }

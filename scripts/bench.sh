@@ -18,3 +18,9 @@ cargo build --release -p bench --bin perf
 
 echo "==> recording perf baselines"
 ./target/release/perf "$@"
+
+echo "==> exporting canonical run reports (schema-versioned JSON)"
+./target/release/perf --run-reports
+
+echo "==> run-report summaries"
+./target/release/perf --summary

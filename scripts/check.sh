@@ -29,6 +29,26 @@ else
     echo "==> clippy not installed; skipping lints" >&2
 fi
 
+# No non-deprecated code may call the pre-Simulation entry points; the
+# builder is the only supported way in. (The shims themselves live in
+# crates/congest and are allowed; everything else must be clean.)
+echo "==> checking for legacy engine entry points"
+legacy='Engine::new\(|\.run_nodes\(|run_reliable\(|CliqueEngine::new\('
+if grep -rnE "$legacy" \
+    src tests examples \
+    crates/core/src crates/commlb/src crates/lowerbounds/src \
+    crates/bench/src crates/graphlib/src crates/infotheory/src \
+    2>/dev/null; then
+    echo "error: legacy entry point used outside the deprecated shims;" \
+         "migrate the call site to congest::Simulation" >&2
+    status=1
+else
+    echo "    no legacy entry points outside congest's deprecated shims"
+fi
+
+echo "==> cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet || status=1
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> cargo build --release (tier-1)"
     cargo build --release

@@ -45,7 +45,7 @@ pub use subgraph_detection as detection;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use commlb::{self, DisjointnessInstance, Party};
-    pub use congest::{self, Bandwidth, Decision, Engine};
+    pub use congest::{self, Bandwidth, Decision, Outcome, SimError, Simulation};
     pub use graphlib::{self, Graph, GraphBuilder};
     pub use infotheory;
     pub use lowerbounds::{self, FamilyLayout, HkGraph};

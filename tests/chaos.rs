@@ -89,7 +89,7 @@ fn clique_detector_never_falsely_rejects_under_faults() {
     let g = graphlib::generators::complete_bipartite(5, 5); // triangle-free
     let horizon = g.max_degree() + 1;
     for (fname, spec) in fault_menu((0, 5)) {
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(bits_for_domain(g.n())))
             .faults(spec)
             .seed(21)

@@ -95,7 +95,7 @@ fn detectors_stay_sound_under_message_loss() {
     let g = graphlib::generators::complete_bipartite(6, 6); // triangle-free
     for loss in [0.3, 0.7, 1.0] {
         let horizon = g.max_degree() + 1;
-        let out = Engine::new(&g)
+        let out = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(congest::bits_for_domain(g.n())))
             .loss_rate(loss)
             .max_rounds(horizon + 2)
@@ -108,7 +108,7 @@ fn detectors_stay_sound_under_message_loss() {
     }
     // And on a real triangle with no loss, detection still works.
     let tri = graphlib::generators::clique(3);
-    let out = Engine::new(&tri)
+    let out = Simulation::on(&tri)
         .bandwidth(Bandwidth::Bits(congest::bits_for_domain(3)))
         .loss_rate(0.0)
         .max_rounds(5)

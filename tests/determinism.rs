@@ -12,7 +12,7 @@
 //! dump below with the variable set to `1`, `4`, and unset, and compares
 //! the dumps.
 
-use congest::{Bandwidth, CrashStop, Engine, FaultSpec, TraceBuffer};
+use congest::{Bandwidth, CrashStop, FaultSpec, TraceBuffer};
 use distributed_subgraph_detection::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -44,7 +44,7 @@ fn fixture_dump() -> String {
     let bandwidth = Bandwidth::Bits(sched.required_bandwidth.max(8));
     let max_rounds = sched.r1_rounds + 2;
     let trace = TraceBuffer::new(1 << 14);
-    let out = Engine::new(&g2)
+    let out = Simulation::on(&g2)
         .bandwidth(bandwidth)
         .seed(99)
         .max_rounds(max_rounds)
@@ -53,7 +53,7 @@ fn fixture_dump() -> String {
             FaultSpec::BitFlip(0.1),
             FaultSpec::CrashStop(CrashStop::random(2, 3)),
         ]))
-        .trace(trace.clone())
+        .collector(trace.clone())
         .run(move |_| detection::even_cycle::ColorBfsNode::new(sched.clone()))
         .expect("chaos run failed");
     writeln!(dump, "chaos_outcome: {out:?}").unwrap();

@@ -3,7 +3,7 @@
 //! Every source here (ranges, slices, `Vec`) knows its exact length and can
 //! split itself at an index, so a parallel computation is compiled to a
 //! fixed list of contiguous chunks which are executed as one fork-join
-//! batch on the [`crate::pool`]. Two properties matter for the simulator:
+//! batch on the crate's thread pool. Two properties matter for the simulator:
 //!
 //! * **Stable assignment.** The chunk boundaries depend only on the input
 //!   length and the `with_min_len`/`with_max_len` hints — never on the

@@ -4,7 +4,7 @@
 //! The real rayon cannot be fetched in this build environment, so this
 //! crate reimplements the subset the simulator needs on plain `std`:
 //!
-//! * a lazily-initialized global [pool](crate::pool) of OS threads with
+//! * a lazily-initialized global pool (the `pool` module) of OS threads with
 //!   lock-based work-stealing deques, sized from
 //!   [`std::thread::available_parallelism`] and overridable via the
 //!   `RAYON_NUM_THREADS` environment variable (read once, at first use;
