@@ -2,12 +2,17 @@
 //!
 //! Usage:
 //!   perf [--threads 1,4] [--out PATH]   orchestrate and write the report
+//!   perf --check [--against PATH] [--tolerance PCT] [--smoke]
+//!                                        re-time the workloads and fail
+//!                                        (exit 1) on a perf regression
+//!                                        beyond PCT% (default 20) against
+//!                                        the latest committed BENCH_*.json
 //!   perf --run-reports [--out-dir DIR]   export the canonical run reports
 //!                                        (schema-versioned JSON, one file
 //!                                        per scenario; default dir `.`)
 //!   perf --summary                       print the canonical run reports
 //!                                        as human-readable tables
-//!   perf --emit                          (internal) time the workloads at
+//!   perf --emit [--smoke]                (internal) time the workloads at
 //!                                        the current RAYON_NUM_THREADS and
 //!                                        print one JSON entry per line
 //!
@@ -21,13 +26,134 @@ use bench::perf;
 use std::process::Command;
 use std::time::{SystemTime, UNIX_EPOCH};
 
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Times the workloads in one `--emit` subprocess per thread count and
+/// returns the printed entry lines.
+fn emit_at_thread_counts(threads: &[String], smoke: bool) -> Vec<String> {
+    let exe = std::env::current_exe().expect("cannot locate own binary");
+    let mut lines = Vec::new();
+    for t in threads {
+        eprintln!("==> timing workloads at RAYON_NUM_THREADS={t}");
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--emit").env("RAYON_NUM_THREADS", t);
+        if smoke {
+            cmd.arg("--smoke");
+        }
+        let out = cmd.output().expect("failed to spawn --emit subprocess");
+        assert!(
+            out.status.success(),
+            "--emit run at {t} threads failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("entries not UTF-8");
+        lines.extend(stdout.lines().map(str::to_string));
+    }
+    lines
+}
+
+/// Latest committed baseline (`BENCH_*.json` sorts by date lexically).
+fn find_latest_baseline() -> Option<String> {
+    let mut names: Vec<String> = std::fs::read_dir(".")
+        .ok()?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    names.pop()
+}
+
+fn run_check(args: &[String]) -> ! {
+    let mut against: Option<String> = None;
+    let mut current_path: Option<String> = None;
+    let mut tolerance = 20.0f64;
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--against" => against = Some(it.next().expect("--against needs a path").clone()),
+            "--current" => current_path = Some(it.next().expect("--current needs a path").clone()),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .expect("--tolerance needs a percentage")
+                    .parse()
+                    .expect("--tolerance must be a number")
+            }
+            _ => {}
+        }
+    }
+    let Some(path) = against.or_else(find_latest_baseline) else {
+        eprintln!("==> perf gate: no BENCH_*.json baseline found, skipping");
+        std::process::exit(0);
+    };
+    let doc = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let cpus = host_cpus();
+    if perf::parse_host_cpus(&doc) != Some(cpus) {
+        eprintln!(
+            "==> perf gate: baseline {path} is from a host with {:?} CPUs (this host: {cpus}), skipping",
+            perf::parse_host_cpus(&doc)
+        );
+        std::process::exit(0);
+    }
+    // Current numbers: either a freshly written report (--current, used by
+    // bench.sh right after recording), or re-timed here at every thread
+    // count the baseline has comparable (non-oversubscribed) entries for.
+    let current = if let Some(cur_path) = current_path {
+        let cur_doc = std::fs::read_to_string(&cur_path)
+            .unwrap_or_else(|e| panic!("cannot read current report {cur_path}: {e}"));
+        perf::parse_entries(&cur_doc)
+    } else {
+        let mut counts: Vec<usize> = perf::parse_entries(&doc)
+            .iter()
+            .filter(|e| !e.oversubscribed && e.threads <= cpus)
+            .map(|e| e.threads)
+            .collect();
+        counts.sort_unstable();
+        counts.dedup();
+        let threads: Vec<String> = counts.iter().map(|t| t.to_string()).collect();
+        let lines = emit_at_thread_counts(&threads, smoke);
+        perf::parse_entries(&lines.join("\n"))
+    };
+    let outcome = perf::regression_gate(&doc, &current, cpus, tolerance);
+    for note in &outcome.skipped {
+        eprintln!("==> perf gate: skipped {note}");
+    }
+    eprintln!(
+        "==> perf gate: {} entr{} compared against {path} (tolerance +{tolerance}%)",
+        outcome.checked,
+        if outcome.checked == 1 { "y" } else { "ies" }
+    );
+    if outcome.passed() {
+        eprintln!("==> perf gate: PASS");
+        std::process::exit(0);
+    }
+    for f in &outcome.failures {
+        eprintln!("==> perf gate: REGRESSION {f}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--emit") {
-        for entry in perf::run_workloads() {
+        let entries = if args.iter().any(|a| a == "--smoke") {
+            perf::run_smoke_workloads()
+        } else {
+            perf::run_workloads()
+        };
+        for entry in entries {
             println!("{}", entry.to_json());
         }
         return;
+    }
+
+    if args.iter().any(|a| a == "--check") {
+        run_check(&args);
     }
 
     if args.iter().any(|a| a == "--summary") {
@@ -68,33 +194,20 @@ fn main() {
         }
     }
 
-    let exe = std::env::current_exe().expect("cannot locate own binary");
-    let mut lines: Vec<String> = Vec::new();
-    for t in &threads {
-        eprintln!("==> timing workloads at RAYON_NUM_THREADS={t}");
-        let out = Command::new(&exe)
-            .arg("--emit")
-            .env("RAYON_NUM_THREADS", t)
-            .output()
-            .expect("failed to spawn --emit subprocess");
-        assert!(
-            out.status.success(),
-            "--emit run at {t} threads failed:\n{}",
-            String::from_utf8_lossy(&out.stderr)
-        );
-        let stdout = String::from_utf8(out.stdout).expect("entries not UTF-8");
-        lines.extend(stdout.lines().map(str::to_string));
-    }
+    let lines = emit_at_thread_counts(&threads, false);
 
     let now = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .expect("clock before epoch")
         .as_secs();
     let date = perf::date_stamp(now);
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let doc = perf::render_report(&date, host_cpus, &lines);
+    let cpus = host_cpus();
+    let doc = perf::render_report(&date, cpus, &lines);
     let path = out_path.unwrap_or_else(|| format!("BENCH_{date}.json"));
     std::fs::write(&path, &doc).expect("failed to write report");
     eprintln!("==> wrote {path}");
+    for line in perf::speedup_summary(&perf::parse_entries(&doc), cpus) {
+        eprintln!("==> speedup: {line}");
+    }
     print!("{doc}");
 }

@@ -37,46 +37,92 @@ pub struct PerfEntry {
     pub wall_ms: f64,
     /// Parallelism lanes the pool used (`rayon::current_num_threads`).
     pub threads: usize,
+    /// Whether the pool had more lanes than the host has CPUs — such
+    /// numbers measure scheduler thrash, not speedup, and are excluded
+    /// from speedup summaries and regression comparisons.
+    pub oversubscribed: bool,
 }
 
 impl PerfEntry {
-    /// The entry as one JSON object.
+    /// The entry as one JSON object. The `oversubscribed` flag is emitted
+    /// only when set, keeping the common case identical to older reports.
     pub fn to_json(&self) -> String {
+        let flag = if self.oversubscribed {
+            r#","oversubscribed":true"#
+        } else {
+            ""
+        };
         format!(
-            r#"{{"experiment":"{}","n":{},"wall_ms":{:.3},"threads":{}}}"#,
+            r#"{{"experiment":"{}","n":{},"wall_ms":{:.3},"threads":{}{flag}}}"#,
             self.experiment, self.n, self.wall_ms, self.threads
         )
     }
 }
 
+/// Default workload sizes (E1 node counts, E2 side lengths).
+pub const FULL_SIZES: (&[usize], &[usize]) = (&[128, 256, 512], &[16, 36, 64]);
+/// Reduced sizes for the smoke-test variant of the regression gate.
+pub const SMOKE_SIZES: (&[usize], &[usize]) = (&[128], &[16]);
+
 /// Runs the timed workloads at the current pool size. Sizes are chosen so
 /// one pass stays under ~a minute in release mode while still being large
 /// enough for the round loop (not process startup) to dominate.
 pub fn run_workloads() -> Vec<PerfEntry> {
+    run_sized_workloads(FULL_SIZES.0, FULL_SIZES.1)
+}
+
+/// The smoke variant: smallest size of each experiment only.
+pub fn run_smoke_workloads() -> Vec<PerfEntry> {
+    run_sized_workloads(SMOKE_SIZES.0, SMOKE_SIZES.1)
+}
+
+/// Repetitions per timed workload. The *minimum* wall time across reps is
+/// reported: a deterministic workload cannot run faster than its true cost,
+/// but unrelated host load can easily make any one rep slower, so the min
+/// is the noise-robust estimator (the same convention as criterion's
+/// lower-bound reporting).
+const TIMING_REPS: usize = 3;
+
+/// Times `work` [`TIMING_REPS`] times and returns the minimum in ms.
+fn min_wall_ms(mut work: impl FnMut()) -> f64 {
+    (0..TIMING_REPS)
+        .map(|_| {
+            let start = Instant::now();
+            work();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn run_sized_workloads(e1_sizes: &[usize], e2_sizes: &[usize]) -> Vec<PerfEntry> {
     let threads = rayon::current_num_threads();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let oversubscribed = threads > host_cpus;
     let mut entries = Vec::new();
-    for n in [128usize, 256, 512] {
-        let start = Instant::now();
-        let rows = exp::e1_even_cycle(2, &[n], 1, 42);
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(rows.len(), 1);
+    for &n in e1_sizes {
+        let wall_ms = min_wall_ms(|| {
+            let rows = exp::e1_even_cycle(2, &[n], 1, 42);
+            assert_eq!(rows.len(), 1);
+        });
         entries.push(PerfEntry {
             experiment: "e1_even_cycle".into(),
             n,
             wall_ms,
             threads,
+            oversubscribed,
         });
     }
-    for nc in [16usize, 36, 64] {
-        let start = Instant::now();
-        let rows = exp::e2_superlinear(2, &[nc], 7);
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(rows.len(), 1);
+    for &nc in e2_sizes {
+        let wall_ms = min_wall_ms(|| {
+            let rows = exp::e2_superlinear(2, &[nc], 7);
+            assert_eq!(rows.len(), 1);
+        });
         entries.push(PerfEntry {
             experiment: "e2_superlinear".into(),
             n: nc,
             wall_ms,
             threads,
+            oversubscribed,
         });
     }
     entries
@@ -133,6 +179,144 @@ pub fn date_stamp(secs_since_epoch: u64) -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
+/// Extracts the raw text of a scalar JSON field from a flat object
+/// fragment. Hand-rolled on purpose (no serde in-tree): good enough for
+/// the perf documents this module itself writes.
+fn json_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = obj[start..].trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parses the `host_cpus` field of a perf-baseline document.
+pub fn parse_host_cpus(doc: &str) -> Option<usize> {
+    json_field(doc, "host_cpus")?.parse().ok()
+}
+
+/// Parses every entry object of a perf-baseline document (or a bare
+/// stream of entry lines, as `--emit` prints). Tolerates older documents
+/// without `schema`/`version`/`oversubscribed` fields; entries it cannot
+/// parse are skipped.
+pub fn parse_entries(doc: &str) -> Vec<PerfEntry> {
+    doc.lines()
+        .filter(|l| l.contains(r#""experiment""#))
+        .filter_map(|l| {
+            Some(PerfEntry {
+                experiment: json_field(l, "experiment")?.to_string(),
+                n: json_field(l, "n")?.parse().ok()?,
+                wall_ms: json_field(l, "wall_ms")?.parse().ok()?,
+                threads: json_field(l, "threads")?.parse().ok()?,
+                oversubscribed: json_field(l, "oversubscribed") == Some("true"),
+            })
+        })
+        .collect()
+}
+
+/// Result of a perf-regression comparison.
+#[derive(Debug, Default)]
+pub struct GateOutcome {
+    /// Entries compared against a baseline.
+    pub checked: usize,
+    /// Human-readable notes for entries that could not be compared.
+    pub skipped: Vec<String>,
+    /// Regressions above tolerance (empty = gate passes).
+    pub failures: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares `current` timings against a committed baseline document.
+///
+/// An entry fails when its wall clock exceeds the matching baseline entry
+/// (same experiment, size, and thread count) by more than `tolerance_pct`
+/// percent. Comparisons are skipped — never failed — when the baseline was
+/// recorded on a host with a different CPU count, or when either side is
+/// oversubscribed (threads > host CPUs measure scheduler thrash, not the
+/// engine). Baselines predating the `oversubscribed` flag are classified
+/// from their own recorded `host_cpus`.
+pub fn regression_gate(
+    baseline_doc: &str,
+    current: &[PerfEntry],
+    host_cpus: usize,
+    tolerance_pct: f64,
+) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    let baseline_host = parse_host_cpus(baseline_doc);
+    if baseline_host != Some(host_cpus) {
+        out.skipped.push(format!(
+            "baseline host_cpus {baseline_host:?} != current {host_cpus}: nothing comparable"
+        ));
+        return out;
+    }
+    let baseline = parse_entries(baseline_doc);
+    for cur in current {
+        let tag = format!("{} n={} threads={}", cur.experiment, cur.n, cur.threads);
+        if cur.oversubscribed || cur.threads > host_cpus {
+            out.skipped.push(format!("{tag}: oversubscribed run"));
+            continue;
+        }
+        let base = baseline.iter().find(|b| {
+            b.experiment == cur.experiment
+                && b.n == cur.n
+                && b.threads == cur.threads
+                && !b.oversubscribed
+                && b.threads <= host_cpus
+        });
+        match base {
+            None => out
+                .skipped
+                .push(format!("{tag}: no comparable baseline entry")),
+            Some(b) => {
+                out.checked += 1;
+                let limit = b.wall_ms * (1.0 + tolerance_pct / 100.0);
+                if cur.wall_ms > limit {
+                    out.failures.push(format!(
+                        "{tag}: {:.3} ms vs baseline {:.3} ms (limit {limit:.3} ms at +{tolerance_pct}%)",
+                        cur.wall_ms, b.wall_ms
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Per-workload speedup lines relative to the 1-thread entries.
+/// Oversubscribed entries are reported as skipped rather than folded into
+/// a meaningless "speedup".
+pub fn speedup_summary(entries: &[PerfEntry], host_cpus: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    for base in entries.iter().filter(|e| e.threads == 1) {
+        for multi in entries
+            .iter()
+            .filter(|e| e.experiment == base.experiment && e.n == base.n && e.threads > 1)
+        {
+            let tag = format!(
+                "{} n={} @{} threads",
+                multi.experiment, multi.n, multi.threads
+            );
+            if multi.oversubscribed || multi.threads > host_cpus {
+                lines.push(format!("{tag}: skipped (oversubscribed)"));
+            } else {
+                lines.push(format!(
+                    "{tag}: {:.2}x over 1 thread ({:.3} ms -> {:.3} ms)",
+                    base.wall_ms / multi.wall_ms,
+                    base.wall_ms,
+                    multi.wall_ms
+                ));
+            }
+        }
+    }
+    lines
+}
+
 /// Renders the full report document from pre-rendered entry objects (one
 /// JSON object string each, as produced by [`PerfEntry::to_json`]) gathered
 /// across thread counts.
@@ -158,20 +342,23 @@ mod tests {
         assert_eq!(date_stamp(1_709_164_800), "2024-02-29");
     }
 
+    fn entry(experiment: &str, n: usize, wall_ms: f64, threads: usize) -> PerfEntry {
+        PerfEntry {
+            experiment: experiment.into(),
+            n,
+            wall_ms,
+            threads,
+            oversubscribed: false,
+        }
+    }
+
     #[test]
     fn report_is_valid_json_shape() {
         let entries = [
+            entry("e1_even_cycle", 128, 12.5, 1),
             PerfEntry {
-                experiment: "e1_even_cycle".into(),
-                n: 128,
-                wall_ms: 12.5,
-                threads: 1,
-            },
-            PerfEntry {
-                experiment: "e2_superlinear".into(),
-                n: 16,
-                wall_ms: 3.25,
-                threads: 4,
+                oversubscribed: true,
+                ..entry("e2_superlinear", 16, 3.25, 4)
             },
         ];
         let jsons: Vec<String> = entries.iter().map(PerfEntry::to_json).collect();
@@ -179,6 +366,7 @@ mod tests {
         assert!(
             doc.contains(r#""experiment":"e1_even_cycle","n":128,"wall_ms":12.500,"threads":1"#)
         );
+        assert!(doc.contains(r#""threads":4,"oversubscribed":true"#));
         assert!(doc.contains(r#""host_cpus": 4"#));
         assert!(doc.contains(r#""schema": "congest.perf_report""#));
         assert!(doc.contains(r#""version": 1"#));
@@ -186,5 +374,100 @@ mod tests {
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
         assert!(doc.ends_with('\n'));
+    }
+
+    #[test]
+    fn entries_roundtrip_through_render_and_parse() {
+        let entries = vec![
+            entry("e1_even_cycle", 256, 75.23, 1),
+            PerfEntry {
+                oversubscribed: true,
+                ..entry("e1_even_cycle", 256, 300.0, 4)
+            },
+        ];
+        let jsons: Vec<String> = entries.iter().map(PerfEntry::to_json).collect();
+        let doc = render_report("2026-08-06", 1, &jsons);
+        assert_eq!(parse_entries(&doc), entries);
+        assert_eq!(parse_host_cpus(&doc), Some(1));
+    }
+
+    #[test]
+    fn parser_tolerates_old_schema_less_documents() {
+        // PR 2-era documents: no schema/version, no oversubscribed flags.
+        let doc = concat!(
+            "{\n  \"date\": \"2026-08-06\",\n  \"host_cpus\": 1,\n  \"entries\": [\n",
+            "    {\"experiment\":\"e1_even_cycle\",\"n\":512,\"wall_ms\":181.187,\"threads\":1},\n",
+            "    {\"experiment\":\"e1_even_cycle\",\"n\":512,\"wall_ms\":702.577,\"threads\":4}\n",
+            "  ]\n}\n"
+        );
+        let parsed = parse_entries(doc);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].wall_ms, 181.187);
+        assert!(!parsed[0].oversubscribed && !parsed[1].oversubscribed);
+        assert_eq!(parse_host_cpus(doc), Some(1));
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_above() {
+        let baseline = render_report(
+            "2026-08-06",
+            1,
+            &[entry("e1_even_cycle", 512, 100.0, 1).to_json()],
+        );
+        let ok = regression_gate(&baseline, &[entry("e1_even_cycle", 512, 115.0, 1)], 1, 20.0);
+        assert!(ok.passed());
+        assert_eq!(ok.checked, 1);
+        let bad = regression_gate(&baseline, &[entry("e1_even_cycle", 512, 125.0, 1)], 1, 20.0);
+        assert!(!bad.passed());
+        assert!(bad.failures[0].contains("e1_even_cycle n=512"));
+    }
+
+    #[test]
+    fn gate_skips_host_mismatch_and_oversubscription() {
+        let baseline = render_report(
+            "2026-08-06",
+            1,
+            &[
+                entry("e1_even_cycle", 512, 100.0, 1).to_json(),
+                // Unmarked 4-thread entry from a 1-CPU host (old format):
+                // classified as incomparable from host_cpus, not the flag.
+                entry("e1_even_cycle", 512, 700.0, 4).to_json(),
+            ],
+        );
+        // Different host: everything skipped, gate passes vacuously.
+        let other_host = regression_gate(
+            &baseline,
+            &[entry("e1_even_cycle", 512, 9_999.0, 1)],
+            8,
+            20.0,
+        );
+        assert!(other_host.passed());
+        assert_eq!(other_host.checked, 0);
+        // Same 1-CPU host: the current 4-thread run is oversubscribed and
+        // must be skipped even though the baseline has a 4-thread entry.
+        let cur = PerfEntry {
+            oversubscribed: true,
+            ..entry("e1_even_cycle", 512, 9_999.0, 4)
+        };
+        let over = regression_gate(&baseline, &[cur], 1, 20.0);
+        assert!(over.passed());
+        assert_eq!(over.checked, 0);
+        assert!(over.skipped[0].contains("oversubscribed"));
+    }
+
+    #[test]
+    fn speedups_skip_oversubscribed_entries() {
+        let entries = vec![
+            entry("e1_even_cycle", 512, 100.0, 1),
+            entry("e1_even_cycle", 512, 50.0, 2),
+            PerfEntry {
+                oversubscribed: true,
+                ..entry("e1_even_cycle", 512, 400.0, 4)
+            },
+        ];
+        let lines = speedup_summary(&entries, 2);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("2.00x"));
+        assert!(lines[1].contains("skipped (oversubscribed)"));
     }
 }

@@ -253,6 +253,16 @@ impl<'g> CliqueEngine<'g> {
 
         let mut completed = nodes.iter().all(|nd| nd.halted());
 
+        // Per-run buffers, reused every round: inboxes (cleared in place),
+        // the per-destination accounting scratch (`dest_bits`/`seen` reset
+        // via the `touched` list, so resets cost O(destinations actually
+        // used), not O(n)), and the per-node compute-span slots.
+        let mut inboxes: Vec<Vec<(usize, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut dest_bits: Vec<usize> = vec![0; n];
+        let mut seen: Vec<bool> = vec![false; n];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut step_nanos: Vec<u64> = vec![u64::MAX; n];
+
         for round in 1..=self.max_rounds {
             if completed && outboxes.iter().all(|o| o.is_empty()) {
                 break;
@@ -261,18 +271,21 @@ impl<'g> CliqueEngine<'g> {
             let before_bits = traffic.total_bits;
             let before_msgs = traffic.total_messages;
 
-            // Bandwidth accounting per ordered pair.
+            // Bandwidth accounting per ordered pair, in first-send order.
             for (from, outbox) in outboxes.iter().enumerate() {
                 if outbox.is_empty() {
                     continue;
                 }
-                let mut per_dest: graphlib::FxHashMap<usize, usize> =
-                    graphlib::FxHashMap::default();
+                touched.clear();
                 for (to, m) in outbox {
                     if *to >= n || *to == from {
                         return Err(CliqueError::InvalidDestination { from, to: *to });
                     }
-                    *per_dest.entry(*to).or_default() += m.bit_size();
+                    if !seen[*to] {
+                        seen[*to] = true;
+                        touched.push(*to);
+                    }
+                    dest_bits[*to] += m.bit_size();
                     stats.total_messages += 1;
                     traffic.total_messages += 1;
                     rec(SimEvent::Send {
@@ -282,7 +295,10 @@ impl<'g> CliqueEngine<'g> {
                         bits: m.bit_size(),
                     });
                 }
-                for (&to, &bits) in &per_dest {
+                for &to in &touched {
+                    let bits = dest_bits[to];
+                    dest_bits[to] = 0;
+                    seen[to] = false;
                     if bits > self.bandwidth_bits {
                         return Err(CliqueError::BandwidthExceeded {
                             from,
@@ -309,46 +325,51 @@ impl<'g> CliqueEngine<'g> {
             traffic.per_round_bits.push(round_bits);
             traffic.per_round_messages.push(round_msgs);
 
-            // Deliver: bucket messages by destination. Accounting already
-            // read every payload above, so delivery *moves* the messages
-            // instead of cloning them.
-            let mut inboxes: Vec<Vec<(usize, A::Msg)>> = vec![Vec::new(); n];
+            // Deliver: bucket messages by destination into the reused
+            // inboxes. Accounting already read every payload above, so
+            // delivery *moves* the messages instead of cloning them, and
+            // sender-ascending push order keeps inboxes deterministic.
+            for inbox in inboxes.iter_mut() {
+                inbox.clear();
+            }
             for (from, outbox) in outboxes.iter_mut().enumerate() {
                 for (to, m) in outbox.drain(..) {
                     inboxes[to].push((from, m));
                 }
             }
 
-            let step: Vec<(PairOutbox<A::Msg>, Option<u64>)> = nodes
+            // Step, writing each node's new outbox in place (the old ones
+            // were drained above) — no per-round collect.
+            nodes
                 .par_iter_mut()
+                .zip(outboxes.par_iter_mut())
                 .zip(contexts.par_iter_mut())
                 .zip(rngs.par_iter_mut())
-                .zip(inboxes.into_par_iter())
-                .map(|(((node, ctx), rng), inbox)| {
+                .zip(inboxes.par_iter())
+                .zip(step_nanos.par_iter_mut())
+                .for_each(|(((((node, outbox), ctx), rng), inbox), nanos)| {
                     if node.halted() {
-                        (Vec::new(), None)
+                        *nanos = u64::MAX;
                     } else {
                         // Update the round in place; cloning the context
                         // would copy `input_neighbors` every round.
                         ctx.round = round;
                         let t = span_start(timing);
-                        let out = node.on_round(ctx, &inbox, rng);
-                        (out, timing.then(|| span_nanos(t)))
+                        *outbox = node.on_round(ctx, inbox, rng);
+                        *nanos = if timing { span_nanos(t) } else { u64::MAX };
                     }
-                })
-                .collect();
+                });
             if timing {
-                for (v, (_, nanos)) in step.iter().enumerate() {
-                    if let Some(nanos) = nanos {
+                for (v, &nanos) in step_nanos.iter().enumerate() {
+                    if nanos != u64::MAX {
                         rec(SimEvent::NodeCompute {
                             round,
                             node: v,
-                            nanos: *nanos,
+                            nanos,
                         });
                     }
                 }
             }
-            outboxes = step.into_iter().map(|(o, _)| o).collect();
 
             rec(SimEvent::RoundEnd {
                 round,

@@ -27,13 +27,174 @@ use rayon::prelude::*;
 use std::fmt;
 use std::sync::Arc;
 
-/// One round's sends, staged for delivery: unicast payloads stay inline
-/// (each is consumed by exactly one receiver), broadcast payloads are
-/// materialized once behind an `Arc` so handing them to `deg(v)` receivers
-/// is allocation- and copy-free.
-enum Wire<M> {
-    Unicast(usize, M),
-    Broadcast(Arc<M>),
+/// One round's staged traffic, reused across rounds (the routing arena).
+///
+/// Unicasts are bucketed by *receiver-side* directed-edge slot with a
+/// counting sort into a flat CSR index, so every receiver walks exactly its
+/// own incoming messages instead of rescanning whole neighbor outboxes
+/// (the old path was `O(deg(v) · |outbox_u|)` per receiver). Broadcast
+/// payloads are materialized once behind an `Arc` per sender, so handing
+/// them to `deg(u)` receivers is allocation- and copy-free. Every staged
+/// message keeps its sender outbox index, letting receivers interleave
+/// unicasts and broadcasts in exactly the order the sender produced them —
+/// the ordering (and the fault randomness keyed on it) is byte-identical
+/// to the old scan.
+struct RoundRouter<M> {
+    /// Staged unicasts in sender-then-outbox order: `(outbox index, payload)`.
+    unicasts: Vec<(u32, M)>,
+    /// Receiver-side directed-edge slot of each staged unicast
+    /// (`offsets[to] + to's port toward the sender`), parallel to `unicasts`.
+    slots: Vec<u32>,
+    /// Per-slot bucket start into `order`, valid only when the slot's
+    /// epoch stamp is current. Epoch stamping keeps the counting sort
+    /// O(staged messages) per round: slots untouched this round are never
+    /// visited, not even to be zeroed.
+    slot_start: Vec<u32>,
+    /// Per-slot bucket length (same validity rule).
+    slot_len: Vec<u32>,
+    /// Scatter cursor scratch (same validity rule).
+    slot_cursor: Vec<u32>,
+    /// Round stamp of each slot's bucket descriptor.
+    slot_epoch: Vec<u64>,
+    /// Slots touched this round, deduplicated in first-touch order —
+    /// the counting sort's iteration domain.
+    touched_slots: Vec<u32>,
+    /// Round stamp per *receiver*: stamped current iff some staged message
+    /// is addressed to it, letting delivery skip idle receivers without
+    /// scanning their ports.
+    active: Vec<u64>,
+    /// Current round stamp (bumped once per [`Self::stage`] call).
+    epoch: u64,
+    /// Indices into `unicasts`, bucketed by receiver slot; the counting
+    /// sort is stable, so outbox order is preserved within each bucket.
+    order: Vec<u32>,
+    /// Per-sender broadcasts: `(outbox index, shared payload)`.
+    broadcasts: Vec<Vec<(u32, Arc<M>)>>,
+    /// Entries staged this round (unicasts plus broadcasts, counted once
+    /// each, not per receiving edge). Zero means the round is all-idle.
+    staged: usize,
+}
+
+/// A staged message as seen by one receiver during the merge.
+enum StagedMsg<'a, M> {
+    Unicast(&'a M),
+    Broadcast(&'a Arc<M>),
+}
+
+impl<M> RoundRouter<M> {
+    fn new(n: usize, directed_edges: usize) -> Self {
+        RoundRouter {
+            unicasts: Vec::new(),
+            slots: Vec::new(),
+            slot_start: vec![0; directed_edges],
+            slot_len: vec![0; directed_edges],
+            slot_cursor: vec![0; directed_edges],
+            slot_epoch: vec![0; directed_edges],
+            touched_slots: Vec::new(),
+            active: vec![0; n],
+            epoch: 0,
+            order: Vec::new(),
+            broadcasts: (0..n).map(|_| Vec::new()).collect(),
+            staged: 0,
+        }
+    }
+
+    /// Stages one round of sends, draining the outboxes in place, and
+    /// builds the per-slot unicast index. Sequential and allocation-free in
+    /// steady state (the buffers keep their capacity between rounds).
+    fn stage(
+        &mut self,
+        g: &Graph,
+        offsets: &[usize],
+        rev_port: &[u32],
+        outboxes: &mut [Outbox<M>],
+    ) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.unicasts.clear();
+        self.slots.clear();
+        self.staged = 0;
+        for (u, outbox) in outboxes.iter_mut().enumerate() {
+            let bcast = &mut self.broadcasts[u];
+            bcast.clear();
+            for (idx, out) in outbox.drain(..).enumerate() {
+                match out {
+                    Outgoing::Unicast(p, m) => {
+                        // Ports were validated during bandwidth accounting.
+                        let to = g.neighbors(u)[p] as usize;
+                        let to_port = rev_port[offsets[u] + p] as usize;
+                        self.unicasts.push((idx as u32, m));
+                        self.slots.push((offsets[to] + to_port) as u32);
+                        self.active[to] = epoch;
+                    }
+                    Outgoing::Broadcast(m) => bcast.push((idx as u32, Arc::new(m))),
+                }
+            }
+            if !bcast.is_empty() {
+                for &v in g.neighbors(u) {
+                    self.active[v as usize] = epoch;
+                }
+            }
+            self.staged += bcast.len();
+        }
+        self.staged += self.unicasts.len();
+        // Counting sort over only the slots actually hit this round:
+        // bucket sizes on first touch, then one contiguous region per
+        // touched slot, then a stable scatter. Everything is O(staged
+        // unicasts) — a round with a handful of messages never pays for
+        // the graph's edge count.
+        self.touched_slots.clear();
+        for &s in &self.slots {
+            let s = s as usize;
+            if self.slot_epoch[s] != epoch {
+                self.slot_epoch[s] = epoch;
+                self.slot_len[s] = 0;
+                self.touched_slots.push(s as u32);
+            }
+            self.slot_len[s] += 1;
+        }
+        let mut cum = 0u32;
+        for &s in &self.touched_slots {
+            let s = s as usize;
+            self.slot_start[s] = cum;
+            self.slot_cursor[s] = cum;
+            cum += self.slot_len[s];
+        }
+        self.order.resize(self.slots.len(), 0);
+        for (i, &s) in self.slots.iter().enumerate() {
+            let c = &mut self.slot_cursor[s as usize];
+            self.order[*c as usize] = i as u32;
+            *c += 1;
+        }
+    }
+
+    /// Whether any staged message is addressed to receiver `v` this round.
+    /// Idle receivers can skip their delivery scan entirely.
+    #[inline]
+    fn receiver_active(&self, v: usize) -> bool {
+        self.active[v] == self.epoch
+    }
+
+    /// The staged unicasts addressed to directed-edge slot `slot`, as
+    /// indices into `unicasts`, in sender outbox order.
+    #[inline]
+    fn unicasts_for(&self, slot: usize) -> &[u32] {
+        if self.slot_epoch[slot] != self.epoch {
+            return &[];
+        }
+        let start = self.slot_start[slot] as usize;
+        &self.order[start..start + self.slot_len[slot] as usize]
+    }
+}
+
+/// Per-receiver delivery scratch, allocated once per run and reused every
+/// round (counters reset, the event buffer keeps its capacity).
+#[derive(Default)]
+struct DeliveryTally {
+    delivered: u64,
+    dropped: u64,
+    corrupted: u64,
+    events: Vec<SimEvent>,
 }
 
 /// Per-edge-per-round bandwidth.
@@ -385,8 +546,14 @@ impl<'g> Engine<'g> {
         let mut completed = nodes.iter().all(|nd| nd.halted());
 
         // Per-node inboxes, allocated once and reused (cleared in place)
-        // every round, so steady-state delivery does not allocate.
+        // every round, so steady-state delivery does not allocate. The
+        // router, per-receiver tallies, per-node compute-span slots, and
+        // the accounting scratch are likewise per-run buffers.
         let mut inboxes: Vec<Inbox<A::Msg>> = (0..n).map(|_| Vec::new()).collect();
+        let mut router: RoundRouter<A::Msg> = RoundRouter::new(n, stats.offsets[n]);
+        let mut tallies: Vec<DeliveryTally> = (0..n).map(|_| DeliveryTally::default()).collect();
+        let mut step_nanos: Vec<u64> = vec![u64::MAX; n];
+        let mut port_bits_scratch: Vec<usize> = Vec::new();
 
         for round in 1..=self.max_rounds {
             if completed && outboxes.iter().all(|o| o.is_empty()) {
@@ -412,172 +579,212 @@ impl<'g> Engine<'g> {
             // Account traffic + enforce bandwidth for this round's sends.
             let before_bits = stats.total_bits;
             let before_msgs = stats.total_messages;
-            self.account_round(&mut stats, &outboxes, round, collector)?;
+            self.account_round(
+                &mut stats,
+                &outboxes,
+                round,
+                collector,
+                &mut port_bits_scratch,
+            )?;
             let round_bits = stats.total_bits - before_bits;
             let round_msgs = stats.total_messages - before_msgs;
             stats.per_round_bits.push(round_bits);
             stats.per_round_messages.push(round_msgs);
             stats.rounds = round;
 
-            // Stage this round's sends in wire form, draining the outboxes:
-            // unicast payloads move (no copy), each broadcast payload is
-            // materialized once behind an `Arc` instead of being cloned per
-            // receiving edge.
-            let wires: Vec<Vec<Wire<A::Msg>>> = outboxes
-                .iter_mut()
-                .map(|outbox| {
-                    outbox
-                        .drain(..)
-                        .map(|out| match out {
-                            Outgoing::Unicast(p, m) => Wire::Unicast(p, m),
-                            Outgoing::Broadcast(m) => Wire::Broadcast(Arc::new(m)),
-                        })
-                        .collect()
-                })
-                .collect();
-
-            // Build inboxes: node v collects, from each neighbor u, the
-            // messages u addressed at (the port leading to) v, with the
-            // fault model deciding the fate of every delivery. Fault
-            // randomness is a deterministic function of the engine seed, so
-            // the run stays reproducible and thread-safe; per-receiver
-            // fault counts and structured events are reduced *after* the
-            // parallel section, in node order, so any collector sees the
-            // same stream at any thread count.
+            // Stage this round's sends into the routing arena, draining the
+            // outboxes: unicast payloads move (no copy) and get bucketed by
+            // receiver slot; each broadcast payload is materialized once
+            // behind an `Arc` instead of being cloned per receiving edge.
             let offsets = &stats.offsets;
-            let results: Vec<(u64, u64, u64, Vec<SimEvent>)> = inboxes
-                .par_iter_mut()
-                .enumerate()
-                .map(|(v, inbox)| {
+            router.stage(g, offsets, &rev_port, &mut outboxes);
+
+            // Build inboxes: node v merges, port by port, its unicast
+            // bucket with the sending neighbor's broadcast list — O(its
+            // own incoming messages) work — while the fault model decides
+            // the fate of every delivery. Fault randomness is a
+            // deterministic function of the engine seed, so the run stays
+            // reproducible and thread-safe; per-receiver fault counts and
+            // structured events are reduced *after* the parallel section,
+            // in node order, so any collector sees the same stream at any
+            // thread count.
+            let (mut round_dropped, mut round_corrupted) = (0u64, 0u64);
+            if router.staged == 0 {
+                // All-idle round (nodes computing, nothing in flight):
+                // skip the delivery pass entirely.
+                for inbox in inboxes.iter_mut() {
                     inbox.clear();
-                    let (mut del, mut drp, mut cor) = (0u64, 0u64, 0u64);
-                    let mut events: Vec<SimEvent> = Vec::new();
-                    let receiver_down = crashed[v].is_some();
-                    for (p, &u) in g.neighbors(v).iter().enumerate() {
-                        let u = u as usize;
-                        let their_port = rev_port[offsets[v] + p] as usize;
-                        for (idx, wire) in wires[u].iter().enumerate() {
-                            let m: &A::Msg = match wire {
-                                Wire::Unicast(q, m) if *q == their_port => m,
-                                Wire::Broadcast(m) => m.as_ref(),
-                                _ => continue,
-                            };
-                            // Messages to a crashed node are lost.
-                            if receiver_down {
-                                drp += 1;
+                }
+            } else {
+                let router = &router;
+                (0..n)
+                    .into_par_iter()
+                    .zip(inboxes.par_iter_mut())
+                    .zip(tallies.par_iter_mut())
+                    .for_each(|((v, inbox), tally)| {
+                        inbox.clear();
+                        tally.delivered = 0;
+                        tally.dropped = 0;
+                        tally.corrupted = 0;
+                        tally.events.clear();
+                        if !router.receiver_active(v) {
+                            // No staged message is addressed here: skip the
+                            // port scan (most receivers, on sparse-traffic
+                            // rounds).
+                            return;
+                        }
+                        let receiver_down = crashed[v].is_some();
+                        for (p, &u) in g.neighbors(v).iter().enumerate() {
+                            let u = u as usize;
+                            let unicasts = router.unicasts_for(offsets[v] + p);
+                            let bcasts: &[(u32, Arc<A::Msg>)] = &router.broadcasts[u];
+                            if unicasts.is_empty() && bcasts.is_empty() {
                                 continue;
                             }
-                            let ctx = DeliveryCtx {
-                                seed: self.seed,
-                                round,
-                                from: u,
-                                to: v,
-                                to_port: p,
-                                link_slot: offsets[u] + their_port,
-                                msg_index: idx,
-                                bits: m.bit_size(),
-                            };
-                            match model.delivery(&ctx) {
-                                Delivery::Deliver => {
-                                    // Zero-copy for broadcasts: share the
-                                    // Arc'd payload. Unicasts move... almost:
-                                    // the wire entry is borrowed here, so
-                                    // they cost the one clone they always
-                                    // did, never one per edge.
-                                    let payload = match wire {
-                                        Wire::Unicast(_, m) => Payload::Owned(m.clone()),
-                                        Wire::Broadcast(m) => Payload::Shared(Arc::clone(m)),
-                                    };
-                                    inbox.push((p, payload));
-                                    del += 1;
-                                }
-                                Delivery::Drop => {
-                                    drp += 1;
-                                    if tracing {
-                                        events.push(SimEvent::Drop {
-                                            round,
-                                            from: u,
-                                            port: p,
-                                            bits: ctx.bits,
-                                        });
+                            let their_port = rev_port[offsets[v] + p] as usize;
+                            let (mut i, mut j) = (0usize, 0usize);
+                            while i < unicasts.len() || j < bcasts.len() {
+                                // Merge by sender outbox index: v sees u's
+                                // sends in exactly the order u staged them,
+                                // as the old full-outbox scan did.
+                                let from_uni = match (unicasts.get(i), bcasts.get(j)) {
+                                    (Some(&ui), Some(&(bidx, _))) => {
+                                        router.unicasts[ui as usize].0 < bidx
                                     }
+                                    (Some(_), None) => true,
+                                    _ => false,
+                                };
+                                let (idx, staged) = if from_uni {
+                                    let (idx, ref m) = router.unicasts[unicasts[i] as usize];
+                                    i += 1;
+                                    (idx, StagedMsg::Unicast(m))
+                                } else {
+                                    let (idx, ref m) = bcasts[j];
+                                    j += 1;
+                                    (idx, StagedMsg::Broadcast(m))
+                                };
+                                let m: &A::Msg = match staged {
+                                    StagedMsg::Unicast(m) => m,
+                                    StagedMsg::Broadcast(m) => m.as_ref(),
+                                };
+                                // Messages to a crashed node are lost.
+                                if receiver_down {
+                                    tally.dropped += 1;
+                                    continue;
                                 }
-                                Delivery::Corrupt(bit) => {
-                                    // The corrupt path is the one place a
-                                    // fault mutates bytes, so only here does
-                                    // a broadcast payload get deep-copied.
-                                    let mut damaged = m.clone();
-                                    if damaged.corrupt_bit(bit) {
-                                        cor += 1;
+                                let ctx = DeliveryCtx {
+                                    seed: self.seed,
+                                    round,
+                                    from: u,
+                                    to: v,
+                                    to_port: p,
+                                    link_slot: offsets[u] + their_port,
+                                    msg_index: idx as usize,
+                                    bits: m.bit_size(),
+                                };
+                                match model.delivery(&ctx) {
+                                    Delivery::Deliver => {
+                                        // Zero-copy for broadcasts: share
+                                        // the Arc'd payload. Unicasts cost
+                                        // the one clone they always did,
+                                        // never one per edge.
+                                        let payload = match staged {
+                                            StagedMsg::Unicast(m) => Payload::Owned(m.clone()),
+                                            StagedMsg::Broadcast(m) => {
+                                                Payload::Shared(Arc::clone(m))
+                                            }
+                                        };
+                                        inbox.push((p, payload));
+                                        tally.delivered += 1;
+                                    }
+                                    Delivery::Drop => {
+                                        tally.dropped += 1;
                                         if tracing {
-                                            events.push(SimEvent::Corrupt {
+                                            tally.events.push(SimEvent::Drop {
                                                 round,
                                                 from: u,
                                                 port: p,
                                                 bits: ctx.bits,
                                             });
                                         }
-                                    } else {
-                                        // Payload has no materialized wire
-                                        // bits to flip — delivered intact.
-                                        del += 1;
                                     }
-                                    inbox.push((p, Payload::Owned(damaged)));
+                                    Delivery::Corrupt(bit) => {
+                                        // The corrupt path is the one place
+                                        // a fault mutates bytes, so only
+                                        // here does a broadcast payload get
+                                        // deep-copied.
+                                        let mut damaged = m.clone();
+                                        if damaged.corrupt_bit(bit) {
+                                            tally.corrupted += 1;
+                                            if tracing {
+                                                tally.events.push(SimEvent::Corrupt {
+                                                    round,
+                                                    from: u,
+                                                    port: p,
+                                                    bits: ctx.bits,
+                                                });
+                                            }
+                                        } else {
+                                            // Payload has no materialized
+                                            // wire bits to flip — delivered
+                                            // intact.
+                                            tally.delivered += 1;
+                                        }
+                                        inbox.push((p, Payload::Owned(damaged)));
+                                    }
                                 }
                             }
                         }
-                    }
-                    (del, drp, cor, events)
-                })
-                .collect();
+                    });
 
-            let (mut round_dropped, mut round_corrupted) = (0u64, 0u64);
-            for (del, drp, cor, events) in results {
-                report.delivered += del;
-                round_dropped += drp;
-                round_corrupted += cor;
-                for ev in events {
-                    rec(ev);
+                for tally in &mut tallies {
+                    report.delivered += tally.delivered;
+                    round_dropped += tally.dropped;
+                    round_corrupted += tally.corrupted;
+                    for ev in tally.events.drain(..) {
+                        rec(ev);
+                    }
                 }
             }
             report.dropped += round_dropped;
             report.corrupted += round_corrupted;
             report.dropped_per_round.push(round_dropped);
             report.corrupted_per_round.push(round_corrupted);
-            drop(wires);
 
-            // Step all live (non-halted, non-crashed) nodes. The shared
-            // context is updated in place (`round` is its only per-round
-            // field) instead of being cloned per node per round.
-            let step: Vec<(Outbox<A::Msg>, Option<u64>)> = nodes
+            // Step all live (non-halted, non-crashed) nodes, writing each
+            // node's new outbox in place (staging drained the old ones, so
+            // no per-round collect is needed). The shared context is
+            // updated in place (`round` is its only per-round field)
+            // instead of being cloned per node per round.
+            nodes
                 .par_iter_mut()
+                .zip(outboxes.par_iter_mut())
                 .zip(contexts.par_iter_mut())
                 .zip(rngs.par_iter_mut())
                 .zip(inboxes.par_iter())
                 .zip(crashed.par_iter())
-                .map(|((((node, ctx), rng), inbox), down)| {
+                .zip(step_nanos.par_iter_mut())
+                .for_each(|((((((node, outbox), ctx), rng), inbox), down), nanos)| {
                     if node.halted() || down.is_some() {
-                        (Vec::new(), None)
+                        *nanos = u64::MAX;
                     } else {
                         ctx.round = round;
                         let t = span_start(timing);
-                        let out = node.on_round(ctx, inbox, rng);
-                        (out, timing.then(|| span_nanos(t)))
+                        *outbox = node.on_round(ctx, inbox, rng);
+                        *nanos = if timing { span_nanos(t) } else { u64::MAX };
                     }
-                })
-                .collect();
+                });
             if timing {
-                for (v, (_, nanos)) in step.iter().enumerate() {
-                    if let Some(nanos) = nanos {
+                for (v, &nanos) in step_nanos.iter().enumerate() {
+                    if nanos != u64::MAX {
                         rec(SimEvent::NodeCompute {
                             round,
                             node: v,
-                            nanos: *nanos,
+                            nanos,
                         });
                     }
                 }
             }
-            outboxes = step.into_iter().map(|(o, _)| o).collect();
 
             rec(SimEvent::RoundEnd {
                 round,
@@ -603,12 +810,15 @@ impl<'g> Engine<'g> {
     }
 
     /// Sums per-port bits for the round, updates stats, enforces the limit.
+    /// `port_bits` is caller-owned scratch so the per-sender tally does not
+    /// allocate every round.
     fn account_round<M: BitSize>(
         &self,
         stats: &mut RunStats,
         outboxes: &[Outbox<M>],
         round: usize,
         collector: Option<&dyn Collector>,
+        port_bits: &mut Vec<usize>,
     ) -> Result<(), CongestError> {
         let g = self.topology;
         // Split field borrows: `offsets` is read while the counters are
@@ -626,7 +836,8 @@ impl<'g> Engine<'g> {
                 continue;
             }
             let deg = g.degree(v);
-            let mut port_bits = vec![0usize; deg];
+            port_bits.clear();
+            port_bits.resize(deg, 0);
             let mut msgs = 0u64;
             for out in outbox {
                 match out {

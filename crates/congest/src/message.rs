@@ -192,6 +192,18 @@ impl<M> std::ops::Deref for Payload<M> {
     }
 }
 
+impl<M> Payload<M> {
+    /// The shared broadcast handle, or `None` if this receiver exclusively
+    /// owns the payload (unicast, or a broadcast that was deep-copied for
+    /// fault mutation). Lets tests assert sharing via `Arc::ptr_eq`.
+    pub fn as_shared(&self) -> Option<&std::sync::Arc<M>> {
+        match self {
+            Payload::Owned(_) => None,
+            Payload::Shared(m) => Some(m),
+        }
+    }
+}
+
 impl<M: Clone> Payload<M> {
     /// Extracts the message, cloning only if it is still shared with other
     /// receivers.

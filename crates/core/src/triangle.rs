@@ -84,11 +84,32 @@ pub fn message_bits(pairs: usize, namespace: u64) -> usize {
 /// The receiver-side decision rule: given my actual neighbor ids and the
 /// received messages (one per neighbor port), do two of my neighbors appear
 /// adjacent?
+///
+/// Membership tests run on a packed word table when the id universe is
+/// small (the common case — ids are vertex indices), falling back to a
+/// hash set for large ids. The sender-side membership check is hoisted out
+/// of the per-pair loop either way.
 pub fn one_round_decide(my_neighbors: &[u64], received: &[(u64, Vec<(u64, bool)>)]) -> bool {
+    if let Some(nbr_set) = graphlib::bitset::IdSet::from_ids(my_neighbors) {
+        for (sender, pairs) in received {
+            if !nbr_set.contains(*sender) {
+                continue;
+            }
+            for &(id, present) in pairs {
+                if present && id != *sender && nbr_set.contains(id) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
     let nbr_set: FxHashSet<u64> = my_neighbors.iter().copied().collect();
     for (sender, pairs) in received {
+        if !nbr_set.contains(sender) {
+            continue;
+        }
         for &(id, present) in pairs {
-            if present && id != *sender && nbr_set.contains(&id) && nbr_set.contains(sender) {
+            if present && id != *sender && nbr_set.contains(&id) {
                 return true;
             }
         }
@@ -257,6 +278,22 @@ mod tests {
         assert!(!one_round_decide(&[5, 9], &[(5, vec![(9, false)])]));
         // Attested id that is not my neighbor: no triangle through me.
         assert!(!one_round_decide(&[5, 9], &[(5, vec![(7, true)])]));
+    }
+
+    #[test]
+    fn decision_rule_handles_large_ids() {
+        // Ids above the packed-set cap exercise the hash-set fallback.
+        let big = 1u64 << 40;
+        assert!(one_round_decide(
+            &[big, big + 1],
+            &[(big, vec![(big + 1, true)])]
+        ));
+        // Sender that is not my neighbor cannot attest a triangle through me.
+        assert!(!one_round_decide(
+            &[big, big + 1],
+            &[(big + 2, vec![(big + 1, true)])]
+        ));
+        assert!(!one_round_decide(&[5, 9], &[(7, vec![(9, true)])]));
     }
 
     #[test]

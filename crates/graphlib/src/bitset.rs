@@ -1,0 +1,308 @@
+//! Word-packed adjacency bitsets for dense intersection kernels.
+//!
+//! The CSR representation in [`crate::graph`] keeps neighbor lists sorted,
+//! which is ideal for sparse graphs: membership is a binary search and
+//! intersection is a linear merge. Subgraph workloads (triangle checks,
+//! `K_s` enumeration, Turán-style counting) are intersection-dominated,
+//! and once the graph is dense enough a packed representation wins: each
+//! adjacency row becomes `ceil(n/64)` machine words, intersection is a
+//! word-wise AND + popcount, and membership is a single shift/mask.
+//!
+//! [`AdjacencyBitset`] stores all rows in one flat `Vec<u64>` (row-major),
+//! so the whole structure is cache-friendly and cheap to build. It is built
+//! lazily by [`crate::Graph::packed_adjacency`] when [`dense_enough`] holds;
+//! sparse graphs never pay for it.
+//!
+//! All iteration helpers yield vertices in ascending order, matching the
+//! sorted CSR neighbor lists — callers that switch between the two paths
+//! observe identical visit orders, which keeps enumeration output (and
+//! therefore run traces) byte-identical.
+
+/// Number of `u64` words needed for a row over `n` vertices.
+#[inline]
+pub fn words_for(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+/// Whether a graph on `n` vertices with `m` edges is dense enough that the
+/// packed representation pays for itself.
+///
+/// The threshold is average degree >= n/16 (i.e. `2m/n >= n/16`, rearranged
+/// to avoid division), with guards: tiny graphs fit in cache either way, and
+/// very large `n` would make each row unreasonably wide.
+#[inline]
+pub fn dense_enough(n: usize, m: usize) -> bool {
+    (32..=16_384).contains(&n) && 32 * m >= n * n
+}
+
+/// Packed adjacency matrix: one bitset row per vertex, row-major in a flat
+/// word arena.
+#[derive(Clone, PartialEq, Eq)]
+pub struct AdjacencyBitset {
+    n: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl AdjacencyBitset {
+    /// Builds from a row-filling callback: `fill(v, row)` must set the bits
+    /// of vertex `v`'s adjacency row.
+    pub fn with_rows(n: usize, fill: impl Fn(usize, &mut [u64])) -> Self {
+        let wpr = words_for(n);
+        let mut words = vec![0u64; n * wpr];
+        for (v, row) in words.chunks_exact_mut(wpr.max(1)).enumerate().take(n) {
+            fill(v, row);
+        }
+        AdjacencyBitset {
+            n,
+            words_per_row: wpr,
+            words,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Words per adjacency row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed adjacency row of `v`.
+    #[inline]
+    pub fn row(&self, v: usize) -> &[u64] {
+        &self.words[v * self.words_per_row..(v + 1) * self.words_per_row]
+    }
+
+    /// Whether the edge `{u, v}` is present.
+    #[inline]
+    pub fn contains(&self, u: usize, v: usize) -> bool {
+        self.words[u * self.words_per_row + v / 64] >> (v % 64) & 1 != 0
+    }
+
+    /// `|N(u) ∩ N(v)|` via word-wise AND + popcount.
+    pub fn common_count(&self, u: usize, v: usize) -> usize {
+        self.row(u)
+            .iter()
+            .zip(self.row(v))
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Sets bit `v` in a packed row.
+#[inline]
+pub fn set_bit(row: &mut [u64], v: usize) {
+    row[v / 64] |= 1u64 << (v % 64);
+}
+
+/// Packs a sorted id slice into `dst` (which must be zeroed and wide enough).
+pub fn pack_into(dst: &mut [u64], ids: &[u32]) {
+    for &v in ids {
+        set_bit(dst, v as usize);
+    }
+}
+
+/// Total population count of a packed set.
+#[inline]
+pub fn count_ones(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Writes `a ∧ b` into `dst` (all three the same width).
+#[inline]
+pub fn and_into(dst: &mut [u64], a: &[u64], b: &[u64]) {
+    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *d = x & y;
+    }
+}
+
+/// Writes `cands ∧ adj ∧ { w : w > v }` into `dst`: the candidates after `v`
+/// (in ascending order) that are adjacent to `v`. This is the inner step of
+/// clique recursion — equivalent to filtering `cands[i+1..]` by adjacency.
+pub fn and_above_into(dst: &mut [u64], cands: &[u64], adj: &[u64], v: usize) {
+    let cut = v / 64;
+    for w in dst.iter_mut().take(cut) {
+        *w = 0;
+    }
+    // Mask off bits <= v in the boundary word. Shifting in two steps keeps
+    // the `v % 64 == 63` case defined (a single shift by 64 would be UB).
+    let mask = (!0u64 << (v % 64)) << 1;
+    if cut < dst.len() {
+        dst[cut] = cands[cut] & adj[cut] & mask;
+        for i in (cut + 1)..dst.len() {
+            dst[i] = cands[i] & adj[i];
+        }
+    }
+}
+
+/// Iterator over the set bits of a packed set, in ascending order.
+pub struct Ones<'a> {
+    words: &'a [u64],
+    idx: usize,
+    cur: u64,
+}
+
+/// Iterates the set bits of `words` ascending.
+pub fn ones(words: &[u64]) -> Ones<'_> {
+    Ones {
+        words,
+        idx: 0,
+        cur: words.first().copied().unwrap_or(0),
+    }
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.cur == 0 {
+            self.idx += 1;
+            if self.idx >= self.words.len() {
+                return None;
+            }
+            self.cur = self.words[self.idx];
+        }
+        let bit = self.cur.trailing_zeros() as usize;
+        self.cur &= self.cur - 1;
+        Some(self.idx * 64 + bit)
+    }
+}
+
+/// A packed membership set over sparse `u64` ids, used for O(1) membership
+/// tests when the id universe is small enough to bound by its max element.
+///
+/// Falls back to `None` (caller keeps its hash set) when the max id is too
+/// large for packing to be worthwhile.
+pub struct IdSet {
+    words: Vec<u64>,
+}
+
+impl IdSet {
+    /// Max id (exclusive) we are willing to allocate a word table for.
+    const CAP: u64 = 1 << 14;
+
+    /// Packs `ids` if their maximum is below the cap; `None` otherwise.
+    pub fn from_ids(ids: &[u64]) -> Option<IdSet> {
+        let max = ids.iter().copied().max().unwrap_or(0);
+        if max >= Self::CAP {
+            return None;
+        }
+        let mut words = vec![0u64; words_for(max as usize + 1)];
+        for &id in ids {
+            words[(id / 64) as usize] |= 1u64 << (id % 64);
+        }
+        Some(IdSet { words })
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: u64) -> bool {
+        let w = (id / 64) as usize;
+        w < self.words.len() && self.words[w] >> (id % 64) & 1 != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn packed(g: &Graph) -> AdjacencyBitset {
+        AdjacencyBitset::with_rows(g.n(), |v, row| pack_into(row, g.neighbors(v)))
+    }
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+    }
+
+    #[test]
+    fn density_threshold() {
+        assert!(!dense_enough(8, 28)); // tiny, even if complete
+        assert!(dense_enough(64, 64 * 64 / 32)); // avg degree n/16 exactly
+        assert!(!dense_enough(64, 63)); // sparse
+        assert!(!dense_enough(20_000, 20_000 * 20_000)); // too wide
+    }
+
+    #[test]
+    fn contains_matches_graph() {
+        let g = Graph::from_edges(70, &[(0, 1), (0, 69), (63, 64), (5, 64)]);
+        let b = packed(&g);
+        for u in 0..70 {
+            for v in 0..70 {
+                assert_eq!(b.contains(u, v), g.has_edge(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn common_count_matches_merge() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let g = crate::generators::gnp(90, 0.3, &mut rng);
+        let b = packed(&g);
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                assert_eq!(b.common_count(u, v), g.common_neighbors(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn ones_ascending() {
+        let mut row = vec![0u64; 2];
+        pack_into(&mut row, &[0, 3, 63, 64, 100]);
+        let got: Vec<usize> = ones(&row).collect();
+        assert_eq!(got, vec![0, 3, 63, 64, 100]);
+        assert_eq!(count_ones(&row), 5);
+        assert_eq!(ones(&[]).count(), 0);
+        assert_eq!(ones(&[0, 0]).count(), 0);
+    }
+
+    #[test]
+    fn and_above_filters_strictly_greater() {
+        // cands = {1, 5, 63, 64, 70}, adj = {5, 63, 64}; above v=5 we keep
+        // exactly {63, 64}. Boundary cases v=63 (mask shift wrap) and v=64.
+        let mut cands = vec![0u64; 2];
+        pack_into(&mut cands, &[1, 5, 63, 64, 70]);
+        let mut adj = vec![0u64; 2];
+        pack_into(&mut adj, &[5, 63, 64]);
+        let mut dst = vec![0u64; 2];
+        and_above_into(&mut dst, &cands, &adj, 5);
+        assert_eq!(ones(&dst).collect::<Vec<_>>(), vec![63, 64]);
+        and_above_into(&mut dst, &cands, &adj, 63);
+        assert_eq!(ones(&dst).collect::<Vec<_>>(), vec![64]);
+        and_above_into(&mut dst, &cands, &adj, 64);
+        assert_eq!(ones(&dst).collect::<Vec<_>>(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn and_into_intersects() {
+        let mut a = vec![0u64; 2];
+        pack_into(&mut a, &[0, 64, 65]);
+        let mut b = vec![0u64; 2];
+        pack_into(&mut b, &[0, 65, 100]);
+        let mut dst = vec![0u64; 2];
+        and_into(&mut dst, &a, &b);
+        assert_eq!(ones(&dst).collect::<Vec<_>>(), vec![0, 65]);
+    }
+
+    #[test]
+    fn idset_membership_and_cap() {
+        let s = IdSet::from_ids(&[0, 17, 8191]).unwrap();
+        assert!(s.contains(0) && s.contains(17) && s.contains(8191));
+        assert!(!s.contains(1) && !s.contains(10_000));
+        assert!(IdSet::from_ids(&[1 << 20]).is_none());
+        let empty = IdSet::from_ids(&[]).unwrap();
+        assert!(!empty.contains(0));
+    }
+}

@@ -5,6 +5,7 @@
 //! neighborhood contains the rest. This is the machinery behind the
 //! Lemma 1.3 experiments (`#K_s <= O(m^{s/2})`).
 
+use crate::bitset::{self, AdjacencyBitset};
 use crate::graph::Graph;
 
 /// Degeneracy ordering: repeatedly removes a minimum-degree vertex.
@@ -74,6 +75,8 @@ pub fn count_ksub(g: &Graph, s: usize) -> u64 {
     }
     let mut total = 0u64;
     let mut later: Vec<u32> = Vec::new();
+    let packed = g.packed_adjacency();
+    let mut scratch = packed_scratch(packed, s);
     for &v in &order {
         later.clear();
         later.extend(
@@ -82,7 +85,50 @@ pub fn count_ksub(g: &Graph, s: usize) -> u64 {
                 .copied()
                 .filter(|&w| rank[w as usize] > rank[v]),
         );
-        total += count_cliques_within(g, &later, s - 1);
+        if let Some(b) = packed {
+            let (root, rest) = scratch.split_first_mut().unwrap();
+            root.fill(0);
+            bitset::pack_into(root, &later);
+            total += count_cliques_within_packed(b, root, s - 1, rest);
+        } else {
+            total += count_cliques_within(g, &later, s - 1);
+        }
+    }
+    total
+}
+
+/// Per-depth word buffers for the packed clique recursion: one row for the
+/// root candidate set plus one per recursion level.
+fn packed_scratch(packed: Option<&AdjacencyBitset>, s: usize) -> Vec<Vec<u64>> {
+    match packed {
+        Some(b) => vec![vec![0u64; b.words_per_row()]; s + 1],
+        None => Vec::new(),
+    }
+}
+
+/// Packed twin of [`count_cliques_within`]: candidate sets are adjacency-row
+///-width bitsets and the inner filter is `cands ∧ adj(v) ∧ {w > v}`, one AND
+/// per word. Visit order (ascending) and pruning mirror the sparse path
+/// exactly, so both produce identical counts.
+fn count_cliques_within_packed(
+    b: &AdjacencyBitset,
+    cands: &[u64],
+    s: usize,
+    scratch: &mut [Vec<u64>],
+) -> u64 {
+    if s == 0 {
+        return 1;
+    }
+    if s == 1 {
+        return bitset::count_ones(cands) as u64;
+    }
+    let (cur, rest) = scratch.split_first_mut().unwrap();
+    let mut total = 0u64;
+    for v in bitset::ones(cands) {
+        bitset::and_above_into(cur, cands, b.row(v), v);
+        if bitset::count_ones(cur) + 1 >= s {
+            total += count_cliques_within_packed(b, cur, s - 1, rest);
+        }
     }
     total
 }
@@ -128,16 +174,27 @@ pub fn list_ksub(g: &Graph, s: usize, cap: usize) -> Vec<Vec<u32>> {
         rank[v] = i;
     }
     let mut prefix = Vec::with_capacity(s);
+    let packed = g.packed_adjacency();
+    let mut scratch = packed_scratch(packed, s);
+    let mut later: Vec<u32> = Vec::new();
     for &v in &order {
-        let later: Vec<u32> = g
-            .neighbors(v)
-            .iter()
-            .copied()
-            .filter(|&w| rank[w as usize] > rank[v])
-            .collect();
+        later.clear();
+        later.extend(
+            g.neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| rank[w as usize] > rank[v]),
+        );
         prefix.clear();
         prefix.push(v as u32);
-        list_rec(g, &later, s - 1, &mut prefix, &mut out, cap);
+        if let Some(b) = packed {
+            let (root, rest) = scratch.split_first_mut().unwrap();
+            root.fill(0);
+            bitset::pack_into(root, &later);
+            list_rec_packed(b, root, s - 1, &mut prefix, &mut out, cap, rest);
+        } else {
+            list_rec(g, &later, s - 1, &mut prefix, &mut out, cap);
+        }
         if out.len() >= cap {
             break;
         }
@@ -173,6 +230,46 @@ fn list_rec(
             .collect();
         prefix.push(v);
         list_rec(g, &rest, s - 1, prefix, out, cap);
+        prefix.pop();
+        if out.len() >= cap {
+            return;
+        }
+    }
+}
+
+/// Packed twin of [`list_rec`]. Candidates are visited in ascending order
+/// (bit order == sorted slice order) and the `remaining < s` cutoff matches
+/// the sparse `cands.len() - i < s` break, so the listing — including cap
+/// truncation — is element-for-element identical to the sparse path.
+#[allow(clippy::too_many_arguments)]
+fn list_rec_packed(
+    b: &AdjacencyBitset,
+    cands: &[u64],
+    s: usize,
+    prefix: &mut Vec<u32>,
+    out: &mut Vec<Vec<u32>>,
+    cap: usize,
+    scratch: &mut [Vec<u64>],
+) {
+    if out.len() >= cap {
+        return;
+    }
+    if s == 0 {
+        let mut clique = prefix.clone();
+        clique.sort_unstable();
+        out.push(clique);
+        return;
+    }
+    let mut remaining = bitset::count_ones(cands);
+    let (cur, rest) = scratch.split_first_mut().unwrap();
+    for v in bitset::ones(cands) {
+        if remaining < s {
+            break;
+        }
+        remaining -= 1;
+        bitset::and_above_into(cur, cands, b.row(v), v);
+        prefix.push(v as u32);
+        list_rec_packed(b, cur, s - 1, prefix, out, cap, rest);
         prefix.pop();
         if out.len() >= cap {
             return;
@@ -268,6 +365,56 @@ mod tests {
                 }
                 assert!(seen.insert(c.clone()), "duplicate clique listed");
             }
+        }
+    }
+
+    #[test]
+    fn packed_path_matches_sparse_on_dense_graph() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let g = generators::gnp(64, 0.5, &mut rng);
+        assert!(
+            g.packed_adjacency().is_some(),
+            "test graph must take the packed path"
+        );
+        let (order, _) = degeneracy_ordering(&g);
+        let mut rank = vec![0usize; g.n()];
+        for (i, &v) in order.iter().enumerate() {
+            rank[v] = i;
+        }
+        for s in 3..6 {
+            // Sparse referee: drive the slice-based recursion directly so
+            // the comparison does not depend on the dispatch in
+            // count_ksub/list_ksub.
+            let mut expected_count = 0u64;
+            let mut expected_list = Vec::new();
+            let mut prefix = Vec::new();
+            for &v in &order {
+                let later: Vec<u32> = g
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&w| rank[w as usize] > rank[v])
+                    .collect();
+                expected_count += count_cliques_within(&g, &later, s - 1);
+                prefix.clear();
+                prefix.push(v as u32);
+                list_rec(
+                    &g,
+                    &later,
+                    s - 1,
+                    &mut prefix,
+                    &mut expected_list,
+                    usize::MAX,
+                );
+            }
+            assert_eq!(count_ksub(&g, s), expected_count, "s={s}");
+            // Exact element-for-element order, not just the multiset.
+            assert_eq!(list_ksub(&g, s, usize::MAX), expected_list, "s={s}");
+            // Cap truncation must cut at the same point.
+            let cap = (expected_list.len() / 2).max(1);
+            expected_list.truncate(cap);
+            assert_eq!(list_ksub(&g, s, cap), expected_list, "s={s} capped");
         }
     }
 

@@ -6,6 +6,9 @@
 //! intersections are linear merges.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use crate::bitset::{self, AdjacencyBitset};
 
 /// A vertex index. Graphs in this workspace are bounded well below `u32::MAX`.
 pub type VertexId = u32;
@@ -13,12 +16,38 @@ pub type VertexId = u32;
 /// An immutable undirected simple graph in CSR form.
 ///
 /// Self-loops and parallel edges are removed at construction time.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Dense graphs additionally carry a lazily-built packed adjacency matrix
+/// (see [`crate::bitset`]) that accelerates membership tests and
+/// neighborhood intersections; sparse graphs never build it.
 pub struct Graph {
     offsets: Vec<usize>,
     neighbors: Vec<VertexId>,
     m: usize,
+    /// `None` inside = graph judged too sparse; unset = not decided yet.
+    packed: OnceLock<Option<Arc<AdjacencyBitset>>>,
 }
+
+impl Clone for Graph {
+    fn clone(&self) -> Self {
+        Graph {
+            offsets: self.offsets.clone(),
+            neighbors: self.neighbors.clone(),
+            m: self.m,
+            // Cloning shares the (immutable) packed matrix via `Arc`.
+            packed: self.packed.clone(),
+        }
+    }
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        // The packed cache is derived state; equality is structural.
+        self.m == other.m && self.offsets == other.offsets && self.neighbors == other.neighbors
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Builds a graph on `n` vertices from an edge list. Duplicate edges,
@@ -40,6 +69,7 @@ impl Graph {
             offsets: vec![0; n + 1],
             neighbors: Vec::new(),
             m: 0,
+            packed: OnceLock::new(),
         }
     }
 
@@ -72,6 +102,11 @@ impl Graph {
         if u >= self.n() || v >= self.n() {
             return false;
         }
+        // O(1) bit probe when the packed matrix already exists; a plain
+        // membership test never *triggers* the build.
+        if let Some(Some(b)) = self.packed.get() {
+            return b.contains(u, v);
+        }
         // Search the shorter list.
         let (a, b) = if self.degree(u) <= self.degree(v) {
             (u, v)
@@ -79,6 +114,21 @@ impl Graph {
             (v, u)
         };
         self.neighbors(a).binary_search(&(b as VertexId)).is_ok()
+    }
+
+    /// The packed adjacency matrix, built on first call if the graph is
+    /// dense enough (see [`bitset::dense_enough`]); `None` for sparse
+    /// graphs. Subsequent calls return the cached matrix.
+    pub fn packed_adjacency(&self) -> Option<&AdjacencyBitset> {
+        self.packed
+            .get_or_init(|| {
+                bitset::dense_enough(self.n(), self.m).then(|| {
+                    Arc::new(AdjacencyBitset::with_rows(self.n(), |v, row| {
+                        bitset::pack_into(row, self.neighbors(v))
+                    }))
+                })
+            })
+            .as_deref()
     }
 
     /// Iterates over all undirected edges `(u, v)` with `u < v`.
@@ -110,8 +160,12 @@ impl Graph {
         }
     }
 
-    /// Number of common neighbors of `u` and `v` (linear merge).
+    /// Number of common neighbors of `u` and `v` (popcount intersection on
+    /// dense graphs, linear merge otherwise).
     pub fn common_neighbors(&self, u: usize, v: usize) -> usize {
+        if let Some(b) = self.packed_adjacency() {
+            return b.common_count(u, v);
+        }
         let (mut i, mut j) = (0, 0);
         let (a, b) = (self.neighbors(u), self.neighbors(v));
         let mut count = 0;
@@ -258,6 +312,7 @@ impl GraphBuilder {
             offsets,
             neighbors,
             m,
+            packed: OnceLock::new(),
         }
     }
 }
@@ -331,6 +386,54 @@ mod tests {
     fn degree_sequence_sorted() {
         let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
         assert_eq!(g.degree_sequence(), vec![3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn packed_adjacency_matches_csr() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let g = crate::generators::gnp(80, 0.5, &mut rng);
+        let b = g.packed_adjacency().expect("gnp(80, 0.5) is dense");
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                // Referee against the raw sorted neighbor list, not
+                // has_edge (which now answers from the packed matrix).
+                let merge = g.neighbors(u).binary_search(&(v as u32)).is_ok();
+                assert_eq!(b.contains(u, v), merge, "({u},{v})");
+                assert_eq!(g.has_edge(u, v), merge, "({u},{v})");
+            }
+        }
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                let merge = g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|w| g.neighbors(v).binary_search(w).is_ok())
+                    .count();
+                assert_eq!(g.common_neighbors(u, v), merge, "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_graph_skips_packing() {
+        let g = Graph::from_edges(100, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(g.packed_adjacency().is_none());
+        assert!(g.has_edge(1, 2) && !g.has_edge(0, 3));
+        assert_eq!(g.common_neighbors(0, 2), 1);
+    }
+
+    #[test]
+    fn equality_ignores_packed_cache() {
+        let edges: Vec<(u32, u32)> = (0..40u32)
+            .flat_map(|u| ((u + 1)..40).map(move |v| (u, v)))
+            .collect();
+        let a = Graph::from_edges(40, &edges);
+        let b = Graph::from_edges(40, &edges);
+        let _ = a.packed_adjacency(); // build cache on one side only
+        assert_eq!(a, b);
+        let c = a.clone();
+        assert_eq!(c.common_neighbors(0, 1), 38);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 pub mod atlas;
 pub mod bfs;
+pub mod bitset;
 pub mod cliques;
 pub mod combinatorics;
 pub mod components;

@@ -204,9 +204,8 @@ impl ListingNode {
                 edges.push((me.min(v), me.max(v)));
             }
         }
-        edges.sort_unstable();
-        edges.dedup();
-        // Compact local graph.
+        // No pre-sort/dedup of `edges`: GraphBuilder::build dedups, and the
+        // vertex compaction sorts its own list.
         let mut verts: Vec<u32> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
         verts.sort_unstable();
         verts.dedup();

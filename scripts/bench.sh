@@ -2,22 +2,59 @@
 # Records the E1/E2 wall-clock baselines across thread counts into a
 # committed BENCH_<date>.json at the repo root.
 #
-# Usage: scripts/bench.sh [--threads LIST] [--out PATH]
-#   --threads LIST  comma-separated RAYON_NUM_THREADS values (default 1,4)
-#   --out PATH      output file (default BENCH_<date>.json)
+# Usage: scripts/bench.sh [--threads LIST] [--out PATH] [--tolerance PCT]
+#   --threads LIST    comma-separated RAYON_NUM_THREADS values (default 1,4)
+#   --out PATH        output file (default BENCH_<date>.json)
+#   --tolerance PCT   regression-gate tolerance in percent (default 20)
 #
 # The rayon pool reads RAYON_NUM_THREADS once per process, so the perf
 # binary re-executes itself once per requested count; this script only
 # builds it in release mode and forwards the flags.
+#
+# Before writing the new report, the previous committed BENCH_*.json (same
+# host CPU count) is noted; after writing, the new numbers are gated
+# against it so a perf regression fails the script.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+tolerance=20
+out_path=""
+perf_args=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --tolerance) tolerance="$2"; shift 2 ;;
+        --out) out_path="$2"; perf_args+=("$1" "$2"); shift 2 ;;
+        *) perf_args+=("$1"); shift ;;
+    esac
+done
+
 echo "==> cargo build --release -p bench --bin perf"
 cargo build --release -p bench --bin perf
 
+# Snapshot the latest baseline BEFORE the run (the run may overwrite
+# today's file), so the gate compares new vs old, not new vs itself.
+baseline="$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)"
+gate_baseline=""
+if [[ -n "$baseline" ]]; then
+    gate_baseline="$(mktemp)"
+    cp "$baseline" "$gate_baseline"
+    echo "==> perf gate will compare against $baseline"
+fi
+
 echo "==> recording perf baselines"
-./target/release/perf "$@"
+./target/release/perf "${perf_args[@]+"${perf_args[@]}"}"
+
+if [[ -n "$gate_baseline" ]]; then
+    new_report="$out_path"
+    if [[ -z "$new_report" ]]; then
+        new_report="$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)"
+    fi
+    echo "==> perf regression gate: $new_report vs $baseline (tolerance +${tolerance}%)"
+    ./target/release/perf --check --against "$gate_baseline" \
+        --current "$new_report" --tolerance "$tolerance"
+    rm -f "$gate_baseline"
+fi
 
 echo "==> exporting canonical run reports (schema-versioned JSON)"
 ./target/release/perf --run-reports

@@ -46,6 +46,23 @@ else
     echo "    no legacy entry points outside congest's deprecated shims"
 fi
 
+# The CSR routing arena replaced the per-receiver scan of a per-node wire
+# list; no non-test code may reintroduce that pattern.
+echo "==> checking for the removed per-receiver wire-scan pattern"
+wirescan='Wire<|wires\['
+if grep -rnE "$wirescan" \
+    src examples \
+    crates/congest/src crates/core/src crates/commlb/src \
+    crates/lowerbounds/src crates/bench/src crates/graphlib/src \
+    crates/infotheory/src \
+    2>/dev/null; then
+    echo "error: per-receiver wire-scan pattern reintroduced;" \
+         "route messages through the RoundRouter arena instead" >&2
+    status=1
+else
+    echo "    no per-receiver wire scans in non-test code"
+fi
+
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet || status=1
 
@@ -68,5 +85,23 @@ RAYON_NUM_THREADS=1 cargo test -q --workspace
 
 echo "==> cargo test -q --workspace (RAYON_NUM_THREADS=4)"
 RAYON_NUM_THREADS=4 cargo test -q --workspace
+
+# The routing property test (new delivery vs naive reference, inbox order
+# included) must hold on sequential and parallel schedules alike.
+echo "==> routing property test (RAYON_NUM_THREADS=1)"
+RAYON_NUM_THREADS=1 cargo test -q -p congest --test routing
+
+echo "==> routing property test (RAYON_NUM_THREADS=4)"
+RAYON_NUM_THREADS=4 cargo test -q -p congest --test routing
+
+# Perf-regression smoke gate: smallest workload sizes, generous tolerance
+# (debug-vs-release noise is not what this guards against — the release
+# binary is used; the gate skips itself when no comparable baseline
+# exists for this host).
+if [[ "$quick" -eq 0 ]]; then
+    echo "==> perf regression smoke gate"
+    cargo build --release -p bench --bin perf
+    ./target/release/perf --check --smoke --tolerance 60 || status=1
+fi
 
 exit "$status"
