@@ -12,6 +12,13 @@
 //!                                        per scenario; default dir `.`)
 //!   perf --summary                       print the canonical run reports
 //!                                        as human-readable tables
+//!   perf --profile                       run the canonical scenarios with
+//!                                        the engine self-profiler on and
+//!                                        print folded stacks (stdout, one
+//!                                        `frame;frame value` line per
+//!                                        engine section — flamegraph
+//!                                        input) plus a summary table
+//!                                        (stderr)
 //!   perf --emit [--smoke]                (internal) time the workloads at
 //!                                        the current RAYON_NUM_THREADS and
 //!                                        print one JSON entry per line
@@ -154,6 +161,14 @@ fn main() {
 
     if args.iter().any(|a| a == "--check") {
         run_check(&args);
+    }
+
+    if args.iter().any(|a| a == "--profile") {
+        let (folded, table) = perf::profile_canonical();
+        eprintln!("==> engine self-profile over the canonical scenarios");
+        eprint!("{table}");
+        print!("{folded}");
+        return;
     }
 
     if args.iter().any(|a| a == "--summary") {

@@ -14,9 +14,10 @@
 //! workloads at the *current* thread count and serialize entries.
 
 use crate::experiments as exp;
-use congest::{FaultSpec, ReliableConfig, RunReport};
+use congest::{EventLog, FaultSpec, Profiler, ReliableConfig, RunReport, SimEvent};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 use std::time::Instant;
 use subgraph_detection as detection;
 
@@ -128,17 +129,39 @@ fn run_sized_workloads(e1_sizes: &[usize], e2_sizes: &[usize]) -> Vec<PerfEntry>
     entries
 }
 
-/// The canonical fault-free observability scenario: the Theorem 1.1
-/// detector on a seeded planted-`C_4` instance, exported as a
-/// schema-versioned run report. Deterministic for any thread count, so
-/// the rendered JSON is byte-stable (goldens live in `tests/golden/`).
-pub fn canonical_fault_free_report() -> RunReport {
+/// The canonical planted-`C_4` instance and detector config shared by the
+/// fault-free report, the `congest-trace --canonical` gates, and the
+/// referee tests.
+fn canonical_fault_free_scenario() -> (graphlib::Graph, detection::EvenCycleConfig) {
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let base = graphlib::generators::gnp(48, 0.05, &mut rng);
     let (g, _) = graphlib::generators::plant_cycle(&base, 4, &mut rng);
     let cfg = detection::EvenCycleConfig::new(2).repetitions(4).seed(17);
-    let rep = detection::detect_even_cycle(&g, cfg).expect("detector run failed");
-    rep.run_report("even_cycle_fault_free")
+    (g, cfg)
+}
+
+/// The canonical fault-free observability scenario: the Theorem 1.1
+/// detector on a seeded planted-`C_4` instance, run with the structured
+/// collector installed. Returns the run report — critical-path summary
+/// embedded (run-report schema v2) — together with the full recorded
+/// event stream. Deterministic for any thread count, so both the report
+/// JSON and the trace are byte-stable (goldens live in `tests/golden/`).
+pub fn canonical_fault_free_traced() -> (RunReport, Vec<SimEvent>) {
+    let (g, cfg) = canonical_fault_free_scenario();
+    let log = Arc::new(EventLog::new());
+    let obs = detection::EvenCycleObserver::collecting(Arc::clone(&log));
+    let rep = detection::detect_even_cycle_observed(&g, cfg, &obs).expect("detector run failed");
+    let events = log.take();
+    let cp = congest::obsv::critical_path(&events);
+    let report = rep
+        .run_report("even_cycle_fault_free")
+        .with_critical_path(cp);
+    (report, events)
+}
+
+/// The canonical fault-free run report (see [`canonical_fault_free_traced`]).
+pub fn canonical_fault_free_report() -> RunReport {
+    canonical_fault_free_traced().0
 }
 
 /// The canonical faulty observability scenario: the same detector behind
@@ -162,6 +185,29 @@ pub fn canonical_arq_loss_report() -> RunReport {
 /// `--run-reports` export and the golden-file tests share this list.
 pub fn canonical_run_reports() -> Vec<RunReport> {
     vec![canonical_fault_free_report(), canonical_arq_loss_report()]
+}
+
+/// Runs both canonical scenarios with the engine self-profiler installed
+/// and returns `(folded_stacks, summary_table)`. The fault-free run times
+/// the engine's accounting/staging/delivery/compute stages; the ARQ run
+/// additionally exercises the transport's retransmit-scan span. Wall-clock
+/// numbers, so the output is *not* deterministic — it never feeds goldens.
+pub fn profile_canonical() -> (String, String) {
+    let profiler = Arc::new(Profiler::new());
+    let obs = detection::EvenCycleObserver::default().with_profiler(Arc::clone(&profiler));
+    let (g, cfg) = canonical_fault_free_scenario();
+    detection::detect_even_cycle_observed(&g, cfg, &obs).expect("detector run failed");
+    let g2 = graphlib::generators::cycle(12);
+    let cfg2 = detection::EvenCycleConfig::new(2).repetitions(2).seed(7);
+    detection::detect_even_cycle_faulty_observed(
+        &g2,
+        cfg2,
+        &FaultSpec::IndependentLoss(0.3),
+        Some(ReliableConfig::default()),
+        &obs,
+    )
+    .expect("faulty detector run failed");
+    (profiler.folded_stacks("congest"), profiler.summary_table())
 }
 
 /// `YYYY-MM-DD` for a Unix timestamp (civil-from-days, proleptic

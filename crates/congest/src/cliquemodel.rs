@@ -8,6 +8,7 @@
 
 use crate::message::BitSize;
 use crate::obsv::collect::{span_nanos, span_start, Collector, SimEvent};
+use crate::obsv::profile::{prof_record, prof_start, Profiler, Section};
 use crate::stats::RunStats;
 use graphlib::Graph;
 use rand::{Rng, SeedableRng};
@@ -136,6 +137,7 @@ pub struct CliqueEngine<'g> {
     max_rounds: usize,
     seed: u64,
     collector: Option<Arc<dyn Collector>>,
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl<'g> CliqueEngine<'g> {
@@ -146,6 +148,7 @@ impl<'g> CliqueEngine<'g> {
             max_rounds: 4 * (input.n() + 2) * (input.n() + 2),
             seed: 0,
             collector: None,
+            profiler: None,
             input,
         }
     }
@@ -175,6 +178,12 @@ impl<'g> CliqueEngine<'g> {
         self
     }
 
+    /// Installs the engine self-profiler (see [`crate::obsv::profile`]).
+    pub fn profiler(mut self, p: Arc<Profiler>) -> Self {
+        self.profiler = Some(p);
+        self
+    }
+
     /// Runs the algorithm.
     #[deprecated(note = "use `congest::Simulation::run_clique` instead")]
     pub fn run<A, F>(&self, make: F) -> Result<CliqueOutcome<A::Output>, CliqueError>
@@ -200,12 +209,21 @@ impl<'g> CliqueEngine<'g> {
     {
         let n = self.input.n();
         let collector = self.collector.as_deref();
+        let tracing = collector.is_some();
         let timing = collector.is_some_and(Collector::wants_compute_spans);
+        let prof = self.profiler.as_deref();
         let rec = |ev: SimEvent| {
             if let Some(c) = collector {
                 c.record(&ev);
             }
         };
+        if tracing {
+            rec(SimEvent::Meta {
+                n,
+                bandwidth_bits: self.bandwidth_bits,
+                seed: self.seed,
+            });
+        }
         let mut contexts: Vec<CliqueContext> = (0..n)
             .map(|v| CliqueContext {
                 index: v,
@@ -230,6 +248,7 @@ impl<'g> CliqueEngine<'g> {
         };
         let mut traffic = RunStats::complete(n);
 
+        let t_init = prof_start(prof);
         let init: Vec<(PairOutbox<A::Msg>, u64)> = nodes
             .par_iter_mut()
             .zip(contexts.par_iter())
@@ -240,6 +259,7 @@ impl<'g> CliqueEngine<'g> {
                 (out, span_nanos(t))
             })
             .collect();
+        prof_record(prof, Section::Compute, t_init);
         if timing {
             for (v, (_, nanos)) in init.iter().enumerate() {
                 rec(SimEvent::NodeCompute {
@@ -263,6 +283,18 @@ impl<'g> CliqueEngine<'g> {
         let mut touched: Vec<usize> = Vec::new();
         let mut step_nanos: Vec<u64> = vec![u64::MAX; n];
 
+        // Causal provenance (tracing only), mirroring `engine.rs`: ids in
+        // node order at accounting time, previous-round delivery sets as
+        // the deps stamped on this round's sends.
+        let mut next_msg_id: u64 = 0;
+        let mut id_base: Vec<u64> = Vec::new();
+        let mut prev_delivered: Vec<Vec<u64>> = if tracing {
+            (0..n).map(|_| Vec::new()).collect()
+        } else {
+            Vec::new()
+        };
+        let mut cur_delivered: Vec<Vec<u64>> = prev_delivered.clone();
+
         for round in 1..=self.max_rounds {
             if completed && outboxes.iter().all(|o| o.is_empty()) {
                 break;
@@ -271,13 +303,29 @@ impl<'g> CliqueEngine<'g> {
             let before_bits = traffic.total_bits;
             let before_msgs = traffic.total_messages;
 
+            if tracing {
+                id_base.clear();
+                let mut next = next_msg_id;
+                for ob in &outboxes {
+                    id_base.push(next);
+                    next += ob.len() as u64;
+                }
+                next_msg_id = next;
+            }
+
             // Bandwidth accounting per ordered pair, in first-send order.
+            let t_acct = prof_start(prof);
             for (from, outbox) in outboxes.iter().enumerate() {
                 if outbox.is_empty() {
                     continue;
                 }
                 touched.clear();
-                for (to, m) in outbox {
+                let sender_deps: Option<Arc<[u64]>> = if tracing {
+                    Some(Arc::from(prev_delivered[from].as_slice()))
+                } else {
+                    None
+                };
+                for (idx, (to, m)) in outbox.iter().enumerate() {
                     if *to >= n || *to == from {
                         return Err(CliqueError::InvalidDestination { from, to: *to });
                     }
@@ -288,12 +336,16 @@ impl<'g> CliqueEngine<'g> {
                     dest_bits[*to] += m.bit_size();
                     stats.total_messages += 1;
                     traffic.total_messages += 1;
-                    rec(SimEvent::Send {
-                        round,
-                        from,
-                        port: *to,
-                        bits: m.bit_size(),
-                    });
+                    if let Some(deps) = &sender_deps {
+                        rec(SimEvent::Send {
+                            round,
+                            from,
+                            port: *to,
+                            bits: m.bit_size(),
+                            msg_id: id_base[from] + idx as u64,
+                            deps: Arc::clone(deps),
+                        });
+                    }
                 }
                 for &to in &touched {
                     let bits = dest_bits[to];
@@ -324,22 +376,49 @@ impl<'g> CliqueEngine<'g> {
             let round_msgs = traffic.total_messages - before_msgs;
             traffic.per_round_bits.push(round_bits);
             traffic.per_round_messages.push(round_msgs);
+            prof_record(prof, Section::Account, t_acct);
 
             // Deliver: bucket messages by destination into the reused
             // inboxes. Accounting already read every payload above, so
             // delivery *moves* the messages instead of cloning them, and
             // sender-ascending push order keeps inboxes deterministic.
+            let t_deliver = prof_start(prof);
             for inbox in inboxes.iter_mut() {
                 inbox.clear();
             }
+            if tracing {
+                for d in cur_delivered.iter_mut() {
+                    d.clear();
+                }
+            }
             for (from, outbox) in outboxes.iter_mut().enumerate() {
-                for (to, m) in outbox.drain(..) {
+                for (idx, (to, m)) in outbox.drain(..).enumerate() {
+                    if tracing {
+                        let msg_id = id_base[from] + idx as u64;
+                        // Clique delivery events reuse `port` for the
+                        // sender index (the inbox pairs payloads with their
+                        // source, not an incident port).
+                        rec(SimEvent::Deliver {
+                            round,
+                            from,
+                            to,
+                            port: from,
+                            bits: m.bit_size(),
+                            msg_id,
+                        });
+                        cur_delivered[to].push(msg_id);
+                    }
                     inboxes[to].push((from, m));
                 }
             }
+            if tracing {
+                std::mem::swap(&mut prev_delivered, &mut cur_delivered);
+            }
+            prof_record(prof, Section::Deliver, t_deliver);
 
             // Step, writing each node's new outbox in place (the old ones
             // were drained above) — no per-round collect.
+            let t_step = prof_start(prof);
             nodes
                 .par_iter_mut()
                 .zip(outboxes.par_iter_mut())
@@ -359,6 +438,7 @@ impl<'g> CliqueEngine<'g> {
                         *nanos = if timing { span_nanos(t) } else { u64::MAX };
                     }
                 });
+            prof_record(prof, Section::Compute, t_step);
             if timing {
                 for (v, &nanos) in step_nanos.iter().enumerate() {
                     if nanos != u64::MAX {

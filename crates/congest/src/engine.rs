@@ -9,7 +9,14 @@
 //! Instrumentation flows through the [`Collector`] trait
 //! (see [`crate::obsv`]): with no collector installed, no event values are
 //! even built. All events are recorded from sequential code in node order,
-//! so a collector observes an identical stream at any thread count.
+//! so a collector observes an identical stream at any thread count. With a
+//! collector installed the engine also assigns every message a run-unique
+//! `msg_id` (in node order, at accounting time) and stamps each send with
+//! the ids delivered to its sender one round earlier — the causal
+//! provenance that makes the trace a happens-before DAG (see
+//! [`crate::obsv::collect`]). An optional [`Profiler`] adds wall-clock
+//! spans around the accounting/staging/delivery/compute sections; with
+//! none installed each section costs one branch per round.
 //!
 //! The `run`/`run_nodes` entry points are deprecated in favor of the
 //! [`Simulation`](crate::Simulation) builder, which fronts this engine, the
@@ -19,6 +26,7 @@ use crate::faults::{Delivery, DeliveryCtx, FaultReport, FaultSpec};
 use crate::message::{BitSize, Payload};
 use crate::node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
 use crate::obsv::collect::{span_nanos, span_start, Collector, SimEvent};
+use crate::obsv::profile::{prof_record, prof_start, Profiler, Section};
 use crate::stats::RunStats;
 use graphlib::Graph;
 use rand::{Rng, SeedableRng};
@@ -195,6 +203,10 @@ struct DeliveryTally {
     dropped: u64,
     corrupted: u64,
     events: Vec<SimEvent>,
+    /// Ids of the messages that reached this receiver's inbox this round
+    /// (corrupted deliveries included — the payload still arrived). Only
+    /// filled when tracing; becomes the receiver's `deps` set next round.
+    ids: Vec<u64>,
 }
 
 /// Per-edge-per-round bandwidth.
@@ -332,6 +344,7 @@ pub struct Engine<'g> {
     seed: u64,
     broadcast_only: bool,
     collector: Option<Arc<dyn Collector>>,
+    profiler: Option<Arc<Profiler>>,
     /// Fault configuration applied to every run (see [`crate::faults`]).
     /// Bits are still charged for lost messages (they were sent); only
     /// delivery fails.
@@ -349,6 +362,7 @@ impl<'g> Engine<'g> {
             seed: 0,
             broadcast_only: false,
             collector: None,
+            profiler: None,
             faults: FaultSpec::None,
             topology,
         }
@@ -396,6 +410,19 @@ impl<'g> Engine<'g> {
     /// emits its end-of-run summary through it).
     pub(crate) fn collector_handle(&self) -> Option<&dyn Collector> {
         self.collector.as_deref()
+    }
+
+    /// Installs the engine self-profiler (see [`crate::obsv::profile`]).
+    /// Off by default; the disabled path is one branch per hot section per
+    /// round.
+    pub fn profiler(mut self, p: Arc<Profiler>) -> Self {
+        self.profiler = Some(p);
+        self
+    }
+
+    /// The installed profiler, for the reliable transport's ARQ spans.
+    pub(crate) fn profiler_handle(&self) -> Option<&Arc<Profiler>> {
+        self.profiler.as_ref()
     }
 
     /// Switches to broadcast-CONGEST (the \[DKO14\] variant the paper's
@@ -518,10 +545,26 @@ impl<'g> Engine<'g> {
         // crashed[v] = round v crashed at; crash-stop, so never cleared.
         let mut crashed: Vec<Option<usize>> = vec![None; n];
 
+        let prof = self.profiler.as_deref();
+
+        // Run header so the trace is self-describing (the invariant
+        // checker reads the bandwidth bound and node count from it).
+        if tracing {
+            rec(SimEvent::Meta {
+                n,
+                bandwidth_bits: match self.bandwidth {
+                    Bandwidth::Bits(b) => b,
+                    Bandwidth::Unbounded => 0,
+                },
+                seed: self.seed,
+            });
+        }
+
         // Round 0: init. Compute spans (wall-clock, so inherently
         // non-deterministic) are measured in the parallel section but
         // emitted afterwards in node order, and only when a collector
         // opted in.
+        let t_init = prof_start(prof);
         let init: Vec<(Outbox<A::Msg>, u64)> = nodes
             .par_iter_mut()
             .zip(contexts.par_iter())
@@ -532,6 +575,7 @@ impl<'g> Engine<'g> {
                 (out, span_nanos(t))
             })
             .collect();
+        prof_record(prof, Section::Compute, t_init);
         if timing {
             for (v, (_, nanos)) in init.iter().enumerate() {
                 rec(SimEvent::NodeCompute {
@@ -555,6 +599,18 @@ impl<'g> Engine<'g> {
         let mut step_nanos: Vec<u64> = vec![u64::MAX; n];
         let mut port_bits_scratch: Vec<usize> = Vec::new();
 
+        // Causal provenance (tracing only): every outbox entry gets a
+        // run-unique id at accounting time, in node order, and
+        // `prev_delivered[v]` holds the ids that reached v's inbox last
+        // round — the `deps` set stamped on v's sends this round.
+        let mut next_msg_id: u64 = 0;
+        let mut id_base: Vec<u64> = Vec::new();
+        let mut prev_delivered: Vec<Vec<u64>> = if tracing {
+            (0..n).map(|_| Vec::new()).collect()
+        } else {
+            Vec::new()
+        };
+
         for round in 1..=self.max_rounds {
             if completed && outboxes.iter().all(|o| o.is_empty()) {
                 break;
@@ -576,16 +632,36 @@ impl<'g> Engine<'g> {
                 }
             }
 
+            // Assign this round's message ids: one per outbox entry (a
+            // broadcast gets one id even though it costs every port), in
+            // node order, so the id sequence is schedule-independent.
+            if tracing {
+                id_base.clear();
+                let mut next = next_msg_id;
+                for ob in &outboxes {
+                    id_base.push(next);
+                    next += ob.len() as u64;
+                }
+                next_msg_id = next;
+            }
+
             // Account traffic + enforce bandwidth for this round's sends.
             let before_bits = stats.total_bits;
             let before_msgs = stats.total_messages;
+            let t_acct = prof_start(prof);
             self.account_round(
                 &mut stats,
                 &outboxes,
                 round,
                 collector,
                 &mut port_bits_scratch,
+                if tracing {
+                    Some((&id_base[..], &prev_delivered[..]))
+                } else {
+                    None
+                },
             )?;
+            prof_record(prof, Section::Account, t_acct);
             let round_bits = stats.total_bits - before_bits;
             let round_msgs = stats.total_messages - before_msgs;
             stats.per_round_bits.push(round_bits);
@@ -597,7 +673,9 @@ impl<'g> Engine<'g> {
             // receiver slot; each broadcast payload is materialized once
             // behind an `Arc` instead of being cloned per receiving edge.
             let offsets = &stats.offsets;
+            let t_stage = prof_start(prof);
             router.stage(g, offsets, &rev_port, &mut outboxes);
+            prof_record(prof, Section::Stage, t_stage);
 
             // Build inboxes: node v merges, port by port, its unicast
             // bucket with the sending neighbor's broadcast list — O(its
@@ -609,14 +687,20 @@ impl<'g> Engine<'g> {
             // in node order, so any collector sees the same stream at any
             // thread count.
             let (mut round_dropped, mut round_corrupted) = (0u64, 0u64);
+            let t_deliver = prof_start(prof);
             if router.staged == 0 {
                 // All-idle round (nodes computing, nothing in flight):
-                // skip the delivery pass entirely.
+                // skip the delivery pass entirely. Nothing was delivered,
+                // so next round's sends have empty deps sets.
                 for inbox in inboxes.iter_mut() {
                     inbox.clear();
                 }
+                for prev in prev_delivered.iter_mut() {
+                    prev.clear();
+                }
             } else {
                 let router = &router;
+                let id_base = &id_base;
                 (0..n)
                     .into_par_iter()
                     .zip(inboxes.par_iter_mut())
@@ -627,6 +711,7 @@ impl<'g> Engine<'g> {
                         tally.dropped = 0;
                         tally.corrupted = 0;
                         tally.events.clear();
+                        tally.ids.clear();
                         if !router.receiver_active(v) {
                             // No staged message is addressed here: skip the
                             // port scan (most receivers, on sparse-traffic
@@ -667,6 +752,10 @@ impl<'g> Engine<'g> {
                                     StagedMsg::Unicast(m) => m,
                                     StagedMsg::Broadcast(m) => m.as_ref(),
                                 };
+                                // The id the accounting pass assigned this
+                                // outbox entry (only meaningful when
+                                // tracing; `id_base` is empty otherwise).
+                                let msg_id = if tracing { id_base[u] + idx as u64 } else { 0 };
                                 // Messages to a crashed node are lost.
                                 if receiver_down {
                                     tally.dropped += 1;
@@ -696,6 +785,17 @@ impl<'g> Engine<'g> {
                                         };
                                         inbox.push((p, payload));
                                         tally.delivered += 1;
+                                        if tracing {
+                                            tally.ids.push(msg_id);
+                                            tally.events.push(SimEvent::Deliver {
+                                                round,
+                                                from: u,
+                                                to: v,
+                                                port: p,
+                                                bits: ctx.bits,
+                                                msg_id,
+                                            });
+                                        }
                                     }
                                     Delivery::Drop => {
                                         tally.dropped += 1;
@@ -703,8 +803,10 @@ impl<'g> Engine<'g> {
                                             tally.events.push(SimEvent::Drop {
                                                 round,
                                                 from: u,
+                                                to: v,
                                                 port: p,
                                                 bits: ctx.bits,
+                                                msg_id,
                                             });
                                         }
                                     }
@@ -720,8 +822,10 @@ impl<'g> Engine<'g> {
                                                 tally.events.push(SimEvent::Corrupt {
                                                     round,
                                                     from: u,
+                                                    to: v,
                                                     port: p,
                                                     bits: ctx.bits,
+                                                    msg_id,
                                                 });
                                             }
                                         } else {
@@ -729,6 +833,22 @@ impl<'g> Engine<'g> {
                                             // wire bits to flip — delivered
                                             // intact.
                                             tally.delivered += 1;
+                                            if tracing {
+                                                tally.events.push(SimEvent::Deliver {
+                                                    round,
+                                                    from: u,
+                                                    to: v,
+                                                    port: p,
+                                                    bits: ctx.bits,
+                                                    msg_id,
+                                                });
+                                            }
+                                        }
+                                        // Either way the payload reached
+                                        // the algorithm, so it enters the
+                                        // receiver's causal deps.
+                                        if tracing {
+                                            tally.ids.push(msg_id);
                                         }
                                         inbox.push((p, Payload::Owned(damaged)));
                                     }
@@ -737,15 +857,21 @@ impl<'g> Engine<'g> {
                         }
                     });
 
-                for tally in &mut tallies {
+                for (v, tally) in tallies.iter_mut().enumerate() {
                     report.delivered += tally.delivered;
                     round_dropped += tally.dropped;
                     round_corrupted += tally.corrupted;
                     for ev in tally.events.drain(..) {
                         rec(ev);
                     }
+                    if tracing {
+                        // This round's deliveries become v's deps next
+                        // round (the old vec is cleared at next use).
+                        std::mem::swap(&mut prev_delivered[v], &mut tally.ids);
+                    }
                 }
             }
+            prof_record(prof, Section::Deliver, t_deliver);
             report.dropped += round_dropped;
             report.corrupted += round_corrupted;
             report.dropped_per_round.push(round_dropped);
@@ -756,6 +882,7 @@ impl<'g> Engine<'g> {
             // no per-round collect is needed). The shared context is
             // updated in place (`round` is its only per-round field)
             // instead of being cloned per node per round.
+            let t_step = prof_start(prof);
             nodes
                 .par_iter_mut()
                 .zip(outboxes.par_iter_mut())
@@ -774,6 +901,7 @@ impl<'g> Engine<'g> {
                         *nanos = if timing { span_nanos(t) } else { u64::MAX };
                     }
                 });
+            prof_record(prof, Section::Compute, t_step);
             if timing {
                 for (v, &nanos) in step_nanos.iter().enumerate() {
                     if nanos != u64::MAX {
@@ -811,7 +939,9 @@ impl<'g> Engine<'g> {
 
     /// Sums per-port bits for the round, updates stats, enforces the limit.
     /// `port_bits` is caller-owned scratch so the per-sender tally does not
-    /// allocate every round.
+    /// allocate every round. `provenance` (present iff a collector is) is
+    /// `(id_base, prev_delivered)`: the first message id of each sender's
+    /// outbox this round, and the ids delivered to each node last round.
     fn account_round<M: BitSize>(
         &self,
         stats: &mut RunStats,
@@ -819,6 +949,7 @@ impl<'g> Engine<'g> {
         round: usize,
         collector: Option<&dyn Collector>,
         port_bits: &mut Vec<usize>,
+        provenance: Option<(&[u64], &[Vec<u64>])>,
     ) -> Result<(), CongestError> {
         let g = self.topology;
         // Split field borrows: `offsets` is read while the counters are
@@ -839,7 +970,11 @@ impl<'g> Engine<'g> {
             port_bits.clear();
             port_bits.resize(deg, 0);
             let mut msgs = 0u64;
-            for out in outbox {
+            // All of v's sends this round read the same inbox, so they
+            // share one deps set (one Arc per active sender per round).
+            let sender_prov: Option<(u64, Arc<[u64]>)> =
+                provenance.map(|(base, prev)| (base[v], Arc::from(prev[v].as_slice())));
+            for (idx, out) in outbox.iter().enumerate() {
                 match out {
                     Outgoing::Unicast(p, m) => {
                         if self.broadcast_only {
@@ -854,12 +989,14 @@ impl<'g> Engine<'g> {
                         }
                         port_bits[*p] += m.bit_size();
                         msgs += 1;
-                        if let Some(c) = collector {
+                        if let (Some(c), Some((base, deps))) = (collector, &sender_prov) {
                             c.record(&SimEvent::Send {
                                 round,
                                 from: v,
                                 port: *p,
                                 bits: m.bit_size(),
+                                msg_id: base + idx as u64,
+                                deps: Arc::clone(deps),
                             });
                         }
                     }
@@ -869,12 +1006,14 @@ impl<'g> Engine<'g> {
                             *pb += sz;
                         }
                         msgs += deg as u64;
-                        if let Some(c) = collector {
+                        if let (Some(c), Some((base, deps))) = (collector, &sender_prov) {
                             c.record(&SimEvent::Send {
                                 round,
                                 from: v,
                                 port: usize::MAX,
                                 bits: sz,
+                                msg_id: base + idx as u64,
+                                deps: Arc::clone(deps),
                             });
                         }
                     }

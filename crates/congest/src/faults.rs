@@ -612,6 +612,11 @@ pub struct FaultReport {
     /// Retransmissions performed by the reliable-transport layer (0 when
     /// the bare engine runs; filled by [`crate::reliable`]).
     pub retransmissions: u64,
+    /// Retransmissions per physical round
+    /// (`retransmissions_per_round[r-1]` for round `r`; empty for bare
+    /// runs) — aligned with [`Self::dropped_per_round`] so loss bursts and
+    /// the recovery traffic they force are visible on the same time axis.
+    pub retransmissions_per_round: Vec<u64>,
     /// Messages the reliable layer gave up on after exhausting its
     /// retransmission budget (0 for bare runs).
     pub given_up: u64,
@@ -645,6 +650,8 @@ impl FaultReport {
             .extend_from_slice(&other.dropped_per_round);
         self.corrupted_per_round
             .extend_from_slice(&other.corrupted_per_round);
+        self.retransmissions_per_round
+            .extend_from_slice(&other.retransmissions_per_round);
     }
 
     /// Compact one-line summary.

@@ -45,8 +45,9 @@ pub use faults::{
 pub use message::{bits_for_domain, BitSize, BitString, Payload};
 pub use node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
 pub use obsv::{
-    Collector, ComputeTimer, Fanout, Histogram, JsonlTrace, MetricValue, Metrics, MetricsSnapshot,
-    PhaseStat, RunReport, SimEvent, RUN_REPORT_SCHEMA, RUN_REPORT_VERSION,
+    Collector, ComputeTimer, CriticalPathSummary, EventLog, Fanout, Histogram, JsonlTrace,
+    MetricValue, Metrics, MetricsSnapshot, PhaseStat, Profiler, RunReport, Section, SimEvent,
+    RUN_REPORT_SCHEMA, RUN_REPORT_VERSION,
 };
 pub use reliable::{Reliable, ReliableConfig};
 pub use simulation::{CliqueRun, Outcome, Simulation};

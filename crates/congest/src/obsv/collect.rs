@@ -1,13 +1,28 @@
 //! The structured tracing layer: events, the [`Collector`] trait, and the
-//! stock collectors ([`Fanout`], [`JsonlTrace`], [`ComputeTimer`]).
+//! stock collectors ([`Fanout`], [`JsonlTrace`], [`EventLog`],
+//! [`ComputeTimer`]).
 //!
 //! Engines call [`Collector::record`] from *sequential* sections only, in
 //! node order, so the event stream a collector sees is identical at any
 //! thread count. Implementations still must be `Send + Sync` because a
 //! collector handle may be shared with user threads.
+//!
+//! # Causal provenance
+//!
+//! Every message put on the wire carries a run-unique `msg_id`, assigned
+//! in node order at accounting time, and every [`SimEvent::Send`] carries
+//! `deps` — the ids of the messages the sending node *received* in the
+//! previous round (its inbox when it computed this outbox). Together with
+//! the explicit [`SimEvent::Deliver`] records this makes the event stream
+//! a happens-before DAG over messages: `m1 → m2` iff `m1 ∈ deps(m2)`,
+//! i.e. `m1` was delivered to `m2`'s sender one round before `m2` was
+//! sent. Dropped deliveries never enter a `deps` set; corrupted ones do
+//! (the corrupted payload still reached the algorithm). The DAG is what
+//! [`crate::obsv::analyze`] walks to compute weighted critical paths.
 
 use crate::obsv::metrics::Histogram;
 use parking_lot::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One structured event from a simulator backend.
@@ -15,8 +30,27 @@ use std::time::Instant;
 /// `port` carries the CONGEST port index (`usize::MAX` for a broadcast);
 /// the congested-clique engine has no ports, so there it carries the
 /// destination node index instead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimEvent {
+    /// Run header: emitted once per engine run, before any round, so a
+    /// trace is self-describing (the invariant checker reads the bandwidth
+    /// bound from here).
+    Meta {
+        /// Number of nodes in the topology.
+        n: usize,
+        /// Per-edge-per-round bandwidth bound in bits (`0` = unbounded).
+        bandwidth_bits: usize,
+        /// Seed the run was keyed with.
+        seed: u64,
+    },
+    /// A phase marker from a multi-run driver (e.g. the even-cycle
+    /// detector): all events until the next marker belong to this phase.
+    Phase {
+        /// Phase label, e.g. `"phase1"`.
+        name: Arc<str>,
+        /// Repetition index within the driver's amplification loop.
+        repetition: usize,
+    },
     /// A communication round is about to execute.
     RoundStart {
         /// Round number (1-based).
@@ -45,6 +79,29 @@ pub enum SimEvent {
         port: usize,
         /// Message size in bits.
         bits: usize,
+        /// Run-unique message id, assigned in node order at accounting
+        /// time (a broadcast has one id even though it costs every port).
+        msg_id: u64,
+        /// Ids of the messages delivered to the sender in the previous
+        /// round — the causal inputs this send may depend on. Empty for
+        /// round-1 sends (produced by `init`, before any delivery). All
+        /// sends of one node in one round share one `Arc`.
+        deps: Arc<[u64]>,
+    },
+    /// A message reached its receiver's inbox intact.
+    Deliver {
+        /// Round of the delivery.
+        round: usize,
+        /// Sending node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+        /// Receiving port on the *receiver* (clique: the sender index).
+        port: usize,
+        /// Message size in bits.
+        bits: usize,
+        /// Id assigned to this message at send accounting.
+        msg_id: u64,
     },
     /// A delivery was dropped by the fault model.
     Drop {
@@ -52,21 +109,30 @@ pub enum SimEvent {
         round: usize,
         /// Sending node.
         from: usize,
+        /// Receiving node.
+        to: usize,
         /// Receiving port on the *receiver*.
         port: usize,
         /// Message size in bits.
         bits: usize,
+        /// Id assigned to this message at send accounting.
+        msg_id: u64,
     },
-    /// A delivery was corrupted in flight.
+    /// A delivery was corrupted in flight (it still reaches the inbox, so
+    /// it still enters the receiver's causal `deps`).
     Corrupt {
         /// Round of the delivery.
         round: usize,
         /// Sending node.
         from: usize,
+        /// Receiving node.
+        to: usize,
         /// Receiving port on the *receiver*.
         port: usize,
         /// Message size in bits.
         bits: usize,
+        /// Id assigned to this message at send accounting.
+        msg_id: u64,
     },
     /// A node crashed (crash-stop).
     Crash {
@@ -101,7 +167,8 @@ pub enum SimEvent {
 ///
 /// The engines hold an `Option<Arc<dyn Collector>>`; with no collector
 /// installed the instrumentation is skipped entirely (no event values are
-/// built), so tracing is zero-cost when disabled.
+/// built, no message ids are assigned), so tracing is zero-cost when
+/// disabled.
 pub trait Collector: Send + Sync {
     /// Receives one event. Called from sequential engine code, in
     /// deterministic order.
@@ -118,7 +185,7 @@ pub trait Collector: Send + Sync {
 /// Broadcasts every event to several collectors.
 pub struct Fanout(
     /// The collectors to fan out to, in record order.
-    pub Vec<std::sync::Arc<dyn Collector>>,
+    pub Vec<Arc<dyn Collector>>,
 );
 
 impl Collector for Fanout {
@@ -130,6 +197,48 @@ impl Collector for Fanout {
 
     fn wants_compute_spans(&self) -> bool {
         self.0.iter().any(|c| c.wants_compute_spans())
+    }
+}
+
+/// An unbounded in-memory event collector: keeps every [`SimEvent`] as a
+/// value, in record order. The natural input for the
+/// [`crate::obsv::analyze`] functions when the trace never needs to leave
+/// the process (referee tests, the `congest-trace --canonical` gates).
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<SimEvent>>,
+}
+
+impl EventLog {
+    /// A fresh, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes the recorded events, leaving the log empty.
+    pub fn take(&self) -> Vec<SimEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    /// Clones the recorded events.
+    pub fn snapshot(&self) -> Vec<SimEvent> {
+        self.events.lock().clone()
+    }
+}
+
+impl Collector for EventLog {
+    fn record(&self, ev: &SimEvent) {
+        self.events.lock().push(ev.clone());
     }
 }
 
@@ -192,8 +301,23 @@ impl JsonlTrace {
         out
     }
 
+    /// Renders one event as its JSONL line (no trailing newline). Public
+    /// so external serializers (e.g. the `congest-trace` toolkit) produce
+    /// the exact on-disk format.
+    pub fn render(ev: &SimEvent) -> String {
+        Self::line(ev)
+    }
+
     fn line(ev: &SimEvent) -> String {
-        match *ev {
+        match ev {
+            SimEvent::Meta {
+                n,
+                bandwidth_bits,
+                seed,
+            } => format!(r#"{{"ev":"meta","n":{n},"bandwidth":{bandwidth_bits},"seed":{seed}}}"#),
+            SimEvent::Phase { name, repetition } => {
+                format!(r#"{{"ev":"phase","name":"{name}","repetition":{repetition}}}"#)
+            }
             SimEvent::RoundStart { round } => {
                 format!(r#"{{"ev":"round_start","round":{round}}}"#)
             }
@@ -211,19 +335,46 @@ impl JsonlTrace {
                 from,
                 port,
                 bits,
-            } => Self::msg_line("send", round, from, port, bits),
+                msg_id,
+                deps,
+            } => {
+                let mut out = format!(
+                    r#"{{"ev":"send","round":{round},"from":{from},"port":{},"bits":{bits},"msg_id":{msg_id},"deps":["#,
+                    PortRepr(*port)
+                );
+                for (i, d) in deps.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&d.to_string());
+                }
+                out.push_str("]}");
+                out
+            }
+            SimEvent::Deliver {
+                round,
+                from,
+                to,
+                port,
+                bits,
+                msg_id,
+            } => Self::delivery_line("deliver", *round, *from, *to, *port, *bits, *msg_id),
             SimEvent::Drop {
                 round,
                 from,
+                to,
                 port,
                 bits,
-            } => Self::msg_line("drop", round, from, port, bits),
+                msg_id,
+            } => Self::delivery_line("drop", *round, *from, *to, *port, *bits, *msg_id),
             SimEvent::Corrupt {
                 round,
                 from,
+                to,
                 port,
                 bits,
-            } => Self::msg_line("corrupt", round, from, port, bits),
+                msg_id,
+            } => Self::delivery_line("corrupt", *round, *from, *to, *port, *bits, *msg_id),
             SimEvent::Crash { round, node } => {
                 format!(r#"{{"ev":"crash","round":{round},"node":{node}}}"#)
             }
@@ -239,15 +390,32 @@ impl JsonlTrace {
         }
     }
 
-    fn msg_line(kind: &str, round: usize, from: usize, port: usize, bits: usize) -> String {
-        // `usize::MAX` marks a broadcast; render it as -1 so the JSON stays
-        // portable.
-        if port == usize::MAX {
-            format!(r#"{{"ev":"{kind}","round":{round},"from":{from},"port":-1,"bits":{bits}}}"#)
+    fn delivery_line(
+        kind: &str,
+        round: usize,
+        from: usize,
+        to: usize,
+        port: usize,
+        bits: usize,
+        msg_id: u64,
+    ) -> String {
+        format!(
+            r#"{{"ev":"{kind}","round":{round},"from":{from},"to":{to},"port":{},"bits":{bits},"msg_id":{msg_id}}}"#,
+            PortRepr(port)
+        )
+    }
+}
+
+/// Renders `usize::MAX` (the broadcast marker) as `-1` so the JSON stays
+/// portable.
+struct PortRepr(usize);
+
+impl std::fmt::Display for PortRepr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 == usize::MAX {
+            f.write_str("-1")
         } else {
-            format!(
-                r#"{{"ev":"{kind}","round":{round},"from":{from},"port":{port},"bits":{bits}}}"#
-            )
+            write!(f, "{}", self.0)
         }
     }
 }
@@ -319,23 +487,30 @@ pub(crate) fn span_nanos(start: Option<Instant>) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+
+    fn send(round: usize, from: usize, port: usize, bits: usize, msg_id: u64) -> SimEvent {
+        SimEvent::Send {
+            round,
+            from,
+            port,
+            bits,
+            msg_id,
+            deps: Arc::from([]),
+        }
+    }
 
     #[test]
     fn jsonl_lines_are_objects() {
         let t = JsonlTrace::new(16);
         t.record(&SimEvent::RoundStart { round: 1 });
-        t.record(&SimEvent::Send {
-            round: 1,
-            from: 0,
-            port: usize::MAX,
-            bits: 64,
-        });
+        t.record(&send(1, 0, usize::MAX, 64, 0));
         t.record(&SimEvent::Drop {
             round: 1,
             from: 1,
+            to: 0,
             port: 0,
             bits: 8,
+            msg_id: 1,
         });
         t.record(&SimEvent::RoundEnd {
             round: 1,
@@ -354,12 +529,56 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_send_carries_provenance() {
+        let t = JsonlTrace::new(4);
+        t.record(&SimEvent::Send {
+            round: 2,
+            from: 3,
+            port: 1,
+            bits: 16,
+            msg_id: 9,
+            deps: Arc::from([4u64, 7]),
+        });
+        let dump = t.to_jsonl();
+        assert!(dump.contains(r#""msg_id":9,"deps":[4,7]"#), "{dump}");
+    }
+
+    #[test]
     fn jsonl_bounded() {
         let t = JsonlTrace::new(1);
         t.record(&SimEvent::RoundStart { round: 1 });
         t.record(&SimEvent::RoundStart { round: 2 });
         assert_eq!(t.len(), 1);
         assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn jsonl_capacity_eviction_keeps_dump_stable() {
+        // Fill exactly to capacity, snapshot, then push more events: the
+        // dump must not change and every overflow event must be counted.
+        let t = JsonlTrace::new(3);
+        for round in 1..=3 {
+            t.record(&SimEvent::RoundStart { round });
+        }
+        assert_eq!(t.dropped(), 0, "at-capacity records are not drops");
+        let at_boundary = t.to_jsonl();
+        assert_eq!(at_boundary.lines().count(), 3);
+        for round in 4..=8 {
+            t.record(&SimEvent::RoundStart { round });
+            t.record(&SimEvent::Crash { round, node: 0 });
+        }
+        assert_eq!(t.len(), 3, "capacity is a hard bound");
+        assert_eq!(t.dropped(), 10);
+        assert_eq!(t.to_jsonl(), at_boundary, "overflow must not evict");
+    }
+
+    #[test]
+    fn zero_capacity_trace_counts_everything_as_dropped() {
+        let t = JsonlTrace::new(0);
+        t.record(&SimEvent::RoundStart { round: 1 });
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.to_jsonl(), "");
     }
 
     #[test]
@@ -378,10 +597,51 @@ mod tests {
     }
 
     #[test]
+    fn fanout_preserves_event_order_in_every_collector() {
+        // Each collector must see the exact recorded sequence — fan-out
+        // may not reorder, coalesce, or skip.
+        let a = Arc::new(JsonlTrace::new(64));
+        let b = Arc::new(JsonlTrace::new(64));
+        let log = Arc::new(EventLog::new());
+        let f = Fanout(vec![a.clone(), b.clone(), log.clone()]);
+        let events = vec![
+            SimEvent::RoundStart { round: 1 },
+            send(1, 0, 1, 8, 0),
+            send(1, 1, 0, 8, 1),
+            SimEvent::Crash { round: 1, node: 2 },
+            SimEvent::RoundEnd {
+                round: 1,
+                bits: 16,
+                messages: 2,
+                dropped: 0,
+                corrupted: 0,
+            },
+        ];
+        for ev in &events {
+            f.record(ev);
+        }
+        let want: Vec<String> = events.iter().map(JsonlTrace::render).collect();
+        let got_a: Vec<String> = a.to_jsonl().lines().map(str::to_string).collect();
+        let got_b: Vec<String> = b.to_jsonl().lines().map(str::to_string).collect();
+        assert_eq!(got_a, want, "first collector saw a different sequence");
+        assert_eq!(got_b, want, "second collector saw a different sequence");
+        assert_eq!(log.snapshot(), events, "event log saw a different sequence");
+    }
+
+    #[test]
     fn plain_jsonl_declines_spans() {
         assert!(!JsonlTrace::new(4).wants_compute_spans());
         assert!(JsonlTrace::new(4)
             .with_compute_spans()
             .wants_compute_spans());
+    }
+
+    #[test]
+    fn event_log_takes_and_resets() {
+        let log = EventLog::new();
+        log.record(&SimEvent::RoundStart { round: 1 });
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.take(), vec![SimEvent::RoundStart { round: 1 }]);
+        assert!(log.is_empty());
     }
 }

@@ -182,6 +182,19 @@ impl Metrics {
         m.inc("faults.crashed", faults.crashed.len() as u64);
         m.inc("transport.retransmissions", faults.retransmissions);
         m.inc("transport.given_up", faults.given_up);
+        // Per-round fault/transport series (present only when the run
+        // tracked them): these localize *when* a loss burst happened —
+        // under a Gilbert–Elliott bad state the per-round histograms go
+        // bimodal while the end-of-run tallies only show the average.
+        for &d in &faults.dropped_per_round {
+            m.observe("faults.dropped.per_round", d);
+        }
+        for &c in &faults.corrupted_per_round {
+            m.observe("faults.corrupted.per_round", c);
+        }
+        for &r in &faults.retransmissions_per_round {
+            m.observe("transport.retransmissions.per_round", r);
+        }
         m
     }
 

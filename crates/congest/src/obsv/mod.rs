@@ -16,6 +16,14 @@
 //!   byte-identical under the work-stealing pool at any thread count.
 //! * [`report`] — exporters: the schema-versioned run-report JSON, a
 //!   JSON-lines trace dump ([`JsonlTrace`]), and a human summary table.
+//! * [`analyze`] — consumers of a recorded event stream: the happens-before
+//!   DAG induced by the provenance on [`SimEvent::Send`], the weighted
+//!   critical path through it, per-edge congestion heatmaps, a trace
+//!   invariant checker, and a structural trace diff.
+//! * [`profile`] — the engine self-profiler: cheap wall-clock spans around
+//!   the engine's own stages (accounting, staging, delivery, node compute,
+//!   ARQ retransmit scans), off unless a [`profile::Profiler`] is
+//!   installed, exported as [`Metrics`] histograms or folded stacks.
 //!
 //! Determinism contract: every event the engines emit is recorded from
 //! sequential code in node order, so collectors observe an identical event
@@ -24,10 +32,16 @@
 //! when a collector opts in via [`Collector::wants_compute_spans`] and is
 //! therefore excluded from the deterministic run report by default.
 
+pub mod analyze;
 pub mod collect;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 
-pub use collect::{Collector, ComputeTimer, Fanout, JsonlTrace, SimEvent};
+pub use analyze::{
+    check, critical_path, diff, heatmap, CriticalPathSummary, PhasePath, SegmentPath,
+};
+pub use collect::{Collector, ComputeTimer, EventLog, Fanout, JsonlTrace, SimEvent};
 pub use metrics::{Histogram, MetricValue, Metrics, MetricsSnapshot};
+pub use profile::{Profiler, Section};
 pub use report::{PhaseStat, RunReport, RUN_REPORT_SCHEMA, RUN_REPORT_VERSION};

@@ -9,6 +9,7 @@
 //! cross-thread tests pin.
 
 use crate::faults::FaultReport;
+use crate::obsv::analyze::CriticalPathSummary;
 use crate::obsv::metrics::MetricsSnapshot;
 use crate::stats::RunStats;
 use std::fmt::Write as _;
@@ -16,7 +17,9 @@ use std::fmt::Write as _;
 /// Schema identifier embedded in every run-report JSON document.
 pub const RUN_REPORT_SCHEMA: &str = "congest.run_report";
 /// Version of the run-report schema. Bump when the JSON shape changes.
-pub const RUN_REPORT_VERSION: u32 = 1;
+/// v2: per-round fault/retransmission arrays in `faults`, optional
+/// `critical_path` block.
+pub const RUN_REPORT_VERSION: u32 = 2;
 
 /// Round/bit totals of one named phase of a multi-phase driver (e.g. the
 /// even-cycle detector's Phase I / Phase II).
@@ -56,6 +59,11 @@ pub struct FaultTally {
     pub retransmissions: u64,
     /// Transport frames given up on.
     pub given_up: u64,
+    /// Drops per round (empty when the run tracked none).
+    pub dropped_per_round: Vec<u64>,
+    /// Transport retransmissions per physical round (empty when the run
+    /// had no reliable transport).
+    pub retransmissions_per_round: Vec<u64>,
 }
 
 impl From<&FaultReport> for FaultTally {
@@ -67,6 +75,8 @@ impl From<&FaultReport> for FaultTally {
             crashed: f.crashed.len() as u64,
             retransmissions: f.retransmissions,
             given_up: f.given_up,
+            dropped_per_round: f.dropped_per_round.clone(),
+            retransmissions_per_round: f.retransmissions_per_round.clone(),
         }
     }
 }
@@ -92,6 +102,10 @@ pub struct RunReport {
     pub faults: FaultTally,
     /// Per-phase breakdown (empty for single-phase runs).
     pub phases: Vec<PhaseStat>,
+    /// Critical-path analysis of the run's trace, when one was recorded
+    /// (see [`crate::obsv::analyze`]; attach with
+    /// [`Self::with_critical_path`]).
+    pub critical_path: Option<CriticalPathSummary>,
     /// Full metrics snapshot.
     pub metrics: MetricsSnapshot,
 }
@@ -116,6 +130,7 @@ impl RunReport {
             per_round_bits: stats.per_round_bits.clone(),
             faults: FaultTally::from(faults),
             phases: Vec::new(),
+            critical_path: None,
             metrics,
         }
     }
@@ -123,6 +138,14 @@ impl RunReport {
     /// Attaches a per-phase breakdown.
     pub fn with_phases(mut self, phases: Vec<PhaseStat>) -> Self {
         self.phases = phases;
+        self
+    }
+
+    /// Attaches a critical-path analysis (computed by
+    /// [`crate::obsv::analyze::critical_path`] over the run's trace). The
+    /// summary is deterministic, so it is safe in golden reports.
+    pub fn with_critical_path(mut self, cp: CriticalPathSummary) -> Self {
+        self.critical_path = Some(cp);
         self
     }
 
@@ -145,10 +168,18 @@ impl RunReport {
         let series: Vec<String> = self.per_round_bits.iter().map(u64::to_string).collect();
         let _ = writeln!(out, r#"  "per_round_bits": [{}],"#, series.join(","));
         let f = &self.faults;
+        let join = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
         let _ = writeln!(
             out,
-            r#"  "faults": {{"delivered":{},"dropped":{},"corrupted":{},"crashed":{},"retransmissions":{},"given_up":{}}},"#,
-            f.delivered, f.dropped, f.corrupted, f.crashed, f.retransmissions, f.given_up
+            r#"  "faults": {{"delivered":{},"dropped":{},"corrupted":{},"crashed":{},"retransmissions":{},"given_up":{},"dropped_per_round":[{}],"retransmissions_per_round":[{}]}},"#,
+            f.delivered,
+            f.dropped,
+            f.corrupted,
+            f.crashed,
+            f.retransmissions,
+            f.given_up,
+            join(&f.dropped_per_round),
+            join(&f.retransmissions_per_round)
         );
         let phases: Vec<String> = self
             .phases
@@ -163,6 +194,9 @@ impl RunReport {
             })
             .collect();
         let _ = writeln!(out, r#"  "phases": [{}],"#, phases.join(","));
+        if let Some(cp) = &self.critical_path {
+            let _ = writeln!(out, r#"  "critical_path": {},"#, cp.to_json());
+        }
         let _ = writeln!(out, r#"  "metrics": {}"#, self.metrics.to_json());
         out.push_str("}\n");
         out
@@ -206,6 +240,14 @@ impl RunReport {
                 &format!("phase {}", p.name),
                 format!("{} rounds, {} bits", p.rounds, p.bits),
             );
+        }
+        if let Some(cp) = &self.critical_path {
+            for p in &cp.phases {
+                row(
+                    &format!("critical path {}", p.phase),
+                    format!("{} bits over {} messages", p.max_path_bits, p.max_path_len),
+                );
+            }
         }
         if let Some(h) = self.metrics.hist("compute.node_nanos") {
             row(
@@ -266,13 +308,44 @@ mod tests {
     fn json_is_schema_versioned_and_balanced() {
         let json = sample_report().to_json();
         assert!(json.contains(r#""schema": "congest.run_report""#), "{json}");
-        assert!(json.contains(r#""version": 1"#));
+        assert!(json.contains(&format!(r#""version": {RUN_REPORT_VERSION}"#)));
         assert!(json.contains(r#""per_round_bits": [64,32]"#));
         assert!(json.contains(r#""phases": [{"name":"phase1","rounds":2,"bits":96}]"#));
+        assert!(json.contains(r#""dropped_per_round":[]"#), "{json}");
         assert!(json.contains(r#""bits.total":96"#));
+        assert!(!json.contains("critical_path"), "absent unless attached");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn per_round_fault_arrays_and_critical_path_render() {
+        let g = generators::cycle(4);
+        let mut stats = RunStats::new(&g);
+        stats.rounds = 2;
+        let faults = FaultReport {
+            dropped: 3,
+            dropped_per_round: vec![2, 1],
+            retransmissions: 4,
+            retransmissions_per_round: vec![0, 4],
+            ..FaultReport::default()
+        };
+        let metrics = Metrics::from_run(&stats, &faults).snapshot();
+        let cp = crate::obsv::analyze::critical_path(&[]);
+        let report =
+            RunReport::from_stats("arq", &stats, &faults, true, metrics).with_critical_path(cp);
+        let json = report.to_json();
+        assert!(json.contains(r#""dropped_per_round":[2,1]"#), "{json}");
+        assert!(
+            json.contains(r#""retransmissions_per_round":[0,4]"#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#""critical_path": {"phases":[],"segments":[]}"#),
+            "{json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -29,8 +29,10 @@
 use crate::engine::{CongestError, Engine, RunOutcome};
 use crate::message::{BitSize, Payload};
 use crate::node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
+use crate::obsv::profile::{prof_record, prof_start, Profiler, Section};
 use rand_chacha::ChaCha8Rng;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Wire envelope of the reliable layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -171,7 +173,11 @@ pub struct Reliable<A: NodeAlgorithm> {
     /// Receiver state, per port: the bundle accepted for the current frame.
     in_got: Vec<Option<Vec<A::Msg>>>,
     retransmissions: u64,
+    /// Retransmissions by physical round (index `r - 1` for round `r`),
+    /// grown lazily — empty until the first retransmission.
+    retrans_per_round: Vec<u64>,
     given_up: u64,
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl<A: NodeAlgorithm> Reliable<A>
@@ -186,8 +192,17 @@ where
             out_pending: Vec::new(),
             in_got: Vec::new(),
             retransmissions: 0,
+            retrans_per_round: Vec::new(),
             given_up: 0,
+            profiler: None,
         }
+    }
+
+    /// Attaches the engine self-profiler so the retransmit scan is timed
+    /// under [`Section::ArqRetransmit`] (see [`crate::obsv::profile`]).
+    pub fn with_profiler(mut self, p: Arc<Profiler>) -> Self {
+        self.profiler = Some(p);
+        self
     }
 
     /// The wrapped algorithm.
@@ -203,6 +218,14 @@ where
     /// Data frames this node retransmitted.
     pub fn retransmissions(&self) -> u64 {
         self.retransmissions
+    }
+
+    /// Retransmissions by physical round: entry `r - 1` counts the data
+    /// frames this node resent in engine round `r`. The vector only
+    /// reaches up to the last round with a retransmission; later rounds
+    /// are implicitly zero.
+    pub fn retransmissions_per_round(&self) -> &[u64] {
+        &self.retrans_per_round
     }
 
     /// Frames never acknowledged by their frame boundary (delivery
@@ -323,6 +346,7 @@ where
 
         // 2. Retransmit timed-out frames (never in the last slot — those
         //    sends could not be acked in time anyway).
+        let t_arq = prof_start(self.profiler.as_deref());
         if slot < last_slot {
             for (p, pending) in self.out_pending.iter_mut().enumerate() {
                 if let Some(f) = pending {
@@ -350,10 +374,15 @@ where
                         f.last_sent = Some(slot);
                         f.retries_left -= 1;
                         self.retransmissions += 1;
+                        if self.retrans_per_round.len() < ctx.round {
+                            self.retrans_per_round.resize(ctx.round, 0);
+                        }
+                        self.retrans_per_round[ctx.round - 1] += 1;
                     }
                 }
             }
         }
+        prof_record(self.profiler.as_deref(), Section::ArqRetransmit, t_arq);
 
         // 3. Frame boundary: close out the transport state and run one
         //    virtual round of the inner algorithm.
@@ -427,9 +456,28 @@ where
     A::Msg: Hash,
     F: Fn(usize) -> A + Sync,
 {
-    let (mut outcome, nodes) = engine.run_nodes_impl(|v| Reliable::new(make(v), cfg))?;
+    let prof = engine.profiler_handle().cloned();
+    let (mut outcome, nodes) = engine.run_nodes_impl(|v| {
+        let node = Reliable::new(make(v), cfg);
+        match &prof {
+            Some(p) => node.with_profiler(Arc::clone(p)),
+            None => node,
+        }
+    })?;
     outcome.faults.retransmissions = nodes.iter().map(Reliable::retransmissions).sum();
     outcome.faults.given_up = nodes.iter().map(Reliable::given_up).sum();
+    // Fold the per-node, per-physical-round retransmission counts into one
+    // run-wide series aligned with `dropped_per_round` (padded with zeros
+    // out to the executed round count).
+    let mut per_round = vec![0u64; outcome.stats.rounds];
+    for nd in &nodes {
+        for (i, &c) in nd.retransmissions_per_round().iter().enumerate() {
+            if let Some(slot) = per_round.get_mut(i) {
+                *slot += c;
+            }
+        }
+    }
+    outcome.faults.retransmissions_per_round = per_round;
     if let Some(c) = engine.collector_handle() {
         c.record(&crate::obsv::SimEvent::TransportSummary {
             retransmissions: outcome.faults.retransmissions,
@@ -666,6 +714,13 @@ mod tests {
         );
         assert!(rel.faults.retransmissions > 0);
         assert!(rel.completed, "all nodes should halt once the token lands");
+        // The per-round series is aligned with the executed rounds and sums
+        // back to the run total.
+        assert_eq!(rel.faults.retransmissions_per_round.len(), rel.stats.rounds);
+        assert_eq!(
+            rel.faults.retransmissions_per_round.iter().sum::<u64>(),
+            rel.faults.retransmissions
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::faults::{FaultReport, FaultSpec};
 use crate::node::{Decision, NodeAlgorithm};
 use crate::obsv::collect::{Collector, ComputeTimer, Fanout};
 use crate::obsv::metrics::{Metrics, MetricsSnapshot};
+use crate::obsv::profile::Profiler;
 use crate::obsv::report::RunReport;
 use crate::reliable::{run_reliable_impl, ReliableConfig};
 use crate::stats::RunStats;
@@ -141,6 +142,7 @@ pub struct Simulation<'g> {
     reliable: Option<ReliableConfig>,
     collector: Option<Arc<dyn Collector>>,
     timed: bool,
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl<'g> Simulation<'g> {
@@ -161,6 +163,7 @@ impl<'g> Simulation<'g> {
             reliable: None,
             collector: None,
             timed: false,
+            profiler: None,
         }
     }
 
@@ -234,6 +237,18 @@ impl<'g> Simulation<'g> {
         self
     }
 
+    /// Installs the engine self-profiler (see [`crate::obsv::profile`]):
+    /// the run's accounting / staging / delivery / compute / ARQ sections
+    /// are timed into the shared [`Profiler`], and its section histograms
+    /// land in [`Outcome::metrics`] as `profile.*_nanos`. Like
+    /// [`Self::timed`], the values are wall-clock and therefore
+    /// non-deterministic; the engines pay one branch per section per round
+    /// when no profiler is installed.
+    pub fn profiler(mut self, p: Arc<Profiler>) -> Self {
+        self.profiler = Some(p);
+        self
+    }
+
     /// Seeds all node RNGs (and the fault models).
     pub fn seed(mut self, s: u64) -> Self {
         self.seed = s;
@@ -285,13 +300,19 @@ impl<'g> Simulation<'g> {
         if let Some(c) = self.combined_collector(timer) {
             e = e.collector(c);
         }
+        if let Some(p) = &self.profiler {
+            e = e.profiler(Arc::clone(p));
+        }
         e
     }
 
-    fn finish(run: RunOutcome, timer: Option<Arc<ComputeTimer>>) -> Outcome {
+    fn finish(&self, run: RunOutcome, timer: Option<Arc<ComputeTimer>>) -> Outcome {
         let mut metrics = Metrics::from_run(&run.stats, &run.faults);
         if let Some(t) = timer {
             metrics.install_hist("compute.node_nanos", t.take());
+        }
+        if let Some(p) = &self.profiler {
+            p.install_into(&mut metrics);
         }
         Outcome::from_run(run, metrics.snapshot())
     }
@@ -335,7 +356,7 @@ impl<'g> Simulation<'g> {
             }
             None => engine.run_nodes_impl(make)?,
         };
-        Ok((Self::finish(run, timer), nodes))
+        Ok((self.finish(run, timer), nodes))
     }
 
     /// Runs a [`CliqueAlgorithm`] on the congested-clique engine, with the
@@ -389,6 +410,9 @@ impl<'g> Simulation<'g> {
         if let Some(c) = self.combined_collector(timer.as_ref()) {
             e = e.collector(c);
         }
+        if let Some(p) = &self.profiler {
+            e = e.profiler(Arc::clone(p));
+        }
         let (clique, stats) = e.run_impl(make)?;
         // No fault layer on the clique: everything sent was delivered.
         let faults = FaultReport {
@@ -404,7 +428,7 @@ impl<'g> Simulation<'g> {
         Ok(CliqueRun {
             outputs: clique.outputs,
             stats: clique.stats,
-            outcome: Self::finish(run, timer),
+            outcome: self.finish(run, timer),
         })
     }
 }
@@ -495,6 +519,53 @@ mod tests {
             out.metrics.counter("transport.retransmissions"),
             Some(out.faults.retransmissions)
         );
+    }
+
+    #[test]
+    fn profiled_runs_export_section_histograms() {
+        let g = graphlib::generators::cycle(4);
+        let prof = Arc::new(Profiler::new());
+        let out = Simulation::on(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .profiler(prof.clone())
+            .run(|_| beacon())
+            .unwrap();
+        // Every engine section ran at least once (ARQ was not involved).
+        for key in [
+            "profile.account_nanos",
+            "profile.stage_nanos",
+            "profile.deliver_nanos",
+            "profile.compute_nanos",
+        ] {
+            assert!(out.metrics.hist(key).is_some(), "missing {key}");
+        }
+        assert!(out.metrics.hist("profile.arq_retransmit_nanos").is_none());
+        assert!(!prof.folded_stacks("congest").is_empty());
+        // Unprofiled runs carry no profile.* entries.
+        let plain = Simulation::on(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .run(|_| beacon())
+            .unwrap();
+        assert!(plain.metrics.hist("profile.compute_nanos").is_none());
+    }
+
+    #[test]
+    fn profiled_reliable_run_times_the_arq_scan() {
+        let g = graphlib::generators::path(3);
+        let cfg = ReliableConfig::default();
+        let prof = Arc::new(Profiler::new());
+        let out = Simulation::on(&g)
+            .bandwidth(Bandwidth::Bits(cfg.required_bandwidth(64)))
+            .max_rounds(cfg.physical_rounds(4))
+            .reliable_config(cfg)
+            .profiler(prof)
+            .run(|_| beacon())
+            .unwrap();
+        let h = out
+            .metrics
+            .hist("profile.arq_retransmit_nanos")
+            .expect("ARQ scan must be timed under the reliable route");
+        assert!(h.count() > 0);
     }
 
     #[test]

@@ -134,6 +134,7 @@ impl crate::obsv::Collector for TraceBuffer {
                 from,
                 port,
                 bits,
+                ..
             } => TraceEvent {
                 round,
                 from,
@@ -146,6 +147,7 @@ impl crate::obsv::Collector for TraceBuffer {
                 from,
                 port,
                 bits,
+                ..
             } => TraceEvent {
                 round,
                 from,
@@ -158,6 +160,7 @@ impl crate::obsv::Collector for TraceBuffer {
                 from,
                 port,
                 bits,
+                ..
             } => TraceEvent {
                 round,
                 from,

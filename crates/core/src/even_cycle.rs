@@ -25,9 +25,9 @@
 //! expose the repetition count instead.
 
 use congest::{
-    bits_for_domain, Bandwidth, BitSize, Decision, FaultReport, FaultSpec, Inbox, Metrics,
-    NodeAlgorithm, NodeContext, Outbox, Outgoing, PhaseStat, ReliableConfig, RunReport, RunStats,
-    SimError, Simulation,
+    bits_for_domain, Bandwidth, BitSize, Collector, Decision, FaultReport, FaultSpec, Inbox,
+    Metrics, NodeAlgorithm, NodeContext, Outbox, Outgoing, PhaseStat, Profiler, ReliableConfig,
+    RunReport, RunStats, SimError, SimEvent, Simulation,
 };
 use graphlib::decomposition::layer_budget;
 use graphlib::turan::even_cycle_edge_bound;
@@ -35,6 +35,7 @@ use graphlib::Graph;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Parameters of the even-cycle detector.
 #[derive(Debug, Clone, Copy)]
@@ -719,8 +720,76 @@ impl EvenCycleReport {
     }
 }
 
+/// Observation hooks for an instrumented detector run.
+///
+/// An installed [`Collector`] receives the full structured event stream of
+/// every phase simulation, *prefixed* with a [`SimEvent::Phase`] marker
+/// (`"phase1"` / `"phase2"` plus the repetition index) before each engine
+/// run, so the recorded trace segments carry phase attribution — this is
+/// what lets [`congest::obsv::analyze::critical_path`] report the critical
+/// path per phase. An installed [`Profiler`] times the engine's internal
+/// stages across every phase run.
+#[derive(Clone, Default)]
+pub struct EvenCycleObserver {
+    /// Structured-event sink shared by every phase simulation.
+    pub collector: Option<Arc<dyn Collector>>,
+    /// Engine self-profiler shared by every phase simulation.
+    pub profiler: Option<Arc<Profiler>>,
+}
+
+impl EvenCycleObserver {
+    /// An observer recording the event stream into `collector`.
+    pub fn collecting<C: Collector + 'static>(collector: Arc<C>) -> Self {
+        EvenCycleObserver {
+            collector: Some(collector),
+            profiler: None,
+        }
+    }
+
+    /// Adds an engine self-profiler.
+    pub fn with_profiler(mut self, p: Arc<Profiler>) -> Self {
+        self.profiler = Some(p);
+        self
+    }
+
+    fn mark_phase(&self, name: &str, repetition: usize) {
+        if let Some(c) = &self.collector {
+            c.record(&SimEvent::Phase {
+                name: name.into(),
+                repetition,
+            });
+        }
+    }
+
+    fn install<'g>(&self, mut sim: Simulation<'g>) -> Simulation<'g> {
+        if let Some(c) = &self.collector {
+            sim = sim.collector_arc(Arc::clone(c));
+        }
+        if let Some(p) = &self.profiler {
+            sim = sim.profiler(Arc::clone(p));
+        }
+        sim
+    }
+}
+
 /// Runs the Theorem 1.1 detector on `g`.
 pub fn detect_even_cycle(g: &Graph, cfg: EvenCycleConfig) -> Result<EvenCycleReport, SimError> {
+    detect_even_cycle_observed(g, cfg, &EvenCycleObserver::default())
+}
+
+/// Runs the Theorem 1.1 detector on `g` with observation hooks installed
+/// on every phase simulation.
+///
+/// Identical to [`detect_even_cycle`] (same seeds, same schedule, same
+/// decisions) except that the observer's collector — if any — sees a
+/// `Phase` marker followed by the full event stream of each phase run,
+/// and the observer's profiler — if any — accumulates engine-stage
+/// timings across the whole amplification loop.
+pub fn detect_even_cycle_observed(
+    g: &Graph,
+    cfg: EvenCycleConfig,
+    obs: &EvenCycleObserver,
+) -> Result<EvenCycleReport, SimError> {
     assert!(cfg.k >= 2);
     assert!(
         cfg.repetitions >= 1,
@@ -736,7 +805,9 @@ pub fn detect_even_cycle(g: &Graph, cfg: EvenCycleConfig) -> Result<EvenCycleRep
     for rep in 0..cfg.repetitions {
         reps += 1;
         let s1 = sched.clone();
-        let out1 = Simulation::on(g)
+        obs.mark_phase("phase1", rep);
+        let out1 = obs
+            .install(Simulation::on(g))
             .bandwidth(bandwidth)
             .seed(cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(1))
             .max_rounds(sched.r1_rounds + 2)
@@ -752,7 +823,9 @@ pub fn detect_even_cycle(g: &Graph, cfg: EvenCycleConfig) -> Result<EvenCycleRep
         }
 
         let s2 = sched.clone();
-        let out2 = Simulation::on(g)
+        obs.mark_phase("phase2", rep);
+        let out2 = obs
+            .install(Simulation::on(g))
             .bandwidth(bandwidth)
             .seed(cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(2))
             .max_rounds(sched.r2_rounds + 2)
@@ -859,6 +932,7 @@ impl FaultyEvenCycleReport {
 }
 
 /// One phase under a fault spec, bare or behind the reliable transport.
+#[allow(clippy::too_many_arguments)]
 fn run_phase_faulty<A, F>(
     g: &Graph,
     inner_bandwidth: usize,
@@ -866,6 +940,7 @@ fn run_phase_faulty<A, F>(
     inner_rounds: usize,
     faults: &FaultSpec,
     transport: Option<ReliableConfig>,
+    obs: &EvenCycleObserver,
     make: F,
 ) -> Result<congest::Outcome, SimError>
 where
@@ -874,13 +949,15 @@ where
     F: Fn(usize) -> A + Sync,
 {
     match transport {
-        None => Simulation::on(g)
+        None => obs
+            .install(Simulation::on(g))
             .bandwidth(Bandwidth::Bits(inner_bandwidth))
             .seed(seed)
             .max_rounds(inner_rounds)
             .faults(faults.clone())
             .run(make),
-        Some(rcfg) => Simulation::on(g)
+        Some(rcfg) => obs
+            .install(Simulation::on(g))
             .bandwidth(Bandwidth::Bits(rcfg.required_bandwidth(inner_bandwidth)))
             .seed(seed)
             .max_rounds(rcfg.physical_rounds(inner_rounds))
@@ -910,6 +987,18 @@ pub fn detect_even_cycle_faulty(
     faults: &FaultSpec,
     transport: Option<ReliableConfig>,
 ) -> Result<FaultyEvenCycleReport, SimError> {
+    detect_even_cycle_faulty_observed(g, cfg, faults, transport, &EvenCycleObserver::default())
+}
+
+/// [`detect_even_cycle_faulty`] with observation hooks installed on every
+/// phase simulation — same contract as [`detect_even_cycle_observed`].
+pub fn detect_even_cycle_faulty_observed(
+    g: &Graph,
+    cfg: EvenCycleConfig,
+    faults: &FaultSpec,
+    transport: Option<ReliableConfig>,
+    obs: &EvenCycleObserver,
+) -> Result<FaultyEvenCycleReport, SimError> {
     assert!(cfg.k >= 2);
     assert!(
         cfg.repetitions >= 1,
@@ -926,6 +1015,7 @@ pub fn detect_even_cycle_faulty(
     for rep in 0..cfg.repetitions {
         reps += 1;
         let s1 = sched.clone();
+        obs.mark_phase("phase1", rep);
         let out1 = run_phase_faulty(
             g,
             inner_bandwidth,
@@ -933,6 +1023,7 @@ pub fn detect_even_cycle_faulty(
             sched.r1_rounds + 2,
             faults,
             transport,
+            obs,
             move |_| ColorBfsNode::new(s1.clone()),
         )?;
         tally.phase1(&out1.stats);
@@ -948,6 +1039,7 @@ pub fn detect_even_cycle_faulty(
         }
 
         let s2 = sched.clone();
+        obs.mark_phase("phase2", rep);
         let out2 = run_phase_faulty(
             g,
             inner_bandwidth,
@@ -955,6 +1047,7 @@ pub fn detect_even_cycle_faulty(
             sched.r2_rounds + 2,
             faults,
             transport,
+            obs,
             move |_| LayerPrefixNode::new(s2.clone()),
         )?;
         tally.phase2(&out2.stats);
@@ -1175,6 +1268,46 @@ mod tests {
     fn amplification_reps_values() {
         assert_eq!(amplification_reps(2), 4 * 256);
         assert!(amplification_reps(3) > amplification_reps(2));
+    }
+
+    #[test]
+    fn observed_run_labels_phases_and_yields_a_critical_path() {
+        let mut rng = chacha(9);
+        let base = generators::random_tree(40, &mut rng);
+        let (g, _) = generators::plant_cycle(&base, 4, &mut rng);
+        let log = Arc::new(congest::EventLog::new());
+        let obs = EvenCycleObserver::collecting(Arc::clone(&log));
+        let cfg = EvenCycleConfig::new(2).repetitions(4000).seed(13);
+        let rep = detect_even_cycle_observed(&g, cfg, &obs).unwrap();
+        assert!(rep.detected);
+        // Same seeds, same outcome as the unobserved driver.
+        let plain = detect_even_cycle(&g, cfg).unwrap();
+        assert_eq!(plain.repetitions_run, rep.repetitions_run);
+        assert_eq!(plain.total_bits, rep.total_bits);
+
+        let events = log.take();
+        let labels: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::Phase { name, .. } => Some(&**name),
+                _ => None,
+            })
+            .collect();
+        assert!(labels.contains(&"phase1"));
+        assert!(labels.contains(&"phase2"));
+
+        let viol = congest::obsv::check(&events);
+        assert!(viol.is_empty(), "trace invariants violated: {viol:?}");
+        let cp = congest::obsv::critical_path(&events);
+        assert!(!cp.segments.is_empty());
+        // No node reaches the k=2 degree threshold (n), so Phase I is
+        // silent here; Phase II does all the work and must show a
+        // non-trivial dependent-message chain.
+        assert!(cp.phases.iter().any(|p| p.phase == "phase1"));
+        assert!(cp
+            .phases
+            .iter()
+            .any(|p| p.phase == "phase2" && p.max_path_bits > 0 && p.max_path_len > 1));
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub use clique_detect::{
 };
 pub use detector::{DetectionOutcome, Detector};
 pub use even_cycle::{
-    detect_even_cycle, detect_even_cycle_faulty, EvenCycleConfig, EvenCycleReport,
+    detect_even_cycle, detect_even_cycle_faulty, detect_even_cycle_faulty_observed,
+    detect_even_cycle_observed, EvenCycleConfig, EvenCycleObserver, EvenCycleReport,
     FaultyEvenCycleReport, Schedule,
 };
 pub use generic::{detect_gather, detect_local, GenericReport};

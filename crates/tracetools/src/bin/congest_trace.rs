@@ -1,0 +1,139 @@
+//! `congest-trace` — the command-line front end of the trace toolkit.
+//!
+//! Usage:
+//!   congest-trace check <trace.jsonl | run_report.json>
+//!       Verify trace invariants (bandwidth bound respected, fault
+//!       accounting consistent, rounds monotone, causal deps resolvable)
+//!       or, for a `.json` run report, its structural invariants
+//!       (schema/version, tallies vs per-round series). Exit 1 on any
+//!       violation.
+//!   congest-trace critical-path <trace.jsonl>
+//!   congest-trace critical-path --canonical
+//!       Print the weighted critical path — the heaviest chain of causally
+//!       dependent messages — per trace segment and per phase, as one
+//!       compact JSON line followed by a human table. `--canonical` runs
+//!       the canonical planted-C4 even-cycle scenario in-process and
+//!       analyzes its trace (deterministic at any thread count — the
+//!       `scripts/check.sh` determinism gate diffs this output across
+//!       `RAYON_NUM_THREADS` values).
+//!   congest-trace heatmap <trace.jsonl>
+//!       Per-round, per-sender congestion heatmap with bandwidth
+//!       utilization bars and the hottest sender/port pairs.
+//!   congest-trace diff <a.jsonl> <b.jsonl>
+//!       Structural diff of two traces: first diverging event, length and
+//!       total mismatches. Exit 1 when the traces differ.
+//!   congest-trace profile
+//!       Run the canonical scenarios with the engine self-profiler
+//!       installed; folded stacks on stdout (flamegraph input), summary
+//!       table on stderr.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: congest-trace <command> [args]\n\
+  check <trace.jsonl | run_report.json>\n\
+  critical-path <trace.jsonl | --canonical>\n\
+  heatmap <trace.jsonl>\n\
+  diff <a.jsonl> <b.jsonl>\n\
+  profile\n";
+
+/// Write to stdout, exiting with the conventional SIGPIPE status (141)
+/// when the reader has gone away (`congest-trace ... | head` must not
+/// panic). Rust maps SIGPIPE to an `ErrorKind::BrokenPipe` write error
+/// instead of killing the process, so the exit has to be explicit.
+fn out(text: std::fmt::Arguments<'_>) {
+    if let Err(e) = std::io::stdout().write_fmt(text) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(141);
+        }
+        eprintln!("error writing to stdout: {e}");
+        std::process::exit(1);
+    }
+}
+
+macro_rules! outln {
+    ($($arg:tt)*) => { out(format_args!("{}\n", format_args!($($arg)*))) };
+}
+
+macro_rules! outp {
+    ($($arg:tt)*) => { out(format_args!($($arg)*)) };
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load_events(path: &str) -> Result<Vec<congest::SimEvent>, String> {
+    let dump = read(path)?;
+    tracetools::parse_jsonl(&dump).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args {
+        [cmd, path] if cmd == "check" => {
+            let violations = if path.ends_with(".json") {
+                tracetools::check_run_report(&read(path)?)
+            } else {
+                congest::obsv::check(&load_events(path)?)
+            };
+            if violations.is_empty() {
+                outln!("{path}: OK");
+                Ok(ExitCode::SUCCESS)
+            } else {
+                for v in &violations {
+                    outln!("{path}: {v}");
+                }
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        [cmd, source] if cmd == "critical-path" => {
+            let events = if source == "--canonical" {
+                bench::perf::canonical_fault_free_traced().1
+            } else {
+                load_events(source)?
+            };
+            let cp = congest::obsv::critical_path(&events);
+            outln!("{}", cp.to_json());
+            outp!("{}", cp.render());
+            Ok(ExitCode::SUCCESS)
+        }
+        [cmd, path] if cmd == "heatmap" => {
+            outp!("{}", congest::obsv::heatmap(&load_events(path)?));
+            Ok(ExitCode::SUCCESS)
+        }
+        [cmd, a, b] if cmd == "diff" => {
+            let lines = congest::obsv::diff(&load_events(a)?, &load_events(b)?);
+            if lines.is_empty() {
+                outln!("traces identical ({a} vs {b})");
+                Ok(ExitCode::SUCCESS)
+            } else {
+                for l in &lines {
+                    outln!("{l}");
+                }
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        [cmd] if cmd == "profile" => {
+            let (folded, table) = bench::perf::profile_canonical();
+            eprintln!("==> engine self-profile over the canonical scenarios");
+            eprint!("{table}");
+            outp!("{folded}");
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprint!("{msg}");
+            if !msg.ends_with('\n') {
+                eprintln!();
+            }
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Offline trace tooling for the `congest` simulators.
+//!
+//! The simulators export their structured event stream as JSON lines
+//! (one [`SimEvent`] per line, rendered by
+//! [`JsonlTrace::render`](congest::JsonlTrace::render)). This crate is the
+//! other direction: [`parse_jsonl`] reads such a dump back into event
+//! values so the [`congest::obsv::analyze`] consumers — invariant checker,
+//! critical-path extractor, heatmap, diff — run against traces recorded in
+//! a different process (or a different machine). The `congest-trace`
+//! binary wraps the whole round trip as a command-line toolkit.
+//!
+//! The parser is hand-rolled against the exact renderer format (the repo
+//! vendors no JSON library by design): flat objects, known keys, the only
+//! nested value being the `deps` id array on `send` lines. Unknown `ev`
+//! tags are an error — a trace from a newer schema should fail loudly, not
+//! be silently half-read.
+
+#![warn(missing_docs)]
+
+use congest::SimEvent;
+use std::sync::Arc;
+
+/// A parse failure: line number (1-based) plus a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Extracts the raw text of a scalar field (`"key":value`) from a flat
+/// JSON object line. Stops at `,`, `}` or `]`; quotes are stripped.
+fn raw_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = obj[start..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(&stripped[..end])
+    } else {
+        let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn num<T: std::str::FromStr>(obj: &str, key: &str, line: usize) -> Result<T, ParseError> {
+    raw_field(obj, key)
+        .ok_or_else(|| err(line, format!("missing field \"{key}\"")))?
+        .parse()
+        .map_err(|_| err(line, format!("field \"{key}\" is not a number")))
+}
+
+/// A port field: `-1` encodes the broadcast marker `usize::MAX`.
+fn port(obj: &str, line: usize) -> Result<usize, ParseError> {
+    let raw = raw_field(obj, "port").ok_or_else(|| err(line, "missing field \"port\""))?;
+    if raw == "-1" {
+        Ok(usize::MAX)
+    } else {
+        raw.parse()
+            .map_err(|_| err(line, "field \"port\" is not a number"))
+    }
+}
+
+/// The `deps` id array of a `send` line.
+fn deps(obj: &str, line: usize) -> Result<Arc<[u64]>, ParseError> {
+    let pat = "\"deps\":[";
+    let start = obj
+        .find(pat)
+        .ok_or_else(|| err(line, "missing field \"deps\""))?
+        + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(']')
+        .ok_or_else(|| err(line, "unterminated \"deps\" array"))?;
+    let body = &rest[..end];
+    if body.trim().is_empty() {
+        return Ok(Arc::from([]));
+    }
+    let ids: Result<Vec<u64>, _> = body.split(',').map(|s| s.trim().parse()).collect();
+    ids.map(Arc::from)
+        .map_err(|_| err(line, "non-numeric id in \"deps\""))
+}
+
+fn delivery(
+    obj: &str,
+    line: usize,
+) -> Result<(usize, usize, usize, usize, usize, u64), ParseError> {
+    Ok((
+        num(obj, "round", line)?,
+        num(obj, "from", line)?,
+        num(obj, "to", line)?,
+        port(obj, line)?,
+        num(obj, "bits", line)?,
+        num(obj, "msg_id", line)?,
+    ))
+}
+
+/// Parses one JSONL line back into the event it was rendered from.
+pub fn parse_line(obj: &str, line: usize) -> Result<SimEvent, ParseError> {
+    let ev = raw_field(obj, "ev").ok_or_else(|| err(line, "missing field \"ev\""))?;
+    match ev {
+        "meta" => Ok(SimEvent::Meta {
+            n: num(obj, "n", line)?,
+            bandwidth_bits: num(obj, "bandwidth", line)?,
+            seed: num(obj, "seed", line)?,
+        }),
+        "phase" => Ok(SimEvent::Phase {
+            name: raw_field(obj, "name")
+                .ok_or_else(|| err(line, "missing field \"name\""))?
+                .into(),
+            repetition: num(obj, "repetition", line)?,
+        }),
+        "round_start" => Ok(SimEvent::RoundStart {
+            round: num(obj, "round", line)?,
+        }),
+        "round_end" => Ok(SimEvent::RoundEnd {
+            round: num(obj, "round", line)?,
+            bits: num(obj, "bits", line)?,
+            messages: num(obj, "messages", line)?,
+            dropped: num(obj, "dropped", line)?,
+            corrupted: num(obj, "corrupted", line)?,
+        }),
+        "send" => Ok(SimEvent::Send {
+            round: num(obj, "round", line)?,
+            from: num(obj, "from", line)?,
+            port: port(obj, line)?,
+            bits: num(obj, "bits", line)?,
+            msg_id: num(obj, "msg_id", line)?,
+            deps: deps(obj, line)?,
+        }),
+        "deliver" => {
+            let (round, from, to, port, bits, msg_id) = delivery(obj, line)?;
+            Ok(SimEvent::Deliver {
+                round,
+                from,
+                to,
+                port,
+                bits,
+                msg_id,
+            })
+        }
+        "drop" => {
+            let (round, from, to, port, bits, msg_id) = delivery(obj, line)?;
+            Ok(SimEvent::Drop {
+                round,
+                from,
+                to,
+                port,
+                bits,
+                msg_id,
+            })
+        }
+        "corrupt" => {
+            let (round, from, to, port, bits, msg_id) = delivery(obj, line)?;
+            Ok(SimEvent::Corrupt {
+                round,
+                from,
+                to,
+                port,
+                bits,
+                msg_id,
+            })
+        }
+        "crash" => Ok(SimEvent::Crash {
+            round: num(obj, "round", line)?,
+            node: num(obj, "node", line)?,
+        }),
+        "compute" => Ok(SimEvent::NodeCompute {
+            round: num(obj, "round", line)?,
+            node: num(obj, "node", line)?,
+            nanos: num(obj, "nanos", line)?,
+        }),
+        "transport" => Ok(SimEvent::TransportSummary {
+            retransmissions: num(obj, "retransmissions", line)?,
+            given_up: num(obj, "given_up", line)?,
+        }),
+        other => Err(err(line, format!("unknown event kind \"{other}\""))),
+    }
+}
+
+/// Parses a whole JSONL dump (empty lines skipped) back into the event
+/// stream it was rendered from. The round trip through
+/// [`JsonlTrace::render`](congest::JsonlTrace::render) is exact.
+pub fn parse_jsonl(dump: &str) -> Result<Vec<SimEvent>, ParseError> {
+    dump.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_line(l.trim(), i + 1))
+        .collect()
+}
+
+/// Renders an event stream as a JSONL dump (the inverse of
+/// [`parse_jsonl`]; trailing newline included when non-empty).
+pub fn render_jsonl(events: &[SimEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&congest::JsonlTrace::render(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Extracts a `"key": [..]` numeric array from a run-report document.
+/// Returns `None` when the key is absent.
+fn u64_array(doc: &str, key: &str) -> Option<Vec<u64>> {
+    let pat = format!("\"{key}\":");
+    let start = doc.find(&pat)? + pat.len();
+    let rest = doc[start..].trim_start().strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let body = rest[..end].trim();
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|s| s.trim().parse().ok()).collect()
+}
+
+/// Structural invariant checks for a schema-versioned run-report JSON
+/// document (`congest.run_report`). Returns human-readable violations;
+/// empty means the document is internally consistent:
+///
+/// * schema tag and version are present, and the version is one this
+///   toolkit understands;
+/// * braces and brackets balance (cheap well-formedness);
+/// * the scalar fault tallies match their per-round series (`dropped` ==
+///   sum of `dropped_per_round`, `retransmissions` == sum of
+///   `retransmissions_per_round`) when the series are present;
+/// * the `per_round_bits` series has one entry per executed round.
+pub fn check_run_report(doc: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    match raw_field(doc, "schema") {
+        None => out.push("missing \"schema\" field".into()),
+        Some(s) if s != congest::RUN_REPORT_SCHEMA => {
+            out.push(format!(
+                "schema \"{s}\" is not \"{}\"",
+                congest::RUN_REPORT_SCHEMA
+            ));
+        }
+        Some(_) => {}
+    }
+    match raw_field(doc, "version").and_then(|v| v.parse::<u32>().ok()) {
+        None => out.push("missing or non-numeric \"version\" field".into()),
+        Some(v) if v == 0 || v > congest::RUN_REPORT_VERSION => out.push(format!(
+            "version {v} outside the supported range 1..={}",
+            congest::RUN_REPORT_VERSION
+        )),
+        Some(_) => {}
+    }
+    if doc.matches('{').count() != doc.matches('}').count()
+        || doc.matches('[').count() != doc.matches(']').count()
+    {
+        out.push("unbalanced braces or brackets".into());
+    }
+    let scalar = |key: &str| raw_field(doc, key).and_then(|v| v.parse::<u64>().ok());
+    for (total_key, series_key) in [
+        ("dropped", "dropped_per_round"),
+        ("retransmissions", "retransmissions_per_round"),
+    ] {
+        if let (Some(total), Some(series)) = (scalar(total_key), u64_array(doc, series_key)) {
+            let sum: u64 = series.iter().sum();
+            if !series.is_empty() && sum != total {
+                out.push(format!(
+                    "\"{total_key}\" is {total} but \"{series_key}\" sums to {sum}"
+                ));
+            }
+        }
+    }
+    if let (Some(rounds), Some(series)) = (scalar("rounds"), u64_array(doc, "per_round_bits")) {
+        if series.len() as u64 != rounds {
+            out.push(format!(
+                "\"per_round_bits\" has {} entries but \"rounds\" is {rounds}",
+                series.len()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> Vec<SimEvent> {
+        vec![
+            SimEvent::Meta {
+                n: 9,
+                bandwidth_bits: 32,
+                seed: 7,
+            },
+            SimEvent::Phase {
+                name: "phase1".into(),
+                repetition: 3,
+            },
+            SimEvent::RoundStart { round: 1 },
+            SimEvent::Send {
+                round: 1,
+                from: 0,
+                port: usize::MAX,
+                bits: 16,
+                msg_id: 0,
+                deps: Arc::from([]),
+            },
+            SimEvent::Send {
+                round: 2,
+                from: 1,
+                port: 0,
+                bits: 8,
+                msg_id: 1,
+                deps: Arc::from([0u64, 5]),
+            },
+            SimEvent::Deliver {
+                round: 1,
+                from: 0,
+                to: 1,
+                port: 0,
+                bits: 16,
+                msg_id: 0,
+            },
+            SimEvent::Drop {
+                round: 1,
+                from: 2,
+                to: 3,
+                port: 1,
+                bits: 4,
+                msg_id: 2,
+            },
+            SimEvent::Corrupt {
+                round: 1,
+                from: 3,
+                to: 2,
+                port: 0,
+                bits: 4,
+                msg_id: 3,
+            },
+            SimEvent::Crash { round: 2, node: 5 },
+            SimEvent::NodeCompute {
+                round: 2,
+                node: 1,
+                nanos: 12345,
+            },
+            SimEvent::RoundEnd {
+                round: 2,
+                bits: 28,
+                messages: 3,
+                dropped: 1,
+                corrupted: 1,
+            },
+            SimEvent::TransportSummary {
+                retransmissions: 4,
+                given_up: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let events = all_kinds();
+        let dump = render_jsonl(&events);
+        let back = parse_jsonl(&dump).expect("round trip must parse");
+        assert_eq!(back, events);
+        // And re-rendering is byte-identical.
+        assert_eq!(render_jsonl(&back), dump);
+    }
+
+    #[test]
+    fn broadcast_port_round_trips_through_minus_one() {
+        let ev = SimEvent::Send {
+            round: 1,
+            from: 0,
+            port: usize::MAX,
+            bits: 8,
+            msg_id: 0,
+            deps: Arc::from([]),
+        };
+        let line = congest::JsonlTrace::render(&ev);
+        assert!(line.contains(r#""port":-1"#));
+        assert_eq!(parse_line(&line, 1).unwrap(), ev);
+    }
+
+    #[test]
+    fn empty_and_blank_lines_are_skipped() {
+        let dump = "\n{\"ev\":\"round_start\",\"round\":1}\n\n";
+        assert_eq!(
+            parse_jsonl(dump).unwrap(),
+            vec![SimEvent::RoundStart { round: 1 }]
+        );
+        assert_eq!(parse_jsonl("").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn unknown_event_kind_is_a_loud_error() {
+        let e = parse_jsonl("{\"ev\":\"warp\",\"round\":1}").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("warp"), "{e}");
+    }
+
+    fn report_doc(dropped: u64, version: u32) -> String {
+        format!(
+            "{{\n  \"schema\": \"congest.run_report\",\n  \"version\": {version},\n  \
+             \"rounds\": 2,\n  \"per_round_bits\": [8,8],\n  \"faults\": \
+             {{\"delivered\":2,\"dropped\":{dropped},\"corrupted\":0,\"crashed\":0,\
+             \"retransmissions\":3,\"given_up\":0,\"dropped_per_round\":[1,0],\
+             \"retransmissions_per_round\":[2,1]}}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn run_report_checker_accepts_consistent_documents() {
+        assert_eq!(check_run_report(&report_doc(1, 2)), Vec::<String>::new());
+    }
+
+    #[test]
+    fn run_report_checker_flags_tally_and_version_drift() {
+        let v = check_run_report(&report_doc(2, 2));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("dropped_per_round"), "{v:?}");
+        let v = check_run_report(&report_doc(1, 99));
+        assert!(v.iter().any(|m| m.contains("version 99")), "{v:?}");
+        let v = check_run_report("{\"version\": 2}");
+        assert!(v.iter().any(|m| m.contains("schema")), "{v:?}");
+    }
+
+    #[test]
+    fn run_report_checker_validates_the_canonical_reports() {
+        for report in bench::perf::canonical_run_reports() {
+            let v = check_run_report(&report.to_json());
+            assert_eq!(v, Vec::<String>::new(), "report {}", report.label);
+        }
+    }
+
+    #[test]
+    fn missing_field_reports_line_and_key() {
+        let e = parse_jsonl("{\"ev\":\"round_start\"}").unwrap_err();
+        assert!(e.message.contains("round"), "{e}");
+        let two = "{\"ev\":\"round_start\",\"round\":1}\n{\"ev\":\"send\",\"round\":2}";
+        assert_eq!(parse_jsonl(two).unwrap_err().line, 2);
+    }
+}

@@ -57,7 +57,8 @@ if [[ -n "$gate_baseline" ]]; then
 fi
 
 echo "==> exporting canonical run reports (schema-versioned JSON)"
-./target/release/perf --run-reports
+mkdir -p reports
+./target/release/perf --run-reports --out-dir reports
 
 echo "==> run-report summaries"
-./target/release/perf --summary
+./target/release/perf --summary | tee reports/report_output.txt

@@ -38,6 +38,7 @@ if grep -rnE "$legacy" \
     src tests examples \
     crates/core/src crates/commlb/src crates/lowerbounds/src \
     crates/bench/src crates/graphlib/src crates/infotheory/src \
+    crates/tracetools/src \
     2>/dev/null; then
     echo "error: legacy entry point used outside the deprecated shims;" \
          "migrate the call site to congest::Simulation" >&2
@@ -54,7 +55,7 @@ if grep -rnE "$wirescan" \
     src examples \
     crates/congest/src crates/core/src crates/commlb/src \
     crates/lowerbounds/src crates/bench/src crates/graphlib/src \
-    crates/infotheory/src \
+    crates/infotheory/src crates/tracetools/src \
     2>/dev/null; then
     echo "error: per-receiver wire-scan pattern reintroduced;" \
          "route messages through the RoundRouter arena instead" >&2
@@ -102,6 +103,31 @@ if [[ "$quick" -eq 0 ]]; then
     echo "==> perf regression smoke gate"
     cargo build --release -p bench --bin perf
     ./target/release/perf --check --smoke --tolerance 60 || status=1
+fi
+
+# Trace-toolkit gates: the committed golden run reports must satisfy the
+# structural invariant checker, and the critical-path analysis of the
+# canonical traced run (causal provenance -> happens-before DAG -> longest
+# weighted chain) must be byte-identical across thread counts.
+if [[ "$quick" -eq 0 ]]; then
+    echo "==> congest-trace check over committed golden run reports"
+    cargo build --release -p tracetools --bin congest-trace
+    for golden in tests/golden/run_report_*.json; do
+        ./target/release/congest-trace check "$golden" || status=1
+    done
+
+    echo "==> critical-path determinism gate (RAYON_NUM_THREADS=1 vs 4)"
+    cp1="$(mktemp)" cp4="$(mktemp)"
+    RAYON_NUM_THREADS=1 ./target/release/congest-trace critical-path --canonical > "$cp1"
+    RAYON_NUM_THREADS=4 ./target/release/congest-trace critical-path --canonical > "$cp4"
+    if diff -q "$cp1" "$cp4" >/dev/null; then
+        echo "    critical-path summary byte-identical at 1 and 4 threads"
+    else
+        echo "error: critical-path summary differs across thread counts" >&2
+        diff "$cp1" "$cp4" >&2 || true
+        status=1
+    fi
+    rm -f "$cp1" "$cp4"
 fi
 
 exit "$status"
