@@ -181,10 +181,49 @@ pub fn canonical_arq_loss_report() -> RunReport {
     rep.run_report("even_cycle_arq_loss30")
 }
 
-/// Both canonical run reports, in a fixed order — the `perf` binary's
-/// `--run-reports` export and the golden-file tests share this list.
+/// The canonical bursty-loss planted-`C_4` instance: a sparse G(n,p) with
+/// a planted 4-cycle under Gilbert–Elliott loss that is lossless in the
+/// good state and drops *everything* in the bad state (stationary bad
+/// probability 30 %). The scenario the sliding-window-vs-stop-and-wait
+/// round-count comparison is pinned on.
+fn canonical_bursty_scenario() -> (graphlib::Graph, detection::EvenCycleConfig, FaultSpec) {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let base = graphlib::generators::gnp(16, 0.1, &mut rng);
+    let (g, _) = graphlib::generators::plant_cycle(&base, 4, &mut rng);
+    let cfg = detection::EvenCycleConfig::new(2).repetitions(4).seed(13);
+    (g, cfg, FaultSpec::GilbertElliott(0.3, 0.7, 0.0, 1.0))
+}
+
+/// The canonical bursty-loss scenario behind the transport at ARQ window
+/// `window` (1 = stop-and-wait, the [`ReliableConfig::default`] window =
+/// the pipelined golden). Deterministic for any thread count.
+pub fn canonical_bursty_report(window: usize) -> RunReport {
+    let (g, cfg, faults) = canonical_bursty_scenario();
+    let rcfg = ReliableConfig {
+        window,
+        ..ReliableConfig::default()
+    };
+    let rep = detection::detect_even_cycle_faulty(&g, cfg, &faults, Some(rcfg))
+        .expect("bursty detector run failed");
+    let label = if window == 1 {
+        "even_cycle_bursty_stopwait".to_string()
+    } else {
+        format!("even_cycle_bursty_w{window}")
+    };
+    rep.run_report(&label)
+}
+
+/// All canonical run reports, in a fixed order — the `perf` binary's
+/// `--run-reports` export and the golden-file tests share this list. The
+/// third entry is the bursty-loss scenario at the default (windowed) ARQ;
+/// its stop-and-wait counterpart is regenerated on the fly by the
+/// round-count-ratio test rather than committed.
 pub fn canonical_run_reports() -> Vec<RunReport> {
-    vec![canonical_fault_free_report(), canonical_arq_loss_report()]
+    vec![
+        canonical_fault_free_report(),
+        canonical_arq_loss_report(),
+        canonical_bursty_report(ReliableConfig::default().window),
+    ]
 }
 
 /// Runs both canonical scenarios with the engine self-profiler installed

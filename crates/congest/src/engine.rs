@@ -291,6 +291,30 @@ impl fmt::Display for CongestError {
 
 impl std::error::Error for CongestError {}
 
+/// Graceful-degradation verdict for a run that did not go perfectly:
+/// the round-budget watchdog tripped (`max_rounds` hit), the transport
+/// gave frames up, or nodes crashed. The decision is still usable — it
+/// covers the *surviving* subgraph and stays loss-sound (faults only
+/// remove information) — but the caller should know how much of the
+/// network it speaks for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degraded {
+    /// Nodes that never crashed, in index order.
+    pub surviving: Vec<usize>,
+    /// Rough quality estimate in `[0, 1]`: the surviving-node fraction
+    /// times the fraction of fault-layer deliveries that succeeded.
+    pub confidence: f64,
+}
+
+impl Degraded {
+    /// Whether a strict majority of the `n` nodes survived — the quorum
+    /// under which a surviving-subgraph decision is conventionally
+    /// considered representative.
+    pub fn has_quorum(&self, n: usize) -> bool {
+        2 * self.surviving.len() > n
+    }
+}
+
 /// Result of a completed (or round-limited) run.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -303,9 +327,47 @@ pub struct RunOutcome {
     pub completed: bool,
     /// What the fault layer did to this run (all-zeros for fault-free runs).
     pub faults: FaultReport,
+    /// `Some` when the run degraded instead of completing cleanly (round
+    /// budget exhausted, transport give-ups, or crashed nodes); the
+    /// decisions then cover the surviving subgraph only.
+    pub degraded: Option<Degraded>,
 }
 
 impl RunOutcome {
+    /// Whether this run degraded (see [`Degraded`]).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// (Re-)derives the degradation verdict from the current fault report
+    /// and completion flag, for a network of `n` nodes. Called by the
+    /// engine at the end of every run and again by the reliable transport
+    /// after folding its give-up tallies in.
+    pub(crate) fn assess_degradation(&mut self, n: usize) {
+        let crashed = self.faults.crashed_nodes();
+        if self.completed && crashed.is_empty() && self.faults.given_up == 0 {
+            self.degraded = None;
+            return;
+        }
+        let surviving: Vec<usize> = (0..n)
+            .filter(|v| crashed.binary_search(v).is_err())
+            .collect();
+        let surviving_frac = if n == 0 {
+            1.0
+        } else {
+            surviving.len() as f64 / n as f64
+        };
+        let attempts = self.faults.delivered + self.faults.dropped;
+        let delivered_frac = if attempts == 0 {
+            1.0
+        } else {
+            self.faults.delivered as f64 / attempts as f64
+        };
+        self.degraded = Some(Degraded {
+            surviving,
+            confidence: surviving_frac * delivered_frac,
+        });
+    }
     /// Definition 1 semantics: the network "detects H" iff some node rejects.
     pub fn network_rejects(&self) -> bool {
         self.decisions.contains(&Decision::Reject)
@@ -423,6 +485,21 @@ impl<'g> Engine<'g> {
     /// The installed profiler, for the reliable transport's ARQ spans.
     pub(crate) fn profiler_handle(&self) -> Option<&Arc<Profiler>> {
         self.profiler.as_ref()
+    }
+
+    /// The engine seed, for sibling layers deriving deterministic
+    /// randomness (the reliable transport's retransmission jitter).
+    pub(crate) fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-edge-per-round bit budget, if bounded — what the reliable
+    /// transport's batched send pass packs against.
+    pub(crate) fn bandwidth_limit(&self) -> Option<usize> {
+        match self.bandwidth {
+            Bandwidth::Bits(b) => Some(b),
+            Bandwidth::Unbounded => None,
+        }
     }
 
     /// Switches to broadcast-CONGEST (the \[DKO14\] variant the paper's
@@ -928,12 +1005,14 @@ impl<'g> Engine<'g> {
                 .all(|(nd, down)| nd.halted() || down.is_some());
         }
 
-        let outcome = RunOutcome {
+        let mut outcome = RunOutcome {
             decisions: nodes.iter().map(|nd| nd.decision()).collect(),
             stats,
             completed,
             faults: report,
+            degraded: None,
         };
+        outcome.assess_degradation(n);
         Ok((outcome, nodes))
     }
 

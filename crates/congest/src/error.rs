@@ -21,6 +21,10 @@ pub enum SimError {
     /// The builder was configured with options the selected backend does
     /// not support (e.g. fault injection on the clique engine).
     Unsupported(String),
+    /// A configuration value is invalid in itself (e.g. a zero-width ARQ
+    /// window), caught at validation instead of hanging or panicking
+    /// mid-run.
+    Config(String),
 }
 
 impl fmt::Display for SimError {
@@ -29,6 +33,7 @@ impl fmt::Display for SimError {
             SimError::Congest(e) => write!(f, "{e}"),
             SimError::Clique(e) => write!(f, "{e}"),
             SimError::Unsupported(what) => write!(f, "unsupported configuration: {what}"),
+            SimError::Config(what) => write!(f, "invalid configuration: {what}"),
         }
     }
 }
@@ -38,7 +43,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Congest(e) => Some(e),
             SimError::Clique(e) => Some(e),
-            SimError::Unsupported(_) => None,
+            SimError::Unsupported(_) | SimError::Config(_) => None,
         }
     }
 }
@@ -123,5 +128,7 @@ mod tests {
         assert!(e.to_string().contains("node 3"));
         let u = SimError::Unsupported("faults on clique".into());
         assert!(u.to_string().contains("unsupported"));
+        let c = SimError::Config("window must be at least 1".into());
+        assert!(c.to_string().contains("invalid configuration"));
     }
 }

@@ -617,6 +617,17 @@ pub struct FaultReport {
     /// runs) — aligned with [`Self::dropped_per_round`] so loss bursts and
     /// the recovery traffic they force are visible on the same time axis.
     pub retransmissions_per_round: Vec<u64>,
+    /// Retransmissions per directed link, in the CSR directed-edge order
+    /// shared with [`crate::RunStats::directed_edge_bits`] (slot
+    /// `offsets[v] + port` holds node `v`'s retransmissions on its port
+    /// `port`; empty for bare runs). Unlike the per-round series, which
+    /// concatenate across phases, per-link tallies *add elementwise* under
+    /// [`Self::absorb`] — the links are the same links in every phase.
+    pub retransmissions_per_link: Vec<u64>,
+    /// Retransmissions sent at backoff stage ≥ 2 (third or later attempt)
+    /// — the adaptive timeout's exponential-backoff activations (0 for
+    /// bare runs).
+    pub backoff_events: u64,
     /// Messages the reliable layer gave up on after exhausting its
     /// retransmission budget (0 for bare runs).
     pub given_up: u64,
@@ -643,6 +654,7 @@ impl FaultReport {
         self.dropped += other.dropped;
         self.corrupted += other.corrupted;
         self.retransmissions += other.retransmissions;
+        self.backoff_events += other.backoff_events;
         self.given_up += other.given_up;
         self.crashed.extend_from_slice(&other.crashed);
         // Per-round series concatenate (phases run sequentially).
@@ -652,17 +664,29 @@ impl FaultReport {
             .extend_from_slice(&other.corrupted_per_round);
         self.retransmissions_per_round
             .extend_from_slice(&other.retransmissions_per_round);
+        // Per-link tallies add elementwise — every phase runs over the
+        // same topology, so slot `i` is the same directed link throughout.
+        if self.retransmissions_per_link.len() < other.retransmissions_per_link.len() {
+            self.retransmissions_per_link
+                .resize(other.retransmissions_per_link.len(), 0);
+        }
+        for (slot, &c) in other.retransmissions_per_link.iter().enumerate() {
+            self.retransmissions_per_link[slot] += c;
+        }
     }
 
     /// Compact one-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "delivered {}, dropped {}, corrupted {}, crashed {:?}, retransmissions {}, given up {}",
+            "delivered {}, dropped {}, corrupted {}, crashed {:?}, retransmissions {} \
+             (busiest link {}), backoff events {}, given up {}",
             self.delivered,
             self.dropped,
             self.corrupted,
             self.crashed_nodes(),
             self.retransmissions,
+            self.retransmissions_per_link.iter().max().unwrap_or(&0),
+            self.backoff_events,
             self.given_up,
         )
     }
@@ -836,5 +860,36 @@ mod tests {
         assert_eq!(a.crashed_nodes(), vec![4]);
         assert_eq!(a.dropped_per_round, vec![1, 0, 0]);
         assert!(a.any_faults());
+    }
+
+    #[test]
+    fn report_absorb_carries_transport_tallies() {
+        // Per-link tallies add elementwise (same links every phase) while
+        // the scalar transport counters accumulate — a multi-repetition
+        // driver must not under-report recovery cost.
+        let mut a = FaultReport {
+            retransmissions: 2,
+            backoff_events: 1,
+            given_up: 1,
+            retransmissions_per_link: vec![2, 0],
+            ..Default::default()
+        };
+        let b = FaultReport {
+            retransmissions: 3,
+            backoff_events: 2,
+            retransmissions_per_link: vec![1, 1, 1],
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.retransmissions, 5);
+        assert_eq!(a.backoff_events, 3);
+        assert_eq!(a.given_up, 1);
+        assert_eq!(a.retransmissions_per_link, vec![3, 1, 1]);
+        assert_eq!(
+            a.retransmissions_per_link.iter().sum::<u64>(),
+            a.retransmissions,
+            "per-link tallies must still sum to the total"
+        );
+        assert!(a.summary().contains("backoff events 3"));
     }
 }

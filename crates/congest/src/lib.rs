@@ -17,12 +17,16 @@
 //!   topology, separate input graph).
 //! * [`obsv`] — the observability spine: structured [`Collector`] tracing,
 //!   the [`Metrics`] registry, and the schema-versioned [`RunReport`].
+//! * [`chaos`] — the deterministic chaos-schedule fuzzer: seeded fault
+//!   schedules over the model space, oracle-driven soundness checks, and
+//!   delta-debugging shrink to minimal JSON reproducers.
 //! * [`message::BitSize`] — exact on-the-wire bit accounting.
 //! * [`identifiers`] — namespace/id assignments (§4, §5 separate nodes from
 //!   identifiers).
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cliquemodel;
 pub mod engine;
 pub mod error;
@@ -36,7 +40,8 @@ pub mod simulation;
 pub mod stats;
 pub mod trace;
 
-pub use engine::{Bandwidth, CongestError, Engine, RunOutcome};
+pub use chaos::{ChaosEvent, ChaosFailure, ChaosSchedule};
+pub use engine::{Bandwidth, CongestError, Degraded, Engine, RunOutcome};
 pub use error::SimError;
 pub use faults::{
     BitFlip, CrashStop, Delivery, DeliveryCtx, FaultModel, FaultReport, FaultSpec, GilbertElliott,

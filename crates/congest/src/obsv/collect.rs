@@ -160,6 +160,9 @@ pub enum SimEvent {
         retransmissions: u64,
         /// Frames never acknowledged within their retry budget.
         given_up: u64,
+        /// Retransmissions that had entered exponential backoff
+        /// (attempt three or later) before succeeding or giving up.
+        backoff_events: u64,
     },
 }
 
@@ -384,8 +387,9 @@ impl JsonlTrace {
             SimEvent::TransportSummary {
                 retransmissions,
                 given_up,
+                backoff_events,
             } => format!(
-                r#"{{"ev":"transport","retransmissions":{retransmissions},"given_up":{given_up}}}"#
+                r#"{{"ev":"transport","retransmissions":{retransmissions},"given_up":{given_up},"backoff_events":{backoff_events}}}"#
             ),
         }
     }

@@ -182,6 +182,7 @@ impl Metrics {
         m.inc("faults.crashed", faults.crashed.len() as u64);
         m.inc("transport.retransmissions", faults.retransmissions);
         m.inc("transport.given_up", faults.given_up);
+        m.inc("transport.backoff_events", faults.backoff_events);
         // Per-round fault/transport series (present only when the run
         // tracked them): these localize *when* a loss burst happened —
         // under a Gilbert–Elliott bad state the per-round histograms go
@@ -194,6 +195,12 @@ impl Metrics {
         }
         for &r in &faults.retransmissions_per_round {
             m.observe("transport.retransmissions.per_round", r);
+        }
+        // Per-link histogram: a single hot link (one flaky edge under a
+        // localized outage) shows up as a heavy tail here while the
+        // per-round series stays flat.
+        for &r in &faults.retransmissions_per_link {
+            m.observe("transport.retransmissions.per_link", r);
         }
         m
     }

@@ -8,6 +8,7 @@
 //! byte-identical at any `RAYON_NUM_THREADS` — the property the golden and
 //! cross-thread tests pin.
 
+use crate::engine::Degraded;
 use crate::faults::FaultReport;
 use crate::obsv::analyze::CriticalPathSummary;
 use crate::obsv::metrics::MetricsSnapshot;
@@ -19,7 +20,9 @@ pub const RUN_REPORT_SCHEMA: &str = "congest.run_report";
 /// Version of the run-report schema. Bump when the JSON shape changes.
 /// v2: per-round fault/retransmission arrays in `faults`, optional
 /// `critical_path` block.
-pub const RUN_REPORT_VERSION: u32 = 2;
+/// v3: transport-v2 tallies (`backoff_events`, `retransmissions_per_link`)
+/// in `faults`, optional `degraded` block (surviving nodes + confidence).
+pub const RUN_REPORT_VERSION: u32 = 3;
 
 /// Round/bit totals of one named phase of a multi-phase driver (e.g. the
 /// even-cycle detector's Phase I / Phase II).
@@ -57,6 +60,9 @@ pub struct FaultTally {
     pub crashed: u64,
     /// Transport retransmissions.
     pub retransmissions: u64,
+    /// Transport retransmissions at backoff stage ≥ 2 (third or later
+    /// attempt).
+    pub backoff_events: u64,
     /// Transport frames given up on.
     pub given_up: u64,
     /// Drops per round (empty when the run tracked none).
@@ -64,6 +70,9 @@ pub struct FaultTally {
     /// Transport retransmissions per physical round (empty when the run
     /// had no reliable transport).
     pub retransmissions_per_round: Vec<u64>,
+    /// Transport retransmissions per directed link in CSR order (empty
+    /// when the run had no reliable transport).
+    pub retransmissions_per_link: Vec<u64>,
 }
 
 impl From<&FaultReport> for FaultTally {
@@ -74,9 +83,11 @@ impl From<&FaultReport> for FaultTally {
             corrupted: f.corrupted,
             crashed: f.crashed.len() as u64,
             retransmissions: f.retransmissions,
+            backoff_events: f.backoff_events,
             given_up: f.given_up,
             dropped_per_round: f.dropped_per_round.clone(),
             retransmissions_per_round: f.retransmissions_per_round.clone(),
+            retransmissions_per_link: f.retransmissions_per_link.clone(),
         }
     }
 }
@@ -106,6 +117,10 @@ pub struct RunReport {
     /// (see [`crate::obsv::analyze`]; attach with
     /// [`Self::with_critical_path`]).
     pub critical_path: Option<CriticalPathSummary>,
+    /// Graceful-degradation verdict, when the run degraded (attach with
+    /// [`Self::with_degradation`]; `n` is carried alongside so the quorum
+    /// bit renders without the topology).
+    pub degraded: Option<(Degraded, usize)>,
     /// Full metrics snapshot.
     pub metrics: MetricsSnapshot,
 }
@@ -131,6 +146,7 @@ impl RunReport {
             faults: FaultTally::from(faults),
             phases: Vec::new(),
             critical_path: None,
+            degraded: None,
             metrics,
         }
     }
@@ -146,6 +162,14 @@ impl RunReport {
     /// summary is deterministic, so it is safe in golden reports.
     pub fn with_critical_path(mut self, cp: CriticalPathSummary) -> Self {
         self.critical_path = Some(cp);
+        self
+    }
+
+    /// Attaches the graceful-degradation verdict of a run over `n` nodes
+    /// (no-op when the run completed cleanly). Confidence is rendered with
+    /// fixed precision, so the block is safe in golden reports.
+    pub fn with_degradation(mut self, degraded: Option<Degraded>, n: usize) -> Self {
+        self.degraded = degraded.map(|d| (d, n));
         self
     }
 
@@ -171,15 +195,17 @@ impl RunReport {
         let join = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
         let _ = writeln!(
             out,
-            r#"  "faults": {{"delivered":{},"dropped":{},"corrupted":{},"crashed":{},"retransmissions":{},"given_up":{},"dropped_per_round":[{}],"retransmissions_per_round":[{}]}},"#,
+            r#"  "faults": {{"delivered":{},"dropped":{},"corrupted":{},"crashed":{},"retransmissions":{},"backoff_events":{},"given_up":{},"dropped_per_round":[{}],"retransmissions_per_round":[{}],"retransmissions_per_link":[{}]}},"#,
             f.delivered,
             f.dropped,
             f.corrupted,
             f.crashed,
             f.retransmissions,
+            f.backoff_events,
             f.given_up,
             join(&f.dropped_per_round),
-            join(&f.retransmissions_per_round)
+            join(&f.retransmissions_per_round),
+            join(&f.retransmissions_per_link)
         );
         let phases: Vec<String> = self
             .phases
@@ -196,6 +222,16 @@ impl RunReport {
         let _ = writeln!(out, r#"  "phases": [{}],"#, phases.join(","));
         if let Some(cp) = &self.critical_path {
             let _ = writeln!(out, r#"  "critical_path": {},"#, cp.to_json());
+        }
+        if let Some((d, n)) = &self.degraded {
+            let surviving: Vec<String> = d.surviving.iter().map(usize::to_string).collect();
+            let _ = writeln!(
+                out,
+                r#"  "degraded": {{"surviving":[{}],"confidence":{:.4},"quorum":{}}},"#,
+                surviving.join(","),
+                d.confidence,
+                d.has_quorum(*n)
+            );
         }
         let _ = writeln!(out, r#"  "metrics": {}"#, self.metrics.to_json());
         out.push_str("}\n");
@@ -230,8 +266,20 @@ impl RunReport {
             row(
                 "transport",
                 format!(
-                    "{} retransmissions, {} given up",
-                    f.retransmissions, f.given_up
+                    "{} retransmissions ({} backed off), {} given up",
+                    f.retransmissions, f.backoff_events, f.given_up
+                ),
+            );
+        }
+        if let Some((d, n)) = &self.degraded {
+            row(
+                "degraded",
+                format!(
+                    "{} of {} nodes surviving (quorum: {}), confidence {:.4}",
+                    d.surviving.len(),
+                    n,
+                    d.has_quorum(*n),
+                    d.confidence
                 ),
             );
         }
@@ -313,7 +361,10 @@ mod tests {
         assert!(json.contains(r#""phases": [{"name":"phase1","rounds":2,"bits":96}]"#));
         assert!(json.contains(r#""dropped_per_round":[]"#), "{json}");
         assert!(json.contains(r#""bits.total":96"#));
+        assert!(json.contains(r#""backoff_events":0"#), "{json}");
+        assert!(json.contains(r#""retransmissions_per_link":[]"#), "{json}");
         assert!(!json.contains("critical_path"), "absent unless attached");
+        assert!(!json.contains("degraded"), "absent unless attached");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.ends_with("}\n"));
@@ -346,6 +397,44 @@ mod tests {
             "{json}"
         );
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn degraded_block_renders_with_fixed_precision() {
+        let g = generators::cycle(4);
+        let mut stats = RunStats::new(&g);
+        stats.rounds = 3;
+        let faults = FaultReport {
+            retransmissions: 7,
+            backoff_events: 2,
+            retransmissions_per_link: vec![3, 0, 4, 0, 0, 0, 0, 0],
+            given_up: 1,
+            ..FaultReport::default()
+        };
+        let metrics = Metrics::from_run(&stats, &faults).snapshot();
+        let report = RunReport::from_stats("degraded", &stats, &faults, false, metrics)
+            .with_degradation(
+                Some(Degraded {
+                    surviving: vec![0, 1, 2],
+                    confidence: 0.75,
+                }),
+                4,
+            );
+        let json = report.to_json();
+        assert!(
+            json.contains(r#""degraded": {"surviving":[0,1,2],"confidence":0.7500,"quorum":true}"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""backoff_events":2"#), "{json}");
+        assert!(
+            json.contains(r#""retransmissions_per_link":[3,0,4,0,0,0,0,0]"#),
+            "{json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let table = report.summary_table();
+        assert!(table.contains("3 of 4 nodes surviving"), "{table}");
+        assert!(table.contains("confidence 0.7500"), "{table}");
+        assert!(table.contains("2 backed off"), "{table}");
     }
 
     #[test]

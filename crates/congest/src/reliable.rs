@@ -1,36 +1,46 @@
 //! Reliable transport over a faulty CONGEST network.
 //!
-//! [`Reliable<A>`] wraps any [`NodeAlgorithm`] in a frame-synchronized
-//! ARQ (automatic repeat request) layer: every *virtual* round of the inner
-//! algorithm is transported over `frame_rounds` *physical* engine rounds,
-//! during which each per-port message bundle is sent with a sequence number
-//! and checksum, acknowledged by the receiver, and retransmitted on timeout
-//! up to a bounded retry budget. Drops are repaired by retransmission;
-//! corrupted frames fail their checksum, go unacknowledged, and are
-//! retransmitted too.
+//! [`Reliable<A>`] wraps any [`NodeAlgorithm`] in a per-link sliding-window
+//! selective-repeat ARQ (automatic repeat request) layer. Each *virtual*
+//! round of the inner algorithm becomes one sequence-numbered data frame
+//! per link (empty frames included — the stream is self-clocking), and up
+//! to [`ReliableConfig::window`] frames ride each link unacknowledged.
+//! Receivers return cumulative acks with a 16-bit selective-ack bitmap, so
+//! one loss no longer stalls the frames behind it. Retransmission timing is
+//! adaptive: each link keeps a smoothed RTT estimate from ack round-trips,
+//! and every retry backs off exponentially (capped at [`RTO_CAP`]) with
+//! deterministic seeded jitter so synchronized losses do not retransmit in
+//! lockstep. A round's expirations are batched per link — everything that
+//! fits the per-edge bit budget goes out together, oldest frame first.
 //!
 //! The protocol overhead is charged through the normal engine accounting —
 //! headers, acks, and retransmissions all cost real bits, so [`RunStats`]
-//! of a reliable run reflect the true price of reliability. Per-node
-//! retransmission and give-up counts surface through
-//! [`Reliable::retransmissions`] / [`Reliable::given_up`], and
-//! [`run_reliable`] folds them into the run's
-//! [`FaultReport`](crate::faults::FaultReport).
+//! of a reliable run reflect the true price of reliability.
+//!
+//! **Graceful degradation** instead of deadlock: a receiver blocked too
+//! long on a missing frame *skips* it (delivering an empty bundle — losses
+//! only remove information, so sound detectors stay sound), a sender
+//! exhausting `max_retries` gives the frame up, and two consecutive
+//! give-ups declare the link dead so crashed neighbors stop costing
+//! timeouts. All of it is tallied ([`Reliable::given_up`],
+//! [`Reliable::retransmissions`], [`Reliable::backoff_events`]) and folded
+//! into the run's [`FaultReport`](crate::faults::FaultReport), where it
+//! triggers the engine's `Degraded` outcome assessment.
 //!
 //! Limits: the adapter converts broadcasts into per-port sends, so it
-//! cannot run under a `broadcast_only` engine; it synchronizes on the
-//! global round clock, so it assumes crash-free *clocks* (crashed nodes
-//! simply never ack, which the retry budget bounds); and reliability is
+//! cannot run under a `broadcast_only` engine; and reliability is
 //! best-effort — a frame whose every transmission is lost is given up, not
-//! blocked on forever (counted in [`Reliable::given_up`]).
+//! blocked on forever.
 //!
 //! [`RunStats`]: crate::stats::RunStats
 
 use crate::engine::{CongestError, Engine, RunOutcome};
+use crate::faults::raw_hash;
 use crate::message::{BitSize, Payload};
 use crate::node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
 use crate::obsv::profile::{prof_record, prof_start, Profiler, Section};
 use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -38,28 +48,47 @@ use std::sync::Arc;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RMsg<M> {
     /// A data frame: every inner message the sender addressed to this port
-    /// in virtual round `vround`, plus a payload checksum.
+    /// in virtual round `seq`, plus a payload checksum.
     Data {
-        /// Virtual round the bundle belongs to (doubles as sequence number:
-        /// stop-and-wait sends exactly one bundle per port per frame).
-        vround: u32,
-        /// 16-bit checksum over `(vround, payload)`.
+        /// Sequence number (equal to the virtual round the bundle belongs
+        /// to — the stream is self-clocking, one frame per virtual round).
+        seq: u32,
+        /// 16-bit checksum over `(seq, fin, payload)`.
         check: u16,
+        /// Whether this is the sender's final frame on this link (its
+        /// inner algorithm halted after producing this bundle).
+        fin: bool,
         /// The bundled inner messages.
         payload: Vec<M>,
     },
-    /// Acknowledges receipt of the `vround` data frame on this link.
+    /// Cumulative + selective acknowledgement for one link.
     Ack {
-        /// Virtual round being acknowledged.
-        vround: u32,
+        /// Highest sequence number below which everything was received
+        /// (or skipped) in order.
+        cum: u32,
+        /// Selective-ack bitmap: bit `i` set means frame `cum + 1 + i` is
+        /// buffered out of order.
+        sack: u16,
+        /// 16-bit checksum over `(cum, sack)`.
+        check: u16,
     },
 }
 
-/// Header cost of a data frame in bits: 1 (tag) + 32 (vround) + 16
-/// (checksum) + 8 (bundle length).
-pub const DATA_HEADER_BITS: usize = 1 + 32 + 16 + 8;
-/// Cost of an ack in bits: 1 (tag) + 32 (vround).
-pub const ACK_BITS: usize = 1 + 32;
+/// Header cost of a data frame in bits: 1 (tag) + 32 (seq) + 16 (checksum)
+/// + 1 (fin) + 8 (bundle length).
+pub const DATA_HEADER_BITS: usize = 1 + 32 + 16 + 1 + 8;
+/// Cost of an ack in bits: 1 (tag) + 32 (cum) + 16 (sack) + 16 (checksum).
+pub const ACK_BITS: usize = 1 + 32 + 16 + 16;
+/// Largest permitted send window (the sack bitmap covers 16 frames).
+pub const MAX_WINDOW: usize = 16;
+/// Retransmission-timeout cap in rounds: exponential backoff never waits
+/// longer than this (plus one round of jitter) between attempts.
+pub const RTO_CAP: usize = 8;
+
+/// Inner steps the transport may run in one physical round while catching
+/// up after a stall (arrivals beyond the stalled frame are buffered, so a
+/// repaired gap can release several virtual rounds at once).
+const MAX_CATCHUP: usize = 4;
 
 impl<M: BitSize> BitSize for RMsg<M> {
     fn bit_size(&self) -> usize {
@@ -74,25 +103,37 @@ impl<M: BitSize> BitSize for RMsg<M> {
     fn corrupt_bit(&mut self, bit_index: usize) -> bool {
         // The envelope's header fields are literal wire bits, so the
         // reliable layer is corruptible even when the inner payload is a
-        // structured value: flipping a checksum (or ack sequence) bit is
-        // detected by the receiver (or sender) and repaired by
-        // retransmission — exactly the failure mode ARQ exists for.
+        // structured value. Every flip lands in a checksummed field
+        // (sequence number, fin flag, or the checksum itself), so the
+        // receiver detects it and retransmission repairs it — exactly the
+        // failure mode ARQ exists for.
         match self {
-            RMsg::Data { check, .. } => {
-                *check ^= 1 << (bit_index % 16);
+            RMsg::Data {
+                seq, check, fin, ..
+            } => {
+                match bit_index % 49 {
+                    b @ 0..=31 => *seq ^= 1 << b,
+                    b @ 32..=47 => *check ^= 1 << (b - 32),
+                    _ => *fin = !*fin,
+                }
                 true
             }
-            RMsg::Ack { vround } => {
-                *vround ^= 1 << (bit_index % 32);
+            RMsg::Ack { cum, sack, check } => {
+                match bit_index % 64 {
+                    b @ 0..=31 => *cum ^= 1 << b,
+                    b @ 32..=47 => *sack ^= 1 << (b - 32),
+                    b => *check ^= 1 << (b - 48),
+                }
                 true
             }
         }
     }
 }
 
-fn checksum<M: Hash>(vround: u32, payload: &[M]) -> u16 {
+fn data_check<M: Hash>(seq: u32, fin: bool, payload: &[M]) -> u16 {
     let mut h = graphlib::hash::FxHasher::default();
-    vround.hash(&mut h);
+    seq.hash(&mut h);
+    fin.hash(&mut h);
     payload.len().hash(&mut h);
     for m in payload {
         m.hash(&mut h);
@@ -100,23 +141,44 @@ fn checksum<M: Hash>(vround: u32, payload: &[M]) -> u16 {
     (h.finish() >> 48) as u16
 }
 
+fn ack_check(cum: u32, sack: u16) -> u16 {
+    let mut h = graphlib::hash::FxHasher::default();
+    "ack".hash(&mut h);
+    cum.hash(&mut h);
+    sack.hash(&mut h);
+    (h.finish() >> 48) as u16
+}
+
+fn payload_bits<M: BitSize>(payload: &[M]) -> usize {
+    payload.iter().map(BitSize::bit_size).sum()
+}
+
+/// Retransmission timeout for the given attempt: smoothed-RTT-based
+/// exponential backoff capped at [`RTO_CAP`], plus one seeded jitter round
+/// so synchronized links do not retransmit in lockstep.
+fn rto(srtt: usize, attempt: usize, seed: u64, node: usize, port: usize, seq: u32) -> usize {
+    let base = ((srtt + 1) << (attempt - 1)).min(RTO_CAP);
+    base + (raw_hash((seed, "arq-jitter", node, port, seq, attempt)) & 1) as usize
+}
+
 /// Tuning of the reliable layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReliableConfig {
-    /// Physical engine rounds per virtual round (the frame width). Larger
-    /// frames leave room for more retransmission attempts.
-    pub frame_rounds: usize,
-    /// Slots to wait for an ack before retransmitting (at least 2: one slot
-    /// for the data to arrive, one for the ack to return).
+    /// Frames that may ride a link unacknowledged (1 = stop-and-wait;
+    /// at most [`MAX_WINDOW`], the reach of the sack bitmap).
+    pub window: usize,
+    /// Initial smoothed-RTT estimate in rounds (the ack round-trip of a
+    /// lossless link is 2); per-link estimates adapt from there.
     pub ack_timeout: usize,
-    /// Retransmissions per frame after the initial send.
+    /// Retransmissions per frame after the initial send before the sender
+    /// gives the frame up.
     pub max_retries: usize,
 }
 
 impl Default for ReliableConfig {
     fn default() -> Self {
         ReliableConfig {
-            frame_rounds: 12,
+            window: 8,
             ack_timeout: 2,
             max_retries: 4,
         }
@@ -124,58 +186,222 @@ impl Default for ReliableConfig {
 }
 
 impl ReliableConfig {
-    /// Validated constructor.
-    pub fn new(frame_rounds: usize, ack_timeout: usize, max_retries: usize) -> Self {
-        assert!(frame_rounds >= 1, "a frame needs at least one slot");
-        assert!(ack_timeout >= 2, "acks take two slots to round-trip");
-        ReliableConfig {
-            frame_rounds,
+    /// Validated constructor (panics on invalid tuning; fallible callers
+    /// should use [`ReliableConfig::validate`] via the
+    /// [`Simulation`](crate::Simulation) builder instead).
+    pub fn new(window: usize, ack_timeout: usize, max_retries: usize) -> Self {
+        let cfg = ReliableConfig {
+            window,
             ack_timeout,
             max_retries,
+        };
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ReliableConfig: {e}");
         }
+        cfg
+    }
+
+    /// Checks the tuning for values that would hang or livelock the
+    /// transport. Returns a human-readable description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("window must be at least 1 (0 can never send)".into());
+        }
+        if self.window > MAX_WINDOW {
+            return Err(format!(
+                "window {} exceeds MAX_WINDOW {MAX_WINDOW} (the sack bitmap width)",
+                self.window
+            ));
+        }
+        if self.ack_timeout == 0 {
+            return Err("ack_timeout must be at least 1 round".into());
+        }
+        if self.max_retries == 0 {
+            return Err("max_retries must be at least 1 (0 gives up on first loss)".into());
+        }
+        Ok(())
     }
 
     /// Engine bandwidth needed to carry `inner_bits` of inner per-port
-    /// traffic per virtual round (the worst slot carries one full data
+    /// traffic per virtual round (the worst round carries one full data
     /// frame plus one ack).
     pub fn required_bandwidth(&self, inner_bits: usize) -> usize {
         DATA_HEADER_BITS + inner_bits + ACK_BITS
     }
 
-    /// Physical engine rounds needed for `virtual_rounds` inner rounds.
+    /// Rounds a blocked receiver waits for a missing frame before skipping
+    /// it — generous enough to cover the sender's full retry schedule.
+    pub fn give_up_after(&self) -> usize {
+        (self.max_retries + 1) * (RTO_CAP + 1) + 4
+    }
+
+    /// Physical engine rounds sufficient for `virtual_rounds` inner rounds
+    /// even in worst-case degraded operation (a safe `max_rounds`; healthy
+    /// runs halt far earlier and the engine exits on completion).
     pub fn physical_rounds(&self, virtual_rounds: usize) -> usize {
-        self.frame_rounds * (virtual_rounds + 1)
+        (virtual_rounds + 2) * (self.give_up_after() + 2)
     }
 }
 
-/// Per-port sender state for the current frame.
+/// One outgoing frame and its retransmission state.
 #[derive(Debug, Clone)]
-struct OutFrame<M> {
-    vround: u32,
+struct SendFrame<M> {
+    seq: u32,
+    fin: bool,
     check: u16,
     payload: Vec<M>,
-    /// Slot of the last transmission, or `None` before the initial send
-    /// (which happens at the previous frame boundary, slot `-1` in effect).
-    last_sent: Option<usize>,
-    retries_left: usize,
+    /// Transmissions so far (0 = queued, never sent).
+    attempt: usize,
+    /// Round of the first transmission (RTT sampling; Karn's rule — only
+    /// frames acked on their first attempt contribute a sample).
+    sent_round: usize,
+    /// Round the current attempt times out.
+    expires: usize,
     acked: bool,
+    given_up: bool,
 }
 
-/// A [`NodeAlgorithm`] adapter adding sequence numbers, acknowledgements,
-/// and bounded retransmission on top of any inner algorithm (see the
-/// module docs for the protocol).
+impl<M> SendFrame<M> {
+    fn resolved(&self) -> bool {
+        self.acked || self.given_up
+    }
+}
+
+/// Sender state for one outgoing link.
+#[derive(Debug, Clone)]
+struct SendLink<M> {
+    frames: VecDeque<SendFrame<M>>,
+    next_seq: u32,
+    /// Smoothed RTT estimate in rounds (integer EWMA).
+    srtt: usize,
+    consecutive_given_up: usize,
+    /// Two consecutive give-ups declare the link dead: later frames
+    /// resolve instantly instead of burning full retry schedules.
+    dead: bool,
+}
+
+impl<M> SendLink<M> {
+    fn new(srtt0: usize) -> Self {
+        SendLink {
+            frames: VecDeque::new(),
+            next_seq: 1,
+            srtt: srtt0,
+            consecutive_given_up: 0,
+            dead: false,
+        }
+    }
+
+    fn pop_resolved(&mut self) {
+        while self.frames.front().is_some_and(SendFrame::resolved) {
+            self.frames.pop_front();
+        }
+    }
+
+    fn all_resolved(&self) -> bool {
+        self.frames.iter().all(SendFrame::resolved)
+    }
+}
+
+/// Receiver state for one incoming link.
+#[derive(Debug, Clone)]
+struct RecvLink<M> {
+    /// Lowest sequence number not yet received or skipped.
+    next_needed: u32,
+    /// Out-of-order frames awaiting the gap in front of them.
+    buffer: BTreeMap<u32, Vec<M>>,
+    /// In-order bundles awaiting consumption by the inner algorithm,
+    /// keyed by virtual round.
+    delivered: BTreeMap<u32, Vec<M>>,
+    /// Sequence number of the peer's final frame, once seen; frames past
+    /// it resolve as empty without any wire traffic.
+    fin_at: Option<u32>,
+    /// Consecutive rounds the inner algorithm was blocked on this link
+    /// with nothing arriving.
+    blocked_rounds: usize,
+    /// An ack is owed (new data, a duplicate, or a skip changed the
+    /// receive state this round).
+    ack_dirty: bool,
+    consecutive_skips: usize,
+    /// Two consecutive skips declare the link dead: every future frame
+    /// resolves as empty immediately.
+    dead: bool,
+}
+
+impl<M> RecvLink<M> {
+    fn new() -> Self {
+        RecvLink {
+            next_needed: 1,
+            buffer: BTreeMap::new(),
+            delivered: BTreeMap::new(),
+            fin_at: None,
+            blocked_rounds: 0,
+            ack_dirty: false,
+            consecutive_skips: 0,
+            dead: false,
+        }
+    }
+
+    /// Moves in-order buffered frames into the delivered map.
+    fn advance(&mut self) -> bool {
+        let mut moved = false;
+        while let Some(bundle) = self.buffer.remove(&self.next_needed) {
+            self.delivered.insert(self.next_needed, bundle);
+            self.next_needed += 1;
+            moved = true;
+        }
+        moved
+    }
+
+    /// Whether the bundle for virtual round `v` is available (delivered,
+    /// past the peer's fin, or the link is dead — the latter two resolve
+    /// as empty).
+    fn ready(&self, v: u32) -> bool {
+        self.dead || self.delivered.contains_key(&v) || self.fin_at.is_some_and(|f| v > f)
+    }
+
+    fn take(&mut self, v: u32) -> Vec<M> {
+        self.delivered.remove(&v).unwrap_or_default()
+    }
+
+    /// Whether nothing more is owed on this link: the peer's final frame
+    /// was seen and fully received (so the peer's sender can resolve), or
+    /// the link was declared dead.
+    fn closed(&self) -> bool {
+        self.dead || self.fin_at.is_some_and(|f| self.next_needed > f)
+    }
+}
+
+/// A [`NodeAlgorithm`] adapter adding sliding-window selective-repeat ARQ
+/// with adaptive backoff and graceful degradation on top of any inner
+/// algorithm (see the module docs for the protocol).
 #[derive(Clone)]
 pub struct Reliable<A: NodeAlgorithm> {
     inner: A,
     cfg: ReliableConfig,
-    /// Sender state, per port.
-    out_pending: Vec<Option<OutFrame<A::Msg>>>,
-    /// Receiver state, per port: the bundle accepted for the current frame.
-    in_got: Vec<Option<Vec<A::Msg>>>,
+    /// Engine seed, for deterministic retransmission jitter (never the
+    /// node's own rng — the inner algorithm's stream must match a bare
+    /// run exactly).
+    seed: u64,
+    /// Per-edge-per-round bit budget (usize::MAX when unbounded), for
+    /// batching a round's sends against what actually fits.
+    budget: usize,
+    node_index: usize,
+    send: Vec<SendLink<A::Msg>>,
+    recv: Vec<RecvLink<A::Msg>>,
+    /// Next virtual round of the inner algorithm to step.
+    inner_next: u32,
+    /// Consecutive rounds with no valid arrival — the linger gate that
+    /// keeps a finished node acking until its peers are demonstrably done.
+    idle_rounds: usize,
+    /// Set by any loss symptom (retransmission, duplicate, corruption,
+    /// give-up); switches the halt linger from 2 rounds to `RTO_CAP + 2`
+    /// so retransmitted acks are not orphaned by an early exit.
+    saw_trouble: bool,
     retransmissions: u64,
-    /// Retransmissions by physical round (index `r - 1` for round `r`),
-    /// grown lazily — empty until the first retransmission.
     retrans_per_round: Vec<u64>,
+    retrans_per_port: Vec<u64>,
+    backoff_events: u64,
     given_up: u64,
     profiler: Option<Arc<Profiler>>,
 }
@@ -186,20 +412,46 @@ where
 {
     /// Wraps `inner` with the given transport tuning.
     pub fn new(inner: A, cfg: ReliableConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ReliableConfig: {e}");
+        }
         Reliable {
             inner,
             cfg,
-            out_pending: Vec::new(),
-            in_got: Vec::new(),
+            seed: 0,
+            budget: usize::MAX,
+            node_index: 0,
+            send: Vec::new(),
+            recv: Vec::new(),
+            inner_next: 1,
+            idle_rounds: 0,
+            saw_trouble: false,
             retransmissions: 0,
             retrans_per_round: Vec::new(),
+            retrans_per_port: Vec::new(),
+            backoff_events: 0,
             given_up: 0,
             profiler: None,
         }
     }
 
-    /// Attaches the engine self-profiler so the retransmit scan is timed
-    /// under [`Section::ArqRetransmit`] (see [`crate::obsv::profile`]).
+    /// Seeds the deterministic retransmission jitter (the engine seed;
+    /// wired automatically on the [`Simulation`](crate::Simulation) route).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-edge-per-round bit budget the batched send pass packs
+    /// against (the engine bandwidth; wired automatically on the
+    /// [`Simulation`](crate::Simulation) route).
+    pub fn with_budget(mut self, bits: usize) -> Self {
+        self.budget = bits;
+        self
+    }
+
+    /// Attaches the engine self-profiler so the ARQ send/retransmit scan
+    /// is timed under [`Section::ArqRetransmit`].
     pub fn with_profiler(mut self, p: Arc<Profiler>) -> Self {
         self.profiler = Some(p);
         self
@@ -220,31 +472,35 @@ where
         self.retransmissions
     }
 
-    /// Retransmissions by physical round: entry `r - 1` counts the data
-    /// frames this node resent in engine round `r`. The vector only
-    /// reaches up to the last round with a retransmission; later rounds
-    /// are implicitly zero.
+    /// Retransmissions by physical round (entry `r - 1` for round `r`),
+    /// grown lazily — empty until the first retransmission.
     pub fn retransmissions_per_round(&self) -> &[u64] {
         &self.retrans_per_round
     }
 
-    /// Frames never acknowledged by their frame boundary (delivery
-    /// unconfirmed; the data may still have arrived if only acks were
-    /// lost).
+    /// Retransmissions by outgoing port (directed link), indexed by port.
+    pub fn retransmissions_per_port(&self) -> &[u64] {
+        &self.retrans_per_port
+    }
+
+    /// Retransmissions sent at backoff stage ≥ 2 (third or later attempt)
+    /// — each one is a frame the adaptive timeout had to back off for.
+    pub fn backoff_events(&self) -> u64 {
+        self.backoff_events
+    }
+
+    /// Frames abandoned by the transport: sender frames that exhausted
+    /// `max_retries`, plus receiver-side skips of frames that never
+    /// arrived. Any nonzero count marks the run as degraded.
     pub fn given_up(&self) -> u64 {
         self.given_up
     }
 
-    /// Splits an inner outbox into per-port bundles and emits the initial
-    /// transmissions (called at a frame boundary, so they arrive in slot 0
-    /// of the next frame).
-    fn queue_and_send(
-        &mut self,
-        inner_out: Outbox<A::Msg>,
-        vround: u32,
-        out: &mut Outbox<RMsg<A::Msg>>,
-    ) {
-        let ports = self.out_pending.len();
+    /// Splits an inner outbox into per-port bundles and queues them as
+    /// frame `seq` on every link (empty bundles included — the stream is
+    /// self-clocking).
+    fn queue(&mut self, inner_out: Outbox<A::Msg>, seq: u32, fin: bool) {
+        let ports = self.send.len();
         let mut bundles: Vec<Vec<A::Msg>> = vec![Vec::new(); ports];
         for og in inner_out {
             match og {
@@ -257,27 +513,156 @@ where
             }
         }
         for (p, payload) in bundles.into_iter().enumerate() {
-            if payload.is_empty() {
-                self.out_pending[p] = None;
-                continue;
-            }
-            let check = checksum(vround, &payload);
-            out.push(Outgoing::Unicast(
-                p,
-                RMsg::Data {
-                    vround,
-                    check,
-                    payload: payload.clone(),
-                },
-            ));
-            self.out_pending[p] = Some(OutFrame {
-                vround,
+            let check = data_check(seq, fin, &payload);
+            self.send[p].frames.push_back(SendFrame {
+                seq,
+                fin,
                 check,
                 payload,
-                last_sent: None,
-                retries_left: self.cfg.max_retries,
+                attempt: 0,
+                sent_round: 0,
+                expires: 0,
                 acked: false,
+                given_up: false,
             });
+            self.send[p].next_seq = seq + 1;
+        }
+    }
+
+    /// The batched per-link send pass: one ack (if owed), then expired
+    /// retransmits and window-admitted new frames oldest-first, packing
+    /// everything that fits the per-edge bit budget.
+    fn pump(&mut self, round: usize, out: &mut Outbox<RMsg<A::Msg>>) {
+        let t_arq = prof_start(self.profiler.as_deref());
+        let ports = self.send.len();
+        for p in 0..ports {
+            let mut budget = self.budget;
+            // 1. Ack first: the receiver side is what unblocks the peer.
+            let rl = &mut self.recv[p];
+            if rl.ack_dirty && budget >= ACK_BITS {
+                let cum = rl.next_needed - 1;
+                let mut sack: u16 = 0;
+                for i in 0..MAX_WINDOW as u32 {
+                    if rl.buffer.contains_key(&(rl.next_needed + i)) {
+                        sack |= 1 << i;
+                    }
+                }
+                out.push(Outgoing::Unicast(
+                    p,
+                    RMsg::Ack {
+                        cum,
+                        sack,
+                        check: ack_check(cum, sack),
+                    },
+                ));
+                budget = budget.saturating_sub(ACK_BITS);
+                rl.ack_dirty = false;
+            }
+            // 2. Sender scan, oldest frame first.
+            let sl = &mut self.send[p];
+            sl.pop_resolved();
+            let mut gave_up = 0u64;
+            let mut retrans = 0u64;
+            let mut backoffs = 0u64;
+            if sl.dead {
+                for f in sl.frames.iter_mut() {
+                    if !f.resolved() {
+                        f.given_up = true;
+                        gave_up += 1;
+                    }
+                }
+            } else {
+                let base = sl.frames.front().map_or(sl.next_seq, |f| f.seq);
+                let window_end = base + self.cfg.window as u32;
+                let srtt = sl.srtt;
+                for f in sl.frames.iter_mut() {
+                    if f.resolved() {
+                        continue;
+                    }
+                    if f.attempt == 0 {
+                        // New frame: admitted by the window, sent if it fits.
+                        if f.seq >= window_end {
+                            break;
+                        }
+                        let bits = DATA_HEADER_BITS + payload_bits(&f.payload);
+                        if bits > budget {
+                            break;
+                        }
+                        out.push(Outgoing::Unicast(
+                            p,
+                            RMsg::Data {
+                                seq: f.seq,
+                                check: f.check,
+                                fin: f.fin,
+                                payload: f.payload.clone(),
+                            },
+                        ));
+                        budget -= bits;
+                        f.attempt = 1;
+                        f.sent_round = round;
+                        f.expires = round + rto(srtt, 1, self.seed, self.node_index, p, f.seq);
+                    } else if round >= f.expires {
+                        if f.attempt > self.cfg.max_retries {
+                            // Retry budget exhausted: abandon the frame.
+                            f.given_up = true;
+                            gave_up += 1;
+                        } else {
+                            let bits = DATA_HEADER_BITS + payload_bits(&f.payload);
+                            if bits <= budget {
+                                out.push(Outgoing::Unicast(
+                                    p,
+                                    RMsg::Data {
+                                        seq: f.seq,
+                                        check: f.check,
+                                        fin: f.fin,
+                                        payload: f.payload.clone(),
+                                    },
+                                ));
+                                budget -= bits;
+                                f.attempt += 1;
+                                f.expires = round
+                                    + rto(srtt, f.attempt, self.seed, self.node_index, p, f.seq);
+                                retrans += 1;
+                                if f.attempt >= 3 {
+                                    backoffs += 1;
+                                }
+                            }
+                            // Over budget: the frame stays expired and is
+                            // retried next round.
+                        }
+                    }
+                }
+                sl.consecutive_given_up += gave_up as usize;
+                if sl.consecutive_given_up >= 2 {
+                    sl.dead = true;
+                }
+            }
+            sl.pop_resolved();
+            self.given_up += gave_up;
+            self.retransmissions += retrans;
+            self.retrans_per_port[p] += retrans;
+            self.backoff_events += backoffs;
+            if gave_up > 0 || retrans > 0 {
+                self.saw_trouble = true;
+                if retrans > 0 && round > 0 {
+                    if self.retrans_per_round.len() < round {
+                        self.retrans_per_round.resize(round, 0);
+                    }
+                    self.retrans_per_round[round - 1] += retrans;
+                }
+            }
+        }
+        prof_record(self.profiler.as_deref(), Section::ArqRetransmit, t_arq);
+    }
+
+    /// Rounds of post-completion lingering before the wrapper reports
+    /// halted — long enough to cover one full backed-off retransmission
+    /// gap when the run saw any loss symptom.
+    fn linger(&self) -> usize {
+        if self.saw_trouble {
+            RTO_CAP + 2
+        } else {
+            2
         }
     }
 }
@@ -290,11 +675,18 @@ where
 
     fn init(&mut self, ctx: &NodeContext, rng: &mut ChaCha8Rng) -> Outbox<Self::Msg> {
         let ports = ctx.neighbor_ids.len();
-        self.out_pending = vec![None; ports];
-        self.in_got = vec![None; ports];
+        self.node_index = ctx.index;
+        self.send = (0..ports)
+            .map(|_| SendLink::new(self.cfg.ack_timeout))
+            .collect();
+        self.recv = (0..ports).map(|_| RecvLink::new()).collect();
+        self.retrans_per_port = vec![0; ports];
+        self.inner_next = 1;
         let inner_out = self.inner.init(ctx, rng);
+        let fin = self.inner.halted();
+        self.queue(inner_out, 1, fin);
         let mut out = Vec::new();
-        self.queue_and_send(inner_out, 1, &mut out);
+        self.pump(0, &mut out);
         out
     }
 
@@ -304,119 +696,152 @@ where
         inbox: &Inbox<Self::Msg>,
         rng: &mut ChaCha8Rng,
     ) -> Outbox<Self::Msg> {
-        let w = self.cfg.frame_rounds;
-        let slot = (ctx.round - 1) % w;
-        let vround = ((ctx.round - 1) / w + 1) as u32;
-        let last_slot = w - 1;
-        let mut out: Outbox<Self::Msg> = Vec::new();
+        let round = ctx.round;
+        let ports = self.send.len();
+        let mut arrived = false;
+        let mut data_on = vec![false; ports];
 
-        // 1. Process arrivals: accept checksum-valid data for the current
-        //    frame (acking duplicates too — our earlier ack may have been
-        //    lost), and mark acked sender frames.
+        // 1. Process arrivals: buffer checksum-valid data (acking
+        //    duplicates too — our earlier ack may have been lost) and
+        //    resolve acked sender frames.
         for (p, msg) in inbox {
             match &**msg {
                 RMsg::Data {
-                    vround: vr,
+                    seq,
                     check,
+                    fin,
                     payload,
                 } => {
-                    if *vr == vround && *check == checksum(*vr, payload) {
-                        if self.in_got[*p].is_none() {
-                            self.in_got[*p] = Some(payload.clone());
-                        }
-                        // No acks in the last slot: the sender's frame is
-                        // finished either way, and a late ack would leak
-                        // into the next frame.
-                        if slot < last_slot {
-                            out.push(Outgoing::Unicast(*p, RMsg::Ack { vround: *vr }));
-                        }
-                    }
-                    // Checksum mismatch or stale frame: stay silent; the
-                    // sender's timeout handles it.
-                }
-                RMsg::Ack { vround: vr } => {
-                    if let Some(f) = &mut self.out_pending[*p] {
-                        if f.vround == *vr {
-                            f.acked = true;
-                        }
-                    }
-                }
-            }
-        }
-
-        // 2. Retransmit timed-out frames (never in the last slot — those
-        //    sends could not be acked in time anyway).
-        let t_arq = prof_start(self.profiler.as_deref());
-        if slot < last_slot {
-            for (p, pending) in self.out_pending.iter_mut().enumerate() {
-                if let Some(f) = pending {
-                    if f.acked || f.retries_left == 0 {
+                    if *check != data_check(*seq, *fin, payload) {
+                        // Corrupted in flight: stay silent, the sender's
+                        // timeout repairs it.
+                        self.saw_trouble = true;
                         continue;
                     }
-                    // The initial send left at the previous frame boundary
-                    // and arrived in slot 0, so its ack is due in slot
-                    // `ack_timeout - 1`; a retransmission in slot `s`
-                    // arrives in `s + 1` with the ack due `ack_timeout`
-                    // later.
-                    let due = match f.last_sent {
-                        None => self.cfg.ack_timeout - 1,
-                        Some(s) => s + self.cfg.ack_timeout,
-                    };
-                    if slot >= due {
-                        out.push(Outgoing::Unicast(
-                            p,
-                            RMsg::Data {
-                                vround: f.vround,
-                                check: f.check,
-                                payload: f.payload.clone(),
-                            },
-                        ));
-                        f.last_sent = Some(slot);
-                        f.retries_left -= 1;
-                        self.retransmissions += 1;
-                        if self.retrans_per_round.len() < ctx.round {
-                            self.retrans_per_round.resize(ctx.round, 0);
+                    arrived = true;
+                    data_on[*p] = true;
+                    let rl = &mut self.recv[*p];
+                    rl.ack_dirty = true;
+                    if rl.dead || *seq < rl.next_needed {
+                        // Stale or post-skip data: discard but ack, so the
+                        // sender stops retransmitting (loss-sound — a
+                        // skipped frame stays skipped).
+                        self.saw_trouble = true;
+                        continue;
+                    }
+                    if *fin {
+                        rl.fin_at = Some(rl.fin_at.map_or(*seq, |f| f.min(*seq)));
+                    }
+                    rl.buffer.entry(*seq).or_insert_with(|| payload.clone());
+                    if rl.advance() {
+                        rl.consecutive_skips = 0;
+                    }
+                }
+                RMsg::Ack { cum, sack, check } => {
+                    if *check != ack_check(*cum, *sack) {
+                        self.saw_trouble = true;
+                        continue;
+                    }
+                    arrived = true;
+                    let sl = &mut self.send[*p];
+                    let mut fresh = false;
+                    for f in sl.frames.iter_mut() {
+                        let offset = f.seq.wrapping_sub(*cum);
+                        let covered = f.seq <= *cum
+                            || (offset >= 1
+                                && offset <= MAX_WINDOW as u32
+                                && (*sack >> (offset - 1)) & 1 == 1);
+                        if covered && !f.acked {
+                            f.acked = true;
+                            if !f.given_up {
+                                fresh = true;
+                                if f.attempt == 1 {
+                                    // Karn's rule: only first-attempt acks
+                                    // are unambiguous RTT samples.
+                                    let sample = round.saturating_sub(f.sent_round);
+                                    sl.srtt = (3 * sl.srtt + sample) / 4;
+                                }
+                            }
                         }
-                        self.retrans_per_round[ctx.round - 1] += 1;
                     }
+                    if fresh {
+                        sl.consecutive_given_up = 0;
+                    }
+                    sl.pop_resolved();
                 }
             }
         }
-        prof_record(self.profiler.as_deref(), Section::ArqRetransmit, t_arq);
+        self.idle_rounds = if arrived { 0 } else { self.idle_rounds + 1 };
 
-        // 3. Frame boundary: close out the transport state and run one
-        //    virtual round of the inner algorithm.
-        if slot == last_slot {
-            for pending in self.out_pending.iter_mut() {
-                if let Some(f) = pending.take() {
-                    if !f.acked {
-                        self.given_up += 1;
-                    }
-                }
-            }
+        // 2. Inner catch-up: step every virtual round whose bundles are
+        //    all available (a repaired gap can release several at once).
+        let mut steps = 0;
+        while steps < MAX_CATCHUP
+            && !self.inner.halted()
+            && (0..ports).all(|p| self.recv[p].ready(self.inner_next))
+        {
             let mut vinbox: Inbox<A::Msg> = Vec::new();
-            for (p, got) in self.in_got.iter_mut().enumerate() {
-                if let Some(bundle) = got.take() {
-                    for m in bundle {
-                        vinbox.push((p, Payload::Owned(m)));
-                    }
+            for (p, rl) in self.recv.iter_mut().enumerate() {
+                for m in rl.take(self.inner_next) {
+                    vinbox.push((p, Payload::Owned(m)));
                 }
             }
-            if !self.inner.halted() {
-                let vctx = NodeContext {
-                    round: vround as usize,
-                    ..ctx.clone()
+            let vctx = NodeContext {
+                round: self.inner_next as usize,
+                ..ctx.clone()
+            };
+            let inner_out = self.inner.on_round(&vctx, &vinbox, rng);
+            let fin = self.inner.halted();
+            let next = self.inner_next + 1;
+            self.queue(inner_out, next, fin);
+            self.inner_next = next;
+            steps += 1;
+        }
+
+        // 3. Receiver watchdog: a link that has blocked the inner
+        //    algorithm too long gets its missing frame skipped (delivered
+        //    empty — losses only remove information); two consecutive
+        //    skips declare the link dead.
+        if !self.inner.halted() {
+            for (p, &had_data) in data_on.iter().enumerate() {
+                let rl = &mut self.recv[p];
+                if rl.ready(self.inner_next) || had_data {
+                    rl.blocked_rounds = 0;
+                    continue;
+                }
+                rl.blocked_rounds += 1;
+                let patience = if rl.consecutive_skips > 0 {
+                    RTO_CAP + 2
+                } else {
+                    self.cfg.give_up_after()
                 };
-                let inner_out = self.inner.on_round(&vctx, &vinbox, rng);
-                self.queue_and_send(inner_out, vround + 1, &mut out);
+                if rl.blocked_rounds >= patience {
+                    rl.delivered.insert(rl.next_needed, Vec::new());
+                    rl.next_needed += 1;
+                    rl.advance();
+                    rl.blocked_rounds = 0;
+                    rl.consecutive_skips += 1;
+                    if rl.consecutive_skips >= 2 {
+                        rl.dead = true;
+                    }
+                    rl.ack_dirty = true;
+                    self.given_up += 1;
+                    self.saw_trouble = true;
+                }
             }
         }
 
+        // 4. Batched send pass: acks, then retransmits and new frames.
+        let mut out = Vec::new();
+        self.pump(round, &mut out);
         out
     }
 
     fn halted(&self) -> bool {
-        self.inner.halted() && self.out_pending.iter().all(Option::is_none)
+        self.inner.halted()
+            && self.send.iter().all(SendLink::all_resolved)
+            && self.recv.iter().all(RecvLink::closed)
+            && self.idle_rounds >= self.linger()
     }
 
     fn decision(&self) -> Decision {
@@ -445,7 +870,8 @@ where
 /// The transport run behind [`run_reliable`] (deprecated shim) and
 /// [`Simulation`](crate::Simulation)'s reliable route. Emits a
 /// [`SimEvent::TransportSummary`](crate::obsv::SimEvent) through the
-/// engine's collector once the tallies are known.
+/// engine's collector once the tallies are known, and re-assesses the
+/// outcome's degradation verdict with the transport's give-ups included.
 pub(crate) fn run_reliable_impl<A, F>(
     engine: &Engine<'_>,
     cfg: ReliableConfig,
@@ -457,8 +883,12 @@ where
     F: Fn(usize) -> A + Sync,
 {
     let prof = engine.profiler_handle().cloned();
+    let seed = engine.seed_value();
+    let budget = engine.bandwidth_limit().unwrap_or(usize::MAX);
     let (mut outcome, nodes) = engine.run_nodes_impl(|v| {
-        let node = Reliable::new(make(v), cfg);
+        let node = Reliable::new(make(v), cfg)
+            .with_seed(seed)
+            .with_budget(budget);
         match &prof {
             Some(p) => node.with_profiler(Arc::clone(p)),
             None => node,
@@ -466,6 +896,7 @@ where
     })?;
     outcome.faults.retransmissions = nodes.iter().map(Reliable::retransmissions).sum();
     outcome.faults.given_up = nodes.iter().map(Reliable::given_up).sum();
+    outcome.faults.backoff_events = nodes.iter().map(Reliable::backoff_events).sum();
     // Fold the per-node, per-physical-round retransmission counts into one
     // run-wide series aligned with `dropped_per_round` (padded with zeros
     // out to the executed round count).
@@ -478,10 +909,24 @@ where
         }
     }
     outcome.faults.retransmissions_per_round = per_round;
+    // Per-link tallies, in the CSR directed-edge order shared with
+    // `RunStats::directed_edge_bits` (slot `offsets[v] + port`).
+    let offsets = Arc::clone(&outcome.stats.offsets);
+    let slots = offsets.last().copied().unwrap_or(0);
+    let mut per_link = vec![0u64; slots];
+    for (v, nd) in nodes.iter().enumerate() {
+        for (p, &c) in nd.retransmissions_per_port().iter().enumerate() {
+            per_link[offsets[v] + p] += c;
+        }
+    }
+    outcome.faults.retransmissions_per_link = per_link;
+    let n = nodes.len();
+    outcome.assess_degradation(n);
     if let Some(c) = engine.collector_handle() {
         c.record(&crate::obsv::SimEvent::TransportSummary {
             retransmissions: outcome.faults.retransmissions,
             given_up: outcome.faults.given_up,
+            backoff_events: outcome.faults.backoff_events,
         });
     }
     Ok((
@@ -590,6 +1035,31 @@ mod tests {
         assert!(nodes.iter().all(|nd| nd.heard.len() == n));
         assert_eq!(rel.faults.retransmissions, 0);
         assert!(rel.completed);
+        assert!(rel.degraded.is_none(), "a clean run is not degraded");
+    }
+
+    #[test]
+    fn windowed_pipeline_beats_stop_and_wait() {
+        // The acceptance property in miniature: stop-and-wait (window 1)
+        // pays two physical rounds per virtual round even losslessly; a
+        // window ≥ 2 self-clocks at one round per virtual round.
+        let n = 5;
+        let g = generators::path(n);
+        let windowed = gossip_sim(&g, ReliableConfig::default(), n)
+            .run(|_| Gossip::new(n))
+            .unwrap();
+        let sw_cfg = ReliableConfig {
+            window: 1,
+            ..ReliableConfig::default()
+        };
+        let sw = gossip_sim(&g, sw_cfg, n).run(|_| Gossip::new(n)).unwrap();
+        assert_eq!(windowed.decisions, sw.decisions);
+        assert!(
+            2 * windowed.stats.rounds <= sw.stats.rounds + 10,
+            "windowed {} rounds vs stop-and-wait {}",
+            windowed.stats.rounds,
+            sw.stats.rounds
+        );
     }
 
     #[test]
@@ -721,6 +1191,12 @@ mod tests {
             rel.faults.retransmissions_per_round.iter().sum::<u64>(),
             rel.faults.retransmissions
         );
+        // So does the per-link series (CSR directed-edge order).
+        assert_eq!(rel.faults.retransmissions_per_link.len(), 2 * (n - 1));
+        assert_eq!(
+            rel.faults.retransmissions_per_link.iter().sum::<u64>(),
+            rel.faults.retransmissions
+        );
     }
 
     #[test]
@@ -759,34 +1235,117 @@ mod tests {
     }
 
     #[test]
+    fn backoff_tallies_fire_under_heavy_loss() {
+        let n = 5;
+        let g = generators::path(n);
+        let cfg = ReliableConfig::default();
+        let rel = gossip_sim(&g, cfg, n)
+            .seed(12)
+            .faults(FaultSpec::IndependentLoss(0.6))
+            .run(|_| Gossip::new(n))
+            .unwrap();
+        assert!(rel.faults.retransmissions > 0);
+        assert!(
+            rel.faults.backoff_events > 0,
+            "60% loss should force third-or-later attempts: {}",
+            rel.faults.summary()
+        );
+    }
+
+    #[test]
     fn rmsg_bit_sizes_are_exact() {
         let data: RMsg<u64> = RMsg::Data {
-            vround: 1,
+            seq: 1,
             check: 0,
+            fin: false,
             payload: vec![7, 8],
         };
         assert_eq!(data.bit_size(), DATA_HEADER_BITS + 128);
-        let ack: RMsg<u64> = RMsg::Ack { vround: 1 };
+        let ack: RMsg<u64> = RMsg::Ack {
+            cum: 1,
+            sack: 0,
+            check: 0,
+        };
         assert_eq!(ack.bit_size(), ACK_BITS);
     }
 
     #[test]
-    fn corrupted_data_fails_checksum() {
+    fn corrupted_frames_fail_their_checksums() {
         let payload = vec![1u64, 2, 3];
-        let check = checksum(4, &payload);
-        let mut msg: RMsg<u64> = RMsg::Data {
-            vround: 4,
-            check,
-            payload,
-        };
-        assert!(msg.corrupt_bit(9));
-        match msg {
-            RMsg::Data {
-                vround,
+        let check = data_check(4, false, &payload);
+        for bit in [0, 9, 33, 48] {
+            let mut msg: RMsg<u64> = RMsg::Data {
+                seq: 4,
                 check,
-                payload,
-            } => assert_ne!(check, checksum(vround, &payload)),
-            _ => unreachable!(),
+                fin: false,
+                payload: payload.clone(),
+            };
+            assert!(msg.corrupt_bit(bit));
+            match msg {
+                RMsg::Data {
+                    seq,
+                    check,
+                    fin,
+                    payload,
+                } => assert_ne!(
+                    check,
+                    data_check(seq, fin, &payload),
+                    "flip of bit {bit} must be detected"
+                ),
+                _ => unreachable!(),
+            }
         }
+        for bit in [0, 35, 50] {
+            let mut ack: RMsg<u64> = RMsg::Ack {
+                cum: 9,
+                sack: 0b101,
+                check: ack_check(9, 0b101),
+            };
+            assert!(ack.corrupt_bit(bit));
+            match ack {
+                RMsg::Ack { cum, sack, check } => assert_ne!(
+                    check,
+                    ack_check(cum, sack),
+                    "ack flip of bit {bit} must be detected"
+                ),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_tunings() {
+        assert!(ReliableConfig::default().validate().is_ok());
+        let bad = [
+            ReliableConfig {
+                window: 0,
+                ack_timeout: 2,
+                max_retries: 4,
+            },
+            ReliableConfig {
+                window: MAX_WINDOW + 1,
+                ack_timeout: 2,
+                max_retries: 4,
+            },
+            ReliableConfig {
+                window: 8,
+                ack_timeout: 0,
+                max_retries: 4,
+            },
+            ReliableConfig {
+                window: 8,
+                ack_timeout: 2,
+                max_retries: 0,
+            },
+        ];
+        for cfg in bad {
+            assert!(cfg.validate().is_err(), "{cfg:?} should be rejected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ReliableConfig")]
+    fn constructor_panics_on_zero_window() {
+        let _ = ReliableConfig::new(0, 2, 4);
     }
 }

@@ -34,7 +34,7 @@
 //! schema-versioned [`RunReport`].
 
 use crate::cliquemodel::{CliqueAlgorithm, CliqueEngine, CliqueStats};
-use crate::engine::{Bandwidth, Engine, RunOutcome};
+use crate::engine::{Bandwidth, Degraded, Engine, RunOutcome};
 use crate::error::SimError;
 use crate::faults::{FaultReport, FaultSpec};
 use crate::node::{Decision, NodeAlgorithm};
@@ -63,6 +63,10 @@ pub struct Outcome {
     pub completed: bool,
     /// What the fault layer (and reliable transport) did to this run.
     pub faults: FaultReport,
+    /// `Some` when the run degraded instead of completing cleanly (round
+    /// budget exhausted, transport give-ups, or crashed nodes); the
+    /// decision then covers the surviving subgraph only, loss-soundly.
+    pub degraded: Option<Degraded>,
     /// Deterministic, name-sorted metrics snapshot of the run.
     pub metrics: MetricsSnapshot,
 }
@@ -74,8 +78,14 @@ impl Outcome {
             stats: run.stats,
             completed: run.completed,
             faults: run.faults,
+            degraded: run.degraded,
             metrics,
         }
+    }
+
+    /// Whether this run degraded (see [`Degraded`]).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
     }
 
     /// Definition 1 semantics: the network "detects H" iff some node rejects.
@@ -104,7 +114,9 @@ impl Outcome {
             .any(|(v, d)| *d == Decision::Reject && crashed.binary_search(&v).is_err())
     }
 
-    /// Exports the outcome as a schema-versioned [`RunReport`].
+    /// Exports the outcome as a schema-versioned [`RunReport`]. Degraded
+    /// runs carry their graceful-degradation verdict into the report's
+    /// `degraded` block.
     pub fn report(&self, label: &str) -> RunReport {
         RunReport::from_stats(
             label,
@@ -113,6 +125,7 @@ impl Outcome {
             self.completed,
             self.metrics.clone(),
         )
+        .with_degradation(self.degraded.clone(), self.decisions.len())
     }
 }
 
@@ -352,6 +365,7 @@ impl<'g> Simulation<'g> {
                             .into(),
                     ));
                 }
+                cfg.validate().map_err(SimError::Config)?;
                 run_reliable_impl(&engine, cfg, make)?
             }
             None => engine.run_nodes_impl(make)?,
@@ -424,6 +438,7 @@ impl<'g> Simulation<'g> {
             stats,
             completed: clique.completed,
             faults,
+            degraded: None,
         };
         Ok(CliqueRun {
             outputs: clique.outputs,

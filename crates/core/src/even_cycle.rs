@@ -918,16 +918,39 @@ pub struct FaultyEvenCycleReport {
     /// Per-phase round/bit breakdown (`"phase1"` then `"phase2"`),
     /// aggregated over repetitions.
     pub phases: Vec<PhaseStat>,
+    /// The weakest graceful-degradation verdict across all executed phase
+    /// runs (`None` when every phase ran clean): the detector's answer is
+    /// only as trustworthy as its least-healthy phase.
+    pub degraded: Option<congest::Degraded>,
 }
 
 impl FaultyEvenCycleReport {
     /// Renders the whole faulty detector run as a schema-versioned
     /// [`RunReport`] carrying the aggregated fault tallies (including
-    /// transport retransmission counters when an ARQ was used).
+    /// transport retransmission counters when an ARQ was used) and the
+    /// degradation verdict, if any phase degraded.
     pub fn run_report(&self, label: &str) -> RunReport {
         let metrics = Metrics::from_run(&self.stats, &self.faults).snapshot();
-        RunReport::from_stats(label, &self.stats, &self.faults, true, metrics)
-            .with_phases(self.phases.clone())
+        let n = self.stats.offsets.len().saturating_sub(1);
+        RunReport::from_stats(
+            label,
+            &self.stats,
+            &self.faults,
+            self.degraded.is_none(),
+            metrics,
+        )
+        .with_phases(self.phases.clone())
+        .with_degradation(self.degraded.clone(), n)
+    }
+}
+
+/// Keeps the weakest degradation verdict seen so far (lowest confidence
+/// wins; any verdict beats none).
+fn fold_degraded(acc: &mut Option<congest::Degraded>, next: &Option<congest::Degraded>) {
+    if let Some(d) = next {
+        if acc.as_ref().is_none_or(|a| d.confidence < a.confidence) {
+            *acc = Some(d.clone());
+        }
     }
 }
 
@@ -1009,6 +1032,7 @@ pub fn detect_even_cycle_faulty_observed(
     let mut agg: Option<RunStats> = None;
     let mut tally = PhaseTally::default();
     let mut faults_seen = FaultReport::default();
+    let mut degraded = None;
     let mut detected = false;
     let mut reps = 0usize;
 
@@ -1033,6 +1057,7 @@ pub fn detect_even_cycle_faulty_observed(
         }
         let hit1 = out1.surviving_node_rejects();
         faults_seen.absorb(&out1.faults);
+        fold_degraded(&mut degraded, &out1.degraded);
         if hit1 {
             detected = true;
             break;
@@ -1056,6 +1081,7 @@ pub fn detect_even_cycle_faulty_observed(
         }
         let hit2 = out2.surviving_node_rejects();
         faults_seen.absorb(&out2.faults);
+        fold_degraded(&mut degraded, &out2.degraded);
         if hit2 {
             detected = true;
             break;
@@ -1072,6 +1098,7 @@ pub fn detect_even_cycle_faulty_observed(
         schedule: sched,
         phases: tally.render(),
         stats,
+        degraded,
     })
 }
 

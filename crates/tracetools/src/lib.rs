@@ -189,6 +189,7 @@ pub fn parse_line(obj: &str, line: usize) -> Result<SimEvent, ParseError> {
         "transport" => Ok(SimEvent::TransportSummary {
             retransmissions: num(obj, "retransmissions", line)?,
             given_up: num(obj, "given_up", line)?,
+            backoff_events: num(obj, "backoff_events", line)?,
         }),
         other => Err(err(line, format!("unknown event kind \"{other}\""))),
     }
@@ -237,9 +238,10 @@ fn u64_array(doc: &str, key: &str) -> Option<Vec<u64>> {
 /// * schema tag and version are present, and the version is one this
 ///   toolkit understands;
 /// * braces and brackets balance (cheap well-formedness);
-/// * the scalar fault tallies match their per-round series (`dropped` ==
-///   sum of `dropped_per_round`, `retransmissions` == sum of
-///   `retransmissions_per_round`) when the series are present;
+/// * the scalar fault tallies match their per-round and per-link series
+///   (`dropped` == sum of `dropped_per_round`, `retransmissions` == sum
+///   of both `retransmissions_per_round` and `retransmissions_per_link`)
+///   when the series are present;
 /// * the `per_round_bits` series has one entry per executed round.
 pub fn check_run_report(doc: &str) -> Vec<String> {
     let mut out = Vec::new();
@@ -270,6 +272,7 @@ pub fn check_run_report(doc: &str) -> Vec<String> {
     for (total_key, series_key) in [
         ("dropped", "dropped_per_round"),
         ("retransmissions", "retransmissions_per_round"),
+        ("retransmissions", "retransmissions_per_link"),
     ] {
         if let (Some(total), Some(series)) = (scalar(total_key), u64_array(doc, series_key)) {
             let sum: u64 = series.iter().sum();
@@ -363,6 +366,7 @@ mod tests {
             SimEvent::TransportSummary {
                 retransmissions: 4,
                 given_up: 1,
+                backoff_events: 2,
             },
         ]
     }
@@ -433,6 +437,18 @@ mod tests {
         assert!(v.iter().any(|m| m.contains("version 99")), "{v:?}");
         let v = check_run_report("{\"version\": 2}");
         assert!(v.iter().any(|m| m.contains("schema")), "{v:?}");
+    }
+
+    #[test]
+    fn run_report_checker_flags_per_link_drift() {
+        // A v3 document whose per-link series disagrees with the scalar.
+        let doc = report_doc(1, 3).replace(
+            "\"retransmissions_per_round\":[2,1]",
+            "\"retransmissions_per_round\":[2,1],\"retransmissions_per_link\":[2,2]",
+        );
+        let v = check_run_report(&doc);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("retransmissions_per_link"), "{v:?}");
     }
 
     #[test]

@@ -95,6 +95,27 @@ RAYON_NUM_THREADS=1 cargo test -q -p congest --test routing
 echo "==> routing property test (RAYON_NUM_THREADS=4)"
 RAYON_NUM_THREADS=4 cargo test -q -p congest --test routing
 
+# FaultStack composition is order-sensitive first-fault-wins and a pure
+# function of (spec, seed); the property suite must hold on sequential and
+# parallel schedules alike.
+echo "==> fault-stack composition property test (RAYON_NUM_THREADS=1)"
+RAYON_NUM_THREADS=1 cargo test -q -p congest --test fault_stack
+
+echo "==> fault-stack composition property test (RAYON_NUM_THREADS=4)"
+RAYON_NUM_THREADS=4 cargo test -q -p congest --test fault_stack
+
+# Chaos-schedule smoke budget: the deterministic fuzzer sweep (seeded
+# schedules across the loss x burstiness x crash x outage x corruption
+# space, even-cycle oracle behind the ARQ transport) must report zero
+# soundness violations -- and, to prove the harness has teeth, the
+# deliberately-broken invariant must be found AND shrunk to a minimal
+# reproducer.
+echo "==> chaos fuzzer smoke budget (zero violations over seeded schedules)"
+cargo test -q --test chaos chaos_fuzzer_finds_no_soundness_violations
+
+echo "==> chaos fuzzer teeth gate (injected violation found and shrunk)"
+cargo test -q --test chaos chaos_fuzzer_catches_and_shrinks_a_broken_invariant
+
 # Perf-regression smoke gate: smallest workload sizes, generous tolerance
 # (debug-vs-release noise is not what this guards against — the release
 # binary is used; the gate skips itself when no comparable baseline

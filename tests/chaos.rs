@@ -154,6 +154,146 @@ fn reliable_transport_recovers_even_cycle_detection_under_loss() {
 }
 
 #[test]
+fn degraded_outcomes_stay_sound_under_every_fault_model() {
+    // When the ARQ transport exhausts its retry budget (dead links, crashed
+    // peers) the run downgrades to `Degraded` instead of erroring. The
+    // contract: the decision over the surviving subgraph is still loss-sound
+    // (no false C4 on a C4-free graph), the surviving set is a sorted subset
+    // of the nodes, and confidence is a well-formed fraction.
+    let g = graphlib::generators::cycle(5);
+    let mut saw_degraded = false;
+    for (fname, spec) in fault_menu((0, 1)) {
+        let cfg = detection::EvenCycleConfig::new(2).repetitions(4).seed(5);
+        let rep =
+            detection::detect_even_cycle_faulty(&g, cfg, &spec, Some(ReliableConfig::default()))
+                .unwrap();
+        if let Some(d) = &rep.degraded {
+            saw_degraded = true;
+            assert!(
+                !rep.detected,
+                "{fname}: degraded run fabricated a C4 on an odd cycle"
+            );
+            assert!(
+                d.surviving.windows(2).all(|w| w[0] < w[1]),
+                "{fname}: surviving set must be sorted and duplicate-free: {:?}",
+                d.surviving
+            );
+            assert!(
+                d.surviving.iter().all(|&v| v < g.n()),
+                "{fname}: surviving node out of range: {:?}",
+                d.surviving
+            );
+            assert!(
+                (0.0..=1.0).contains(&d.confidence),
+                "{fname}: confidence {} outside [0, 1]",
+                d.confidence
+            );
+            if d.has_quorum(g.n()) {
+                assert!(2 * d.surviving.len() > g.n());
+            }
+        }
+    }
+    assert!(
+        saw_degraded,
+        "at least one menu entry (crash-stop, severed link) must degrade"
+    );
+}
+
+/// The soundness oracle the chaos fuzzer drives: run the even-cycle
+/// detector behind the ARQ transport on a C4-free graph and report every
+/// breach of the degradation contract as a violation string.
+fn soundness_oracle(spec: &FaultSpec, seed: u64) -> Vec<String> {
+    let g = graphlib::generators::cycle(5);
+    let cfg = detection::EvenCycleConfig::new(2).repetitions(2).seed(seed);
+    let mut violations = Vec::new();
+    match detection::detect_even_cycle_faulty(&g, cfg, spec, Some(ReliableConfig::default())) {
+        Ok(rep) => {
+            if rep.detected {
+                violations.push("false C4 detection on C4-free graph".to_string());
+            }
+            if let Some(d) = &rep.degraded {
+                if !(0.0..=1.0).contains(&d.confidence) {
+                    violations.push(format!("confidence {} out of range", d.confidence));
+                }
+                if !d.surviving.windows(2).all(|w| w[0] < w[1])
+                    || d.surviving.iter().any(|&v| v >= g.n())
+                {
+                    violations.push(format!("malformed surviving set {:?}", d.surviving));
+                }
+            }
+        }
+        Err(e) => violations.push(format!("run error instead of degradation: {e}")),
+    }
+    violations
+}
+
+#[test]
+fn chaos_fuzzer_finds_no_soundness_violations() {
+    // The smoke budget `scripts/check.sh` enforces: a deterministic sweep
+    // of seeded schedules across the whole fault-model space, every one of
+    // which must run sound. Failures would come back pre-shrunk.
+    let schedules = congest::chaos::enumerate(0xC4, 5, 12);
+    assert_eq!(schedules.len(), 12);
+    let failures = congest::chaos::fuzz(&schedules, soundness_oracle);
+    assert!(
+        failures.is_empty(),
+        "chaos fuzzer found soundness violations:\n{}",
+        failures
+            .iter()
+            .map(congest::ChaosFailure::to_json)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn chaos_fuzzer_catches_and_shrinks_a_broken_invariant() {
+    // Gate that the fuzzer has teeth: hand it a deliberately-too-strong
+    // oracle ("no message may ever drop") and it must find a violating
+    // schedule and shrink it to a minimal reproducer of at most 3 events.
+    let too_strong = |spec: &FaultSpec, seed: u64| -> Vec<String> {
+        let g = graphlib::generators::cycle(5);
+        let cfg = detection::EvenCycleConfig::new(2).repetitions(2).seed(seed);
+        let rep = detection::detect_even_cycle_faulty(&g, cfg, spec, None).unwrap();
+        if rep.faults.dropped > 0 {
+            vec![format!("{} messages dropped", rep.faults.dropped)]
+        } else {
+            Vec::new()
+        }
+    };
+    let schedules = congest::chaos::enumerate(0xBAD, 5, 12);
+    let failures = congest::chaos::fuzz(&schedules, too_strong);
+    assert!(
+        !failures.is_empty(),
+        "the injected invariant breach must be found"
+    );
+    for f in &failures {
+        assert!(!f.violations.is_empty());
+        assert!(
+            f.shrunk.events.len() <= 3,
+            "reproducer not minimal: {} events",
+            f.shrunk.events.len()
+        );
+        assert!(
+            f.shrunk.events.len() <= f.schedule.events.len(),
+            "shrinking must never grow the schedule"
+        );
+        // Minimality: removing any single remaining event kills the repro.
+        for i in 0..f.shrunk.events.len() {
+            let mut candidate = f.shrunk.clone();
+            candidate.events.remove(i);
+            assert!(
+                too_strong(&candidate.spec(), candidate.seed).is_empty(),
+                "shrunk schedule still reducible at event {i}"
+            );
+        }
+        let json = f.to_json();
+        assert!(json.contains("congest.chaos_reproducer"));
+        assert!(json.contains(r#""shrunk""#));
+    }
+}
+
+#[test]
 fn faulty_runs_reproduce_from_engine_seed() {
     let g = graphlib::generators::complete_bipartite(2, 3);
     let spec = FaultSpec::GilbertElliott(0.2, 0.3, 0.05, 0.9);

@@ -1,11 +1,13 @@
 //! Golden-file and thread-count stability tests for the run-report
 //! exporter (the `obsv` layer's schema-versioned JSON).
 //!
-//! Two canonical scenarios — a fault-free `detect_even_cycle` run and the
-//! same detector behind the ARQ transport at 30 % message loss — are
-//! rendered by `bench::perf::canonical_run_reports()` (the same generator
-//! the `perf --run-reports` export uses) and compared byte-for-byte
-//! against the checked-in goldens in `tests/golden/`. Regenerate with
+//! Three canonical scenarios — a fault-free `detect_even_cycle` run, the
+//! same detector behind the ARQ transport at 30 % message loss, and a
+//! planted-`C_4` instance under bursty Gilbert–Elliott loss behind the
+//! windowed transport — are rendered by
+//! `bench::perf::canonical_run_reports()` (the same generator the
+//! `perf --run-reports` export uses) and compared byte-for-byte against
+//! the checked-in goldens in `tests/golden/`. Regenerate with
 //! `UPDATE_GOLDEN=1 cargo test --test run_report`.
 //!
 //! The pool sizes itself once per process from `RAYON_NUM_THREADS`, so the
@@ -28,7 +30,7 @@ fn golden_path(label: &str) -> PathBuf {
 #[test]
 fn canonical_run_reports_match_goldens() {
     let reports = bench::perf::canonical_run_reports();
-    assert_eq!(reports.len(), 2);
+    assert_eq!(reports.len(), 3);
     for report in &reports {
         let json = report.to_json();
         // Schema versioning is the contract that makes goldens meaningful.
@@ -75,6 +77,34 @@ fn arq_loss_report_carries_transport_tallies() {
     assert_eq!(
         report.metrics.counter("transport.retransmissions"),
         Some(report.faults.retransmissions)
+    );
+}
+
+#[test]
+fn windowed_arq_beats_stop_and_wait_on_bursty_loss() {
+    // The PR's headline number: on the canonical bursty planted-C4
+    // scenario, the sliding-window transport must finish in at most 0.6x
+    // the physical rounds of its stop-and-wait (window=1) counterpart,
+    // read from the run reports' round counts.
+    let windowed = bench::perf::canonical_bursty_report(congest::ReliableConfig::default().window);
+    let stop_and_wait = bench::perf::canonical_bursty_report(1);
+    assert!(
+        windowed.rounds > 0 && stop_and_wait.rounds > 0,
+        "both variants must actually run"
+    );
+    assert!(
+        5 * windowed.rounds <= 3 * stop_and_wait.rounds,
+        "windowed ARQ took {} rounds vs stop-and-wait {} (ratio {:.3} > 0.6)",
+        windowed.rounds,
+        stop_and_wait.rounds,
+        windowed.rounds as f64 / stop_and_wait.rounds as f64
+    );
+    // Burst loss must actually have exercised the retransmit machinery.
+    assert!(windowed.faults.retransmissions > 0);
+    assert_eq!(
+        windowed.faults.retransmissions,
+        windowed.faults.retransmissions_per_link.iter().sum::<u64>(),
+        "per-link retransmit tallies must sum to the scalar"
     );
 }
 
