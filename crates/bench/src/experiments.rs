@@ -577,6 +577,56 @@ pub fn e9_property_testing(trials: usize, seed: u64) -> Vec<E9Row> {
     rows
 }
 
+/// One run of the scale experiment (E3-scale in `BENCH_<date>.json`).
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Number of nodes.
+    pub n: usize,
+    /// Engine rounds across both phases of the single repetition.
+    pub rounds: usize,
+    /// Total bits on the wire.
+    pub total_bits: u64,
+    /// Whether the planted `C_4` was found (one repetition only, so this
+    /// is a coin toss by design — the workload is the round loop, not the
+    /// amplification).
+    pub detected: bool,
+    /// Shard count the engine was asked for (0 = one shard per lane).
+    pub shards: usize,
+}
+
+/// The scale-experiment instance: a degree-`4`-bounded sparse graph with a
+/// planted `C_4`, built by the streaming generator (peak memory stays
+/// `O(n·d)`, no quadratic scratch).
+pub fn scale_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ n as u64);
+    generators::planted_c2k(n, 4, 2, &mut rng).0
+}
+
+/// E3-scale — the sharded round engine at census sizes (`n = 10^5` in the
+/// full baseline): ONE repetition of the Theorem 1.1 `C_4` detector on
+/// [`scale_graph`]. The graph is taken pre-built so callers can time the
+/// round loop alone; there is no gather baseline here (its round count is
+/// linear in `n`, which is the whole point of the theorem).
+pub fn e3_scale_on(g: &Graph, shards: usize, seed: u64) -> ScaleRow {
+    let cfg = detection::EvenCycleConfig::new(2)
+        .repetitions(1)
+        .seed(seed)
+        .shards(shards);
+    let rep = detection::detect_even_cycle(g, cfg).expect("engine");
+    ScaleRow {
+        n: g.n(),
+        rounds: rep.total_rounds,
+        total_bits: rep.total_bits,
+        detected: rep.detected,
+        shards,
+    }
+}
+
+/// [`e3_scale_on`] including graph construction, for one-shot callers.
+pub fn e3_scale(n: usize, shards: usize, seed: u64) -> ScaleRow {
+    e3_scale_on(&scale_graph(n, seed), shards, seed)
+}
+
 /// A small default graph used by the criterion benches.
 pub fn bench_graph(n: usize, seed: u64) -> Graph {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);

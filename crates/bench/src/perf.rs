@@ -1,11 +1,12 @@
 //! Machine-readable perf baselines.
 //!
-//! The criterion benches time micro-kernels; this module times the two
+//! The criterion benches time micro-kernels; this module times the
 //! *end-to-end* experiments the thread pool is supposed to speed up (E1
-//! even-cycle detection, E2 superlinear-family simulation) and renders the
-//! wall-clock numbers as a small JSON document, so the repo's perf
-//! trajectory is recorded in-tree (`BENCH_<date>.json` at the workspace
-//! root, one file per measurement day).
+//! even-cycle detection, E2 superlinear-family simulation, E3-scale — the
+//! sharded engine at `n = 10^5`) and renders the wall-clock numbers as a
+//! small JSON document, so the repo's perf trajectory is recorded in-tree
+//! (`BENCH_<date>.json` at the workspace root, one file per measurement
+//! day).
 //!
 //! The pool sizes itself once per process from `RAYON_NUM_THREADS`, so a
 //! multi-thread-count report needs one subprocess per count — that
@@ -23,16 +24,20 @@ use subgraph_detection as detection;
 
 /// Schema tag of the perf-baseline document ([`render_report`]).
 pub const PERF_REPORT_SCHEMA: &str = "congest.perf_report";
-/// Version of the perf-baseline document layout.
-pub const PERF_REPORT_VERSION: u32 = 1;
+/// Version of the perf-baseline document layout. v2 added the optional
+/// `shards` and `peak_rss_kb` columns (E3-scale entries); v1 documents
+/// still parse — the new fields default to 0/absent.
+pub const PERF_REPORT_VERSION: u32 = 2;
 
 /// One timed workload: `experiment` at size `n` took `wall_ms` on a pool of
 /// `threads` lanes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfEntry {
-    /// Experiment tag (`"e1_even_cycle"`, `"e2_superlinear"`).
+    /// Experiment tag (`"e1_even_cycle"`, `"e2_superlinear"`,
+    /// `"e3_scale"`).
     pub experiment: String,
-    /// Instance size (nodes for E1, disjointness side length for E2).
+    /// Instance size (nodes for E1/E3-scale, disjointness side length for
+    /// E2).
     pub n: usize,
     /// Wall-clock time of the workload, milliseconds.
     pub wall_ms: f64,
@@ -42,39 +47,74 @@ pub struct PerfEntry {
     /// numbers measure scheduler thrash, not speedup, and are excluded
     /// from speedup summaries and regression comparisons.
     pub oversubscribed: bool,
+    /// Engine shard count of the run (0 = not recorded / pre-v2 entry;
+    /// the engine's auto mode resolves to one shard per pool lane).
+    pub shards: usize,
+    /// Process peak RSS (`VmHWM`) in KiB *after* the workload ran, 0 when
+    /// not recorded. The high-water mark is monotone within a process, so
+    /// only the largest workload of an `--emit` run (E3-scale, which runs
+    /// last) records it — earlier entries would just echo their own noise.
+    pub peak_rss_kb: u64,
 }
 
 impl PerfEntry {
-    /// The entry as one JSON object. The `oversubscribed` flag is emitted
-    /// only when set, keeping the common case identical to older reports.
+    /// The entry as one JSON object. The `oversubscribed` flag and the v2
+    /// columns (`shards`, `peak_rss_kb`) are emitted only when set,
+    /// keeping the common case identical to older reports.
     pub fn to_json(&self) -> String {
         let flag = if self.oversubscribed {
             r#","oversubscribed":true"#
         } else {
             ""
         };
+        let shards = if self.shards > 0 {
+            format!(r#","shards":{}"#, self.shards)
+        } else {
+            String::new()
+        };
+        let rss = if self.peak_rss_kb > 0 {
+            format!(r#","peak_rss_kb":{}"#, self.peak_rss_kb)
+        } else {
+            String::new()
+        };
         format!(
-            r#"{{"experiment":"{}","n":{},"wall_ms":{:.3},"threads":{}{flag}}}"#,
+            r#"{{"experiment":"{}","n":{},"wall_ms":{:.3},"threads":{}{flag}{shards}{rss}}}"#,
             self.experiment, self.n, self.wall_ms, self.threads
         )
     }
 }
 
-/// Default workload sizes (E1 node counts, E2 side lengths).
-pub const FULL_SIZES: (&[usize], &[usize]) = (&[128, 256, 512], &[16, 36, 64]);
+/// Process peak RSS (`VmHWM` from `/proc/self/status`) in KiB, 0 when the
+/// proc file is unavailable (non-Linux hosts).
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Default workload sizes (E1 node counts, E2 side lengths, E3-scale node
+/// counts).
+pub const FULL_SIZES: (&[usize], &[usize], &[usize]) =
+    (&[128, 256, 512], &[16, 36, 64], &[100_000]);
 /// Reduced sizes for the smoke-test variant of the regression gate.
-pub const SMOKE_SIZES: (&[usize], &[usize]) = (&[128], &[16]);
+pub const SMOKE_SIZES: (&[usize], &[usize], &[usize]) = (&[128], &[16], &[10_000]);
 
 /// Runs the timed workloads at the current pool size. Sizes are chosen so
 /// one pass stays under ~a minute in release mode while still being large
 /// enough for the round loop (not process startup) to dominate.
 pub fn run_workloads() -> Vec<PerfEntry> {
-    run_sized_workloads(FULL_SIZES.0, FULL_SIZES.1)
+    run_sized_workloads(FULL_SIZES.0, FULL_SIZES.1, FULL_SIZES.2)
 }
 
 /// The smoke variant: smallest size of each experiment only.
 pub fn run_smoke_workloads() -> Vec<PerfEntry> {
-    run_sized_workloads(SMOKE_SIZES.0, SMOKE_SIZES.1)
+    run_sized_workloads(SMOKE_SIZES.0, SMOKE_SIZES.1, SMOKE_SIZES.2)
 }
 
 /// Repetitions per timed workload. The *minimum* wall time across reps is
@@ -84,9 +124,9 @@ pub fn run_smoke_workloads() -> Vec<PerfEntry> {
 /// lower-bound reporting).
 const TIMING_REPS: usize = 3;
 
-/// Times `work` [`TIMING_REPS`] times and returns the minimum in ms.
-fn min_wall_ms(mut work: impl FnMut()) -> f64 {
-    (0..TIMING_REPS)
+/// Times `work` `reps` times and returns the minimum in ms.
+fn min_wall_ms_over(reps: usize, mut work: impl FnMut()) -> f64 {
+    (0..reps)
         .map(|_| {
             let start = Instant::now();
             work();
@@ -95,7 +135,16 @@ fn min_wall_ms(mut work: impl FnMut()) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-fn run_sized_workloads(e1_sizes: &[usize], e2_sizes: &[usize]) -> Vec<PerfEntry> {
+/// Times `work` [`TIMING_REPS`] times and returns the minimum in ms.
+fn min_wall_ms(work: impl FnMut()) -> f64 {
+    min_wall_ms_over(TIMING_REPS, work)
+}
+
+fn run_sized_workloads(
+    e1_sizes: &[usize],
+    e2_sizes: &[usize],
+    e3_sizes: &[usize],
+) -> Vec<PerfEntry> {
     let threads = rayon::current_num_threads();
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let oversubscribed = threads > host_cpus;
@@ -111,6 +160,8 @@ fn run_sized_workloads(e1_sizes: &[usize], e2_sizes: &[usize]) -> Vec<PerfEntry>
             wall_ms,
             threads,
             oversubscribed,
+            shards: 0,
+            peak_rss_kb: 0,
         });
     }
     for &nc in e2_sizes {
@@ -124,6 +175,32 @@ fn run_sized_workloads(e1_sizes: &[usize], e2_sizes: &[usize]) -> Vec<PerfEntry>
             wall_ms,
             threads,
             oversubscribed,
+            shards: 0,
+            peak_rss_kb: 0,
+        });
+    }
+    // E3-scale runs last (largest workload) so its VmHWM reading is the
+    // run's true high-water mark, not an echo of a later allocation. The
+    // graph is built once outside the timed region — the column times the
+    // sharded round loop, not the generator.
+    for &n in e3_sizes {
+        let g = exp::scale_graph(n, 42);
+        // One timing rep: the workload runs for tens of seconds at the
+        // full size, so startup noise is in the per-mille range and a
+        // 3-rep minimum would triple the bench for nothing.
+        let wall_ms = min_wall_ms_over(1, || {
+            let row = exp::e3_scale_on(&g, 0, 42);
+            assert_eq!(row.n, n);
+        });
+        entries.push(PerfEntry {
+            experiment: "e3_scale".into(),
+            n,
+            wall_ms,
+            threads,
+            oversubscribed,
+            // Auto mode resolves to one shard per pool lane.
+            shards: threads.min(n.max(1)),
+            peak_rss_kb: peak_rss_kb(),
         });
     }
     entries
@@ -294,6 +371,12 @@ pub fn parse_entries(doc: &str) -> Vec<PerfEntry> {
                 wall_ms: json_field(l, "wall_ms")?.parse().ok()?,
                 threads: json_field(l, "threads")?.parse().ok()?,
                 oversubscribed: json_field(l, "oversubscribed") == Some("true"),
+                shards: json_field(l, "shards")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0),
+                peak_rss_kb: json_field(l, "peak_rss_kb")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0),
             })
         })
         .collect()
@@ -434,6 +517,8 @@ mod tests {
             wall_ms,
             threads,
             oversubscribed: false,
+            shards: 0,
+            peak_rss_kb: 0,
         }
     }
 
@@ -454,7 +539,7 @@ mod tests {
         assert!(doc.contains(r#""threads":4,"oversubscribed":true"#));
         assert!(doc.contains(r#""host_cpus": 4"#));
         assert!(doc.contains(r#""schema": "congest.perf_report""#));
-        assert!(doc.contains(r#""version": 1"#));
+        assert!(doc.contains(r#""version": 2"#));
         // Balanced braces/brackets, trailing newline — cheap well-formedness.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
@@ -468,6 +553,11 @@ mod tests {
             PerfEntry {
                 oversubscribed: true,
                 ..entry("e1_even_cycle", 256, 300.0, 4)
+            },
+            PerfEntry {
+                shards: 4,
+                peak_rss_kb: 184_320,
+                ..entry("e3_scale", 100_000, 4_200.5, 4)
             },
         ];
         let jsons: Vec<String> = entries.iter().map(PerfEntry::to_json).collect();
@@ -490,6 +580,30 @@ mod tests {
         assert_eq!(parsed[0].wall_ms, 181.187);
         assert!(!parsed[0].oversubscribed && !parsed[1].oversubscribed);
         assert_eq!(parse_host_cpus(doc), Some(1));
+    }
+
+    #[test]
+    fn v2_columns_are_emitted_only_when_set() {
+        let plain = entry("e1_even_cycle", 128, 1.0, 1).to_json();
+        assert!(!plain.contains("shards") && !plain.contains("peak_rss_kb"));
+        let scale = PerfEntry {
+            shards: 2,
+            peak_rss_kb: 1024,
+            ..entry("e3_scale", 10_000, 9.0, 2)
+        }
+        .to_json();
+        assert!(scale.contains(r#""shards":2"#));
+        assert!(scale.contains(r#""peak_rss_kb":1024"#));
+    }
+
+    #[test]
+    fn peak_rss_reader_reports_this_process() {
+        // Any live Linux process has a nonzero high-water mark; elsewhere
+        // the reader degrades to 0 instead of failing.
+        let kb = peak_rss_kb();
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(kb > 0, "VmHWM should be readable, got {kb}");
+        }
     }
 
     #[test]

@@ -17,8 +17,11 @@ use rayon::prelude::*;
 use std::fmt;
 use std::sync::Arc;
 
-/// One node's outbox for a round: `(destination, message)` pairs.
-type PairOutbox<M> = Vec<(usize, M)>;
+/// One node's outbox for a round: `(destination, message)` pairs. Node
+/// indices are `u32` on the wire (matching the `u32` CSR of
+/// [`graphlib::Graph`] and the CONGEST engine's port ids), halving the
+/// per-message routing footprint at clique scale.
+type PairOutbox<M> = Vec<(u32, M)>;
 
 /// What a congested-clique node knows.
 #[derive(Debug, Clone)]
@@ -41,15 +44,15 @@ pub trait CliqueAlgorithm: Send {
     type Output: Send;
 
     /// Messages to deliver in round 1, as `(destination, payload)` pairs.
-    fn init(&mut self, ctx: &CliqueContext, rng: &mut ChaCha8Rng) -> Vec<(usize, Self::Msg)>;
+    fn init(&mut self, ctx: &CliqueContext, rng: &mut ChaCha8Rng) -> Vec<(u32, Self::Msg)>;
 
     /// Step with this round's received `(source, payload)` messages.
     fn on_round(
         &mut self,
         ctx: &CliqueContext,
-        inbox: &[(usize, Self::Msg)],
+        inbox: &[(u32, Self::Msg)],
         rng: &mut ChaCha8Rng,
-    ) -> Vec<(usize, Self::Msg)>;
+    ) -> Vec<(u32, Self::Msg)>;
 
     /// Whether this node has halted.
     fn halted(&self) -> bool;
@@ -184,21 +187,12 @@ impl<'g> CliqueEngine<'g> {
         self
     }
 
-    /// Runs the algorithm.
-    #[deprecated(note = "use `congest::Simulation::run_clique` instead")]
-    pub fn run<A, F>(&self, make: F) -> Result<CliqueOutcome<A::Output>, CliqueError>
-    where
-        A: CliqueAlgorithm,
-        F: Fn(usize) -> A + Sync,
-    {
-        self.run_impl(make).map(|(outcome, _)| outcome)
-    }
-
-    /// The round loop behind the deprecated [`Self::run`] shim and
-    /// [`Simulation::run_clique`](crate::Simulation::run_clique). Also
-    /// builds a [`RunStats`] over the complete topology (node `u`'s slot
-    /// for destination `v` skips `u` itself), so clique runs export the
-    /// same per-round series and congestion numbers CONGEST runs do.
+    /// The round loop behind
+    /// [`Simulation::run_clique`](crate::Simulation::run_clique), the
+    /// single public entry point. Also builds a [`RunStats`] over the
+    /// complete topology (node `u`'s slot for destination `v` skips `u`
+    /// itself), so clique runs export the same per-round series and
+    /// congestion numbers CONGEST runs do.
     pub(crate) fn run_impl<A, F>(
         &self,
         make: F,
@@ -269,7 +263,7 @@ impl<'g> CliqueEngine<'g> {
                 });
             }
         }
-        let mut outboxes: Vec<Vec<(usize, A::Msg)>> = init.into_iter().map(|(o, _)| o).collect();
+        let mut outboxes: Vec<PairOutbox<A::Msg>> = init.into_iter().map(|(o, _)| o).collect();
 
         let mut completed = nodes.iter().all(|nd| nd.halted());
 
@@ -277,7 +271,7 @@ impl<'g> CliqueEngine<'g> {
         // the per-destination accounting scratch (`dest_bits`/`seen` reset
         // via the `touched` list, so resets cost O(destinations actually
         // used), not O(n)), and the per-node compute-span slots.
-        let mut inboxes: Vec<Vec<(usize, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut inboxes: Vec<Vec<(u32, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
         let mut dest_bits: Vec<usize> = vec![0; n];
         let mut seen: Vec<bool> = vec![false; n];
         let mut touched: Vec<usize> = Vec::new();
@@ -326,21 +320,22 @@ impl<'g> CliqueEngine<'g> {
                     None
                 };
                 for (idx, (to, m)) in outbox.iter().enumerate() {
-                    if *to >= n || *to == from {
-                        return Err(CliqueError::InvalidDestination { from, to: *to });
+                    let to = *to as usize;
+                    if to >= n || to == from {
+                        return Err(CliqueError::InvalidDestination { from, to });
                     }
-                    if !seen[*to] {
-                        seen[*to] = true;
-                        touched.push(*to);
+                    if !seen[to] {
+                        seen[to] = true;
+                        touched.push(to);
                     }
-                    dest_bits[*to] += m.bit_size();
+                    dest_bits[to] += m.bit_size();
                     stats.total_messages += 1;
                     traffic.total_messages += 1;
                     if let Some(deps) = &sender_deps {
                         rec(SimEvent::Send {
                             round,
                             from,
-                            port: *to,
+                            port: to,
                             bits: m.bit_size(),
                             msg_id: id_base[from] + idx as u64,
                             deps: Arc::clone(deps),
@@ -366,7 +361,7 @@ impl<'g> CliqueEngine<'g> {
                     traffic.max_edge_round_bits = traffic.max_edge_round_bits.max(bits);
                     // Node `from`'s slot row has `n - 1` entries, one per
                     // other node, in index order with `from` itself skipped.
-                    let slot = traffic.offsets[from] + if to < from { to } else { to - 1 };
+                    let slot = traffic.offsets[from] as usize + if to < from { to } else { to - 1 };
                     traffic.directed_edge_bits[slot] += bits as u64;
                 }
             }
@@ -393,6 +388,7 @@ impl<'g> CliqueEngine<'g> {
             }
             for (from, outbox) in outboxes.iter_mut().enumerate() {
                 for (idx, (to, m)) in outbox.drain(..).enumerate() {
+                    let to = to as usize;
                     if tracing {
                         let msg_id = id_base[from] + idx as u64;
                         // Clique delivery events reuse `port` for the
@@ -408,7 +404,7 @@ impl<'g> CliqueEngine<'g> {
                         });
                         cur_delivered[to].push(msg_id);
                     }
-                    inboxes[to].push((from, m));
+                    inboxes[to].push((from as u32, m));
                 }
             }
             if tracing {
@@ -488,7 +484,7 @@ mod tests {
         type Msg = u32;
         type Output = u64;
 
-        fn init(&mut self, ctx: &CliqueContext, _rng: &mut ChaCha8Rng) -> Vec<(usize, u32)> {
+        fn init(&mut self, ctx: &CliqueContext, _rng: &mut ChaCha8Rng) -> Vec<(u32, u32)> {
             if ctx.index == 0 {
                 self.acc = ctx.input_neighbors.len() as u64;
                 Vec::new()
@@ -500,9 +496,9 @@ mod tests {
         fn on_round(
             &mut self,
             ctx: &CliqueContext,
-            inbox: &[(usize, u32)],
+            inbox: &[(u32, u32)],
             _rng: &mut ChaCha8Rng,
-        ) -> Vec<(usize, u32)> {
+        ) -> Vec<(u32, u32)> {
             if ctx.index == 0 {
                 self.acc += inbox.iter().map(|&(_, d)| d as u64).sum::<u64>();
             }
@@ -560,35 +556,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_clique_run_still_works() {
-        let g = generators::cycle(6);
-        let out = CliqueEngine::new(&g)
-            .bandwidth_bits(32)
-            .run(|_| DegreeSum {
-                acc: 0,
-                done: false,
-            })
-            .unwrap();
-        assert_eq!(out.outputs[0], 2 * g.m() as u64);
-        assert_eq!(out.stats.total_bits, 5 * 32);
-    }
-
-    #[test]
     fn self_message_rejected() {
         struct SelfSender;
         impl CliqueAlgorithm for SelfSender {
             type Msg = u32;
             type Output = ();
-            fn init(&mut self, ctx: &CliqueContext, _r: &mut ChaCha8Rng) -> Vec<(usize, u32)> {
-                vec![(ctx.index, 1)]
+            fn init(&mut self, ctx: &CliqueContext, _r: &mut ChaCha8Rng) -> Vec<(u32, u32)> {
+                vec![(ctx.index as u32, 1)]
             }
             fn on_round(
                 &mut self,
                 _c: &CliqueContext,
-                _i: &[(usize, u32)],
+                _i: &[(u32, u32)],
                 _r: &mut ChaCha8Rng,
-            ) -> Vec<(usize, u32)> {
+            ) -> Vec<(u32, u32)> {
                 Vec::new()
             }
             fn halted(&self) -> bool {

@@ -1,15 +1,18 @@
-//! The synchronous round engine.
+//! The synchronous sharded round engine.
 //!
 //! Drives a [`NodeAlgorithm`] over a topology, enforcing the CONGEST
 //! bandwidth bound per directed edge per round and recording exact traffic
-//! statistics. Node steps within a round are independent, so the engine
-//! evaluates them with rayon (data-parallel, race-free — the pattern the
-//! hpc guides recommend).
+//! statistics. Nodes are partitioned into contiguous *shards*, each owning
+//! its own staging arena and inbox slab, so account → stage → deliver →
+//! step all run shard-parallel over the rayon pool with zero cross-shard
+//! locking (see the private `Shard` struct for the layout and the
+//! determinism argument).
 //!
 //! Instrumentation flows through the [`Collector`] trait
 //! (see [`crate::obsv`]): with no collector installed, no event values are
-//! even built. All events are recorded from sequential code in node order,
-//! so a collector observes an identical stream at any thread count. With a
+//! even built. All events are buffered per shard and drained from
+//! sequential code in shard (= node) order, so a collector observes an
+//! identical stream at any thread count and any shard count. With a
 //! collector installed the engine also assigns every message a run-unique
 //! `msg_id` (in node order, at accounting time) and stamps each send with
 //! the ids delivered to its sender one round earlier — the causal
@@ -18,13 +21,13 @@
 //! spans around the accounting/staging/delivery/compute sections; with
 //! none installed each section costs one branch per round.
 //!
-//! The `run`/`run_nodes` entry points are deprecated in favor of the
-//! [`Simulation`](crate::Simulation) builder, which fronts this engine, the
-//! reliable transport, and the clique backend behind one API.
+//! The [`Simulation`](crate::Simulation) builder is the public entry point;
+//! it fronts this engine, the reliable transport, and the clique backend
+//! behind one API.
 
-use crate::faults::{Delivery, DeliveryCtx, FaultReport, FaultSpec};
+use crate::faults::{Delivery, DeliveryCtx, FaultModel, FaultReport, FaultSpec};
 use crate::message::{BitSize, Payload};
-use crate::node::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
+use crate::node::{Decision, NodeAlgorithm, NodeContext, Outbox, Outgoing};
 use crate::obsv::collect::{span_nanos, span_start, Collector, SimEvent};
 use crate::obsv::profile::{prof_record, prof_start, Profiler, Section};
 use crate::stats::RunStats;
@@ -35,28 +38,50 @@ use rayon::prelude::*;
 use std::fmt;
 use std::sync::Arc;
 
-/// One round's staged traffic, reused across rounds (the routing arena).
+/// One shard of the sharded round engine: a contiguous node range with its
+/// own staging arena, inbox slab, tallies, and event buffers, reused across
+/// rounds.
 ///
-/// Unicasts are bucketed by *receiver-side* directed-edge slot with a
-/// counting sort into a flat CSR index, so every receiver walks exactly its
-/// own incoming messages instead of rescanning whole neighbor outboxes
-/// (the old path was `O(deg(v) · |outbox_u|)` per receiver). Broadcast
-/// payloads are materialized once behind an `Arc` per sender, so handing
-/// them to `deg(u)` receivers is allocation- and copy-free. Every staged
-/// message keeps its sender outbox index, letting receivers interleave
-/// unicasts and broadcasts in exactly the order the sender produced them —
-/// the ordering (and the fault randomness keyed on it) is byte-identical
-/// to the old scan.
-struct RoundRouter<M> {
-    /// Staged unicasts in sender-then-outbox order: `(outbox index, payload)`.
+/// Nodes are partitioned into `S` contiguous ranges (`starts[k] = k·n/S`),
+/// so a shard also owns a contiguous band of receiver-side directed-edge
+/// slots (`offsets[start]..offsets[end]` — the CSR offsets are monotone).
+/// Account, stage, deliver, and step each run one job per shard with zero
+/// cross-shard locking; the only data crossing a shard boundary are the
+/// per-`(src, dst)` mailboxes, which the destination shard merges in source
+/// shard order.
+///
+/// Why sharding is invisible in the output: a receiver-side slot identifies
+/// exactly one sender (one directed edge), and that sender lives in exactly
+/// one shard, so every slot bucket lists that sender's messages in outbox
+/// order no matter how mailboxes were concatenated. Fault randomness is a
+/// pure function of absolute [`DeliveryCtx`] coordinates, per-node RNG
+/// streams depend only on `(seed, node)`, and all tallies/events are
+/// reduced sequentially in shard (= node) order. Decisions, stats, fault
+/// streams, and traces are therefore byte-identical at any shard count and
+/// any thread count.
+///
+/// Unicasts are bucketed by shard-relative receiver slot with a counting
+/// sort into a flat CSR index whose descriptors are *epoch-stamped*: slots
+/// untouched this round are never visited, not even to be zeroed. Broadcast
+/// payloads are materialized once behind an `Arc` per sender. Inboxes are
+/// one arena slab per shard (`inbox_data` plus per-node bounds), so a round
+/// allocates nothing per receiver in steady state.
+struct Shard<M> {
+    /// First node of the range.
+    start: u32,
+    /// One past the last node of the range.
+    end: u32,
+    /// First receiver-side slot of the range (`offsets[start]`); all slot
+    /// indices below are relative to it.
+    slot_base: u32,
+    /// Staged unicasts addressed to this shard, concatenated in source
+    /// shard order: `(sender outbox index, payload)`.
     unicasts: Vec<(u32, M)>,
-    /// Receiver-side directed-edge slot of each staged unicast
-    /// (`offsets[to] + to's port toward the sender`), parallel to `unicasts`.
+    /// Shard-relative receiver slot of each staged unicast, parallel to
+    /// `unicasts`.
     slots: Vec<u32>,
     /// Per-slot bucket start into `order`, valid only when the slot's
-    /// epoch stamp is current. Epoch stamping keeps the counting sort
-    /// O(staged messages) per round: slots untouched this round are never
-    /// visited, not even to be zeroed.
+    /// epoch stamp is current.
     slot_start: Vec<u32>,
     /// Per-slot bucket length (same validity rule).
     slot_len: Vec<u32>,
@@ -64,24 +89,52 @@ struct RoundRouter<M> {
     slot_cursor: Vec<u32>,
     /// Round stamp of each slot's bucket descriptor.
     slot_epoch: Vec<u64>,
-    /// Slots touched this round, deduplicated in first-touch order —
-    /// the counting sort's iteration domain.
-    touched_slots: Vec<u32>,
-    /// Round stamp per *receiver*: stamped current iff some staged message
-    /// is addressed to it, letting delivery skip idle receivers without
+    /// Slots touched this round, deduplicated in first-touch order.
+    touched: Vec<u32>,
+    /// Indices into `unicasts`, bucketed by slot; the counting sort is
+    /// stable, so outbox order is preserved within each bucket.
+    order: Vec<u32>,
+    /// Round stamp per local receiver: current iff some staged message is
+    /// addressed to it, letting delivery skip idle receivers without
     /// scanning their ports.
     active: Vec<u64>,
-    /// Current round stamp (bumped once per [`Self::stage`] call).
+    /// Current round stamp (bumped once per delivery pass).
     epoch: u64,
-    /// Indices into `unicasts`, bucketed by receiver slot; the counting
-    /// sort is stable, so outbox order is preserved within each bucket.
-    order: Vec<u32>,
-    /// Per-sender broadcasts: `(outbox index, shared payload)`.
-    broadcasts: Vec<Vec<(u32, Arc<M>)>>,
-    /// Entries staged this round (unicasts plus broadcasts, counted once
-    /// each, not per receiving edge). Zero means the round is all-idle.
-    staged: usize,
+    /// Arena-slab inbox: every local receiver's `(port, payload)` pairs for
+    /// this round, back to back.
+    inbox_data: Vec<(u32, Payload<M>)>,
+    /// Per local node `(start, end)` window into `inbox_data`.
+    inbox_bounds: Vec<(u32, u32)>,
+    /// Fault-layer tallies for this shard's receivers this round.
+    delivered: u64,
+    dropped: u64,
+    corrupted: u64,
+    /// Delivery events buffered in local receiver order; drained
+    /// sequentially in shard order (= node order) after the parallel pass.
+    events: Vec<SimEvent>,
+    /// Ids delivered to each local node last round (tracing only) — the
+    /// `deps` set of its sends this round.
+    prev_ids: Vec<Vec<u64>>,
+    /// Ids delivered this round (tracing only); swapped into `prev_ids`
+    /// at the end of the delivery pass.
+    cur_ids: Vec<Vec<u64>>,
+    /// Accounting scratch: per-port bit sums of the sender being accounted.
+    port_bits: Vec<usize>,
+    /// `Send` events buffered during shard-parallel accounting.
+    acct_events: Vec<SimEvent>,
+    /// Accounting tallies, merged sequentially after the parallel pass.
+    acct_bits: u64,
+    acct_msgs: u64,
+    acct_max: usize,
+    /// First error this shard's accounting hit (the merge keeps only the
+    /// lowest shard's, which is the lowest node's).
+    acct_err: Option<CongestError>,
 }
+
+/// A unicast crossing (or staying inside) a shard boundary: `(receiver,
+/// receiver-side absolute slot, sender outbox index, payload)`. Payloads
+/// move through the mailbox — they are never cloned.
+type Mail<M> = Vec<(u32, u32, u32, M)>;
 
 /// A staged message as seen by one receiver during the merge.
 enum StagedMsg<'a, M> {
@@ -89,124 +142,398 @@ enum StagedMsg<'a, M> {
     Broadcast(&'a Arc<M>),
 }
 
-impl<M> RoundRouter<M> {
-    fn new(n: usize, directed_edges: usize) -> Self {
-        RoundRouter {
+impl<M> Shard<M> {
+    fn new(start: u32, end: u32, slot_base: u32, slot_end: u32, tracing: bool) -> Self {
+        let len = (end - start) as usize;
+        let nslots = (slot_end - slot_base) as usize;
+        Shard {
+            start,
+            end,
+            slot_base,
             unicasts: Vec::new(),
             slots: Vec::new(),
-            slot_start: vec![0; directed_edges],
-            slot_len: vec![0; directed_edges],
-            slot_cursor: vec![0; directed_edges],
-            slot_epoch: vec![0; directed_edges],
-            touched_slots: Vec::new(),
-            active: vec![0; n],
-            epoch: 0,
+            slot_start: vec![0; nslots],
+            slot_len: vec![0; nslots],
+            slot_cursor: vec![0; nslots],
+            slot_epoch: vec![0; nslots],
+            touched: Vec::new(),
             order: Vec::new(),
-            broadcasts: (0..n).map(|_| Vec::new()).collect(),
-            staged: 0,
+            active: vec![0; len],
+            epoch: 0,
+            inbox_data: Vec::new(),
+            inbox_bounds: vec![(0, 0); len],
+            delivered: 0,
+            dropped: 0,
+            corrupted: 0,
+            events: Vec::new(),
+            prev_ids: if tracing {
+                vec![Vec::new(); len]
+            } else {
+                Vec::new()
+            },
+            cur_ids: if tracing {
+                vec![Vec::new(); len]
+            } else {
+                Vec::new()
+            },
+            port_bits: Vec::new(),
+            acct_events: Vec::new(),
+            acct_bits: 0,
+            acct_msgs: 0,
+            acct_max: 0,
+            acct_err: None,
         }
-    }
-
-    /// Stages one round of sends, draining the outboxes in place, and
-    /// builds the per-slot unicast index. Sequential and allocation-free in
-    /// steady state (the buffers keep their capacity between rounds).
-    fn stage(
-        &mut self,
-        g: &Graph,
-        offsets: &[usize],
-        rev_port: &[u32],
-        outboxes: &mut [Outbox<M>],
-    ) {
-        self.epoch += 1;
-        let epoch = self.epoch;
-        self.unicasts.clear();
-        self.slots.clear();
-        self.staged = 0;
-        for (u, outbox) in outboxes.iter_mut().enumerate() {
-            let bcast = &mut self.broadcasts[u];
-            bcast.clear();
-            for (idx, out) in outbox.drain(..).enumerate() {
-                match out {
-                    Outgoing::Unicast(p, m) => {
-                        // Ports were validated during bandwidth accounting.
-                        let to = g.neighbors(u)[p] as usize;
-                        let to_port = rev_port[offsets[u] + p] as usize;
-                        self.unicasts.push((idx as u32, m));
-                        self.slots.push((offsets[to] + to_port) as u32);
-                        self.active[to] = epoch;
-                    }
-                    Outgoing::Broadcast(m) => bcast.push((idx as u32, Arc::new(m))),
-                }
-            }
-            if !bcast.is_empty() {
-                for &v in g.neighbors(u) {
-                    self.active[v as usize] = epoch;
-                }
-            }
-            self.staged += bcast.len();
-        }
-        self.staged += self.unicasts.len();
-        // Counting sort over only the slots actually hit this round:
-        // bucket sizes on first touch, then one contiguous region per
-        // touched slot, then a stable scatter. Everything is O(staged
-        // unicasts) — a round with a handful of messages never pays for
-        // the graph's edge count.
-        self.touched_slots.clear();
-        for &s in &self.slots {
-            let s = s as usize;
-            if self.slot_epoch[s] != epoch {
-                self.slot_epoch[s] = epoch;
-                self.slot_len[s] = 0;
-                self.touched_slots.push(s as u32);
-            }
-            self.slot_len[s] += 1;
-        }
-        let mut cum = 0u32;
-        for &s in &self.touched_slots {
-            let s = s as usize;
-            self.slot_start[s] = cum;
-            self.slot_cursor[s] = cum;
-            cum += self.slot_len[s];
-        }
-        self.order.resize(self.slots.len(), 0);
-        for (i, &s) in self.slots.iter().enumerate() {
-            let c = &mut self.slot_cursor[s as usize];
-            self.order[*c as usize] = i as u32;
-            *c += 1;
-        }
-    }
-
-    /// Whether any staged message is addressed to receiver `v` this round.
-    /// Idle receivers can skip their delivery scan entirely.
-    #[inline]
-    fn receiver_active(&self, v: usize) -> bool {
-        self.active[v] == self.epoch
-    }
-
-    /// The staged unicasts addressed to directed-edge slot `slot`, as
-    /// indices into `unicasts`, in sender outbox order.
-    #[inline]
-    fn unicasts_for(&self, slot: usize) -> &[u32] {
-        if self.slot_epoch[slot] != self.epoch {
-            return &[];
-        }
-        let start = self.slot_start[slot] as usize;
-        &self.order[start..start + self.slot_len[slot] as usize]
     }
 }
 
-/// Per-receiver delivery scratch, allocated once per run and reused every
-/// round (counters reset, the event buffer keeps its capacity).
-#[derive(Default)]
-struct DeliveryTally {
-    delivered: u64,
-    dropped: u64,
-    corrupted: u64,
-    events: Vec<SimEvent>,
-    /// Ids of the messages that reached this receiver's inbox this round
-    /// (corrupted deliveries included — the payload still arrived). Only
-    /// filled when tracing; becomes the receiver's `deps` set next round.
-    ids: Vec<u64>,
+/// Which shard owns node `v`, given the `S + 1` ascending shard boundaries.
+#[inline]
+fn shard_of(starts: &[u32], v: u32) -> usize {
+    starts.partition_point(|&s| s <= v) - 1
+}
+
+/// Splits `data` into consecutive per-shard windows delimited by `bounds`
+/// (ascending, `bounds[0] = 0`, last entry = `data.len()`), so each shard
+/// job owns a disjoint `&mut` view of a global per-node or per-slot array.
+fn split_by_bounds<'a, T>(mut data: &'a mut [T], bounds: &[u32]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(bounds.len().saturating_sub(1));
+    for w in bounds.windows(2) {
+        let (head, tail) = data.split_at_mut((w[1] - w[0]) as usize);
+        out.push(head);
+        data = tail;
+    }
+    out
+}
+
+/// Counting sort of one shard's staged unicasts by shard-relative receiver
+/// slot: bucket sizes on first touch, one contiguous region per touched
+/// slot, then a stable scatter. O(staged messages) — untouched slots are
+/// never visited (not even to be zeroed) thanks to the epoch stamps.
+#[allow(clippy::too_many_arguments)]
+fn index_slots(
+    epoch: u64,
+    slots: &[u32],
+    slot_epoch: &mut [u64],
+    slot_start: &mut [u32],
+    slot_len: &mut [u32],
+    slot_cursor: &mut [u32],
+    touched: &mut Vec<u32>,
+    order: &mut Vec<u32>,
+) {
+    touched.clear();
+    for &s in slots {
+        let s = s as usize;
+        if slot_epoch[s] != epoch {
+            slot_epoch[s] = epoch;
+            slot_len[s] = 0;
+            touched.push(s as u32);
+        }
+        slot_len[s] += 1;
+    }
+    let mut cum = 0u32;
+    for &s in touched.iter() {
+        let s = s as usize;
+        slot_start[s] = cum;
+        slot_cursor[s] = cum;
+        cum += slot_len[s];
+    }
+    order.resize(slots.len(), 0);
+    for (i, &s) in slots.iter().enumerate() {
+        let c = &mut slot_cursor[s as usize];
+        order[*c as usize] = i as u32;
+        *c += 1;
+    }
+}
+
+/// The staged unicasts addressed to shard-relative slot `rel_slot`, as
+/// indices into the shard's `unicasts` arena, in sender outbox order.
+#[inline]
+fn bucket<'a>(
+    epoch: u64,
+    rel_slot: usize,
+    slot_epoch: &[u64],
+    slot_start: &[u32],
+    slot_len: &[u32],
+    order: &'a [u32],
+) -> &'a [u32] {
+    if slot_epoch[rel_slot] != epoch {
+        return &[];
+    }
+    let start = slot_start[rel_slot] as usize;
+    &order[start..start + slot_len[rel_slot] as usize]
+}
+
+/// Stages one source shard's round of sends, draining its outboxes in
+/// place: unicast payloads move into the per-destination mailboxes, each
+/// broadcast payload is materialized once behind an `Arc`, and senders
+/// that broadcast are listed in `bcasters` so destination shards can stamp
+/// receiver activity. Returns the number of staged entries (unicasts plus
+/// broadcasts, each counted once). Allocation-free in steady state.
+#[allow(clippy::too_many_arguments)]
+fn stage_shard<M>(
+    start: u32,
+    g: &Graph,
+    offsets: &[u32],
+    rev_port: &[u32],
+    starts: &[u32],
+    outboxes: &mut [Outbox<M>],
+    bcasts: &mut [Vec<(u32, Arc<M>)>],
+    mail_row: &mut [Mail<M>],
+    bcasters: &mut Vec<u32>,
+) -> usize {
+    let mut staged = 0usize;
+    bcasters.clear();
+    for (local, outbox) in outboxes.iter_mut().enumerate() {
+        let u = start as usize + local;
+        let bc = &mut bcasts[local];
+        bc.clear();
+        for (idx, out) in outbox.drain(..).enumerate() {
+            match out {
+                Outgoing::Unicast(p, m) => {
+                    // Ports were validated during bandwidth accounting.
+                    let to = g.neighbors(u)[p as usize] as usize;
+                    let to_port = rev_port[offsets[u] as usize + p as usize];
+                    let slot = offsets[to] + to_port;
+                    let dst = shard_of(starts, to as u32);
+                    mail_row[dst].push((to as u32, slot, idx as u32, m));
+                }
+                Outgoing::Broadcast(m) => bc.push((idx as u32, Arc::new(m))),
+            }
+        }
+        if !bc.is_empty() {
+            bcasters.push(u as u32);
+        }
+        staged += bc.len();
+    }
+    staged + mail_row.iter().map(Vec::len).sum::<usize>()
+}
+
+/// Merges one destination shard's incoming mailboxes (in source shard
+/// order), adjudicates every delivery through the fault model, and fills
+/// the shard's inbox slab. Sequential within the shard; the engine runs one
+/// such job per shard in parallel. Every [`DeliveryCtx`] field is absolute
+/// (node indices, ports, link slots), so the fault stream is independent of
+/// both the shard count and the thread count.
+#[allow(clippy::too_many_arguments)]
+fn deliver_shard<M: BitSize + Clone>(
+    shard: &mut Shard<M>,
+    mail_col: &mut [Mail<M>],
+    g: &Graph,
+    offsets: &[u32],
+    rev_port: &[u32],
+    broadcasts: &[Vec<(u32, Arc<M>)>],
+    bcasters: &[Vec<u32>],
+    model: &dyn FaultModel,
+    crashed: &[Option<usize>],
+    id_base: &[u64],
+    tracing: bool,
+    round: usize,
+    seed: u64,
+) {
+    shard.epoch += 1;
+    let ep = shard.epoch;
+    let (start, end, slot_base) = (shard.start, shard.end, shard.slot_base);
+    shard.unicasts.clear();
+    shard.slots.clear();
+    shard.inbox_data.clear();
+    shard.delivered = 0;
+    shard.dropped = 0;
+    shard.corrupted = 0;
+    shard.events.clear();
+    // Concatenate the incoming mailboxes in source shard order. Each slot's
+    // bucket still ends up in that (single) sender's outbox order, so the
+    // concatenation order never shows in the output.
+    for col in mail_col.iter_mut() {
+        for (to, slot, obx, payload) in col.drain(..) {
+            shard.active[(to - start) as usize] = ep;
+            shard.slots.push(slot - slot_base);
+            shard.unicasts.push((obx, payload));
+        }
+    }
+    // Broadcast receiver activity: a sender's neighbors inside this shard
+    // form one contiguous run of its sorted adjacency list.
+    for list in bcasters {
+        for &u in list {
+            let nbrs = g.neighbors(u as usize);
+            let lo = nbrs.partition_point(|&x| x < start);
+            let hi = nbrs.partition_point(|&x| x < end);
+            for &v in &nbrs[lo..hi] {
+                shard.active[(v - start) as usize] = ep;
+            }
+        }
+    }
+    index_slots(
+        ep,
+        &shard.slots,
+        &mut shard.slot_epoch,
+        &mut shard.slot_start,
+        &mut shard.slot_len,
+        &mut shard.slot_cursor,
+        &mut shard.touched,
+        &mut shard.order,
+    );
+    // Per-receiver merge, identical logic (and byte-identical outcomes) to
+    // the pre-sharding router: each port's unicast bucket is interleaved
+    // with the sending neighbor's broadcast list by sender outbox index, so
+    // a receiver sees sends in exactly the order the sender produced them.
+    let Shard {
+        unicasts,
+        slot_start,
+        slot_len,
+        slot_epoch,
+        order,
+        active,
+        inbox_data,
+        inbox_bounds,
+        delivered,
+        dropped,
+        corrupted,
+        events,
+        prev_ids,
+        cur_ids,
+        ..
+    } = shard;
+    for local in 0..(end - start) as usize {
+        let v = start as usize + local;
+        let bstart = inbox_data.len() as u32;
+        if tracing {
+            cur_ids[local].clear();
+        }
+        if active[local] == ep {
+            let receiver_down = crashed[v].is_some();
+            for (p, &u) in g.neighbors(v).iter().enumerate() {
+                let u = u as usize;
+                let rel_slot = (offsets[v] - slot_base) as usize + p;
+                let uni = bucket(ep, rel_slot, slot_epoch, slot_start, slot_len, order);
+                let bcs: &[(u32, Arc<M>)] = &broadcasts[u];
+                if uni.is_empty() && bcs.is_empty() {
+                    continue;
+                }
+                let their_port = rev_port[offsets[v] as usize + p] as usize;
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < uni.len() || j < bcs.len() {
+                    let from_uni = match (uni.get(i), bcs.get(j)) {
+                        (Some(&ui), Some(&(bidx, _))) => unicasts[ui as usize].0 < bidx,
+                        (Some(_), None) => true,
+                        _ => false,
+                    };
+                    let (idx, staged) = if from_uni {
+                        let (idx, ref m) = unicasts[uni[i] as usize];
+                        i += 1;
+                        (idx, StagedMsg::Unicast(m))
+                    } else {
+                        let (idx, ref m) = bcs[j];
+                        j += 1;
+                        (idx, StagedMsg::Broadcast(m))
+                    };
+                    let m: &M = match staged {
+                        StagedMsg::Unicast(m) => m,
+                        StagedMsg::Broadcast(m) => m.as_ref(),
+                    };
+                    // The id the accounting pass assigned this outbox entry
+                    // (only meaningful when tracing; `id_base` is empty
+                    // otherwise).
+                    let msg_id = if tracing { id_base[u] + idx as u64 } else { 0 };
+                    // Messages to a crashed node are lost.
+                    if receiver_down {
+                        *dropped += 1;
+                        continue;
+                    }
+                    let ctx = DeliveryCtx {
+                        seed,
+                        round,
+                        from: u,
+                        to: v,
+                        to_port: p,
+                        link_slot: offsets[u] as usize + their_port,
+                        msg_index: idx as usize,
+                        bits: m.bit_size(),
+                    };
+                    match model.delivery(&ctx) {
+                        Delivery::Deliver => {
+                            // Zero-copy for broadcasts: share the Arc'd
+                            // payload. Unicasts cost the one clone they
+                            // always did, never one per edge.
+                            let payload = match staged {
+                                StagedMsg::Unicast(m) => Payload::Owned(m.clone()),
+                                StagedMsg::Broadcast(m) => Payload::Shared(Arc::clone(m)),
+                            };
+                            inbox_data.push((p as u32, payload));
+                            *delivered += 1;
+                            if tracing {
+                                cur_ids[local].push(msg_id);
+                                events.push(SimEvent::Deliver {
+                                    round,
+                                    from: u,
+                                    to: v,
+                                    port: p,
+                                    bits: ctx.bits,
+                                    msg_id,
+                                });
+                            }
+                        }
+                        Delivery::Drop => {
+                            *dropped += 1;
+                            if tracing {
+                                events.push(SimEvent::Drop {
+                                    round,
+                                    from: u,
+                                    to: v,
+                                    port: p,
+                                    bits: ctx.bits,
+                                    msg_id,
+                                });
+                            }
+                        }
+                        Delivery::Corrupt(bit) => {
+                            // The corrupt path is the one place a fault
+                            // mutates bytes, so only here does a broadcast
+                            // payload get deep-copied.
+                            let mut damaged = m.clone();
+                            if damaged.corrupt_bit(bit) {
+                                *corrupted += 1;
+                                if tracing {
+                                    events.push(SimEvent::Corrupt {
+                                        round,
+                                        from: u,
+                                        to: v,
+                                        port: p,
+                                        bits: ctx.bits,
+                                        msg_id,
+                                    });
+                                }
+                            } else {
+                                // Payload has no materialized wire bits to
+                                // flip — delivered intact.
+                                *delivered += 1;
+                                if tracing {
+                                    events.push(SimEvent::Deliver {
+                                        round,
+                                        from: u,
+                                        to: v,
+                                        port: p,
+                                        bits: ctx.bits,
+                                        msg_id,
+                                    });
+                                }
+                            }
+                            // Either way the payload reached the algorithm,
+                            // so it enters the receiver's causal deps.
+                            if tracing {
+                                cur_ids[local].push(msg_id);
+                            }
+                            inbox_data.push((p as u32, Payload::Owned(damaged)));
+                        }
+                    }
+                }
+            }
+        }
+        inbox_bounds[local] = (bstart, inbox_data.len() as u32);
+        if tracing {
+            // This round's deliveries become the node's deps next round.
+            std::mem::swap(&mut prev_ids[local], &mut cur_ids[local]);
+        }
+    }
 }
 
 /// Per-edge-per-round bandwidth.
@@ -411,6 +738,9 @@ pub struct Engine<'g> {
     /// Bits are still charged for lost messages (they were sent); only
     /// delivery fails.
     faults: FaultSpec,
+    /// Shard count for the sharded round engine; `0` (the default) uses
+    /// one shard per rayon worker thread. See `Shard`.
+    shards: usize,
 }
 
 impl<'g> Engine<'g> {
@@ -426,8 +756,19 @@ impl<'g> Engine<'g> {
             collector: None,
             profiler: None,
             faults: FaultSpec::None,
+            shards: 0,
             topology,
         }
+    }
+
+    /// Sets the shard count of the sharded round engine (`0`, the default,
+    /// uses one shard per rayon worker thread; the count is clamped to
+    /// `1..=n`). Sharding is purely an execution-layout knob: decisions,
+    /// stats, fault streams, and traces are byte-identical at any shard
+    /// count and any thread count (see the engine's `Shard` internals).
+    pub fn shards(mut self, s: usize) -> Self {
+        self.shards = s;
+        self
     }
 
     /// Injects failures: each message delivery is independently lost with
@@ -536,30 +877,8 @@ impl<'g> Engine<'g> {
         self
     }
 
-    /// Runs `make(v)`-constructed nodes to completion.
-    #[deprecated(note = "use the `congest::Simulation` builder instead")]
-    pub fn run<A, F>(&self, make: F) -> Result<RunOutcome, CongestError>
-    where
-        A: NodeAlgorithm,
-        F: Fn(usize) -> A + Sync,
-    {
-        self.run_nodes_impl(make).map(|(outcome, _)| outcome)
-    }
-
-    /// Like [`Self::run`], but also hands back the final node states — for
-    /// algorithms whose output is richer than accept/reject (e.g. listing
-    /// witnesses).
-    #[deprecated(note = "use `congest::Simulation::run_with_nodes` instead")]
-    pub fn run_nodes<A, F>(&self, make: F) -> Result<(RunOutcome, Vec<A>), CongestError>
-    where
-        A: NodeAlgorithm,
-        F: Fn(usize) -> A + Sync,
-    {
-        self.run_nodes_impl(make)
-    }
-
-    /// The actual round loop behind the public entry points (deprecated
-    /// shims above, [`Simulation`](crate::Simulation) for new code).
+    /// The actual round loop behind [`Simulation`](crate::Simulation), the
+    /// single public entry point.
     pub(crate) fn run_nodes_impl<A, F>(&self, make: F) -> Result<(RunOutcome, Vec<A>), CongestError>
     where
         A: NodeAlgorithm,
@@ -576,6 +895,16 @@ impl<'g> Engine<'g> {
                 c.record(&ev);
             }
         };
+
+        // Shard layout: contiguous node ranges, one shard per rayon worker
+        // unless the builder pinned a count. Any count is observationally
+        // identical (see [`Shard`]); it only changes the parallel grain.
+        let nshards = if self.shards == 0 {
+            rayon::current_num_threads().clamp(1, n.max(1))
+        } else {
+            self.shards.clamp(1, n.max(1))
+        };
+        let starts: Vec<u32> = (0..=nshards).map(|k| (k * n / nshards) as u32).collect();
 
         // Reverse-port table: rev_port[slot(v, p)] is the port of v in the
         // adjacency list of v's p-th neighbor. Needed to route unicasts.
@@ -666,27 +995,41 @@ impl<'g> Engine<'g> {
 
         let mut completed = nodes.iter().all(|nd| nd.halted());
 
-        // Per-node inboxes, allocated once and reused (cleared in place)
-        // every round, so steady-state delivery does not allocate. The
-        // router, per-receiver tallies, per-node compute-span slots, and
-        // the accounting scratch are likewise per-run buffers.
-        let mut inboxes: Vec<Inbox<A::Msg>> = (0..n).map(|_| Vec::new()).collect();
-        let mut router: RoundRouter<A::Msg> = RoundRouter::new(n, stats.offsets[n]);
-        let mut tallies: Vec<DeliveryTally> = (0..n).map(|_| DeliveryTally::default()).collect();
+        // Per-shard state, allocated once and reused (cleared in place)
+        // every round, so steady-state rounds do not allocate: each shard
+        // owns its slot band's routing arena and its node range's inbox
+        // slab, tallies, and event buffers. The mailbox matrix and its
+        // transpose scratch swap Vec headers every round, so mailbox
+        // capacity survives the transpose too.
+        let slot_bounds: Vec<u32> = starts.iter().map(|&s| stats.offsets[s as usize]).collect();
+        let mut shards: Vec<Shard<A::Msg>> = (0..nshards)
+            .map(|k| {
+                Shard::new(
+                    starts[k],
+                    starts[k + 1],
+                    slot_bounds[k],
+                    slot_bounds[k + 1],
+                    tracing,
+                )
+            })
+            .collect();
+        let mut mail: Vec<Vec<Mail<A::Msg>>> = (0..nshards)
+            .map(|_| (0..nshards).map(|_| Vec::new()).collect())
+            .collect();
+        let mut mail_t: Vec<Vec<Mail<A::Msg>>> = (0..nshards)
+            .map(|_| (0..nshards).map(|_| Vec::new()).collect())
+            .collect();
+        let mut broadcasts: Vec<Vec<(u32, Arc<A::Msg>)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut bcasters: Vec<Vec<u32>> = (0..nshards).map(|_| Vec::new()).collect();
+        let mut staged_counts: Vec<usize> = vec![0; nshards];
         let mut step_nanos: Vec<u64> = vec![u64::MAX; n];
-        let mut port_bits_scratch: Vec<usize> = Vec::new();
 
         // Causal provenance (tracing only): every outbox entry gets a
-        // run-unique id at accounting time, in node order, and
-        // `prev_delivered[v]` holds the ids that reached v's inbox last
-        // round — the `deps` set stamped on v's sends this round.
+        // run-unique id at accounting time, in node order, and each shard's
+        // `prev_ids` holds the ids that reached its nodes' inboxes last
+        // round — the `deps` sets stamped on their sends this round.
         let mut next_msg_id: u64 = 0;
         let mut id_base: Vec<u64> = Vec::new();
-        let mut prev_delivered: Vec<Vec<u64>> = if tracing {
-            (0..n).map(|_| Vec::new()).collect()
-        } else {
-            Vec::new()
-        };
 
         for round in 1..=self.max_rounds {
             if completed && outboxes.iter().all(|o| o.is_empty()) {
@@ -722,229 +1065,175 @@ impl<'g> Engine<'g> {
                 next_msg_id = next;
             }
 
-            // Account traffic + enforce bandwidth for this round's sends.
+            // Account traffic + enforce bandwidth for this round's sends,
+            // one job per shard: each job owns its shard's window of the
+            // per-slot counters (disjoint splits of one flat array) and
+            // buffers its `Send` events.
             let before_bits = stats.total_bits;
             let before_msgs = stats.total_messages;
             let t_acct = prof_start(prof);
-            self.account_round(
-                &mut stats,
-                &outboxes,
-                round,
-                collector,
-                &mut port_bits_scratch,
-                if tracing {
-                    Some((&id_base[..], &prev_delivered[..]))
-                } else {
-                    None
-                },
-            )?;
+            {
+                let RunStats {
+                    offsets,
+                    directed_edge_bits,
+                    ..
+                } = &mut stats;
+                let offsets: &[u32] = offsets;
+                let bit_windows = split_by_bounds(directed_edge_bits, &slot_bounds);
+                let outboxes_ref = &outboxes;
+                let id_base_ref = &id_base;
+                shards
+                    .par_iter_mut()
+                    .zip(bit_windows.into_par_iter())
+                    .for_each(|(shard, ebits)| {
+                        self.account_shard(
+                            shard,
+                            outboxes_ref,
+                            offsets,
+                            ebits,
+                            round,
+                            tracing,
+                            id_base_ref,
+                        );
+                    });
+            }
+            // Merge in shard (= node) order: totals, buffered Send events,
+            // and the lowest shard's error. Event buffers of shards past
+            // the erroring one are discarded — a sequential scan would
+            // never have reached those nodes.
+            let mut acct_err = None;
+            for shard in shards.iter_mut() {
+                stats.total_bits += shard.acct_bits;
+                stats.total_messages += shard.acct_msgs;
+                stats.max_edge_round_bits = stats.max_edge_round_bits.max(shard.acct_max);
+                for ev in shard.acct_events.drain(..) {
+                    rec(ev);
+                }
+                if shard.acct_err.is_some() {
+                    acct_err = shard.acct_err.take();
+                    break;
+                }
+            }
             prof_record(prof, Section::Account, t_acct);
+            if let Some(e) = acct_err {
+                return Err(e);
+            }
             let round_bits = stats.total_bits - before_bits;
             let round_msgs = stats.total_messages - before_msgs;
             stats.per_round_bits.push(round_bits);
             stats.per_round_messages.push(round_msgs);
             stats.rounds = round;
 
-            // Stage this round's sends into the routing arena, draining the
-            // outboxes: unicast payloads move (no copy) and get bucketed by
-            // receiver slot; each broadcast payload is materialized once
-            // behind an `Arc` instead of being cloned per receiving edge.
-            let offsets = &stats.offsets;
+            // Stage this round's sends shard-parallel, draining the
+            // outboxes: unicast payloads move (no copy) into the
+            // per-(src, dst) mailboxes; each broadcast payload is
+            // materialized once behind an `Arc` instead of being cloned
+            // per receiving edge.
             let t_stage = prof_start(prof);
-            router.stage(g, offsets, &rev_port, &mut outboxes);
+            {
+                let offsets: &[u32] = &stats.offsets;
+                let starts_ref = &starts;
+                let rev_port_ref = &rev_port;
+                let ob_windows = split_by_bounds(&mut outboxes, &starts);
+                let bc_windows = split_by_bounds(&mut broadcasts, &starts);
+                mail.par_iter_mut()
+                    .zip(bcasters.par_iter_mut())
+                    .zip(staged_counts.par_iter_mut())
+                    .zip(ob_windows.into_par_iter())
+                    .zip(bc_windows.into_par_iter())
+                    .enumerate()
+                    .for_each(|(k, ((((mail_row, bcst), count), obs), bcs))| {
+                        *count = stage_shard(
+                            starts_ref[k],
+                            g,
+                            offsets,
+                            rev_port_ref,
+                            starts_ref,
+                            obs,
+                            bcs,
+                            mail_row,
+                            bcst,
+                        );
+                    });
+            }
+            let staged: usize = staged_counts.iter().sum();
             prof_record(prof, Section::Stage, t_stage);
 
-            // Build inboxes: node v merges, port by port, its unicast
-            // bucket with the sending neighbor's broadcast list — O(its
-            // own incoming messages) work — while the fault model decides
-            // the fate of every delivery. Fault randomness is a
-            // deterministic function of the engine seed, so the run stays
-            // reproducible and thread-safe; per-receiver fault counts and
-            // structured events are reduced *after* the parallel section,
-            // in node order, so any collector sees the same stream at any
-            // thread count.
+            // Deliver shard-parallel: each destination shard merges its
+            // incoming mailboxes (in source shard order), adjudicates every
+            // delivery through the fault model, and fills its inbox slab —
+            // see [`deliver_shard`]. Fault randomness is a deterministic
+            // function of the engine seed and absolute coordinates, so the
+            // run stays reproducible; per-shard fault counts and structured
+            // events are reduced *after* the parallel section, in shard
+            // (= node) order, so any collector sees the same stream at any
+            // thread count and any shard count.
             let (mut round_dropped, mut round_corrupted) = (0u64, 0u64);
             let t_deliver = prof_start(prof);
-            if router.staged == 0 {
+            if staged == 0 {
                 // All-idle round (nodes computing, nothing in flight):
                 // skip the delivery pass entirely. Nothing was delivered,
                 // so next round's sends have empty deps sets.
-                for inbox in inboxes.iter_mut() {
-                    inbox.clear();
-                }
-                for prev in prev_delivered.iter_mut() {
-                    prev.clear();
-                }
-            } else {
-                let router = &router;
-                let id_base = &id_base;
-                (0..n)
-                    .into_par_iter()
-                    .zip(inboxes.par_iter_mut())
-                    .zip(tallies.par_iter_mut())
-                    .for_each(|((v, inbox), tally)| {
-                        inbox.clear();
-                        tally.delivered = 0;
-                        tally.dropped = 0;
-                        tally.corrupted = 0;
-                        tally.events.clear();
-                        tally.ids.clear();
-                        if !router.receiver_active(v) {
-                            // No staged message is addressed here: skip the
-                            // port scan (most receivers, on sparse-traffic
-                            // rounds).
-                            return;
-                        }
-                        let receiver_down = crashed[v].is_some();
-                        for (p, &u) in g.neighbors(v).iter().enumerate() {
-                            let u = u as usize;
-                            let unicasts = router.unicasts_for(offsets[v] + p);
-                            let bcasts: &[(u32, Arc<A::Msg>)] = &router.broadcasts[u];
-                            if unicasts.is_empty() && bcasts.is_empty() {
-                                continue;
-                            }
-                            let their_port = rev_port[offsets[v] + p] as usize;
-                            let (mut i, mut j) = (0usize, 0usize);
-                            while i < unicasts.len() || j < bcasts.len() {
-                                // Merge by sender outbox index: v sees u's
-                                // sends in exactly the order u staged them,
-                                // as the old full-outbox scan did.
-                                let from_uni = match (unicasts.get(i), bcasts.get(j)) {
-                                    (Some(&ui), Some(&(bidx, _))) => {
-                                        router.unicasts[ui as usize].0 < bidx
-                                    }
-                                    (Some(_), None) => true,
-                                    _ => false,
-                                };
-                                let (idx, staged) = if from_uni {
-                                    let (idx, ref m) = router.unicasts[unicasts[i] as usize];
-                                    i += 1;
-                                    (idx, StagedMsg::Unicast(m))
-                                } else {
-                                    let (idx, ref m) = bcasts[j];
-                                    j += 1;
-                                    (idx, StagedMsg::Broadcast(m))
-                                };
-                                let m: &A::Msg = match staged {
-                                    StagedMsg::Unicast(m) => m,
-                                    StagedMsg::Broadcast(m) => m.as_ref(),
-                                };
-                                // The id the accounting pass assigned this
-                                // outbox entry (only meaningful when
-                                // tracing; `id_base` is empty otherwise).
-                                let msg_id = if tracing { id_base[u] + idx as u64 } else { 0 };
-                                // Messages to a crashed node are lost.
-                                if receiver_down {
-                                    tally.dropped += 1;
-                                    continue;
-                                }
-                                let ctx = DeliveryCtx {
-                                    seed: self.seed,
-                                    round,
-                                    from: u,
-                                    to: v,
-                                    to_port: p,
-                                    link_slot: offsets[u] + their_port,
-                                    msg_index: idx as usize,
-                                    bits: m.bit_size(),
-                                };
-                                match model.delivery(&ctx) {
-                                    Delivery::Deliver => {
-                                        // Zero-copy for broadcasts: share
-                                        // the Arc'd payload. Unicasts cost
-                                        // the one clone they always did,
-                                        // never one per edge.
-                                        let payload = match staged {
-                                            StagedMsg::Unicast(m) => Payload::Owned(m.clone()),
-                                            StagedMsg::Broadcast(m) => {
-                                                Payload::Shared(Arc::clone(m))
-                                            }
-                                        };
-                                        inbox.push((p, payload));
-                                        tally.delivered += 1;
-                                        if tracing {
-                                            tally.ids.push(msg_id);
-                                            tally.events.push(SimEvent::Deliver {
-                                                round,
-                                                from: u,
-                                                to: v,
-                                                port: p,
-                                                bits: ctx.bits,
-                                                msg_id,
-                                            });
-                                        }
-                                    }
-                                    Delivery::Drop => {
-                                        tally.dropped += 1;
-                                        if tracing {
-                                            tally.events.push(SimEvent::Drop {
-                                                round,
-                                                from: u,
-                                                to: v,
-                                                port: p,
-                                                bits: ctx.bits,
-                                                msg_id,
-                                            });
-                                        }
-                                    }
-                                    Delivery::Corrupt(bit) => {
-                                        // The corrupt path is the one place
-                                        // a fault mutates bytes, so only
-                                        // here does a broadcast payload get
-                                        // deep-copied.
-                                        let mut damaged = m.clone();
-                                        if damaged.corrupt_bit(bit) {
-                                            tally.corrupted += 1;
-                                            if tracing {
-                                                tally.events.push(SimEvent::Corrupt {
-                                                    round,
-                                                    from: u,
-                                                    to: v,
-                                                    port: p,
-                                                    bits: ctx.bits,
-                                                    msg_id,
-                                                });
-                                            }
-                                        } else {
-                                            // Payload has no materialized
-                                            // wire bits to flip — delivered
-                                            // intact.
-                                            tally.delivered += 1;
-                                            if tracing {
-                                                tally.events.push(SimEvent::Deliver {
-                                                    round,
-                                                    from: u,
-                                                    to: v,
-                                                    port: p,
-                                                    bits: ctx.bits,
-                                                    msg_id,
-                                                });
-                                            }
-                                        }
-                                        // Either way the payload reached
-                                        // the algorithm, so it enters the
-                                        // receiver's causal deps.
-                                        if tracing {
-                                            tally.ids.push(msg_id);
-                                        }
-                                        inbox.push((p, Payload::Owned(damaged)));
-                                    }
-                                }
-                            }
-                        }
-                    });
-
-                for (v, tally) in tallies.iter_mut().enumerate() {
-                    report.delivered += tally.delivered;
-                    round_dropped += tally.dropped;
-                    round_corrupted += tally.corrupted;
-                    for ev in tally.events.drain(..) {
-                        rec(ev);
+                shards.par_iter_mut().for_each(|shard| {
+                    shard.inbox_data.clear();
+                    for b in shard.inbox_bounds.iter_mut() {
+                        *b = (0, 0);
                     }
-                    if tracing {
-                        // This round's deliveries become v's deps next
-                        // round (the old vec is cleared at next use).
-                        std::mem::swap(&mut prev_delivered[v], &mut tally.ids);
+                    for prev in shard.prev_ids.iter_mut() {
+                        prev.clear();
+                    }
+                });
+            } else {
+                // Transpose the mailbox matrix (Vec-header swaps only) so
+                // each destination shard owns its incoming column.
+                for s in 0..nshards {
+                    for d in 0..nshards {
+                        std::mem::swap(&mut mail_t[d][s], &mut mail[s][d]);
+                    }
+                }
+                {
+                    let offsets: &[u32] = &stats.offsets;
+                    let broadcasts_ref = &broadcasts;
+                    let bcasters_ref = &bcasters;
+                    let crashed_ref = &crashed;
+                    let id_base_ref = &id_base;
+                    let model_ref: &dyn FaultModel = &*model;
+                    let rev_port_ref = &rev_port;
+                    shards
+                        .par_iter_mut()
+                        .zip(mail_t.par_iter_mut())
+                        .for_each(|(shard, col)| {
+                            deliver_shard(
+                                shard,
+                                col,
+                                g,
+                                offsets,
+                                rev_port_ref,
+                                broadcasts_ref,
+                                bcasters_ref,
+                                model_ref,
+                                crashed_ref,
+                                id_base_ref,
+                                tracing,
+                                round,
+                                self.seed,
+                            );
+                        });
+                }
+                // Swap the (now drained) mailboxes back so their capacity
+                // is reused next round.
+                for s in 0..nshards {
+                    for d in 0..nshards {
+                        std::mem::swap(&mut mail[s][d], &mut mail_t[d][s]);
+                    }
+                }
+                // Reduce tallies and drain events in shard (= node) order.
+                for shard in shards.iter_mut() {
+                    report.delivered += shard.delivered;
+                    round_dropped += shard.dropped;
+                    round_corrupted += shard.corrupted;
+                    for ev in shard.events.drain(..) {
+                        rec(ev);
                     }
                 }
             }
@@ -956,28 +1245,42 @@ impl<'g> Engine<'g> {
 
             // Step all live (non-halted, non-crashed) nodes, writing each
             // node's new outbox in place (staging drained the old ones, so
-            // no per-round collect is needed). The shared context is
+            // no per-round collect is needed). One job per shard: each job
+            // reads its shard's inbox slab and owns its node range's
+            // windows of the per-node arrays. The shared context is
             // updated in place (`round` is its only per-round field)
             // instead of being cloned per node per round.
             let t_step = prof_start(prof);
-            nodes
-                .par_iter_mut()
-                .zip(outboxes.par_iter_mut())
-                .zip(contexts.par_iter_mut())
-                .zip(rngs.par_iter_mut())
-                .zip(inboxes.par_iter())
-                .zip(crashed.par_iter())
-                .zip(step_nanos.par_iter_mut())
-                .for_each(|((((((node, outbox), ctx), rng), inbox), down), nanos)| {
-                    if node.halted() || down.is_some() {
-                        *nanos = u64::MAX;
-                    } else {
-                        ctx.round = round;
-                        let t = span_start(timing);
-                        *outbox = node.on_round(ctx, inbox, rng);
-                        *nanos = if timing { span_nanos(t) } else { u64::MAX };
-                    }
-                });
+            {
+                let crashed_ref = &crashed;
+                let node_windows = split_by_bounds(&mut nodes, &starts);
+                let ob_windows = split_by_bounds(&mut outboxes, &starts);
+                let ctx_windows = split_by_bounds(&mut contexts, &starts);
+                let rng_windows = split_by_bounds(&mut rngs, &starts);
+                let nanos_windows = split_by_bounds(&mut step_nanos, &starts);
+                shards
+                    .par_iter()
+                    .zip(node_windows.into_par_iter())
+                    .zip(ob_windows.into_par_iter())
+                    .zip(ctx_windows.into_par_iter())
+                    .zip(rng_windows.into_par_iter())
+                    .zip(nanos_windows.into_par_iter())
+                    .for_each(|(((((shard, nds), obs), ctxs), rgs), nanos)| {
+                        for (local, node) in nds.iter_mut().enumerate() {
+                            let v = shard.start as usize + local;
+                            if node.halted() || crashed_ref[v].is_some() {
+                                nanos[local] = u64::MAX;
+                            } else {
+                                ctxs[local].round = round;
+                                let (b0, b1) = shard.inbox_bounds[local];
+                                let inbox = &shard.inbox_data[b0 as usize..b1 as usize];
+                                let t = span_start(timing);
+                                obs[local] = node.on_round(&ctxs[local], inbox, &mut rgs[local]);
+                                nanos[local] = if timing { span_nanos(t) } else { u64::MAX };
+                            }
+                        }
+                    });
+            }
             prof_record(prof, Section::Compute, t_step);
             if timing {
                 for (v, &nanos) in step_nanos.iter().enumerate() {
@@ -1016,63 +1319,88 @@ impl<'g> Engine<'g> {
         Ok((outcome, nodes))
     }
 
-    /// Sums per-port bits for the round, updates stats, enforces the limit.
-    /// `port_bits` is caller-owned scratch so the per-sender tally does not
-    /// allocate every round. `provenance` (present iff a collector is) is
-    /// `(id_base, prev_delivered)`: the first message id of each sender's
-    /// outbox this round, and the ids delivered to each node last round.
-    fn account_round<M: BitSize>(
+    /// Sums per-port bits for one shard's senders, charges the shard's
+    /// window of the per-slot counters, enforces the bandwidth limit, and
+    /// buffers `Send` events — the per-shard job of the accounting pass.
+    ///
+    /// Writes only shard-owned state: `edge_bits` is the shard's disjoint
+    /// window of `RunStats::directed_edge_bits` (starting at slot
+    /// `shard.slot_base`), and the `acct_*` fields carry this shard's
+    /// totals, buffered events, and first error out of the parallel
+    /// section for the caller's in-order merge.
+    #[allow(clippy::too_many_arguments)]
+    fn account_shard<M: BitSize>(
         &self,
-        stats: &mut RunStats,
+        shard: &mut Shard<M>,
         outboxes: &[Outbox<M>],
+        offsets: &[u32],
+        edge_bits: &mut [u64],
         round: usize,
-        collector: Option<&dyn Collector>,
-        port_bits: &mut Vec<usize>,
-        provenance: Option<(&[u64], &[Vec<u64>])>,
-    ) -> Result<(), CongestError> {
+        tracing: bool,
+        id_base: &[u64],
+    ) {
         let g = self.topology;
-        // Split field borrows: `offsets` is read while the counters are
-        // written, so no clone of the offset table is needed.
-        let RunStats {
-            offsets,
-            directed_edge_bits,
-            total_bits,
-            total_messages,
-            max_edge_round_bits,
+        // Destructure for disjoint field borrows: `port_bits` scratch and
+        // `prev_ids` are read while the `acct_*` outputs are written.
+        let Shard {
+            start,
+            end,
+            slot_base,
+            prev_ids,
+            port_bits,
+            acct_events,
+            acct_bits,
+            acct_msgs,
+            acct_max,
+            acct_err,
             ..
-        } = stats;
-        for (v, outbox) in outboxes.iter().enumerate() {
+        } = shard;
+        *acct_bits = 0;
+        *acct_msgs = 0;
+        *acct_max = 0;
+        *acct_err = None;
+        acct_events.clear();
+        let start = *start as usize;
+        let end = *end as usize;
+        let slot_base = *slot_base as usize;
+        for (local, outbox) in outboxes[start..end].iter().enumerate() {
             if outbox.is_empty() {
                 continue;
             }
+            let v = start + local;
             let deg = g.degree(v);
             port_bits.clear();
             port_bits.resize(deg, 0);
             let mut msgs = 0u64;
             // All of v's sends this round read the same inbox, so they
             // share one deps set (one Arc per active sender per round).
-            let sender_prov: Option<(u64, Arc<[u64]>)> =
-                provenance.map(|(base, prev)| (base[v], Arc::from(prev[v].as_slice())));
+            let sender_prov: Option<(u64, Arc<[u64]>)> = if tracing {
+                Some((id_base[v], Arc::from(prev_ids[local].as_slice())))
+            } else {
+                None
+            };
             for (idx, out) in outbox.iter().enumerate() {
                 match out {
                     Outgoing::Unicast(p, m) => {
                         if self.broadcast_only {
-                            return Err(CongestError::UnicastForbidden { node: v, round });
+                            *acct_err = Some(CongestError::UnicastForbidden { node: v, round });
+                            return;
                         }
-                        if *p >= deg {
-                            return Err(CongestError::InvalidPort {
+                        if *p as usize >= deg {
+                            *acct_err = Some(CongestError::InvalidPort {
                                 node: v,
-                                port: *p,
+                                port: *p as usize,
                                 degree: deg,
                             });
+                            return;
                         }
-                        port_bits[*p] += m.bit_size();
+                        port_bits[*p as usize] += m.bit_size();
                         msgs += 1;
-                        if let (Some(c), Some((base, deps))) = (collector, &sender_prov) {
-                            c.record(&SimEvent::Send {
+                        if let Some((base, deps)) = &sender_prov {
+                            acct_events.push(SimEvent::Send {
                                 round,
                                 from: v,
-                                port: *p,
+                                port: *p as usize,
                                 bits: m.bit_size(),
                                 msg_id: base + idx as u64,
                                 deps: Arc::clone(deps),
@@ -1085,8 +1413,8 @@ impl<'g> Engine<'g> {
                             *pb += sz;
                         }
                         msgs += deg as u64;
-                        if let (Some(c), Some((base, deps))) = (collector, &sender_prov) {
-                            c.record(&SimEvent::Send {
+                        if let Some((base, deps)) = &sender_prov {
+                            acct_events.push(SimEvent::Send {
                                 round,
                                 from: v,
                                 port: usize::MAX,
@@ -1101,22 +1429,22 @@ impl<'g> Engine<'g> {
             for (p, &bits) in port_bits.iter().enumerate() {
                 if let Bandwidth::Bits(limit) = self.bandwidth {
                     if bits > limit {
-                        return Err(CongestError::BandwidthExceeded {
+                        *acct_err = Some(CongestError::BandwidthExceeded {
                             node: v,
                             port: p,
                             attempted: bits,
                             limit,
                             round,
                         });
+                        return;
                     }
                 }
-                directed_edge_bits[offsets[v] + p] += bits as u64;
-                *total_bits += bits as u64;
-                *max_edge_round_bits = (*max_edge_round_bits).max(bits);
+                edge_bits[offsets[v] as usize + p - slot_base] += bits as u64;
+                *acct_bits += bits as u64;
+                *acct_max = (*acct_max).max(bits);
             }
-            *total_messages += msgs;
+            *acct_msgs += msgs;
         }
-        Ok(())
     }
 }
 
@@ -1124,6 +1452,7 @@ impl<'g> Engine<'g> {
 mod tests {
     use super::*;
     use crate::error::SimError;
+    use crate::node::Inbox;
     use crate::simulation::Simulation;
     use crate::trace::TraceKind;
     use graphlib::generators;
@@ -1499,27 +1828,37 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_entry_points_still_work() {
-        // The legacy `Engine::run` / `run_nodes` shims must keep producing
-        // exactly what the builder produces until they are removed.
-        let g = generators::cycle(5);
-        let old = Engine::new(&g)
-            .bandwidth(Bandwidth::Bits(64))
-            .run(|_| flood())
-            .unwrap();
-        let (old2, nodes) = Engine::new(&g)
-            .bandwidth(Bandwidth::Bits(64))
-            .run_nodes(|_| flood())
-            .unwrap();
-        let new = Simulation::on(&g)
-            .bandwidth(Bandwidth::Bits(64))
-            .run(|_| flood())
-            .unwrap();
-        assert_eq!(old.decisions, new.decisions);
-        assert_eq!(old2.decisions, new.decisions);
-        assert_eq!(nodes.len(), 5);
-        assert_eq!(old.stats.total_bits, new.stats.total_bits);
+    fn shard_count_is_invisible() {
+        // The shard count is a parallel-grain knob, never an observable:
+        // decisions, traffic totals, and fault outcomes must be
+        // byte-identical at every shard count (the dedicated referee in
+        // tests/sharding.rs additionally pins inboxes and trace streams).
+        use crate::faults::FaultSpec;
+        let g = generators::clique(8);
+        let run_with = |shards: usize| {
+            Simulation::on(&g)
+                .bandwidth(Bandwidth::Bits(64))
+                .seed(9)
+                .shards(shards)
+                .faults(FaultSpec::IndependentLoss(0.5))
+                .run(|_| flood())
+                .unwrap()
+        };
+        let reference = run_with(1);
+        for shards in [2, 3, 7, 64] {
+            let out = run_with(shards);
+            assert_eq!(out.decisions, reference.decisions, "shards={shards}");
+            assert_eq!(
+                out.stats.total_bits, reference.stats.total_bits,
+                "shards={shards}"
+            );
+            assert_eq!(out.faults.dropped, reference.faults.dropped);
+            assert_eq!(out.faults.delivered, reference.faults.delivered);
+            assert_eq!(
+                out.faults.dropped_per_round, reference.faults.dropped_per_round,
+                "shards={shards}"
+            );
+        }
     }
 
     #[test]

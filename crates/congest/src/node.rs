@@ -36,10 +36,14 @@ impl NodeContext {
 }
 
 /// A message handed to the engine for delivery next round.
+///
+/// Ports are `u32` — the engine stores one staging slot per directed edge in
+/// a `u32`-indexed arena, so a port (bounded by a node's degree, itself
+/// bounded by the `u32` CSR of [`graphlib::Graph`]) always fits.
 #[derive(Debug, Clone)]
 pub enum Outgoing<M> {
     /// Send to a single port.
-    Unicast(usize, M),
+    Unicast(u32, M),
     /// Send the same message on every port. In CONGEST this still costs the
     /// message size on *each* edge.
     Broadcast(M),
@@ -48,10 +52,13 @@ pub enum Outgoing<M> {
 /// The messages a node emits in one round.
 pub type Outbox<M> = Vec<Outgoing<M>>;
 
-/// A message received this round: `(port, payload)`. Broadcast payloads are
-/// shared between their receivers rather than cloned per edge — see
-/// [`Payload`] for how algorithms read them.
-pub type Inbox<M> = Vec<(usize, Payload<M>)>;
+/// The messages a node receives in one round: `(port, payload)` pairs in
+/// deterministic port-merge order. This is a *slice* alias — the engine hands
+/// each node a window into its shard's arena-slab inbox rather than a
+/// per-node `Vec`, so a round allocates nothing per receiver. Broadcast
+/// payloads are shared between their receivers rather than cloned per edge —
+/// see [`Payload`] for how algorithms read them.
+pub type Inbox<M> = [(u32, Payload<M>)];
 
 /// Accept/reject output of a node (Definition 1 semantics: the network
 /// rejects — "H found" — iff some node rejects).

@@ -504,7 +504,7 @@ where
         let mut bundles: Vec<Vec<A::Msg>> = vec![Vec::new(); ports];
         for og in inner_out {
             match og {
-                Outgoing::Unicast(p, m) => bundles[p].push(m),
+                Outgoing::Unicast(p, m) => bundles[p as usize].push(m),
                 Outgoing::Broadcast(m) => {
                     for b in bundles.iter_mut() {
                         b.push(m.clone());
@@ -548,7 +548,7 @@ where
                     }
                 }
                 out.push(Outgoing::Unicast(
-                    p,
+                    p as u32,
                     RMsg::Ack {
                         cum,
                         sack,
@@ -589,7 +589,7 @@ where
                             break;
                         }
                         out.push(Outgoing::Unicast(
-                            p,
+                            p as u32,
                             RMsg::Data {
                                 seq: f.seq,
                                 check: f.check,
@@ -610,7 +610,7 @@ where
                             let bits = DATA_HEADER_BITS + payload_bits(&f.payload);
                             if bits <= budget {
                                 out.push(Outgoing::Unicast(
-                                    p,
+                                    p as u32,
                                     RMsg::Data {
                                         seq: f.seq,
                                         check: f.check,
@@ -704,7 +704,8 @@ where
         // 1. Process arrivals: buffer checksum-valid data (acking
         //    duplicates too — our earlier ack may have been lost) and
         //    resolve acked sender frames.
-        for (p, msg) in inbox {
+        for (port, msg) in inbox {
+            let p = &(*port as usize);
             match &**msg {
                 RMsg::Data {
                     seq,
@@ -780,10 +781,10 @@ where
             && !self.inner.halted()
             && (0..ports).all(|p| self.recv[p].ready(self.inner_next))
         {
-            let mut vinbox: Inbox<A::Msg> = Vec::new();
+            let mut vinbox: Vec<(u32, Payload<A::Msg>)> = Vec::new();
             for (p, rl) in self.recv.iter_mut().enumerate() {
                 for m in rl.take(self.inner_next) {
-                    vinbox.push((p, Payload::Owned(m)));
+                    vinbox.push((p as u32, Payload::Owned(m)));
                 }
             }
             let vctx = NodeContext {
@@ -849,26 +850,9 @@ where
     }
 }
 
-/// Runs `make(v)`-constructed nodes under the reliable transport, folding
-/// the per-node retransmission / give-up counts into the outcome's
-/// [`FaultReport`](crate::faults::FaultReport) and unwrapping the final
-/// inner states.
-#[deprecated(note = "use `congest::Simulation::reliable_config(cfg).run(make)` instead")]
-pub fn run_reliable<A, F>(
-    engine: &Engine<'_>,
-    cfg: ReliableConfig,
-    make: F,
-) -> Result<(RunOutcome, Vec<A>), CongestError>
-where
-    A: NodeAlgorithm,
-    A::Msg: Hash,
-    F: Fn(usize) -> A + Sync,
-{
-    run_reliable_impl(engine, cfg, make)
-}
-
-/// The transport run behind [`run_reliable`] (deprecated shim) and
-/// [`Simulation`](crate::Simulation)'s reliable route. Emits a
+/// The transport run behind
+/// [`Simulation`](crate::Simulation)'s reliable route (the single public
+/// entry point, via `Simulation::reliable_config(cfg).run(make)`). Emits a
 /// [`SimEvent::TransportSummary`](crate::obsv::SimEvent) through the
 /// engine's collector once the tallies are known, and re-assesses the
 /// outcome's degradation verdict with the transport's give-ups included.
@@ -912,11 +896,11 @@ where
     // Per-link tallies, in the CSR directed-edge order shared with
     // `RunStats::directed_edge_bits` (slot `offsets[v] + port`).
     let offsets = Arc::clone(&outcome.stats.offsets);
-    let slots = offsets.last().copied().unwrap_or(0);
+    let slots = offsets.last().copied().unwrap_or(0) as usize;
     let mut per_link = vec![0u64; slots];
     for (v, nd) in nodes.iter().enumerate() {
         for (p, &c) in nd.retransmissions_per_port().iter().enumerate() {
-            per_link[offsets[v] + p] += c;
+            per_link[offsets[v] as usize + p] += c;
         }
     }
     outcome.faults.retransmissions_per_link = per_link;

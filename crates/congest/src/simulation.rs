@@ -156,6 +156,7 @@ pub struct Simulation<'g> {
     collector: Option<Arc<dyn Collector>>,
     timed: bool,
     profiler: Option<Arc<Profiler>>,
+    shards: usize,
 }
 
 impl<'g> Simulation<'g> {
@@ -177,6 +178,7 @@ impl<'g> Simulation<'g> {
             collector: None,
             timed: false,
             profiler: None,
+            shards: 0,
         }
     }
 
@@ -268,6 +270,15 @@ impl<'g> Simulation<'g> {
         self
     }
 
+    /// Pins the CONGEST engine's shard count (0 = one shard per rayon
+    /// worker, the default). The shard count is a parallel-grain knob
+    /// only: every observable of the run — decisions, inboxes, traces,
+    /// fault outcomes — is identical at any value.
+    pub fn shards(mut self, s: usize) -> Self {
+        self.shards = s;
+        self
+    }
+
     /// Caps the number of communication rounds.
     pub fn max_rounds(mut self, r: usize) -> Self {
         self.max_rounds = Some(r);
@@ -300,7 +311,8 @@ impl<'g> Simulation<'g> {
         let mut e = Engine::new(self.graph)
             .seed(self.seed)
             .faults(self.faults.clone())
-            .broadcast_only(self.broadcast_only);
+            .broadcast_only(self.broadcast_only)
+            .shards(self.shards);
         if let Some(b) = self.bandwidth {
             e = e.bandwidth(b);
         }
@@ -612,7 +624,7 @@ mod tests {
         type Msg = u32;
         type Output = u64;
 
-        fn init(&mut self, ctx: &CliqueContext, _rng: &mut ChaCha8Rng) -> Vec<(usize, u32)> {
+        fn init(&mut self, ctx: &CliqueContext, _rng: &mut ChaCha8Rng) -> Vec<(u32, u32)> {
             if ctx.index == 0 {
                 self.acc = ctx.input_neighbors.len() as u64;
                 Vec::new()
@@ -624,9 +636,9 @@ mod tests {
         fn on_round(
             &mut self,
             ctx: &CliqueContext,
-            inbox: &[(usize, u32)],
+            inbox: &[(u32, u32)],
             _rng: &mut ChaCha8Rng,
-        ) -> Vec<(usize, u32)> {
+        ) -> Vec<(u32, u32)> {
             if ctx.index == 0 {
                 self.acc += inbox.iter().map(|&(_, d)| d as u64).sum::<u64>();
             }

@@ -27,10 +27,11 @@ pub struct RunStats {
     /// node `u` sent on its port `p` over the whole run.
     pub directed_edge_bits: Vec<u64>,
     /// CSR offsets (`offset(u)` = start of `u`'s slots), kept so the stats
-    /// are interpretable without the topology. Shared behind an `Arc`:
-    /// cloning a `RunStats` no longer duplicates the topology CSR, and
-    /// exporters should prefer [`Self::edges`] over manual offset math.
-    pub offsets: Arc<[usize]>,
+    /// are interpretable without the topology. `u32` slots shared behind an
+    /// `Arc` — for a graph topology this is the *same* allocation as the
+    /// `graphlib::Graph` CSR, so cloning a `RunStats` duplicates nothing,
+    /// and exporters should prefer [`Self::edges`] over manual offset math.
+    pub offsets: Arc<[u32]>,
     /// Bits sent in each round (`per_round_bits[r-1]` for round `r`) — the
     /// traffic time-series, useful for spotting a protocol's phases.
     pub per_round_bits: Vec<u64>,
@@ -53,33 +54,27 @@ pub struct EdgeTraffic {
 
 impl RunStats {
     pub(crate) fn new(g: &Graph) -> Self {
-        let mut offsets = Vec::with_capacity(g.n() + 1);
-        let mut acc = 0usize;
-        offsets.push(0);
-        for v in 0..g.n() {
-            acc += g.degree(v);
-            offsets.push(acc);
-        }
-        Self::with_offsets(offsets)
+        // Shares the graph's own CSR offset allocation — zero copies.
+        Self::with_offsets(g.offsets_shared())
     }
 
     /// Stats over the complete all-to-all topology on `n` nodes (the
     /// congested clique): node `u` has `n - 1` slots, one per other node.
     pub(crate) fn complete(n: usize) -> Self {
         let per = n.saturating_sub(1);
-        let offsets: Vec<usize> = (0..=n).map(|v| v * per).collect();
-        Self::with_offsets(offsets)
+        let offsets: Vec<u32> = (0..=n).map(|v| (v * per) as u32).collect();
+        Self::with_offsets(offsets.into())
     }
 
-    fn with_offsets(offsets: Vec<usize>) -> Self {
-        let slots = offsets.last().copied().unwrap_or(0);
+    fn with_offsets(offsets: Arc<[u32]>) -> Self {
+        let slots = offsets.last().copied().unwrap_or(0) as usize;
         RunStats {
             rounds: 0,
             total_bits: 0,
             total_messages: 0,
             max_edge_round_bits: 0,
             directed_edge_bits: vec![0; slots],
-            offsets: offsets.into(),
+            offsets,
             per_round_bits: Vec::new(),
             per_round_messages: Vec::new(),
         }
@@ -87,12 +82,12 @@ impl RunStats {
 
     /// Bits sent by node `u` over port `p`, cumulative over the run.
     pub fn edge_bits(&self, u: usize, port: usize) -> u64 {
-        self.directed_edge_bits[self.offsets[u] + port]
+        self.directed_edge_bits[self.offsets[u] as usize + port]
     }
 
     /// Total bits sent by node `u` over all its ports.
     pub fn node_bits(&self, u: usize) -> u64 {
-        self.directed_edge_bits[self.offsets[u]..self.offsets[u + 1]]
+        self.directed_edge_bits[self.offsets[u] as usize..self.offsets[u + 1] as usize]
             .iter()
             .sum()
     }
@@ -102,8 +97,8 @@ impl RunStats {
     /// caller needs to reimplement the CSR offset arithmetic.
     pub fn edges(&self) -> impl Iterator<Item = EdgeTraffic> + '_ {
         (0..self.offsets.len().saturating_sub(1)).flat_map(move |v| {
-            let start = self.offsets[v];
-            let end = self.offsets[v + 1];
+            let start = self.offsets[v] as usize;
+            let end = self.offsets[v + 1] as usize;
             (start..end).map(move |slot| EdgeTraffic {
                 node: v,
                 port: slot - start,
@@ -157,8 +152,8 @@ mod tests {
         let g = generators::path(3); // 0 - 1 - 2
         let mut s = RunStats::new(&g);
         // Node 1 sends 5 bits to node 0 (its port 0) and 7 bits to node 2.
-        s.directed_edge_bits[s.offsets[1]] = 5;
-        s.directed_edge_bits[s.offsets[1] + 1] = 7;
+        s.directed_edge_bits[s.offsets[1] as usize] = 5;
+        s.directed_edge_bits[s.offsets[1] as usize + 1] = 7;
         s.total_bits = 12;
         // Cut {0} vs {1,2}: only the 1->0 traffic crosses.
         assert_eq!(s.bits_across_cut(&g, &[true, false, false]), 5);
@@ -171,8 +166,8 @@ mod tests {
     fn edges_iterator_matches_offset_math() {
         let g = generators::path(3);
         let mut s = RunStats::new(&g);
-        s.directed_edge_bits[s.offsets[1]] = 5;
-        s.directed_edge_bits[s.offsets[1] + 1] = 7;
+        s.directed_edge_bits[s.offsets[1] as usize] = 5;
+        s.directed_edge_bits[s.offsets[1] as usize + 1] = 7;
         let all: Vec<EdgeTraffic> = s.edges().collect();
         assert_eq!(all.len(), s.directed_edge_bits.len());
         for e in &all {
@@ -191,6 +186,8 @@ mod tests {
         let s = RunStats::new(&g);
         let t = s.clone();
         assert!(Arc::ptr_eq(&s.offsets, &t.offsets));
+        // ...and with the topology's own CSR offsets, not a copy.
+        assert!(Arc::ptr_eq(&s.offsets, &g.offsets_shared()));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// One node's received traffic: per round, the inbox as `(port, value)`.
-type Log = Vec<Vec<(usize, u64)>>;
+type Log = Vec<Vec<(u32, u64)>>;
 
 /// Replays a pre-built per-round send plan and records every inbox.
 struct ScriptedNode {
@@ -89,7 +89,7 @@ fn random_plans(g: &Graph, rounds: usize, seed: u64) -> Vec<Vec<Outbox<BitString
                             if rng.gen_bool(0.4) {
                                 Outgoing::Broadcast(m)
                             } else {
-                                Outgoing::Unicast(rng.gen_range(0..deg), m)
+                                Outgoing::Unicast(rng.gen_range(0..deg) as u32, m)
                             }
                         })
                         .collect()
@@ -113,11 +113,11 @@ fn reference_logs(g: &Graph, plans: &[Vec<Outbox<BitString>>], rounds: usize) ->
                         for out in &plans[u][r] {
                             match out {
                                 Outgoing::Unicast(port, m)
-                                    if g.neighbors(u)[*port] as usize == v =>
+                                    if g.neighbors(u)[*port as usize] as usize == v =>
                                 {
-                                    inbox.push((p, m.to_uint()));
+                                    inbox.push((p as u32, m.to_uint()));
                                 }
-                                Outgoing::Broadcast(m) => inbox.push((p, m.to_uint())),
+                                Outgoing::Broadcast(m) => inbox.push((p as u32, m.to_uint())),
                                 _ => {}
                             }
                         }

@@ -139,7 +139,7 @@ impl NodeAlgorithm for CliqueDetectNode {
         _rng: &mut ChaCha8Rng,
     ) -> Outbox<IdMsg> {
         for (port, msg) in inbox {
-            let sender = ctx.neighbor_ids[*port];
+            let sender = ctx.neighbor_ids[*port as usize];
             if self.my_nbrs.contains(&msg.id) {
                 self.known.entry(sender).or_default().insert(msg.id);
             }

@@ -52,6 +52,10 @@ pub struct EvenCycleConfig {
     /// schedule shorter but is only sound if `M >= ex(n, C_2k)` still holds
     /// for the inputs at hand.
     pub edge_bound_override: Option<usize>,
+    /// Shard count for the round engine's parallel passes (0 = one shard
+    /// per rayon lane). Purely a parallel-grain knob: every run is
+    /// byte-identical at any value.
+    pub shards: usize,
 }
 
 impl EvenCycleConfig {
@@ -64,6 +68,7 @@ impl EvenCycleConfig {
             repetitions: amplification_reps(k),
             seed: 0,
             edge_bound_override: None,
+            shards: 0,
         }
     }
 
@@ -82,6 +87,12 @@ impl EvenCycleConfig {
     /// Overrides the edge bound `M`.
     pub fn edge_bound(mut self, m: usize) -> Self {
         self.edge_bound_override = Some(m);
+        self
+    }
+
+    /// Sets the engine shard count (see [`EvenCycleConfig::shards`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -499,7 +510,7 @@ impl NodeAlgorithm for LayerPrefixNode {
                     if *origin_layer < my_layer {
                         continue; // u_0 must be on the highest layer
                     }
-                    let sender = ctx.neighbor_ids[*port];
+                    let sender = ctx.neighbor_ids[*port as usize];
                     // Path so far: origin, interior..., sender; we are the
                     // next vertex. Its length determines the color we must
                     // have to extend it.
@@ -810,6 +821,7 @@ pub fn detect_even_cycle_observed(
             .install(Simulation::on(g))
             .bandwidth(bandwidth)
             .seed(cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(1))
+            .shards(cfg.shards)
             .max_rounds(sched.r1_rounds + 2)
             .run(move |_| ColorBfsNode::new(s1.clone()))?;
         tally.phase1(&out1.stats);
@@ -828,6 +840,7 @@ pub fn detect_even_cycle_observed(
             .install(Simulation::on(g))
             .bandwidth(bandwidth)
             .seed(cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(2))
+            .shards(cfg.shards)
             .max_rounds(sched.r2_rounds + 2)
             .run(move |_| LayerPrefixNode::new(s2.clone()))?;
         tally.phase2(&out2.stats);

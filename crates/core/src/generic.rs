@@ -210,11 +210,11 @@ impl BitSize for GatherMsg {
 /// Gather-at-leader node. Node index 0 acts as the (pre-elected) leader.
 pub struct GatherNode {
     pattern: Graph,
-    parent_port: Option<usize>,
+    parent_port: Option<u32>,
     is_root: bool,
     bfs_round: usize,
     announced: bool,
-    children: FxHashSet<usize>,
+    children: FxHashSet<u32>,
     done_children: usize,
     queue: VecDeque<(u64, u64)>,
     collected: FxHashSet<(u64, u64)>,

@@ -77,7 +77,7 @@ impl TriangleTesterNode {
         }
         let bits = bits_for_domain(ctx.n.max(2)) as u32 + 2;
         vec![Outgoing::Unicast(
-            a,
+            a as u32,
             TestMsg::Query {
                 about: ctx.neighbor_ids[b],
                 bits,

@@ -164,7 +164,7 @@ impl NodeAlgorithm for OneRoundTriangleNode {
     ) -> Outbox<PairList> {
         let received: Vec<(u64, Vec<(u64, bool)>)> = inbox
             .iter()
-            .map(|(port, m)| (ctx.neighbor_ids[*port], m.pairs.clone()))
+            .map(|(port, m)| (ctx.neighbor_ids[*port as usize], m.pairs.clone()))
             .collect();
         self.reject = one_round_decide(&ctx.neighbor_ids, &received);
         self.done = true;

@@ -263,6 +263,124 @@ pub fn configuration_model<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
     b.build()
 }
 
+/// Streaming bounded-degree random graph at n = 10^5..10^6 scale.
+///
+/// Overlays `d / 2` independent random Hamiltonian-ring passes, so every
+/// vertex ends with degree at most `d` (duplicate edges across passes are
+/// merged, so degrees can be slightly lower). The CSR arrays are built
+/// directly by replaying the same RNG stream twice — a counting pass on a
+/// clone of `rng` sizes every row, then the fill pass writes neighbors in
+/// place — so no intermediate `Vec<(usize, usize)>` edge list is ever
+/// materialized and peak memory stays O(n · d).
+pub fn bounded_degree<R: Rng + Clone>(n: usize, d: usize, rng: &mut R) -> Graph {
+    streaming_ring_graph(n, d, &[], rng)
+}
+
+/// Streaming planted-C_{2k} instance at bounded degree: a [`bounded_degree`]
+/// background graph with a 2k-cycle planted on 2k random distinct vertices,
+/// returned in cycle order. Peak memory stays O(n · d); see
+/// [`bounded_degree`] for the two-pass CSR construction.
+pub fn planted_c2k<R: Rng + Clone>(n: usize, d: usize, k: usize, rng: &mut R) -> (Graph, Vec<u32>) {
+    assert!(k >= 2, "C_{{2k}} needs k >= 2 to be a simple cycle");
+    let len = 2 * k;
+    assert!(len <= n, "cannot plant a {len}-cycle in {n} vertices");
+    // Partial Fisher–Yates: 2k distinct vertices, uniform over subsets.
+    let mut pool: Vec<u32> = (0..n as u32).collect();
+    for i in 0..len {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    let verts: Vec<u32> = pool[..len].to_vec();
+    drop(pool);
+    let planted: Vec<(u32, u32)> = (0..len).map(|i| (verts[i], verts[(i + 1) % len])).collect();
+    (streaming_ring_graph(n, d, &planted, rng), verts)
+}
+
+/// Shared two-pass CSR construction for the streaming generators: `planted`
+/// edges plus `d / 2` random ring passes, counted on a cloned RNG stream and
+/// then filled from the original, per-row sorted/deduped/compacted, handed to
+/// [`Graph::from_csr`] without ever holding an edge tuple list.
+fn streaming_ring_graph<R: Rng + Clone>(
+    n: usize,
+    d: usize,
+    planted: &[(u32, u32)],
+    rng: &mut R,
+) -> Graph {
+    let rounds = if n >= 2 { d / 2 } else { 0 };
+    let mut deg = vec![0u32; n];
+    for &(u, v) in planted {
+        assert!(u != v, "planted self-loop");
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+    }
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    {
+        // Counting pass: replays the exact shuffle sequence the fill pass
+        // will draw from `rng`, so the row sizes match stub-for-stub.
+        let mut counter = rng.clone();
+        for _ in 0..rounds {
+            perm.shuffle(&mut counter);
+            for i in 0..n {
+                deg[perm[i] as usize] += 1;
+                deg[perm[(i + 1) % n] as usize] += 1;
+            }
+        }
+    }
+    let total: u64 = deg.iter().map(|&x| u64::from(x)).sum();
+    assert!(
+        total <= u64::from(u32::MAX),
+        "graph too large for the u32 CSR index: {total} directed edges"
+    );
+    let mut offsets = vec![0u32; n + 1];
+    let mut acc = 0u32;
+    for v in 0..n {
+        offsets[v] = acc;
+        acc += deg[v];
+    }
+    offsets[n] = acc;
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    let mut neighbors = vec![0u32; total as usize];
+    let stub = |u: u32, v: u32, neighbors: &mut [u32], cursor: &mut [u32]| {
+        neighbors[cursor[u as usize] as usize] = v;
+        cursor[u as usize] += 1;
+        neighbors[cursor[v as usize] as usize] = u;
+        cursor[v as usize] += 1;
+    };
+    for &(u, v) in planted {
+        stub(u, v, &mut neighbors, &mut cursor);
+    }
+    perm.clear();
+    perm.extend(0..n as u32);
+    for _ in 0..rounds {
+        perm.shuffle(rng);
+        for i in 0..n {
+            stub(perm[i], perm[(i + 1) % n], &mut neighbors, &mut cursor);
+        }
+    }
+    // Per-row sort + dedup + in-place compaction. Duplicates are symmetric
+    // (both endpoints carry the same multiplicity), so dropping repeats on
+    // each side independently keeps the adjacency symmetric.
+    let mut final_offsets = vec![0u32; n + 1];
+    let mut out = 0usize;
+    for v in 0..n {
+        let (start, end) = (offsets[v] as usize, offsets[v + 1] as usize);
+        neighbors[start..end].sort_unstable();
+        final_offsets[v] = out as u32;
+        let mut prev = u32::MAX;
+        for i in start..end {
+            let w = neighbors[i];
+            if w != prev {
+                neighbors[out] = w;
+                out += 1;
+                prev = w;
+            }
+        }
+    }
+    final_offsets[n] = out as u32;
+    neighbors.truncate(out);
+    Graph::from_csr(final_offsets, neighbors)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,5 +500,54 @@ mod tests {
         let mut r = rng();
         let g = configuration_model(100, 4, &mut r);
         assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn bounded_degree_respects_cap_and_is_deterministic() {
+        let g = bounded_degree(500, 6, &mut rng());
+        assert_eq!(g.n(), 500);
+        assert!(g.max_degree() <= 6, "max degree {}", g.max_degree());
+        // Every ring pass gives each vertex two distinct neighbors, so
+        // dedup never drops a vertex below degree 2.
+        assert!(g.min_degree() >= 2, "min degree {}", g.min_degree());
+        assert_eq!(g, bounded_degree(500, 6, &mut rng()));
+    }
+
+    #[test]
+    fn bounded_degree_small_and_degenerate_inputs() {
+        assert_eq!(bounded_degree(0, 4, &mut rng()).n(), 0);
+        assert_eq!(bounded_degree(1, 4, &mut rng()).m(), 0);
+        let pair = bounded_degree(2, 4, &mut rng());
+        assert_eq!(pair.m(), 1);
+        let g = bounded_degree(3, 0, &mut rng());
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn planted_c2k_contains_the_cycle() {
+        let mut r = rng();
+        let (g, verts) = planted_c2k(400, 4, 3, &mut r);
+        assert_eq!(verts.len(), 6);
+        let mut sorted = verts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6, "planted vertices must be distinct");
+        for i in 0..6 {
+            assert!(g.has_edge(verts[i] as usize, verts[(i + 1) % 6] as usize));
+        }
+        // Background cap plus at most two planted-cycle edges per vertex.
+        assert!(g.max_degree() <= 4 + 2, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn streaming_generators_match_at_moderate_scale() {
+        // Large enough to exercise the compaction path with real duplicate
+        // collisions, small enough for a unit test.
+        let (g, verts) = planted_c2k(20_000, 4, 2, &mut rng());
+        assert_eq!(g.n(), 20_000);
+        assert!(g.m() >= 20_000, "two ring passes should survive dedup");
+        for i in 0..4 {
+            assert!(g.has_edge(verts[i] as usize, verts[(i + 1) % 4] as usize));
+        }
     }
 }

@@ -17,16 +17,49 @@ pub type VertexId = u32;
 ///
 /// Self-loops and parallel edges are removed at construction time.
 ///
+/// The CSR index is `u32` end to end — offsets included — and the offset
+/// table is shared behind an `Arc`, so simulator layers that need the
+/// directed-edge slot map (one slot per `(node, port)` pair) borrow it
+/// instead of rebuilding an `n + 1`-entry table per run. Both halve the
+/// index footprint at the `n = 10^5..10^6` scales the sharded engine
+/// targets. Construction is guarded: node counts and directed-edge counts
+/// beyond `u32::MAX` are rejected up front (see [`GraphBuilder::try_new`]),
+/// never silently truncated.
+///
 /// Dense graphs additionally carry a lazily-built packed adjacency matrix
 /// (see [`crate::bitset`]) that accelerates membership tests and
 /// neighborhood intersections; sparse graphs never build it.
 pub struct Graph {
-    offsets: Vec<usize>,
+    offsets: Arc<[u32]>,
     neighbors: Vec<VertexId>,
     m: usize,
     /// `None` inside = graph judged too sparse; unset = not decided yet.
     packed: OnceLock<Option<Arc<AdjacencyBitset>>>,
 }
+
+/// A graph was too large for the `u32` CSR index (node count above
+/// `u32::MAX`, or more than `u32::MAX` directed edge slots).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphTooLarge {
+    /// What overflowed: `"vertices"` or `"directed edges"`.
+    pub what: &'static str,
+    /// The offending count.
+    pub count: usize,
+}
+
+impl fmt::Display for GraphTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graph too large for the u32 CSR index: {} {} (max {})",
+            self.count,
+            self.what,
+            u32::MAX
+        )
+    }
+}
+
+impl std::error::Error for GraphTooLarge {}
 
 impl Clone for Graph {
     fn clone(&self) -> Self {
@@ -65,10 +98,65 @@ impl Graph {
 
     /// The empty graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "vertex count exceeds u32 range");
         Graph {
-            offsets: vec![0; n + 1],
+            offsets: vec![0u32; n + 1].into(),
             neighbors: Vec::new(),
             m: 0,
+            packed: OnceLock::new(),
+        }
+    }
+
+    /// Builds a graph directly from a CSR index: `offsets` has `n + 1`
+    /// entries and `neighbors[offsets[v]..offsets[v+1]]` is the sorted,
+    /// duplicate-free neighbor list of `v`. This is the streaming
+    /// construction path — generators that know their degrees up front
+    /// (see [`crate::generators::bounded_degree`]) fill the CSR in place
+    /// and never materialize an intermediate edge list.
+    ///
+    /// # Panics
+    /// Panics if the index is malformed (non-monotone offsets, length
+    /// mismatch, endpoints out of range). Row sortedness, dedup, self-loop
+    /// absence, and adjacency symmetry are checked under
+    /// `debug_assertions` only — release builds trust the generator.
+    pub fn from_csr(offsets: Vec<u32>, neighbors: Vec<VertexId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have n + 1 entries");
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            neighbors.len(),
+            "last offset must equal the neighbor array length"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        assert_eq!(neighbors.len() % 2, 0, "directed edge count must be even");
+        let n = offsets.len() - 1;
+        #[cfg(debug_assertions)]
+        {
+            for v in 0..n {
+                let row = &neighbors[offsets[v] as usize..offsets[v + 1] as usize];
+                debug_assert!(
+                    row.windows(2).all(|w| w[0] < w[1]),
+                    "row {v} must be sorted and duplicate-free"
+                );
+                for &u in row {
+                    debug_assert!((u as usize) < n, "endpoint {u} out of range");
+                    debug_assert!(u as usize != v, "self-loop at {v}");
+                    let back =
+                        &neighbors[offsets[u as usize] as usize..offsets[u as usize + 1] as usize];
+                    debug_assert!(
+                        back.binary_search(&(v as u32)).is_ok(),
+                        "adjacency must be symmetric ({v} -> {u})"
+                    );
+                }
+            }
+        }
+        let _ = n;
+        Graph {
+            m: neighbors.len() / 2,
+            offsets: offsets.into(),
+            neighbors,
             packed: OnceLock::new(),
         }
     }
@@ -88,13 +176,27 @@ impl Graph {
     /// Degree of vertex `v`.
     #[inline]
     pub fn degree(&self, v: usize) -> usize {
-        self.offsets[v + 1] - self.offsets[v]
+        (self.offsets[v + 1] - self.offsets[v]) as usize
     }
 
     /// Sorted neighbor list of `v`.
     #[inline]
     pub fn neighbors(&self, v: usize) -> &[VertexId] {
-        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// The CSR offset table (`n + 1` entries; `offsets[v]` is the first
+    /// directed-edge slot of `v`), shared without copying. Simulator
+    /// accounting layers key per-`(node, port)` state off these slots.
+    #[inline]
+    pub fn offsets_shared(&self) -> Arc<[u32]> {
+        Arc::clone(&self.offsets)
+    }
+
+    /// The CSR offset table as a slice (see [`Self::offsets_shared`]).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
     }
 
     /// Whether the undirected edge `{u, v}` is present.
@@ -246,12 +348,31 @@ pub struct GraphBuilder {
 
 impl GraphBuilder {
     /// A builder for a graph on `n` vertices.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the `u32` vertex range; fallible callers
+    /// (anything taking an externally supplied size) should use
+    /// [`Self::try_new`].
     pub fn new(n: usize) -> Self {
-        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 range");
-        GraphBuilder {
+        match Self::try_new(n) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects vertex counts the `u32` CSR index
+    /// cannot address *before* allocating anything.
+    pub fn try_new(n: usize) -> Result<Self, GraphTooLarge> {
+        if n >= u32::MAX as usize {
+            return Err(GraphTooLarge {
+                what: "vertices",
+                count: n,
+            });
+        }
+        Ok(GraphBuilder {
             n,
             edges: Vec::new(),
-        }
+        })
     }
 
     /// Adds the undirected edge `{u, v}`. Self-loops are ignored.
@@ -279,37 +400,51 @@ impl GraphBuilder {
     }
 
     /// Finalizes into an immutable [`Graph`], deduplicating edges.
+    ///
+    /// # Panics
+    /// Panics if the deduplicated graph has more than `u32::MAX` directed
+    /// edge slots (the `u32` CSR offset range).
     pub fn build(&self) -> Graph {
         let mut edges = self.edges.clone();
         edges.sort_unstable();
         edges.dedup();
         let m = edges.len();
+        let slots: usize = 2 * m;
+        let _slots_u32: u32 = slots.try_into().unwrap_or_else(|_| {
+            panic!(
+                "{}",
+                GraphTooLarge {
+                    what: "directed edges",
+                    count: slots,
+                }
+            )
+        });
 
-        let mut degree = vec![0usize; self.n];
+        let mut degree = vec![0u32; self.n];
         for &(u, v) in &edges {
             degree[u as usize] += 1;
             degree[v as usize] += 1;
         }
         let mut offsets = Vec::with_capacity(self.n + 1);
-        offsets.push(0);
-        let mut acc = 0;
+        offsets.push(0u32);
+        let mut acc = 0u32;
         for &d in &degree {
             acc += d;
             offsets.push(acc);
         }
         let mut cursor = offsets.clone();
-        let mut neighbors = vec![0u32; 2 * m];
+        let mut neighbors = vec![0u32; slots];
         for &(u, v) in &edges {
-            neighbors[cursor[u as usize]] = v;
+            neighbors[cursor[u as usize] as usize] = v;
             cursor[u as usize] += 1;
-            neighbors[cursor[v as usize]] = u;
+            neighbors[cursor[v as usize] as usize] = u;
             cursor[v as usize] += 1;
         }
         for v in 0..self.n {
-            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+            neighbors[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
         }
         Graph {
-            offsets,
+            offsets: offsets.into(),
             neighbors,
             m,
             packed: OnceLock::new(),
@@ -434,6 +569,43 @@ mod tests {
         assert_eq!(a, b);
         let c = a.clone();
         assert_eq!(c.common_neighbors(0, 1), 38);
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_vertex_counts() {
+        assert!(GraphBuilder::try_new(1024).is_ok());
+        let err = GraphBuilder::try_new(u32::MAX as usize)
+            .expect_err("u32::MAX vertices must not fit the u32 offset index");
+        assert_eq!(err.what, "vertices");
+        assert!(err.to_string().contains("too large"));
+        #[cfg(target_pointer_width = "64")]
+        assert!(GraphBuilder::try_new(u32::MAX as usize + 1).is_err());
+    }
+
+    #[test]
+    fn from_csr_matches_builder() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let raw = Graph::from_csr(vec![0, 2, 4, 6, 8], vec![1, 3, 0, 2, 1, 3, 0, 2]);
+        assert_eq!(g, raw);
+        assert_eq!(raw.degree(0), 2);
+        assert!(raw.has_edge(3, 0));
+        assert_eq!(raw.m(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn from_csr_rejects_broken_offsets() {
+        let _ = Graph::from_csr(vec![0, 2, 1, 4], vec![1, 2, 0, 0]);
+    }
+
+    #[test]
+    fn offsets_are_shared_not_copied() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let a = g.offsets_shared();
+        let b = g.offsets_shared();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(&a[..], &[0, 1, 3, 4]);
+        assert_eq!(g.offsets(), &a[..]);
     }
 
     #[test]

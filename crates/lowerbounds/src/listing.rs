@@ -112,16 +112,16 @@ impl CliqueAlgorithm for ListingNode {
     type Msg = EdgeMsg;
     type Output = Vec<Vec<u32>>;
 
-    fn init(&mut self, _ctx: &CliqueContext, _rng: &mut ChaCha8Rng) -> Vec<(usize, EdgeMsg)> {
+    fn init(&mut self, _ctx: &CliqueContext, _rng: &mut ChaCha8Rng) -> Vec<(u32, EdgeMsg)> {
         self.pop_phase1()
     }
 
     fn on_round(
         &mut self,
         ctx: &CliqueContext,
-        inbox: &[(usize, EdgeMsg)],
+        inbox: &[(u32, EdgeMsg)],
         _rng: &mut ChaCha8Rng,
-    ) -> Vec<(usize, EdgeMsg)> {
+    ) -> Vec<(u32, EdgeMsg)> {
         for &(_, m) in inbox {
             if ctx.round <= self.p1_rounds {
                 // Phase-1 arrival: relay toward the handler in phase 2 —
@@ -159,22 +159,22 @@ impl CliqueAlgorithm for ListingNode {
 }
 
 impl ListingNode {
-    fn pop_phase1(&mut self) -> Vec<(usize, EdgeMsg)> {
+    fn pop_phase1(&mut self) -> Vec<(u32, EdgeMsg)> {
         let mut out = Vec::new();
         self.plan.phase1.retain(|&dest, queue| {
             if let Some(m) = queue.pop() {
-                out.push((dest, m));
+                out.push((dest as u32, m));
             }
             !queue.is_empty()
         });
         out
     }
 
-    fn pop_phase2(&mut self) -> Vec<(usize, EdgeMsg)> {
+    fn pop_phase2(&mut self) -> Vec<(u32, EdgeMsg)> {
         let mut out = Vec::new();
         self.relay.retain(|&dest, queue| {
             if let Some(m) = queue.pop() {
-                out.push((dest, m));
+                out.push((dest as u32, m));
             }
             !queue.is_empty()
         });

@@ -29,22 +29,37 @@ else
     echo "==> clippy not installed; skipping lints" >&2
 fi
 
-# No non-deprecated code may call the pre-Simulation entry points; the
-# builder is the only supported way in. (The shims themselves live in
-# crates/congest and are allowed; everything else must be clean.)
-echo "==> checking for legacy engine entry points"
-legacy='Engine::new\(|\.run_nodes\(|run_reliable\(|CliqueEngine::new\('
-if grep -rnE "$legacy" \
+# The pre-Simulation run shims (Engine::run/run_nodes, CliqueEngine::run,
+# run_reliable) are GONE, not deprecated: nothing in the tree — the engine
+# crate included — may mention them, and no new `#[deprecated]` shim may
+# appear anywhere. The raw engine constructors remain legal in exactly one
+# place, the Simulation builder inside crates/congest.
+echo "==> checking the removed run shims are absent everywhere"
+shims='\.run_nodes\(|run_reliable\(|#\[deprecated'
+if grep -rnE "$shims" \
+    src tests examples crates \
+    --include='*.rs' --exclude-dir=vendor --exclude-dir=target \
+    2>/dev/null; then
+    echo "error: a removed run shim (or a new deprecated attribute) was" \
+         "reintroduced; the congest::Simulation builder is the only way in" >&2
+    status=1
+else
+    echo "    removed run shims fully absent (no deprecated attributes either)"
+fi
+
+echo "==> checking the raw engine constructors stay inside the builder"
+ctors='Engine::new\(|CliqueEngine::new\('
+if grep -rnE "$ctors" \
     src tests examples \
     crates/core/src crates/commlb/src crates/lowerbounds/src \
     crates/bench/src crates/graphlib/src crates/infotheory/src \
     crates/tracetools/src \
     2>/dev/null; then
-    echo "error: legacy entry point used outside the deprecated shims;" \
-         "migrate the call site to congest::Simulation" >&2
+    echo "error: raw engine constructor used outside congest::Simulation;" \
+         "build runs through the builder" >&2
     status=1
 else
-    echo "    no legacy entry points outside congest's deprecated shims"
+    echo "    no raw engine constructors outside congest's builder"
 fi
 
 # The CSR routing arena replaced the per-receiver scan of a per-node wire
@@ -95,6 +110,23 @@ RAYON_NUM_THREADS=1 cargo test -q -p congest --test routing
 echo "==> routing property test (RAYON_NUM_THREADS=4)"
 RAYON_NUM_THREADS=4 cargo test -q -p congest --test routing
 
+# The sharding referee: every observable of a run (inbox contents AND
+# order, the raw event stream, fault tallies, traffic stats) must be
+# byte-identical at shard counts {1, 2, 7, ...} — and that must hold on
+# sequential and parallel pools alike, so the matrix covers shards x
+# threads.
+echo "==> sharding referee (RAYON_NUM_THREADS=1)"
+RAYON_NUM_THREADS=1 cargo test -q -p congest --test sharding
+
+echo "==> sharding referee (RAYON_NUM_THREADS=4)"
+RAYON_NUM_THREADS=4 cargo test -q -p congest --test sharding
+
+# The u32 id space is a hot-path invariant, not an assumption: builders
+# must refuse graphs whose vertex or directed-edge-slot counts would
+# overflow the packed ids the sharded engine routes on.
+echo "==> u32 id-space overflow gate"
+cargo test -q -p graphlib try_new_rejects_oversized_vertex_counts
+
 # FaultStack composition is order-sensitive first-fault-wins and a pure
 # function of (spec, seed); the property suite must hold on sequential and
 # parallel schedules alike.
@@ -116,7 +148,8 @@ cargo test -q --test chaos chaos_fuzzer_finds_no_soundness_violations
 echo "==> chaos fuzzer teeth gate (injected violation found and shrunk)"
 cargo test -q --test chaos chaos_fuzzer_catches_and_shrinks_a_broken_invariant
 
-# Perf-regression smoke gate: smallest workload sizes, generous tolerance
+# Perf-regression smoke gate: smallest workload sizes (including the
+# E3-scale sharded-engine run at n = 10^4), generous tolerance
 # (debug-vs-release noise is not what this guards against — the release
 # binary is used; the gate skips itself when no comparable baseline
 # exists for this host).
