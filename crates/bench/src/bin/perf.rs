@@ -148,7 +148,17 @@ fn run_check(args: &[String]) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--emit") {
-        let entries = if args.iter().any(|a| a == "--smoke") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        // --serve-only: just the serve-QPS workload — for appending serve
+        // entries to an existing baseline without re-timing E1–E3.
+        let entries = if args.iter().any(|a| a == "--serve-only") {
+            let sizes = if smoke {
+                perf::SERVE_SMOKE_SIZES
+            } else {
+                perf::SERVE_FULL_SIZES
+            };
+            sizes.iter().map(|&q| perf::serve_qps_workload(q)).collect()
+        } else if smoke {
             perf::run_smoke_workloads()
         } else {
             perf::run_workloads()

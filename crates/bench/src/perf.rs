@@ -25,9 +25,10 @@ use subgraph_detection as detection;
 /// Schema tag of the perf-baseline document ([`render_report`]).
 pub const PERF_REPORT_SCHEMA: &str = "congest.perf_report";
 /// Version of the perf-baseline document layout. v2 added the optional
-/// `shards` and `peak_rss_kb` columns (E3-scale entries); v1 documents
-/// still parse — the new fields default to 0/absent.
-pub const PERF_REPORT_VERSION: u32 = 2;
+/// `shards` and `peak_rss_kb` columns (E3-scale entries); v3 added the
+/// optional `p99_ms` column (serve-QPS entries). Older documents still
+/// parse — the new fields default to 0/absent.
+pub const PERF_REPORT_VERSION: u32 = 3;
 
 /// One timed workload: `experiment` at size `n` took `wall_ms` on a pool of
 /// `threads` lanes.
@@ -55,6 +56,12 @@ pub struct PerfEntry {
     /// only the largest workload of an `--emit` run (E3-scale, which runs
     /// last) records it — earlier entries would just echo their own noise.
     pub peak_rss_kb: u64,
+    /// 99th-percentile single-query latency in milliseconds, 0.0 when not
+    /// recorded (v3 column; only the serve-QPS workload measures it). For
+    /// those entries `wall_ms` is the whole batch, so throughput is
+    /// `n / (wall_ms / 1000)` queries/sec *at* this tail latency — the
+    /// regression gate compares both.
+    pub p99_ms: f64,
 }
 
 impl PerfEntry {
@@ -77,8 +84,13 @@ impl PerfEntry {
         } else {
             String::new()
         };
+        let p99 = if self.p99_ms > 0.0 {
+            format!(r#","p99_ms":{:.3}"#, self.p99_ms)
+        } else {
+            String::new()
+        };
         format!(
-            r#"{{"experiment":"{}","n":{},"wall_ms":{:.3},"threads":{}{flag}{shards}{rss}}}"#,
+            r#"{{"experiment":"{}","n":{},"wall_ms":{:.3},"threads":{}{flag}{shards}{rss}{p99}}}"#,
             self.experiment, self.n, self.wall_ms, self.threads
         )
     }
@@ -104,17 +116,26 @@ pub const FULL_SIZES: (&[usize], &[usize], &[usize]) =
     (&[128, 256, 512], &[16, 36, 64], &[100_000]);
 /// Reduced sizes for the smoke-test variant of the regression gate.
 pub const SMOKE_SIZES: (&[usize], &[usize], &[usize]) = (&[128], &[16], &[10_000]);
+/// Serve-QPS batch sizes (queries per batch) for the full run.
+pub const SERVE_FULL_SIZES: &[usize] = &[100];
+/// Serve-QPS batch size for the smoke variant.
+pub const SERVE_SMOKE_SIZES: &[usize] = &[20];
 
 /// Runs the timed workloads at the current pool size. Sizes are chosen so
 /// one pass stays under ~a minute in release mode while still being large
 /// enough for the round loop (not process startup) to dominate.
 pub fn run_workloads() -> Vec<PerfEntry> {
-    run_sized_workloads(FULL_SIZES.0, FULL_SIZES.1, FULL_SIZES.2)
+    run_sized_workloads(FULL_SIZES.0, FULL_SIZES.1, FULL_SIZES.2, SERVE_FULL_SIZES)
 }
 
 /// The smoke variant: smallest size of each experiment only.
 pub fn run_smoke_workloads() -> Vec<PerfEntry> {
-    run_sized_workloads(SMOKE_SIZES.0, SMOKE_SIZES.1, SMOKE_SIZES.2)
+    run_sized_workloads(
+        SMOKE_SIZES.0,
+        SMOKE_SIZES.1,
+        SMOKE_SIZES.2,
+        SERVE_SMOKE_SIZES,
+    )
 }
 
 /// Repetitions per timed workload. The *minimum* wall time across reps is
@@ -140,10 +161,84 @@ fn min_wall_ms(work: impl FnMut()) -> f64 {
     min_wall_ms_over(TIMING_REPS, work)
 }
 
+/// One `congest-serve` request line of the QPS workload (all queries hit
+/// one planted-`C_4` graph; kinds and fault injection alternate by index,
+/// the same mix as the golden session but sized by the caller).
+fn serve_request_line(idx: usize) -> String {
+    let graph = r#"{"generator":"planted_c2k","n":96,"d":3,"k":2,"seed":7}"#;
+    let seed = idx / 4;
+    let scenario = match idx % 4 {
+        0 => format!(r#"{{"kind":"even_cycle","k":2,"repetitions":2,"seed":{seed}}}"#),
+        1 => format!(
+            r#"{{"kind":"even_cycle","k":2,"repetitions":2,"seed":{seed},"faults":{{"kind":"independent_loss","p":0.25}}}}"#
+        ),
+        2 => format!(r#"{{"kind":"triangle","seed":{seed}}}"#),
+        _ => format!(
+            r#"{{"kind":"triangle","seed":{seed},"faults":{{"kind":"independent_loss","p":0.25}}}}"#
+        ),
+    };
+    format!(
+        r#"{{"schema":"congest.serve","version":1,"op":"query","id":"q{idx}","graph":{graph},"scenario":{scenario}}}"#
+    )
+}
+
+/// Times the `congest-serve` batch path: `queries` detection queries over
+/// one cached graph, executed as a single batch. `wall_ms` is the batch
+/// (throughput = `queries / wall_ms` kqps); `p99_ms` is the tail of the
+/// single-query latency distribution measured on the same warm service.
+/// Caches are warmed first — this times query execution, not graph
+/// generation (the cache's job, asserted elsewhere).
+pub fn serve_qps_workload(queries: usize) -> PerfEntry {
+    let threads = rayon::current_num_threads();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let lines: Vec<String> = (0..queries).map(serve_request_line).collect();
+
+    let mut svc = serve::Service::new(serve::ServiceConfig::default());
+    // Warm pass: populates the graph/topology caches (and the allocator).
+    for l in &lines {
+        assert!(svc.handle_line(l).is_empty(), "query must enqueue");
+    }
+    assert_eq!(svc.flush().len(), queries + 1);
+
+    // Tail latency: single-query batches, sequentially, on the warm service.
+    let mut latencies: Vec<f64> = lines
+        .iter()
+        .map(|l| {
+            let start = Instant::now();
+            assert!(svc.handle_line(l).is_empty());
+            assert_eq!(svc.flush().len(), 2);
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let p99_idx = ((latencies.len() as f64 * 0.99).ceil() as usize).clamp(1, latencies.len()) - 1;
+    let p99_ms = latencies[p99_idx];
+
+    // Throughput: the whole batch through the pool, min over reps.
+    let wall_ms = min_wall_ms(|| {
+        for l in &lines {
+            assert!(svc.handle_line(l).is_empty());
+        }
+        assert_eq!(svc.flush().len(), queries + 1);
+    });
+
+    PerfEntry {
+        experiment: "serve_qps".into(),
+        n: queries,
+        wall_ms,
+        threads,
+        oversubscribed: threads > host_cpus,
+        shards: 0,
+        peak_rss_kb: 0,
+        p99_ms,
+    }
+}
+
 fn run_sized_workloads(
     e1_sizes: &[usize],
     e2_sizes: &[usize],
     e3_sizes: &[usize],
+    serve_sizes: &[usize],
 ) -> Vec<PerfEntry> {
     let threads = rayon::current_num_threads();
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -162,6 +257,7 @@ fn run_sized_workloads(
             oversubscribed,
             shards: 0,
             peak_rss_kb: 0,
+            p99_ms: 0.0,
         });
     }
     for &nc in e2_sizes {
@@ -177,7 +273,11 @@ fn run_sized_workloads(
             oversubscribed,
             shards: 0,
             peak_rss_kb: 0,
+            p99_ms: 0.0,
         });
+    }
+    for &q in serve_sizes {
+        entries.push(serve_qps_workload(q));
     }
     // E3-scale runs last (largest workload) so its VmHWM reading is the
     // run's true high-water mark, not an echo of a later allocation. The
@@ -201,6 +301,7 @@ fn run_sized_workloads(
             // Auto mode resolves to one shard per pool lane.
             shards: threads.min(n.max(1)),
             peak_rss_kb: peak_rss_kb(),
+            p99_ms: 0.0,
         });
     }
     entries
@@ -377,6 +478,9 @@ pub fn parse_entries(doc: &str) -> Vec<PerfEntry> {
                 peak_rss_kb: json_field(l, "peak_rss_kb")
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(0),
+                p99_ms: json_field(l, "p99_ms")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0.0),
             })
         })
         .collect()
@@ -450,6 +554,18 @@ pub fn regression_gate(
                         cur.wall_ms, b.wall_ms
                     ));
                 }
+                // Serve-QPS entries additionally gate the tail: the
+                // throughput number only means something *at* its p99, so
+                // both must hold (skipped when either side predates v3).
+                if cur.p99_ms > 0.0 && b.p99_ms > 0.0 {
+                    let p99_limit = b.p99_ms * (1.0 + tolerance_pct / 100.0);
+                    if cur.p99_ms > p99_limit {
+                        out.failures.push(format!(
+                            "{tag}: p99 {:.3} ms vs baseline {:.3} ms (limit {p99_limit:.3} ms at +{tolerance_pct}%)",
+                            cur.p99_ms, b.p99_ms
+                        ));
+                    }
+                }
             }
         }
     }
@@ -519,6 +635,7 @@ mod tests {
             oversubscribed: false,
             shards: 0,
             peak_rss_kb: 0,
+            p99_ms: 0.0,
         }
     }
 
@@ -539,7 +656,7 @@ mod tests {
         assert!(doc.contains(r#""threads":4,"oversubscribed":true"#));
         assert!(doc.contains(r#""host_cpus": 4"#));
         assert!(doc.contains(r#""schema": "congest.perf_report""#));
-        assert!(doc.contains(r#""version": 2"#));
+        assert!(doc.contains(r#""version": 3"#));
         // Balanced braces/brackets, trailing newline — cheap well-formedness.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
@@ -594,6 +711,30 @@ mod tests {
         .to_json();
         assert!(scale.contains(r#""shards":2"#));
         assert!(scale.contains(r#""peak_rss_kb":1024"#));
+    }
+
+    #[test]
+    fn p99_column_round_trips_and_gates() {
+        let serve = PerfEntry {
+            p99_ms: 12.345,
+            ..entry("serve_qps", 100, 400.0, 1)
+        };
+        let json = serve.to_json();
+        assert!(json.contains(r#""p99_ms":12.345"#));
+        let plain = entry("e1_even_cycle", 128, 1.0, 1).to_json();
+        assert!(!plain.contains("p99_ms"), "absent when not recorded");
+        let doc = render_report("2026-08-09", 1, &[json]);
+        assert_eq!(parse_entries(&doc), vec![serve.clone()]);
+        // Same wall clock but a blown tail must fail the gate.
+        let slow_tail = PerfEntry {
+            p99_ms: 20.0,
+            ..serve.clone()
+        };
+        let gate = regression_gate(&doc, &[slow_tail], 1, 20.0);
+        assert!(!gate.passed());
+        assert!(gate.failures[0].contains("p99"));
+        let ok = regression_gate(&doc, &[serve], 1, 20.0);
+        assert!(ok.passed());
     }
 
     #[test]

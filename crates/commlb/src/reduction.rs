@@ -95,7 +95,8 @@ where
         .bandwidth(bandwidth)
         .max_rounds(max_rounds)
         .seed(seed)
-        .run(make)?;
+        .run(make)?
+        .into_outcome();
     let report = simulation_cost(g, &outcome, parts);
     Ok((outcome, report))
 }

@@ -524,7 +524,8 @@ mod tests {
                 acc: 0,
                 done: false,
             })
-            .unwrap();
+            .unwrap()
+            .into_clique();
         assert!(run.outcome.completed);
         assert_eq!(run.outputs[0], 2 * g.m() as u64);
         // 5 nodes each sent one 32-bit message to node 0.

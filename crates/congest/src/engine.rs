@@ -724,10 +724,57 @@ impl RunOutcome {
     }
 }
 
+/// Staged, topology-only routing state: everything `run_nodes_impl` would
+/// otherwise recompute per run that depends only on `(graph, shards knob)`.
+/// [`Prepared`](crate::Prepared) builds one behind an `Arc` and replays it
+/// across a batch; a plan built inline for a one-shot run is bit-for-bit the
+/// same, so staging never changes results.
+#[derive(Debug)]
+pub(crate) struct EnginePlan {
+    /// Shard boundaries: `starts[k] = k·n/S`, length `S + 1`.
+    pub(crate) starts: Vec<u32>,
+    /// Reverse-port table: `rev_port[slot(v, p)]` is the port of `v` in the
+    /// adjacency list of `v`'s `p`-th neighbor (unicast routing).
+    pub(crate) rev_port: Vec<u32>,
+}
+
+impl EnginePlan {
+    /// Builds the plan for `g`. A `shards` knob of `0` uses one shard per
+    /// rayon worker thread; any value is clamped to `1..=n`.
+    pub(crate) fn build(g: &Graph, shards: usize) -> Self {
+        let n = g.n();
+        let nshards = if shards == 0 {
+            rayon::current_num_threads().clamp(1, n.max(1))
+        } else {
+            shards.clamp(1, n.max(1))
+        };
+        let starts: Vec<u32> = (0..=nshards).map(|k| (k * n / nshards) as u32).collect();
+        let rev_port: Vec<u32> = (0..n)
+            .into_par_iter()
+            .flat_map_iter(|v| {
+                g.neighbors(v).iter().map(move |&u| {
+                    g.neighbors(u as usize)
+                        .binary_search(&(v as u32))
+                        .expect("undirected adjacency must be symmetric") as u32
+                })
+            })
+            .collect();
+        EnginePlan { starts, rev_port }
+    }
+
+    /// The shard count the plan was built for.
+    pub(crate) fn nshards(&self) -> usize {
+        self.starts.len() - 1
+    }
+}
+
 /// Simulator configuration for one topology.
 pub struct Engine<'g> {
     topology: &'g Graph,
-    ids: Vec<u64>,
+    ids: Arc<[u64]>,
+    /// Pre-staged routing plan (see [`EnginePlan`]); built inline when
+    /// absent.
+    plan: Option<Arc<EnginePlan>>,
     bandwidth: Bandwidth,
     max_rounds: usize,
     seed: u64,
@@ -749,6 +796,7 @@ impl<'g> Engine<'g> {
     pub fn new(topology: &'g Graph) -> Self {
         Engine {
             ids: (0..topology.n() as u64).collect(),
+            plan: None,
             bandwidth: Bandwidth::log_of(topology.n()),
             max_rounds: 16 * (topology.n() + 2) * (topology.n() + 2),
             seed: 0,
@@ -860,7 +908,22 @@ impl<'g> Engine<'g> {
     /// Sets the identifier assignment (must be `n` values).
     pub fn with_ids(mut self, ids: Vec<u64>) -> Self {
         assert_eq!(ids.len(), self.topology.n());
+        self.ids = ids.into();
+        self
+    }
+
+    /// Shares an identifier assignment already behind an `Arc` (the batched
+    /// [`Prepared`](crate::Prepared) path — no per-run copy).
+    pub(crate) fn with_ids_arc(mut self, ids: Arc<[u64]>) -> Self {
+        assert_eq!(ids.len(), self.topology.n());
         self.ids = ids;
+        self
+    }
+
+    /// Installs a staged routing plan. The caller guarantees it was built
+    /// by [`EnginePlan::build`] for this exact topology and shards knob.
+    pub(crate) fn with_plan(mut self, plan: Arc<EnginePlan>) -> Self {
+        self.plan = Some(plan);
         self
     }
 
@@ -896,28 +959,21 @@ impl<'g> Engine<'g> {
             }
         };
 
-        // Shard layout: contiguous node ranges, one shard per rayon worker
-        // unless the builder pinned a count. Any count is observationally
-        // identical (see [`Shard`]); it only changes the parallel grain.
-        let nshards = if self.shards == 0 {
-            rayon::current_num_threads().clamp(1, n.max(1))
-        } else {
-            self.shards.clamp(1, n.max(1))
+        // Shard layout + reverse-port table: staged by `Prepared` across a
+        // batch, or built inline for a one-shot run — identical either way
+        // (see [`EnginePlan`]). Any shard count is observationally identical
+        // (see [`Shard`]); it only changes the parallel grain.
+        let built_plan;
+        let plan: &EnginePlan = match &self.plan {
+            Some(p) => p,
+            None => {
+                built_plan = EnginePlan::build(g, self.shards);
+                &built_plan
+            }
         };
-        let starts: Vec<u32> = (0..=nshards).map(|k| (k * n / nshards) as u32).collect();
-
-        // Reverse-port table: rev_port[slot(v, p)] is the port of v in the
-        // adjacency list of v's p-th neighbor. Needed to route unicasts.
-        let rev_port: Vec<u32> = (0..n)
-            .into_par_iter()
-            .flat_map_iter(|v| {
-                g.neighbors(v).iter().map(move |&u| {
-                    g.neighbors(u as usize)
-                        .binary_search(&(v as u32))
-                        .expect("undirected adjacency must be symmetric") as u32
-                })
-            })
-            .collect();
+        let nshards = plan.nshards();
+        let starts: &[u32] = &plan.starts;
+        let rev_port: &[u32] = &plan.rev_port;
 
         let mut contexts: Vec<NodeContext> = (0..n)
             .map(|v| NodeContext {
@@ -1134,8 +1190,8 @@ impl<'g> Engine<'g> {
                 let offsets: &[u32] = &stats.offsets;
                 let starts_ref = &starts;
                 let rev_port_ref = &rev_port;
-                let ob_windows = split_by_bounds(&mut outboxes, &starts);
-                let bc_windows = split_by_bounds(&mut broadcasts, &starts);
+                let ob_windows = split_by_bounds(&mut outboxes, starts);
+                let bc_windows = split_by_bounds(&mut broadcasts, starts);
                 mail.par_iter_mut()
                     .zip(bcasters.par_iter_mut())
                     .zip(staged_counts.par_iter_mut())
@@ -1253,11 +1309,11 @@ impl<'g> Engine<'g> {
             let t_step = prof_start(prof);
             {
                 let crashed_ref = &crashed;
-                let node_windows = split_by_bounds(&mut nodes, &starts);
-                let ob_windows = split_by_bounds(&mut outboxes, &starts);
-                let ctx_windows = split_by_bounds(&mut contexts, &starts);
-                let rng_windows = split_by_bounds(&mut rngs, &starts);
-                let nanos_windows = split_by_bounds(&mut step_nanos, &starts);
+                let node_windows = split_by_bounds(&mut nodes, starts);
+                let ob_windows = split_by_bounds(&mut outboxes, starts);
+                let ctx_windows = split_by_bounds(&mut contexts, starts);
+                let rng_windows = split_by_bounds(&mut rngs, starts);
+                let nanos_windows = split_by_bounds(&mut step_nanos, starts);
                 shards
                     .par_iter()
                     .zip(node_windows.into_par_iter())

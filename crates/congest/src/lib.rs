@@ -55,6 +55,6 @@ pub use obsv::{
     RUN_REPORT_SCHEMA, RUN_REPORT_VERSION,
 };
 pub use reliable::{Reliable, ReliableConfig};
-pub use simulation::{CliqueRun, Outcome, Simulation};
+pub use simulation::{CliqueRun, Outcome, Overrides, Prepared, RunResult, Simulation};
 pub use stats::{EdgeTraffic, RunStats};
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};

@@ -28,13 +28,47 @@
 //! engine, reliable transport under broadcast-only, ...) surfaces as
 //! [`SimError::Unsupported`] instead of being silently dropped.
 //!
-//! Every run returns an [`Outcome`] carrying the per-node decisions, the
-//! exact [`RunStats`], the [`FaultReport`], and a deterministic
-//! [`MetricsSnapshot`]; [`Outcome::report`] renders all of it as one
+//! Every run returns a [`RunResult`] wrapping the unified [`Outcome`] (and,
+//! for clique runs, the typed [`CliqueRun`]): per-node decisions, the exact
+//! [`RunStats`], the [`FaultReport`], and a deterministic
+//! [`MetricsSnapshot`]; [`RunResult::report`] renders all of it as one
 //! schema-versioned [`RunReport`].
+//!
+//! # Batched runs: [`Simulation::prepare`]
+//!
+//! A one-shot `run` stages the topology (shard layout, reverse-port table)
+//! and tears it down again. Batched workloads — many seeds over one graph,
+//! one graph times many detectors — call [`Simulation::prepare`] once and
+//! replay the staged [`Prepared`] topology with per-run [`Overrides`]
+//! (seed, round cap, faults, collector):
+//!
+//! ```
+//! # use congest::{Bandwidth, Simulation};
+//! # use congest::{Decision, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing};
+//! # use rand_chacha::ChaCha8Rng;
+//! # struct Quiet;
+//! # impl NodeAlgorithm for Quiet {
+//! #     type Msg = u64;
+//! #     fn init(&mut self, _: &NodeContext, _: &mut ChaCha8Rng) -> Outbox<u64> { Vec::new() }
+//! #     fn on_round(&mut self, _: &NodeContext, _: &Inbox<u64>, _: &mut ChaCha8Rng) -> Outbox<u64> { Vec::new() }
+//! #     fn halted(&self) -> bool { true }
+//! #     fn decision(&self) -> Decision { Decision::Accept }
+//! # }
+//! let g = graphlib::generators::cycle(8);
+//! let prepared = Simulation::on(&g).bandwidth(Bandwidth::Bits(64)).prepare();
+//! for seed in 0..4 {
+//!     let out = prepared.run_seed(seed, |_| Quiet).unwrap();
+//!     assert!(out.completed);
+//! }
+//! ```
+//!
+//! `Prepared` is `Clone + Send + Sync` (an `Arc` handle), so a service can
+//! fan a batch of runs over the rayon pool against one staged topology.
+//! Results are bit-for-bit identical to one-shot runs with the same
+//! configuration — staging is purely an amortization.
 
 use crate::cliquemodel::{CliqueAlgorithm, CliqueEngine, CliqueStats};
-use crate::engine::{Bandwidth, Degraded, Engine, RunOutcome};
+use crate::engine::{Bandwidth, Degraded, Engine, EnginePlan, RunOutcome};
 use crate::error::SimError;
 use crate::faults::{FaultReport, FaultSpec};
 use crate::node::{Decision, NodeAlgorithm};
@@ -46,7 +80,7 @@ use crate::reliable::{run_reliable_impl, ReliableConfig};
 use crate::stats::RunStats;
 use graphlib::Graph;
 use std::hash::Hash;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Unified result of any [`Simulation`] run.
 ///
@@ -142,12 +176,104 @@ pub struct CliqueRun<O> {
     pub outcome: Outcome,
 }
 
-/// Builder over every simulator backend. See the module docs.
-pub struct Simulation<'g> {
-    graph: &'g Graph,
+/// The unified result enum every [`Simulation`] / [`Prepared`] entry point
+/// returns: a CONGEST run's [`Outcome`], or a clique run's typed
+/// [`CliqueRun`]. Both variants carry an [`Outcome`], and the enum derefs
+/// to it, so callers that only read decisions/stats/metrics (or call
+/// [`Outcome::report`]) never match on the backend.
+#[derive(Debug)]
+pub enum RunResult<O = ()> {
+    /// A CONGEST-engine (or reliable-transport) run.
+    Congest(Outcome),
+    /// A congested-clique run with typed per-node outputs.
+    Clique(CliqueRun<O>),
+}
+
+impl<O> RunResult<O> {
+    /// The unified outcome, whichever backend ran.
+    pub fn outcome(&self) -> &Outcome {
+        match self {
+            RunResult::Congest(o) => o,
+            RunResult::Clique(c) => &c.outcome,
+        }
+    }
+
+    /// Consumes the result into its unified outcome.
+    pub fn into_outcome(self) -> Outcome {
+        match self {
+            RunResult::Congest(o) => o,
+            RunResult::Clique(c) => c.outcome,
+        }
+    }
+
+    /// The clique view, when the clique backend ran.
+    pub fn as_clique(&self) -> Option<&CliqueRun<O>> {
+        match self {
+            RunResult::Clique(c) => Some(c),
+            RunResult::Congest(_) => None,
+        }
+    }
+
+    /// Consumes the result into its [`CliqueRun`].
+    ///
+    /// # Panics
+    /// If this was a CONGEST run — only call on [`Simulation::run_clique`] /
+    /// [`Prepared::run_clique`] results.
+    pub fn into_clique(self) -> CliqueRun<O> {
+        match self {
+            RunResult::Clique(c) => c,
+            RunResult::Congest(_) => panic!("RunResult::into_clique on a CONGEST run"),
+        }
+    }
+
+    /// The common report path: [`Outcome::report`] of whichever backend ran.
+    pub fn report(&self, label: &str) -> RunReport {
+        self.outcome().report(label)
+    }
+}
+
+impl<O> std::ops::Deref for RunResult<O> {
+    type Target = Outcome;
+
+    fn deref(&self) -> &Outcome {
+        self.outcome()
+    }
+}
+
+/// The graph a simulation runs over: borrowed for the classic
+/// `Simulation::on(&g)` entry, or `Arc`-shared so [`Prepared`] (and caches
+/// above it) can hold the topology without a deep copy.
+enum GraphRef<'g> {
+    Borrowed(&'g Graph),
+    Shared(Arc<Graph>),
+}
+
+impl GraphRef<'_> {
+    fn get(&self) -> &Graph {
+        match self {
+            GraphRef::Borrowed(g) => g,
+            GraphRef::Shared(a) => a,
+        }
+    }
+
+    /// The graph behind an `Arc`: free for `Shared`, one structural clone
+    /// for `Borrowed` (the CSR offsets and packed-adjacency cache are
+    /// already `Arc`-shared by `Graph::clone`).
+    fn to_arc(&self) -> Arc<Graph> {
+        match self {
+            GraphRef::Borrowed(g) => Arc::new((*g).clone()),
+            GraphRef::Shared(a) => Arc::clone(a),
+        }
+    }
+}
+
+/// Everything a run needs besides the topology. [`Simulation`] builds one;
+/// [`Prepared`] snapshots it and applies per-run [`Overrides`] on top.
+#[derive(Clone)]
+struct SimConfig {
     bandwidth: Option<Bandwidth>,
     bandwidth_bits: Option<usize>,
-    ids: Option<Vec<u64>>,
+    ids: Option<Arc<[u64]>>,
     max_rounds: Option<usize>,
     seed: u64,
     broadcast_only: bool,
@@ -159,14 +285,9 @@ pub struct Simulation<'g> {
     shards: usize,
 }
 
-impl<'g> Simulation<'g> {
-    /// A simulation over `graph` — the topology for CONGEST runs, the
-    /// *input* graph for clique runs (whose topology is all-to-all).
-    /// Defaults mirror [`Engine::new`]: `Θ(log n)` bandwidth, seed 0, a
-    /// generous round limit, no faults, no collector.
-    pub fn on(graph: &'g Graph) -> Self {
-        Simulation {
-            graph,
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
             bandwidth: None,
             bandwidth_bits: None,
             ids: None,
@@ -181,123 +302,9 @@ impl<'g> Simulation<'g> {
             shards: 0,
         }
     }
+}
 
-    /// Sets the per-edge bandwidth for CONGEST runs (a clique run maps
-    /// `Bandwidth::Bits(b)` to its per-ordered-pair budget).
-    pub fn bandwidth(mut self, b: Bandwidth) -> Self {
-        self.bandwidth = Some(b);
-        self
-    }
-
-    /// Sets the per-ordered-pair bandwidth of a clique run in bits
-    /// (equivalent to `bandwidth(Bandwidth::Bits(b))` there; ignored by
-    /// CONGEST runs, which use [`Self::bandwidth`]).
-    pub fn bandwidth_bits(mut self, b: usize) -> Self {
-        self.bandwidth_bits = Some(b);
-        self
-    }
-
-    /// Installs a fault model (see [`crate::faults`]).
-    pub fn faults(mut self, spec: FaultSpec) -> Self {
-        self.faults = spec;
-        self
-    }
-
-    /// Sugar for `faults(FaultSpec::IndependentLoss(p))` (`p = 0` clears).
-    pub fn loss_rate(self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss rate must be a probability");
-        if p == 0.0 {
-            self.faults(FaultSpec::None)
-        } else {
-            self.faults(FaultSpec::IndependentLoss(p))
-        }
-    }
-
-    /// Runs the algorithm under the reliable ARQ transport (default
-    /// tuning). Remember to budget bandwidth and rounds for the envelope:
-    /// see [`ReliableConfig::required_bandwidth`] and
-    /// [`ReliableConfig::physical_rounds`].
-    pub fn reliable(mut self, on: bool) -> Self {
-        self.reliable = if on {
-            Some(ReliableConfig::default())
-        } else {
-            None
-        };
-        self
-    }
-
-    /// Runs under the reliable transport with explicit tuning (implies
-    /// `reliable(true)`).
-    pub fn reliable_config(mut self, cfg: ReliableConfig) -> Self {
-        self.reliable = Some(cfg);
-        self
-    }
-
-    /// Installs a structured-event [`Collector`] (see [`crate::obsv`]).
-    pub fn collector<C: Collector + 'static>(self, c: C) -> Self {
-        self.collector_arc(Arc::new(c))
-    }
-
-    /// Installs an already-shared [`Collector`] handle.
-    pub fn collector_arc(mut self, c: Arc<dyn Collector>) -> Self {
-        self.collector = Some(c);
-        self
-    }
-
-    /// Also measures per-node compute time (wall-clock). The resulting
-    /// `compute.node_nanos` histogram lands in [`Outcome::metrics`] — note
-    /// it is inherently non-deterministic, unlike every other metric.
-    pub fn timed(mut self, on: bool) -> Self {
-        self.timed = on;
-        self
-    }
-
-    /// Installs the engine self-profiler (see [`crate::obsv::profile`]):
-    /// the run's accounting / staging / delivery / compute / ARQ sections
-    /// are timed into the shared [`Profiler`], and its section histograms
-    /// land in [`Outcome::metrics`] as `profile.*_nanos`. Like
-    /// [`Self::timed`], the values are wall-clock and therefore
-    /// non-deterministic; the engines pay one branch per section per round
-    /// when no profiler is installed.
-    pub fn profiler(mut self, p: Arc<Profiler>) -> Self {
-        self.profiler = Some(p);
-        self
-    }
-
-    /// Seeds all node RNGs (and the fault models).
-    pub fn seed(mut self, s: u64) -> Self {
-        self.seed = s;
-        self
-    }
-
-    /// Pins the CONGEST engine's shard count (0 = one shard per rayon
-    /// worker, the default). The shard count is a parallel-grain knob
-    /// only: every observable of the run — decisions, inboxes, traces,
-    /// fault outcomes — is identical at any value.
-    pub fn shards(mut self, s: usize) -> Self {
-        self.shards = s;
-        self
-    }
-
-    /// Caps the number of communication rounds.
-    pub fn max_rounds(mut self, r: usize) -> Self {
-        self.max_rounds = Some(r);
-        self
-    }
-
-    /// Sets the identifier assignment for CONGEST runs (must be `n`
-    /// values). Clique node indices are public, so clique runs reject this.
-    pub fn with_ids(mut self, ids: Vec<u64>) -> Self {
-        self.ids = Some(ids);
-        self
-    }
-
-    /// Switches CONGEST runs to broadcast-CONGEST (unicasts rejected).
-    pub fn broadcast_only(mut self, on: bool) -> Self {
-        self.broadcast_only = on;
-        self
-    }
-
+impl SimConfig {
     fn combined_collector(&self, timer: Option<&Arc<ComputeTimer>>) -> Option<Arc<dyn Collector>> {
         match (self.collector.clone(), timer) {
             (Some(c), Some(t)) => Some(Arc::new(Fanout(vec![c, t.clone()]))),
@@ -307,12 +314,20 @@ impl<'g> Simulation<'g> {
         }
     }
 
-    fn congest_engine(&self, timer: Option<&Arc<ComputeTimer>>) -> Engine<'g> {
-        let mut e = Engine::new(self.graph)
+    fn congest_engine<'g>(
+        &self,
+        graph: &'g Graph,
+        plan: Option<&Arc<EnginePlan>>,
+        timer: Option<&Arc<ComputeTimer>>,
+    ) -> Engine<'g> {
+        let mut e = Engine::new(graph)
             .seed(self.seed)
             .faults(self.faults.clone())
             .broadcast_only(self.broadcast_only)
             .shards(self.shards);
+        if let Some(p) = plan {
+            e = e.with_plan(Arc::clone(p));
+        }
         if let Some(b) = self.bandwidth {
             e = e.bandwidth(b);
         }
@@ -320,7 +335,7 @@ impl<'g> Simulation<'g> {
             e = e.max_rounds(r);
         }
         if let Some(ids) = &self.ids {
-            e = e.with_ids(ids.clone());
+            e = e.with_ids_arc(Arc::clone(ids));
         }
         if let Some(c) = self.combined_collector(timer) {
             e = e.collector(c);
@@ -331,32 +346,43 @@ impl<'g> Simulation<'g> {
         e
     }
 
-    fn finish(&self, run: RunOutcome, timer: Option<Arc<ComputeTimer>>) -> Outcome {
-        let mut metrics = Metrics::from_run(&run.stats, &run.faults);
-        if let Some(t) = timer {
-            metrics.install_hist("compute.node_nanos", t.take());
-        }
-        if let Some(p) = &self.profiler {
-            p.install_into(&mut metrics);
-        }
-        Outcome::from_run(run, metrics.snapshot())
+    /// Snapshots the run's metrics — into `scratch` (the [`Prepared`]
+    /// reset-in-place path: bucket storage is reused across a batch) when
+    /// given, into a fresh registry otherwise. Both produce identical
+    /// snapshots (see [`Metrics::reset`]).
+    fn finish(
+        &self,
+        run: RunOutcome,
+        timer: Option<Arc<ComputeTimer>>,
+        scratch: Option<&Mutex<Metrics>>,
+    ) -> Outcome {
+        let populate = |m: &mut Metrics| {
+            m.record_run(&run.stats, &run.faults);
+            if let Some(t) = &timer {
+                m.install_hist("compute.node_nanos", t.take());
+            }
+            if let Some(p) = &self.profiler {
+                p.install_into(m);
+            }
+            m.snapshot()
+        };
+        let snapshot = match scratch {
+            Some(lock) => {
+                let mut m = lock.lock().unwrap_or_else(|e| e.into_inner());
+                populate(&mut m)
+            }
+            None => populate(&mut Metrics::new()),
+        };
+        Outcome::from_run(run, snapshot)
     }
 
-    /// Runs `make(v)`-constructed nodes on the CONGEST engine (through the
-    /// reliable transport when configured), returning the unified
-    /// [`Outcome`].
-    pub fn run<A, F>(&self, make: F) -> Result<Outcome, SimError>
-    where
-        A: NodeAlgorithm,
-        A::Msg: Hash,
-        F: Fn(usize) -> A + Sync,
-    {
-        self.run_with_nodes(make).map(|(outcome, _)| outcome)
-    }
-
-    /// Like [`Self::run`], but also hands back the final node states — for
-    /// algorithms whose output is richer than accept/reject.
-    pub fn run_with_nodes<A, F>(&self, make: F) -> Result<(Outcome, Vec<A>), SimError>
+    fn run_with_nodes_impl<A, F>(
+        &self,
+        graph: &Graph,
+        plan: Option<&Arc<EnginePlan>>,
+        scratch: Option<&Mutex<Metrics>>,
+        make: F,
+    ) -> Result<(Outcome, Vec<A>), SimError>
     where
         A: NodeAlgorithm,
         A::Msg: Hash,
@@ -367,7 +393,7 @@ impl<'g> Simulation<'g> {
         } else {
             None
         };
-        let engine = self.congest_engine(timer.as_ref());
+        let engine = self.congest_engine(graph, plan, timer.as_ref());
         let (run, nodes) = match self.reliable {
             Some(cfg) => {
                 if self.broadcast_only {
@@ -382,14 +408,15 @@ impl<'g> Simulation<'g> {
             }
             None => engine.run_nodes_impl(make)?,
         };
-        Ok((self.finish(run, timer), nodes))
+        Ok((self.finish(run, timer, scratch), nodes))
     }
 
-    /// Runs a [`CliqueAlgorithm`] on the congested-clique engine, with the
-    /// builder's graph as the *input* graph. Fault injection, the reliable
-    /// transport, broadcast-only mode, and custom identifiers are CONGEST
-    /// features — configuring any of them here is [`SimError::Unsupported`].
-    pub fn run_clique<A, F>(&self, make: F) -> Result<CliqueRun<A::Output>, SimError>
+    fn run_clique_impl<A, F>(
+        &self,
+        graph: &Graph,
+        scratch: Option<&Mutex<Metrics>>,
+        make: F,
+    ) -> Result<CliqueRun<A::Output>, SimError>
     where
         A: CliqueAlgorithm,
         F: Fn(usize) -> A + Sync,
@@ -419,7 +446,7 @@ impl<'g> Simulation<'g> {
         } else {
             None
         };
-        let mut e = CliqueEngine::new(self.graph).seed(self.seed);
+        let mut e = CliqueEngine::new(graph).seed(self.seed);
         match (self.bandwidth_bits, self.bandwidth) {
             (Some(b), _) => e = e.bandwidth_bits(b),
             (None, Some(Bandwidth::Bits(b))) => e = e.bandwidth_bits(b),
@@ -455,8 +482,363 @@ impl<'g> Simulation<'g> {
         Ok(CliqueRun {
             outputs: clique.outputs,
             stats: clique.stats,
-            outcome: self.finish(run, timer),
+            outcome: self.finish(run, timer, scratch),
         })
+    }
+}
+
+/// Builder over every simulator backend. See the module docs.
+pub struct Simulation<'g> {
+    graph: GraphRef<'g>,
+    cfg: SimConfig,
+}
+
+impl<'g> Simulation<'g> {
+    /// A simulation over `graph` — the topology for CONGEST runs, the
+    /// *input* graph for clique runs (whose topology is all-to-all).
+    /// Defaults mirror [`Engine::new`]: `Θ(log n)` bandwidth, seed 0, a
+    /// generous round limit, no faults, no collector.
+    pub fn on(graph: &'g Graph) -> Self {
+        Simulation {
+            graph: GraphRef::Borrowed(graph),
+            cfg: SimConfig::default(),
+        }
+    }
+
+    /// Like [`Self::on`], but over an `Arc`-shared graph, so
+    /// [`Self::prepare`] (and caches above it, see `congest-serve`) reuse
+    /// the handle instead of cloning the topology.
+    pub fn on_shared(graph: Arc<Graph>) -> Simulation<'static> {
+        Simulation {
+            graph: GraphRef::Shared(graph),
+            cfg: SimConfig::default(),
+        }
+    }
+
+    /// Sets the per-edge bandwidth for CONGEST runs (a clique run maps
+    /// `Bandwidth::Bits(b)` to its per-ordered-pair budget).
+    pub fn bandwidth(mut self, b: Bandwidth) -> Self {
+        self.cfg.bandwidth = Some(b);
+        self
+    }
+
+    /// Sets the per-ordered-pair bandwidth of a clique run in bits
+    /// (equivalent to `bandwidth(Bandwidth::Bits(b))` there; ignored by
+    /// CONGEST runs, which use [`Self::bandwidth`]).
+    pub fn bandwidth_bits(mut self, b: usize) -> Self {
+        self.cfg.bandwidth_bits = Some(b);
+        self
+    }
+
+    /// Installs a fault model (see [`crate::faults`]).
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.cfg.faults = spec;
+        self
+    }
+
+    /// Sugar for `faults(FaultSpec::IndependentLoss(p))` (`p = 0` clears).
+    pub fn loss_rate(self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss rate must be a probability");
+        if p == 0.0 {
+            self.faults(FaultSpec::None)
+        } else {
+            self.faults(FaultSpec::IndependentLoss(p))
+        }
+    }
+
+    /// Runs the algorithm under the reliable ARQ transport (default
+    /// tuning). Remember to budget bandwidth and rounds for the envelope:
+    /// see [`ReliableConfig::required_bandwidth`] and
+    /// [`ReliableConfig::physical_rounds`].
+    pub fn reliable(mut self, on: bool) -> Self {
+        self.cfg.reliable = if on {
+            Some(ReliableConfig::default())
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Runs under the reliable transport with explicit tuning (implies
+    /// `reliable(true)`).
+    pub fn reliable_config(mut self, cfg: ReliableConfig) -> Self {
+        self.cfg.reliable = Some(cfg);
+        self
+    }
+
+    /// Installs a structured-event [`Collector`] (see [`crate::obsv`]).
+    pub fn collector<C: Collector + 'static>(self, c: C) -> Self {
+        self.collector_arc(Arc::new(c))
+    }
+
+    /// Installs an already-shared [`Collector`] handle.
+    pub fn collector_arc(mut self, c: Arc<dyn Collector>) -> Self {
+        self.cfg.collector = Some(c);
+        self
+    }
+
+    /// Also measures per-node compute time (wall-clock). The resulting
+    /// `compute.node_nanos` histogram lands in [`Outcome::metrics`] — note
+    /// it is inherently non-deterministic, unlike every other metric.
+    pub fn timed(mut self, on: bool) -> Self {
+        self.cfg.timed = on;
+        self
+    }
+
+    /// Installs the engine self-profiler (see [`crate::obsv::profile`]):
+    /// the run's accounting / staging / delivery / compute / ARQ sections
+    /// are timed into the shared [`Profiler`], and its section histograms
+    /// land in [`Outcome::metrics`] as `profile.*_nanos`. Like
+    /// [`Self::timed`], the values are wall-clock and therefore
+    /// non-deterministic; the engines pay one branch per section per round
+    /// when no profiler is installed.
+    pub fn profiler(mut self, p: Arc<Profiler>) -> Self {
+        self.cfg.profiler = Some(p);
+        self
+    }
+
+    /// Seeds all node RNGs (and the fault models).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.cfg.seed = s;
+        self
+    }
+
+    /// Pins the CONGEST engine's shard count (0 = one shard per rayon
+    /// worker, the default). The shard count is a parallel-grain knob
+    /// only: every observable of the run — decisions, inboxes, traces,
+    /// fault outcomes — is identical at any value.
+    pub fn shards(mut self, s: usize) -> Self {
+        self.cfg.shards = s;
+        self
+    }
+
+    /// Caps the number of communication rounds.
+    pub fn max_rounds(mut self, r: usize) -> Self {
+        self.cfg.max_rounds = Some(r);
+        self
+    }
+
+    /// Sets the identifier assignment for CONGEST runs (must be `n`
+    /// values). Clique node indices are public, so clique runs reject this.
+    pub fn with_ids(mut self, ids: Vec<u64>) -> Self {
+        self.cfg.ids = Some(ids.into());
+        self
+    }
+
+    /// Switches CONGEST runs to broadcast-CONGEST (unicasts rejected).
+    pub fn broadcast_only(mut self, on: bool) -> Self {
+        self.cfg.broadcast_only = on;
+        self
+    }
+
+    /// Stages the topology for batched reuse: the graph behind an `Arc`,
+    /// the engine's shard layout and reverse-port routing table built once,
+    /// and a reusable metrics registry. The returned [`Prepared`] handle is
+    /// cheap to clone and replays the staged state across any number of
+    /// runs with per-run [`Overrides`]. See the module docs.
+    pub fn prepare(&self) -> Prepared {
+        let graph = self.graph.to_arc();
+        let plan = Arc::new(EnginePlan::build(&graph, self.cfg.shards));
+        Prepared {
+            inner: Arc::new(PreparedInner {
+                graph,
+                plan,
+                cfg: self.cfg.clone(),
+                scratch: Mutex::new(Metrics::new()),
+            }),
+        }
+    }
+
+    /// Runs `make(v)`-constructed nodes on the CONGEST engine (through the
+    /// reliable transport when configured), returning the unified
+    /// [`RunResult`].
+    pub fn run<A, F>(&self, make: F) -> Result<RunResult, SimError>
+    where
+        A: NodeAlgorithm,
+        A::Msg: Hash,
+        F: Fn(usize) -> A + Sync,
+    {
+        self.run_with_nodes(make).map(|(result, _)| result)
+    }
+
+    /// Like [`Self::run`], but also hands back the final node states — for
+    /// algorithms whose output is richer than accept/reject.
+    pub fn run_with_nodes<A, F>(&self, make: F) -> Result<(RunResult, Vec<A>), SimError>
+    where
+        A: NodeAlgorithm,
+        A::Msg: Hash,
+        F: Fn(usize) -> A + Sync,
+    {
+        self.cfg
+            .run_with_nodes_impl(self.graph.get(), None, None, make)
+            .map(|(outcome, nodes)| (RunResult::Congest(outcome), nodes))
+    }
+
+    /// Runs a [`CliqueAlgorithm`] on the congested-clique engine, with the
+    /// builder's graph as the *input* graph. Fault injection, the reliable
+    /// transport, broadcast-only mode, and custom identifiers are CONGEST
+    /// features — configuring any of them here is [`SimError::Unsupported`].
+    pub fn run_clique<A, F>(&self, make: F) -> Result<RunResult<A::Output>, SimError>
+    where
+        A: CliqueAlgorithm,
+        F: Fn(usize) -> A + Sync,
+    {
+        self.cfg
+            .run_clique_impl(self.graph.get(), None, make)
+            .map(RunResult::Clique)
+    }
+}
+
+/// Per-run deltas applied on top of a [`Prepared`] topology's staged
+/// configuration: the knobs a batched workload varies per query without
+/// re-staging anything (seeds, round caps, fault models, collectors).
+#[derive(Clone, Default)]
+pub struct Overrides {
+    seed: Option<u64>,
+    max_rounds: Option<usize>,
+    faults: Option<FaultSpec>,
+    collector: Option<Arc<dyn Collector>>,
+}
+
+impl Overrides {
+    /// No overrides: the run uses the staged configuration verbatim.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reseeds this run's node RNGs and fault models.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = Some(s);
+        self
+    }
+
+    /// Caps this run's communication rounds.
+    pub fn max_rounds(mut self, r: usize) -> Self {
+        self.max_rounds = Some(r);
+        self
+    }
+
+    /// Swaps this run's fault model (`FaultSpec::None` turns faults off).
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// Installs a [`Collector`] for this run only.
+    pub fn collector_arc(mut self, c: Arc<dyn Collector>) -> Self {
+        self.collector = Some(c);
+        self
+    }
+}
+
+struct PreparedInner {
+    graph: Arc<Graph>,
+    plan: Arc<EnginePlan>,
+    cfg: SimConfig,
+    /// Reset-in-place metrics registry: batched runs reuse its histogram
+    /// storage instead of reallocating one registry per run.
+    scratch: Mutex<Metrics>,
+}
+
+/// A staged, `Arc`-reusable topology: built once by [`Simulation::prepare`],
+/// run many times with per-run [`Overrides`]. Cloning is an `Arc` clone, so
+/// one `Prepared` can fan out over the rayon pool. See the module docs.
+#[derive(Clone)]
+pub struct Prepared {
+    inner: Arc<PreparedInner>,
+}
+
+impl Prepared {
+    /// The staged topology.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.inner.graph
+    }
+
+    fn effective(&self, ovr: &Overrides) -> SimConfig {
+        let mut cfg = self.inner.cfg.clone();
+        if let Some(s) = ovr.seed {
+            cfg.seed = s;
+        }
+        if let Some(r) = ovr.max_rounds {
+            cfg.max_rounds = Some(r);
+        }
+        if let Some(f) = &ovr.faults {
+            cfg.faults = f.clone();
+        }
+        if let Some(c) = &ovr.collector {
+            cfg.collector = Some(Arc::clone(c));
+        }
+        cfg
+    }
+
+    /// Runs with the staged configuration verbatim (see
+    /// [`Simulation::run`]).
+    pub fn run<A, F>(&self, make: F) -> Result<RunResult, SimError>
+    where
+        A: NodeAlgorithm,
+        A::Msg: Hash,
+        F: Fn(usize) -> A + Sync,
+    {
+        self.run_with(&Overrides::new(), make)
+    }
+
+    /// Runs with this seed, everything else staged — the common
+    /// many-seeds × one-topology batch shape.
+    pub fn run_seed<A, F>(&self, seed: u64, make: F) -> Result<RunResult, SimError>
+    where
+        A: NodeAlgorithm,
+        A::Msg: Hash,
+        F: Fn(usize) -> A + Sync,
+    {
+        self.run_with(&Overrides::new().seed(seed), make)
+    }
+
+    /// Runs with per-run [`Overrides`] applied over the staged
+    /// configuration.
+    pub fn run_with<A, F>(&self, ovr: &Overrides, make: F) -> Result<RunResult, SimError>
+    where
+        A: NodeAlgorithm,
+        A::Msg: Hash,
+        F: Fn(usize) -> A + Sync,
+    {
+        self.run_with_nodes(ovr, make).map(|(result, _)| result)
+    }
+
+    /// Like [`Self::run_with`], but also hands back the final node states.
+    pub fn run_with_nodes<A, F>(
+        &self,
+        ovr: &Overrides,
+        make: F,
+    ) -> Result<(RunResult, Vec<A>), SimError>
+    where
+        A: NodeAlgorithm,
+        A::Msg: Hash,
+        F: Fn(usize) -> A + Sync,
+    {
+        self.effective(ovr)
+            .run_with_nodes_impl(
+                &self.inner.graph,
+                Some(&self.inner.plan),
+                Some(&self.inner.scratch),
+                make,
+            )
+            .map(|(outcome, nodes)| (RunResult::Congest(outcome), nodes))
+    }
+
+    /// Runs a [`CliqueAlgorithm`] against the staged input graph (see
+    /// [`Simulation::run_clique`]).
+    pub fn run_clique<A, F>(
+        &self,
+        ovr: &Overrides,
+        make: F,
+    ) -> Result<RunResult<A::Output>, SimError>
+    where
+        A: CliqueAlgorithm,
+        F: Fn(usize) -> A + Sync,
+    {
+        self.effective(ovr)
+            .run_clique_impl(&self.inner.graph, Some(&self.inner.scratch), make)
+            .map(RunResult::Clique)
     }
 }
 
@@ -664,7 +1046,8 @@ mod tests {
                 acc: 0,
                 done: false,
             })
-            .unwrap();
+            .unwrap()
+            .into_clique();
         assert_eq!(run.outputs[0], 2 * g.m() as u64);
         assert_eq!(run.stats.total_bits, 5 * 32);
         // The unified outcome mirrors the clique stats.
@@ -717,5 +1100,120 @@ mod tests {
             .run(|_| beacon())
             .unwrap_err();
         assert!(matches!(err, SimError::Unsupported(_)));
+    }
+
+    fn gnp(n: usize, p: f64, seed: u64) -> graphlib::Graph {
+        use rand::SeedableRng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        graphlib::generators::gnp(n, p, &mut rng)
+    }
+
+    #[test]
+    fn prepared_runs_match_one_shot_runs() {
+        let g = gnp(24, 0.2, 11);
+        let prepared = Simulation::on(&g).bandwidth(Bandwidth::Bits(64)).prepare();
+        for seed in [0u64, 1, 42] {
+            let staged = prepared.run_seed(seed, |_| beacon()).unwrap();
+            let fresh = Simulation::on(&g)
+                .bandwidth(Bandwidth::Bits(64))
+                .seed(seed)
+                .run(|_| beacon())
+                .unwrap();
+            assert_eq!(staged.decisions, fresh.decisions, "seed {seed}");
+            assert_eq!(staged.metrics, fresh.metrics, "seed {seed}");
+            assert_eq!(
+                staged.report("x").to_json(),
+                fresh.report("x").to_json(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_overrides_match_reconfigured_one_shots() {
+        let g = gnp(16, 0.3, 7);
+        let prepared = Simulation::on(&g).bandwidth(Bandwidth::Bits(64)).prepare();
+        let ovr = Overrides::new()
+            .seed(9)
+            .max_rounds(3)
+            .faults(FaultSpec::IndependentLoss(0.4));
+        let staged = prepared.run_with(&ovr, |_| beacon()).unwrap();
+        let fresh = Simulation::on(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .seed(9)
+            .max_rounds(3)
+            .faults(FaultSpec::IndependentLoss(0.4))
+            .run(|_| beacon())
+            .unwrap();
+        assert_eq!(staged.decisions, fresh.decisions);
+        assert_eq!(staged.faults, fresh.faults);
+        assert_eq!(staged.metrics, fresh.metrics);
+    }
+
+    #[test]
+    fn prepared_shares_topology_and_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Clone>(_: &T) {}
+        let g = graphlib::generators::cycle(6);
+        let prepared = Simulation::on(&g).bandwidth(Bandwidth::Bits(16)).prepare();
+        assert_send_sync(&prepared);
+        let clone = prepared.clone();
+        assert!(Arc::ptr_eq(prepared.graph(), clone.graph()));
+    }
+
+    #[test]
+    fn on_shared_reuses_the_graph_handle() {
+        let g = Arc::new(graphlib::generators::cycle(6));
+        let prepared = Simulation::on_shared(Arc::clone(&g))
+            .bandwidth(Bandwidth::Bits(64))
+            .prepare();
+        assert!(Arc::ptr_eq(prepared.graph(), &g));
+        let out = prepared.run(|_| beacon()).unwrap();
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn prepared_clique_runs_match_one_shots() {
+        let g = graphlib::generators::cycle(6);
+        let mk = || DegreeReport {
+            acc: 0,
+            done: false,
+        };
+        let prepared = Simulation::on(&g).bandwidth_bits(32).prepare();
+        let staged = prepared
+            .run_clique(&Overrides::new(), |_| mk())
+            .unwrap()
+            .into_clique();
+        let fresh = Simulation::on(&g)
+            .bandwidth_bits(32)
+            .run_clique(|_| mk())
+            .unwrap()
+            .into_clique();
+        assert_eq!(staged.outputs, fresh.outputs);
+        assert_eq!(staged.outcome.metrics, fresh.outcome.metrics);
+    }
+
+    #[test]
+    fn run_result_unifies_backends() {
+        let g = graphlib::generators::cycle(5);
+        let congest = Simulation::on(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .run(|_| beacon())
+            .unwrap();
+        assert!(congest.as_clique().is_none());
+        let clique = Simulation::on(&g)
+            .bandwidth_bits(32)
+            .run_clique(|_| DegreeReport {
+                acc: 0,
+                done: false,
+            })
+            .unwrap();
+        assert!(clique.as_clique().is_some());
+        // One report path regardless of backend.
+        for json in [congest.report("x").to_json(), clique.report("x").to_json()] {
+            assert!(json.contains(r#""label": "x""#));
+        }
+        // Deref exposes the unified outcome on both variants.
+        assert!(congest.completed && clique.completed);
+        assert_eq!(clique.decisions.len(), 0);
     }
 }

@@ -26,8 +26,8 @@
 
 use congest::{
     bits_for_domain, Bandwidth, BitSize, Collector, Decision, FaultReport, FaultSpec, Inbox,
-    Metrics, NodeAlgorithm, NodeContext, Outbox, Outgoing, PhaseStat, Profiler, ReliableConfig,
-    RunReport, RunStats, SimError, SimEvent, Simulation,
+    Metrics, NodeAlgorithm, NodeContext, Outbox, Outgoing, Overrides, PhaseStat, Profiler,
+    ReliableConfig, RunReport, RunStats, SimError, SimEvent, Simulation,
 };
 use graphlib::decomposition::layer_budget;
 use graphlib::turan::even_cycle_edge_bound;
@@ -813,17 +813,26 @@ pub fn detect_even_cycle_observed(
     let mut detected = false;
     let mut reps = 0usize;
 
+    // One staged topology for the whole amplification loop: both phases of
+    // every repetition share the engine plan and only override seed and
+    // round cap per run. Results are identical to per-phase one-shot
+    // builds — staging is pure amortization.
+    let prepared = obs
+        .install(Simulation::on(g))
+        .bandwidth(bandwidth)
+        .shards(cfg.shards)
+        .prepare();
+
     for rep in 0..cfg.repetitions {
         reps += 1;
         let s1 = sched.clone();
         obs.mark_phase("phase1", rep);
-        let out1 = obs
-            .install(Simulation::on(g))
-            .bandwidth(bandwidth)
-            .seed(cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(1))
-            .shards(cfg.shards)
-            .max_rounds(sched.r1_rounds + 2)
-            .run(move |_| ColorBfsNode::new(s1.clone()))?;
+        let out1 = prepared.run_with(
+            &Overrides::new()
+                .seed(cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(1))
+                .max_rounds(sched.r1_rounds + 2),
+            move |_| ColorBfsNode::new(s1.clone()),
+        )?;
         tally.phase1(&out1.stats);
         match &mut agg {
             None => agg = Some(out1.stats.clone()),
@@ -836,13 +845,12 @@ pub fn detect_even_cycle_observed(
 
         let s2 = sched.clone();
         obs.mark_phase("phase2", rep);
-        let out2 = obs
-            .install(Simulation::on(g))
-            .bandwidth(bandwidth)
-            .seed(cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(2))
-            .shards(cfg.shards)
-            .max_rounds(sched.r2_rounds + 2)
-            .run(move |_| LayerPrefixNode::new(s2.clone()))?;
+        let out2 = prepared.run_with(
+            &Overrides::new()
+                .seed(cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(2))
+                .max_rounds(sched.r2_rounds + 2),
+            move |_| LayerPrefixNode::new(s2.clone()),
+        )?;
         tally.phase2(&out2.stats);
         if let Some(a) = &mut agg {
             absorb_stats(a, &out2.stats);
@@ -967,40 +975,25 @@ fn fold_degraded(acc: &mut Option<congest::Degraded>, next: &Option<congest::Deg
     }
 }
 
-/// One phase under a fault spec, bare or behind the reliable transport.
-#[allow(clippy::too_many_arguments)]
-fn run_phase_faulty<A, F>(
+/// Stages the faulty detector's topology once: the fault spec, and — when a
+/// transport is configured — the ARQ envelope's bandwidth, are fixed across
+/// the whole amplification loop, so both live in the staged configuration;
+/// phases override only seed and (physical) round cap.
+fn prepare_faulty(
     g: &Graph,
     inner_bandwidth: usize,
-    seed: u64,
-    inner_rounds: usize,
     faults: &FaultSpec,
     transport: Option<ReliableConfig>,
     obs: &EvenCycleObserver,
-    make: F,
-) -> Result<congest::Outcome, SimError>
-where
-    A: NodeAlgorithm,
-    A::Msg: std::hash::Hash,
-    F: Fn(usize) -> A + Sync,
-{
+) -> congest::Prepared {
+    let sim = obs.install(Simulation::on(g)).faults(faults.clone());
     match transport {
-        None => obs
-            .install(Simulation::on(g))
-            .bandwidth(Bandwidth::Bits(inner_bandwidth))
-            .seed(seed)
-            .max_rounds(inner_rounds)
-            .faults(faults.clone())
-            .run(make),
-        Some(rcfg) => obs
-            .install(Simulation::on(g))
+        None => sim.bandwidth(Bandwidth::Bits(inner_bandwidth)),
+        Some(rcfg) => sim
             .bandwidth(Bandwidth::Bits(rcfg.required_bandwidth(inner_bandwidth)))
-            .seed(seed)
-            .max_rounds(rcfg.physical_rounds(inner_rounds))
-            .faults(faults.clone())
-            .reliable_config(rcfg)
-            .run(make),
+            .reliable_config(rcfg),
     }
+    .prepare()
 }
 
 /// Runs the Theorem 1.1 detector on `g` with fault injection.
@@ -1049,18 +1042,20 @@ pub fn detect_even_cycle_faulty_observed(
     let mut detected = false;
     let mut reps = 0usize;
 
+    let prepared = prepare_faulty(g, inner_bandwidth, faults, transport, obs);
+    let phase_rounds = |inner: usize| match transport {
+        None => inner,
+        Some(rcfg) => rcfg.physical_rounds(inner),
+    };
+
     for rep in 0..cfg.repetitions {
         reps += 1;
         let s1 = sched.clone();
         obs.mark_phase("phase1", rep);
-        let out1 = run_phase_faulty(
-            g,
-            inner_bandwidth,
-            cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(1),
-            sched.r1_rounds + 2,
-            faults,
-            transport,
-            obs,
+        let out1 = prepared.run_with(
+            &Overrides::new()
+                .seed(cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(1))
+                .max_rounds(phase_rounds(sched.r1_rounds + 2)),
             move |_| ColorBfsNode::new(s1.clone()),
         )?;
         tally.phase1(&out1.stats);
@@ -1078,14 +1073,10 @@ pub fn detect_even_cycle_faulty_observed(
 
         let s2 = sched.clone();
         obs.mark_phase("phase2", rep);
-        let out2 = run_phase_faulty(
-            g,
-            inner_bandwidth,
-            cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(2),
-            sched.r2_rounds + 2,
-            faults,
-            transport,
-            obs,
+        let out2 = prepared.run_with(
+            &Overrides::new()
+                .seed(cfg.seed ^ (rep as u64).wrapping_mul(2).wrapping_add(2))
+                .max_rounds(phase_rounds(sched.r2_rounds + 2)),
             move |_| LayerPrefixNode::new(s2.clone()),
         )?;
         tally.phase2(&out2.stats);

@@ -324,7 +324,8 @@ pub fn list_cliques_congested(g: &Graph, s: usize, seed: u64) -> Result<ListingR
             received: Vec::new(),
             output: Vec::new(),
             done: false,
-        })?;
+        })?
+        .into_clique();
 
     let mut cliques: Vec<Vec<u32>> = out.outputs.into_iter().flatten().collect();
     cliques.sort();

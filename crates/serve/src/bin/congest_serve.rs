@@ -1,0 +1,117 @@
+//! The `congest-serve` binary: JSONL batch service on stdin/stdout, or a
+//! Unix socket with `--socket PATH` (one connection at a time; the caches
+//! persist across connections).
+
+use std::io::{self, BufReader};
+use std::process::ExitCode;
+
+use serve::{Service, ServiceConfig};
+
+const USAGE: &str = "\
+congest-serve — batched CONGEST detection queries over JSONL
+
+USAGE:
+    congest-serve [--cache-cap N] [--socket PATH]
+
+OPTIONS:
+    --cache-cap N    Max cached graphs / staged topologies (default 32)
+    --socket PATH    Serve a Unix socket instead of stdin/stdout
+    -h, --help       Print this help
+
+PROTOCOL (one JSON object per line):
+    {\"schema\":\"congest.serve\",\"version\":1,\"op\":\"query\",\"id\":\"q0\",
+     \"graph\":{\"generator\":\"planted_c2k\",\"n\":96,\"d\":3,\"k\":2,\"seed\":7},
+     \"scenario\":{\"kind\":\"even_cycle\",\"k\":2,\"seed\":11}}
+    {\"schema\":\"congest.serve\",\"version\":1,\"op\":\"flush\"}
+
+End of input implies a final flush. See DESIGN.md §8 for the full schema.";
+
+struct Args {
+    cache_cap: usize,
+    socket: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cache_cap: 32,
+        socket: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache-cap" => {
+                let v = it.next().ok_or("--cache-cap needs a value")?;
+                args.cache_cap = v
+                    .parse()
+                    .map_err(|_| format!("invalid --cache-cap {v:?}"))?;
+            }
+            "--socket" => {
+                args.socket = Some(it.next().ok_or("--socket needs a path")?);
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("congest-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = ServiceConfig {
+        graph_cache_cap: args.cache_cap,
+        prepared_cache_cap: args.cache_cap,
+    };
+    let mut svc = Service::new(cfg);
+
+    let result = match args.socket {
+        None => {
+            let stdin = io::stdin();
+            let stdout = io::stdout();
+            svc.serve(stdin.lock(), stdout.lock())
+        }
+        Some(path) => serve_socket(&mut svc, &path),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("congest-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(unix)]
+fn serve_socket(svc: &mut Service, path: &str) -> io::Result<()> {
+    use std::os::unix::net::UnixListener;
+
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    eprintln!("congest-serve: listening on {path}");
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = BufReader::new(stream.try_clone()?);
+        // A client error ends that connection, not the server.
+        if let Err(e) = svc.serve(reader, stream) {
+            eprintln!("congest-serve: connection error: {e}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_svc: &mut Service, _path: &str) -> io::Result<()> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "--socket requires a Unix platform",
+    ))
+}

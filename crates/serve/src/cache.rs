@@ -1,0 +1,164 @@
+//! Content-addressed LRU cache for expensive reusables.
+//!
+//! Keys are *canonical spec strings* (see `protocol::GraphSpec::cache_key`)
+//! — two requests describing the same object byte-for-byte map to the same
+//! entry, and the derived FNV-1a address is stable across processes, so
+//! responses can name the cached object without leaking pointers. Values sit
+//! behind `Arc`, so a hit hands out a shared handle: for a cached
+//! [`graphlib::Graph`] that handle also carries the lazily-packed adjacency
+//! bitset (`OnceLock` inside the graph), meaning one query's
+//! `packed_adjacency()` build is every later query's free lookup.
+//!
+//! Eviction is LRU by a monotone access tick — fully deterministic, no
+//! clocks — and the hit/miss/eviction tallies feed the per-batch metrics
+//! the service reports.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// FNV-1a 64-bit hash of `key`, the cache's content address.
+pub fn content_address(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// `content_address` rendered the way responses print it.
+pub fn address_hex(key: &str) -> String {
+    format!("{:016x}", content_address(key))
+}
+
+struct Entry<V> {
+    value: Arc<V>,
+    last_used: u64,
+}
+
+/// A deterministic LRU cache from canonical key strings to shared values.
+pub struct Cache<V> {
+    entries: HashMap<String, Entry<V>>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<V> Cache<V> {
+    /// A cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Cache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Returns the cached value for `key`, building and inserting it with
+    /// `build` on a miss. The boolean is `true` on a hit.
+    pub fn get_or_insert_with(&mut self, key: &str, build: impl FnOnce() -> V) -> (Arc<V>, bool) {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(key) {
+            e.last_used = self.tick;
+            self.hits += 1;
+            return (Arc::clone(&e.value), true);
+        }
+        self.misses += 1;
+        let value = Arc::new(build());
+        if self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.entries.insert(
+            key.to_string(),
+            Entry {
+                value: Arc::clone(&value),
+                last_used: self.tick,
+            },
+        );
+        (value, false)
+    }
+
+    fn evict_lru(&mut self) {
+        // Ties on `last_used` cannot happen (ticks are unique), so the
+        // victim is unambiguous and eviction is deterministic.
+        if let Some(victim) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            self.entries.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cumulative hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative misses (each miss is one build).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Cumulative LRU evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_the_same_allocation() {
+        let mut c: Cache<Vec<u32>> = Cache::new(4);
+        let (a, hit_a) = c.get_or_insert_with("k", || vec![1, 2, 3]);
+        let (b, hit_b) = c.get_or_insert_with("k", || panic!("must not rebuild"));
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let mut c: Cache<u32> = Cache::new(2);
+        c.get_or_insert_with("a", || 1);
+        c.get_or_insert_with("b", || 2);
+        c.get_or_insert_with("a", || panic!("hit")); // refresh a
+        c.get_or_insert_with("c", || 3); // evicts b (LRU), not a
+        assert_eq!(c.evictions(), 1);
+        let (_, hit) = c.get_or_insert_with("a", || panic!("hit"));
+        assert!(hit, "a survived");
+        let (_, hit) = c.get_or_insert_with("b", || 2);
+        assert!(!hit, "b was evicted");
+    }
+
+    #[test]
+    fn addresses_are_stable() {
+        // FNV-1a reference values: pinning these catches accidental
+        // changes to the address scheme, which responses expose.
+        assert_eq!(content_address(""), 0xcbf29ce484222325);
+        assert_eq!(address_hex("a"), "af63dc4c8601ec8c");
+        assert_eq!(address_hex("gnp:n=48:p=0.05:seed=5").len(), 16);
+    }
+}

@@ -1,0 +1,480 @@
+//! The `congest.serve` wire protocol: schema-versioned JSONL requests and
+//! the typed specs they parse into.
+//!
+//! One request per line. Every line is an object with `"schema"` and
+//! `"version"` fields; unknown schemas and future versions are rejected
+//! up front so a client never gets a silently-misinterpreted answer.
+//!
+//! ```text
+//! {"schema":"congest.serve","version":1,"op":"query","id":"q0",
+//!  "graph":{"generator":"planted_c2k","n":96,"d":3,"k":2,"seed":7},
+//!  "scenario":{"kind":"even_cycle","k":2,"repetitions":2,"seed":11}}
+//! {"schema":"congest.serve","version":1,"op":"flush"}
+//! ```
+//!
+//! `op:"query"` enqueues a detection query; `op:"flush"` executes the
+//! pending batch and streams one response line per query (in request
+//! order) followed by a `congest.serve.batch` summary. End of input
+//! implies a final flush.
+//!
+//! Graph and scenario specs carry *canonical cache keys*
+//! ([`GraphSpec::cache_key`]): the serve cache is content-addressed by
+//! these strings, so equal specs share one generated graph — and with it
+//! the CSR and the lazily-packed adjacency bitsets — across the batch and
+//! across batches.
+
+use congest::FaultSpec;
+use graphlib::{generators, Graph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::json::Value;
+
+/// Request schema identifier.
+pub const REQUEST_SCHEMA: &str = "congest.serve";
+/// Per-query response schema identifier.
+pub const RESPONSE_SCHEMA: &str = "congest.serve.response";
+/// Batch summary schema identifier.
+pub const BATCH_SCHEMA: &str = "congest.serve.batch";
+/// Protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Enqueue one detection query.
+    Query(Query),
+    /// Execute the pending batch now.
+    Flush,
+}
+
+/// One detection query: a graph to (re)use and a scenario to run on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: String,
+    /// The input graph.
+    pub graph: GraphSpec,
+    /// What to detect, and under which conditions.
+    pub scenario: ScenarioSpec,
+}
+
+/// A generated input graph, identified by generator + parameters + seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSpec {
+    /// `C_n`.
+    Cycle { n: usize },
+    /// `P_n`.
+    Path { n: usize },
+    /// `K_n`.
+    CliqueGraph { n: usize },
+    /// `K_{a,b}`.
+    CompleteBipartite { a: usize, b: usize },
+    /// Erdős–Rényi `G(n, p)`.
+    Gnp { n: usize, p: f64, seed: u64 },
+    /// `G(n, p)` with a planted cycle of the given length.
+    PlantedCycleGnp {
+        n: usize,
+        p: f64,
+        seed: u64,
+        len: usize,
+    },
+    /// `d`-regular-ish host with a planted `C_{2k}`.
+    PlantedC2k {
+        n: usize,
+        d: usize,
+        k: usize,
+        seed: u64,
+    },
+    /// Random graph with maximum degree `d`.
+    BoundedDegree { n: usize, d: usize, seed: u64 },
+}
+
+impl GraphSpec {
+    /// The canonical cache key: a stable, human-readable rendering of
+    /// generator + parameters + seed. Equal keys ⇒ byte-identical graphs.
+    pub fn cache_key(&self) -> String {
+        match self {
+            GraphSpec::Cycle { n } => format!("cycle:n={n}"),
+            GraphSpec::Path { n } => format!("path:n={n}"),
+            GraphSpec::CliqueGraph { n } => format!("clique:n={n}"),
+            GraphSpec::CompleteBipartite { a, b } => format!("complete_bipartite:a={a}:b={b}"),
+            GraphSpec::Gnp { n, p, seed } => format!("gnp:n={n}:p={p}:seed={seed}"),
+            GraphSpec::PlantedCycleGnp { n, p, seed, len } => {
+                format!("planted_cycle_gnp:n={n}:p={p}:seed={seed}:len={len}")
+            }
+            GraphSpec::PlantedC2k { n, d, k, seed } => {
+                format!("planted_c2k:n={n}:d={d}:k={k}:seed={seed}")
+            }
+            GraphSpec::BoundedDegree { n, d, seed } => {
+                format!("bounded_degree:n={n}:d={d}:seed={seed}")
+            }
+        }
+    }
+
+    /// Generates the graph this spec describes (the expensive step the
+    /// cache exists to amortize).
+    pub fn build(&self) -> Graph {
+        match self {
+            GraphSpec::Cycle { n } => generators::cycle(*n),
+            GraphSpec::Path { n } => generators::path(*n),
+            GraphSpec::CliqueGraph { n } => generators::clique(*n),
+            GraphSpec::CompleteBipartite { a, b } => generators::complete_bipartite(*a, *b),
+            GraphSpec::Gnp { n, p, seed } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+                generators::gnp(*n, *p, &mut rng)
+            }
+            GraphSpec::PlantedCycleGnp { n, p, seed, len } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+                let host = generators::gnp(*n, *p, &mut rng);
+                generators::plant_cycle(&host, *len, &mut rng).0
+            }
+            GraphSpec::PlantedC2k { n, d, k, seed } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+                generators::planted_c2k(*n, *d, *k, &mut rng).0
+            }
+            GraphSpec::BoundedDegree { n, d, seed } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+                generators::bounded_degree(*n, *d, &mut rng)
+            }
+        }
+    }
+}
+
+/// What to run against the graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioSpec {
+    /// The Theorem 1.1 `C_{2k}` detector ([`subgraph_detection::detect_even_cycle`]),
+    /// optionally fault-injected and optionally behind the reliable
+    /// transport.
+    EvenCycle {
+        k: usize,
+        repetitions: usize,
+        seed: u64,
+        edge_bound: Option<usize>,
+        faults: Option<FaultSpec>,
+        reliable: bool,
+    },
+    /// Neighbor-exchange `K_s` detection (s = 3 for `kind:"triangle"`),
+    /// run against a cached staged topology.
+    CliqueDetect {
+        s: usize,
+        seed: u64,
+        faults: Option<FaultSpec>,
+    },
+}
+
+impl ScenarioSpec {
+    /// A canonical label for this scenario, used as the run-report label
+    /// so a response is self-describing.
+    pub fn label(&self) -> String {
+        match self {
+            ScenarioSpec::EvenCycle {
+                k,
+                reliable,
+                faults,
+                ..
+            } => {
+                let mode = match (faults.is_some(), reliable) {
+                    (false, _) => "clean",
+                    (true, false) => "faulty",
+                    (true, true) => "faulty+arq",
+                };
+                format!("serve.even_cycle.k{k}.{mode}")
+            }
+            ScenarioSpec::CliqueDetect { s, faults, .. } => {
+                let mode = if faults.is_some() { "faulty" } else { "clean" };
+                format!("serve.clique.s{s}.{mode}")
+            }
+        }
+    }
+}
+
+fn field<'v>(v: &'v Value, key: &str, ctx: &str) -> Result<&'v Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{ctx}: missing \"{key}\""))
+}
+
+fn usize_field(v: &Value, key: &str, ctx: &str) -> Result<usize, String> {
+    field(v, key, ctx)?
+        .as_usize()
+        .ok_or_else(|| format!("{ctx}: \"{key}\" must be a non-negative integer"))
+}
+
+fn u64_field(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    field(v, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| format!("{ctx}: \"{key}\" must be a non-negative integer"))
+}
+
+fn f64_field(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    field(v, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}: \"{key}\" must be a number"))
+}
+
+fn str_field<'v>(v: &'v Value, key: &str, ctx: &str) -> Result<&'v str, String> {
+    field(v, key, ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: \"{key}\" must be a string"))
+}
+
+/// Parses one request line (already JSON-parsed into `v`).
+pub fn parse_request(v: &Value) -> Result<Request, String> {
+    let schema = str_field(v, "schema", "request")?;
+    if schema != REQUEST_SCHEMA {
+        return Err(format!(
+            "request: unknown schema {schema:?} (expected {REQUEST_SCHEMA:?})"
+        ));
+    }
+    let version = u64_field(v, "version", "request")?;
+    if version != PROTOCOL_VERSION {
+        return Err(format!(
+            "request: unsupported version {version} (this build speaks {PROTOCOL_VERSION})"
+        ));
+    }
+    match str_field(v, "op", "request")? {
+        "flush" => Ok(Request::Flush),
+        "query" => {
+            let id = str_field(v, "id", "query")?.to_string();
+            let graph = parse_graph(field(v, "graph", "query")?)?;
+            let scenario = parse_scenario(field(v, "scenario", "query")?)?;
+            Ok(Request::Query(Query {
+                id,
+                graph,
+                scenario,
+            }))
+        }
+        other => Err(format!("request: unknown op {other:?}")),
+    }
+}
+
+/// Parses a graph spec object.
+pub fn parse_graph(v: &Value) -> Result<GraphSpec, String> {
+    let ctx = "graph";
+    match str_field(v, "generator", ctx)? {
+        "cycle" => Ok(GraphSpec::Cycle {
+            n: usize_field(v, "n", ctx)?,
+        }),
+        "path" => Ok(GraphSpec::Path {
+            n: usize_field(v, "n", ctx)?,
+        }),
+        "clique" => Ok(GraphSpec::CliqueGraph {
+            n: usize_field(v, "n", ctx)?,
+        }),
+        "complete_bipartite" => Ok(GraphSpec::CompleteBipartite {
+            a: usize_field(v, "a", ctx)?,
+            b: usize_field(v, "b", ctx)?,
+        }),
+        "gnp" => Ok(GraphSpec::Gnp {
+            n: usize_field(v, "n", ctx)?,
+            p: f64_field(v, "p", ctx)?,
+            seed: u64_field(v, "seed", ctx)?,
+        }),
+        "planted_cycle_gnp" => Ok(GraphSpec::PlantedCycleGnp {
+            n: usize_field(v, "n", ctx)?,
+            p: f64_field(v, "p", ctx)?,
+            seed: u64_field(v, "seed", ctx)?,
+            len: usize_field(v, "len", ctx)?,
+        }),
+        "planted_c2k" => Ok(GraphSpec::PlantedC2k {
+            n: usize_field(v, "n", ctx)?,
+            d: usize_field(v, "d", ctx)?,
+            k: usize_field(v, "k", ctx)?,
+            seed: u64_field(v, "seed", ctx)?,
+        }),
+        "bounded_degree" => Ok(GraphSpec::BoundedDegree {
+            n: usize_field(v, "n", ctx)?,
+            d: usize_field(v, "d", ctx)?,
+            seed: u64_field(v, "seed", ctx)?,
+        }),
+        other => Err(format!("graph: unknown generator {other:?}")),
+    }
+}
+
+/// Parses an optional fault spec (`null`/absent ⇒ fault-free).
+pub fn parse_faults(v: Option<&Value>) -> Result<Option<FaultSpec>, String> {
+    let Some(v) = v else { return Ok(None) };
+    if *v == Value::Null {
+        return Ok(None);
+    }
+    let ctx = "faults";
+    match str_field(v, "kind", ctx)? {
+        "none" => Ok(None),
+        "independent_loss" => Ok(Some(FaultSpec::IndependentLoss(f64_field(v, "p", ctx)?))),
+        "bit_flip" => Ok(Some(FaultSpec::BitFlip(f64_field(v, "p", ctx)?))),
+        "gilbert_elliott" => Ok(Some(FaultSpec::GilbertElliott(
+            f64_field(v, "p_good_to_bad", ctx)?,
+            f64_field(v, "p_bad_to_good", ctx)?,
+            f64_field(v, "loss_good", ctx)?,
+            f64_field(v, "loss_bad", ctx)?,
+        ))),
+        other => Err(format!("faults: unknown kind {other:?}")),
+    }
+}
+
+/// Parses a scenario spec object.
+pub fn parse_scenario(v: &Value) -> Result<ScenarioSpec, String> {
+    let ctx = "scenario";
+    match str_field(v, "kind", ctx)? {
+        "even_cycle" => {
+            let k = usize_field(v, "k", ctx)?;
+            if k < 2 {
+                return Err("scenario: even_cycle needs k >= 2".into());
+            }
+            let repetitions = match v.get("repetitions") {
+                None | Some(Value::Null) => 1,
+                Some(r) => r
+                    .as_usize()
+                    .filter(|r| *r >= 1)
+                    .ok_or("scenario: \"repetitions\" must be a positive integer")?,
+            };
+            let edge_bound = match v.get("edge_bound") {
+                None | Some(Value::Null) => None,
+                Some(m) => Some(
+                    m.as_usize()
+                        .ok_or("scenario: \"edge_bound\" must be a non-negative integer")?,
+                ),
+            };
+            let reliable = match v.get("reliable") {
+                None | Some(Value::Null) => false,
+                Some(b) => b
+                    .as_bool()
+                    .ok_or("scenario: \"reliable\" must be a boolean")?,
+            };
+            Ok(ScenarioSpec::EvenCycle {
+                k,
+                repetitions,
+                seed: u64_field(v, "seed", ctx)?,
+                edge_bound,
+                faults: parse_faults(v.get("faults"))?,
+                reliable,
+            })
+        }
+        kind @ ("triangle" | "clique") => {
+            let s = if kind == "triangle" {
+                3
+            } else {
+                let s = usize_field(v, "s", ctx)?;
+                if s < 3 {
+                    return Err("scenario: clique needs s >= 3".into());
+                }
+                s
+            };
+            Ok(ScenarioSpec::CliqueDetect {
+                s,
+                seed: u64_field(v, "seed", ctx)?,
+                faults: parse_faults(v.get("faults"))?,
+            })
+        }
+        other => Err(format!("scenario: unknown kind {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn req(line: &str) -> Result<Request, String> {
+        parse_request(&json::parse(line)?)
+    }
+
+    #[test]
+    fn parses_a_full_query() {
+        let r = req(
+            r#"{"schema":"congest.serve","version":1,"op":"query","id":"q0",
+                "graph":{"generator":"planted_c2k","n":96,"d":3,"k":2,"seed":7},
+                "scenario":{"kind":"even_cycle","k":2,"repetitions":2,"seed":11,
+                            "faults":{"kind":"independent_loss","p":0.25},"reliable":true}}"#,
+        )
+        .unwrap();
+        let Request::Query(q) = r else {
+            panic!("expected query")
+        };
+        assert_eq!(q.id, "q0");
+        assert_eq!(q.graph.cache_key(), "planted_c2k:n=96:d=3:k=2:seed=7");
+        match q.scenario {
+            ScenarioSpec::EvenCycle {
+                k,
+                repetitions,
+                seed,
+                reliable,
+                ref faults,
+                ..
+            } => {
+                assert_eq!((k, repetitions, seed, reliable), (2, 2, 11, true));
+                assert!(matches!(faults, Some(FaultSpec::IndependentLoss(p)) if *p == 0.25));
+            }
+            _ => panic!("expected even_cycle"),
+        }
+    }
+
+    #[test]
+    fn triangle_is_clique_s3() {
+        let r = req(
+            r#"{"schema":"congest.serve","version":1,"op":"query","id":"t",
+                "graph":{"generator":"cycle","n":8},
+                "scenario":{"kind":"triangle","seed":1}}"#,
+        )
+        .unwrap();
+        let Request::Query(q) = r else { panic!() };
+        assert_eq!(
+            q.scenario,
+            ScenarioSpec::CliqueDetect {
+                s: 3,
+                seed: 1,
+                faults: None
+            }
+        );
+        assert_eq!(q.scenario.label(), "serve.clique.s3.clean");
+    }
+
+    #[test]
+    fn flush_parses_and_versions_are_enforced() {
+        assert_eq!(
+            req(r#"{"schema":"congest.serve","version":1,"op":"flush"}"#).unwrap(),
+            Request::Flush
+        );
+        assert!(
+            req(r#"{"schema":"congest.serve","version":2,"op":"flush"}"#)
+                .unwrap_err()
+                .contains("version")
+        );
+        assert!(req(r#"{"schema":"nope","version":1,"op":"flush"}"#)
+            .unwrap_err()
+            .contains("schema"));
+        assert!(
+            req(r#"{"schema":"congest.serve","version":1,"op":"evict"}"#)
+                .unwrap_err()
+                .contains("unknown op")
+        );
+    }
+
+    #[test]
+    fn cache_keys_are_canonical_and_builds_deterministic() {
+        let spec = GraphSpec::Gnp {
+            n: 32,
+            p: 0.1,
+            seed: 9,
+        };
+        assert_eq!(spec.cache_key(), "gnp:n=32:p=0.1:seed=9");
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.m(), b.m());
+    }
+
+    #[test]
+    fn planted_cycle_gnp_contains_the_planted_cycle() {
+        let spec = GraphSpec::PlantedCycleGnp {
+            n: 24,
+            p: 0.02,
+            seed: 3,
+            len: 4,
+        };
+        let g = spec.build();
+        assert_eq!(g.n(), 24);
+        assert!(g.m() >= 4, "planted cycle edges present");
+    }
+}

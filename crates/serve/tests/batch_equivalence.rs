@@ -1,0 +1,175 @@
+//! Batching must be invisible: a batch of N queries answers exactly what
+//! N independent single-query sessions (each on a *fresh* service with
+//! cold caches) would answer. Cache bookkeeping may differ — that is the
+//! point of batching — but verdicts and run reports may not, which is
+//! what makes the content-addressed cache a pure optimization.
+
+use proptest::prelude::*;
+use serve::json::{self, Value};
+use serve::{GraphSpec, Query, ScenarioSpec, Service, ServiceConfig};
+
+/// A small pool of cheap graph specs (shared specs exercise cache hits).
+fn arb_graph() -> impl Strategy<Value = GraphSpec> {
+    (0u64..4, 8usize..24).prop_map(|(pick, n)| match pick {
+        0 => GraphSpec::Cycle { n: n.max(3) },
+        1 => GraphSpec::CliqueGraph { n: (n / 3).max(4) },
+        2 => GraphSpec::Gnp { n, p: 0.2, seed: 9 },
+        _ => GraphSpec::PlantedC2k {
+            n: n.max(16),
+            d: 3,
+            k: 2,
+            seed: 5,
+        },
+    })
+}
+
+fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
+    (0u64..3, any::<u64>()).prop_map(|(pick, seed)| match pick {
+        0 => ScenarioSpec::CliqueDetect {
+            s: 3,
+            seed,
+            faults: None,
+        },
+        1 => ScenarioSpec::CliqueDetect {
+            s: 3,
+            seed,
+            faults: Some(congest::FaultSpec::IndependentLoss(0.3)),
+        },
+        _ => ScenarioSpec::EvenCycle {
+            k: 2,
+            repetitions: 1,
+            seed,
+            edge_bound: None,
+            faults: None,
+            reliable: false,
+        },
+    })
+}
+
+fn arb_batch() -> impl Strategy<Value = Vec<Query>> {
+    proptest::collection::vec((arb_graph(), arb_scenario()), 1..6).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, (graph, scenario))| Query {
+                id: format!("q{idx}"),
+                graph,
+                scenario,
+            })
+            .collect()
+    })
+}
+
+fn request_line(q: &Query) -> String {
+    let graph = match &q.graph {
+        GraphSpec::Cycle { n } => format!(r#"{{"generator":"cycle","n":{n}}}"#),
+        GraphSpec::CliqueGraph { n } => format!(r#"{{"generator":"clique","n":{n}}}"#),
+        GraphSpec::Gnp { n, p, seed } => {
+            format!(r#"{{"generator":"gnp","n":{n},"p":{p},"seed":{seed}}}"#)
+        }
+        GraphSpec::PlantedC2k { n, d, k, seed } => {
+            format!(r#"{{"generator":"planted_c2k","n":{n},"d":{d},"k":{k},"seed":{seed}}}"#)
+        }
+        other => unreachable!("not generated here: {other:?}"),
+    };
+    let scenario = match &q.scenario {
+        ScenarioSpec::CliqueDetect { s, seed, faults } => {
+            let f = match faults {
+                None => "null".to_string(),
+                Some(congest::FaultSpec::IndependentLoss(p)) => {
+                    format!(r#"{{"kind":"independent_loss","p":{p}}}"#)
+                }
+                other => unreachable!("not generated here: {other:?}"),
+            };
+            format!(r#"{{"kind":"clique","s":{s},"seed":{seed},"faults":{f}}}"#)
+        }
+        ScenarioSpec::EvenCycle {
+            k,
+            repetitions,
+            seed,
+            ..
+        } => {
+            format!(r#"{{"kind":"even_cycle","k":{k},"repetitions":{repetitions},"seed":{seed}}}"#)
+        }
+    };
+    format!(
+        r#"{{"schema":"congest.serve","version":1,"op":"query","id":"{}","graph":{graph},"scenario":{scenario}}}"#,
+        q.id
+    )
+}
+
+/// The cache-independent projection of a response: everything except the
+/// `cache` member (hit/miss bookkeeping legitimately differs between a
+/// warm batch and a cold single-query service).
+fn essence(line: &str) -> Vec<(String, Value)> {
+    let Value::Obj(entries) = json::parse(line).expect("response parses") else {
+        panic!("response is not an object: {line}");
+    };
+    entries.into_iter().filter(|(k, _)| k != "cache").collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batch_of_n_answers_like_n_independent_runs(queries in arb_batch()) {
+        // One batched session over a shared warm cache...
+        let mut batched = Service::new(ServiceConfig::default());
+        for q in &queries {
+            let immediate = batched.handle_line(&request_line(q));
+            prop_assert!(immediate.is_empty(), "query must enqueue cleanly");
+        }
+        let out = batched.flush();
+        prop_assert_eq!(out.len(), queries.len() + 1);
+
+        // ...must answer exactly what cold independent services answer.
+        for (i, q) in queries.iter().enumerate() {
+            let mut solo = Service::new(ServiceConfig::default());
+            prop_assert!(solo.handle_line(&request_line(q)).is_empty());
+            let solo_out = solo.flush();
+            prop_assert_eq!(solo_out.len(), 2);
+            prop_assert_eq!(
+                essence(&out[i]),
+                essence(&solo_out[0]),
+                "query {} diverged between batch and solo run",
+                q.id
+            );
+        }
+    }
+}
+
+#[test]
+fn single_query_strategies_cover_all_generated_shapes() {
+    // Smoke for the generators themselves (proptest shim has no shrinking,
+    // so a deterministic pass over each arm keeps failures readable).
+    for idx in 0..4usize {
+        let q = Query {
+            id: format!("s{idx}"),
+            graph: match idx {
+                0 => GraphSpec::Cycle { n: 8 },
+                1 => GraphSpec::CliqueGraph { n: 5 },
+                2 => GraphSpec::Gnp {
+                    n: 12,
+                    p: 0.2,
+                    seed: 9,
+                },
+                _ => GraphSpec::PlantedC2k {
+                    n: 20,
+                    d: 3,
+                    k: 2,
+                    seed: 5,
+                },
+            },
+            scenario: ScenarioSpec::CliqueDetect {
+                s: 3,
+                seed: idx as u64,
+                faults: None,
+            },
+        };
+        let mut svc = Service::new(ServiceConfig::default());
+        assert!(svc.handle_line(&request_line(&q)).is_empty());
+        let out = svc.flush();
+        assert_eq!(out.len(), 2);
+        assert!(out[0].contains(r#""status":"ok""#), "{}", out[0]);
+    }
+}

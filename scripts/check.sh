@@ -148,6 +148,35 @@ cargo test -q --test chaos chaos_fuzzer_finds_no_soundness_violations
 echo "==> chaos fuzzer teeth gate (injected violation found and shrunk)"
 cargo test -q --test chaos chaos_fuzzer_catches_and_shrinks_a_broken_invariant
 
+# The serve layer's determinism contract: the golden 100-query session
+# (one cached planted-C4 graph, 25 seeds x {even-cycle, triangle} x fault
+# on/off) must match its checked-in golden byte-for-byte on sequential and
+# parallel pools alike.
+echo "==> congest-serve golden session (RAYON_NUM_THREADS=1)"
+RAYON_NUM_THREADS=1 cargo test -q -p serve --test golden_session
+
+echo "==> congest-serve golden session (RAYON_NUM_THREADS=4)"
+RAYON_NUM_THREADS=4 cargo test -q -p serve --test golden_session
+
+# The staged-Simulation API migration is structural, not advisory: the
+# even-cycle drivers must run their amplification loops through a staged
+# Prepared topology, and the serve layer must never fall back to the
+# one-shot Simulation::run* entry points (its whole point is reuse).
+echo "==> checking run-API call sites are migrated to Prepared"
+if ! grep -q '\.prepare()' crates/core/src/even_cycle.rs; then
+    echo "error: crates/core/src/even_cycle.rs no longer stages its" \
+         "topology with Simulation::prepare()" >&2
+    status=1
+elif grep -nE '\.run\(|\.run_with_nodes\(|\.run_clique\(' \
+    crates/serve/src --include='*.rs' -r \
+    2>/dev/null; then
+    echo "error: crates/serve uses a one-shot Simulation run entry point;" \
+         "serve executes through Prepared::run_with" >&2
+    status=1
+else
+    echo "    even-cycle drivers stage via prepare(); serve runs through Prepared"
+fi
+
 # Perf-regression smoke gate: smallest workload sizes (including the
 # E3-scale sharded-engine run at n = 10^4), generous tolerance
 # (debug-vs-release noise is not what this guards against — the release
