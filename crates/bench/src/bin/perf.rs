@@ -19,6 +19,12 @@
 //!                                        engine section — flamegraph
 //!                                        input) plus a summary table
 //!                                        (stderr)
+//!   perf --e3-budget-secs S              budgeted E3-scale smoke: double n
+//!                                        from 10^4 toward 10^6, stopping
+//!                                        before the wall clock would pass
+//!                                        S seconds; prints one JSON entry
+//!                                        per size (stdout) and the largest
+//!                                        size reached (stderr)
 //!   perf --emit [--smoke]                (internal) time the workloads at
 //!                                        the current RAYON_NUM_THREADS and
 //!                                        print one JSON entry per line
@@ -171,6 +177,24 @@ fn main() {
 
     if args.iter().any(|a| a == "--check") {
         run_check(&args);
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--e3-budget-secs") {
+        let secs: f64 = args
+            .get(i + 1)
+            .expect("--e3-budget-secs needs a number of seconds")
+            .parse()
+            .expect("--e3-budget-secs must be a number");
+        let entries = perf::e3_budget_entries(secs, 10_000, 1_000_000);
+        for entry in &entries {
+            println!("{}", entry.to_json());
+        }
+        let top = entries.last().expect("budget sweep always runs once");
+        eprintln!(
+            "==> e3 budget sweep: reached n={} in {:.1}s budget ({:.3} ms at the top size)",
+            top.n, secs, top.wall_ms
+        );
+        return;
     }
 
     if args.iter().any(|a| a == "--profile") {

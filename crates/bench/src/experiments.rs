@@ -24,7 +24,26 @@ pub struct E1Row {
 
 /// E1 — Theorem 1.1: `C_2k` detection rounds vs `n`, against the linear
 /// baseline. `sizes` are the `n` values; detection uses `reps` repetitions.
+/// Runs the engine's production tuning (fused send pass + causal early
+/// termination); the reported `detector_rounds` is the *schedule's*
+/// per-repetition round count, so the series is tuning-independent.
 pub fn e1_even_cycle(k: usize, sizes: &[usize], reps: usize, seed: u64) -> Vec<E1Row> {
+    e1_even_cycle_tuned(k, sizes, reps, seed, true, true)
+}
+
+/// [`e1_even_cycle`] with explicit engine tuning: `fused` selects the
+/// fused vs pre-fusion send pass, `early_termination` the causal
+/// round-skip. The A/B lever behind the `e1_prefusion` / `e1_noearly`
+/// baseline entries — decisions and bit totals are identical at any
+/// setting (pinned by the fusion referee and the ET driver tests).
+pub fn e1_even_cycle_tuned(
+    k: usize,
+    sizes: &[usize],
+    reps: usize,
+    seed: u64,
+    fused: bool,
+    early_termination: bool,
+) -> Vec<E1Row> {
     sizes
         .iter()
         .map(|&n| {
@@ -33,7 +52,9 @@ pub fn e1_even_cycle(k: usize, sizes: &[usize], reps: usize, seed: u64) -> Vec<E
             let (g, _) = generators::plant_cycle(&base, 2 * k, &mut rng);
             let cfg = detection::EvenCycleConfig::new(k)
                 .repetitions(reps)
-                .seed(seed);
+                .seed(seed)
+                .fused(fused)
+                .early_termination(early_termination);
             let rep = detection::detect_even_cycle(&g, cfg).expect("engine");
             let cyc = generators::cycle(2 * k);
             let baseline = detection::detect_gather(&g, &cyc).expect("engine");
@@ -608,10 +629,14 @@ pub fn scale_graph(n: usize, seed: u64) -> Graph {
 /// round loop alone; there is no gather baseline here (its round count is
 /// linear in `n`, which is the whole point of the theorem).
 pub fn e3_scale_on(g: &Graph, shards: usize, seed: u64) -> ScaleRow {
+    // Production tuning: fused send pass (the default) plus causal early
+    // termination — the mostly-idle Phase II block windows are exactly the
+    // rounds ET exists to skip, and at census sizes they dominate.
     let cfg = detection::EvenCycleConfig::new(2)
         .repetitions(1)
         .seed(seed)
-        .shards(shards);
+        .shards(shards)
+        .early_termination(true);
     let rep = detection::detect_even_cycle(g, cfg).expect("engine");
     ScaleRow {
         n: g.n(),

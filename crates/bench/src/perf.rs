@@ -260,6 +260,29 @@ fn run_sized_workloads(
             p99_ms: 0.0,
         });
     }
+    // Engine-tuning A/B at the largest E1 size: the pre-fusion three-pass
+    // send loop and the fused loop without early termination. Together
+    // with the production `e1_even_cycle` entry they decompose the speedup
+    // into its fusion and ET parts; the referee suites pin all three
+    // tunings to byte-identical decisions.
+    if let Some(&n) = e1_sizes.last() {
+        for (tag, fused, et) in [("e1_prefusion", false, false), ("e1_noearly", true, false)] {
+            let wall_ms = min_wall_ms(|| {
+                let rows = exp::e1_even_cycle_tuned(2, &[n], 1, 42, fused, et);
+                assert_eq!(rows.len(), 1);
+            });
+            entries.push(PerfEntry {
+                experiment: tag.into(),
+                n,
+                wall_ms,
+                threads,
+                oversubscribed,
+                shards: 0,
+                peak_rss_kb: 0,
+                p99_ms: 0.0,
+            });
+        }
+    }
     for &nc in e2_sizes {
         let wall_ms = min_wall_ms(|| {
             let rows = exp::e2_superlinear(2, &[nc], 7);
@@ -303,6 +326,56 @@ fn run_sized_workloads(
             peak_rss_kb: peak_rss_kb(),
             p99_ms: 0.0,
         });
+    }
+    entries
+}
+
+/// Budgeted E3-scale: walk the scale experiment up by doubling `n` from
+/// `start_n`, stopping before the run that would blow a `budget_secs`
+/// wall-clock budget (projected as ~2.4× the last run — the workload is
+/// slightly superlinear in `n`) or past `cap_n`. Graph construction counts
+/// against the budget; each entry's `wall_ms` is still the round loop
+/// alone, comparable with the full `e3_scale` entries. This is how CI
+/// checks the `n = 10^6` trajectory without hard-coding a ten-minute run:
+/// the sweep reaches whatever size the budget affords and reports it.
+pub fn e3_budget_entries(budget_secs: f64, start_n: usize, cap_n: usize) -> Vec<PerfEntry> {
+    let threads = rayon::current_num_threads();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut entries = Vec::new();
+    let mut n = start_n;
+    let budget = Instant::now();
+    // Worst per-node cost seen so far, for projecting the next (doubled)
+    // size. Early termination makes wall time vary a lot between sizes —
+    // one size may quiesce almost immediately while the next churns — so
+    // projecting from the *last* run alone badly overshoots the budget;
+    // the running worst is the conservative estimator.
+    let mut worst_ms_per_node = 0.0f64;
+    loop {
+        let g = exp::scale_graph(n, 42);
+        let t = Instant::now();
+        let row = exp::e3_scale_on(&g, 0, 42);
+        assert_eq!(row.n, n);
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        entries.push(PerfEntry {
+            experiment: "e3_budget".into(),
+            n,
+            wall_ms,
+            threads,
+            oversubscribed: threads > host_cpus,
+            shards: threads.min(n.max(1)),
+            peak_rss_kb: peak_rss_kb(),
+            p99_ms: 0.0,
+        });
+        worst_ms_per_node = worst_ms_per_node.max(wall_ms / n as f64);
+        n *= 2;
+        let spent = budget.elapsed().as_secs_f64();
+        // The per-node rate itself roughly doubles per doubling of n
+        // (the round schedule grows with n too), so project the next size
+        // at ~2.4× the worst rate seen so far.
+        let projected = 2.4 * worst_ms_per_node * n as f64 / 1e3;
+        if n > cap_n || spent + projected > budget_secs {
+            break;
+        }
     }
     entries
 }

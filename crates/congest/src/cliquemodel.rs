@@ -268,13 +268,18 @@ impl<'g> CliqueEngine<'g> {
         let mut completed = nodes.iter().all(|nd| nd.halted());
 
         // Per-run buffers, reused every round: inboxes (cleared in place),
-        // the per-destination accounting scratch (`dest_bits`/`seen` reset
-        // via the `touched` list, so resets cost O(destinations actually
-        // used), not O(n)), and the per-node compute-span slots.
+        // the per-destination accounting scratch, and the per-node
+        // compute-span slots. Destination membership is a packed u64
+        // bitmap (`seen_words`) with a word-granular dirty list
+        // (`touched_words`, one entry per 64-destination block actually
+        // hit), so both the reset and the settlement sweep cost
+        // O(distinct destination blocks), not O(n), and settlement walks
+        // set bits with `trailing_zeros` instead of a per-destination
+        // branch.
         let mut inboxes: Vec<Vec<(u32, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
         let mut dest_bits: Vec<usize> = vec![0; n];
-        let mut seen: Vec<bool> = vec![false; n];
-        let mut touched: Vec<usize> = Vec::new();
+        let mut seen_words: Vec<u64> = vec![0; n.div_ceil(64)];
+        let mut touched_words: Vec<u32> = Vec::new();
         let mut step_nanos: Vec<u64> = vec![u64::MAX; n];
 
         // Causal provenance (tracing only), mirroring `engine.rs`: ids in
@@ -307,13 +312,17 @@ impl<'g> CliqueEngine<'g> {
                 next_msg_id = next;
             }
 
-            // Bandwidth accounting per ordered pair, in first-send order.
+            // Bandwidth accounting per ordered pair. Settlement walks the
+            // touched 64-destination blocks in ascending order and the set
+            // bits within each word via `trailing_zeros`, so per-pair sums
+            // are settled in ascending destination order — in particular,
+            // when one outbox overflows several pairs at once the reported
+            // `BandwidthExceeded` names the lowest-indexed destination.
             let t_acct = prof_start(prof);
             for (from, outbox) in outboxes.iter().enumerate() {
                 if outbox.is_empty() {
                     continue;
                 }
-                touched.clear();
                 let sender_deps: Option<Arc<[u64]>> = if tracing {
                     Some(Arc::from(prev_delivered[from].as_slice()))
                 } else {
@@ -324,10 +333,11 @@ impl<'g> CliqueEngine<'g> {
                     if to >= n || to == from {
                         return Err(CliqueError::InvalidDestination { from, to });
                     }
-                    if !seen[to] {
-                        seen[to] = true;
-                        touched.push(to);
+                    let w = to >> 6;
+                    if seen_words[w] == 0 {
+                        touched_words.push(w as u32);
                     }
+                    seen_words[w] |= 1u64 << (to & 63);
                     dest_bits[to] += m.bit_size();
                     stats.total_messages += 1;
                     traffic.total_messages += 1;
@@ -342,28 +352,37 @@ impl<'g> CliqueEngine<'g> {
                         });
                     }
                 }
-                for &to in &touched {
-                    let bits = dest_bits[to];
-                    dest_bits[to] = 0;
-                    seen[to] = false;
-                    if bits > self.bandwidth_bits {
-                        return Err(CliqueError::BandwidthExceeded {
-                            from,
-                            to,
-                            attempted: bits,
-                            limit: self.bandwidth_bits,
-                            round,
-                        });
+                touched_words.sort_unstable();
+                for &w in &touched_words {
+                    let mut word = seen_words[w as usize];
+                    seen_words[w as usize] = 0;
+                    while word != 0 {
+                        let to = ((w as usize) << 6) + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        let bits = dest_bits[to];
+                        dest_bits[to] = 0;
+                        if bits > self.bandwidth_bits {
+                            return Err(CliqueError::BandwidthExceeded {
+                                from,
+                                to,
+                                attempted: bits,
+                                limit: self.bandwidth_bits,
+                                round,
+                            });
+                        }
+                        stats.total_bits += bits as u64;
+                        stats.max_pair_round_bits = stats.max_pair_round_bits.max(bits);
+                        traffic.total_bits += bits as u64;
+                        traffic.max_edge_round_bits = traffic.max_edge_round_bits.max(bits);
+                        // Node `from`'s slot row has `n - 1` entries, one
+                        // per other node, in index order with `from` itself
+                        // skipped.
+                        let slot =
+                            traffic.offsets[from] as usize + if to < from { to } else { to - 1 };
+                        traffic.directed_edge_bits[slot] += bits as u64;
                     }
-                    stats.total_bits += bits as u64;
-                    stats.max_pair_round_bits = stats.max_pair_round_bits.max(bits);
-                    traffic.total_bits += bits as u64;
-                    traffic.max_edge_round_bits = traffic.max_edge_round_bits.max(bits);
-                    // Node `from`'s slot row has `n - 1` entries, one per
-                    // other node, in index order with `from` itself skipped.
-                    let slot = traffic.offsets[from] as usize + if to < from { to } else { to - 1 };
-                    traffic.directed_edge_bits[slot] += bits as u64;
                 }
+                touched_words.clear();
             }
             stats.rounds = round;
             traffic.rounds = round;

@@ -118,8 +118,11 @@ struct Shard<M> {
     /// Ids delivered this round (tracing only); swapped into `prev_ids`
     /// at the end of the delivery pass.
     cur_ids: Vec<Vec<u64>>,
-    /// Accounting scratch: per-port bit sums of the sender being accounted.
-    port_bits: Vec<usize>,
+    /// Accounting scratch: per-port *unicast* bit sums of the sender being
+    /// accounted, in `u64` words. Broadcast bits are batched separately in
+    /// a single scalar accumulator (every port carries the same broadcast
+    /// load), so a broadcast-only sender never touches this array at all.
+    port_bits: Vec<u64>,
     /// `Send` events buffered during shard-parallel accounting.
     acct_events: Vec<SimEvent>,
     /// Accounting tallies, merged sequentially after the parallel pass.
@@ -788,6 +791,16 @@ pub struct Engine<'g> {
     /// Shard count for the sharded round engine; `0` (the default) uses
     /// one shard per rayon worker thread. See `Shard`.
     shards: usize,
+    /// Whether rounds run through the fused single-sweep body (the
+    /// default) or the pre-fusion three-pass reference path. Both produce
+    /// byte-identical outcomes; the reference path exists as the oracle
+    /// for the fused-pass referee tests and as the "before" side of the
+    /// profiler comparison.
+    fused: bool,
+    /// Causal early termination (off by default): when nothing is in
+    /// flight and every live node reports [`NodeAlgorithm::quiescent`],
+    /// the remaining rounds of the run are skipped.
+    early_termination: bool,
 }
 
 impl<'g> Engine<'g> {
@@ -805,8 +818,35 @@ impl<'g> Engine<'g> {
             profiler: None,
             faults: FaultSpec::None,
             shards: 0,
+            fused: true,
+            early_termination: false,
             topology,
         }
+    }
+
+    /// Selects the round-body implementation: `true` (the default) runs
+    /// the fused single-sweep pass (account + stage in one outbox drain,
+    /// then delivery, under one `profile.fused_nanos` span); `false` runs
+    /// the pre-fusion three-pass reference (separate account/stage/deliver
+    /// sweeps and spans). Outcomes, traces, and fault streams are
+    /// byte-identical either way — the reference path is kept as the
+    /// oracle the fused-pass referee tests compare against.
+    pub fn fused(mut self, on: bool) -> Self {
+        self.fused = on;
+        self
+    }
+
+    /// Enables causal early termination: once no message is in flight and
+    /// every non-crashed node reports [`NodeAlgorithm::quiescent`] (it
+    /// will never send again nor change its decision on empty input), the
+    /// engine skips the remaining rounds instead of clock-ticking to the
+    /// round limit. Decisions are unchanged; executed-round counts and the
+    /// per-round stat/fault series reflect the truncated run, and any
+    /// fault schedule past the truncation point (e.g. late crashes) never
+    /// fires. Off by default; intended for fault-free performance runs.
+    pub fn early_termination(mut self, on: bool) -> Self {
+        self.early_termination = on;
+        self
     }
 
     /// Sets the shard count of the sharded round engine (`0`, the default,
@@ -1078,6 +1118,7 @@ impl<'g> Engine<'g> {
         let mut broadcasts: Vec<Vec<(u32, Arc<A::Msg>)>> = (0..n).map(|_| Vec::new()).collect();
         let mut bcasters: Vec<Vec<u32>> = (0..nshards).map(|_| Vec::new()).collect();
         let mut staged_counts: Vec<usize> = vec![0; nshards];
+        let mut refill_counts: Vec<usize> = vec![0; nshards];
         let mut step_nanos: Vec<u64> = vec![u64::MAX; n];
 
         // Causal provenance (tracing only): every outbox entry gets a
@@ -1087,9 +1128,43 @@ impl<'g> Engine<'g> {
         let mut next_msg_id: u64 = 0;
         let mut id_base: Vec<u64> = Vec::new();
 
+        // Amortized quiescence-scan cursor: the node that blocked the last
+        // early-termination attempt. Schedule-driven algorithms keep the
+        // same node non-quiescent across long idle stretches, so probing it
+        // first turns the usual failed check into O(1); only the final,
+        // successful check (and the rare blocker hand-offs) pay O(n). The
+        // break condition "every live node quiescent" is scan-order
+        // independent, so the cut round is unchanged.
+        let mut et_cursor = 0usize;
+        // True while the inbox slabs are known-empty (set by an idle
+        // round's reset, invalidated by any delivery), so back-to-back
+        // idle rounds skip the O(slots) reset.
+        let mut inboxes_clear = false;
+        // Number of nonempty outboxes, maintained incrementally (init
+        // fills, the send sweep drains, `on_round` refills, a crash
+        // discards), so the per-round all-idle test is O(1) instead of an
+        // O(n) header scan — and an all-idle round can skip the send
+        // sweep entirely.
+        let mut outbox_nonempty: usize = outboxes.iter().filter(|o| !o.is_empty()).count();
         for round in 1..=self.max_rounds {
-            if completed && outboxes.iter().all(|o| o.is_empty()) {
-                break;
+            if outbox_nonempty == 0 {
+                if completed {
+                    break;
+                }
+                // Causal early termination: nothing is in flight and every
+                // live node is quiescent, so every remaining round would
+                // deliver nothing and change nothing — skip them. Checked
+                // only on all-idle rounds, so the scan runs exactly where
+                // it can pay for itself.
+                if self.early_termination {
+                    let blocker = (et_cursor..n)
+                        .chain(0..et_cursor)
+                        .find(|&v| crashed[v].is_none() && !nodes[v].quiescent());
+                    match blocker {
+                        None => break,
+                        Some(v) => et_cursor = v,
+                    }
+                }
             }
             rec(SimEvent::RoundStart { round });
 
@@ -1102,6 +1177,9 @@ impl<'g> Engine<'g> {
             for (v, slot) in crashed.iter_mut().enumerate() {
                 if slot.is_none() && model.crashed(v, round, self.seed) {
                     *slot = Some(round);
+                    if !outboxes[v].is_empty() {
+                        outbox_nonempty -= 1;
+                    }
                     outboxes[v].clear();
                     report.crashed.push((v, round));
                     rec(SimEvent::Crash { round, node: v });
@@ -1124,55 +1202,120 @@ impl<'g> Engine<'g> {
             // Account traffic + enforce bandwidth for this round's sends,
             // one job per shard: each job owns its shard's window of the
             // per-slot counters (disjoint splits of one flat array) and
-            // buffers its `Send` events.
+            // buffers its `Send` events. On the fused path (the default)
+            // the same sweep also stages the payloads; the reference path
+            // runs the original separate account and stage passes.
             let before_bits = stats.total_bits;
             let before_msgs = stats.total_messages;
-            let t_acct = prof_start(prof);
-            {
-                let RunStats {
-                    offsets,
-                    directed_edge_bits,
-                    ..
-                } = &mut stats;
-                let offsets: &[u32] = offsets;
-                let bit_windows = split_by_bounds(directed_edge_bits, &slot_bounds);
-                let outboxes_ref = &outboxes;
-                let id_base_ref = &id_base;
-                shards
-                    .par_iter_mut()
-                    .zip(bit_windows.into_par_iter())
-                    .for_each(|(shard, ebits)| {
-                        self.account_shard(
-                            shard,
-                            outboxes_ref,
-                            offsets,
-                            ebits,
-                            round,
-                            tracing,
-                            id_base_ref,
+            let (prof_fused, prof_legacy) = if self.fused {
+                (prof, None)
+            } else {
+                (None, prof)
+            };
+            let t_fused = prof_start(prof_fused);
+            let mut staged = 0usize;
+            if outbox_nonempty == 0 {
+                // Every outbox is empty: the sweep would only walk empty
+                // headers, and the shard `acct_*` fields still hold the
+                // last busy round's already-merged values — skip both the
+                // send passes and the merge below.
+            } else if self.fused {
+                // Fused account+stage: one parallel sweep per source shard
+                // drains each sender's outbox, charging bits, buffering
+                // `Send` events, and moving payloads into the mailboxes /
+                // broadcast lists in the same touch — see
+                // [`Engine::fused_send_shard`].
+                {
+                    let RunStats {
+                        offsets,
+                        directed_edge_bits,
+                        ..
+                    } = &mut stats;
+                    let offsets: &[u32] = offsets;
+                    let bit_windows = split_by_bounds(directed_edge_bits, &slot_bounds);
+                    let ob_windows = split_by_bounds(&mut outboxes, starts);
+                    let bc_windows = split_by_bounds(&mut broadcasts, starts);
+                    let id_base_ref = &id_base;
+                    shards
+                        .par_iter_mut()
+                        .zip(bit_windows.into_par_iter())
+                        .zip(mail.par_iter_mut())
+                        .zip(bcasters.par_iter_mut())
+                        .zip(staged_counts.par_iter_mut())
+                        .zip(ob_windows.into_par_iter())
+                        .zip(bc_windows.into_par_iter())
+                        .for_each(
+                            |((((((shard, ebits), mail_row), bcst), count), obs), bcs)| {
+                                *count = self.fused_send_shard(
+                                    shard,
+                                    obs,
+                                    bcs,
+                                    mail_row,
+                                    bcst,
+                                    offsets,
+                                    rev_port,
+                                    starts,
+                                    ebits,
+                                    round,
+                                    tracing,
+                                    id_base_ref,
+                                );
+                            },
                         );
-                    });
+                }
+                staged = staged_counts.iter().sum();
+            } else {
+                // Reference path, pass 1/3: account only.
+                let t_acct = prof_start(prof_legacy);
+                {
+                    let RunStats {
+                        offsets,
+                        directed_edge_bits,
+                        ..
+                    } = &mut stats;
+                    let offsets: &[u32] = offsets;
+                    let bit_windows = split_by_bounds(directed_edge_bits, &slot_bounds);
+                    let outboxes_ref = &outboxes;
+                    let id_base_ref = &id_base;
+                    shards
+                        .par_iter_mut()
+                        .zip(bit_windows.into_par_iter())
+                        .for_each(|(shard, ebits)| {
+                            self.account_shard(
+                                shard,
+                                outboxes_ref,
+                                offsets,
+                                ebits,
+                                round,
+                                tracing,
+                                id_base_ref,
+                            );
+                        });
+                }
+                prof_record(prof_legacy, Section::Account, t_acct);
             }
             // Merge in shard (= node) order: totals, buffered Send events,
             // and the lowest shard's error. Event buffers of shards past
             // the erroring one are discarded — a sequential scan would
             // never have reached those nodes.
-            let mut acct_err = None;
-            for shard in shards.iter_mut() {
-                stats.total_bits += shard.acct_bits;
-                stats.total_messages += shard.acct_msgs;
-                stats.max_edge_round_bits = stats.max_edge_round_bits.max(shard.acct_max);
-                for ev in shard.acct_events.drain(..) {
-                    rec(ev);
+            if outbox_nonempty > 0 {
+                let mut acct_err = None;
+                for shard in shards.iter_mut() {
+                    stats.total_bits += shard.acct_bits;
+                    stats.total_messages += shard.acct_msgs;
+                    stats.max_edge_round_bits = stats.max_edge_round_bits.max(shard.acct_max);
+                    for ev in shard.acct_events.drain(..) {
+                        rec(ev);
+                    }
+                    if shard.acct_err.is_some() {
+                        acct_err = shard.acct_err.take();
+                        break;
+                    }
                 }
-                if shard.acct_err.is_some() {
-                    acct_err = shard.acct_err.take();
-                    break;
+                if let Some(e) = acct_err {
+                    prof_record(prof_fused, Section::Fused, t_fused);
+                    return Err(e);
                 }
-            }
-            prof_record(prof, Section::Account, t_acct);
-            if let Some(e) = acct_err {
-                return Err(e);
             }
             let round_bits = stats.total_bits - before_bits;
             let round_msgs = stats.total_messages - before_msgs;
@@ -1180,40 +1323,42 @@ impl<'g> Engine<'g> {
             stats.per_round_messages.push(round_msgs);
             stats.rounds = round;
 
-            // Stage this round's sends shard-parallel, draining the
-            // outboxes: unicast payloads move (no copy) into the
-            // per-(src, dst) mailboxes; each broadcast payload is
-            // materialized once behind an `Arc` instead of being cloned
-            // per receiving edge.
-            let t_stage = prof_start(prof);
-            {
-                let offsets: &[u32] = &stats.offsets;
-                let starts_ref = &starts;
-                let rev_port_ref = &rev_port;
-                let ob_windows = split_by_bounds(&mut outboxes, starts);
-                let bc_windows = split_by_bounds(&mut broadcasts, starts);
-                mail.par_iter_mut()
-                    .zip(bcasters.par_iter_mut())
-                    .zip(staged_counts.par_iter_mut())
-                    .zip(ob_windows.into_par_iter())
-                    .zip(bc_windows.into_par_iter())
-                    .enumerate()
-                    .for_each(|(k, ((((mail_row, bcst), count), obs), bcs))| {
-                        *count = stage_shard(
-                            starts_ref[k],
-                            g,
-                            offsets,
-                            rev_port_ref,
-                            starts_ref,
-                            obs,
-                            bcs,
-                            mail_row,
-                            bcst,
-                        );
-                    });
+            if outbox_nonempty > 0 && !self.fused {
+                // Reference path, pass 2/3: stage this round's sends
+                // shard-parallel, draining the outboxes: unicast payloads
+                // move (no copy) into the per-(src, dst) mailboxes; each
+                // broadcast payload is materialized once behind an `Arc`
+                // instead of being cloned per receiving edge.
+                let t_stage = prof_start(prof_legacy);
+                {
+                    let offsets: &[u32] = &stats.offsets;
+                    let starts_ref = &starts;
+                    let rev_port_ref = &rev_port;
+                    let ob_windows = split_by_bounds(&mut outboxes, starts);
+                    let bc_windows = split_by_bounds(&mut broadcasts, starts);
+                    mail.par_iter_mut()
+                        .zip(bcasters.par_iter_mut())
+                        .zip(staged_counts.par_iter_mut())
+                        .zip(ob_windows.into_par_iter())
+                        .zip(bc_windows.into_par_iter())
+                        .enumerate()
+                        .for_each(|(k, ((((mail_row, bcst), count), obs), bcs))| {
+                            *count = stage_shard(
+                                starts_ref[k],
+                                g,
+                                offsets,
+                                rev_port_ref,
+                                starts_ref,
+                                obs,
+                                bcs,
+                                mail_row,
+                                bcst,
+                            );
+                        });
+                }
+                staged = staged_counts.iter().sum();
+                prof_record(prof_legacy, Section::Stage, t_stage);
             }
-            let staged: usize = staged_counts.iter().sum();
-            prof_record(prof, Section::Stage, t_stage);
 
             // Deliver shard-parallel: each destination shard merges its
             // incoming mailboxes (in source shard order), adjudicates every
@@ -1225,21 +1370,27 @@ impl<'g> Engine<'g> {
             // (= node) order, so any collector sees the same stream at any
             // thread count and any shard count.
             let (mut round_dropped, mut round_corrupted) = (0u64, 0u64);
-            let t_deliver = prof_start(prof);
+            let t_deliver = prof_start(prof_legacy);
             if staged == 0 {
                 // All-idle round (nodes computing, nothing in flight):
                 // skip the delivery pass entirely. Nothing was delivered,
-                // so next round's sends have empty deps sets.
-                shards.par_iter_mut().for_each(|shard| {
-                    shard.inbox_data.clear();
-                    for b in shard.inbox_bounds.iter_mut() {
-                        *b = (0, 0);
-                    }
-                    for prev in shard.prev_ids.iter_mut() {
-                        prev.clear();
-                    }
-                });
+                // so next round's sends have empty deps sets. Consecutive
+                // idle rounds skip even the slab reset — the inboxes were
+                // already cleared by the previous idle round.
+                if !inboxes_clear {
+                    shards.par_iter_mut().for_each(|shard| {
+                        shard.inbox_data.clear();
+                        for b in shard.inbox_bounds.iter_mut() {
+                            *b = (0, 0);
+                        }
+                        for prev in shard.prev_ids.iter_mut() {
+                            prev.clear();
+                        }
+                    });
+                    inboxes_clear = true;
+                }
             } else {
+                inboxes_clear = false;
                 // Transpose the mailbox matrix (Vec-header swaps only) so
                 // each destination shard owns its incoming column.
                 for s in 0..nshards {
@@ -1293,7 +1444,8 @@ impl<'g> Engine<'g> {
                     }
                 }
             }
-            prof_record(prof, Section::Deliver, t_deliver);
+            prof_record(prof_legacy, Section::Deliver, t_deliver);
+            prof_record(prof_fused, Section::Fused, t_fused);
             report.dropped += round_dropped;
             report.corrupted += round_corrupted;
             report.dropped_per_round.push(round_dropped);
@@ -1321,22 +1473,36 @@ impl<'g> Engine<'g> {
                     .zip(ctx_windows.into_par_iter())
                     .zip(rng_windows.into_par_iter())
                     .zip(nanos_windows.into_par_iter())
-                    .for_each(|(((((shard, nds), obs), ctxs), rgs), nanos)| {
+                    .zip(refill_counts.par_iter_mut())
+                    .for_each(|((((((shard, nds), obs), ctxs), rgs), nanos), refill)| {
+                        // The send passes drained every outbox, so the
+                        // shard's nonempty count is exactly the nodes whose
+                        // `on_round` returns sends this round.
+                        let mut cnt = 0usize;
                         for (local, node) in nds.iter_mut().enumerate() {
                             let v = shard.start as usize + local;
                             if node.halted() || crashed_ref[v].is_some() {
-                                nanos[local] = u64::MAX;
+                                if timing {
+                                    nanos[local] = u64::MAX;
+                                }
                             } else {
                                 ctxs[local].round = round;
                                 let (b0, b1) = shard.inbox_bounds[local];
                                 let inbox = &shard.inbox_data[b0 as usize..b1 as usize];
                                 let t = span_start(timing);
                                 obs[local] = node.on_round(&ctxs[local], inbox, &mut rgs[local]);
-                                nanos[local] = if timing { span_nanos(t) } else { u64::MAX };
+                                if timing {
+                                    nanos[local] = span_nanos(t);
+                                }
+                                if !obs[local].is_empty() {
+                                    cnt += 1;
+                                }
                             }
                         }
+                        *refill = cnt;
                     });
             }
+            outbox_nonempty = refill_counts.iter().sum();
             prof_record(prof, Section::Compute, t_step);
             if timing {
                 for (v, &nanos) in step_nanos.iter().enumerate() {
@@ -1450,7 +1616,7 @@ impl<'g> Engine<'g> {
                             });
                             return;
                         }
-                        port_bits[*p as usize] += m.bit_size();
+                        port_bits[*p as usize] += m.bit_size() as u64;
                         msgs += 1;
                         if let Some((base, deps)) = &sender_prov {
                             acct_events.push(SimEvent::Send {
@@ -1466,7 +1632,7 @@ impl<'g> Engine<'g> {
                     Outgoing::Broadcast(m) => {
                         let sz = m.bit_size();
                         for pb in port_bits.iter_mut() {
-                            *pb += sz;
+                            *pb += sz as u64;
                         }
                         msgs += deg as u64;
                         if let Some((base, deps)) = &sender_prov {
@@ -1484,23 +1650,214 @@ impl<'g> Engine<'g> {
             }
             for (p, &bits) in port_bits.iter().enumerate() {
                 if let Bandwidth::Bits(limit) = self.bandwidth {
-                    if bits > limit {
+                    if bits > limit as u64 {
                         *acct_err = Some(CongestError::BandwidthExceeded {
                             node: v,
                             port: p,
-                            attempted: bits,
+                            attempted: bits as usize,
                             limit,
                             round,
                         });
                         return;
                     }
                 }
-                edge_bits[offsets[v] as usize + p - slot_base] += bits as u64;
-                *acct_bits += bits as u64;
-                *acct_max = (*acct_max).max(bits);
+                edge_bits[offsets[v] as usize + p - slot_base] += bits;
+                *acct_bits += bits;
+                *acct_max = (*acct_max).max(bits as usize);
             }
             *acct_msgs += msgs;
         }
+    }
+
+    /// The fused account+stage job of one source shard: a single drain of
+    /// each sender's outbox validates the port, charges the bits, buffers
+    /// the `Send` event, and moves the payload into its destination
+    /// mailbox (or the sender's broadcast `Arc` list) — one touch per
+    /// message where the reference path takes two full sweeps.
+    ///
+    /// Bit accounting is word-parallel: broadcast bits accumulate in a
+    /// single `u64` (every port carries the same broadcast load — O(1) per
+    /// broadcast instead of O(degree)), unicast bits in the lazy `u64`
+    /// per-port scratch, and the settlement loop for a broadcast-only
+    /// sender is one limit check plus a vectorizable `+=` over its
+    /// contiguous `directed_edge_bits` window.
+    ///
+    /// Error identity matches the reference path exactly: per-entry errors
+    /// (forbidden unicast, invalid port) fire in outbox order, bandwidth
+    /// violations in port order after the sender's entries, and the `Send`
+    /// events buffered before the error are kept — the caller's in-order
+    /// merge then reproduces the sequential first-error semantics.
+    /// Returns the staged-entry count (unicasts plus broadcasts).
+    #[allow(clippy::too_many_arguments)]
+    fn fused_send_shard<M: BitSize>(
+        &self,
+        shard: &mut Shard<M>,
+        outboxes: &mut [Outbox<M>],
+        bcasts: &mut [Vec<(u32, Arc<M>)>],
+        mail_row: &mut [Mail<M>],
+        bcasters: &mut Vec<u32>,
+        offsets: &[u32],
+        rev_port: &[u32],
+        starts: &[u32],
+        edge_bits: &mut [u64],
+        round: usize,
+        tracing: bool,
+        id_base: &[u64],
+    ) -> usize {
+        let g = self.topology;
+        let limit = match self.bandwidth {
+            Bandwidth::Bits(b) => Some(b as u64),
+            Bandwidth::Unbounded => None,
+        };
+        let Shard {
+            start,
+            slot_base,
+            prev_ids,
+            port_bits,
+            acct_events,
+            acct_bits,
+            acct_msgs,
+            acct_max,
+            acct_err,
+            ..
+        } = shard;
+        *acct_bits = 0;
+        *acct_msgs = 0;
+        *acct_max = 0;
+        *acct_err = None;
+        acct_events.clear();
+        bcasters.clear();
+        let start = *start as usize;
+        let slot_base = *slot_base as usize;
+        let mut staged = 0usize;
+        for (local, outbox) in outboxes.iter_mut().enumerate() {
+            let bc = &mut bcasts[local];
+            bc.clear();
+            if outbox.is_empty() {
+                continue;
+            }
+            let v = start + local;
+            let deg = g.degree(v);
+            let mut bcast_bits = 0u64;
+            let mut have_uni = false;
+            let mut msgs = 0u64;
+            // All of v's sends this round read the same inbox, so they
+            // share one deps set (one Arc per active sender per round).
+            let sender_prov: Option<(u64, Arc<[u64]>)> = if tracing {
+                Some((id_base[v], Arc::from(prev_ids[local].as_slice())))
+            } else {
+                None
+            };
+            for (idx, out) in outbox.drain(..).enumerate() {
+                match out {
+                    Outgoing::Unicast(p, m) => {
+                        if self.broadcast_only {
+                            *acct_err = Some(CongestError::UnicastForbidden { node: v, round });
+                            return staged;
+                        }
+                        let p = p as usize;
+                        if p >= deg {
+                            *acct_err = Some(CongestError::InvalidPort {
+                                node: v,
+                                port: p,
+                                degree: deg,
+                            });
+                            return staged;
+                        }
+                        if !have_uni {
+                            have_uni = true;
+                            port_bits.clear();
+                            port_bits.resize(deg, 0);
+                        }
+                        let sz = m.bit_size();
+                        port_bits[p] += sz as u64;
+                        msgs += 1;
+                        if let Some((base, deps)) = &sender_prov {
+                            acct_events.push(SimEvent::Send {
+                                round,
+                                from: v,
+                                port: p,
+                                bits: sz,
+                                msg_id: base + idx as u64,
+                                deps: Arc::clone(deps),
+                            });
+                        }
+                        let to = g.neighbors(v)[p] as usize;
+                        let to_port = rev_port[offsets[v] as usize + p];
+                        let slot = offsets[to] + to_port;
+                        let dst = shard_of(starts, to as u32);
+                        mail_row[dst].push((to as u32, slot, idx as u32, m));
+                        staged += 1;
+                    }
+                    Outgoing::Broadcast(m) => {
+                        let sz = m.bit_size();
+                        bcast_bits += sz as u64;
+                        msgs += deg as u64;
+                        if let Some((base, deps)) = &sender_prov {
+                            acct_events.push(SimEvent::Send {
+                                round,
+                                from: v,
+                                port: usize::MAX,
+                                bits: sz,
+                                msg_id: base + idx as u64,
+                                deps: Arc::clone(deps),
+                            });
+                        }
+                        bc.push((idx as u32, Arc::new(m)));
+                        staged += 1;
+                    }
+                }
+            }
+            // Settle the sender's bandwidth in port order (a degree-0
+            // sender has no ports, hence nothing to check or charge —
+            // same as the reference path's empty port loop).
+            let ebase = offsets[v] as usize - slot_base;
+            if !have_uni {
+                if deg > 0 {
+                    if let Some(limit) = limit {
+                        if bcast_bits > limit {
+                            *acct_err = Some(CongestError::BandwidthExceeded {
+                                node: v,
+                                port: 0,
+                                attempted: bcast_bits as usize,
+                                limit: limit as usize,
+                                round,
+                            });
+                            return staged;
+                        }
+                    }
+                    for eb in &mut edge_bits[ebase..ebase + deg] {
+                        *eb += bcast_bits;
+                    }
+                    *acct_bits += bcast_bits * deg as u64;
+                    *acct_max = (*acct_max).max(bcast_bits as usize);
+                }
+            } else {
+                for (p, pb) in port_bits.iter().enumerate() {
+                    let total = pb + bcast_bits;
+                    if let Some(limit) = limit {
+                        if total > limit {
+                            *acct_err = Some(CongestError::BandwidthExceeded {
+                                node: v,
+                                port: p,
+                                attempted: total as usize,
+                                limit: limit as usize,
+                                round,
+                            });
+                            return staged;
+                        }
+                    }
+                    edge_bits[ebase + p] += total;
+                    *acct_bits += total;
+                    *acct_max = (*acct_max).max(total as usize);
+                }
+            }
+            *acct_msgs += msgs;
+            if !bc.is_empty() {
+                bcasters.push(v as u32);
+            }
+        }
+        staged
     }
 }
 
@@ -1936,6 +2293,99 @@ mod tests {
             })
             .unwrap();
         assert!(!cut.completed && cut.hit_round_limit());
+    }
+
+    /// Broadcasts once, then idles until a scheduled halt round far in the
+    /// future — but declares itself quiescent from round 1 on, since the
+    /// idle tail neither sends nor changes the decision.
+    struct IdleTail {
+        halt_round: usize,
+        started: bool,
+        done: bool,
+    }
+
+    impl NodeAlgorithm for IdleTail {
+        type Msg = u64;
+
+        fn init(&mut self, ctx: &NodeContext, _rng: &mut ChaCha8Rng) -> Outbox<u64> {
+            vec![Outgoing::Broadcast(ctx.id)]
+        }
+
+        fn on_round(
+            &mut self,
+            ctx: &NodeContext,
+            _inbox: &Inbox<u64>,
+            _rng: &mut ChaCha8Rng,
+        ) -> Outbox<u64> {
+            self.started = true;
+            if ctx.round >= self.halt_round {
+                self.done = true;
+            }
+            Vec::new()
+        }
+
+        fn halted(&self) -> bool {
+            self.done
+        }
+
+        fn quiescent(&self) -> bool {
+            self.started
+        }
+
+        fn decision(&self) -> Decision {
+            Decision::Accept
+        }
+    }
+
+    #[test]
+    fn early_termination_skips_quiescent_tail() {
+        let g = generators::cycle(6);
+        let halt_round = 50;
+        let run_with = |et: bool| {
+            Simulation::on(&g)
+                .bandwidth(Bandwidth::Bits(64))
+                .early_termination(et)
+                .run(|_| IdleTail {
+                    halt_round,
+                    started: false,
+                    done: false,
+                })
+                .unwrap()
+        };
+        let full = run_with(false);
+        let cut = run_with(true);
+        // The full run clock-ticks to the scheduled halt; the terminated
+        // run stops as soon as the network drains (round 1's broadcasts
+        // deliver in round 1; round 2 finds everything idle).
+        assert_eq!(full.stats.rounds, halt_round);
+        assert!(cut.stats.rounds <= 2, "rounds = {}", cut.stats.rounds);
+        // Traffic and decisions are unchanged — only the idle tail went.
+        assert_eq!(cut.decisions, full.decisions);
+        assert_eq!(cut.stats.total_bits, full.stats.total_bits);
+        assert_eq!(cut.stats.total_messages, full.stats.total_messages);
+    }
+
+    #[test]
+    fn early_termination_waits_for_pending_decisions() {
+        // With the default `quiescent` (= halted), early termination can
+        // only fire where the engine would stop anyway: the clock-driven
+        // PingPong run is byte-identical with the flag on.
+        let g = generators::path(2);
+        let run_with = |et: bool| {
+            Simulation::on(&g)
+                .bandwidth(Bandwidth::Bits(32))
+                .early_termination(et)
+                .max_rounds(100)
+                .run(|_| PingPong {
+                    hops_left: 6,
+                    done: false,
+                })
+                .unwrap()
+        };
+        let full = run_with(false);
+        let cut = run_with(true);
+        assert_eq!(cut.stats.rounds, full.stats.rounds);
+        assert_eq!(cut.stats.total_messages, full.stats.total_messages);
     }
 
     #[test]

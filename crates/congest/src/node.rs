@@ -106,6 +106,25 @@ pub trait NodeAlgorithm: Send {
     /// have halted.
     fn halted(&self) -> bool;
 
+    /// Whether this node is *causally quiescent*: given empty inboxes for
+    /// every remaining round, it will never send another message and never
+    /// change its [`Self::decision`] — i.e. the rest of the repetition is
+    /// pure clock-ticking as far as this node is concerned.
+    ///
+    /// A clock-driven node (one that emits or decides at a scheduled future
+    /// round even without input) must return `false` until that schedule is
+    /// exhausted. The default is [`Self::halted`], which is always a sound
+    /// answer.
+    ///
+    /// Only consulted when the engine runs with early termination enabled
+    /// (see `Simulation::early_termination`), where an all-quiescent network
+    /// with nothing in flight short-circuits the remaining rounds. The
+    /// executed-round count (and with it per-round stat/fault series) then
+    /// reflects the truncated run; decisions are unchanged.
+    fn quiescent(&self) -> bool {
+        self.halted()
+    }
+
     /// The node's current output.
     fn decision(&self) -> Decision;
 }

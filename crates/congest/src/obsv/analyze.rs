@@ -673,6 +673,111 @@ pub fn diff(a: &[SimEvent], b: &[SimEvent]) -> Vec<String> {
     out
 }
 
+/// Idle-tail profile of one trace segment: the trailing rounds that
+/// carried no traffic at all — exactly the rounds causal early
+/// termination (see `Simulation::early_termination`) skips when every
+/// node is quiescent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentIdleTail {
+    /// Phase label (`"run"` when the trace has no phase markers).
+    pub phase: String,
+    /// Repetition index from the phase marker (0 when unlabeled).
+    pub repetition: usize,
+    /// Rounds the segment executed (highest `RoundEnd`).
+    pub rounds: usize,
+    /// Last round that sent at least one message (0 if none did).
+    pub last_busy_round: usize,
+    /// `rounds - last_busy_round`: the silent clock-ticking tail.
+    pub idle_tail_rounds: usize,
+}
+
+/// Idle-tail analysis of a whole trace — the early-termination headroom
+/// report: how many executed rounds were pure clock ticks after the last
+/// message of each segment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdleTailSummary {
+    /// One entry per trace segment, in stream order.
+    pub segments: Vec<SegmentIdleTail>,
+    /// Rounds executed across all segments.
+    pub total_rounds: usize,
+    /// Idle trailing rounds across all segments.
+    pub total_idle_tail: usize,
+}
+
+impl IdleTailSummary {
+    /// Fraction of executed rounds spent in idle tails (0.0 when the
+    /// trace has no rounds).
+    pub fn idle_fraction(&self) -> f64 {
+        if self.total_rounds == 0 {
+            0.0
+        } else {
+            self.total_idle_tail as f64 / self.total_rounds as f64
+        }
+    }
+
+    /// A human-readable rendering: one line per segment, then the total.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.segments.is_empty() {
+            out.push_str("no rounds in trace\n");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "{:<12} {:>4} {:>8} {:>10} {:>10}",
+            "phase", "rep", "rounds", "last busy", "idle tail"
+        );
+        for s in &self.segments {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>4} {:>8} {:>10} {:>10}",
+                s.phase, s.repetition, s.rounds, s.last_busy_round, s.idle_tail_rounds
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\ntotal: {} of {} rounds idle ({:.1}%)",
+            self.total_idle_tail,
+            self.total_rounds,
+            100.0 * self.idle_fraction()
+        );
+        out
+    }
+}
+
+/// Measures each segment's idle tail: rounds executed past the last
+/// round with any message traffic. Run on a trace captured *without*
+/// early termination, this quantifies exactly how many rounds the flag
+/// would save on the same workload.
+pub fn idle_tail(events: &[SimEvent]) -> IdleTailSummary {
+    let mut summary = IdleTailSummary::default();
+    for seg in segments(events) {
+        let mut rounds = 0usize;
+        let mut last_busy = 0usize;
+        for ev in seg.events {
+            if let SimEvent::RoundEnd {
+                round, messages, ..
+            } = ev
+            {
+                rounds = rounds.max(*round);
+                if *messages > 0 {
+                    last_busy = last_busy.max(*round);
+                }
+            }
+        }
+        summary.total_rounds += rounds;
+        summary.total_idle_tail += rounds - last_busy;
+        summary.segments.push(SegmentIdleTail {
+            phase: seg.phase,
+            repetition: seg.repetition,
+            rounds,
+            last_busy_round: last_busy,
+            idle_tail_rounds: rounds - last_busy,
+        });
+    }
+    summary
+}
+
 fn totals_line(label: &str, events: &[SimEvent]) -> String {
     let mut sends = 0u64;
     let mut bits = 0u64;
@@ -945,6 +1050,30 @@ mod tests {
         c.truncate(5);
         let d = diff(&a, &c);
         assert!(d[0].contains("lengths differ"), "{d:?}");
+    }
+
+    #[test]
+    fn idle_tail_counts_silent_trailing_rounds() {
+        // Two busy rounds, then three silent clock ticks.
+        let mut events = two_round_chain();
+        for round in 3..=5 {
+            events.push(SimEvent::RoundStart { round });
+            events.push(round_end(round, 0, 0));
+        }
+        let s = idle_tail(&events);
+        assert_eq!(s.segments.len(), 1);
+        assert_eq!(s.segments[0].rounds, 5);
+        assert_eq!(s.segments[0].last_busy_round, 2);
+        assert_eq!(s.segments[0].idle_tail_rounds, 3);
+        assert_eq!(s.total_rounds, 5);
+        assert_eq!(s.total_idle_tail, 3);
+        assert!((s.idle_fraction() - 0.6).abs() < 1e-9);
+        let human = s.render();
+        assert!(human.contains("3 of 5 rounds idle"), "{human}");
+        // A fully busy trace has no tail.
+        let busy = idle_tail(&two_round_chain());
+        assert_eq!(busy.total_idle_tail, 0);
+        assert_eq!(idle_tail(&[]).render(), "no rounds in trace\n");
     }
 
     #[test]

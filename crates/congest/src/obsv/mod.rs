@@ -39,7 +39,8 @@ pub mod profile;
 pub mod report;
 
 pub use analyze::{
-    check, critical_path, diff, heatmap, CriticalPathSummary, PhasePath, SegmentPath,
+    check, critical_path, diff, heatmap, idle_tail, CriticalPathSummary, IdleTailSummary,
+    PhasePath, SegmentIdleTail, SegmentPath,
 };
 pub use collect::{Collector, ComputeTimer, EventLog, Fanout, JsonlTrace, SimEvent};
 pub use metrics::{Histogram, MetricValue, Metrics, MetricsSnapshot};

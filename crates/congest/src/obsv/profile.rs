@@ -22,14 +22,20 @@ use std::time::Instant;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Section {
     /// `engine.rs`: per-round send accounting (bandwidth checks, traffic
-    /// counters, trace emission).
+    /// counters, trace emission). Recorded only on the pre-fusion
+    /// three-pass reference path (`Simulation::fused(false)`).
     Account,
     /// `engine.rs`: `RoundRouter` staging — counting-sort of unicasts into
-    /// the CSR arena and broadcast materialization.
+    /// the CSR arena and broadcast materialization. Pre-fusion path only.
     Stage,
     /// `engine.rs` / `cliquemodel.rs`: delivery — merging staged messages
-    /// into inboxes, fault adjudication included.
+    /// into inboxes, fault adjudication included. On the fused engine path
+    /// only the clique backend records it.
     Deliver,
+    /// `engine.rs`: the fused single-sweep round body (the default path) —
+    /// account + stage in one outbox drain, then transpose + delivery, all
+    /// under one span.
+    Fused,
     /// Both backends: the node-compute section (`init`/`on_round` over all
     /// nodes, parallel schedule included).
     Compute,
@@ -39,10 +45,11 @@ pub enum Section {
 }
 
 /// All sections, in display order.
-pub const SECTIONS: [Section; 5] = [
+pub const SECTIONS: [Section; 6] = [
     Section::Account,
     Section::Stage,
     Section::Deliver,
+    Section::Fused,
     Section::Compute,
     Section::ArqRetransmit,
 ];
@@ -54,6 +61,7 @@ impl Section {
             Section::Account => "account",
             Section::Stage => "stage",
             Section::Deliver => "deliver",
+            Section::Fused => "fused",
             Section::Compute => "compute",
             Section::ArqRetransmit => "arq_retransmit",
         }
@@ -64,8 +72,9 @@ impl Section {
             Section::Account => 0,
             Section::Stage => 1,
             Section::Deliver => 2,
-            Section::Compute => 3,
-            Section::ArqRetransmit => 4,
+            Section::Fused => 3,
+            Section::Compute => 4,
+            Section::ArqRetransmit => 5,
         }
     }
 }
@@ -78,7 +87,7 @@ impl Section {
 /// are recorded once per round (or per node-round), not per message.
 #[derive(Debug, Default)]
 pub struct Profiler {
-    sections: [Mutex<SectionStats>; 5],
+    sections: [Mutex<SectionStats>; 6],
 }
 
 #[derive(Debug, Default)]
@@ -210,11 +219,12 @@ mod tests {
     fn folded_stacks_skip_empty_sections() {
         let p = Profiler::new();
         p.record_nanos(Section::Compute, 42);
+        p.record_nanos(Section::Fused, 9);
         p.record_nanos(Section::ArqRetransmit, 7);
         let folded = p.folded_stacks("congest");
         assert_eq!(
             folded,
-            "congest;engine;compute 42\ncongest;transport;arq_retransmit 7\n"
+            "congest;engine;fused 9\ncongest;engine;compute 42\ncongest;transport;arq_retransmit 7\n"
         );
     }
 

@@ -58,8 +58,12 @@ pub enum RMsg<M> {
         /// Whether this is the sender's final frame on this link (its
         /// inner algorithm halted after producing this bundle).
         fin: bool,
-        /// The bundled inner messages.
-        payload: Vec<M>,
+        /// The bundled inner messages, behind an `Arc` shared with the
+        /// sender's retransmission queue — a retransmitted frame re-sends
+        /// the same allocation instead of deep-copying the bundle. Sound
+        /// because fault corruption only ever flips header bits (see
+        /// [`BitSize::corrupt_bit`] below), never payload contents.
+        payload: Arc<Vec<M>>,
     },
     /// Cumulative + selective acknowledgement for one link.
     Ack {
@@ -250,7 +254,16 @@ struct SendFrame<M> {
     seq: u32,
     fin: bool,
     check: u16,
-    payload: Vec<M>,
+    /// Bundle payload, shared with every transmission of this frame (the
+    /// wire message holds the same `Arc`, so a retransmission is a pointer
+    /// bump, not a deep copy of the bundle).
+    payload: Arc<Vec<M>>,
+    /// Cached wire size of the full frame (`DATA_HEADER_BITS` + payload
+    /// bits), computed once when the frame is queued. The send pass charges
+    /// each (re)transmission against the budget with this one number — one
+    /// accounting touch per link per round instead of a payload walk per
+    /// attempt.
+    bits: usize,
     /// Transmissions so far (0 = queued, never sent).
     attempt: usize,
     /// Round of the first transmission (RTT sampling; Karn's rule — only
@@ -514,11 +527,13 @@ where
         }
         for (p, payload) in bundles.into_iter().enumerate() {
             let check = data_check(seq, fin, &payload);
+            let bits = DATA_HEADER_BITS + payload_bits(&payload);
             self.send[p].frames.push_back(SendFrame {
                 seq,
                 fin,
                 check,
-                payload,
+                payload: Arc::new(payload),
+                bits,
                 attempt: 0,
                 sent_round: 0,
                 expires: 0,
@@ -584,8 +599,7 @@ where
                         if f.seq >= window_end {
                             break;
                         }
-                        let bits = DATA_HEADER_BITS + payload_bits(&f.payload);
-                        if bits > budget {
+                        if f.bits > budget {
                             break;
                         }
                         out.push(Outgoing::Unicast(
@@ -594,10 +608,10 @@ where
                                 seq: f.seq,
                                 check: f.check,
                                 fin: f.fin,
-                                payload: f.payload.clone(),
+                                payload: Arc::clone(&f.payload),
                             },
                         ));
-                        budget -= bits;
+                        budget -= f.bits;
                         f.attempt = 1;
                         f.sent_round = round;
                         f.expires = round + rto(srtt, 1, self.seed, self.node_index, p, f.seq);
@@ -607,18 +621,21 @@ where
                             f.given_up = true;
                             gave_up += 1;
                         } else {
-                            let bits = DATA_HEADER_BITS + payload_bits(&f.payload);
-                            if bits <= budget {
+                            // Catch-up retransmit: charged with the cached
+                            // frame size — no per-attempt payload walk or
+                            // bundle copy even when several expired frames
+                            // on this link go out together.
+                            if f.bits <= budget {
                                 out.push(Outgoing::Unicast(
                                     p as u32,
                                     RMsg::Data {
                                         seq: f.seq,
                                         check: f.check,
                                         fin: f.fin,
-                                        payload: f.payload.clone(),
+                                        payload: Arc::clone(&f.payload),
                                     },
                                 ));
-                                budget -= bits;
+                                budget -= f.bits;
                                 f.attempt += 1;
                                 f.expires = round
                                     + rto(srtt, f.attempt, self.seed, self.node_index, p, f.seq);
@@ -733,7 +750,9 @@ where
                     if *fin {
                         rl.fin_at = Some(rl.fin_at.map_or(*seq, |f| f.min(*seq)));
                     }
-                    rl.buffer.entry(*seq).or_insert_with(|| payload.clone());
+                    rl.buffer
+                        .entry(*seq)
+                        .or_insert_with(|| payload.as_ref().clone());
                     if rl.advance() {
                         rl.consecutive_skips = 0;
                     }
@@ -1242,7 +1261,7 @@ mod tests {
             seq: 1,
             check: 0,
             fin: false,
-            payload: vec![7, 8],
+            payload: Arc::new(vec![7, 8]),
         };
         assert_eq!(data.bit_size(), DATA_HEADER_BITS + 128);
         let ack: RMsg<u64> = RMsg::Ack {
@@ -1254,6 +1273,32 @@ mod tests {
     }
 
     #[test]
+    fn retransmissions_reuse_the_queued_bundle() {
+        // The send pass must charge the cached frame size and re-send the
+        // same payload allocation — a retransmission is an Arc bump, never
+        // a deep copy or a second payload walk.
+        let mut rel = Reliable::new(Gossip::new(2), ReliableConfig::default());
+        rel.send = vec![SendLink::new(2)];
+        rel.recv = vec![RecvLink::new()];
+        rel.retrans_per_port = vec![0];
+        rel.queue(vec![Outgoing::Unicast(0, vec![1u64, 2, 3])], 1, false);
+        let f = &rel.send[0].frames[0];
+        assert_eq!(f.bits, DATA_HEADER_BITS + payload_bits(&f.payload));
+        let queued = Arc::clone(&f.payload);
+        let mut first = Vec::new();
+        rel.pump(0, &mut first);
+        let mut second = Vec::new();
+        rel.pump(100, &mut second); // well past the RTO: forces a retransmit
+        assert_eq!(rel.retransmissions, 1);
+        let sent = |out: &Outbox<RMsg<Vec<u64>>>| match &out[0] {
+            Outgoing::Unicast(0, RMsg::Data { payload, .. }) => Arc::clone(payload),
+            other => panic!("expected a data frame on port 0, got {other:?}"),
+        };
+        assert!(Arc::ptr_eq(&queued, &sent(&first)));
+        assert!(Arc::ptr_eq(&queued, &sent(&second)));
+    }
+
+    #[test]
     fn corrupted_frames_fail_their_checksums() {
         let payload = vec![1u64, 2, 3];
         let check = data_check(4, false, &payload);
@@ -1262,7 +1307,7 @@ mod tests {
                 seq: 4,
                 check,
                 fin: false,
-                payload: payload.clone(),
+                payload: Arc::new(payload.clone()),
             };
             assert!(msg.corrupt_bit(bit));
             match msg {

@@ -283,6 +283,8 @@ struct SimConfig {
     timed: bool,
     profiler: Option<Arc<Profiler>>,
     shards: usize,
+    fused: bool,
+    early_termination: bool,
 }
 
 impl Default for SimConfig {
@@ -300,6 +302,8 @@ impl Default for SimConfig {
             timed: false,
             profiler: None,
             shards: 0,
+            fused: true,
+            early_termination: false,
         }
     }
 }
@@ -324,7 +328,9 @@ impl SimConfig {
             .seed(self.seed)
             .faults(self.faults.clone())
             .broadcast_only(self.broadcast_only)
-            .shards(self.shards);
+            .shards(self.shards)
+            .fused(self.fused)
+            .early_termination(self.early_termination);
         if let Some(p) = plan {
             e = e.with_plan(Arc::clone(p));
         }
@@ -609,6 +615,28 @@ impl<'g> Simulation<'g> {
     /// fault outcomes — is identical at any value.
     pub fn shards(mut self, s: usize) -> Self {
         self.cfg.shards = s;
+        self
+    }
+
+    /// Selects the CONGEST engine's round-body implementation: `true`
+    /// (the default) runs the fused single-sweep pass, `false` the
+    /// pre-fusion three-pass reference. Outcomes are byte-identical either
+    /// way (pinned by the fused-pass referee in `tests/sharding.rs`); the
+    /// reference path exists as that referee's oracle and as the "before"
+    /// side of profiler comparisons.
+    pub fn fused(mut self, on: bool) -> Self {
+        self.cfg.fused = on;
+        self
+    }
+
+    /// Enables causal early termination on the CONGEST engine: once
+    /// nothing is in flight and every live node reports
+    /// [`NodeAlgorithm::quiescent`], the remaining rounds are skipped.
+    /// Decisions are unchanged; executed-round counts (and per-round
+    /// series) reflect the truncated run. Off by default; intended for
+    /// fault-free performance runs.
+    pub fn early_termination(mut self, on: bool) -> Self {
+        self.cfg.early_termination = on;
         self
     }
 
@@ -939,17 +967,38 @@ mod tests {
             .profiler(prof.clone())
             .run(|_| beacon())
             .unwrap();
-        // Every engine section ran at least once (ARQ was not involved).
+        // The default (fused) path times the whole round body under one
+        // span; the three pre-fusion sections stay empty.
+        for key in ["profile.fused_nanos", "profile.compute_nanos"] {
+            assert!(out.metrics.hist(key).is_some(), "missing {key}");
+        }
+        for key in [
+            "profile.account_nanos",
+            "profile.stage_nanos",
+            "profile.deliver_nanos",
+        ] {
+            assert!(out.metrics.hist(key).is_none(), "unexpected {key}");
+        }
+        assert!(out.metrics.hist("profile.arq_retransmit_nanos").is_none());
+        assert!(!prof.folded_stacks("congest").is_empty());
+        // The reference path keeps the original three spans (and records
+        // no fused span).
+        let legacy_prof = Arc::new(Profiler::new());
+        let legacy = Simulation::on(&g)
+            .bandwidth(Bandwidth::Bits(64))
+            .fused(false)
+            .profiler(legacy_prof)
+            .run(|_| beacon())
+            .unwrap();
         for key in [
             "profile.account_nanos",
             "profile.stage_nanos",
             "profile.deliver_nanos",
             "profile.compute_nanos",
         ] {
-            assert!(out.metrics.hist(key).is_some(), "missing {key}");
+            assert!(legacy.metrics.hist(key).is_some(), "missing {key}");
         }
-        assert!(out.metrics.hist("profile.arq_retransmit_nanos").is_none());
-        assert!(!prof.folded_stacks("congest").is_empty());
+        assert!(legacy.metrics.hist("profile.fused_nanos").is_none());
         // Unprofiled runs carry no profile.* entries.
         let plain = Simulation::on(&g)
             .bandwidth(Bandwidth::Bits(64))

@@ -1,12 +1,15 @@
-//! The sharding referee: the sharded round engine must be *byte-identical*
-//! to the 1-shard reference at every shard count.
+//! The sharding and fusion referee: the sharded round engine must be
+//! *byte-identical* to the 1-shard reference at every shard count, and the
+//! fused single-sweep send pass must be byte-identical to the pre-fusion
+//! account → stage → deliver reference.
 //!
-//! The shard count only changes how the account → stage → deliver passes
-//! are parallelized; every observable of a run — per-node inboxes (content
-//! *and* order), the full structured event stream, fault tallies and their
-//! per-round series, and the traffic stats — must not move. check.sh runs
-//! this suite under `RAYON_NUM_THREADS=1` and `=4`, so the matrix covers
-//! shard counts × thread counts.
+//! The shard count only changes how the send passes are parallelized, and
+//! the fusion flag only changes how many sweeps they take; every
+//! observable of a run — per-node inboxes (content *and* order), the full
+//! structured event stream, fault tallies and their per-round series, and
+//! the traffic stats — must not move. check.sh runs this suite under
+//! `RAYON_NUM_THREADS=1` and `=4`, so the matrix covers shard counts ×
+//! thread counts × {fused, pre-fusion}.
 
 use congest::{
     Bandwidth, BitString, CrashStop, Decision, FaultSpec, Inbox, NodeAlgorithm, NodeContext,
@@ -115,7 +118,14 @@ struct Observed {
     crashed: Vec<(usize, usize)>,
 }
 
-fn observe(g: &Graph, seed: u64, rounds: usize, faults: &FaultSpec, shards: usize) -> Observed {
+fn observe(
+    g: &Graph,
+    seed: u64,
+    rounds: usize,
+    faults: &FaultSpec,
+    shards: usize,
+    fused: bool,
+) -> Observed {
     let logs: Vec<NodeLog> = (0..g.n())
         .map(|_| Arc::new(Mutex::new(Vec::new())))
         .collect();
@@ -124,6 +134,7 @@ fn observe(g: &Graph, seed: u64, rounds: usize, faults: &FaultSpec, shards: usiz
         .bandwidth(Bandwidth::Bits(256))
         .seed(seed)
         .shards(shards)
+        .fused(fused)
         .faults(faults.clone())
         .collector_arc(events.clone())
         .max_rounds(rounds + 2)
@@ -174,10 +185,34 @@ proptest! {
             FaultSpec::BitFlip(flip),
             FaultSpec::CrashStop(CrashStop::at(vec![(g.n() / 2, 2)])),
         ]);
-        let reference = observe(&g, seed, rounds, &faults, 1);
+        let reference = observe(&g, seed, rounds, &faults, 1, true);
         for shards in [2usize, 7] {
-            let run = observe(&g, seed, rounds, &faults, shards);
+            let run = observe(&g, seed, rounds, &faults, shards, true);
             prop_assert_eq!(&run, &reference, "shards = {}", shards);
+        }
+    }
+
+    // The fusion referee: the fused single-sweep send pass against the
+    // pre-fusion three-pass reference, across shard counts, under the same
+    // loss + corruption + crash stack. Any divergence in accounting order,
+    // fault adjudication, or delivery interleaving shows up here.
+    #[test]
+    fn fused_run_is_byte_identical_to_prefusion_reference(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        rounds in 1usize..4,
+        loss in 0.0f64..0.5,
+        flip in 0.0f64..0.3,
+    ) {
+        let faults = FaultSpec::Stack(vec![
+            FaultSpec::IndependentLoss(loss),
+            FaultSpec::BitFlip(flip),
+            FaultSpec::CrashStop(CrashStop::at(vec![(g.n() / 2, 2)])),
+        ]);
+        let reference = observe(&g, seed, rounds, &faults, 1, false);
+        for shards in [1usize, 2, 7] {
+            let run = observe(&g, seed, rounds, &faults, shards, true);
+            prop_assert_eq!(&run, &reference, "fused, shards = {}", shards);
         }
     }
 }
@@ -191,9 +226,11 @@ fn shard_matrix_spot_check() {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let g = generators::bounded_degree(n, d, &mut rng);
         for faults in [FaultSpec::None, FaultSpec::IndependentLoss(0.3)] {
-            let reference = observe(&g, 5, 3, &faults, 1);
-            for shards in [2usize, 7, 64, 1000] {
-                let run = observe(&g, 5, 3, &faults, shards);
+            // The pre-fusion single-shard run anchors both referees: the
+            // fused engine must match it at every shard count.
+            let reference = observe(&g, 5, 3, &faults, 1, false);
+            for shards in [1usize, 2, 7, 64, 1000] {
+                let run = observe(&g, 5, 3, &faults, shards, true);
                 assert_eq!(run, reference, "n = {n}, shards = {shards}");
             }
         }

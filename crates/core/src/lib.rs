@@ -35,8 +35,8 @@ pub use clique_detect::{
 pub use detector::{DetectionOutcome, Detector};
 pub use even_cycle::{
     detect_even_cycle, detect_even_cycle_faulty, detect_even_cycle_faulty_observed,
-    detect_even_cycle_observed, EvenCycleConfig, EvenCycleObserver, EvenCycleReport,
-    FaultyEvenCycleReport, Schedule,
+    detect_even_cycle_observed, detect_even_cycle_prepared, prepare_even_cycle, EvenCycleConfig,
+    EvenCycleObserver, EvenCycleReport, FaultyEvenCycleReport, Schedule,
 };
 pub use generic::{detect_gather, detect_local, GenericReport};
 pub use property_testing::{test_triangle_freeness, TesterReport};

@@ -32,7 +32,7 @@ use crate::json::{self, escape};
 use crate::protocol::{
     parse_request, Query, Request, BATCH_SCHEMA, PROTOCOL_VERSION, RESPONSE_SCHEMA,
 };
-use crate::scenario::{execute, prepare_clique, Job};
+use crate::scenario::{execute, prepare_clique, prepare_even_cycle, Job};
 use crate::ScenarioSpec;
 
 /// Cache capacities for a service instance.
@@ -222,7 +222,31 @@ impl Service {
                     .get_or_insert_with(&pkey, || prepare_clique(&graph));
                 (Some(Prepared::clone(&p)), Some(hit))
             }
-            ScenarioSpec::EvenCycle { .. } => (None, None),
+            ScenarioSpec::EvenCycle {
+                k,
+                edge_bound,
+                faults,
+                ..
+            } => {
+                if faults.is_none() {
+                    // The clean-run staging is a pure function of the
+                    // graph plus the topology knobs (k, edge bound) —
+                    // seed and repetition budget ride in per run — so it
+                    // is content-addressed by exactly those. Faulty and
+                    // transport-wrapped runs rebuild their configuration
+                    // per query and stay uncached.
+                    let pkey = match edge_bound {
+                        Some(m) => format!("prepared:evencycle:k{k}:m{m}:{key}"),
+                        None => format!("prepared:evencycle:k{k}:{key}"),
+                    };
+                    let (p, hit) = self
+                        .prepared
+                        .get_or_insert_with(&pkey, || prepare_even_cycle(&graph, *k, *edge_bound));
+                    (Some(Prepared::clone(&p)), Some(hit))
+                } else {
+                    (None, None)
+                }
+            }
         };
         ResolvedQuery {
             id: q.id,

@@ -100,8 +100,10 @@ fn session_batch_summary_proves_the_caches_worked() {
     }
 
     // The summary's counters assert the cache actually skipped the
-    // expensive work: one graph generation and one staged topology for
-    // the whole batch.
+    // expensive work: one graph generation and two staged topologies
+    // (clique, and clean even-cycle) for the whole batch — the 50 clique
+    // queries share one staging, the 25 clean even-cycle queries another;
+    // only the 25 faulty even-cycle queries rebuild per query.
     let summary = json::parse(lines[100]).expect("summary parses");
     assert_eq!(
         summary.get("schema").and_then(|s| s.as_str()),
@@ -112,8 +114,8 @@ fn session_batch_summary_proves_the_caches_worked() {
     let counter = |name: &str| metrics.get(name).and_then(|v| v.as_u64());
     assert_eq!(counter("serve.graph.builds"), Some(1));
     assert_eq!(counter("serve.cache.graph_hits"), Some(99));
-    assert_eq!(counter("serve.prepared.builds"), Some(1));
-    assert_eq!(counter("serve.cache.prepared_hits"), Some(49));
+    assert_eq!(counter("serve.prepared.builds"), Some(2));
+    assert_eq!(counter("serve.cache.prepared_hits"), Some(73));
     assert_eq!(counter("serve.errors"), Some(0));
     assert!(counter("rounds.total").unwrap() > 0);
     assert!(counter("bits.total").unwrap() > 0);

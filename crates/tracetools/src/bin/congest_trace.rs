@@ -22,6 +22,16 @@
 //!   congest-trace diff <a.jsonl> <b.jsonl>
 //!       Structural diff of two traces: first diverging event, length and
 //!       total mismatches. Exit 1 when the traces differ.
+//!   congest-trace idle-tail <trace.jsonl | --canonical>
+//!       Per-segment idle-tail report: rounds each segment kept ticking
+//!       after its last message. Run on a trace recorded *without* early
+//!       termination (the canonical scenario qualifies), this is exactly
+//!       the round count `Simulation::early_termination` saves.
+//!   congest-trace dump --canonical
+//!       Render the canonical planted-C4 even-cycle scenario's trace as
+//!       JSONL on stdout — the producer side of the `diff` gate in
+//!       `scripts/check.sh`, which compares the current engine's canonical
+//!       trace against the committed pre-fusion golden.
 //!   congest-trace profile
 //!       Run the canonical scenarios with the engine self-profiler
 //!       installed; folded stacks on stdout (flamegraph input), summary
@@ -35,6 +45,8 @@ const USAGE: &str = "usage: congest-trace <command> [args]\n\
   critical-path <trace.jsonl | --canonical>\n\
   heatmap <trace.jsonl>\n\
   diff <a.jsonl> <b.jsonl>\n\
+  idle-tail <trace.jsonl | --canonical>\n\
+  dump --canonical\n\
   profile\n";
 
 /// Write to stdout, exiting with the conventional SIGPIPE status (141)
@@ -112,6 +124,20 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 }
                 Ok(ExitCode::FAILURE)
             }
+        }
+        [cmd, source] if cmd == "idle-tail" => {
+            let events = if source == "--canonical" {
+                bench::perf::canonical_fault_free_traced().1
+            } else {
+                load_events(source)?
+            };
+            outp!("{}", congest::obsv::idle_tail(&events).render());
+            Ok(ExitCode::SUCCESS)
+        }
+        [cmd, source] if cmd == "dump" && source == "--canonical" => {
+            let (_, events) = bench::perf::canonical_fault_free_traced();
+            outp!("{}", tracetools::render_jsonl(&events));
+            Ok(ExitCode::SUCCESS)
         }
         [cmd] if cmd == "profile" => {
             let (folded, table) = bench::perf::profile_canonical();

@@ -186,6 +186,18 @@ if [[ "$quick" -eq 0 ]]; then
     echo "==> perf regression smoke gate"
     cargo build --release -p bench --bin perf
     ./target/release/perf --check --smoke --tolerance 60 || status=1
+
+    # Budgeted E3-scale smoke: the n = 10^6 trajectory must be walkable
+    # under a small wall-clock budget — the sweep doubles n from 10^4 and
+    # must complete at least its first size without error.
+    echo "==> budgeted e3_scale smoke (8s budget)"
+    budget_out="$(./target/release/perf --e3-budget-secs 8)" || status=1
+    if [[ -z "$budget_out" ]]; then
+        echo "error: e3 budget sweep produced no entries" >&2
+        status=1
+    else
+        echo "$budget_out" | sed 's/^/    /'
+    fi
 fi
 
 # Trace-toolkit gates: the committed golden run reports must satisfy the
@@ -198,6 +210,22 @@ if [[ "$quick" -eq 0 ]]; then
     for golden in tests/golden/run_report_*.json; do
         ./target/release/congest-trace check "$golden" || status=1
     done
+
+    # Fusion trace gate: the fused engine's canonical trace must be
+    # byte-identical to the committed PRE-fusion golden — the strongest
+    # cross-checkable statement that the fused single-sweep send pass
+    # changed nothing observable.
+    echo "==> fused-engine trace diff against the pre-fusion golden"
+    fused_trace="$(mktemp)"
+    ./target/release/congest-trace dump --canonical > "$fused_trace"
+    if ./target/release/congest-trace diff "$fused_trace" \
+        tests/golden/prefusion_canonical_trace.jsonl; then
+        echo "    fused canonical trace byte-identical to the pre-fusion golden"
+    else
+        echo "error: fused engine trace drifted from the pre-fusion golden" >&2
+        status=1
+    fi
+    rm -f "$fused_trace"
 
     echo "==> critical-path determinism gate (RAYON_NUM_THREADS=1 vs 4)"
     cp1="$(mktemp)" cp4="$(mktemp)"
