@@ -141,11 +141,22 @@ fn run_check(args: &[String]) -> ! {
         outcome.checked,
         if outcome.checked == 1 { "y" } else { "ies" }
     );
-    if outcome.passed() {
+    // The recorder-overhead A/B is self-contained (both arms are in the
+    // current run), so it rides every --check regardless of baseline age.
+    let overhead = perf::recorder_overhead_gate(&current, 5.0);
+    for note in &overhead.skipped {
+        eprintln!("==> perf gate: skipped {note}");
+    }
+    eprintln!(
+        "==> perf gate: {} recorder-overhead pair{} checked (limit +5%)",
+        overhead.checked,
+        if overhead.checked == 1 { "" } else { "s" }
+    );
+    if outcome.passed() && overhead.passed() {
         eprintln!("==> perf gate: PASS");
         std::process::exit(0);
     }
-    for f in &outcome.failures {
+    for f in outcome.failures.iter().chain(&overhead.failures) {
         eprintln!("==> perf gate: REGRESSION {f}");
     }
     std::process::exit(1);

@@ -44,6 +44,23 @@ pub fn e1_even_cycle_tuned(
     fused: bool,
     early_termination: bool,
 ) -> Vec<E1Row> {
+    e1_even_cycle_instrumented(k, sizes, reps, seed, fused, early_termination, None)
+}
+
+/// [`e1_even_cycle_tuned`] with an optional observer riding the detector
+/// runs. This is the flight-recorder on/off A/B lever behind the perf
+/// `e1_flight` entry: an observer carrying a [`congest::FlightRecorder`]
+/// streams every event past the always-on telemetry path, while `None` is
+/// the bare production run — same instances, same seeds, same decisions.
+pub fn e1_even_cycle_instrumented(
+    k: usize,
+    sizes: &[usize],
+    reps: usize,
+    seed: u64,
+    fused: bool,
+    early_termination: bool,
+    obs: Option<&detection::EvenCycleObserver>,
+) -> Vec<E1Row> {
     sizes
         .iter()
         .map(|&n| {
@@ -55,7 +72,10 @@ pub fn e1_even_cycle_tuned(
                 .seed(seed)
                 .fused(fused)
                 .early_termination(early_termination);
-            let rep = detection::detect_even_cycle(&g, cfg).expect("engine");
+            let rep = match obs {
+                Some(o) => detection::detect_even_cycle_observed(&g, cfg, o).expect("engine"),
+                None => detection::detect_even_cycle(&g, cfg).expect("engine"),
+            };
             let cyc = generators::cycle(2 * k);
             let baseline = detection::detect_gather(&g, &cyc).expect("engine");
             E1Row {

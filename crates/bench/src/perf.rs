@@ -15,7 +15,10 @@
 //! workloads at the *current* thread count and serialize entries.
 
 use crate::experiments as exp;
-use congest::{EventLog, FaultSpec, Profiler, ReliableConfig, RunReport, SimEvent};
+use congest::{
+    EventLog, FaultSpec, FlightConfig, FlightRecorder, Profiler, ReliableConfig, RunReport,
+    SimEvent,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
@@ -26,9 +29,11 @@ use subgraph_detection as detection;
 pub const PERF_REPORT_SCHEMA: &str = "congest.perf_report";
 /// Version of the perf-baseline document layout. v2 added the optional
 /// `shards` and `peak_rss_kb` columns (E3-scale entries); v3 added the
-/// optional `p99_ms` column (serve-QPS entries). Older documents still
-/// parse — the new fields default to 0/absent.
-pub const PERF_REPORT_VERSION: u32 = 3;
+/// optional `p99_ms` column (serve-QPS entries); v4 added the optional
+/// `recorder` flag (the flight-recorder on/off A/B pair `e1_flight` /
+/// `e1_even_cycle`). Older documents still parse — the new fields default
+/// to 0/absent.
+pub const PERF_REPORT_VERSION: u32 = 4;
 
 /// One timed workload: `experiment` at size `n` took `wall_ms` on a pool of
 /// `threads` lanes.
@@ -62,6 +67,11 @@ pub struct PerfEntry {
     /// `n / (wall_ms / 1000)` queries/sec *at* this tail latency — the
     /// regression gate compares both.
     pub p99_ms: f64,
+    /// Whether a production-config flight recorder rode the run (v4
+    /// column; the `e1_flight` entry). Paired with the bare
+    /// `e1_even_cycle` entry at the same `(n, threads)`, this is the
+    /// recorder-overhead A/B the [`recorder_overhead_gate`] checks.
+    pub recorder: bool,
 }
 
 impl PerfEntry {
@@ -89,8 +99,13 @@ impl PerfEntry {
         } else {
             String::new()
         };
+        let recorder = if self.recorder {
+            r#","recorder":true"#
+        } else {
+            ""
+        };
         format!(
-            r#"{{"experiment":"{}","n":{},"wall_ms":{:.3},"threads":{}{flag}{shards}{rss}{p99}}}"#,
+            r#"{{"experiment":"{}","n":{},"wall_ms":{:.3},"threads":{}{flag}{shards}{rss}{p99}{recorder}}}"#,
             self.experiment, self.n, self.wall_ms, self.threads
         )
     }
@@ -231,6 +246,7 @@ pub fn serve_qps_workload(queries: usize) -> PerfEntry {
         shards: 0,
         peak_rss_kb: 0,
         p99_ms,
+        recorder: false,
     }
 }
 
@@ -258,6 +274,7 @@ fn run_sized_workloads(
             shards: 0,
             peak_rss_kb: 0,
             p99_ms: 0.0,
+            recorder: false,
         });
     }
     // Engine-tuning A/B at the largest E1 size: the pre-fusion three-pass
@@ -280,8 +297,30 @@ fn run_sized_workloads(
                 shards: 0,
                 peak_rss_kb: 0,
                 p99_ms: 0.0,
+                recorder: false,
             });
         }
+        // Flight-recorder A/B at the same size: the production workload
+        // with an always-on-config recorder riding every phase run. The
+        // bare `e1_even_cycle` entry above is the other arm;
+        // `recorder_overhead_gate` holds their gap to a few percent.
+        let wall_ms = min_wall_ms(|| {
+            let rec = Arc::new(FlightRecorder::new(FlightConfig::default()));
+            let obs = detection::EvenCycleObserver::collecting(rec);
+            let rows = exp::e1_even_cycle_instrumented(2, &[n], 1, 42, true, true, Some(&obs));
+            assert_eq!(rows.len(), 1);
+        });
+        entries.push(PerfEntry {
+            experiment: "e1_flight".into(),
+            n,
+            wall_ms,
+            threads,
+            oversubscribed,
+            shards: 0,
+            peak_rss_kb: 0,
+            p99_ms: 0.0,
+            recorder: true,
+        });
     }
     for &nc in e2_sizes {
         let wall_ms = min_wall_ms(|| {
@@ -297,6 +336,7 @@ fn run_sized_workloads(
             shards: 0,
             peak_rss_kb: 0,
             p99_ms: 0.0,
+            recorder: false,
         });
     }
     for &q in serve_sizes {
@@ -325,6 +365,7 @@ fn run_sized_workloads(
             shards: threads.min(n.max(1)),
             peak_rss_kb: peak_rss_kb(),
             p99_ms: 0.0,
+            recorder: false,
         });
     }
     entries
@@ -365,6 +406,7 @@ pub fn e3_budget_entries(budget_secs: f64, start_n: usize, cap_n: usize) -> Vec<
             shards: threads.min(n.max(1)),
             peak_rss_kb: peak_rss_kb(),
             p99_ms: 0.0,
+            recorder: false,
         });
         worst_ms_per_node = worst_ms_per_node.max(wall_ms / n as f64);
         n *= 2;
@@ -413,6 +455,51 @@ pub fn canonical_fault_free_traced() -> (RunReport, Vec<SimEvent>) {
 /// The canonical fault-free run report (see [`canonical_fault_free_traced`]).
 pub fn canonical_fault_free_report() -> RunReport {
     canonical_fault_free_traced().0
+}
+
+/// The canonical flight-recorder scenario: the fault-free planted-`C_4`
+/// detector run with a small-capacity [`FlightRecorder`] installed (4-round
+/// ring, 64 events per round, 32-slot reservoir, top-4 sketches) and the
+/// dump rendered. Small caps on purpose — the scenario exercises both ring
+/// eviction and reservoir replacement, and the golden stays reviewable.
+/// Byte-identical at any shards × threads (`tests/golden/flight_record.jsonl`).
+pub fn canonical_flight_record() -> String {
+    let (g, cfg) = canonical_fault_free_scenario();
+    let rec = Arc::new(FlightRecorder::new(FlightConfig {
+        ring_rounds: 4,
+        ring_events_per_round: 64,
+        sample_capacity: 32,
+        top_k: 4,
+        ..FlightConfig::default()
+    }));
+    let obs = detection::EvenCycleObserver::collecting(Arc::clone(&rec));
+    detection::detect_even_cycle_observed(&g, cfg, &obs).expect("detector run failed");
+    rec.dump()
+}
+
+/// The EXPERIMENTS.md walkthrough scenario: the E3-scale instance (the
+/// streaming degree-4 planted-`C_4` graph at `n`) run through the
+/// Theorem 1.1 detector under 20 % independent message loss, with a
+/// default-capacity [`FlightRecorder`] riding along, rendered as a dump.
+/// The black box of a *faulty* census-size run: the ring retains the last
+/// rounds before the run ended, the sketches name the hottest edges and
+/// senders, and the totals carry the loss tally. Deterministic for any
+/// thread count (`congest-trace dump --flight-faulty [n]` is the CLI
+/// entry; n = 10^5 is the documented walkthrough size).
+pub fn faulty_flight_record(n: usize) -> String {
+    let g = exp::scale_graph(n, 42);
+    let cfg = detection::EvenCycleConfig::new(2).repetitions(1).seed(42);
+    let rec = Arc::new(FlightRecorder::new(FlightConfig::default()));
+    let obs = detection::EvenCycleObserver::collecting(Arc::clone(&rec));
+    detection::detect_even_cycle_faulty_observed(
+        &g,
+        cfg,
+        &FaultSpec::IndependentLoss(0.2),
+        None,
+        &obs,
+    )
+    .expect("faulty detector run failed");
+    rec.dump()
 }
 
 /// The canonical faulty observability scenario: the same detector behind
@@ -554,6 +641,7 @@ pub fn parse_entries(doc: &str) -> Vec<PerfEntry> {
                 p99_ms: json_field(l, "p99_ms")
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(0.0),
+                recorder: json_field(l, "recorder") == Some("true"),
             })
         })
         .collect()
@@ -645,6 +733,41 @@ pub fn regression_gate(
     out
 }
 
+/// Wall-clock deltas below this are timer noise, not recorder cost: the
+/// min-over-reps estimator still jitters by a few hundred µs on a loaded
+/// host, so percentage gates only fire once the absolute gap clears it.
+pub const RECORDER_NOISE_FLOOR_MS: f64 = 0.5;
+
+/// The flight-recorder overhead check: for every `(n, threads)` with both
+/// an `e1_flight` and a bare `e1_even_cycle` entry *in the same report*,
+/// the recorder arm must cost at most `max_pct` percent over the bare arm
+/// (absolute gaps under [`RECORDER_NOISE_FLOOR_MS`] always pass). The two
+/// arms come from the same process minutes apart, so no baseline document
+/// or host matching is involved — the A/B is self-contained.
+pub fn recorder_overhead_gate(entries: &[PerfEntry], max_pct: f64) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    for flight in entries.iter().filter(|e| e.experiment == "e1_flight") {
+        let tag = format!("e1_flight n={} threads={}", flight.n, flight.threads);
+        let Some(bare) = entries.iter().find(|b| {
+            b.experiment == "e1_even_cycle" && b.n == flight.n && b.threads == flight.threads
+        }) else {
+            out.skipped.push(format!("{tag}: no bare e1 arm to compare"));
+            continue;
+        };
+        out.checked += 1;
+        let delta = flight.wall_ms - bare.wall_ms;
+        let limit = bare.wall_ms * max_pct / 100.0;
+        if delta > RECORDER_NOISE_FLOOR_MS && delta > limit {
+            out.failures.push(format!(
+                "{tag}: recorder overhead {delta:.3} ms over {:.3} ms bare (+{:.1}%, limit +{max_pct}%)",
+                bare.wall_ms,
+                100.0 * delta / bare.wall_ms
+            ));
+        }
+    }
+    out
+}
+
 /// Per-workload speedup lines relative to the 1-thread entries.
 /// Oversubscribed entries are reported as skipped rather than folded into
 /// a meaningless "speedup".
@@ -709,6 +832,7 @@ mod tests {
             shards: 0,
             peak_rss_kb: 0,
             p99_ms: 0.0,
+            recorder: false,
         }
     }
 
@@ -729,7 +853,7 @@ mod tests {
         assert!(doc.contains(r#""threads":4,"oversubscribed":true"#));
         assert!(doc.contains(r#""host_cpus": 4"#));
         assert!(doc.contains(r#""schema": "congest.perf_report""#));
-        assert!(doc.contains(r#""version": 3"#));
+        assert!(doc.contains(r#""version": 4"#));
         // Balanced braces/brackets, trailing newline — cheap well-formedness.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
@@ -808,6 +932,59 @@ mod tests {
         assert!(gate.failures[0].contains("p99"));
         let ok = regression_gate(&doc, &[serve], 1, 20.0);
         assert!(ok.passed());
+    }
+
+    #[test]
+    fn recorder_column_round_trips_and_is_absent_when_off() {
+        let flight = PerfEntry {
+            recorder: true,
+            ..entry("e1_flight", 512, 105.0, 1)
+        };
+        let json = flight.to_json();
+        assert!(json.contains(r#""recorder":true"#));
+        let bare = entry("e1_even_cycle", 512, 100.0, 1).to_json();
+        assert!(!bare.contains("recorder"), "absent when off");
+        let doc = render_report("2026-08-09", 1, &[json, bare]);
+        let parsed = parse_entries(&doc);
+        assert_eq!(parsed[0], flight);
+        assert!(!parsed[1].recorder);
+    }
+
+    #[test]
+    fn recorder_overhead_gate_pairs_arms_and_applies_the_floor() {
+        let pair = |bare_ms: f64, flight_ms: f64| {
+            vec![
+                entry("e1_even_cycle", 512, bare_ms, 1),
+                PerfEntry {
+                    recorder: true,
+                    ..entry("e1_flight", 512, flight_ms, 1)
+                },
+            ]
+        };
+        // 3% over: passes a 5% gate.
+        let ok = recorder_overhead_gate(&pair(100.0, 103.0), 5.0);
+        assert!(ok.passed());
+        assert_eq!(ok.checked, 1);
+        // 10% over: fails.
+        let bad = recorder_overhead_gate(&pair(100.0, 110.0), 5.0);
+        assert!(!bad.passed());
+        assert!(bad.failures[0].contains("e1_flight n=512"));
+        // Sub-floor absolute gap passes even at a huge percentage — 0.4 ms
+        // over a 1 ms run is timer noise, not recorder cost.
+        let tiny = recorder_overhead_gate(&pair(1.0, 1.4), 5.0);
+        assert!(tiny.passed());
+        // Unpaired flight entry (different thread count): skipped.
+        let unpaired = vec![
+            entry("e1_even_cycle", 512, 100.0, 4),
+            PerfEntry {
+                recorder: true,
+                ..entry("e1_flight", 512, 200.0, 1)
+            },
+        ];
+        let skip = recorder_overhead_gate(&unpaired, 5.0);
+        assert!(skip.passed());
+        assert_eq!(skip.checked, 0);
+        assert!(skip.skipped[0].contains("no bare e1 arm"));
     }
 
     #[test]

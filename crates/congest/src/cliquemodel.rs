@@ -205,6 +205,10 @@ impl<'g> CliqueEngine<'g> {
         let collector = self.collector.as_deref();
         let tracing = collector.is_some();
         let timing = collector.is_some_and(Collector::wants_compute_spans);
+        // Mirrors `engine.rs`: deps construction is skipped when no
+        // collector asks for provenance; ids and events keep flowing.
+        let provenance = collector.is_some_and(Collector::wants_provenance);
+        let empty_deps: Arc<[u64]> = Arc::from([]);
         let prof = self.profiler.as_deref();
         let rec = |ev: SimEvent| {
             if let Some(c) = collector {
@@ -287,7 +291,7 @@ impl<'g> CliqueEngine<'g> {
         // the deps stamped on this round's sends.
         let mut next_msg_id: u64 = 0;
         let mut id_base: Vec<u64> = Vec::new();
-        let mut prev_delivered: Vec<Vec<u64>> = if tracing {
+        let mut prev_delivered: Vec<Vec<u64>> = if provenance {
             (0..n).map(|_| Vec::new()).collect()
         } else {
             Vec::new()
@@ -324,7 +328,11 @@ impl<'g> CliqueEngine<'g> {
                     continue;
                 }
                 let sender_deps: Option<Arc<[u64]>> = if tracing {
-                    Some(Arc::from(prev_delivered[from].as_slice()))
+                    if provenance {
+                        Some(Arc::from(prev_delivered[from].as_slice()))
+                    } else {
+                        Some(Arc::clone(&empty_deps))
+                    }
                 } else {
                     None
                 };
@@ -400,7 +408,7 @@ impl<'g> CliqueEngine<'g> {
             for inbox in inboxes.iter_mut() {
                 inbox.clear();
             }
-            if tracing {
+            if provenance {
                 for d in cur_delivered.iter_mut() {
                     d.clear();
                 }
@@ -421,12 +429,14 @@ impl<'g> CliqueEngine<'g> {
                             bits: m.bit_size(),
                             msg_id,
                         });
-                        cur_delivered[to].push(msg_id);
+                        if provenance {
+                            cur_delivered[to].push(msg_id);
+                        }
                     }
                     inboxes[to].push((from as u32, m));
                 }
             }
-            if tracing {
+            if provenance {
                 std::mem::swap(&mut prev_delivered, &mut cur_delivered);
             }
             prof_record(prof, Section::Deliver, t_deliver);

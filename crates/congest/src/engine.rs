@@ -112,11 +112,11 @@ struct Shard<M> {
     /// Delivery events buffered in local receiver order; drained
     /// sequentially in shard order (= node order) after the parallel pass.
     events: Vec<SimEvent>,
-    /// Ids delivered to each local node last round (tracing only) — the
-    /// `deps` set of its sends this round.
+    /// Ids delivered to each local node last round (provenance-tracing
+    /// only) — the `deps` set of its sends this round.
     prev_ids: Vec<Vec<u64>>,
-    /// Ids delivered this round (tracing only); swapped into `prev_ids`
-    /// at the end of the delivery pass.
+    /// Ids delivered this round (provenance-tracing only); swapped into
+    /// `prev_ids` at the end of the delivery pass.
     cur_ids: Vec<Vec<u64>>,
     /// Accounting scratch: per-port *unicast* bit sums of the sender being
     /// accounted, in `u64` words. Broadcast bits are batched separately in
@@ -146,7 +146,7 @@ enum StagedMsg<'a, M> {
 }
 
 impl<M> Shard<M> {
-    fn new(start: u32, end: u32, slot_base: u32, slot_end: u32, tracing: bool) -> Self {
+    fn new(start: u32, end: u32, slot_base: u32, slot_end: u32, provenance: bool) -> Self {
         let len = (end - start) as usize;
         let nslots = (slot_end - slot_base) as usize;
         Shard {
@@ -169,12 +169,12 @@ impl<M> Shard<M> {
             dropped: 0,
             corrupted: 0,
             events: Vec::new(),
-            prev_ids: if tracing {
+            prev_ids: if provenance {
                 vec![Vec::new(); len]
             } else {
                 Vec::new()
             },
-            cur_ids: if tracing {
+            cur_ids: if provenance {
                 vec![Vec::new(); len]
             } else {
                 Vec::new()
@@ -330,6 +330,7 @@ fn deliver_shard<M: BitSize + Clone>(
     crashed: &[Option<usize>],
     id_base: &[u64],
     tracing: bool,
+    provenance: bool,
     round: usize,
     seed: u64,
 ) {
@@ -399,7 +400,7 @@ fn deliver_shard<M: BitSize + Clone>(
     for local in 0..(end - start) as usize {
         let v = start as usize + local;
         let bstart = inbox_data.len() as u32;
-        if tracing {
+        if provenance {
             cur_ids[local].clear();
         }
         if active[local] == ep {
@@ -463,8 +464,10 @@ fn deliver_shard<M: BitSize + Clone>(
                             };
                             inbox_data.push((p as u32, payload));
                             *delivered += 1;
-                            if tracing {
+                            if provenance {
                                 cur_ids[local].push(msg_id);
+                            }
+                            if tracing {
                                 events.push(SimEvent::Deliver {
                                     round,
                                     from: u,
@@ -522,7 +525,7 @@ fn deliver_shard<M: BitSize + Clone>(
                             }
                             // Either way the payload reached the algorithm,
                             // so it enters the receiver's causal deps.
-                            if tracing {
+                            if provenance {
                                 cur_ids[local].push(msg_id);
                             }
                             inbox_data.push((p as u32, Payload::Owned(damaged)));
@@ -532,7 +535,7 @@ fn deliver_shard<M: BitSize + Clone>(
             }
         }
         inbox_bounds[local] = (bstart, inbox_data.len() as u32);
-        if tracing {
+        if provenance {
             // This round's deliveries become the node's deps next round.
             std::mem::swap(&mut prev_ids[local], &mut cur_ids[local]);
         }
@@ -993,6 +996,13 @@ impl<'g> Engine<'g> {
         let collector = self.collector.as_deref();
         let tracing = collector.is_some();
         let timing = collector.is_some_and(Collector::wants_compute_spans);
+        // Provenance (per-send `deps` sets) is the expensive half of
+        // tracing: per-delivery id bookkeeping plus one `Arc<[u64]>` per
+        // active sender per round. Bounded streaming collectors (the
+        // flight recorder) decline it, so sends then carry this one shared
+        // empty set while ids and every event keep flowing.
+        let provenance = collector.is_some_and(Collector::wants_provenance);
+        let empty_deps: Arc<[u64]> = Arc::from([]);
         let rec = |ev: SimEvent| {
             if let Some(c) = collector {
                 c.record(&ev);
@@ -1105,7 +1115,7 @@ impl<'g> Engine<'g> {
                     starts[k + 1],
                     slot_bounds[k],
                     slot_bounds[k + 1],
-                    tracing,
+                    provenance,
                 )
             })
             .collect();
@@ -1236,6 +1246,7 @@ impl<'g> Engine<'g> {
                     let ob_windows = split_by_bounds(&mut outboxes, starts);
                     let bc_windows = split_by_bounds(&mut broadcasts, starts);
                     let id_base_ref = &id_base;
+                    let empty_deps_ref = &empty_deps;
                     shards
                         .par_iter_mut()
                         .zip(bit_windows.into_par_iter())
@@ -1258,6 +1269,8 @@ impl<'g> Engine<'g> {
                                     ebits,
                                     round,
                                     tracing,
+                                    provenance,
+                                    empty_deps_ref,
                                     id_base_ref,
                                 );
                             },
@@ -1277,6 +1290,7 @@ impl<'g> Engine<'g> {
                     let bit_windows = split_by_bounds(directed_edge_bits, &slot_bounds);
                     let outboxes_ref = &outboxes;
                     let id_base_ref = &id_base;
+                    let empty_deps_ref = &empty_deps;
                     shards
                         .par_iter_mut()
                         .zip(bit_windows.into_par_iter())
@@ -1288,6 +1302,8 @@ impl<'g> Engine<'g> {
                                 ebits,
                                 round,
                                 tracing,
+                                provenance,
+                                empty_deps_ref,
                                 id_base_ref,
                             );
                         });
@@ -1422,6 +1438,7 @@ impl<'g> Engine<'g> {
                                 crashed_ref,
                                 id_base_ref,
                                 tracing,
+                                provenance,
                                 round,
                                 self.seed,
                             );
@@ -1559,6 +1576,8 @@ impl<'g> Engine<'g> {
         edge_bits: &mut [u64],
         round: usize,
         tracing: bool,
+        provenance: bool,
+        empty_deps: &Arc<[u64]>,
         id_base: &[u64],
     ) {
         let g = self.topology;
@@ -1595,9 +1614,15 @@ impl<'g> Engine<'g> {
             port_bits.resize(deg, 0);
             let mut msgs = 0u64;
             // All of v's sends this round read the same inbox, so they
-            // share one deps set (one Arc per active sender per round).
+            // share one deps set (one Arc per active sender per round);
+            // without provenance every send shares the one empty set.
             let sender_prov: Option<(u64, Arc<[u64]>)> = if tracing {
-                Some((id_base[v], Arc::from(prev_ids[local].as_slice())))
+                let deps = if provenance {
+                    Arc::from(prev_ids[local].as_slice())
+                } else {
+                    Arc::clone(empty_deps)
+                };
+                Some((id_base[v], deps))
             } else {
                 None
             };
@@ -1702,6 +1727,8 @@ impl<'g> Engine<'g> {
         edge_bits: &mut [u64],
         round: usize,
         tracing: bool,
+        provenance: bool,
+        empty_deps: &Arc<[u64]>,
         id_base: &[u64],
     ) -> usize {
         let g = self.topology;
@@ -1742,9 +1769,15 @@ impl<'g> Engine<'g> {
             let mut have_uni = false;
             let mut msgs = 0u64;
             // All of v's sends this round read the same inbox, so they
-            // share one deps set (one Arc per active sender per round).
+            // share one deps set (one Arc per active sender per round);
+            // without provenance every send shares the one empty set.
             let sender_prov: Option<(u64, Arc<[u64]>)> = if tracing {
-                Some((id_base[v], Arc::from(prev_ids[local].as_slice())))
+                let deps = if provenance {
+                    Arc::from(prev_ids[local].as_slice())
+                } else {
+                    Arc::clone(empty_deps)
+                };
+                Some((id_base[v], deps))
             } else {
                 None
             };

@@ -183,6 +183,26 @@ pub trait Collector: Send + Sync {
     fn wants_compute_spans(&self) -> bool {
         false
     }
+
+    /// Whether this collector needs causal provenance — the `deps` sets on
+    /// [`SimEvent::Send`]. Building them costs per-delivery id bookkeeping
+    /// plus one `Arc<[u64]>` allocation per sender per round, so engines
+    /// skip the work when no installed collector asks: sends then carry an
+    /// empty `deps` (message ids are still assigned). Defaults to `true` —
+    /// the full-trace collectors feed [`crate::obsv::analyze`], whose
+    /// critical-path walk is provenance-driven. Bounded streaming
+    /// collectors ([`crate::obsv::flight::FlightRecorder`]) opt out.
+    fn wants_provenance(&self) -> bool {
+        true
+    }
+
+    /// Events this collector discarded to honor a capacity bound. The
+    /// simulation folds a non-zero total into the run metrics as
+    /// `trace.dropped_events`, so truncation is reported instead of
+    /// silent. Defaults to 0 (unbounded or non-buffering collectors).
+    fn dropped_events(&self) -> u64 {
+        0
+    }
 }
 
 /// Broadcasts every event to several collectors.
@@ -200,6 +220,14 @@ impl Collector for Fanout {
 
     fn wants_compute_spans(&self) -> bool {
         self.0.iter().any(|c| c.wants_compute_spans())
+    }
+
+    fn wants_provenance(&self) -> bool {
+        self.0.iter().any(|c| c.wants_provenance())
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.0.iter().map(|c| c.dropped_events()).sum()
     }
 }
 
@@ -438,6 +466,10 @@ impl Collector for JsonlTrace {
     fn wants_compute_spans(&self) -> bool {
         self.spans
     }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped()
+    }
 }
 
 /// Accumulates [`SimEvent::NodeCompute`] spans into a histogram — the
@@ -469,6 +501,12 @@ impl Collector for ComputeTimer {
 
     fn wants_compute_spans(&self) -> bool {
         true
+    }
+
+    // Only consumes compute spans — never make `timed(true)` alone pay for
+    // provenance construction.
+    fn wants_provenance(&self) -> bool {
+        false
     }
 }
 

@@ -91,6 +91,29 @@ impl Histogram {
         }
     }
 
+    /// An upper bound on the `q`-quantile (`0.0 < q <= 1.0`): the
+    /// inclusive upper edge of the power-of-two bucket holding the sample
+    /// of that rank, clamped to the observed max. Exact to within one
+    /// bucket — good enough for a `p99` line, with no per-sample storage.
+    /// Returns 0 when the histogram is empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, c) in self.buckets() {
+            seen += c;
+            if seen >= rank {
+                // Bucket `b` spans `[2^(b-1), 2^b)`; its inclusive upper
+                // edge is `2^b - 1` (bucket 0 holds exact zeros).
+                let edge = if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
+                return edge.min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// `(bit_length, count)` pairs for the non-empty buckets, ascending.
     pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
         self.buckets
@@ -324,6 +347,46 @@ impl MetricsSnapshot {
         self.entries.is_empty()
     }
 
+    /// The snapshot in Prometheus text-exposition format: a `# TYPE` line
+    /// per metric, dotted names flattened to underscores, histograms as
+    /// cumulative `_bucket{le="..."}` series (bucket edges are the
+    /// power-of-two upper bounds) plus `_sum`/`_count`. Deterministic:
+    /// entries render in snapshot (name-sorted) order.
+    pub fn to_prometheus(&self) -> String {
+        let sanitize = |name: &str| -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        };
+        let mut out = String::new();
+        for (k, v) in &self.entries {
+            let name = sanitize(k);
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {g:.3}");
+                }
+                MetricValue::Hist(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cumulative = 0u64;
+                    for (b, c) in h.buckets() {
+                        cumulative += c;
+                        let le = if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
     /// The snapshot as one JSON object (keys in sorted order).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
@@ -361,6 +424,47 @@ mod tests {
         // 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 4 -> 3; 1024 -> 11.
         assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (11, 1)]);
         assert!((h.mean() - 1034.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_upper_bound_brackets_the_rank_sample() {
+        let mut h = Histogram::new();
+        // 99 samples of 100 (bucket 7: [64,128)), one of 5000 (bucket 13).
+        for _ in 0..99 {
+            h.observe(100);
+        }
+        h.observe(5000);
+        // p50 and p99 land in the dense bucket; its edge is 127.
+        assert_eq!(h.quantile_upper_bound(0.5), 127);
+        assert_eq!(h.quantile_upper_bound(0.99), 127);
+        // p100 must cover the outlier, clamped to the observed max.
+        assert_eq!(h.quantile_upper_bound(1.0), 5000);
+        assert_eq!(Histogram::new().quantile_upper_bound(0.99), 0);
+        // A single sample answers every quantile with its own bucket edge
+        // clamped to itself.
+        let mut one = Histogram::new();
+        one.observe(7);
+        assert_eq!(one.quantile_upper_bound(0.01), 7);
+        assert_eq!(one.quantile_upper_bound(0.99), 7);
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_kinds() {
+        let mut m = Metrics::new();
+        m.inc("serve.queries", 3);
+        m.set_gauge("bits.per_round.avg", 1.5);
+        m.observe("latency", 100);
+        m.observe("latency", 5000);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE bits_per_round_avg gauge\nbits_per_round_avg 1.500\n"));
+        assert!(text.contains("# TYPE serve_queries counter\nserve_queries 3\n"));
+        assert!(text.contains("# TYPE latency histogram\n"));
+        // Buckets are cumulative: the 5000 sample's bucket counts both.
+        assert!(text.contains("latency_bucket{le=\"127\"} 1\n"), "{text}");
+        assert!(text.contains("latency_bucket{le=\"8191\"} 2\n"), "{text}");
+        assert!(text.contains("latency_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("latency_sum 5100\n"));
+        assert!(text.contains("latency_count 2\n"));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod analyze;
 pub mod collect;
+pub mod flight;
 pub mod metrics;
 pub mod profile;
 pub mod report;
@@ -43,6 +44,10 @@ pub use analyze::{
     PhasePath, SegmentIdleTail, SegmentPath,
 };
 pub use collect::{Collector, ComputeTimer, EventLog, Fanout, JsonlTrace, SimEvent};
+pub use flight::{
+    FlightConfig, FlightRecorder, FlightTotals, RoundAgg, TopEntry, FLIGHT_RECORD_SCHEMA,
+    FLIGHT_RECORD_VERSION,
+};
 pub use metrics::{Histogram, MetricValue, Metrics, MetricsSnapshot};
 pub use profile::{Profiler, Section};
 pub use report::{PhaseStat, RunReport, RUN_REPORT_SCHEMA, RUN_REPORT_VERSION};

@@ -73,6 +73,7 @@ use crate::error::SimError;
 use crate::faults::{FaultReport, FaultSpec};
 use crate::node::{Decision, NodeAlgorithm};
 use crate::obsv::collect::{Collector, ComputeTimer, Fanout};
+use crate::obsv::flight::FlightRecorder;
 use crate::obsv::metrics::{Metrics, MetricsSnapshot};
 use crate::obsv::profile::Profiler;
 use crate::obsv::report::RunReport;
@@ -280,6 +281,7 @@ struct SimConfig {
     faults: FaultSpec,
     reliable: Option<ReliableConfig>,
     collector: Option<Arc<dyn Collector>>,
+    flight: Option<Arc<FlightRecorder>>,
     timed: bool,
     profiler: Option<Arc<Profiler>>,
     shards: usize,
@@ -299,6 +301,7 @@ impl Default for SimConfig {
             faults: FaultSpec::None,
             reliable: None,
             collector: None,
+            flight: None,
             timed: false,
             profiler: None,
             shards: 0,
@@ -310,11 +313,20 @@ impl Default for SimConfig {
 
 impl SimConfig {
     fn combined_collector(&self, timer: Option<&Arc<ComputeTimer>>) -> Option<Arc<dyn Collector>> {
-        match (self.collector.clone(), timer) {
-            (Some(c), Some(t)) => Some(Arc::new(Fanout(vec![c, t.clone()]))),
-            (Some(c), None) => Some(c),
-            (None, Some(t)) => Some(t.clone()),
-            (None, None) => None,
+        let mut sinks: Vec<Arc<dyn Collector>> = Vec::new();
+        if let Some(c) = &self.collector {
+            sinks.push(Arc::clone(c));
+        }
+        if let Some(f) = &self.flight {
+            sinks.push(Arc::clone(f) as Arc<dyn Collector>);
+        }
+        if let Some(t) = timer {
+            sinks.push(Arc::clone(t) as Arc<dyn Collector>);
+        }
+        match sinks.len() {
+            0 => None,
+            1 => sinks.pop(),
+            _ => Some(Arc::new(Fanout(sinks))),
         }
     }
 
@@ -370,6 +382,26 @@ impl SimConfig {
             if let Some(p) = &self.profiler {
                 p.install_into(m);
             }
+            // Surface collector capacity overflow (bounded TraceBuffer /
+            // JsonlTrace truncation) — present only when non-zero, so
+            // untruncated runs keep their exact metric set.
+            if let Some(c) = &self.collector {
+                let d = c.dropped_events();
+                if d > 0 {
+                    m.inc("trace.dropped_events", d);
+                }
+            }
+            // Flight-recorder occupancy: cumulative over the recorder's
+            // lifetime (one recorder may span a batch of runs).
+            if let Some(f) = &self.flight {
+                m.inc("flight.sends.seen", f.sends_seen());
+                m.inc("flight.sends.sampled", f.samples_len() as u64);
+                m.inc("flight.ring.rounds", f.ring_len() as u64);
+                let rd = f.ring_dropped_events();
+                if rd > 0 {
+                    m.inc("flight.ring.dropped_events", rd);
+                }
+            }
             m.snapshot()
         };
         let snapshot = match scratch {
@@ -379,6 +411,13 @@ impl SimConfig {
             }
             None => populate(&mut Metrics::new()),
         };
+        // Black-box behavior: a degraded run (round budget exhausted,
+        // transport give-ups, crashes) dumps the flight record.
+        if run.degraded.is_some() {
+            if let Some(f) = &self.flight {
+                f.dump_on_failure("run degraded");
+            }
+        }
         Outcome::from_run(run, snapshot)
     }
 
@@ -400,7 +439,7 @@ impl SimConfig {
             None
         };
         let engine = self.congest_engine(graph, plan, timer.as_ref());
-        let (run, nodes) = match self.reliable {
+        let result = match self.reliable {
             Some(cfg) => {
                 if self.broadcast_only {
                     return Err(SimError::Unsupported(
@@ -410,9 +449,20 @@ impl SimConfig {
                     ));
                 }
                 cfg.validate().map_err(SimError::Config)?;
-                run_reliable_impl(&engine, cfg, make)?
+                run_reliable_impl(&engine, cfg, make)
             }
-            None => engine.run_nodes_impl(make)?,
+            None => engine.run_nodes_impl(make),
+        };
+        let (run, nodes) = match result {
+            Ok(v) => v,
+            Err(e) => {
+                // The run died mid-flight: the ring (including its open
+                // partial round) is exactly the evidence to preserve.
+                if let Some(f) = &self.flight {
+                    f.dump_on_failure(&format!("run failed: {e}"));
+                }
+                return Err(e.into());
+            }
         };
         Ok((self.finish(run, timer, scratch), nodes))
     }
@@ -580,6 +630,19 @@ impl<'g> Simulation<'g> {
     /// Installs an already-shared [`Collector`] handle.
     pub fn collector_arc(mut self, c: Arc<dyn Collector>) -> Self {
         self.cfg.collector = Some(c);
+        self
+    }
+
+    /// Installs a [`FlightRecorder`](crate::obsv::flight::FlightRecorder):
+    /// the bounded-memory streaming telemetry layer. Composes with any
+    /// [`Self::collector`] through a [`Fanout`]; the run's metrics gain the
+    /// `flight.*` counters, and a degraded or failed run writes the flight
+    /// record to [`FlightConfig::dump_path`](crate::obsv::flight::FlightConfig)
+    /// when one is configured. Unless the recorder asks for provenance, the
+    /// engines skip building per-send `deps` sets while it is the only
+    /// collector installed — that is what keeps it cheap enough to leave on.
+    pub fn flight_recorder(mut self, f: Arc<FlightRecorder>) -> Self {
+        self.cfg.flight = Some(f);
         self
     }
 

@@ -179,6 +179,12 @@ impl crate::obsv::Collector for TraceBuffer {
         };
         self.record(mapped);
     }
+
+    // Capacity overflow is reported, not silent: the simulation folds this
+    // into the run metrics as `trace.dropped_events`.
+    fn dropped_events(&self) -> u64 {
+        self.dropped()
+    }
 }
 
 #[cfg(test)]

@@ -1,12 +1,14 @@
 //! Property-based tests of the simulators' accounting invariants.
 
 use congest::{
-    bits_for_domain, Bandwidth, BitSize, BitString, CrashStop, Decision, FaultSpec, Inbox,
-    NodeAlgorithm, NodeContext, Outbox, Outgoing, Simulation,
+    bits_for_domain, Bandwidth, BitSize, BitString, CrashStop, Decision, FaultSpec, FlightConfig,
+    FlightRecorder, Inbox, NodeAlgorithm, NodeContext, Outbox, Outgoing, Simulation, TraceBuffer,
+    TraceKind,
 };
 use graphlib::{generators, Graph};
 use proptest::prelude::*;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 /// Broadcasts `payload_bits` of zeros for `rounds` rounds, then halts.
 struct Chatter {
@@ -190,5 +192,87 @@ proptest! {
         // Conservation: per-round series account for every counted fault.
         prop_assert_eq!(a.faults.dropped_per_round.iter().sum::<u64>(), a.faults.dropped);
         prop_assert_eq!(a.faults.corrupted_per_round.iter().sum::<u64>(), a.faults.corrupted);
+    }
+
+    // The flight recorder's streamed per-round aggregates must equal a
+    // fold of the full trace on the same seeded run — the recorder never
+    // sees per-event state it could disagree about — and its dump must be
+    // byte-identical at any engine shard count. Crash-free fault specs on
+    // purpose: a crashed receiver's undelivered messages count in the
+    // `RoundEnd` drop tally without a per-message `Drop` event, so only
+    // crash-free runs make the full trace an exact drop oracle.
+    #[test]
+    fn flight_aggregates_match_full_trace_fold(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        loss in 0.0f64..0.4,
+        flip in 0.0f64..0.4,
+    ) {
+        let mut dumps = Vec::new();
+        for shards in [1usize, 2, 7] {
+            let trace = TraceBuffer::new(1 << 14);
+            let rec = Arc::new(FlightRecorder::new(FlightConfig {
+                ring_rounds: 4,
+                ring_events_per_round: 64,
+                sample_capacity: 16,
+                top_k: 4,
+                ..FlightConfig::default()
+            }));
+            let out = Simulation::on(&g)
+                .seed(seed)
+                .bandwidth(Bandwidth::Bits(8))
+                .faults(FaultSpec::Stack(vec![
+                    FaultSpec::IndependentLoss(loss),
+                    FaultSpec::BitFlip(flip),
+                ]))
+                .max_rounds(6)
+                .shards(shards)
+                .collector(trace.clone())
+                .flight_recorder(Arc::clone(&rec))
+                .run(|_| Chatter { rounds: 3, payload_bits: 8, done: false })
+                .unwrap();
+            prop_assert_eq!(trace.dropped(), 0, "oracle trace must be complete");
+            // Fold the full trace per round; compare against the recorder's
+            // streamed aggregates.
+            let count_by_round = |kind: TraceKind| {
+                let mut by_round = std::collections::HashMap::new();
+                for ev in trace.events_of(kind) {
+                    *by_round.entry(ev.round).or_insert(0u64) += 1;
+                }
+                by_round
+            };
+            let drops = count_by_round(TraceKind::Drop);
+            let corrupts = count_by_round(TraceKind::Corrupt);
+            let aggs = rec.aggregates();
+            prop_assert_eq!(aggs.len() as u64, rec.totals().rounds);
+            prop_assert_eq!(aggs.len(), out.stats.rounds);
+            for agg in &aggs {
+                prop_assert_eq!(
+                    agg.dropped,
+                    drops.get(&agg.round).copied().unwrap_or(0),
+                    "round {} drop tally disagrees with the trace fold", agg.round
+                );
+                prop_assert_eq!(
+                    agg.corrupted,
+                    corrupts.get(&agg.round).copied().unwrap_or(0),
+                    "round {} corruption tally disagrees with the trace fold", agg.round
+                );
+            }
+            prop_assert_eq!(rec.totals().dropped, out.faults.dropped);
+            prop_assert_eq!(rec.totals().corrupted, out.faults.corrupted);
+            prop_assert_eq!(
+                rec.sends_seen() as usize,
+                trace.events_of(TraceKind::Send).len(),
+                "every traced send must be offered to the reservoir"
+            );
+            prop_assert_eq!(
+                rec.samples_len() as u64,
+                rec.sends_seen().min(16),
+                "reservoir law: exactly min(capacity, sends_seen) samples"
+            );
+            dumps.push(rec.dump());
+        }
+        prop_assert_eq!(&dumps[1], &dumps[0], "dump at 2 shards differs from 1");
+        prop_assert_eq!(&dumps[2], &dumps[0], "dump at 7 shards differs from 1");
     }
 }

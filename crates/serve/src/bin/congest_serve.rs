@@ -12,29 +12,40 @@ congest-serve — batched CONGEST detection queries over JSONL
 
 USAGE:
     congest-serve [--cache-cap N] [--socket PATH]
+                  [--metrics-path PATH] [--telemetry-every N]
 
 OPTIONS:
-    --cache-cap N    Max cached graphs / staged topologies (default 32)
-    --socket PATH    Serve a Unix socket instead of stdin/stdout
-    -h, --help       Print this help
+    --cache-cap N         Max cached graphs / staged topologies (default 32)
+    --socket PATH         Serve a Unix socket instead of stdin/stdout
+    --metrics-path PATH   Rewrite cumulative metrics (Prometheus text
+                          format) to PATH after every flush
+    --telemetry-every N   Emit a congest.serve.telemetry line after every
+                          N-th flush
+    -h, --help            Print this help
 
 PROTOCOL (one JSON object per line):
     {\"schema\":\"congest.serve\",\"version\":1,\"op\":\"query\",\"id\":\"q0\",
      \"graph\":{\"generator\":\"planted_c2k\",\"n\":96,\"d\":3,\"k\":2,\"seed\":7},
      \"scenario\":{\"kind\":\"even_cycle\",\"k\":2,\"seed\":11}}
     {\"schema\":\"congest.serve\",\"version\":1,\"op\":\"flush\"}
+    {\"schema\":\"congest.serve\",\"version\":1,\"op\":\"telemetry\"}
+    {\"schema\":\"congest.serve\",\"version\":1,\"op\":\"stats\"}
 
 End of input implies a final flush. See DESIGN.md §8 for the full schema.";
 
 struct Args {
     cache_cap: usize,
     socket: Option<String>,
+    metrics_path: Option<String>,
+    telemetry_every: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         cache_cap: 32,
         socket: None,
+        metrics_path: None,
+        telemetry_every: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -47,6 +58,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--socket" => {
                 args.socket = Some(it.next().ok_or("--socket needs a path")?);
+            }
+            "--metrics-path" => {
+                args.metrics_path = Some(it.next().ok_or("--metrics-path needs a path")?);
+            }
+            "--telemetry-every" => {
+                let v = it.next().ok_or("--telemetry-every needs a value")?;
+                args.telemetry_every = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid --telemetry-every {v:?}"))?,
+                );
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -69,6 +90,8 @@ fn main() -> ExitCode {
     let cfg = ServiceConfig {
         graph_cache_cap: args.cache_cap,
         prepared_cache_cap: args.cache_cap,
+        metrics_path: args.metrics_path,
+        telemetry_every: args.telemetry_every,
     };
     let mut svc = Service::new(cfg);
 

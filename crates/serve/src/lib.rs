@@ -32,7 +32,7 @@ pub mod service;
 pub use cache::{address_hex, content_address, Cache};
 pub use protocol::{
     parse_request, GraphSpec, Query, Request, ScenarioSpec, BATCH_SCHEMA, PROTOCOL_VERSION,
-    REQUEST_SCHEMA, RESPONSE_SCHEMA,
+    REQUEST_SCHEMA, RESPONSE_SCHEMA, TELEMETRY_SCHEMA,
 };
 pub use scenario::{execute, prepare_clique, Job, QueryOutcome};
 pub use service::{compact_json, Service, ServiceConfig};

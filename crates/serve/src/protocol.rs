@@ -15,7 +15,10 @@
 //! `op:"query"` enqueues a detection query; `op:"flush"` executes the
 //! pending batch and streams one response line per query (in request
 //! order) followed by a `congest.serve.batch` summary. End of input
-//! implies a final flush.
+//! implies a final flush. `op:"telemetry"` answers with one
+//! `congest.serve.telemetry` snapshot line (cumulative counters plus
+//! query-latency percentiles); `op:"stats"` answers with the same
+//! registry in Prometheus text-exposition format.
 //!
 //! Graph and scenario specs carry *canonical cache keys*
 //! ([`GraphSpec::cache_key`]): the serve cache is content-addressed by
@@ -36,6 +39,8 @@ pub const REQUEST_SCHEMA: &str = "congest.serve";
 pub const RESPONSE_SCHEMA: &str = "congest.serve.response";
 /// Batch summary schema identifier.
 pub const BATCH_SCHEMA: &str = "congest.serve.batch";
+/// Telemetry snapshot schema identifier.
+pub const TELEMETRY_SCHEMA: &str = "congest.serve.telemetry";
 /// Protocol version this build speaks.
 pub const PROTOCOL_VERSION: u64 = 1;
 
@@ -46,6 +51,11 @@ pub enum Request {
     Query(Query),
     /// Execute the pending batch now.
     Flush,
+    /// Emit one `congest.serve.telemetry` snapshot line (cumulative
+    /// service counters, query-latency percentiles).
+    Telemetry,
+    /// Emit the cumulative metrics in Prometheus text-exposition format.
+    Stats,
 }
 
 /// One detection query: a graph to (re)use and a scenario to run on it.
@@ -235,6 +245,8 @@ pub fn parse_request(v: &Value) -> Result<Request, String> {
     }
     match str_field(v, "op", "request")? {
         "flush" => Ok(Request::Flush),
+        "telemetry" => Ok(Request::Telemetry),
+        "stats" => Ok(Request::Stats),
         "query" => {
             let id = str_field(v, "id", "query")?.to_string();
             let graph = parse_graph(field(v, "graph", "query")?)?;

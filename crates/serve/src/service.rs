@@ -22,8 +22,9 @@
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
+use std::time::Instant;
 
-use congest::{Metrics, Prepared};
+use congest::{Histogram, Metrics, MetricValue, Prepared};
 use graphlib::Graph;
 use rayon::prelude::*;
 
@@ -31,17 +32,24 @@ use crate::cache::{address_hex, Cache};
 use crate::json::{self, escape};
 use crate::protocol::{
     parse_request, Query, Request, BATCH_SCHEMA, PROTOCOL_VERSION, RESPONSE_SCHEMA,
+    TELEMETRY_SCHEMA,
 };
 use crate::scenario::{execute, prepare_clique, prepare_even_cycle, Job};
 use crate::ScenarioSpec;
 
-/// Cache capacities for a service instance.
-#[derive(Debug, Clone, Copy)]
+/// Cache capacities and telemetry knobs for a service instance.
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Max generated graphs kept (LRU).
     pub graph_cache_cap: usize,
     /// Max staged clique topologies kept (LRU).
     pub prepared_cache_cap: usize,
+    /// Emit one `congest.serve.telemetry` line after every N-th flush
+    /// (`None` ⇒ only on an explicit `op:"telemetry"` request).
+    pub telemetry_every: Option<u64>,
+    /// Rewrite the cumulative metrics to this file, in Prometheus
+    /// text-exposition format, after every flush.
+    pub metrics_path: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +57,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             graph_cache_cap: 32,
             prepared_cache_cap: 32,
+            telemetry_every: None,
+            metrics_path: None,
         }
     }
 }
@@ -59,6 +69,17 @@ pub struct Service {
     prepared: Cache<Prepared>,
     pending: Vec<Query>,
     pending_errors: u64,
+    /// Cumulative service counters, folded from every batch summary. Kept
+    /// separate from the wall-clock latency histogram so the counter
+    /// registry — and with it every `"metrics"` object on the wire — stays
+    /// a deterministic function of the request stream.
+    telemetry: Metrics,
+    /// Wall-clock per-query execution spans, microseconds.
+    latency_us: Histogram,
+    /// Flushes that emitted output (the telemetry cadence counter).
+    batches: u64,
+    telemetry_every: Option<u64>,
+    metrics_path: Option<String>,
 }
 
 /// One query resolved against the caches, plus the bookkeeping the
@@ -79,6 +100,11 @@ impl Service {
             prepared: Cache::new(cfg.prepared_cache_cap),
             pending: Vec::new(),
             pending_errors: 0,
+            telemetry: Metrics::new(),
+            latency_us: Histogram::new(),
+            batches: 0,
+            telemetry_every: cfg.telemetry_every,
+            metrics_path: cfg.metrics_path,
         }
     }
 
@@ -116,6 +142,12 @@ impl Service {
                 Vec::new()
             }
             Ok(Request::Flush) => self.flush(),
+            Ok(Request::Telemetry) => vec![self.telemetry_line()],
+            Ok(Request::Stats) => self
+                .stats_text()
+                .lines()
+                .map(str::to_string)
+                .collect(),
         }
     }
 
@@ -135,28 +167,41 @@ impl Service {
             self.graphs.evictions(),
             self.prepared.hits(),
             self.prepared.misses(),
+            self.prepared.evictions(),
         );
 
         // Phase 1 — sequential resolve (deterministic cache traffic).
         let resolved: Vec<ResolvedQuery> = queries.into_iter().map(|q| self.resolve(q)).collect();
 
         // Phase 2 — ordered parallel execute. The shim's collect preserves
-        // input order, so line order is request order.
-        let executed: Vec<String> = resolved
+        // input order, so line order is request order. Each query carries
+        // its wall-clock span back for the latency histogram; the span
+        // never reaches the response line, so output bytes stay a pure
+        // function of the request stream.
+        let timed: Vec<(String, u64)> = resolved
             .into_par_iter()
-            .map(|r| match execute(&r.job) {
-                Ok(out) => {
-                    let cache = cache_json(&r);
-                    let report = compact_json(&out.report.to_json());
-                    format!(
-                        r#"{{"schema":"{RESPONSE_SCHEMA}","version":{PROTOCOL_VERSION},"id":"{}","status":"ok","detected":{},"cache":{cache},"report":{report}}}"#,
-                        escape(&r.id),
-                        out.detected,
-                    )
-                }
-                Err(e) => error_line(Some(&r.id), &format!("{e:?}")),
+            .map(|r| {
+                let t = Instant::now();
+                let line = match execute(&r.job) {
+                    Ok(out) => {
+                        let cache = cache_json(&r);
+                        let report = compact_json(&out.report.to_json());
+                        format!(
+                            r#"{{"schema":"{RESPONSE_SCHEMA}","version":{PROTOCOL_VERSION},"id":"{}","status":"ok","detected":{},"cache":{cache},"report":{report}}}"#,
+                            escape(&r.id),
+                            out.detected,
+                        )
+                    }
+                    Err(e) => error_line(Some(&r.id), &format!("{e:?}")),
+                };
+                (line, t.elapsed().as_micros() as u64)
             })
             .collect();
+        let mut executed = Vec::with_capacity(timed.len());
+        for (line, micros) in timed {
+            self.latency_us.observe(micros);
+            executed.push(line);
+        }
 
         // Batch summary: per-batch deltas for cache traffic, plus totals
         // aggregated from the per-query reports (sequentially, in order).
@@ -173,12 +218,24 @@ impl Service {
             self.graphs.evictions() - cache_before.2,
         );
         m.inc(
+            "serve.cache.graph_misses",
+            self.graphs.misses() - cache_before.1,
+        );
+        m.inc(
             "serve.cache.prepared_hits",
             self.prepared.hits() - cache_before.3,
         );
         m.inc(
             "serve.prepared.builds",
             self.prepared.misses() - cache_before.4,
+        );
+        m.inc(
+            "serve.cache.prepared_misses",
+            self.prepared.misses() - cache_before.4,
+        );
+        m.inc(
+            "serve.cache.prepared_evictions",
+            self.prepared.evictions() - cache_before.5,
         );
         for line in &executed {
             // The response embeds the totals; re-parse is cheaper than
@@ -205,7 +262,53 @@ impl Service {
             errors,
             m.snapshot().to_json(),
         ));
+
+        // Fold the batch counters into the cumulative registry the
+        // telemetry/stats verbs report from.
+        self.batches += 1;
+        for (name, value) in m.snapshot().entries() {
+            if let MetricValue::Counter(v) = value {
+                self.telemetry.inc(name, *v);
+            }
+        }
+        self.telemetry.inc("serve.batches", 1);
+        if self
+            .telemetry_every
+            .is_some_and(|every| every > 0 && self.batches % every == 0)
+        {
+            out.push(self.telemetry_line());
+        }
+        if let Some(path) = self.metrics_path.clone() {
+            if let Err(e) = std::fs::write(&path, self.stats_text()) {
+                eprintln!("congest-serve: cannot write metrics to {path}: {e}");
+            }
+        }
         out
+    }
+
+    /// One `congest.serve.telemetry` line: cumulative counters (a
+    /// deterministic function of the request stream) plus wall-clock
+    /// query-latency percentiles. Consumers diffing telemetry across runs
+    /// should strip the `*_ms` fields — they are the only
+    /// non-deterministic bytes on the wire.
+    pub fn telemetry_line(&self) -> String {
+        format!(
+            r#"{{"schema":"{TELEMETRY_SCHEMA}","version":{PROTOCOL_VERSION},"batches":{},"metrics":{},"p99_ms":{:.3},"mean_ms":{:.3}}}"#,
+            self.batches,
+            self.telemetry.snapshot().to_json(),
+            self.latency_us.quantile_upper_bound(0.99) as f64 / 1000.0,
+            self.latency_us.mean() / 1000.0,
+        )
+    }
+
+    /// The cumulative registry — counters plus the `serve.latency_us`
+    /// span histogram — in Prometheus text-exposition format.
+    pub fn stats_text(&self) -> String {
+        let mut m = self.telemetry.clone();
+        if self.latency_us.count() > 0 {
+            m.install_hist("serve.latency_us", self.latency_us.clone());
+        }
+        m.snapshot().to_prometheus()
     }
 
     fn resolve(&mut self, q: Query) -> ResolvedQuery {
@@ -342,6 +445,117 @@ mod tests {
             metrics.get("serve.cache.graph_hits").unwrap().as_u64(),
             Some(1)
         );
+    }
+
+    #[test]
+    fn telemetry_verb_reports_cumulative_counters_across_batches() {
+        let mut svc = Service::new(ServiceConfig::default());
+        svc.handle_line(&query_line("a", 1));
+        svc.flush();
+        svc.handle_line(&query_line("b", 2));
+        svc.flush();
+        let out = svc.handle_line(r#"{"schema":"congest.serve","version":1,"op":"telemetry"}"#);
+        assert_eq!(out.len(), 1, "telemetry answers with exactly one line");
+        let v = json::parse(&out[0]).unwrap();
+        assert_eq!(
+            v.get("schema").unwrap().as_str(),
+            Some("congest.serve.telemetry")
+        );
+        assert_eq!(v.get("batches").unwrap().as_u64(), Some(2));
+        let m = v.get("metrics").unwrap();
+        assert_eq!(m.get("serve.queries").unwrap().as_u64(), Some(2));
+        assert_eq!(m.get("serve.batches").unwrap().as_u64(), Some(2));
+        assert!(
+            v.get("p99_ms").is_some() && v.get("mean_ms").is_some(),
+            "latency percentiles ride on the telemetry line"
+        );
+    }
+
+    #[test]
+    fn stats_verb_emits_prometheus_text() {
+        let mut svc = Service::new(ServiceConfig::default());
+        svc.handle_line(&query_line("a", 1));
+        svc.flush();
+        let text = svc
+            .handle_line(r#"{"schema":"congest.serve","version":1,"op":"stats"}"#)
+            .join("\n");
+        assert!(text.contains("# TYPE serve_queries counter"), "{text}");
+        assert!(text.contains("\nserve_queries 1"), "{text}");
+        assert!(text.contains("# TYPE serve_latency_us histogram"), "{text}");
+        assert!(text.contains("serve_latency_us_count 1"), "{text}");
+        assert!(text.contains(r#"serve_latency_us_bucket{le="+Inf"} 1"#), "{text}");
+    }
+
+    #[test]
+    fn periodic_telemetry_rides_after_every_nth_flush() {
+        let mut svc = Service::new(ServiceConfig {
+            telemetry_every: Some(2),
+            ..ServiceConfig::default()
+        });
+        svc.handle_line(&query_line("a", 1));
+        let first = svc.flush();
+        assert!(
+            !first.last().unwrap().contains("congest.serve.telemetry"),
+            "batch 1 of 2: no telemetry yet"
+        );
+        svc.handle_line(&query_line("b", 2));
+        let second = svc.flush();
+        let tail = second.last().unwrap();
+        assert!(tail.contains(r#""schema":"congest.serve.telemetry""#), "{tail}");
+        assert!(tail.contains(r#""batches":2"#), "{tail}");
+    }
+
+    #[test]
+    fn metrics_path_rewrites_prometheus_file_on_flush() {
+        let path = std::env::temp_dir().join(format!(
+            "congest_serve_metrics_{}.prom",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut svc = Service::new(ServiceConfig {
+            metrics_path: Some(path.to_string_lossy().into_owned()),
+            ..ServiceConfig::default()
+        });
+        svc.handle_line(&query_line("a", 1));
+        svc.flush();
+        let text = std::fs::read_to_string(&path).expect("flush must write the metrics file");
+        assert!(text.contains("serve_queries 1"), "{text}");
+        assert!(text.contains("serve_batches 1"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn batch_summary_reports_the_full_cache_counter_family() {
+        // A capacity-1 prepared cache: two triangle queries on distinct
+        // graphs stage two clique topologies, the second evicting the
+        // first.
+        let mut svc = Service::new(ServiceConfig {
+            prepared_cache_cap: 1,
+            ..ServiceConfig::default()
+        });
+        for (id, n) in [("a", 64), ("b", 72)] {
+            let line = format!(
+                r#"{{"schema":"congest.serve","version":1,"op":"query","id":"{id}","graph":{{"generator":"planted_c2k","n":{n},"d":3,"k":2,"seed":5}},"scenario":{{"kind":"triangle","seed":1}}}}"#
+            );
+            assert!(svc.handle_line(&line).is_empty());
+        }
+        let out = svc.flush();
+        let summary = json::parse(out.last().unwrap()).unwrap();
+        let m = summary.get("metrics").unwrap();
+        for (key, want) in [
+            ("serve.cache.graph_hits", 0),
+            ("serve.cache.graph_misses", 2),
+            ("serve.cache.graph_evictions", 0),
+            ("serve.cache.prepared_hits", 0),
+            ("serve.cache.prepared_misses", 2),
+            ("serve.cache.prepared_evictions", 1),
+        ] {
+            assert_eq!(
+                m.get(key).and_then(|x| x.as_u64()),
+                Some(want),
+                "counter {key}"
+            );
+        }
     }
 
     #[test]

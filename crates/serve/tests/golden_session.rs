@@ -114,8 +114,12 @@ fn session_batch_summary_proves_the_caches_worked() {
     let counter = |name: &str| metrics.get(name).and_then(|v| v.as_u64());
     assert_eq!(counter("serve.graph.builds"), Some(1));
     assert_eq!(counter("serve.cache.graph_hits"), Some(99));
+    assert_eq!(counter("serve.cache.graph_misses"), Some(1));
+    assert_eq!(counter("serve.cache.graph_evictions"), Some(0));
     assert_eq!(counter("serve.prepared.builds"), Some(2));
     assert_eq!(counter("serve.cache.prepared_hits"), Some(73));
+    assert_eq!(counter("serve.cache.prepared_misses"), Some(2));
+    assert_eq!(counter("serve.cache.prepared_evictions"), Some(0));
     assert_eq!(counter("serve.errors"), Some(0));
     assert!(counter("rounds.total").unwrap() > 0);
     assert!(counter("bits.total").unwrap() > 0);

@@ -239,6 +239,66 @@ if [[ "$quick" -eq 0 ]]; then
         status=1
     fi
     rm -f "$cp1" "$cp4"
+
+    # Flight-recorder gates: the committed golden flight record must pass
+    # the windowed-dump checker and render through `tail`, and the
+    # canonical dump (generated fresh, ring + sketches + reservoir) must
+    # be byte-identical across thread counts.
+    echo "==> congest-trace check over the committed flight-record golden"
+    ./target/release/congest-trace check tests/golden/flight_record.jsonl || status=1
+
+    echo "==> congest-trace tail renders the flight-record golden"
+    if ./target/release/congest-trace tail tests/golden/flight_record.jsonl > /dev/null; then
+        echo "    flight tail rendered"
+    else
+        echo "error: congest-trace tail failed on the flight golden" >&2
+        status=1
+    fi
+
+    echo "==> flight-record determinism gate (RAYON_NUM_THREADS=1 vs 4)"
+    fl1="$(mktemp)" fl4="$(mktemp)"
+    RAYON_NUM_THREADS=1 ./target/release/congest-trace dump --flight-canonical > "$fl1"
+    RAYON_NUM_THREADS=4 ./target/release/congest-trace dump --flight-canonical > "$fl4"
+    if diff -q "$fl1" "$fl4" >/dev/null; then
+        echo "    canonical flight record byte-identical at 1 and 4 threads"
+    else
+        echo "error: canonical flight record differs across thread counts" >&2
+        diff "$fl1" "$fl4" >&2 || true
+        status=1
+    fi
+    rm -f "$fl1" "$fl4"
+
+    # Serve telemetry determinism: a fixed session's output — responses,
+    # batch summary, telemetry line, Prometheus stats — must be
+    # byte-identical across thread counts once the wall-clock-only bytes
+    # are stripped (the p99_ms/mean_ms fields and the latency histogram
+    # series; everything else is counters, which are deterministic).
+    echo "==> serve telemetry determinism gate (RAYON_NUM_THREADS=1 vs 4)"
+    cargo build --release -p serve --bin congest-serve
+    tele_req="$(mktemp)" tele1="$(mktemp)" tele4="$(mktemp)"
+    {
+        for i in 0 1 2 3 4 5 6 7; do
+            printf '{"schema":"congest.serve","version":1,"op":"query","id":"q%s","graph":{"generator":"planted_c2k","n":64,"d":3,"k":2,"seed":5},"scenario":{"kind":"triangle","seed":%s}}\n' "$i" "$i"
+        done
+        printf '{"schema":"congest.serve","version":1,"op":"flush"}\n'
+        printf '{"schema":"congest.serve","version":1,"op":"telemetry"}\n'
+        printf '{"schema":"congest.serve","version":1,"op":"stats"}\n'
+    } > "$tele_req"
+    strip_wallclock() {
+        sed -E 's/"(p99_ms|mean_ms)":[0-9.]+/"\1":0/g' | sed '/serve_latency_us/d'
+    }
+    RAYON_NUM_THREADS=1 ./target/release/congest-serve < "$tele_req" \
+        | strip_wallclock > "$tele1"
+    RAYON_NUM_THREADS=4 ./target/release/congest-serve < "$tele_req" \
+        | strip_wallclock > "$tele4"
+    if [[ -s "$tele1" ]] && diff -q "$tele1" "$tele4" >/dev/null; then
+        echo "    serve telemetry byte-identical at 1 and 4 threads (wall-clock stripped)"
+    else
+        echo "error: serve telemetry differs across thread counts" >&2
+        diff "$tele1" "$tele4" >&2 || true
+        status=1
+    fi
+    rm -f "$tele_req" "$tele1" "$tele4"
 fi
 
 exit "$status"
